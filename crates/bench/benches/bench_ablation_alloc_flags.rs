@@ -1,0 +1,62 @@
+//! Ablation: do allocation flags change anything on a CPU device?
+//! (Section III-D's negative result, verified as wall-clock: READ_ONLY /
+//! WRITE_ONLY / READ_WRITE access flags and device vs pinned placement.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::apps::square;
+use ocl_rt::MemFlags;
+
+fn alloc_flags(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    const N: usize = 1 << 18;
+
+    // Kernel-side: the same kernel reading from buffers created with each
+    // access-flag combination (square::build uses RO in / WO out; here we
+    // compare against an all-READ_WRITE build done by hand).
+    let mut g = c.benchmark_group("ablation/alloc-flags/kernel");
+    tune(&mut g);
+    let built_ro_wo = square::build(&ctx, N, 1, Some(512), 1);
+    g.bench_function("ro_in_wo_out", |b| {
+        b.iter(|| q.enqueue_kernel(&built_ro_wo.kernel, built_ro_wo.range).unwrap());
+    });
+    {
+        use cl_kernels::util::random_f32;
+        use std::sync::Arc;
+        let host = random_f32(1, N, -2.0, 2.0);
+        let input = ctx.buffer_from(MemFlags::default(), &host).unwrap();
+        let output = ctx.buffer::<f32>(MemFlags::default(), N).unwrap();
+        let kernel: Arc<dyn ocl_rt::Kernel> = Arc::new(square::Square {
+            input,
+            output,
+            n: N,
+            items_per_wi: 1,
+        });
+        let range = ocl_rt::NDRange::d1(N).local1(512);
+        g.bench_function("read_write_both", |b| {
+            b.iter(|| q.enqueue_kernel(&kernel, range).unwrap());
+        });
+    }
+    g.finish();
+
+    // Transfer-side: placement (device vs pinned host) for the copy path.
+    let mut g = c.benchmark_group("ablation/alloc-flags/placement");
+    tune(&mut g);
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    let host = vec![1.0f32; N];
+    for (label, flags) in [
+        ("device", MemFlags::default()),
+        ("pinned_host", MemFlags::ALLOC_HOST_PTR),
+    ] {
+        let buf = ctx.buffer::<f32>(flags, N).unwrap();
+        g.bench_with_input(BenchmarkId::new("write_copy", label), &label, |b, _| {
+            b.iter(|| q.write_buffer(&buf, 0, &host).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, alloc_flags);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation: the scheduling substrate itself. How expensive is one
+//! workgroup dispatch, how do the pool's chunk-claiming strategies compare,
+//! and how does the modeled per-group overhead knob move the Figure 1/3
+//! curves?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::tune;
+use cl_pool::{ChunkSource, GuidedSource, PoolConfig, ThreadPool};
+use perf_model::{CpuModel, CpuSpec, KernelProfile, Launch};
+
+fn dispatch_overhead(c: &mut Criterion) {
+    let pool = ThreadPool::new(PoolConfig::default()).unwrap();
+    let mut g = c.benchmark_group("ablation/scheduling/dispatch");
+    tune(&mut g);
+    for n_tasks in [100usize, 1000, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("empty_tasks", n_tasks),
+            &n_tasks,
+            |b, &n| {
+                b.iter(|| {
+                    pool.scope(|s| {
+                        for _ in 0..n {
+                            s.spawn(|| {});
+                        }
+                    });
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn chunk_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/scheduling/chunking");
+    tune(&mut g);
+    const N: usize = 1 << 20;
+    g.bench_function("fixed_chunks", |b| {
+        b.iter(|| {
+            let src = ChunkSource::new(N, 256);
+            let mut total = 0usize;
+            while let Some(r) = src.claim() {
+                total += r.len();
+            }
+            total
+        });
+    });
+    g.bench_function("guided_chunks", |b| {
+        b.iter(|| {
+            let src = GuidedSource::new(N, 8, 64);
+            let mut total = 0usize;
+            while let Some(r) = src.claim() {
+                total += r.len();
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn overhead_sensitivity(c: &mut Criterion) {
+    // Sweep the modeled per-group dispatch cost: the knob that turns the
+    // Figure 3 cliff on and off.
+    let mut g = c.benchmark_group("ablation/scheduling/model-knob");
+    tune(&mut g);
+    for dispatch_ns in [0.0f64, 200.0, 2000.0] {
+        let mut spec = CpuSpec::xeon_e5645();
+        spec.group_dispatch_ns = dispatch_ns;
+        let model = CpuModel::new(spec);
+        let profile = KernelProfile::streaming(1.0, 8.0);
+        g.bench_with_input(
+            BenchmarkId::new("wg_sweep_eval", dispatch_ns as u64),
+            &dispatch_ns,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for wg in [1usize, 10, 100, 1000] {
+                        acc += model.kernel_time(&profile, Launch::new(1_000_000, wg));
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dispatch_overhead, chunk_strategies, overhead_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation: SIMD width. The paper's machine is SSE 4.2 (4 × f32); this
+//! sweep runs the same lane arithmetic at widths 1, 4 and 8 to show where
+//! the implicit vectorizer's payoff comes from and what AVX-width lanes
+//! would add.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cl_bench::tune;
+use cl_vec::{simd_apply2, VecF32};
+
+const N: usize = 1 << 18;
+
+fn width_sweep(c: &mut Criterion) {
+    let a: Vec<f32> = (0..N).map(|i| (i % 97) as f32 * 0.25).collect();
+    let b_in: Vec<f32> = (0..N).map(|i| (i % 89) as f32 * 0.5).collect();
+    let mut out = vec![0.0f32; N];
+    let mut g = c.benchmark_group("ablation/simd-width");
+    tune(&mut g);
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("scalar", |bench| {
+        bench.iter(|| {
+            for i in 0..N {
+                out[i] = a[i] * b_in[i] + 0.5;
+            }
+            out[N - 1]
+        });
+    });
+    g.bench_function(BenchmarkId::new("lanes", 4), |bench| {
+        bench.iter(|| {
+            simd_apply2::<4>(
+                &a,
+                &b_in,
+                &mut out,
+                |x, y| x.mul_add(y, VecF32::splat(0.5)),
+                |x, y| x * y + 0.5,
+            );
+            out[N - 1]
+        });
+    });
+    g.bench_function(BenchmarkId::new("lanes", 8), |bench| {
+        bench.iter(|| {
+            simd_apply2::<8>(
+                &a,
+                &b_in,
+                &mut out,
+                |x, y| x.mul_add(y, VecF32::splat(0.5)),
+                |x, y| x * y + 0.5,
+            );
+            out[N - 1]
+        });
+    });
+
+    // A dependence-bound body (the Figure 11 chain): lanes still help
+    // because the chain packs across elements.
+    g.bench_function("chain_scalar", |bench| {
+        bench.iter(|| {
+            for i in 0..N {
+                let mut acc = a[i];
+                for _ in 0..8 {
+                    acc = acc * b_in[i] + 0.5;
+                }
+                out[i] = acc;
+            }
+            out[N - 1]
+        });
+    });
+    g.bench_function(BenchmarkId::new("chain_lanes", 4), |bench| {
+        bench.iter(|| {
+            simd_apply2::<4>(
+                &a,
+                &b_in,
+                &mut out,
+                |x, y| {
+                    let half = VecF32::splat(0.5);
+                    let mut acc = x;
+                    for _ in 0..8 {
+                        acc = acc.mul_add(y, half);
+                    }
+                    acc
+                },
+                |x, y| {
+                    let mut acc = x;
+                    for _ in 0..8 {
+                        acc = acc * y + 0.5;
+                    }
+                    acc
+                },
+            );
+            out[N - 1]
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, width_sweep);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 10: OpenMP vs OpenCL execution of MBench1–8, measured natively.
+//! The OpenMP plane runs scalar wherever the loop vectorizer refuses; the
+//! OpenCL plane always runs the cross-workitem SIMD form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::tune;
+use cl_kernels::mbench;
+use cl_kernels::util::random_f32;
+use cl_vec::VectorizerPolicy;
+use par_for::Team;
+
+const N_OUT: usize = 1 << 16;
+
+fn vectorization(c: &mut Criterion) {
+    let team = Team::new(cl_pool::available_cores()).unwrap();
+    let policy = VectorizerPolicy::default();
+    let mut g = c.benchmark_group("fig10/native");
+    tune(&mut g);
+    for bench in mbench::all() {
+        let n_in = bench.input_len(N_OUT);
+        let a = random_f32(1, n_in, 0.1, 1.5);
+        let b_in = random_f32(2, n_in, 0.1, 1.5);
+        let mut out = vec![0.0f32; N_OUT];
+        g.bench_with_input(
+            BenchmarkId::new("openmp", bench.name),
+            &bench.id,
+            |bencher, _| {
+                bencher.iter(|| bench.run_openmp(&team, &a, &b_in, &mut out, policy));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("opencl", bench.name),
+            &bench.id,
+            |bencher, _| {
+                bencher.iter(|| bench.run_opencl_plane(&team, &a, &b_in, &mut out));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, vectorization);
+criterion_main!(benches);

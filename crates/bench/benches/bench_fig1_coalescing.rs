@@ -1,0 +1,53 @@
+//! Figure 1 / Table IV: throughput vs workload per workitem.
+//!
+//! Native plane: Square and VectorAdd launched through `ocl-rt` with 1×,
+//! 10×, 100×, 1000× coalescing (constant total work). Modeled plane: the
+//! deterministic CPU/GPU evaluation, benchmarked for evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::apps::{square, vectoradd};
+use perf_model::{CpuModel, CpuSpec, GpuModel, GpuSpec, KernelProfile, Launch};
+
+const N: usize = 100_000;
+
+fn native(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig1/native");
+    tune(&mut g);
+    for factor in [1usize, 10, 100, 1000] {
+        let built = square::build(&ctx, N, factor, None, 1);
+        g.bench_with_input(BenchmarkId::new("square", factor), &factor, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+        let built = vectoradd::build(&ctx, N, factor, None, 2);
+        g.bench_with_input(BenchmarkId::new("vectoradd", factor), &factor, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn modeled(c: &mut Criterion) {
+    let cpu = CpuModel::new(CpuSpec::xeon_e5645());
+    let gpu = GpuModel::new(GpuSpec::gtx580());
+    let mut g = c.benchmark_group("fig1/model-eval");
+    tune(&mut g);
+    g.bench_function("cpu+gpu sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for factor in [1usize, 10, 100, 1000] {
+                let p = KernelProfile::streaming(1.0, 8.0).coalesced(factor);
+                let launch = Launch::new((10_000_000 / factor).max(1), 500);
+                acc += cpu.kernel_time(&p, launch) + gpu.kernel_time(&p, launch);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, native, modeled);
+criterion_main!(benches);

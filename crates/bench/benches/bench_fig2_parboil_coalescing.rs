@@ -1,0 +1,35 @@
+//! Figure 2: Parboil kernels with 1×, 2×, 4× workload per workitem (CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::parboil::{cp, mriq};
+
+fn parboil_coalescing(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig2/native");
+    tune(&mut g);
+    for factor in [1usize, 2, 4] {
+        let built = cp::build(&ctx, 64, 64, 128, factor, None, 1);
+        g.bench_with_input(BenchmarkId::new("cenergy", factor), &factor, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+        let built = mriq::build_phimag(&ctx, 3072, factor, None, 2);
+        g.bench_with_input(
+            BenchmarkId::new("computePhiMag", factor),
+            &factor,
+            |b, _| {
+                b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+            },
+        );
+        let built = mriq::build_q(&ctx, 1024, 128, factor, None, 3);
+        g.bench_with_input(BenchmarkId::new("computeQ", factor), &factor, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, parboil_coalescing);
+criterion_main!(benches);

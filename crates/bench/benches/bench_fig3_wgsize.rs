@@ -1,0 +1,45 @@
+//! Figure 3 / Table V: workgroup-size sweep on the native CPU runtime.
+//! The per-workgroup dispatch overhead is physically present here (one pool
+//! task per group), so the sweep exposes the paper's CPU-side shape in
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::apps::{matrixmul, square, vectoradd};
+
+fn wg_sweep(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig3/native");
+    tune(&mut g);
+
+    const N: usize = 100_000;
+    for wg in [1usize, 10, 100, 1000] {
+        let built = square::build(&ctx, N, 1, Some(wg), 1);
+        g.bench_with_input(BenchmarkId::new("square", wg), &wg, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+        let built = vectoradd::build(&ctx, N, 1, Some(wg), 2);
+        g.bench_with_input(BenchmarkId::new("vectoradd", wg), &wg, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    // NULL baseline.
+    let built = square::build(&ctx, N, 1, None, 1);
+    g.bench_function("square/NULL", |b| {
+        b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+    });
+
+    // Tiled matrix multiply across Table V tile sides.
+    for tile in [1usize, 2, 4, 8, 16] {
+        let built = matrixmul::build_tiled(&ctx, 64, 64, 64, tile, 3);
+        g.bench_with_input(BenchmarkId::new("matrixmul_tile", tile), &tile, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, wg_sweep);
+criterion_main!(benches);

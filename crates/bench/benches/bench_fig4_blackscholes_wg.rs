@@ -1,0 +1,31 @@
+//! Figure 4: Blackscholes workgroup-size sensitivity (native CPU). The
+//! paper's point — long per-workitem work makes the CPU insensitive — shows
+//! here as near-identical wall-clock across the Table V cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::apps::blackscholes;
+
+fn blackscholes_wg(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig4/native");
+    tune(&mut g);
+    let grid = (128usize, 128usize);
+    let options = 128 * 128 * 4; // 4 options per workitem via grid stride
+    for (lx, ly) in [(16, 16), (1, 1), (1, 2), (2, 2), (2, 4)] {
+        let built = blackscholes::build(&ctx, grid, options, Some((lx, ly)), 7);
+        g.bench_with_input(
+            BenchmarkId::new("blackscholes", format!("{lx}x{ly}")),
+            &(lx, ly),
+            |b, _| {
+                b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, blackscholes_wg);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 5: Parboil workgroup-size sweep (native CPU), ×1 … ×16 of the
+//! Table III defaults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::parboil::{cp, mriq};
+
+fn parboil_wg(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig5/native");
+    tune(&mut g);
+
+    // cenergy(X): 1x8 .. 16x8 over a 64x64 grid.
+    for lx in [1usize, 2, 4, 8, 16] {
+        let built = cp::build(&ctx, 64, 64, 128, 1, Some((lx, 8)), 1);
+        g.bench_with_input(BenchmarkId::new("cenergy_x", lx), &lx, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    // computeQ: 16 .. 256.
+    for wg in [16usize, 32, 64, 128, 256] {
+        let built = mriq::build_q(&ctx, 1024, 128, 1, Some(wg), 2);
+        g.bench_with_input(BenchmarkId::new("computeQ", wg), &wg, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    // computePhiMag: 32 .. 512.
+    for wg in [32usize, 64, 128, 256, 512] {
+        let built = mriq::build_phimag(&ctx, 3072, 1, Some(wg), 3);
+        g.bench_with_input(BenchmarkId::new("computePhiMag", wg), &wg, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, parboil_wg);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 6: the ILP microbenchmark, measured natively. The dependent-FMA
+//! chains execute on the real out-of-order host core, so throughput rising
+//! with ILP here is the paper's mechanism itself, not a model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cl_bench::{native_ctx, tune};
+use cl_kernels::ilp;
+
+fn ilp_native(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig6/native");
+    tune(&mut g);
+    const N: usize = 1 << 14;
+    const ROUNDS: usize = 256;
+    g.throughput(Throughput::Elements(
+        (N as u64) * ilp::flops_per_item(ROUNDS) as u64,
+    ));
+    for k in 1..=4usize {
+        let built = ilp::build(&ctx, N, k, ROUNDS, 256, 1);
+        g.bench_with_input(BenchmarkId::new("ilp", k), &k, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+
+    // The same kernels with the implicit vectorizer disabled (scalar
+    // chains): the ILP effect in its purest form.
+    let mut device = ocl_rt::Device::native_cpu(cl_pool::available_cores()).unwrap();
+    device.set_vectorize(false);
+    let ctx = ocl_rt::Context::new(device);
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig6/native-scalar");
+    tune(&mut g);
+    for k in 1..=4usize {
+        let built = ilp::build(&ctx, N, k, ROUNDS, 256, 1);
+        g.bench_with_input(BenchmarkId::new("ilp", k), &k, |b, _| {
+            b.iter(|| q.enqueue_kernel(&built.kernel, built.range).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ilp_native);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 7: copy vs map transfer APIs on the native CPU device. The copy
+//! path really moves every byte twice through a staging object; the map
+//! path really returns a pointer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cl_bench::{native_ctx, tune};
+use ocl_rt::MemFlags;
+
+fn transfer_apis(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig7/native");
+    tune(&mut g);
+    for mib in [1usize, 4, 16] {
+        let n = mib << 20 >> 2; // f32 count
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        let buf = ctx.buffer::<f32>(MemFlags::default(), n).unwrap();
+        let host = vec![1.0f32; n];
+        g.bench_with_input(BenchmarkId::new("write_copy", mib), &mib, |b, _| {
+            b.iter(|| q.write_buffer(&buf, 0, &host).unwrap());
+        });
+        let mut out = vec![0.0f32; n];
+        g.bench_with_input(BenchmarkId::new("read_copy", mib), &mib, |b, _| {
+            b.iter(|| q.read_buffer(&buf, 0, &mut out).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("map", mib), &mib, |b, _| {
+            b.iter(|| {
+                let (m, _ev) = q.map_buffer(&buf).unwrap();
+                m[0]
+            });
+        });
+        // Placement dimension: pinned-host allocation behaves identically
+        // on a CPU device (the paper's finding).
+        let pinned = ctx
+            .buffer::<f32>(MemFlags::ALLOC_HOST_PTR, n)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("write_copy_pinned", mib), &mib, |b, _| {
+            b.iter(|| q.write_buffer(&pinned, 0, &host).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, transfer_apis);
+criterion_main!(benches);

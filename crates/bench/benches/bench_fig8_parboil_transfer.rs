@@ -1,0 +1,50 @@
+//! Figure 8: Parboil transfer footprints, host→device and device→host,
+//! copy vs map, on the native CPU device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cl_bench::{native_ctx, tune};
+use ocl_rt::MemFlags;
+
+/// `(benchmark, f32s uploaded, f32s downloaded)` per Table III geometry.
+const FOOTPRINTS: &[(&str, usize, usize)] = &[
+    ("CP", 4 * 4096, 64 * 512),
+    ("MRI-Q", 3 * 32_768 + 3 * 2048 + 2 * 3072, 2 * 32_768),
+    ("MRI-FHD", 3 * 32_768 + 3 * 2048 + 4 * 3072, 2 * 32_768),
+];
+
+fn parboil_transfers(c: &mut Criterion) {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let mut g = c.benchmark_group("fig8/native");
+    tune(&mut g);
+    for &(name, up, down) in FOOTPRINTS {
+        let inputs = ctx.buffer::<f32>(MemFlags::default(), up).unwrap();
+        let outputs = ctx.buffer::<f32>(MemFlags::default(), down).unwrap();
+        let host_up = vec![0.5f32; up];
+        let mut host_down = vec![0.0f32; down];
+
+        g.bench_with_input(BenchmarkId::new("h2d_copy", name), &name, |b, _| {
+            b.iter(|| q.write_buffer(&inputs, 0, &host_up).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("h2d_map", name), &name, |b, _| {
+            b.iter(|| {
+                let (mut m, _ev) = q.map_buffer_mut(&inputs).unwrap();
+                m[0] = 0.5;
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("d2h_copy", name), &name, |b, _| {
+            b.iter(|| q.read_buffer(&outputs, 0, &mut host_down).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("d2h_map", name), &name, |b, _| {
+            b.iter(|| {
+                let (m, _ev) = q.map_buffer(&outputs).unwrap();
+                m[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, parboil_transfers);
+criterion_main!(benches);

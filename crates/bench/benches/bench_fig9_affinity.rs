@@ -1,0 +1,65 @@
+//! Figure 9: aligned vs misaligned dependent-kernel placement.
+//!
+//! Benchmarks the deterministic cache-hierarchy replay (aligned vs
+//! misaligned mapping) — the plane that reproduces the paper's ~15%
+//! wall-clock gap as a cycle count on any machine — plus the raw
+//! simulator's access throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cache_sim::{Hierarchy, HierarchyConfig};
+use cl_bench::tune;
+
+const CORES: usize = 8;
+const SLICE: usize = 4096;
+
+fn replay(shift: usize) -> f64 {
+    let mut h = Hierarchy::new(HierarchyConfig::xeon_e5645(CORES));
+    let elem = 4u64;
+    let total = (CORES * SLICE) as u64;
+    let (a, b, cbase, d) = (0u64, total * elem, 2 * total * elem, 3 * total * elem);
+    for core in 0..CORES {
+        let start = (core * SLICE) as u64;
+        for i in start..start + SLICE as u64 {
+            h.access(core, a + i * elem, false);
+            h.access(core, b + i * elem, false);
+            h.access(core, cbase + i * elem, true);
+        }
+    }
+    for core in 0..CORES {
+        let slice = (core + shift) % CORES;
+        let start = (slice * SLICE) as u64;
+        for i in start..start + SLICE as u64 {
+            h.access(core, cbase + i * elem, false);
+            h.access(core, d + i * elem, true);
+        }
+    }
+    h.amat()
+}
+
+fn affinity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9/cache-replay");
+    tune(&mut g);
+    for (label, shift) in [("aligned", 0usize), ("misaligned", 1)] {
+        g.bench_with_input(BenchmarkId::new("placement", label), &shift, |b, &s| {
+            b.iter(|| replay(s));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig9/simulator-throughput");
+    tune(&mut g);
+    g.bench_function("sequential_1M_accesses", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::xeon_e5645(4));
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                h.access((i % 4) as usize, i * 64 % (1 << 22), false);
+            }
+            h.total_stats().total()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, affinity);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # cl-bench — Criterion benchmarks, one per table/figure
+//!
+//! Each `benches/bench_figN_*.rs` target regenerates the native-plane
+//! measurement behind the corresponding figure of the paper at
+//! benchmark-friendly sizes (the full-size deterministic regeneration lives
+//! in `cl-harness`, run via the `repro` binary). Three `bench_ablation_*`
+//! targets probe design choices DESIGN.md calls out: allocation flags,
+//! scheduling granularity, and SIMD width.
+//!
+//! This library crate only hosts shared helpers; the measurements live in
+//! the bench targets.
+
+use std::time::Duration;
+
+use ocl_rt::{Context, Device};
+
+/// A native CPU context sized to the host.
+pub fn native_ctx() -> Context {
+    Context::new(Device::native_cpu(cl_pool::available_cores()).unwrap())
+}
+
+/// Benchmark-group defaults: short, stable, CI-friendly.
+pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+}

@@ -1,0 +1,52 @@
+//! Address-pattern generators for replaying kernel access traces.
+
+/// Byte addresses of a strided walk: `base + i*stride` for `i in 0..count`.
+pub fn strided_addresses(base: u64, stride: u64, count: usize) -> impl Iterator<Item = u64> {
+    (0..count as u64).map(move |i| base + i * stride)
+}
+
+/// A typed view of an array walk: iterating elements of `elem_bytes` bytes
+/// over an index range, as a kernel touching `a[i]` would.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayWalk {
+    /// Byte address where element 0 lives.
+    pub base: u64,
+    /// Size of one element in bytes.
+    pub elem_bytes: u64,
+}
+
+impl ArrayWalk {
+    pub fn new(base: u64, elem_bytes: u64) -> Self {
+        ArrayWalk { base, elem_bytes }
+    }
+
+    /// Byte address of element `i`.
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * self.elem_bytes
+    }
+
+    /// Addresses of elements `range`, in order.
+    pub fn range(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = u64> + '_ {
+        range.map(move |i| self.addr(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_walk_generates_expected_addresses() {
+        let v: Vec<u64> = strided_addresses(100, 8, 4).collect();
+        assert_eq!(v, vec![100, 108, 116, 124]);
+    }
+
+    #[test]
+    fn array_walk_addresses_elements() {
+        let w = ArrayWalk::new(0x1000, 4);
+        assert_eq!(w.addr(0), 0x1000);
+        assert_eq!(w.addr(3), 0x100C);
+        let v: Vec<u64> = w.range(2..4).collect();
+        assert_eq!(v, vec![0x1008, 0x100C]);
+    }
+}

@@ -1,0 +1,114 @@
+//! A next-line hardware prefetcher, composable with the hierarchy.
+//!
+//! The Westmere-class machine of Table I ships stream prefetchers that hide
+//! much of the sequential-walk miss cost; replaying kernels with and
+//! without prefetch brackets the locality effects the affinity experiment
+//! measures.
+
+use crate::hierarchy::{Hierarchy, HitLevel};
+
+/// Wraps a [`Hierarchy`] and issues a next-line prefetch after every
+/// demand access that hits a new cache line (tagless sequential stream
+/// detection — the simplest real prefetcher design).
+pub struct NextLinePrefetcher {
+    inner: Hierarchy,
+    line_bytes: u64,
+    /// Lines brought in by prefetch (per run).
+    pub prefetches: u64,
+    /// Demand accesses that found their line prefetched (already resident).
+    pub prefetch_hits: u64,
+    last_line: Vec<Option<u64>>,
+}
+
+impl NextLinePrefetcher {
+    pub fn new(inner: Hierarchy) -> Self {
+        let cores = inner.config().cores;
+        let line_bytes = inner.config().l1.line_bytes as u64;
+        NextLinePrefetcher {
+            inner,
+            line_bytes,
+            prefetches: 0,
+            prefetch_hits: 0,
+            last_line: vec![None; cores],
+        }
+    }
+
+    /// Demand access; triggers a next-line prefetch when the access crosses
+    /// into a new line adjacent to the previous one (an ascending stream).
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HitLevel {
+        let line = addr / self.line_bytes;
+        let level = self.inner.access(core, addr, is_write);
+        let streaming = self.last_line[core] == Some(line.wrapping_sub(1));
+        if self.last_line[core] != Some(line) {
+            if level == HitLevel::L1 && streaming {
+                self.prefetch_hits += 1;
+            }
+            if streaming || self.last_line[core].is_none() {
+                // Prefetch the next line into this core's caches.
+                self.inner.access(core, (line + 1) * self.line_bytes, false);
+                self.prefetches += 1;
+            }
+            self.last_line[core] = Some(line);
+        }
+        level
+    }
+
+    /// The wrapped hierarchy (stats include prefetch fills).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+
+    #[test]
+    fn sequential_walk_gets_prefetched() {
+        let mut p = NextLinePrefetcher::new(Hierarchy::new(HierarchyConfig::tiny(1)));
+        // Walk 32 lines sequentially, element by element.
+        let mut demand_memory = 0;
+        for i in 0..(32 * 16) as u64 {
+            if p.access(0, i * 4, false) == HitLevel::Memory {
+                demand_memory += 1;
+            }
+        }
+        // Only the first line misses to memory on the demand path; the
+        // prefetcher runs ahead of every later line.
+        assert_eq!(demand_memory, 1, "prefetcher should hide the stream");
+        assert!(p.prefetches >= 31);
+        assert!(p.prefetch_hits >= 30, "{}", p.prefetch_hits);
+    }
+
+    #[test]
+    fn random_walk_is_not_prefetched() {
+        let mut p = NextLinePrefetcher::new(Hierarchy::new(HierarchyConfig::tiny(1)));
+        let mut misses = 0;
+        // Strided far apart: no adjacent-line streams.
+        for i in 0..64u64 {
+            if p.access(0, i * 4096, false) == HitLevel::Memory {
+                misses += 1;
+            }
+        }
+        assert!(misses >= 60, "random walk must keep missing, got {misses}");
+    }
+
+    #[test]
+    fn per_core_streams_are_independent() {
+        let mut p = NextLinePrefetcher::new(Hierarchy::new(HierarchyConfig::tiny(2)));
+        // Interleave two sequential streams on two cores.
+        for i in 0..(8 * 16) as u64 {
+            p.access(0, i * 4, false);
+            p.access(1, 1 << 20 | (i * 4), false);
+        }
+        // Stats include the prefetch fills themselves (~one per line);
+        // the demand path must be almost entirely L1 hits.
+        let s0 = p.hierarchy().core_stats(0);
+        let s1 = p.hierarchy().core_stats(1);
+        assert!(s0.memory_accesses <= 10, "{s0:?}");
+        assert!(s1.memory_accesses <= 10, "{s1:?}");
+        assert!(s0.l1_hits > 100, "{s0:?}");
+        assert!(s1.l1_hits > 100, "{s1:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Contexts tie a device to an allocation/transfer domain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cl_mem::{MemFlags, TransferEngine};
+
+use crate::buffer::{Buffer, Pod};
+use crate::device::Device;
+use crate::error::ClError;
+use crate::queue::CommandQueue;
+
+static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct ContextInner {
+    pub(crate) device: Device,
+    pub(crate) transfer: TransferEngine,
+    pub(crate) id: u64,
+}
+
+/// A `cl_context` analog: owns buffers and queues for one device.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// Create a context for `device`.
+    pub fn new(device: Device) -> Self {
+        Context {
+            inner: Arc::new(ContextInner {
+                device,
+                transfer: TransferEngine::new(),
+                id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+            }),
+        }
+    }
+
+    /// The context's device.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The transfer engine (byte-level statistics for experiments).
+    pub fn transfer(&self) -> &TransferEngine {
+        &self.inner.transfer
+    }
+
+    /// Create an in-order command queue (`clCreateCommandQueue`).
+    pub fn queue(&self) -> CommandQueue {
+        CommandQueue::new(self.clone())
+    }
+
+    /// `clCreateBuffer`: an uninitialized (zeroed) buffer of `len` elements.
+    pub fn buffer<T: Pod>(&self, flags: MemFlags, len: usize) -> Result<Buffer<T>, ClError> {
+        Buffer::create(flags, len, self.inner.id)
+    }
+
+    /// `clCreateBuffer` with `CL_MEM_COPY_HOST_PTR`: initialized from host
+    /// data at creation time (copied through the transfer engine, so the
+    /// copy is visible in the statistics).
+    pub fn buffer_from<T: Pod>(&self, flags: MemFlags, data: &[T]) -> Result<Buffer<T>, ClError> {
+        let buf = Buffer::create(flags.union(MemFlags::COPY_HOST_PTR), data.len(), self.inner.id)?;
+        let bytes = unsafe {
+            std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+        };
+        self.inner.transfer.write_buffer(&buf.inner.region, 0, bytes)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_from_initializes_contents() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let b = ctx.buffer_from(MemFlags::READ_ONLY, &[1u32, 2, 3]).unwrap();
+        let v = b.view();
+        assert_eq!((v.get(0), v.get(1), v.get(2)), (1, 2, 3));
+        assert!(b.flags().contains(MemFlags::COPY_HOST_PTR));
+    }
+
+    #[test]
+    fn contexts_have_distinct_ids() {
+        let d = Device::native_cpu(1).unwrap();
+        let a = Context::new(d.clone());
+        let b = Context::new(d);
+        assert_ne!(a.inner.id, b.inner.id);
+    }
+
+    #[test]
+    fn plain_buffer_is_zeroed() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let b = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
+        assert!((0..16).all(|i| b.view().get(i) == 0.0));
+    }
+}

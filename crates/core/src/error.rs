@@ -1,0 +1,80 @@
+//! Runtime error codes, mirroring OpenCL's `CL_*` error family.
+
+use cl_mem::{FlagError, MemError};
+
+/// Errors surfaced by the runtime's host API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClError {
+    /// `CL_INVALID_WORK_GROUP_SIZE`: local size does not divide global size
+    /// (an OpenCL 1.x requirement), or is zero.
+    InvalidWorkGroupSize {
+        global: [usize; 3],
+        local: [usize; 3],
+    },
+    /// `CL_INVALID_GLOBAL_WORK_SIZE`: a zero global dimension.
+    InvalidGlobalWorkSize,
+    /// `CL_INVALID_VALUE`: bad flags at buffer creation.
+    InvalidFlags(FlagError),
+    /// `CL_MEM_OBJECT_*` family: buffer subsystem failure.
+    Mem(MemError),
+    /// `CL_INVALID_BUFFER_SIZE`: size in elements would overflow bytes.
+    BufferTooLarge,
+    /// The device failed to start (e.g. thread pool).
+    DeviceUnavailable(String),
+    /// Buffer belongs to a different context than the queue.
+    WrongContext,
+}
+
+impl std::fmt::Display for ClError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClError::InvalidWorkGroupSize { global, local } => write!(
+                f,
+                "invalid workgroup size: local {local:?} must divide global {global:?}"
+            ),
+            ClError::InvalidGlobalWorkSize => write!(f, "global work size must be nonzero"),
+            ClError::InvalidFlags(e) => write!(f, "invalid buffer flags: {e}"),
+            ClError::Mem(e) => write!(f, "memory error: {e}"),
+            ClError::BufferTooLarge => write!(f, "buffer size overflows"),
+            ClError::DeviceUnavailable(s) => write!(f, "device unavailable: {s}"),
+            ClError::WrongContext => write!(f, "object used with the wrong context"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+impl From<MemError> for ClError {
+    fn from(e: MemError) -> Self {
+        ClError::Mem(e)
+    }
+}
+
+impl From<FlagError> for ClError {
+    fn from(e: FlagError) -> Self {
+        ClError::InvalidFlags(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClError::InvalidWorkGroupSize {
+            global: [100, 1, 1],
+            local: [7, 1, 1],
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains('7'));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: ClError = MemError::ZeroSize.into();
+        assert!(matches!(e, ClError::Mem(MemError::ZeroSize)));
+        let e: ClError = FlagError::ConflictingAccess.into();
+        assert!(matches!(e, ClError::InvalidFlags(_)));
+    }
+}

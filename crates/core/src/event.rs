@@ -1,0 +1,76 @@
+//! Events with profiling information (`cl_event` +
+//! `clGetEventProfilingInfo` analog).
+
+/// The command class an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    NdRangeKernel,
+    ReadBuffer,
+    WriteBuffer,
+    MapBuffer,
+    UnmapBuffer,
+}
+
+/// A completed command's record. All enqueue calls in this runtime are
+/// blocking (the paper's measurement methodology, Section III-A), so events
+/// are always in the `CL_COMPLETE` state and exist to carry timing.
+#[derive(Debug, Clone)]
+pub struct Event {
+    kind: CommandKind,
+    /// Command duration in seconds — wall-clock for native devices, modeled
+    /// for modeled devices.
+    duration_s: f64,
+    /// Workgroups executed (kernel commands).
+    pub groups: u64,
+    /// Barrier phases executed across all groups.
+    pub barriers: u64,
+    /// Total workitems executed.
+    pub items: u64,
+    /// Bytes moved (transfer commands).
+    pub bytes: u64,
+    /// True when `duration` is modeled rather than measured.
+    pub modeled: bool,
+}
+
+impl Event {
+    pub(crate) fn new(kind: CommandKind, duration_s: f64, modeled: bool) -> Self {
+        Event {
+            kind,
+            duration_s,
+            groups: 0,
+            barriers: 0,
+            items: 0,
+            bytes: 0,
+            modeled,
+        }
+    }
+
+    /// Command class.
+    pub fn kind(&self) -> CommandKind {
+        self.kind
+    }
+
+    /// `COMMAND_END − COMMAND_START`, in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Duration as a [`std::time::Duration`].
+    pub fn duration(&self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.duration_s.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_carries_duration() {
+        let e = Event::new(CommandKind::NdRangeKernel, 0.5, true);
+        assert_eq!(e.duration_s(), 0.5);
+        assert_eq!(e.duration(), std::time::Duration::from_millis(500));
+        assert!(e.modeled);
+        assert_eq!(e.kind(), CommandKind::NdRangeKernel);
+    }
+}

@@ -1,0 +1,334 @@
+//! The kernel programming model: workgroup bodies, workitems, barriers,
+//! local memory.
+//!
+//! A CPU OpenCL implementation cannot afford one thread per workitem, so it
+//! serializes the workitems of a group into loops, splitting the kernel at
+//! barriers ("loop fission" / workitem coalescing — Stratton et al., SnuCL).
+//! This runtime exposes that lowered form directly: a kernel implements
+//! [`Kernel::run_group`], iterating workitems with [`GroupCtx::for_each`]
+//! and marking barrier phase boundaries with [`GroupCtx::barrier`]. Because
+//! `for_each` completes all workitems of the phase before returning, barrier
+//! semantics hold by construction.
+
+use perf_model::KernelProfile;
+
+use crate::buffer::Pod;
+use crate::ndrange::ResolvedRange;
+
+/// One workitem's identity within a launch (`get_global_id` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    pub(crate) global: [usize; 3],
+    pub(crate) local: [usize; 3],
+    pub(crate) local_size: [usize; 3],
+    pub(crate) global_size: [usize; 3],
+}
+
+impl WorkItem {
+    /// `get_global_id(dim)`.
+    #[inline]
+    pub fn global_id(&self, dim: usize) -> usize {
+        self.global[dim]
+    }
+
+    /// `get_local_id(dim)`.
+    #[inline]
+    pub fn local_id(&self, dim: usize) -> usize {
+        self.local[dim]
+    }
+
+    /// Flattened global id (x fastest).
+    #[inline]
+    pub fn global_linear(&self) -> usize {
+        self.global[0]
+            + self.global_size[0] * (self.global[1] + self.global_size[1] * self.global[2])
+    }
+
+    /// Flattened local id (x fastest).
+    #[inline]
+    pub fn local_linear(&self) -> usize {
+        self.local[0] + self.local_size[0] * (self.local[1] + self.local_size[1] * self.local[2])
+    }
+}
+
+/// Workgroup-local memory (`__local` analog), allocated per group.
+pub struct LocalBuf<T: Pod> {
+    data: Vec<T>,
+}
+
+impl<T: Pod + Default> LocalBuf<T> {
+    fn new(len: usize) -> Self {
+        LocalBuf {
+            data: vec![T::default(); len],
+        }
+    }
+}
+
+impl<T: Pod> std::ops::Index<usize> for LocalBuf<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Pod> std::ops::IndexMut<usize> for LocalBuf<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T: Pod> LocalBuf<T> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole local buffer as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The whole local buffer as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// Per-group execution statistics the runtime aggregates into events.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct GroupStats {
+    pub(crate) barriers: u64,
+    pub(crate) local_bytes: u64,
+    pub(crate) items_run: u64,
+}
+
+/// The execution context of one workgroup.
+pub struct GroupCtx<'r> {
+    pub(crate) range: &'r ResolvedRange,
+    pub(crate) group: [usize; 3],
+    pub(crate) stats: GroupStats,
+}
+
+impl<'r> GroupCtx<'r> {
+    pub(crate) fn new(range: &'r ResolvedRange, group: [usize; 3]) -> Self {
+        GroupCtx {
+            range,
+            group,
+            stats: GroupStats::default(),
+        }
+    }
+
+    /// `get_group_id(dim)`.
+    #[inline]
+    pub fn group_id(&self, dim: usize) -> usize {
+        self.group[dim]
+    }
+
+    /// `get_local_size(dim)`.
+    #[inline]
+    pub fn local_size(&self, dim: usize) -> usize {
+        self.range.local[dim]
+    }
+
+    /// `get_num_groups(dim)`.
+    #[inline]
+    pub fn num_groups(&self, dim: usize) -> usize {
+        self.range.groups[dim]
+    }
+
+    /// `get_global_size(dim)`.
+    #[inline]
+    pub fn global_size(&self, dim: usize) -> usize {
+        self.range.global[dim]
+    }
+
+    /// Workitems in this group (flattened).
+    #[inline]
+    pub fn group_items(&self) -> usize {
+        self.range.wg_size()
+    }
+
+    /// Run `body` once per workitem of this group, in local-id order
+    /// (x fastest). One barrier *phase*.
+    pub fn for_each(&mut self, mut body: impl FnMut(&WorkItem)) {
+        let local = self.range.local;
+        let base = [
+            self.group[0] * local[0],
+            self.group[1] * local[1],
+            self.group[2] * local[2],
+        ];
+        let mut items = 0u64;
+        for lz in 0..local[2] {
+            for ly in 0..local[1] {
+                for lx in 0..local[0] {
+                    let wi = WorkItem {
+                        global: [base[0] + lx, base[1] + ly, base[2] + lz],
+                        local: [lx, ly, lz],
+                        local_size: local,
+                        global_size: self.range.global,
+                    };
+                    body(&wi);
+                    items += 1;
+                }
+            }
+        }
+        self.stats.items_run += items;
+    }
+
+    /// Run `body` once per *step* of `width` consecutive workitems (1-D
+    /// ranges only) — the shape the implicit vectorizer produces. `body`
+    /// receives the global id of the first item of the step; a scalar tail
+    /// call receives single items.
+    pub fn for_each_simd(
+        &mut self,
+        width: usize,
+        mut body: impl FnMut(usize),
+        mut tail: impl FnMut(&WorkItem),
+    ) {
+        assert!(width >= 1);
+        let local = self.range.local;
+        debug_assert!(local[1] == 1 && local[2] == 1, "SIMD path is 1-D");
+        let base = self.group[0] * local[0];
+        let main = local[0] - local[0] % width;
+        let mut lx = 0;
+        while lx < main {
+            body(base + lx);
+            lx += width;
+        }
+        while lx < local[0] {
+            let wi = WorkItem {
+                global: [base + lx, 0, 0],
+                local: [lx, 0, 0],
+                local_size: local,
+                global_size: self.range.global,
+            };
+            tail(&wi);
+            lx += 1;
+        }
+        self.stats.items_run += local[0] as u64;
+    }
+
+    /// `barrier(CLK_LOCAL_MEM_FENCE)`: marks a phase boundary. All workitems
+    /// of the previous [`GroupCtx::for_each`] have completed, so the barrier
+    /// is satisfied by construction; the call records the synchronization
+    /// for the runtime's statistics (and for the modeled devices, which
+    /// charge it).
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Allocate zeroed workgroup-local memory (`__local T[len]`).
+    pub fn local<T: Pod + Default>(&mut self, len: usize) -> LocalBuf<T> {
+        self.stats.local_bytes += (len * std::mem::size_of::<T>()) as u64;
+        LocalBuf::new(len)
+    }
+}
+
+/// A compiled kernel (`cl_kernel` analog). Argument binding happens at
+/// construction — kernels are structs holding the buffers they operate on,
+/// the moral equivalent of `clSetKernelArg` having been called.
+pub trait Kernel: Send + Sync {
+    /// Kernel function name.
+    fn name(&self) -> &str;
+
+    /// Scalar workgroup body.
+    fn run_group(&self, g: &mut GroupCtx);
+
+    /// Optional SIMD workgroup body, processing `width` workitems per lane
+    /// step (the Intel-style implicit vectorization). Returns `false` if the
+    /// kernel has no SIMD form for `width`, in which case the runtime falls
+    /// back to [`Kernel::run_group`].
+    fn run_group_simd(&self, _g: &mut GroupCtx, _width: usize) -> bool {
+        false
+    }
+
+    /// Static characteristics for the analytic models and reports.
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::compute(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndrange::NDRange;
+
+    fn range_2d() -> ResolvedRange {
+        NDRange::d2(8, 4).local2(4, 2).resolve(64).unwrap()
+    }
+
+    #[test]
+    fn for_each_visits_group_items_in_order() {
+        let r = range_2d();
+        let mut g = GroupCtx::new(&r, [1, 1, 0]);
+        let mut seen = Vec::new();
+        g.for_each(|wi| seen.push((wi.global_id(0), wi.global_id(1), wi.local_linear())));
+        assert_eq!(seen.len(), 8);
+        // Group (1,1) of local (4,2) covers globals x in 4..8, y in 2..4.
+        assert_eq!(seen[0], (4, 2, 0));
+        assert_eq!(seen[7], (7, 3, 7));
+        assert_eq!(g.stats.items_run, 8);
+    }
+
+    #[test]
+    fn workitem_ids_are_consistent() {
+        let r = range_2d();
+        let mut g = GroupCtx::new(&r, [0, 0, 0]);
+        g.for_each(|wi| {
+            assert_eq!(wi.global_id(0), wi.local_id(0));
+            assert_eq!(wi.global_id(1), wi.local_id(1));
+            let lin = wi.global_linear();
+            assert_eq!(lin, wi.global_id(0) + 8 * wi.global_id(1));
+        });
+    }
+
+    #[test]
+    fn simd_path_covers_all_items_with_tail() {
+        let r = NDRange::d1(30).local1(10).resolve(64).unwrap();
+        let mut g = GroupCtx::new(&r, [2, 0, 0]);
+        let mut vec_starts = Vec::new();
+        let mut tail_ids = Vec::new();
+        g.for_each_simd(
+            4,
+            |base| vec_starts.push(base),
+            |wi| tail_ids.push(wi.global_id(0)),
+        );
+        assert_eq!(vec_starts, vec![20, 24]);
+        assert_eq!(tail_ids, vec![28, 29]);
+        assert_eq!(g.stats.items_run, 10);
+    }
+
+    #[test]
+    fn barrier_and_local_are_recorded() {
+        let r = range_2d();
+        let mut g = GroupCtx::new(&r, [0, 0, 0]);
+        let mut tile: LocalBuf<f32> = g.local(64);
+        tile[3] = 7.0;
+        assert_eq!(tile[3], 7.0);
+        assert_eq!(tile.len(), 64);
+        g.barrier();
+        g.barrier();
+        assert_eq!(g.stats.barriers, 2);
+        assert_eq!(g.stats.local_bytes, 256);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let r = range_2d();
+        let g = GroupCtx::new(&r, [1, 0, 0]);
+        assert_eq!(g.local_size(0), 4);
+        assert_eq!(g.num_groups(0), 2);
+        assert_eq!(g.num_groups(1), 2);
+        assert_eq!(g.global_size(1), 4);
+        assert_eq!(g.group_items(), 8);
+        assert_eq!(g.group_id(0), 1);
+    }
+}

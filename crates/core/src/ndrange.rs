@@ -1,0 +1,267 @@
+//! NDRange geometry: global/local work sizes in up to three dimensions.
+
+use crate::error::ClError;
+
+/// The index space of a kernel launch, as passed to
+/// `clEnqueueNDRangeKernel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NDRange {
+    global: [usize; 3],
+    /// `None` reproduces passing NULL for `local_work_size`: the
+    /// implementation chooses (Section II-A).
+    local: Option<[usize; 3]>,
+    dims: usize,
+}
+
+impl NDRange {
+    /// One-dimensional range with implementation-chosen workgroup size.
+    pub fn d1(n: usize) -> Self {
+        NDRange {
+            global: [n, 1, 1],
+            local: None,
+            dims: 1,
+        }
+    }
+
+    /// Two-dimensional range with implementation-chosen workgroup size.
+    pub fn d2(x: usize, y: usize) -> Self {
+        NDRange {
+            global: [x, y, 1],
+            local: None,
+            dims: 2,
+        }
+    }
+
+    /// Three-dimensional range.
+    pub fn d3(x: usize, y: usize, z: usize) -> Self {
+        NDRange {
+            global: [x, y, z],
+            local: None,
+            dims: 3,
+        }
+    }
+
+    /// Set an explicit 1-D workgroup size.
+    pub fn local1(mut self, l: usize) -> Self {
+        self.local = Some([l, 1, 1]);
+        self
+    }
+
+    /// Set an explicit 2-D workgroup size.
+    pub fn local2(mut self, lx: usize, ly: usize) -> Self {
+        self.local = Some([lx, ly, 1]);
+        self
+    }
+
+    /// Set an explicit 3-D workgroup size.
+    pub fn local3(mut self, lx: usize, ly: usize, lz: usize) -> Self {
+        self.local = Some([lx, ly, lz]);
+        self
+    }
+
+    /// Number of dimensions (1–3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Global size per dimension.
+    pub fn global(&self) -> [usize; 3] {
+        self.global
+    }
+
+    /// Requested local size, if any.
+    pub fn local(&self) -> Option<[usize; 3]> {
+        self.local
+    }
+
+    /// Total workitems.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Resolve the launch: validate divisibility and pick a workgroup size
+    /// when the program left it NULL (see [`NDRange::resolve_with`] with no
+    /// group-count target).
+    pub fn resolve(&self, default_wg: usize) -> Result<ResolvedRange, ClError> {
+        self.resolve_with(default_wg, usize::MAX)
+    }
+
+    /// Resolve the launch with a NULL-size heuristic that also targets at
+    /// least `target_groups` workgroups.
+    ///
+    /// CPU runtimes of the paper's era (Intel's TBB-based implementation)
+    /// pick an implementation-defined size when `local_work_size` is NULL:
+    /// large enough to amortize dispatch, but small enough that every
+    /// hardware thread gets several groups. We mirror that: the largest
+    /// divisor of the innermost global size not exceeding
+    /// `min(default_wg, ⌈global/target_groups⌉)`. This is deliberately
+    /// *not* always optimal — the paper's Figure 3 shows NULL
+    /// underperforming a tuned explicit size.
+    pub fn resolve_with(
+        &self,
+        default_wg: usize,
+        target_groups: usize,
+    ) -> Result<ResolvedRange, ClError> {
+        if self.global.iter().take(self.dims).any(|&g| g == 0) {
+            return Err(ClError::InvalidGlobalWorkSize);
+        }
+        let local = match self.local {
+            Some(l) => {
+                if l.iter().any(|&x| x == 0)
+                    || (0..3).any(|d| self.global[d] % l[d].max(1) != 0)
+                    || l.iter().take(self.dims).any(|&x| x == 0)
+                {
+                    return Err(ClError::InvalidWorkGroupSize {
+                        global: self.global,
+                        local: l,
+                    });
+                }
+                l
+            }
+            None => {
+                let cap = if target_groups == usize::MAX {
+                    default_wg.max(1)
+                } else {
+                    default_wg
+                        .min(self.global[0].div_ceil(target_groups.max(1)))
+                        .max(1)
+                };
+                let inner = largest_divisor_at_most(self.global[0], cap);
+                [inner, 1, 1]
+            }
+        };
+        let groups = [
+            self.global[0] / local[0],
+            self.global[1] / local[1],
+            self.global[2] / local[2],
+        ];
+        Ok(ResolvedRange {
+            global: self.global,
+            local,
+            groups,
+            dims: self.dims,
+        })
+    }
+}
+
+/// Largest divisor of `n` that is ≤ `cap` (≥ 1).
+fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    let cap = cap.min(n);
+    (1..=cap).rev().find(|d| n % d == 0).unwrap_or(1)
+}
+
+/// A validated launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedRange {
+    pub global: [usize; 3],
+    pub local: [usize; 3],
+    pub groups: [usize; 3],
+    pub dims: usize,
+}
+
+impl ResolvedRange {
+    /// Total workgroups.
+    pub fn n_groups(&self) -> usize {
+        self.groups[0] * self.groups[1] * self.groups[2]
+    }
+
+    /// Workitems per workgroup.
+    pub fn wg_size(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Total workitems.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Convert a linear group index into a 3-D group id (x fastest).
+    pub fn group_coords(&self, linear: usize) -> [usize; 3] {
+        let gx = linear % self.groups[0];
+        let rest = linear / self.groups[0];
+        let gy = rest % self.groups[1];
+        let gz = rest / self.groups[1];
+        [gx, gy, gz]
+    }
+
+    /// The equivalent flattened [`perf_model::Launch`] for the cost models.
+    pub fn launch(&self) -> perf_model::Launch {
+        perf_model::Launch::new(self.total_items(), self.wg_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_local_must_divide_global() {
+        let r = NDRange::d1(100).local1(10).resolve(64).unwrap();
+        assert_eq!(r.local, [10, 1, 1]);
+        assert_eq!(r.n_groups(), 10);
+        assert!(matches!(
+            NDRange::d1(100).local1(7).resolve(64),
+            Err(ClError::InvalidWorkGroupSize { .. })
+        ));
+    }
+
+    #[test]
+    fn null_local_picks_divisor_at_most_default() {
+        let r = NDRange::d1(10_000).resolve(512).unwrap();
+        assert!(r.local[0] <= 512);
+        assert_eq!(10_000 % r.local[0], 0);
+        assert_eq!(r.local[0], 500); // largest divisor of 10000 ≤ 512
+    }
+
+    #[test]
+    fn null_local_on_prime_size_degrades_to_one() {
+        let r = NDRange::d1(9973).resolve(512).unwrap();
+        assert_eq!(r.local[0], 1);
+    }
+
+    #[test]
+    fn two_dimensional_geometry() {
+        let r = NDRange::d2(800, 1600).local2(16, 16).resolve(512).unwrap();
+        assert_eq!(r.wg_size(), 256);
+        assert_eq!(r.groups, [50, 100, 1]);
+        assert_eq!(r.n_groups(), 5000);
+        assert_eq!(r.total_items(), 800 * 1600);
+    }
+
+    #[test]
+    fn group_coords_roundtrip() {
+        let r = NDRange::d2(8, 6).local2(2, 2).resolve(64).unwrap();
+        assert_eq!(r.groups, [4, 3, 1]);
+        let mut seen = std::collections::HashSet::new();
+        for lin in 0..r.n_groups() {
+            let c = r.group_coords(lin);
+            assert!(c[0] < 4 && c[1] < 3 && c[2] < 1 + 1);
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn zero_global_rejected() {
+        assert!(matches!(
+            NDRange::d1(0).resolve(64),
+            Err(ClError::InvalidGlobalWorkSize)
+        ));
+    }
+
+    #[test]
+    fn zero_local_rejected() {
+        assert!(matches!(
+            NDRange::d1(16).local1(0).resolve(64),
+            Err(ClError::InvalidWorkGroupSize { .. })
+        ));
+    }
+
+    #[test]
+    fn launch_flattens() {
+        let r = NDRange::d2(64, 64).local2(8, 8).resolve(64).unwrap();
+        let l = r.launch();
+        assert_eq!(l.n_items, 4096);
+        assert_eq!(l.wg_size, 64);
+    }
+}

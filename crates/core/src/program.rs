@@ -1,0 +1,190 @@
+//! Programs and build options (`clCreateProgram` / `clBuildProgram`
+//! analog).
+//!
+//! Kernels in this runtime are Rust types, not OpenCL C strings, so a
+//! [`Program`] is a named registry of kernel factories. What it adds over
+//! constructing kernels directly is **build options** — the compiler flags
+//! whose performance effects the paper discusses:
+//!
+//! * `-cl-opt-disable` — turn the implicit vectorizer off (the ablation
+//!   knob of Section III-F);
+//! * `-cl-fast-relaxed-math` — the relaxed-FP mode under which loop
+//!   reductions become vectorizable (Figure 11's missing flag).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::ClError;
+use crate::kernel::Kernel;
+
+/// Parsed `clBuildProgram` options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildOptions {
+    /// `-cl-opt-disable`: disable the implicit (cross-workitem) vectorizer.
+    pub opt_disable: bool,
+    /// `-cl-fast-relaxed-math`: allow FP reassociation (reduction
+    /// vectorization in the loop-vectorizer model).
+    pub fast_relaxed_math: bool,
+}
+
+impl BuildOptions {
+    /// Parse a `clBuildProgram`-style option string. Unknown options are
+    /// rejected, as a conformant implementation must.
+    pub fn parse(options: &str) -> Result<Self, ClError> {
+        let mut out = BuildOptions::default();
+        for tok in options.split_whitespace() {
+            match tok {
+                "-cl-opt-disable" => out.opt_disable = true,
+                "-cl-fast-relaxed-math" => out.fast_relaxed_math = true,
+                // Accepted-and-ignored flags real programs pass.
+                "-cl-mad-enable" | "-cl-no-signed-zeros" | "-w" => {}
+                other => {
+                    return Err(ClError::DeviceUnavailable(format!(
+                        "unknown build option: {other}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The vectorizer policy these options imply for the loop-vectorizer
+    /// model (`cl-vec`).
+    pub fn vectorizer_policy(&self) -> cl_vec::VectorizerPolicy {
+        cl_vec::VectorizerPolicy {
+            width: if self.opt_disable { 1 } else { 4 },
+            relaxed_fp_reductions: self.fast_relaxed_math,
+            if_conversion: false,
+        }
+    }
+}
+
+type KernelFactory = Box<dyn Fn() -> Arc<dyn Kernel> + Send + Sync>;
+
+/// A built program: named kernels plus the options they were built with.
+pub struct Program {
+    kernels: HashMap<String, KernelFactory>,
+    options: BuildOptions,
+}
+
+impl Program {
+    /// Start an empty program built with `options`
+    /// (`clBuildProgram(options)`).
+    pub fn build(options: &str) -> Result<Self, ClError> {
+        Ok(Program {
+            kernels: HashMap::new(),
+            options: BuildOptions::parse(options)?,
+        })
+    }
+
+    /// Register a kernel factory under its `__kernel` name.
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn Kernel> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.kernels.insert(name.into(), Box::new(factory));
+        self
+    }
+
+    /// `clCreateKernel`: instantiate a kernel by name.
+    pub fn create_kernel(&self, name: &str) -> Result<Arc<dyn Kernel>, ClError> {
+        self.kernels
+            .get(name)
+            .map(|f| f())
+            .ok_or_else(|| ClError::DeviceUnavailable(format!("no kernel named {name}")))
+    }
+
+    /// Names of all kernels (`clCreateKernelsInProgram`).
+    pub fn kernel_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.kernels.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The options this program was built with.
+    pub fn options(&self) -> BuildOptions {
+        self.options
+    }
+
+    /// Whether kernels from this program should use the device's implicit
+    /// vectorizer.
+    pub fn vectorize(&self) -> bool {
+        !self.options.opt_disable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GroupCtx;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            g.for_each(|_| {});
+        }
+    }
+
+    #[test]
+    fn options_parse_the_documented_flags() {
+        let o = BuildOptions::parse("-cl-fast-relaxed-math -cl-mad-enable").unwrap();
+        assert!(o.fast_relaxed_math);
+        assert!(!o.opt_disable);
+        let o = BuildOptions::parse("-cl-opt-disable").unwrap();
+        assert!(o.opt_disable);
+        assert!(BuildOptions::parse("").unwrap() == BuildOptions::default());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(BuildOptions::parse("-cl-does-not-exist").is_err());
+    }
+
+    #[test]
+    fn relaxed_math_unlocks_reduction_vectorization() {
+        // The Figure 11 loop under each option set.
+        use cl_vec::{ArrayId, IndexExpr, Loop, LoopVectorizer, Op, Operand, Stmt, Temp, TripCount};
+        let fig11 = Loop::new(
+            TripCount::Constant(4),
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: ArrayId(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::AccUpdate {
+                    op: Op::Mul,
+                    value: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let strict = BuildOptions::parse("").unwrap().vectorizer_policy();
+        assert!(!LoopVectorizer::new(strict).analyze(&fig11).vectorized);
+        let relaxed = BuildOptions::parse("-cl-fast-relaxed-math")
+            .unwrap()
+            .vectorizer_policy();
+        assert!(LoopVectorizer::new(relaxed).analyze(&fig11).vectorized);
+    }
+
+    #[test]
+    fn program_registry_creates_kernels_by_name() {
+        let mut p = Program::build("").unwrap();
+        p.define("nop", || Arc::new(Nop));
+        assert_eq!(p.kernel_names(), vec!["nop"]);
+        let k = p.create_kernel("nop").unwrap();
+        assert_eq!(k.name(), "nop");
+        assert!(p.create_kernel("missing").is_err());
+        assert!(p.vectorize());
+    }
+
+    #[test]
+    fn opt_disable_turns_vectorization_off() {
+        let p = Program::build("-cl-opt-disable").unwrap();
+        assert!(!p.vectorize());
+        assert_eq!(p.options().vectorizer_policy().width, 1);
+    }
+}

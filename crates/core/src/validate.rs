@@ -1,0 +1,162 @@
+//! Disjoint-write validation — a debugging tool for the OpenCL memory
+//! contract.
+//!
+//! OpenCL makes concurrent writes by different workgroups to the same
+//! global-memory element undefined behaviour; this runtime inherits that
+//! contract (see [`crate::BufViewMut`]). A racy kernel usually *appears* to
+//! work. [`validate_disjoint_writes`] catches it deterministically: it
+//! executes the launch one workgroup at a time, diffs the observed buffer
+//! after each group, and reports any element written by two different
+//! groups.
+//!
+//! The check is O(groups × buffer bytes) — a test-time tool, not a
+//! production path (exactly like running a kernel under a race detector).
+
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, Pod};
+use crate::error::ClError;
+use crate::kernel::{GroupCtx, Kernel};
+use crate::ndrange::NDRange;
+
+/// One detected write conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteConflict {
+    /// Index of the buffer (in the order passed to the validator).
+    pub buffer: usize,
+    /// Element index written twice.
+    pub index: usize,
+    /// Linear id of the first group observed writing it.
+    pub first_group: usize,
+    /// Linear id of the second group.
+    pub second_group: usize,
+}
+
+/// Execute `kernel` one workgroup at a time and verify that no element of
+/// any buffer in `watched` is written by more than one workgroup.
+///
+/// Returns all conflicts found (empty = the launch honours the contract).
+/// Writes that store a value bit-identical to the element's previous
+/// content are invisible to the diff and not reported — document your
+/// kernels accordingly.
+pub fn validate_disjoint_writes<T: Pod + PartialEq>(
+    kernel: &Arc<dyn Kernel>,
+    range: NDRange,
+    watched: &[&Buffer<T>],
+) -> Result<Vec<WriteConflict>, ClError> {
+    let resolved = range.resolve_with(512, usize::MAX)?;
+    let n_groups = resolved.n_groups();
+
+    // Snapshot every watched buffer and track the writing group per element.
+    let mut shadows: Vec<Vec<T>> = watched
+        .iter()
+        .map(|b| {
+            let v = b.view();
+            (0..b.len()).map(|i| v.get(i)).collect()
+        })
+        .collect();
+    let mut writer: Vec<Vec<Option<usize>>> =
+        watched.iter().map(|b| vec![None; b.len()]).collect();
+    let mut conflicts = Vec::new();
+
+    for linear in 0..n_groups {
+        let mut g = GroupCtx::new(&resolved, resolved.group_coords(linear));
+        kernel.run_group(&mut g);
+        for (bi, buf) in watched.iter().enumerate() {
+            let view = buf.view();
+            for i in 0..buf.len() {
+                let now = view.get(i);
+                if now != shadows[bi][i] {
+                    match writer[bi][i] {
+                        Some(first) => conflicts.push(WriteConflict {
+                            buffer: bi,
+                            index: i,
+                            first_group: first,
+                            second_group: linear,
+                        }),
+                        None => writer[bi][i] = Some(linear),
+                    }
+                    shadows[bi][i] = now;
+                }
+            }
+        }
+    }
+    Ok(conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::device::Device;
+    use crate::MemFlags;
+
+    struct Disjoint {
+        out: Buffer<f32>,
+    }
+    impl Kernel for Disjoint {
+        fn name(&self) -> &str {
+            "disjoint"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let out = self.out.view_mut();
+            g.for_each(|wi| out.set(wi.global_id(0), wi.global_id(0) as f32 + 1.0));
+        }
+    }
+
+    /// Every group also writes element 0 — the classic races-on-a-flag bug.
+    struct Racy {
+        out: Buffer<f32>,
+    }
+    impl Kernel for Racy {
+        fn name(&self) -> &str {
+            "racy"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let out = self.out.view_mut();
+            let group = g.group_id(0);
+            g.for_each(|wi| {
+                out.set(wi.global_id(0), wi.global_id(0) as f32 + 1.0);
+                if wi.local_id(0) == 0 {
+                    out.set(0, group as f32 + 100.0);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn clean_kernel_passes() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(Disjoint { out: out.clone() });
+        let conflicts =
+            validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
+        assert!(conflicts.is_empty(), "{conflicts:?}");
+    }
+
+    #[test]
+    fn racy_kernel_is_caught_with_the_culprit_groups() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(Racy { out: out.clone() });
+        let conflicts =
+            validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
+        assert!(!conflicts.is_empty());
+        let c = &conflicts[0];
+        assert_eq!(c.index, 0, "{c:?}");
+        assert_ne!(c.first_group, c.second_group);
+        // 8 groups write element 0 with distinct values; the first observed
+        // writer is legal, the remaining 7 conflict.
+        assert_eq!(conflicts.len(), 7, "{conflicts:?}");
+    }
+
+    #[test]
+    fn single_group_launches_cannot_conflict() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let out = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(Racy { out: out.clone() });
+        let conflicts =
+            validate_disjoint_writes(&k, NDRange::d1(16).local1(16), &[&out]).unwrap();
+        assert!(conflicts.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--full] [--native] [--out DIR] [--only figN]
+//!
+//!   --full     use the paper's full problem sizes (default: scaled down)
+//!   --native   also run wall-clock measurements on this host
+//!   --out DIR  output directory (default: results)
+//!   --only ID  run a single experiment, e.g. --only fig6
+//! ```
+//!
+//! Writes one Markdown + CSV file per figure, the tables, and a combined
+//! `EXPERIMENTS.generated.md`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cl_harness::{all_figures, figures, tables, Config, Figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cfg.quick = false,
+            "--native" => cfg.native = true,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args.get(i).expect("--only needs an id").clone());
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--full] [--native] [--out DIR] [--only figN]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    eprintln!(
+        "repro: plane = {}{}, sizes = {}",
+        "modeled",
+        if cfg.native { " + native" } else { "" },
+        if cfg.quick { "quick" } else { "full (paper)" }
+    );
+
+    let figures: Vec<Figure> = match &only {
+        Some(id) => vec![run_one(id, &cfg)],
+        None => {
+            let mut figs = all_figures(&cfg);
+            figs.push(figures::extra::vectorizer_ablation(&cfg));
+            figs.push(figures::extra::occupancy_figure(&cfg));
+            figs.push(figures::extra::scheduling_ablation(&cfg));
+            figs
+        }
+    };
+
+    let mut combined = String::new();
+    combined.push_str("# Generated experiment results\n\n");
+    combined.push_str(&format!(
+        "Configuration: {} sizes{}.\n\n",
+        if cfg.quick { "quick" } else { "full paper" },
+        if cfg.native {
+            ", with native wall-clock series"
+        } else {
+            ""
+        }
+    ));
+
+    if only.is_none() {
+        let t = tables::all_tables();
+        fs::write(out_dir.join("tables.md"), &t).expect("write tables");
+        combined.push_str(&t);
+        eprintln!("wrote {}", out_dir.join("tables.md").display());
+    }
+
+    for fig in &figures {
+        let md = fig.to_markdown();
+        fs::write(out_dir.join(format!("{}.md", fig.id)), &md).expect("write figure md");
+        fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv()).expect("write figure csv");
+        combined.push_str(&md);
+        eprintln!("wrote {}/{}.md (+ .csv)", out_dir.display(), fig.id);
+    }
+
+    fs::write(out_dir.join("EXPERIMENTS.generated.md"), combined).expect("write combined");
+    eprintln!("wrote {}", out_dir.join("EXPERIMENTS.generated.md").display());
+}
+
+fn run_one(id: &str, cfg: &Config) -> Figure {
+    match id {
+        "fig1" => figures::fig1::run(cfg),
+        "fig2" => figures::fig2::run(cfg),
+        "fig3" => figures::fig3::run(cfg),
+        "fig4" => figures::fig4::run(cfg),
+        "fig5" => figures::fig5::run(cfg),
+        "fig6" => figures::fig6::run(cfg),
+        "fig7" => figures::fig7::run(cfg),
+        "fig8" => figures::fig8::run(cfg),
+        "fig9" => figures::fig9::run(cfg),
+        "fig10" => figures::fig10::run(cfg),
+        "fig11" => figures::fig11::run(cfg),
+        "extra-vectorizer" => figures::extra::vectorizer_ablation(cfg),
+        "extra-occupancy" => figures::extra::occupancy_figure(cfg),
+        "extra-scheduling" => figures::extra::scheduling_ablation(cfg),
+        other => {
+            eprintln!(
+                "unknown experiment id: {other} (expected fig1..fig11 or extra-vectorizer/\
+                 extra-occupancy/extra-scheduling)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 1 (+ Table IV): Square and Vectoraddition throughput with 1×,
+//! 10×, 100×, 1000× of the work coalesced into each workitem, on CPU and
+//! GPU.
+//!
+//! Paper's shape: CPU throughput *rises* with coalescing (less per-workitem
+//! scheduling overhead, up to ~4-5×); GPU throughput *falls* (serialized
+//! fat workitems starve warp-level TLP).
+
+use cl_kernels::registry::{table4_rows, COALESCE_FACTORS};
+
+use crate::measure::Config;
+use crate::profiles;
+use crate::report::{Figure, Series};
+
+use super::{cpu, gpu, null_launch_cpu, null_launch_gpu};
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig1",
+        "Square/Vectoradd throughput vs workload per workitem (normalized to base)",
+    );
+    let cpu = cpu();
+    let gpu = gpu();
+
+    // Series per factor per device, x = workload label — the figure's bars.
+    for device in ["CPU", "GPU"] {
+        for &factor in &COALESCE_FACTORS {
+            let label = if factor == 1 {
+                format!("base({device})")
+            } else {
+                format!("{factor}({device})")
+            };
+            fig.series.push(Series::new(label));
+        }
+    }
+
+    // Model-only sweep: evaluation is O(1) per point, so the paper's full
+    // Table IV sizes are used regardless of quick mode.
+    let _ = cfg;
+    for (label, counts) in table4_rows() {
+        let base_items = counts[0];
+        let profile_of = |k: usize| {
+            if label.starts_with("Square") {
+                profiles::square(k)
+            } else {
+                profiles::vectoradd(k)
+            }
+        };
+
+        let t_cpu_base = cpu.kernel_time(&profile_of(1), null_launch_cpu(base_items));
+        let t_gpu_base = gpu.kernel_time(&profile_of(1), null_launch_gpu(base_items));
+        for (&factor, &n_items) in COALESCE_FACTORS.iter().zip(&counts) {
+            // Work per workitem follows the paper's Table IV counts (the
+            // smallest inputs floor at 100 workitems).
+            let k = (base_items / n_items).max(1);
+            let t_cpu = cpu.kernel_time(&profile_of(k), null_launch_cpu(n_items));
+            let t_gpu = gpu.kernel_time(&profile_of(k), null_launch_gpu(n_items));
+            let (cpu_label, gpu_label) = if factor == 1 {
+                ("base(CPU)".to_string(), "base(GPU)".to_string())
+            } else {
+                (format!("{factor}(CPU)"), format!("{factor}(GPU)"))
+            };
+            fig.series
+                .iter_mut()
+                .find(|s| s.label == cpu_label)
+                .unwrap()
+                .push(label, t_cpu_base / t_cpu);
+            fig.series
+                .iter_mut()
+                .find(|s| s.label == gpu_label)
+                .unwrap()
+                .push(label, t_gpu_base / t_gpu);
+        }
+    }
+
+    // The qualitative claims of Section III-B.1.
+    let cpu_1000 = fig.series("1000(CPU)").unwrap();
+    let gpu_1000 = fig.series("1000(GPU)").unwrap();
+    let cpu_gain = mean(cpu_1000);
+    let gpu_loss = mean(gpu_1000);
+    fig.notes.push(format!(
+        "CPU mean speedup at 1000x coalescing: {cpu_gain:.2}x (paper: ~3-5x)"
+    ));
+    fig.notes.push(format!(
+        "GPU mean normalized throughput at 1000x: {gpu_loss:.2} (paper: large degradation)"
+    ));
+    fig
+}
+
+fn mean(s: &Series) -> f64 {
+    s.points.iter().map(|&(_, v)| v).sum::<f64>() / s.points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_improves_and_gpu_degrades_with_coalescing() {
+        let fig = run(&Config::default());
+        for (x, base) in &fig.series("base(CPU)").unwrap().points.clone() {
+            let v1000 = fig.series("1000(CPU)").unwrap().get(x).unwrap();
+            assert!(
+                v1000 > *base * 1.5,
+                "{x}: CPU 1000x {v1000} should beat base {base}"
+            );
+            let g1000 = fig.series("1000(GPU)").unwrap().get(x).unwrap();
+            assert!(
+                g1000 < 0.9,
+                "{x}: GPU 1000x {g1000} should degrade below base"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_gain_is_monotonic_in_factor() {
+        let fig = run(&Config::default());
+        for (x, _) in fig.series("base(CPU)").unwrap().points.clone() {
+            let v10 = fig.series("10(CPU)").unwrap().get(&x).unwrap();
+            let v100 = fig.series("100(CPU)").unwrap().get(&x).unwrap();
+            let v1000 = fig.series("1000(CPU)").unwrap().get(&x).unwrap();
+            assert!(v10 <= v100 + 1e-9 && v100 <= v1000 + 1e-9, "{x}: {v10} {v100} {v1000}");
+        }
+    }
+
+    #[test]
+    fn base_series_is_unity() {
+        let fig = run(&Config::default());
+        for (_, v) in &fig.series("base(CPU)").unwrap().points {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn has_seven_workloads_and_eight_series() {
+        let fig = run(&Config::default());
+        assert_eq!(fig.series.len(), 8);
+        assert_eq!(fig.series[0].points.len(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 11: the worked example — a loop whose body carries a true data
+//! dependence (`acc = acc·a[j] + b[j]` repeated). The OpenMP compiler must
+//! refuse to vectorize it (vectorization would reorder the dependent
+//! operations); the OpenCL compiler vectorizes the *same computation*
+//! anyway, because its lanes are different workitems, not loop iterations.
+//!
+//! This "figure" is a verdict table: the refusal reasons from the loop
+//! vectorizer next to the OpenCL vectorizer's acceptance.
+
+use cl_kernels::mbench;
+use cl_vec::VectorizerPolicy;
+
+use crate::measure::Config;
+use crate::report::{Figure, Series};
+
+pub fn run(_cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig11",
+        "Vectorization verdicts on the dependence-chain loop (1 = vectorized)",
+    );
+    let policy = VectorizerPolicy::default();
+    let benches = mbench::all();
+    let fig11_bench = &benches[1]; // MBench2 encodes the Figure 11 loop
+
+    let omp = fig11_bench.openmp_report(policy);
+    let ocl = fig11_bench.opencl_report(policy);
+
+    let mut s_omp = Series::new("OpenMP loop vectorizer");
+    s_omp.push("vectorized", if omp.vectorized { 1.0 } else { 0.0 });
+    s_omp.push("width", omp.width as f64);
+    let mut s_ocl = Series::new("OpenCL implicit vectorizer");
+    s_ocl.push("vectorized", if ocl.vectorized { 1.0 } else { 0.0 });
+    s_ocl.push("width", ocl.width as f64);
+    fig.series = vec![s_omp, s_ocl];
+
+    fig.notes.push(format!(
+        "OpenMP refusal reasons: {:?} — 'such a change of order might not be possible \
+         due to data dependencies' (paper Fig. 11).",
+        omp.reasons
+    ));
+    fig.notes.push(
+        "OpenCL: 'no dependency checks are required as in the case of traditional \
+         compilers' — lanes are workitems, independent by the NDRange contract."
+            .to_string(),
+    );
+    fig.notes.push(format!(
+        "Under a relaxed-FP policy (-fp-model fast analog) the same loop becomes a \
+         vectorizable reduction: {}.",
+        cl_vec::LoopVectorizer::new(VectorizerPolicy {
+            relaxed_fp_reductions: true,
+            ..Default::default()
+        })
+        .analyze(&(fig11_bench.omp_ir)())
+        .vectorized
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_vec::Reason;
+
+    #[test]
+    fn the_asymmetry_of_figure_11() {
+        let fig = run(&Config::default());
+        assert_eq!(
+            fig.series("OpenMP loop vectorizer").unwrap().get("vectorized"),
+            Some(0.0)
+        );
+        assert_eq!(
+            fig.series("OpenCL implicit vectorizer").unwrap().get("vectorized"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn refusal_is_the_loop_carried_scalar() {
+        let bench = &mbench::all()[1];
+        let r = bench.openmp_report(VectorizerPolicy::default());
+        assert!(r.reasons.contains(&Reason::LoopCarriedScalar), "{:?}", r.reasons);
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 2: Parboil kernels with 1×, 2×, 4× workload per workitem on the
+//! CPU. Paper's shape: modest gains everywhere except `MRI-FHD:RhoPhi`,
+//! which stays flat (its per-item work is already tiny relative to the
+//! total and the kernel is bandwidth-bound at these sizes).
+
+use crate::measure::Config;
+use crate::profiles;
+use crate::report::{Figure, Series};
+
+use super::{cpu, launch};
+
+struct ParboilCase {
+    label: &'static str,
+    items: usize,
+    wg: usize,
+    profile: fn(usize, &Config) -> perf_model::KernelProfile,
+}
+
+fn cases() -> Vec<ParboilCase> {
+    vec![
+        ParboilCase {
+            label: "CP: cenergy",
+            items: 64 * 512,
+            wg: 16 * 8,
+            profile: |k, cfg| profiles::cenergy(cfg.size(4096, 256), k),
+        },
+        ParboilCase {
+            label: "MRI-Q: computePhiMag",
+            items: 3072,
+            wg: 512,
+            profile: |k, _| profiles::phimag(k),
+        },
+        ParboilCase {
+            label: "MRI-Q: computeQ",
+            items: 32_768,
+            wg: 256,
+            profile: |k, cfg| profiles::mri_accum(cfg.size(2048, 128), k),
+        },
+        ParboilCase {
+            label: "MRI-FHD: computeQ",
+            items: 32_768,
+            wg: 256,
+            profile: |k, cfg| profiles::mri_accum(cfg.size(2048, 128), k),
+        },
+    ]
+}
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig2",
+        "Parboil throughput with 1x/2x/4x workload per workitem (CPU, normalized)",
+    );
+    let cpu = cpu();
+    for factor in [1usize, 2, 4] {
+        let label = if factor == 1 {
+            "base".to_string()
+        } else {
+            format!("{factor}X")
+        };
+        let mut s = Series::new(label);
+        for c in cases() {
+            let base_t = cpu.kernel_time(&(c.profile)(1, cfg), launch(c.items, c.wg));
+            // The coalesced port shrinks the workgroup with the global size
+            // (the Grewe/O'Boyle port keeps the *group count* constant so
+            // local still divides global).
+            let n = usize::max(c.items / factor, 1);
+            let wg = usize::max(c.wg / factor, 1);
+            let t = cpu.kernel_time(&(c.profile)(factor, cfg), launch(n, wg));
+            s.push(c.label, base_t / t);
+        }
+        fig.series.push(s);
+    }
+    fig.notes.push(
+        "Compute-bound Parboil kernels gain modestly from coalescing; the gain saturates \
+         because per-item work already dwarfs the scheduling overhead (paper Fig. 2)."
+            .to_string(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_never_hurts_on_cpu() {
+        let fig = run(&Config::default());
+        let base = fig.series("base").unwrap().clone();
+        for s in ["2X", "4X"] {
+            for (x, b) in &base.points {
+                let v = fig.series(s).unwrap().get(x).unwrap();
+                assert!(v >= *b * 0.99, "{s}/{x}: {v} vs base {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gains_are_modest_for_compute_heavy_kernels() {
+        // cenergy does thousands of flops per item: coalescing barely moves
+        // it (unlike Square in fig1).
+        let fig = run(&Config::default());
+        let v = fig.series("4X").unwrap().get("CP: cenergy").unwrap();
+        assert!(v < 1.5, "cenergy gain should be modest, got {v}");
+    }
+
+    #[test]
+    fn covers_four_kernels() {
+        let fig = run(&Config::default());
+        assert_eq!(fig.series[0].points.len(), 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! Figure 3 (+ Table V): workgroup-size sweep for the simple applications,
+//! CPU and GPU.
+//!
+//! Paper's shapes: Square/Vectoradd/MatrixmulNaive improve with larger
+//! groups on the CPU and saturate; NULL sits below the tuned peak; tiny
+//! groups collapse both devices (CPU: dispatch overhead; GPU: occupancy and
+//! lane waste); tiled Matrixmul peaks at 8×8 on the CPU but 16×16 on the
+//! GPU (cache vs scratchpad capacity).
+
+use cl_kernels::registry::{table5_rows, LocalSpec};
+use perf_model::Launch;
+
+use crate::measure::Config;
+use crate::profiles;
+use crate::report::{Figure, Series};
+
+use super::{cpu, gpu, null_launch_cpu, null_launch_gpu};
+
+/// Inner dimension used for both matrix multiplies (divisible by every
+/// Table V tile side).
+pub const MM_K: usize = 320;
+
+fn wg_of(spec: LocalSpec) -> Option<usize> {
+    match spec {
+        LocalSpec::Null => None,
+        LocalSpec::D1(n) => Some(n),
+        LocalSpec::D2(x, y) => Some(x * y),
+    }
+}
+
+struct Case {
+    x_label: String,
+    items: usize,
+    profile: Box<dyn Fn(LocalSpec) -> perf_model::KernelProfile>,
+}
+
+fn cases(cfg: &Config) -> Vec<(String, Vec<Case>)> {
+    // Model-only sweep: full Table II/V sizes regardless of quick mode.
+    let _ = cfg;
+    let shrink = 1;
+    let mut out = Vec::new();
+    for row in table5_rows() {
+        let mut cases = Vec::new();
+        match row.benchmark {
+            "Square" | "VectorAddition" => {
+                let sizes: &[usize] = if row.benchmark == "Square" {
+                    &[10_000, 1_000_000]
+                } else {
+                    &[110_000, 5_500_000]
+                };
+                let streaming = row.benchmark == "Square";
+                for (i, &n) in sizes.iter().enumerate() {
+                    cases.push(Case {
+                        x_label: format!("{}_{}", row.benchmark.to_lowercase(), i + 1),
+                        items: n / shrink,
+                        profile: Box::new(move |_| {
+                            if streaming {
+                                profiles::square(1)
+                            } else {
+                                profiles::vectoradd(1)
+                            }
+                        }),
+                    });
+                }
+            }
+            "Matrixmul" => {
+                for (i, (w, h)) in [(800usize, 1600usize), (1600, 3200)].iter().enumerate() {
+                    cases.push(Case {
+                        x_label: format!("matrixmul_{}", i + 1),
+                        items: (w * h) / shrink,
+                        profile: Box::new(|spec| {
+                            let t = match spec {
+                                LocalSpec::D2(x, _) => x,
+                                LocalSpec::D1(n) => n,
+                                LocalSpec::Null => 16,
+                            };
+                            profiles::matrixmul_tiled(MM_K, t)
+                        }),
+                    });
+                }
+            }
+            "MatrixmulNaive" => {
+                for (i, (w, h)) in [(800usize, 1600usize), (1600, 3200)].iter().enumerate() {
+                    cases.push(Case {
+                        x_label: format!("matrixmulnaive_{}", i + 1),
+                        items: (w * h) / shrink,
+                        profile: Box::new(|_| profiles::matrixmul_naive(MM_K)),
+                    });
+                }
+            }
+            "Blackscholes" => {
+                for (i, n) in [1280usize * 1280, 2560 * 2560].iter().enumerate() {
+                    cases.push(Case {
+                        x_label: format!("blackscholes_{}", i + 1),
+                        items: n / shrink,
+                        // Long per-workitem work: each item walks ~512
+                        // options (grid-stride), per the sample's structure.
+                        profile: Box::new(|_| profiles::blackscholes(512.0)),
+                    });
+                }
+            }
+            other => unreachable!("unknown Table V app {other}"),
+        }
+        out.push((row.benchmark.to_string(), cases));
+    }
+    out
+}
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig3",
+        "Application throughput vs workgroup size, CPU and GPU (normalized to base)",
+    );
+    let cpu = cpu();
+    let gpu = gpu();
+
+    let case_names = ["base", "case_1", "case_2", "case_3", "case_4"];
+    for device in ["CPU", "GPU"] {
+        for c in case_names {
+            fig.series.push(Series::new(format!("{c}({device})")));
+        }
+    }
+
+    for (row, cases_for_row) in table5_rows().into_iter().zip(cases(cfg)) {
+        let specs = [
+            row.base,
+            row.cases[0],
+            row.cases[1],
+            row.cases[2],
+            row.cases[3],
+        ];
+        for case in &cases_for_row.1 {
+            let time = |model_cpu: bool, spec: LocalSpec| -> f64 {
+                let profile = (case.profile)(spec);
+                let launch = match wg_of(spec) {
+                    Some(wg) => Launch::new(case.items, wg.min(case.items)),
+                    None if model_cpu => null_launch_cpu(case.items),
+                    None => null_launch_gpu(case.items),
+                };
+                if model_cpu {
+                    cpu.kernel_time(&profile, launch)
+                } else {
+                    gpu.kernel_time(&profile, launch)
+                }
+            };
+            let base_cpu = time(true, specs[0]);
+            let base_gpu = time(false, specs[0]);
+            for (name, &spec) in case_names.iter().zip(&specs) {
+                fig.series
+                    .iter_mut()
+                    .find(|s| s.label == format!("{name}(CPU)"))
+                    .unwrap()
+                    .push(&case.x_label, base_cpu / time(true, spec));
+                fig.series
+                    .iter_mut()
+                    .find(|s| s.label == format!("{name}(GPU)"))
+                    .unwrap()
+                    .push(&case.x_label, base_gpu / time(false, spec));
+            }
+        }
+    }
+
+    fig.notes.push(
+        "Square/Vectoradd: larger workgroups monotonically improve CPU throughput and \
+         saturate; NULL (base) sits below the explicit 1000 case (paper III-B.2)."
+            .to_string(),
+    );
+    fig.notes.push(
+        "Blackscholes: CPU flat across workgroup sizes, GPU strongly affected (paper Fig. 4)."
+            .to_string(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        run(&Config::default())
+    }
+
+    #[test]
+    fn tiny_workgroups_collapse_square_on_both_devices() {
+        let f = fig();
+        let c1 = f.series("case_1(CPU)").unwrap().get("square_2").unwrap();
+        assert!(c1 < 0.2, "CPU wg=1 should collapse, got {c1}");
+        // On the 10^6-item input the fixed launch overhead no longer floors
+        // the ratio; the GPU collapse is dramatic there.
+        let g1 = f.series("case_1(GPU)").unwrap().get("square_2").unwrap();
+        assert!(g1 < 0.2, "GPU wg=1 should collapse, got {g1}");
+    }
+
+    #[test]
+    fn explicit_large_wg_beats_null_on_cpu() {
+        let f = fig();
+        for x in ["square_1", "square_2", "vectoraddition_1"] {
+            let case4 = f.series("case_4(CPU)").unwrap().get(x).unwrap();
+            assert!(case4 > 1.0, "{x}: case_4 {case4} should beat NULL base");
+        }
+    }
+
+    #[test]
+    fn cpu_square_improves_monotonically_with_wg() {
+        let f = fig();
+        let vals: Vec<f64> = ["case_1(CPU)", "case_2(CPU)", "case_3(CPU)", "case_4(CPU)"]
+            .iter()
+            .map(|s| f.series(s).unwrap().get("square_2").unwrap())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]), "{vals:?}");
+    }
+
+    #[test]
+    fn matrixmul_cpu_peaks_at_8x8_gpu_at_16x16() {
+        let f = fig();
+        // CPU: case_4 is 8x8, base is 16x16 — 8x8 should win on CPU.
+        let cpu_8 = f.series("case_4(CPU)").unwrap().get("matrixmul_1").unwrap();
+        assert!(cpu_8 > 1.0, "CPU 8x8 should beat 16x16, got {cpu_8}");
+        // GPU: 16x16 (base = 1.0) should beat 8x8.
+        let gpu_8 = f.series("case_4(GPU)").unwrap().get("matrixmul_1").unwrap();
+        assert!(gpu_8 < 1.0, "GPU 8x8 should lose to 16x16, got {gpu_8}");
+    }
+
+    #[test]
+    fn blackscholes_cpu_flat_gpu_sensitive() {
+        let f = fig();
+        let cpu_1 = f.series("case_1(CPU)").unwrap().get("blackscholes_1").unwrap();
+        assert!(
+            (cpu_1 - 1.0).abs() < 0.15,
+            "CPU blackscholes should be near-flat at wg=1, got {cpu_1}"
+        );
+        let gpu_1 = f.series("case_1(GPU)").unwrap().get("blackscholes_1").unwrap();
+        assert!(gpu_1 < 0.5, "GPU blackscholes wg=1 should collapse, got {gpu_1}");
+    }
+}

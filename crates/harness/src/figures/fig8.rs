@@ -1,0 +1,87 @@
+//! Figure 8: Parboil data-transfer time with copy vs map APIs, host→device
+//! (upper) and device→host (lower), in milliseconds.
+//!
+//! Parboil kernel times dwarf their transfer times, so the paper reports
+//! raw transfer times instead of Equation-(1) throughput. Shape: mapping is
+//! uniformly faster; the gap scales with bytes moved.
+
+use perf_model::{CpuSpec, TransferModel};
+
+use crate::measure::Config;
+use crate::report::{Figure, Series};
+
+/// Transfer footprints of the three Parboil benchmarks (f32 counts), from
+/// their Table III launch geometries.
+fn footprints(cfg: &Config) -> Vec<(&'static str, usize, usize)> {
+    let atoms = cfg.size(4096, 256);
+    let ksamp = cfg.size(2048, 128);
+    vec![
+        // CP: atoms in, 64×512 grid out.
+        ("CP", atoms * 4 * 4, 64 * 512 * 4),
+        // MRI-Q: voxel coords + trajectory + phi in; Qr/Qi out.
+        (
+            "MRI-Q",
+            (3 * 32_768 + 3 * ksamp + 2 * 3072) * 4,
+            2 * 32_768 * 4,
+        ),
+        // MRI-FHD: adds the measured data and rho; FHr/FHi out.
+        (
+            "MRI-FHD",
+            (3 * 32_768 + 3 * ksamp + 4 * 3072) * 4,
+            2 * 32_768 * 4,
+        ),
+    ]
+}
+
+pub fn run(cfg: &Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig8",
+        "Parboil data-transfer time (ms): copy vs map, host→device and device→host",
+    );
+    let transfer = TransferModel::cpu(&CpuSpec::xeon_e5645());
+    let mut h2d_copy = Series::new("Copying H2D");
+    let mut h2d_map = Series::new("Mapping H2D");
+    let mut d2h_copy = Series::new("Copying D2H");
+    let mut d2h_map = Series::new("Mapping D2H");
+    for (label, bytes_in, bytes_out) in footprints(cfg) {
+        h2d_copy.push(label, transfer.copy_time(bytes_in) * 1e3);
+        h2d_map.push(label, transfer.map_time(bytes_in) * 1e3);
+        d2h_copy.push(label, transfer.copy_time(bytes_out) * 1e3);
+        d2h_map.push(label, transfer.map_time(bytes_out) * 1e3);
+    }
+    fig.series = vec![h2d_copy, h2d_map, d2h_copy, d2h_map];
+    fig.notes.push(
+        "Different APIs do not affect kernel execution time; the gap is pure transfer \
+         (paper Section III-D). Mapping returns a pointer — its cost is size-independent."
+            .to_string(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_faster_in_both_directions() {
+        let fig = run(&Config::default());
+        for (copy, map) in [("Copying H2D", "Mapping H2D"), ("Copying D2H", "Mapping D2H")] {
+            let c = fig.series(copy).unwrap();
+            let m = fig.series(map).unwrap();
+            for (x, cv) in &c.points {
+                let mv = m.get(x).unwrap();
+                assert!(mv < *cv, "{x}: map {mv} ms should beat copy {cv} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_time_scales_with_bytes_map_does_not() {
+        let fig = run(&Config::full());
+        let c = fig.series("Copying H2D").unwrap();
+        // MRI-Q moves more input bytes than CP.
+        assert!(c.get("MRI-Q").unwrap() > c.get("CP").unwrap());
+        let m = fig.series("Mapping H2D").unwrap();
+        assert_eq!(m.get("MRI-Q").unwrap(), m.get("CP").unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! One module per figure of the paper's evaluation section.
+
+pub mod extra;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod fig11;
+
+use ocl_rt::NDRange;
+use perf_model::{CpuModel, CpuSpec, GpuModel, GpuSpec, Launch};
+
+/// The modeled CPU of Table I.
+pub(crate) fn cpu() -> CpuModel {
+    CpuModel::new(CpuSpec::xeon_e5645())
+}
+
+/// The modeled GPU of Table I.
+pub(crate) fn gpu() -> GpuModel {
+    GpuModel::new(GpuSpec::gtx580())
+}
+
+/// The launch a NULL `local_work_size` resolves to on the CPU runtime
+/// (same heuristic as `ocl-rt`'s modeled CPU device: divisor-sized groups,
+/// at least `4 × cores` of them).
+pub(crate) fn null_launch_cpu(n: usize) -> Launch {
+    let spec = CpuSpec::xeon_e5645();
+    NDRange::d1(n)
+        .resolve_with(spec.default_wg, spec.cores * 4)
+        .expect("valid range")
+        .launch()
+}
+
+/// The launch a NULL `local_work_size` resolves to on the GPU runtime.
+pub(crate) fn null_launch_gpu(n: usize) -> Launch {
+    NDRange::d1(n).resolve(256).expect("valid range").launch()
+}
+
+/// An explicit workgroup size launch (flattened).
+pub(crate) fn launch(n: usize, wg: usize) -> Launch {
+    Launch::new(n, wg.min(n))
+}

@@ -1,0 +1,155 @@
+//! Static [`KernelProfile`]s of the study's workloads, parameterized the
+//! way the sweeps need them.
+//!
+//! These mirror the `profile()` implementations on the kernel structs in
+//! `cl-kernels` (which require live buffers); the sweeps here only need the
+//! numbers. Cross-checked by tests against the kernel-side profiles.
+
+use perf_model::KernelProfile;
+
+/// `square`: 1 mul, 8 B traffic per element.
+pub fn square(items_per_wi: usize) -> KernelProfile {
+    KernelProfile::streaming(1.0, 8.0).coalesced(items_per_wi)
+}
+
+/// `vectoadd`: 1 add, 12 B traffic per element.
+pub fn vectoradd(items_per_wi: usize) -> KernelProfile {
+    KernelProfile::streaming(1.0, 12.0).coalesced(items_per_wi)
+}
+
+/// Tiled `matrixMul` with inner dimension `k` and square tile side `t`.
+///
+/// The `local_traffic_bytes` term models the B-tile *column* walk of the
+/// inner product: its stride is `4·t` bytes, so each element effectively
+/// touches `min(4t, 64)` bytes of cache line — big tiles waste L1 bandwidth
+/// on CPUs, which is why the CPU's optimal tile is smaller than the GPU's
+/// (paper Section III-B.2).
+pub fn matrixmul_tiled(k: usize, t: usize) -> KernelProfile {
+    let kf = k as f64;
+    let tf = t as f64;
+    KernelProfile {
+        flops: 2.0 * kf,
+        mem_bytes: 2.0 * kf * 4.0 / tf,
+        chain_ops: kf,
+        ilp: 1.0,
+        vectorizable: true,
+        coalesced_access: true,
+        item_contiguous: true,
+        local_mem_per_group: 2.0 * tf * tf * 4.0,
+        dependent_loads: 2.0 * kf / tf,
+        local_traffic_bytes: kf * ((4.0 * tf).min(64.0) + 4.0),
+    }
+}
+
+/// Naive `matrixMul` with inner dimension `k`.
+pub fn matrixmul_naive(k: usize) -> KernelProfile {
+    let kf = k as f64;
+    KernelProfile {
+        flops: 2.0 * kf,
+        mem_bytes: 2.0 * kf * 4.0,
+        chain_ops: kf,
+        ilp: 1.0,
+        vectorizable: true,
+        // Coalesced across lanes (adjacent columns), strided within one
+        // item's own B walk.
+        coalesced_access: true,
+        item_contiguous: false,
+        local_mem_per_group: 0.0,
+        dependent_loads: 2.0 * kf,
+        local_traffic_bytes: 0.0,
+    }
+}
+
+/// `blackScholes` with `opts` options per workitem (grid-stride loop).
+pub fn blackscholes(opts: f64) -> KernelProfile {
+    KernelProfile {
+        flops: 60.0 * opts,
+        mem_bytes: 20.0 * opts,
+        chain_ops: 40.0 * opts,
+        ilp: 1.0,
+        vectorizable: true,
+        coalesced_access: true,
+        item_contiguous: true,
+        local_mem_per_group: 0.0,
+        dependent_loads: opts,
+            local_traffic_bytes: 0.0,
+    }
+}
+
+/// Parboil `cenergy` over `n_atoms` atoms, `items_per_wi` columns.
+pub fn cenergy(n_atoms: usize, items_per_wi: usize) -> KernelProfile {
+    let na = n_atoms as f64;
+    let k = items_per_wi as f64;
+    KernelProfile {
+        flops: 10.0 * na * k,
+        mem_bytes: 4.0 * k,
+        chain_ops: 2.0 * na * k,
+        ilp: 1.0,
+        vectorizable: true,
+        coalesced_access: true,
+        item_contiguous: true,
+        local_mem_per_group: 0.0,
+        dependent_loads: 1.0,
+            local_traffic_bytes: 0.0,
+    }
+}
+
+/// Parboil `ComputePhiMag`.
+pub fn phimag(items_per_wi: usize) -> KernelProfile {
+    KernelProfile::streaming(3.0, 12.0).coalesced(items_per_wi)
+}
+
+/// Parboil `ComputeQ` / `FH` over `k_samples` trajectory samples.
+pub fn mri_accum(k_samples: usize, items_per_wi: usize) -> KernelProfile {
+    let nk = k_samples as f64;
+    let k = items_per_wi as f64;
+    KernelProfile {
+        flops: 14.0 * nk * k,
+        mem_bytes: 20.0 * k,
+        chain_ops: 4.0 * nk * k,
+        ilp: 2.0,
+        vectorizable: true,
+        coalesced_access: true,
+        item_contiguous: true,
+        local_mem_per_group: 0.0,
+        dependent_loads: 3.0 * k,
+            local_traffic_bytes: 0.0,
+    }
+}
+
+/// ILP microbenchmark with `iters` rounds at independence `ilp`.
+pub fn ilp(iters: usize, ilp_val: usize) -> KernelProfile {
+    KernelProfile::compute((iters * 4 * 2) as f64).with_ilp(ilp_val as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_kernels::apps;
+    use ocl_rt::{Context, Device};
+
+    #[test]
+    fn harness_profiles_match_kernel_profiles() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let sq = apps::square::build(&ctx, 100, 10, None, 1);
+        assert_eq!(sq.kernel.profile(), square(10));
+        let va = apps::vectoradd::build(&ctx, 100, 1, None, 1);
+        assert_eq!(va.kernel.profile(), vectoradd(1));
+    }
+
+    #[test]
+    fn matrixmul_tiling_reduces_traffic() {
+        let naive = matrixmul_naive(256);
+        let tiled = matrixmul_tiled(256, 16);
+        assert_eq!(naive.flops, tiled.flops);
+        assert!(tiled.mem_bytes < naive.mem_bytes / 8.0);
+        assert!(tiled.local_mem_per_group > 0.0);
+    }
+
+    #[test]
+    fn ilp_profile_keeps_flops_constant() {
+        for k in 1..=4 {
+            assert_eq!(ilp(100, k).flops, 800.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Result containers and renderers.
+
+/// One plotted series (a line or bar group of the original figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub label: String,
+    /// `(x-label, value)` points, in x order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, v: f64) {
+        self.points.push((x.into(), v));
+    }
+
+    /// Value at an x-label.
+    pub fn get(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v)
+    }
+}
+
+/// One reproduced figure (or table rendered as series).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// "fig1", "fig2", …
+    pub id: String,
+    pub title: String,
+    pub series: Vec<Series>,
+    /// Free-form observations (the qualitative claims checked).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// All x-labels, in first-seen order.
+    fn x_labels(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !seen.contains(&x.as_str()) {
+                    seen.push(x.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render as a Markdown table: one row per x-label, one column per
+    /// series.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}: {}\n\n", self.id, self.title);
+        let xs = self.x_labels();
+        out.push_str("| |");
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---:|");
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("| {x} |"));
+            for s in &self.series {
+                match s.get(x) {
+                    Some(v) => out.push_str(&format!(" {} |", fmt_value(v))),
+                    None => out.push_str("  |"),
+                }
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as CSV (`x,series,value` long form).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,value\n");
+        for s in &self.series {
+            for (x, v) in &s.points {
+                out.push_str(&format!("{},{},{v}\n", csv_escape(x), csv_escape(&s.label)));
+            }
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "demo");
+        let mut a = Series::new("cpu");
+        a.push("1", 1.0);
+        a.push("10", 2.5);
+        let mut b = Series::new("gpu");
+        b.push("1", 1.0);
+        b.push("10", 0.25);
+        f.series.push(a);
+        f.series.push(b);
+        f.notes.push("cpu wins at 10".to_string());
+        f
+    }
+
+    #[test]
+    fn markdown_has_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| 10 | 2.500 | 0.250 |"), "{md}");
+        assert!(md.contains("cpu wins at 10"));
+    }
+
+    #[test]
+    fn csv_is_long_form() {
+        let csv = sample().to_csv();
+        assert!(csv.lines().count() == 5, "{csv}");
+        assert!(csv.contains("10,cpu,2.5"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert_eq!(f.series("gpu").unwrap().get("10"), Some(0.25));
+        assert!(f.series("tpu").is_none());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn value_formatting_adapts() {
+        assert_eq!(fmt_value(1234.5), "1234");
+        assert_eq!(fmt_value(12.34), "12.3");
+        assert_eq!(fmt_value(0.5), "0.500");
+        assert_eq!(fmt_value(0.0001), "1.000e-4");
+    }
+}

@@ -1,0 +1,141 @@
+//! Measurement statistics for the native plane — the paper's "measure
+//! stable execution time without fluctuation" methodology (Section III-A)
+//! made explicit: repeat, trim outliers, report mean ± deviation.
+
+/// Summary of repeated timing samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Arithmetic mean of the (possibly trimmed) samples, seconds.
+    pub mean: f64,
+    /// Sample standard deviation, seconds.
+    pub stddev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Samples used after trimming.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Coefficient of variation (`stddev / mean`); the stability criterion.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Summarize raw samples, trimming the top `trim_fraction` (e.g. 0.2 drops
+/// the slowest 20% — scheduler hiccups, first-touch faults).
+pub fn summarize(samples: &[f64], trim_fraction: f64) -> Measurement {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!((0.0..1.0).contains(&trim_fraction));
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let keep = ((sorted.len() as f64) * (1.0 - trim_fraction)).ceil() as usize;
+    let kept = &sorted[..keep.max(1)];
+
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = if kept.len() > 1 {
+        kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    Measurement {
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        samples: kept.len(),
+    }
+}
+
+/// Run `f` repeatedly until the accumulated time reaches `min_total`
+/// seconds (or `max_iters`), then summarize with 20% trimming — the
+/// repeat-until-significant loop of Section III-A.
+pub fn measure_stable(
+    mut f: impl FnMut(),
+    min_total: std::time::Duration,
+    max_iters: u32,
+) -> Measurement {
+    // Warm-up.
+    f();
+    let mut samples = Vec::new();
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < min_total && (samples.len() as u32) < max_iters {
+        let s = std::time::Instant::now();
+        f();
+        samples.push(s.elapsed().as_secs_f64());
+    }
+    if samples.is_empty() {
+        let s = std::time::Instant::now();
+        f();
+        samples.push(s.elapsed().as_secs_f64());
+    }
+    summarize(&samples, 0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples_is_exact() {
+        let m = summarize(&[2.0; 10], 0.2);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.stddev, 0.0);
+        assert_eq!(m.min, 2.0);
+        assert_eq!(m.cv(), 0.0);
+    }
+
+    #[test]
+    fn trimming_drops_the_slow_tail() {
+        // Nine fast samples and one pathological straggler.
+        let mut samples = vec![1.0; 9];
+        samples.push(100.0);
+        let trimmed = summarize(&samples, 0.2);
+        assert_eq!(trimmed.mean, 1.0, "{trimmed:?}");
+        let untrimmed = summarize(&samples, 0.0);
+        assert!(untrimmed.mean > 10.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let m = summarize(&[1.0, 2.0, 3.0], 0.0);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn single_sample_is_fine() {
+        let m = summarize(&[0.5], 0.2);
+        assert_eq!(m.mean, 0.5);
+        assert_eq!(m.samples, 1);
+    }
+
+    #[test]
+    fn measure_stable_returns_positive_times() {
+        let mut x = 0u64;
+        let m = measure_stable(
+            || {
+                for i in 0..10_000u64 {
+                    x = x.wrapping_add(i * i);
+                }
+            },
+            std::time::Duration::from_millis(5),
+            1000,
+        );
+        assert!(m.mean > 0.0);
+        assert!(m.min <= m.mean);
+        assert!(m.samples >= 1);
+        std::hint::black_box(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = summarize(&[], 0.2);
+    }
+}

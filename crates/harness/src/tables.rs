@@ -1,0 +1,151 @@
+//! Tables I–V of the paper, rendered as Markdown.
+
+use cl_kernels::registry::{parboil_kernels, simple_apps, table4_rows, table5_rows};
+use perf_model::{CpuSpec, GpuSpec};
+
+/// Table I: the experimental environment — the paper's machines (which the
+/// modeled plane reproduces) plus the actual host running the native plane.
+pub fn table1() -> String {
+    let cpu = CpuSpec::xeon_e5645();
+    let gpu = GpuSpec::gtx580();
+    let mut out = String::from("### Table I: Experimental environment\n\n");
+    out.push_str("| | Modeled (paper hardware) |\n|---|---|\n");
+    out.push_str(&format!("| CPU | {} |\n", cpu.name));
+    out.push_str(&format!(
+        "| Vector width | SSE 4.2, {} single-precision FP |\n",
+        cpu.simd_width_f32
+    ));
+    out.push_str("| Caches | L1D/L2/L3: 64K/256K/12M |\n");
+    out.push_str(&format!(
+        "| FP peak performance | {:.1} Gflop/s |\n",
+        cpu.peak_sp_gflops()
+    ));
+    out.push_str(&format!("| Core frequency | {:.2} GHz |\n", cpu.freq_ghz));
+    out.push_str(&format!("| GPU | {} |\n", gpu.name));
+    out.push_str(&format!("| # SMs | {} |\n", gpu.sms));
+    out.push_str(&format!(
+        "| GPU FP peak | {:.2} Tflop/s |\n",
+        gpu.peak_sp_gflops() / 1000.0
+    ));
+    out.push_str(&format!(
+        "| Shader clock | {:.0} MHz |\n",
+        gpu.clock_ghz * 1000.0
+    ));
+    out.push_str(&format!(
+        "| Native host | {} logical cores (wall-clock plane) |\n",
+        cl_pool::available_cores()
+    ));
+    out.push('\n');
+    out
+}
+
+fn app_table(title: &str, entries: &[cl_kernels::AppEntry]) -> String {
+    let mut out = format!("### {title}\n\n| Benchmark | Kernel | global work size | local work size |\n|---|---|---|---|\n");
+    for e in entries {
+        let globals: Vec<String> = e.globals.iter().map(|g| g.describe()).collect();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            e.benchmark,
+            e.kernel,
+            globals.join(", "),
+            e.local.describe()
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Table II: characteristics of the simple applications.
+pub fn table2() -> String {
+    app_table("Table II: Characteristics of the Simple Applications", &simple_apps())
+}
+
+/// Table III: characteristics of the Parboil benchmarks.
+pub fn table3() -> String {
+    app_table("Table III: Characteristics of the Parboil Benchmarks", &parboil_kernels())
+}
+
+/// Table IV: workitem counts of the coalescing experiment.
+pub fn table4() -> String {
+    let mut out = String::from(
+        "### Table IV: Number of workitems for each application\n\n\
+         | Benchmark | base | 10x | 100x | 1000x |\n|---|---:|---:|---:|---:|\n",
+    );
+    for (label, counts) in table4_rows() {
+        out.push_str(&format!("| {label} |"));
+        for c in counts {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Table V: workgroup sizes of the Figure 3 sweep.
+pub fn table5() -> String {
+    let mut out = String::from(
+        "### Table V: Workgroup size for each application\n\n\
+         | Benchmark | base | case 1 | case 2 | case 3 | case 4 |\n|---|---|---|---|---|---|\n",
+    );
+    for row in table5_rows() {
+        out.push_str(&format!("| {} | {} |", row.benchmark, row.base.describe()));
+        for c in row.cases {
+            out.push_str(&format!(" {} |", c.describe()));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// All tables concatenated.
+pub fn all_tables() -> String {
+    format!("{}{}{}{}{}", table1(), table2(), table3(), table4(), table5())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_quotes_the_paper_numbers() {
+        let t = table1();
+        assert!(t.contains("230.4 Gflop/s"));
+        assert!(t.contains("E5645"));
+        assert!(t.contains("1544 MHz"));
+        assert!(t.contains("1.58 Tflop/s"));
+    }
+
+    #[test]
+    fn table2_lists_every_app() {
+        let t = table2();
+        for app in [
+            "Square",
+            "Vectoraddition",
+            "Matrixmul",
+            "Reduction",
+            "Histogram",
+            "Prefixsum",
+            "Blackscholes",
+            "Binomialoption",
+            "MatrixmulNaive",
+        ] {
+            assert!(t.contains(app), "missing {app}");
+        }
+        assert!(t.contains("10000000"));
+        assert!(t.contains("16 X 16"));
+    }
+
+    #[test]
+    fn table4_divides_correctly() {
+        let t = table4();
+        assert!(t.contains("| Square 4 | 10000000 | 1000000 | 100000 | 10000 |"));
+    }
+
+    #[test]
+    fn table5_shows_null_base() {
+        let t = table5();
+        assert!(t.contains("| Square | NULL | 1 | 10 | 100 | 1000 |"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Integrity of every generated figure: rectangular series, consistent
+//! x-labels, sane values, and renderer round-trips — so `repro` output can
+//! be consumed mechanically (plotting scripts, CI diffs).
+
+use cl_harness::{all_figures, Config};
+
+fn figures() -> Vec<cl_harness::Figure> {
+    all_figures(&Config::default())
+}
+
+#[test]
+fn every_figure_has_series_and_points() {
+    for fig in figures() {
+        assert!(!fig.series.is_empty(), "{}: no series", fig.id);
+        for s in &fig.series {
+            assert!(!s.points.is_empty(), "{}/{}: empty series", fig.id, s.label);
+        }
+    }
+}
+
+#[test]
+fn values_are_finite_and_positive() {
+    for fig in figures() {
+        for s in &fig.series {
+            for (x, v) in &s.points {
+                assert!(
+                    v.is_finite() && *v >= 0.0,
+                    "{}/{}/{x}: bad value {v}",
+                    fig.id,
+                    s.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn x_labels_are_consistent_within_device_planes() {
+    // Within one figure, series of the same device plane must share the
+    // x-label set (the bars of one chart).
+    for fig in figures() {
+        let first = &fig.series[0];
+        for s in &fig.series {
+            if s.label.contains("GPU") != first.label.contains("GPU") {
+                continue;
+            }
+            if s.points.len() == first.points.len() {
+                for ((xa, _), (xb, _)) in s.points.iter().zip(&first.points) {
+                    assert_eq!(xa, xb, "{}: {} vs {}", fig.id, s.label, first.label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn markdown_contains_every_series_and_csv_every_point() {
+    for fig in figures() {
+        let md = fig.to_markdown();
+        for s in &fig.series {
+            assert!(md.contains(&s.label), "{}: markdown misses {}", fig.id, s.label);
+        }
+        let csv = fig.to_csv();
+        let expected_rows: usize = fig.series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(
+            csv.lines().count(),
+            expected_rows + 1,
+            "{}: csv row count",
+            fig.id
+        );
+    }
+}
+
+#[test]
+fn figure_ids_are_unique_and_ordered() {
+    let ids: Vec<String> = figures().into_iter().map(|f| f.id).collect();
+    let expected: Vec<String> = (1..=11).map(|i| format!("fig{i}")).collect();
+    assert_eq!(ids, expected);
+}
+
+#[test]
+fn quick_and_full_modes_agree_on_every_qualitative_shape() {
+    // The full-size run is slower but must tell the same story.
+    let quick = all_figures(&Config::default());
+    let full = all_figures(&Config::full());
+    for (q, f) in quick.iter().zip(&full) {
+        assert_eq!(q.id, f.id);
+        assert_eq!(q.series.len(), f.series.len(), "{}", q.id);
+    }
+    // Spot-check the headline claims in full mode.
+    let fig1 = &full[0];
+    for (x, v) in &fig1.series("1000(CPU)").unwrap().points {
+        assert!(*v > 1.0, "full fig1 {x}: {v}");
+    }
+    let fig9 = &full[8];
+    let mis = fig9
+        .series("modeled (cache-sim)")
+        .unwrap()
+        .get("misaligned")
+        .unwrap();
+    assert!(mis > 1.05, "full fig9: {mis}");
+}

@@ -1,0 +1,189 @@
+//! `Histogram` (`histogram256`): 256-bin histogram with per-group local
+//! histograms merged by global atomics (Table II: global 409 600,
+//! local 128).
+
+use std::sync::Arc;
+
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use par_for::{Schedule, Team};
+
+use crate::apps::Built;
+use crate::util::random_u32;
+
+/// Number of bins, as in the SDK sample.
+pub const BINS: usize = 256;
+
+/// The `histogram256` kernel.
+pub struct Histogram {
+    pub input: Buffer<u32>,
+    pub bins: Buffer<u32>,
+    pub n: usize,
+}
+
+impl Kernel for Histogram {
+    fn name(&self) -> &str {
+        "histogram256"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let input = self.input.view();
+        let bins = self.bins.view_mut();
+        let n = self.n;
+        let mut local_hist = g.local::<u32>(BINS);
+
+        // Phase 1: accumulate this group's items into the local histogram.
+        // (Serialized workitems need no local atomics — the lowering a CPU
+        // OpenCL compiler applies for exactly this reason.)
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            if i < n {
+                let v = input.get(i) as usize % BINS;
+                local_hist[v] += 1;
+            }
+        });
+        g.barrier();
+
+        // Phase 2: merge into the global histogram with atomics, one stripe
+        // of bins per workitem.
+        let wg = g.local_size(0);
+        g.for_each(|wi| {
+            let l = wi.local_id(0);
+            let mut b = l;
+            while b < BINS {
+                let count = local_hist[b];
+                if count != 0 {
+                    bins.atomic_add(b, count);
+                }
+                b += wg;
+            }
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile {
+            flops: 1.0,
+            mem_bytes: 4.0,
+            chain_ops: 1.0,
+            ilp: 1.0,
+            vectorizable: false, // data-dependent bin index (scatter)
+            coalesced_access: true,
+            item_contiguous: true,
+            local_mem_per_group: BINS as f64 * 4.0,
+            dependent_loads: 1.0,
+            local_traffic_bytes: 0.0,
+        }
+    }
+}
+
+/// Serial reference.
+pub fn reference(input: &[u32]) -> Vec<u32> {
+    let mut h = vec![0u32; BINS];
+    for &v in input {
+        h[v as usize % BINS] += 1;
+    }
+    h
+}
+
+/// OpenMP port: per-thread private histograms merged under a reduction.
+pub fn openmp(team: &Team, input: &[u32]) -> Vec<u32> {
+    team.parallel_reduce(
+        0..input.len(),
+        Schedule::Static { chunk: None },
+        || vec![0u32; BINS],
+        |mut h, i| {
+            h[input[i] as usize % BINS] += 1;
+            h
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    )
+}
+
+/// Build the kernel (Table II geometry: `n = 409600`, `wg = 128`).
+pub fn build(ctx: &Context, n: usize, wg: usize, seed: u64) -> Built {
+    let padded = n.div_ceil(wg) * wg;
+    let host = random_u32(seed, n, BINS as u32);
+    let input = ctx.buffer_from(MemFlags::READ_ONLY, &host).unwrap();
+    let bins = ctx.buffer::<u32>(MemFlags::default(), BINS).unwrap();
+    let kernel = Arc::new(Histogram {
+        input,
+        bins: bins.clone(),
+        n,
+    });
+    let range = NDRange::d1(padded).local1(wg);
+    let want = reference(&host);
+    Built::new(kernel, range, move |q| {
+        let mut got = vec![0u32; BINS];
+        q.read_buffer(&bins, 0, &mut got).map_err(|e| e.to_string())?;
+        if got == want {
+            Ok(())
+        } else {
+            let bad = got.iter().zip(&want).position(|(a, b)| a != b).unwrap();
+            Err(format!(
+                "histogram: bin {bad} got {} want {}",
+                got[bad], want[bad]
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocl_rt::Device;
+
+    fn ctx() -> Context {
+        Context::new(Device::native_cpu(4).unwrap())
+    }
+
+    #[test]
+    fn histogram_is_exact() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build(&ctx, 40_960, 128, 17);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn non_multiple_sizes_are_padded_correctly() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build(&ctx, 1003, 128, 5);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn tiny_workgroups_still_merge_all_bins() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        // wg < BINS exercises the strided merge loop.
+        let b = build(&ctx, 4096, 8, 2);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn openmp_port_matches() {
+        let team = Team::new(3).unwrap();
+        let data = random_u32(31, 100_000, 256);
+        assert_eq!(openmp(&team, &data), reference(&data));
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build(&ctx, 8192, 128, 77);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        // Independent invariant beyond bin-wise equality.
+        let data = random_u32(77, 8192, 256);
+        assert_eq!(reference(&data).iter().sum::<u32>(), 8192);
+        b.verify(&q).unwrap();
+    }
+}

@@ -1,0 +1,339 @@
+//! `Matrixmul` (tiled, using `__local` memory and barriers — the NVIDIA SDK
+//! sample shape) and `MatrixmulNaive` (Table II: 2-D globals 800×1600 …
+//! 4000×8000, local 16×16).
+//!
+//! The tiled version is the paper's example of a kernel whose optimal
+//! workgroup size differs between CPU and GPU because the tile size sets
+//! the local-memory (GPU) / cache (CPU) footprint (Section III-B.2).
+
+use std::sync::Arc;
+
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use par_for::{Schedule, Team};
+
+use crate::apps::Built;
+use crate::util::{max_rel_error, random_f32};
+
+/// Tiled matrix multiply: `C(h×w) = A(h×k) · B(k×w)`. Requires square
+/// workgroups whose side divides `k`.
+pub struct MatrixMul {
+    pub a: Buffer<f32>,
+    pub b: Buffer<f32>,
+    pub c: Buffer<f32>,
+    pub w: usize,
+    pub h: usize,
+    pub k: usize,
+}
+
+impl Kernel for MatrixMul {
+    fn name(&self) -> &str {
+        "matrixMul"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let t = g.local_size(0);
+        assert_eq!(
+            g.local_size(1),
+            t,
+            "tiled matrixMul requires square workgroups"
+        );
+        assert_eq!(self.k % t, 0, "tile side must divide the inner dimension");
+        let a = self.a.view();
+        let b = self.b.view();
+        let c = self.c.view_mut();
+        let (w, k) = (self.w, self.k);
+
+        let mut a_tile = g.local::<f32>(t * t);
+        let mut b_tile = g.local::<f32>(t * t);
+        // Workitem-private accumulators that survive across barrier phases:
+        // the loop-fission lowering keeps them in a per-group array indexed
+        // by local id (Stratton et al.'s "thread-private" expansion).
+        let mut acc = vec![0.0f32; t * t];
+
+        for tile in 0..k / t {
+            g.for_each(|wi| {
+                let (lx, ly) = (wi.local_id(0), wi.local_id(1));
+                let row = wi.global_id(1);
+                let col = wi.global_id(0);
+                a_tile[ly * t + lx] = a.get(row * k + tile * t + lx);
+                b_tile[ly * t + lx] = b.get((tile * t + ly) * w + col);
+            });
+            g.barrier();
+            g.for_each(|wi| {
+                let (lx, ly) = (wi.local_id(0), wi.local_id(1));
+                let mut s = acc[ly * t + lx];
+                for e in 0..t {
+                    s += a_tile[ly * t + e] * b_tile[e * t + lx];
+                }
+                acc[ly * t + lx] = s;
+            });
+            g.barrier();
+        }
+        g.for_each(|wi| {
+            let (lx, ly) = (wi.local_id(0), wi.local_id(1));
+            let row = wi.global_id(1);
+            let col = wi.global_id(0);
+            c.set(row * w + col, acc[ly * t + lx]);
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let k = self.k as f64;
+        // 2k flops per element; tiling reduces global traffic by the tile
+        // side (use the Table II default of 16 for the static profile).
+        KernelProfile {
+            flops: 2.0 * k,
+            mem_bytes: 2.0 * k * 4.0 / 16.0,
+            chain_ops: k, // multiply-add chain through the accumulator
+            ilp: 1.0,
+            vectorizable: true,
+            coalesced_access: true,
+            item_contiguous: true,
+            local_mem_per_group: 2.0 * 16.0 * 16.0 * 4.0,
+            dependent_loads: 2.0 * k / 16.0,
+            // B-tile column walk: stride 4·16 = one full line per element.
+            local_traffic_bytes: k * (64.0 + 4.0),
+        }
+    }
+}
+
+/// Naive matrix multiply: every workitem walks a full row/column pair in
+/// global memory.
+pub struct MatrixMulNaive {
+    pub a: Buffer<f32>,
+    pub b: Buffer<f32>,
+    pub c: Buffer<f32>,
+    pub w: usize,
+    pub h: usize,
+    pub k: usize,
+}
+
+impl Kernel for MatrixMulNaive {
+    fn name(&self) -> &str {
+        "matrixMul(naive)"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let a = self.a.view();
+        let b = self.b.view();
+        let c = self.c.view_mut();
+        let (w, k) = (self.w, self.k);
+        g.for_each(|wi| {
+            let row = wi.global_id(1);
+            let col = wi.global_id(0);
+            let mut s = 0.0f32;
+            for e in 0..k {
+                s += a.get(row * k + e) * b.get(e * w + col);
+            }
+            c.set(row * w + col, s);
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let k = self.k as f64;
+        KernelProfile {
+            flops: 2.0 * k,
+            mem_bytes: 2.0 * k * 4.0,
+            chain_ops: k,
+            ilp: 1.0,
+            vectorizable: true,
+            // Adjacent lanes read adjacent B columns (coalesced on a GPU),
+            // but one item's own B walk strides by the row length (bad for
+            // a CPU thread's cache).
+            coalesced_access: true,
+            item_contiguous: false,
+            local_mem_per_group: 0.0,
+            dependent_loads: 2.0 * k,
+            local_traffic_bytes: 0.0,
+        }
+    }
+}
+
+/// Serial reference.
+pub fn reference(a: &[f32], b: &[f32], w: usize, h: usize, k: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; w * h];
+    for row in 0..h {
+        for col in 0..w {
+            let mut s = 0.0f32;
+            for e in 0..k {
+                s += a[row * k + e] * b[e * w + col];
+            }
+            c[row * w + col] = s;
+        }
+    }
+    c
+}
+
+/// OpenMP port: rows parallel, inner loops serial (the conventional port).
+pub fn openmp(team: &Team, a: &[f32], b: &[f32], c: &mut [f32], w: usize, k: usize) {
+    let rows: Vec<(usize, &mut [f32])> = c.chunks_mut(w).enumerate().collect();
+    let mut rows = rows;
+    team.parallel_for_mut(&mut rows, Schedule::default(), |_, (row, crow)| {
+        for col in 0..w {
+            let mut s = 0.0f32;
+            for e in 0..k {
+                s += a[*row * k + e] * b[e * w + col];
+            }
+            crow[col] = s;
+        }
+    });
+}
+
+fn build_common(
+    ctx: &Context,
+    w: usize,
+    h: usize,
+    k: usize,
+    seed: u64,
+) -> (Buffer<f32>, Buffer<f32>, Buffer<f32>, Vec<f32>) {
+    let ha = random_f32(seed, h * k, -1.0, 1.0);
+    let hb = random_f32(seed ^ 0x5555, k * w, -1.0, 1.0);
+    let a = ctx.buffer_from(MemFlags::READ_ONLY, &ha).unwrap();
+    let b = ctx.buffer_from(MemFlags::READ_ONLY, &hb).unwrap();
+    let c = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, w * h).unwrap();
+    let want = reference(&ha, &hb, w, h, k);
+    (a, b, c, want)
+}
+
+fn checker(
+    c: Buffer<f32>,
+    want: Vec<f32>,
+    label: &'static str,
+) -> impl Fn(&ocl_rt::CommandQueue) -> Result<(), String> + Send + Sync {
+    move |q| {
+        let mut got = vec![0.0f32; want.len()];
+        q.read_buffer(&c, 0, &mut got).map_err(|e| e.to_string())?;
+        let err = max_rel_error(&got, &want, 1e-3);
+        if err < 5e-3 {
+            Ok(())
+        } else {
+            Err(format!("{label}: max rel error {err}"))
+        }
+    }
+}
+
+/// Build the tiled kernel. `local` is the square tile side (Table V:
+/// 1, 2, 4, 8, 16); it must divide `w`, `h` and `k`.
+pub fn build_tiled(ctx: &Context, w: usize, h: usize, k: usize, tile: usize, seed: u64) -> Built {
+    let (a, b, c, want) = build_common(ctx, w, h, k, seed);
+    let kernel = Arc::new(MatrixMul {
+        a,
+        b,
+        c: c.clone(),
+        w,
+        h,
+        k,
+    });
+    let range = NDRange::d2(w, h).local2(tile, tile);
+    Built::new(kernel, range, checker(c, want, "matrixMul"))
+}
+
+/// Build the naive kernel. `local` is any 2-D workgroup shape dividing the
+/// global shape, or `None` for NULL.
+pub fn build_naive(
+    ctx: &Context,
+    w: usize,
+    h: usize,
+    k: usize,
+    local: Option<(usize, usize)>,
+    seed: u64,
+) -> Built {
+    let (a, b, c, want) = build_common(ctx, w, h, k, seed);
+    let kernel = Arc::new(MatrixMulNaive {
+        a,
+        b,
+        c: c.clone(),
+        w,
+        h,
+        k,
+    });
+    let mut range = NDRange::d2(w, h);
+    if let Some((lx, ly)) = local {
+        range = range.local2(lx, ly);
+    }
+    Built::new(kernel, range, checker(c, want, "matrixMul(naive)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocl_rt::Device;
+
+    fn ctx() -> Context {
+        Context::new(Device::native_cpu(3).unwrap())
+    }
+
+    #[test]
+    fn tiled_matches_reference_for_every_paper_tile() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        // Table V workgroup cases: 1×1 … 16×16 (side must divide k).
+        for tile in [1, 2, 4, 8, 16] {
+            let b = build_tiled(&ctx, 32, 48, 32, tile, 11);
+            q.enqueue_kernel(&b.kernel, b.range).unwrap();
+            b.verify(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        for local in [None, Some((1, 1)), Some((4, 4)), Some((16, 16))] {
+            let b = build_naive(&ctx, 32, 32, 24, local, 13);
+            q.enqueue_kernel(&b.kernel, b.range).unwrap();
+            b.verify(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn tiled_and_naive_agree() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let bt = build_tiled(&ctx, 16, 16, 16, 4, 99);
+        let bn = build_naive(&ctx, 16, 16, 16, Some((2, 2)), 99);
+        q.enqueue_kernel(&bt.kernel, bt.range).unwrap();
+        q.enqueue_kernel(&bn.kernel, bn.range).unwrap();
+        bt.verify(&q).unwrap();
+        bn.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn tiled_uses_local_memory_and_barriers() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build_tiled(&ctx, 16, 16, 16, 4, 1);
+        let ev = q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        // k/t = 4 tiles → 2 barriers per tile per group, 16 groups.
+        assert_eq!(ev.barriers, 16 * 8);
+    }
+
+    #[test]
+    fn openmp_port_matches() {
+        let team = Team::new(2).unwrap();
+        let a = random_f32(1, 12 * 8, -1.0, 1.0);
+        let b = random_f32(2, 8 * 10, -1.0, 1.0);
+        let mut c = vec![0.0f32; 12 * 10];
+        openmp(&team, &a, &b, &mut c, 10, 8);
+        let want = reference(&a, &b, 10, 12, 8);
+        crate::util::assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "square workgroups")]
+    fn non_square_tile_panics() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let (a, b, c, _want) = build_common(&ctx, 16, 16, 16, 1);
+        let kernel = Arc::new(MatrixMul {
+            a,
+            b,
+            c,
+            w: 16,
+            h: 16,
+            k: 16,
+        });
+        let k: Arc<dyn Kernel> = kernel;
+        let _ = q.enqueue_kernel(&k, NDRange::d2(16, 16).local2(4, 2));
+    }
+}

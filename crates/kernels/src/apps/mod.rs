@@ -1,0 +1,41 @@
+//! The simple applications of Table II.
+
+pub mod binomial;
+pub mod blackscholes;
+pub mod histogram;
+pub mod matrixmul;
+pub mod prefixsum;
+pub mod reduction;
+pub mod square;
+pub mod vectoradd;
+
+use std::sync::Arc;
+
+use ocl_rt::{CommandQueue, Kernel, NDRange};
+
+/// A fully-wired launch: kernel object, launch geometry, and a correctness
+/// check against the serial reference. What the harness sweeps.
+pub struct Built {
+    pub kernel: Arc<dyn Kernel>,
+    pub range: NDRange,
+    check: Box<dyn Fn(&CommandQueue) -> Result<(), String> + Send + Sync>,
+}
+
+impl Built {
+    pub fn new(
+        kernel: Arc<dyn Kernel>,
+        range: NDRange,
+        check: impl Fn(&CommandQueue) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        Built {
+            kernel,
+            range,
+            check: Box::new(check),
+        }
+    }
+
+    /// Validate the output buffers against the serial reference.
+    pub fn verify(&self, queue: &CommandQueue) -> Result<(), String> {
+        (self.check)(queue)
+    }
+}

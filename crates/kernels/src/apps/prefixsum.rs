@@ -1,0 +1,204 @@
+//! `Prefixsum`: single-workgroup inclusive scan (Table II: global 1024,
+//! local 1024 — the whole problem fits one workgroup, the configuration
+//! with the *least* parallel slack, which is why it appears in the
+//! scheduling discussion).
+//!
+//! Hillis–Steele scan with double buffering in local memory; `log₂(n)`
+//! barrier phases.
+
+use std::sync::Arc;
+
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use par_for::Team;
+
+use crate::apps::Built;
+use crate::util::{max_rel_error, random_f32};
+
+/// The `prefixSum` kernel (inclusive scan of one workgroup-sized block).
+pub struct PrefixSum {
+    pub data: Buffer<f32>,
+    pub n: usize,
+}
+
+impl Kernel for PrefixSum {
+    fn name(&self) -> &str {
+        "prefixSum"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let wg = g.local_size(0);
+        assert!(wg.is_power_of_two(), "scan requires a power-of-two workgroup");
+        let data = self.data.view_mut();
+        let mut ping = g.local::<f32>(wg);
+        let mut pong = g.local::<f32>(wg);
+
+        g.for_each(|wi| {
+            let l = wi.local_id(0);
+            let i = wi.global_id(0);
+            ping[l] = if i < self.n { data.get(i) } else { 0.0 };
+        });
+        g.barrier();
+
+        let mut offset = 1usize;
+        while offset < wg {
+            g.for_each(|wi| {
+                let l = wi.local_id(0);
+                pong[l] = if l >= offset {
+                    ping[l] + ping[l - offset]
+                } else {
+                    ping[l]
+                };
+            });
+            g.barrier();
+            std::mem::swap(&mut ping, &mut pong);
+            offset <<= 1;
+        }
+
+        // After each phase the freshest values are swapped back into `ping`.
+        g.for_each(|wi| {
+            let l = wi.local_id(0);
+            let i = wi.global_id(0);
+            if i < self.n {
+                data.set(i, ping[l]);
+            }
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        // log2(1024) = 10 add phases per element.
+        KernelProfile {
+            flops: 10.0,
+            mem_bytes: 8.0,
+            chain_ops: 10.0,
+            ilp: 1.0,
+            vectorizable: false, // neighbour-dependent lanes
+            coalesced_access: true,
+            item_contiguous: true,
+            local_mem_per_group: 2.0 * 1024.0 * 4.0,
+            dependent_loads: 1.0,
+            local_traffic_bytes: 0.0,
+        }
+    }
+}
+
+/// Serial reference: inclusive prefix sum.
+pub fn reference(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0.0f32;
+    for &x in input {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// OpenMP port: two-pass block scan (scan blocks, then add block offsets).
+pub fn openmp(team: &Team, data: &mut [f32]) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = team.threads();
+    let block = n.div_ceil(threads);
+    // Pass 1: scan each block independently.
+    {
+        let mut blocks: Vec<&mut [f32]> = data.chunks_mut(block).collect();
+        team.parallel_for_mut(&mut blocks, par_for::Schedule::default(), |_, b| {
+            let mut acc = 0.0f32;
+            for x in b.iter_mut() {
+                acc += *x;
+                *x = acc;
+            }
+        });
+    }
+    // Pass 2 (serial): compute carry-in offsets.
+    let mut offsets = Vec::new();
+    let mut carry = 0.0f32;
+    for b in data.chunks(block) {
+        offsets.push(carry);
+        carry += b.last().copied().unwrap_or(0.0);
+    }
+    // Pass 3: apply offsets in parallel.
+    let mut blocks: Vec<(usize, &mut [f32])> = data.chunks_mut(block).enumerate().collect();
+    let offsets = &offsets;
+    team.parallel_for_mut(&mut blocks, par_for::Schedule::default(), |_, (bi, b)| {
+        let off = offsets[*bi];
+        for x in b.iter_mut() {
+            *x += off;
+        }
+    });
+}
+
+/// Build the kernel (Table II geometry: `n = 1024` in a single group).
+pub fn build(ctx: &Context, n: usize, seed: u64) -> Built {
+    assert!(n.is_power_of_two(), "prefixSum workload must be a power of two");
+    let host = random_f32(seed, n, 0.0, 1.0);
+    let data = ctx.buffer_from(MemFlags::default(), &host).unwrap();
+    let kernel = Arc::new(PrefixSum {
+        data: data.clone(),
+        n,
+    });
+    let range = NDRange::d1(n).local1(n);
+    let want = reference(&host);
+    Built::new(kernel, range, move |q| {
+        let mut got = vec![0.0f32; n];
+        q.read_buffer(&data, 0, &mut got).map_err(|e| e.to_string())?;
+        let err = max_rel_error(&got, &want, 1e-3);
+        if err < 1e-3 {
+            Ok(())
+        } else {
+            Err(format!("prefixSum: max rel error {err}"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocl_rt::Device;
+
+    fn ctx() -> Context {
+        Context::new(Device::native_cpu(2).unwrap())
+    }
+
+    #[test]
+    fn scan_matches_reference_at_paper_size() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build(&ctx, 1024, 23);
+        let ev = q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        assert_eq!(ev.groups, 1);
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn small_power_of_two_sizes() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        for n in [1, 2, 4, 64, 256] {
+            let b = build(&ctx, n, 3);
+            q.enqueue_kernel(&b.kernel, b.range).unwrap();
+            b.verify(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn openmp_port_matches() {
+        let team = Team::new(4).unwrap();
+        let input = random_f32(8, 10_000, 0.0, 1.0);
+        let mut data = input.clone();
+        openmp(&team, &mut data);
+        let want = reference(&input);
+        crate::util::assert_close(&data, &want, 1e-3);
+    }
+
+    #[test]
+    fn openmp_handles_empty_and_single() {
+        let team = Team::new(2).unwrap();
+        let mut empty: Vec<f32> = vec![];
+        openmp(&team, &mut empty);
+        let mut one = vec![3.0f32];
+        openmp(&team, &mut one);
+        assert_eq!(one, vec![3.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cl-kernels — the workloads of the study
+//!
+//! Every benchmark the paper evaluates (Tables II and III), implemented
+//! three ways:
+//!
+//! 1. **OpenCL kernel** — an [`ocl_rt::Kernel`] with a scalar group body
+//!    and, where the Intel implicit vectorizer would succeed, a SIMD group
+//!    body over [`cl_vec::VecF32`] lanes;
+//! 2. **OpenMP port** — the same computation as a [`par_for::Team`]
+//!    worksharing loop (the conventional-model baseline of Figure 10);
+//! 3. **Serial reference** — the oracle for correctness tests.
+//!
+//! Simple applications (Table II): `Square`, `VectorAdd`, `MatrixMul`
+//! (tiled, local memory), `MatrixMulNaive`, `Reduction`, `Histogram256`,
+//! `PrefixSum`, `BlackScholes`, `BinomialOption`.
+//!
+//! Parboil benchmarks (Table III): `CP` (`cenergy`), `MRI-Q`
+//! (`ComputePhiMag`, `ComputeQ`), `MRI-FHD` (`RhoPhi`, `FH`).
+//!
+//! Microbenchmarks: the ILP family of Figure 6 ([`ilp`]) and the
+//! vectorization benchmarks MBench1–8 of Figure 10 ([`mbench`]).
+//!
+//! [`registry`] holds the Table II/III launch geometries so the harness and
+//! benches sweep exactly the configurations the paper reports.
+
+pub mod apps;
+pub mod ilp;
+pub mod mbench;
+pub mod parboil;
+pub mod registry;
+pub mod util;
+
+pub use registry::{simple_apps, parboil_kernels, AppEntry};

@@ -1,0 +1,7 @@
+//! The Parboil benchmarks of Table III (the Grewe & O'Boyle OpenCL port the
+//! paper uses): CP (`cenergy`), MRI-Q (`ComputePhiMag`, `ComputeQ`) and
+//! MRI-FHD (`RhoPhi`, `FH`).
+
+pub mod cp;
+pub mod mrifhd;
+pub mod mriq;

@@ -1,0 +1,409 @@
+//! Parboil `MRI-Q` — non-Cartesian MRI reconstruction, Q matrix:
+//! `ComputePhiMag` (Table III: global 3072, local 512) and `ComputeQ`
+//! (global 32768, local 256).
+
+use std::sync::Arc;
+
+use cl_vec::VecF32;
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use par_for::{Schedule, Team};
+
+use crate::apps::Built;
+use crate::util::{max_rel_error, random_f32};
+
+pub const TWO_PI: f32 = std::f32::consts::TAU;
+
+/// `ComputePhiMag`: `phiMag[i] = phiR[i]² + phiI[i]²`.
+pub struct ComputePhiMag {
+    pub phi_r: Buffer<f32>,
+    pub phi_i: Buffer<f32>,
+    pub phi_mag: Buffer<f32>,
+    pub n: usize,
+    pub items_per_wi: usize,
+}
+
+impl Kernel for ComputePhiMag {
+    fn name(&self) -> &str {
+        "ComputePhiMag"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let r = self.phi_r.view();
+        let im = self.phi_i.view();
+        let mag = self.phi_mag.view_mut();
+        let k = self.items_per_wi;
+        let n = self.n;
+        g.for_each(|wi| {
+            let base = wi.global_id(0) * k;
+            for j in 0..k {
+                let i = base + j;
+                if i < n {
+                    let re = r.get(i);
+                    let imv = im.get(i);
+                    mag.set(i, re * re + imv * imv);
+                }
+            }
+        });
+    }
+
+    fn run_group_simd(&self, g: &mut GroupCtx, width: usize) -> bool {
+        if width != 4 || self.items_per_wi != 1 {
+            return false;
+        }
+        let r = self.phi_r.view();
+        let im = self.phi_i.view();
+        let mag = self.phi_mag.view_mut();
+        let n = self.n;
+        g.for_each_simd(
+            4,
+            |base| {
+                if base + 4 <= n {
+                    let vr = VecF32::<4>::load(r.slice(base, 4), 0);
+                    let vi = VecF32::<4>::load(im.slice(base, 4), 0);
+                    (vr * vr + vi * vi).store(mag.slice_mut(base, 4), 0);
+                } else {
+                    for i in base..n {
+                        let (re, imv) = (r.get(i), im.get(i));
+                        mag.set(i, re * re + imv * imv);
+                    }
+                }
+            },
+            |wi| {
+                let i = wi.global_id(0);
+                if i < n {
+                    let (re, imv) = (r.get(i), im.get(i));
+                    mag.set(i, re * re + imv * imv);
+                }
+            },
+        );
+        true
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(3.0, 12.0).coalesced(self.items_per_wi)
+    }
+}
+
+/// Sample-trajectory data for the Q computation.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    pub kx: Vec<f32>,
+    pub ky: Vec<f32>,
+    pub kz: Vec<f32>,
+    pub phi_mag: Vec<f32>,
+}
+
+impl Trajectory {
+    pub fn generate(seed: u64, k_samples: usize) -> Self {
+        Trajectory {
+            kx: random_f32(seed, k_samples, -0.5, 0.5),
+            ky: random_f32(seed ^ 0xA, k_samples, -0.5, 0.5),
+            kz: random_f32(seed ^ 0xB, k_samples, -0.5, 0.5),
+            phi_mag: random_f32(seed ^ 0xC, k_samples, 0.0, 1.0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.kx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kx.is_empty()
+    }
+}
+
+/// Voxel coordinates.
+#[derive(Debug, Clone)]
+pub struct Voxels {
+    pub x: Vec<f32>,
+    pub y: Vec<f32>,
+    pub z: Vec<f32>,
+}
+
+impl Voxels {
+    pub fn generate(seed: u64, n: usize) -> Self {
+        Voxels {
+            x: random_f32(seed ^ 0x10, n, -1.0, 1.0),
+            y: random_f32(seed ^ 0x20, n, -1.0, 1.0),
+            z: random_f32(seed ^ 0x30, n, -1.0, 1.0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+#[inline]
+fn q_at(x: f32, y: f32, z: f32, traj: &Trajectory) -> (f32, f32) {
+    let mut qr = 0.0f32;
+    let mut qi = 0.0f32;
+    for k in 0..traj.len() {
+        let exp = TWO_PI * (traj.kx[k] * x + traj.ky[k] * y + traj.kz[k] * z);
+        let m = traj.phi_mag[k];
+        qr += m * exp.cos();
+        qi += m * exp.sin();
+    }
+    (qr, qi)
+}
+
+/// `ComputeQ`: per voxel, accumulate the phase sum over all k-space samples.
+pub struct ComputeQ {
+    pub x: Buffer<f32>,
+    pub y: Buffer<f32>,
+    pub z: Buffer<f32>,
+    pub kx: Buffer<f32>,
+    pub ky: Buffer<f32>,
+    pub kz: Buffer<f32>,
+    pub phi_mag: Buffer<f32>,
+    pub qr: Buffer<f32>,
+    pub qi: Buffer<f32>,
+    pub n_voxels: usize,
+    pub items_per_wi: usize,
+}
+
+impl Kernel for ComputeQ {
+    fn name(&self) -> &str {
+        "ComputeQ"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let (x, y, z) = (self.x.view(), self.y.view(), self.z.view());
+        let (kx, ky, kz) = (self.kx.view(), self.ky.view(), self.kz.view());
+        let mag = self.phi_mag.view();
+        let (qr_out, qi_out) = (self.qr.view_mut(), self.qi.view_mut());
+        let n_k = kx.len();
+        let k_items = self.items_per_wi;
+        let n = self.n_voxels;
+        g.for_each(|wi| {
+            let base = wi.global_id(0) * k_items;
+            for j in 0..k_items {
+                let v = base + j;
+                if v < n {
+                    let (xv, yv, zv) = (x.get(v), y.get(v), z.get(v));
+                    let mut qr = 0.0f32;
+                    let mut qi = 0.0f32;
+                    for k in 0..n_k {
+                        let exp = TWO_PI * (kx.get(k) * xv + ky.get(k) * yv + kz.get(k) * zv);
+                        let m = mag.get(k);
+                        qr += m * exp.cos();
+                        qi += m * exp.sin();
+                    }
+                    qr_out.set(v, qr);
+                    qi_out.set(v, qi);
+                }
+            }
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let nk = self.kx.len() as f64;
+        let k = self.items_per_wi as f64;
+        KernelProfile {
+            flops: 14.0 * nk * k, // 5 mul, 3 add, sin, cos ≈ 14 flop-equiv
+            mem_bytes: 20.0 * k,  // trajectory cached; voxel loads + stores
+            chain_ops: 4.0 * nk * k,
+            ilp: 2.0, // the qr and qi chains are independent
+            vectorizable: true,
+            coalesced_access: true,
+            item_contiguous: true,
+            local_mem_per_group: 0.0,
+            dependent_loads: 3.0 * k,
+            local_traffic_bytes: 0.0,
+        }
+    }
+}
+
+/// Serial references.
+pub fn reference_phimag(phi_r: &[f32], phi_i: &[f32]) -> Vec<f32> {
+    phi_r
+        .iter()
+        .zip(phi_i)
+        .map(|(&r, &i)| r * r + i * i)
+        .collect()
+}
+
+pub fn reference_q(vox: &Voxels, traj: &Trajectory) -> (Vec<f32>, Vec<f32>) {
+    let mut qr = Vec::with_capacity(vox.len());
+    let mut qi = Vec::with_capacity(vox.len());
+    for v in 0..vox.len() {
+        let (r, i) = q_at(vox.x[v], vox.y[v], vox.z[v], traj);
+        qr.push(r);
+        qi.push(i);
+    }
+    (qr, qi)
+}
+
+/// OpenMP port of ComputeQ.
+pub fn openmp_q(team: &Team, vox: &Voxels, traj: &Trajectory, qr: &mut [f32], qi: &mut [f32]) {
+    struct Out<'a>(&'a mut f32, &'a mut f32);
+    let mut outs: Vec<Out> = qr
+        .iter_mut()
+        .zip(qi.iter_mut())
+        .map(|(r, i)| Out(r, i))
+        .collect();
+    team.parallel_for_mut(&mut outs, Schedule::Dynamic { chunk: 16 }, |v, o| {
+        let (r, i) = q_at(vox.x[v], vox.y[v], vox.z[v], traj);
+        *o.0 = r;
+        *o.1 = i;
+    });
+}
+
+/// Build `ComputePhiMag` (Table III: n = 3072, local 512).
+pub fn build_phimag(
+    ctx: &Context,
+    n: usize,
+    items_per_wi: usize,
+    local: Option<usize>,
+    seed: u64,
+) -> Built {
+    assert!(n % items_per_wi == 0, "coalescing must divide n");
+    let hr = random_f32(seed, n, -1.0, 1.0);
+    let hi = random_f32(seed ^ 0xF, n, -1.0, 1.0);
+    let phi_r = ctx.buffer_from(MemFlags::READ_ONLY, &hr).unwrap();
+    let phi_i = ctx.buffer_from(MemFlags::READ_ONLY, &hi).unwrap();
+    let phi_mag = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, n).unwrap();
+    let kernel = Arc::new(ComputePhiMag {
+        phi_r,
+        phi_i,
+        phi_mag: phi_mag.clone(),
+        n,
+        items_per_wi,
+    });
+    let mut range = NDRange::d1(n / items_per_wi);
+    if let Some(l) = local {
+        range = range.local1(l);
+    }
+    let want = reference_phimag(&hr, &hi);
+    Built::new(kernel, range, move |q| {
+        let mut got = vec![0.0f32; n];
+        q.read_buffer(&phi_mag, 0, &mut got).map_err(|e| e.to_string())?;
+        let err = max_rel_error(&got, &want, 1e-4);
+        if err < 1e-4 {
+            Ok(())
+        } else {
+            Err(format!("ComputePhiMag: max rel error {err}"))
+        }
+    })
+}
+
+/// Build `ComputeQ` (Table III: 32768 voxels, local 256).
+pub fn build_q(
+    ctx: &Context,
+    n_voxels: usize,
+    k_samples: usize,
+    items_per_wi: usize,
+    local: Option<usize>,
+    seed: u64,
+) -> Built {
+    assert!(n_voxels % items_per_wi == 0, "coalescing must divide n");
+    let vox = Voxels::generate(seed, n_voxels);
+    let traj = Trajectory::generate(seed ^ 0xBEEF, k_samples);
+    let x = ctx.buffer_from(MemFlags::READ_ONLY, &vox.x).unwrap();
+    let y = ctx.buffer_from(MemFlags::READ_ONLY, &vox.y).unwrap();
+    let z = ctx.buffer_from(MemFlags::READ_ONLY, &vox.z).unwrap();
+    let kx = ctx.buffer_from(MemFlags::READ_ONLY, &traj.kx).unwrap();
+    let ky = ctx.buffer_from(MemFlags::READ_ONLY, &traj.ky).unwrap();
+    let kz = ctx.buffer_from(MemFlags::READ_ONLY, &traj.kz).unwrap();
+    let phi_mag = ctx.buffer_from(MemFlags::READ_ONLY, &traj.phi_mag).unwrap();
+    let qr = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, n_voxels).unwrap();
+    let qi = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, n_voxels).unwrap();
+    let kernel = Arc::new(ComputeQ {
+        x,
+        y,
+        z,
+        kx,
+        ky,
+        kz,
+        phi_mag,
+        qr: qr.clone(),
+        qi: qi.clone(),
+        n_voxels,
+        items_per_wi,
+    });
+    let mut range = NDRange::d1(n_voxels / items_per_wi);
+    if let Some(l) = local {
+        range = range.local1(l);
+    }
+    let (want_r, want_i) = reference_q(&vox, &traj);
+    Built::new(kernel, range, move |q| {
+        let mut gr = vec![0.0f32; n_voxels];
+        let mut gi = vec![0.0f32; n_voxels];
+        q.read_buffer(&qr, 0, &mut gr).map_err(|e| e.to_string())?;
+        q.read_buffer(&qi, 0, &mut gi).map_err(|e| e.to_string())?;
+        let er = max_rel_error(&gr, &want_r, 1e-1);
+        let ei = max_rel_error(&gi, &want_i, 1e-1);
+        if er < 1e-2 && ei < 1e-2 {
+            Ok(())
+        } else {
+            Err(format!("ComputeQ: qr err {er}, qi err {ei}"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocl_rt::Device;
+
+    fn ctx() -> Context {
+        Context::new(Device::native_cpu(3).unwrap())
+    }
+
+    #[test]
+    fn phimag_matches_reference() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build_phimag(&ctx, 3072, 1, Some(512), 3);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn phimag_coalescing_preserves_results() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        for k in [1, 2, 4] {
+            let b = build_phimag(&ctx, 3072, k, None, 5);
+            q.enqueue_kernel(&b.kernel, b.range).unwrap();
+            b.verify(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn q_matches_reference() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        let b = build_q(&ctx, 512, 64, 1, Some(256), 11);
+        q.enqueue_kernel(&b.kernel, b.range).unwrap();
+        b.verify(&q).unwrap();
+    }
+
+    #[test]
+    fn q_workgroup_sweep_preserves_results() {
+        let ctx = ctx();
+        let q = ctx.queue();
+        for wg in [32, 64, 128, 256] {
+            let b = build_q(&ctx, 512, 32, 1, Some(wg), 13);
+            q.enqueue_kernel(&b.kernel, b.range).unwrap();
+            b.verify(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn openmp_q_matches() {
+        let team = Team::new(4).unwrap();
+        let vox = Voxels::generate(7, 128);
+        let traj = Trajectory::generate(8, 32);
+        let mut qr = vec![0.0f32; 128];
+        let mut qi = vec![0.0f32; 128];
+        openmp_q(&team, &vox, &traj, &mut qr, &mut qi);
+        let (wr, wi) = reference_q(&vox, &traj);
+        crate::util::assert_close(&qr, &wr, 1e-3);
+        crate::util::assert_close(&qi, &wi, 1e-3);
+    }
+}

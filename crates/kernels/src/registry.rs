@@ -1,0 +1,252 @@
+//! The launch geometries of Tables II–V, as data.
+//!
+//! The harness uses these entries to sweep exactly the configurations the
+//! paper reports, and to regenerate the tables themselves.
+
+/// Local-size specification, including the NULL case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSpec {
+    /// `local_work_size = NULL` (implementation decides).
+    Null,
+    D1(usize),
+    D2(usize, usize),
+}
+
+impl LocalSpec {
+    pub fn describe(&self) -> String {
+        match self {
+            LocalSpec::Null => "NULL".to_string(),
+            LocalSpec::D1(n) => n.to_string(),
+            LocalSpec::D2(x, y) => format!("{x} X {y}"),
+        }
+    }
+}
+
+/// Global-size specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalSpec {
+    D1(usize),
+    D2(usize, usize),
+}
+
+impl GlobalSpec {
+    pub fn total(&self) -> usize {
+        match self {
+            GlobalSpec::D1(n) => *n,
+            GlobalSpec::D2(x, y) => x * y,
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        match self {
+            GlobalSpec::D1(n) => n.to_string(),
+            GlobalSpec::D2(x, y) => format!("{x} X {y}"),
+        }
+    }
+}
+
+/// One row of Table II / III.
+#[derive(Debug, Clone)]
+pub struct AppEntry {
+    pub benchmark: &'static str,
+    pub kernel: &'static str,
+    pub globals: Vec<GlobalSpec>,
+    pub local: LocalSpec,
+}
+
+/// Table II: the simple applications and their default launch geometries.
+pub fn simple_apps() -> Vec<AppEntry> {
+    use GlobalSpec::*;
+    vec![
+        AppEntry {
+            benchmark: "Square",
+            kernel: "square",
+            globals: vec![D1(10_000), D1(100_000), D1(1_000_000), D1(10_000_000)],
+            local: LocalSpec::Null,
+        },
+        AppEntry {
+            benchmark: "Vectoraddition",
+            kernel: "vectoadd",
+            globals: vec![D1(110_000), D1(1_100_000), D1(5_500_000), D1(11_445_000)],
+            local: LocalSpec::Null,
+        },
+        AppEntry {
+            benchmark: "Matrixmul",
+            kernel: "matrixMul",
+            globals: vec![D2(800, 1600), D2(1600, 3200), D2(4000, 8000)],
+            local: LocalSpec::D2(16, 16),
+        },
+        AppEntry {
+            benchmark: "Reduction",
+            kernel: "reduce",
+            globals: vec![D1(640_000), D1(2_560_000), D1(10_240_000)],
+            local: LocalSpec::D1(256),
+        },
+        AppEntry {
+            benchmark: "Histogram",
+            kernel: "histogram256",
+            globals: vec![D1(409_600)],
+            local: LocalSpec::D1(128),
+        },
+        AppEntry {
+            benchmark: "Prefixsum",
+            kernel: "prefixSum",
+            globals: vec![D1(1024)],
+            local: LocalSpec::D1(1024),
+        },
+        AppEntry {
+            benchmark: "Blackscholes",
+            kernel: "blackScholes",
+            globals: vec![D2(1280, 1280), D2(2560, 2560)],
+            local: LocalSpec::D2(16, 16),
+        },
+        AppEntry {
+            benchmark: "Binomialoption",
+            kernel: "binomialoption",
+            globals: vec![D1(255_000), D1(2_550_000)],
+            local: LocalSpec::D1(255),
+        },
+        AppEntry {
+            benchmark: "MatrixmulNaive",
+            kernel: "matrixMul",
+            globals: vec![D2(800, 1600), D2(1600, 3200), D2(4000, 8000)],
+            local: LocalSpec::D2(16, 16),
+        },
+    ]
+}
+
+/// Table III: the Parboil benchmark kernels.
+pub fn parboil_kernels() -> Vec<AppEntry> {
+    use GlobalSpec::*;
+    vec![
+        AppEntry {
+            benchmark: "CP",
+            kernel: "cenergy",
+            globals: vec![D2(64, 512)],
+            local: LocalSpec::D2(16, 8),
+        },
+        AppEntry {
+            benchmark: "MRI-Q",
+            kernel: "computePhiMag",
+            globals: vec![D1(3072)],
+            local: LocalSpec::D1(512),
+        },
+        AppEntry {
+            benchmark: "MRI-Q",
+            kernel: "computeQ",
+            globals: vec![D1(32_768)],
+            local: LocalSpec::D1(256),
+        },
+        AppEntry {
+            benchmark: "MRI-FHD",
+            kernel: "RhoPhi",
+            globals: vec![D1(3072)],
+            local: LocalSpec::D1(512),
+        },
+        AppEntry {
+            benchmark: "MRI-FHD",
+            kernel: "FH",
+            globals: vec![D1(32_768)],
+            local: LocalSpec::D1(256),
+        },
+    ]
+}
+
+/// Table IV: the workitem counts of the Figure 1 coalescing experiment —
+/// `(label, [base, 10x, 100x, 1000x])`, exactly as printed in the paper
+/// (note the 100-workitem floor on the smallest Square inputs).
+pub fn table4_rows() -> Vec<(&'static str, [usize; 4])> {
+    vec![
+        ("Square 1", [10_000, 1_000, 100, 100]),
+        ("Square 2", [100_000, 10_000, 1_000, 100]),
+        ("Square 3", [1_000_000, 100_000, 10_000, 1_000]),
+        ("Square 4", [10_000_000, 1_000_000, 100_000, 10_000]),
+        ("VectorAdd 1", [110_000, 11_000, 1_100, 110]),
+        ("VectorAdd 2", [1_100_000, 110_000, 11_000, 1_100]),
+        ("VectorAdd 3", [5_500_000, 550_000, 55_000, 5_500]),
+    ]
+}
+
+/// The coalescing factors of Table IV.
+pub const COALESCE_FACTORS: [usize; 4] = [1, 10, 100, 1000];
+
+/// Table V: workgroup-size cases per application. `None` encodes NULL.
+pub struct Table5Row {
+    pub benchmark: &'static str,
+    pub base: LocalSpec,
+    pub cases: [LocalSpec; 4],
+}
+
+pub fn table5_rows() -> Vec<Table5Row> {
+    use LocalSpec::*;
+    vec![
+        Table5Row {
+            benchmark: "Square",
+            base: Null,
+            cases: [D1(1), D1(10), D1(100), D1(1000)],
+        },
+        Table5Row {
+            benchmark: "VectorAddition",
+            base: Null,
+            cases: [D1(1), D1(10), D1(100), D1(1000)],
+        },
+        Table5Row {
+            benchmark: "Matrixmul",
+            base: D2(16, 16),
+            cases: [D2(1, 1), D2(2, 2), D2(4, 4), D2(8, 8)],
+        },
+        Table5Row {
+            benchmark: "Blackscholes",
+            base: D2(16, 16),
+            cases: [D2(1, 1), D2(1, 2), D2(2, 2), D2(2, 4)],
+        },
+        Table5Row {
+            benchmark: "MatrixmulNaive",
+            base: D2(16, 16),
+            cases: [D2(1, 1), D2(2, 2), D2(4, 4), D2(8, 8)],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_nine_rows() {
+        let apps = simple_apps();
+        assert_eq!(apps.len(), 9);
+        assert_eq!(apps[0].benchmark, "Square");
+        assert_eq!(apps[0].globals.len(), 4);
+    }
+
+    #[test]
+    fn table3_has_five_kernels() {
+        let ks = parboil_kernels();
+        assert_eq!(ks.len(), 5);
+        assert!(ks.iter().any(|k| k.kernel == "cenergy"));
+    }
+
+    #[test]
+    fn table4_factors_divide_bases() {
+        for (label, counts) in table4_rows() {
+            assert!(counts.iter().all(|&c| c > 0), "{label}");
+            assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{label}");
+        }
+    }
+
+    #[test]
+    fn specs_describe_like_the_paper() {
+        assert_eq!(LocalSpec::Null.describe(), "NULL");
+        assert_eq!(LocalSpec::D2(16, 16).describe(), "16 X 16");
+        assert_eq!(GlobalSpec::D2(800, 1600).describe(), "800 X 1600");
+        assert_eq!(GlobalSpec::D2(800, 1600).total(), 1_280_000);
+    }
+
+    #[test]
+    fn table5_cases_are_four_each() {
+        for row in table5_rows() {
+            assert_eq!(row.cases.len(), 4, "{}", row.benchmark);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! `clCreateBuffer`-style memory-object flags.
+
+use std::fmt;
+
+/// Bit-flags mirroring the `cl_mem_flags` the paper's experiments vary.
+///
+/// Kernel-access flags (at most one): [`MemFlags::READ_ONLY`],
+/// [`MemFlags::WRITE_ONLY`], [`MemFlags::READ_WRITE`] (default).
+/// Placement flags: [`MemFlags::ALLOC_HOST_PTR`] (pinned, host-resident),
+/// [`MemFlags::COPY_HOST_PTR`] (initialize from host data at creation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemFlags(u32);
+
+impl MemFlags {
+    /// Kernel may read and write the object (`CL_MEM_READ_WRITE`, default).
+    pub const READ_WRITE: MemFlags = MemFlags(1 << 0);
+    /// Kernel only writes the object (`CL_MEM_WRITE_ONLY`).
+    pub const WRITE_ONLY: MemFlags = MemFlags(1 << 1);
+    /// Kernel only reads the object (`CL_MEM_READ_ONLY`).
+    pub const READ_ONLY: MemFlags = MemFlags(1 << 2);
+    /// Allocate in host-accessible (pinned) memory
+    /// (`CL_MEM_ALLOC_HOST_PTR`).
+    pub const ALLOC_HOST_PTR: MemFlags = MemFlags(1 << 4);
+    /// Initialize the object by copying from a host pointer at creation
+    /// (`CL_MEM_COPY_HOST_PTR`).
+    pub const COPY_HOST_PTR: MemFlags = MemFlags(1 << 5);
+
+    /// The empty flag set (resolves to `READ_WRITE`, device placement).
+    pub const fn empty() -> MemFlags {
+        MemFlags(0)
+    }
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: MemFlags) -> MemFlags {
+        MemFlags(self.0 | other.0)
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    pub const fn contains(self, other: MemFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Validate mutual exclusions, as `clCreateBuffer` does.
+    pub fn validate(self) -> Result<(), FlagError> {
+        let access_bits = [Self::READ_WRITE, Self::WRITE_ONLY, Self::READ_ONLY]
+            .iter()
+            .filter(|f| self.contains(**f))
+            .count();
+        if access_bits > 1 {
+            return Err(FlagError::ConflictingAccess);
+        }
+        Ok(())
+    }
+
+    /// Whether a kernel is allowed to read through this object.
+    pub fn kernel_can_read(self) -> bool {
+        !self.contains(Self::WRITE_ONLY)
+    }
+
+    /// Whether a kernel is allowed to write through this object.
+    pub fn kernel_can_write(self) -> bool {
+        !self.contains(Self::READ_ONLY)
+    }
+
+    /// Whether the object lives in pinned host memory.
+    pub fn host_resident(self) -> bool {
+        self.contains(Self::ALLOC_HOST_PTR)
+    }
+}
+
+impl Default for MemFlags {
+    fn default() -> Self {
+        MemFlags::empty()
+    }
+}
+
+impl std::ops::BitOr for MemFlags {
+    type Output = MemFlags;
+    fn bitor(self, rhs: MemFlags) -> MemFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Debug for MemFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.contains(Self::READ_WRITE) {
+            names.push("READ_WRITE");
+        }
+        if self.contains(Self::WRITE_ONLY) {
+            names.push("WRITE_ONLY");
+        }
+        if self.contains(Self::READ_ONLY) {
+            names.push("READ_ONLY");
+        }
+        if self.contains(Self::ALLOC_HOST_PTR) {
+            names.push("ALLOC_HOST_PTR");
+        }
+        if self.contains(Self::COPY_HOST_PTR) {
+            names.push("COPY_HOST_PTR");
+        }
+        if names.is_empty() {
+            names.push("(default READ_WRITE)");
+        }
+        write!(f, "MemFlags[{}]", names.join("|"))
+    }
+}
+
+/// Invalid flag combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagError {
+    /// More than one of READ_WRITE / WRITE_ONLY / READ_ONLY.
+    ConflictingAccess,
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagError::ConflictingAccess => {
+                write!(f, "READ_WRITE, WRITE_ONLY and READ_ONLY are mutually exclusive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_read_write_device() {
+        let f = MemFlags::default();
+        assert!(f.kernel_can_read());
+        assert!(f.kernel_can_write());
+        assert!(!f.host_resident());
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn read_only_blocks_kernel_writes() {
+        let f = MemFlags::READ_ONLY;
+        assert!(f.kernel_can_read());
+        assert!(!f.kernel_can_write());
+    }
+
+    #[test]
+    fn write_only_blocks_kernel_reads() {
+        let f = MemFlags::WRITE_ONLY;
+        assert!(!f.kernel_can_read());
+        assert!(f.kernel_can_write());
+    }
+
+    #[test]
+    fn conflicting_access_flags_are_rejected() {
+        assert_eq!(
+            (MemFlags::READ_ONLY | MemFlags::WRITE_ONLY).validate(),
+            Err(FlagError::ConflictingAccess)
+        );
+        assert_eq!(
+            (MemFlags::READ_WRITE | MemFlags::READ_ONLY).validate(),
+            Err(FlagError::ConflictingAccess)
+        );
+    }
+
+    #[test]
+    fn placement_combines_with_access() {
+        let f = MemFlags::READ_ONLY | MemFlags::ALLOC_HOST_PTR;
+        assert!(f.validate().is_ok());
+        assert!(f.host_resident());
+        assert!(!f.kernel_can_write());
+    }
+
+    #[test]
+    fn debug_lists_flags() {
+        let f = MemFlags::WRITE_ONLY | MemFlags::ALLOC_HOST_PTR;
+        let s = format!("{f:?}");
+        assert!(s.contains("WRITE_ONLY") && s.contains("ALLOC_HOST_PTR"));
+    }
+}

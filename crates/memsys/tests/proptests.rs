@@ -1,0 +1,106 @@
+//! Property tests for the memory subsystem: transfer roundtrips at
+//! arbitrary offsets, mapping semantics, and byte accounting invariants.
+
+use proptest::prelude::*;
+
+use cl_mem::{AllocLocation, MapMode, MemRegion, TransferEngine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn copy_roundtrip_at_any_offset(
+        region_len in 1usize..8192,
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        offset_seed in any::<usize>(),
+    ) {
+        prop_assume!(payload.len() <= region_len);
+        let offset = offset_seed % (region_len - payload.len() + 1);
+        let e = TransferEngine::new();
+        let r = MemRegion::alloc(region_len, AllocLocation::Device).unwrap();
+        e.write_buffer(&r, offset, &payload).unwrap();
+        let mut out = vec![0u8; payload.len()];
+        e.read_buffer(&r, offset, &mut out).unwrap();
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn copy_moves_exactly_double_the_bytes(
+        sizes in prop::collection::vec(1usize..4096, 1..8),
+    ) {
+        let e = TransferEngine::new();
+        let total: usize = sizes.iter().sum();
+        let r = MemRegion::alloc(total.max(1), AllocLocation::Device).unwrap();
+        let mut expected = 0u64;
+        let mut offset = 0;
+        for s in &sizes {
+            e.write_buffer(&r, offset, &vec![7u8; *s]).unwrap();
+            expected += 2 * *s as u64;
+            offset += s;
+        }
+        prop_assert_eq!(e.stats().snapshot().bytes_copied, expected);
+        prop_assert_eq!(e.stats().snapshot().copy_calls, sizes.len() as u64);
+    }
+
+    #[test]
+    fn mapping_never_copies(
+        len in 1usize..16384,
+        writes in prop::collection::vec((any::<usize>(), any::<u8>()), 0..32),
+    ) {
+        let e = TransferEngine::new();
+        let r = MemRegion::alloc(len, AllocLocation::PinnedHost).unwrap();
+        {
+            let mut m = e.map(&r, 0, len, MapMode::ReadWrite).unwrap();
+            let slice = m.as_mut_slice();
+            for (idx, v) in &writes {
+                slice[idx % len] = *v;
+            }
+        }
+        prop_assert_eq!(e.stats().snapshot().bytes_copied, 0);
+        prop_assert_eq!(e.outstanding_maps(&r), 0);
+    }
+
+    #[test]
+    fn disjoint_write_maps_coexist(
+        split in 1usize..1023,
+    ) {
+        let e = TransferEngine::new();
+        let r = MemRegion::alloc(1024, AllocLocation::Device).unwrap();
+        let a = e.map(&r, 0, split, MapMode::Write).unwrap();
+        let b = e.map(&r, split, 1024 - split, MapMode::Write).unwrap();
+        prop_assert_eq!(e.outstanding_maps(&r), 2);
+        drop(a);
+        drop(b);
+        prop_assert_eq!(e.outstanding_maps(&r), 0);
+    }
+
+    #[test]
+    fn overlapping_writer_maps_always_conflict(
+        start_a in 0usize..512,
+        len_a in 1usize..512,
+        start_b in 0usize..512,
+        len_b in 1usize..512,
+    ) {
+        let overlap = start_a < start_b + len_b && start_b < start_a + len_a;
+        let e = TransferEngine::new();
+        let r = MemRegion::alloc(1024, AllocLocation::Device).unwrap();
+        let _a = e.map(&r, start_a, len_a, MapMode::Write).unwrap();
+        let b = e.map(&r, start_b, len_b, MapMode::Write);
+        prop_assert_eq!(b.is_err(), overlap);
+    }
+
+    #[test]
+    fn fill_then_read_any_window(
+        len in 1usize..4096,
+        value in any::<u8>(),
+        window in 0usize..4096,
+    ) {
+        let r = MemRegion::alloc(len, AllocLocation::Device).unwrap();
+        r.fill(value);
+        let take = window % len + 1;
+        let start = len - take;
+        let mut out = vec![0u8; take];
+        r.read_into(start, &mut out).unwrap();
+        prop_assert!(out.iter().all(|&b| b == value));
+    }
+}

@@ -1,0 +1,207 @@
+//! The out-of-order multicore CPU timing model.
+//!
+//! Per-workitem time is `max(chain, throughput, memory)`:
+//!
+//! * **chain** — `chain_ops × fp_latency / min(ilp, fp_ports)` cycles. An
+//!   out-of-order core overlaps up to `ilp` independent chains (bounded by
+//!   issue ports), which is exactly the effect the paper isolates in its ILP
+//!   microbenchmark (Figure 6, CPU side).
+//! * **throughput** — `flops / (ports × lanes)` cycles when the kernel is
+//!   vectorized, `flops / ports` otherwise.
+//! * **memory** — `mem_bytes / bytes-per-cycle`, doubled for uncoalesced
+//!   (non-contiguous) access patterns that waste cache-line bandwidth.
+//!
+//! Scheduling costs sit on top: every workgroup pays a dispatch overhead and
+//! every workitem pays an SPMD-emulation overhead (amortized `lanes`-fold by
+//! cross-workitem vectorization, which coalesces workitems exactly as the
+//! Intel OpenCL compiler does — Section III-F). Workgroups are spread over
+//! logical cores with a makespan `⌈groups / threads⌉`.
+
+use crate::launch::Launch;
+use crate::machine::CpuSpec;
+use crate::profile::KernelProfile;
+
+/// Analytic CPU execution-time model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    pub spec: CpuSpec,
+    /// Whether the runtime's implicit (cross-workitem) vectorizer is on.
+    pub vectorize: bool,
+}
+
+impl CpuModel {
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuModel {
+            spec,
+            vectorize: true,
+        }
+    }
+
+    /// Disable the implicit vectorizer (for the Figure 10 comparison).
+    pub fn without_vectorizer(mut self) -> Self {
+        self.vectorize = false;
+        self
+    }
+
+    /// Cycles one workitem's *work* costs (no scheduling overhead).
+    pub fn item_cycles(&self, profile: &KernelProfile) -> f64 {
+        let vectorized = self.vectorize && profile.vectorizable;
+        let lanes = if vectorized {
+            self.spec.simd_width_f32 as f64
+        } else {
+            1.0
+        };
+        // Cross-workitem vectorization packs `lanes` workitems into each op
+        // of the dependent chain, so the chain's latency is paid once per
+        // `lanes` items (this is what makes OpenCL's implicit vectorizer
+        // effective even on dependence-bound kernels — Figure 11).
+        let chain = profile.chain_ops * self.spec.fp_latency / lanes;
+        let throughput = profile.flops / (self.spec.fp_ports * lanes);
+        // A CPU thread cares about its *own* walk's spatial locality, not
+        // about cross-lane coalescing.
+        let mem_penalty = if profile.item_contiguous { 1.0 } else { 2.0 };
+        let memory = profile.mem_bytes * mem_penalty / self.spec.mem_bytes_per_cycle
+            + profile.local_traffic_bytes / self.spec.l1_bytes_per_cycle;
+        chain.max(throughput).max(memory)
+    }
+
+    /// Wall-clock seconds for one kernel launch.
+    pub fn kernel_time(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        let freq_hz = self.spec.freq_ghz * 1e9;
+        let vectorized = self.vectorize && profile.vectorizable;
+        let lanes = if vectorized {
+            self.spec.simd_width_f32 as f64
+        } else {
+            1.0
+        };
+
+        let item_cycles = self.item_cycles(profile);
+        // SPMD bookkeeping per workitem; vectorization coalesces `lanes`
+        // workitems into one body execution, amortizing the bookkeeping.
+        let item_overhead_cycles = self.spec.item_overhead_ns * 1e-9 * freq_hz / lanes;
+        let group_cycles =
+            launch.wg_size as f64 * (item_cycles + item_overhead_cycles);
+        let dispatch_cycles = self.spec.group_dispatch_ns * 1e-9 * freq_hz;
+
+        // Makespan across *physical* cores: SMT threads share FP ports, so
+        // compute capacity scales with cores, not logical threads. Rounds
+        // are fractional (work stealing interleaves partial rounds); a
+        // single group cannot go below its own critical path.
+        let threads = self.spec.cores as f64;
+        let rounds = (launch.n_groups() as f64 / threads).max(1.0);
+        rounds * (group_cycles + dispatch_cycles) / freq_hz
+    }
+
+    /// Application-level GFLOP/s for a launch (total useful flops over
+    /// kernel time). "Useful" flops are the uncoalesced per-item flops times
+    /// the item count, so coalescing variants remain comparable.
+    pub fn gflops(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        let total_flops = profile.flops * launch.n_items as f64;
+        total_flops / self.kernel_time(profile, launch) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel::new(CpuSpec::xeon_e5645())
+    }
+
+    fn square_profile() -> KernelProfile {
+        // load 4B, one mul, store 4B
+        KernelProfile::streaming(1.0, 8.0)
+    }
+
+    #[test]
+    fn coalescing_workitems_speeds_up_cpu() {
+        // Figure 1's CPU claim: same total work in fewer, fatter workitems
+        // is faster because per-item overhead shrinks.
+        let m = model();
+        let base = m.kernel_time(&square_profile(), Launch::new(10_000_000, 512));
+        let coal = m.kernel_time(
+            &square_profile().coalesced(1000),
+            Launch::new(10_000, 10),
+        );
+        assert!(
+            coal < base,
+            "coalesced {coal} should beat base {base} on CPU"
+        );
+        assert!(base / coal > 1.5, "speedup {} too small", base / coal);
+    }
+
+    #[test]
+    fn bigger_workgroups_amortize_dispatch() {
+        // Figure 3's CPU claim.
+        let m = model();
+        let p = square_profile();
+        let t_wg1 = m.kernel_time(&p, Launch::new(1_000_000, 1));
+        let t_wg10 = m.kernel_time(&p, Launch::new(1_000_000, 10));
+        let t_wg100 = m.kernel_time(&p, Launch::new(1_000_000, 100));
+        let t_wg1000 = m.kernel_time(&p, Launch::new(1_000_000, 1000));
+        assert!(t_wg1 > t_wg10 && t_wg10 > t_wg100 && t_wg100 > t_wg1000);
+        // And the effect saturates: 100 → 1000 is a smaller step than 1 → 10.
+        assert!(t_wg1 / t_wg10 > t_wg100 / t_wg1000);
+    }
+
+    #[test]
+    fn ilp_improves_compute_bound_kernels() {
+        // Figure 6's CPU claim: throughput grows with ILP until ports bind.
+        let m = model();
+        let launch = Launch::new(1 << 20, 256);
+        let base = KernelProfile::compute(512.0).not_vectorizable();
+        let g1 = m.gflops(&base.clone().with_ilp(1.0), launch);
+        let g2 = m.gflops(&base.clone().with_ilp(2.0), launch);
+        let g4 = m.gflops(&base.clone().with_ilp(4.0), launch);
+        assert!(g2 > g1 * 1.5, "ILP2 {g2} vs ILP1 {g1}");
+        assert!(g4 > g2, "ILP4 {g4} vs ILP2 {g2}");
+        // Saturation at the port bound: ILP 4 gains less than 2x over ILP 2.
+        assert!(g4 / g2 < g2 / g1 + 1e-9);
+    }
+
+    #[test]
+    fn vectorization_helps_compute_kernels() {
+        let m = model();
+        let launch = Launch::new(1 << 20, 256);
+        // High-ILP kernel so the chain term doesn't mask the lane speedup.
+        let p = KernelProfile::compute(256.0).with_ilp(8.0);
+        let v = m.gflops(&p, launch);
+        let s = m.without_vectorizer().gflops(&p, launch);
+        assert!(v > 2.0 * s, "vectorized {v} vs scalar {s}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_ignore_ilp() {
+        let m = model();
+        let p = KernelProfile::streaming(1.0, 64.0);
+        let a = m.item_cycles(&p);
+        let b = m.item_cycles(&p.clone().with_ilp(4.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncoalesced_access_costs_more() {
+        let m = model();
+        let p = KernelProfile::streaming(1.0, 64.0);
+        assert!(m.item_cycles(&p.clone().uncoalesced()) > m.item_cycles(&p));
+    }
+
+    #[test]
+    fn gflops_bounded_by_peak() {
+        let m = model();
+        // The most favourable kernel cannot exceed the machine peak.
+        let p = KernelProfile::compute(4096.0).with_ilp(16.0);
+        let g = m.gflops(&p, Launch::new(1 << 22, 1024));
+        assert!(g <= m.spec.peak_sp_gflops() * 1.01, "{g}");
+    }
+
+    #[test]
+    fn more_items_take_longer() {
+        let m = model();
+        let p = square_profile();
+        let t1 = m.kernel_time(&p, Launch::new(1 << 16, 256));
+        let t2 = m.kernel_time(&p, Launch::new(1 << 20, 256));
+        assert!(t2 > t1 * 8.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The GPU occupancy / latency-hiding timing model.
+//!
+//! A simplified analytic model in the spirit of Hong & Kim [ISCA'09] — the
+//! analytical GPU model the reproduced paper cites as its reference \[18\].
+//! Per SM, `N` resident warps each issue an instruction stream of `I`
+//! cycles; one warp additionally exposes `L` cycles of dependent latency
+//! (ALU chains and critical-path loads). The SM is either
+//! *throughput-bound* (`N·I`, enough warps to hide `L` — this is why GPUs
+//! are insensitive to ILP in Figure 6) or *latency-bound* (`I + L`, too few
+//! warps — tiny workgroups in Figures 3/4, or few fat workitems in
+//! Figure 1).
+
+use crate::launch::Launch;
+use crate::machine::GpuSpec;
+use crate::profile::KernelProfile;
+
+/// Resolved occupancy for a launch on a [`GpuSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Warps per workgroup (`⌈wg / warp_size⌉`).
+    pub warps_per_block: usize,
+    /// Workgroups resident per SM after all limits.
+    pub blocks_per_sm: usize,
+    /// Active warps per SM (`warps_per_block × blocks_per_sm`).
+    pub active_warps: usize,
+    /// Fraction of warp lanes doing useful work (1.0 when `wg` is a
+    /// multiple of the warp size; 1/32 for single-workitem groups).
+    pub lane_efficiency: f64,
+    /// Waves of blocks needed to drain the launch across all SMs.
+    pub waves: usize,
+}
+
+/// Analytic GPU execution-time model.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    pub spec: GpuSpec,
+    /// Fixed kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuModel {
+    pub fn new(spec: GpuSpec) -> Self {
+        GpuModel {
+            spec,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// Occupancy for a launch, honouring the warp, block and shared-memory
+    /// limits of the device.
+    pub fn occupancy(&self, profile: &KernelProfile, launch: Launch) -> Occupancy {
+        let warps_per_block = launch.wg_size.div_ceil(self.spec.warp_size);
+        let by_warps = self.spec.max_warps_per_sm / warps_per_block;
+        let by_blocks = self.spec.max_blocks_per_sm;
+        let by_shmem = if profile.local_mem_per_group > 0.0 {
+            (self.spec.shared_mem_per_sm as f64 / profile.local_mem_per_group) as usize
+        } else {
+            usize::MAX
+        };
+        // At least one block is always resident (the hardware serializes if
+        // a single block exceeds a soft limit; we keep the model total).
+        let cap = by_warps.min(by_blocks).min(by_shmem).max(1);
+        // A launch smaller than the whole machine leaves SMs under-filled.
+        let available = launch.n_groups().div_ceil(self.spec.sms).max(1);
+        let blocks_per_sm = cap.min(available);
+        let active_warps = warps_per_block * blocks_per_sm;
+        let lane_efficiency =
+            launch.wg_size as f64 / (warps_per_block * self.spec.warp_size) as f64;
+        let blocks_per_wave = blocks_per_sm * self.spec.sms;
+        let waves = launch.n_groups().div_ceil(blocks_per_wave);
+        Occupancy {
+            warps_per_block,
+            blocks_per_sm,
+            active_warps,
+            lane_efficiency,
+            waves,
+        }
+    }
+
+    /// Issue cycles of one warp's full instruction stream.
+    fn warp_issue_cycles(&self, profile: &KernelProfile) -> f64 {
+        let comp = profile.flops * self.spec.issue_cycles;
+        // One 4-byte access per lane per memory instruction; coalesced
+        // access needs one transaction per warp, scattered access one per
+        // lane.
+        let mem_insts = profile.mem_bytes / 4.0;
+        let txn = if profile.coalesced_access {
+            1.0
+        } else {
+            self.spec.warp_size as f64
+        };
+        comp + mem_insts * self.spec.mem_departure * txn
+    }
+
+    /// Exposed (hideable) latency of one warp: dependent ALU chains plus
+    /// critical-path loads.
+    fn warp_latency_cycles(&self, profile: &KernelProfile) -> f64 {
+        profile.chain_ops * self.spec.alu_latency + profile.dependent_loads * self.spec.mem_latency
+    }
+
+    /// Wall-clock seconds for one kernel launch.
+    pub fn kernel_time(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        let occ = self.occupancy(profile, launch);
+        let issue = self.warp_issue_cycles(profile);
+        let latency = self.warp_latency_cycles(profile);
+        let n = occ.active_warps as f64;
+        // Throughput-bound vs latency-bound per wave of resident blocks.
+        let wave_cycles = (n * issue).max(issue + latency);
+        let cycles = occ.waves as f64 * wave_cycles;
+        let clock_hz = self.spec.clock_ghz * 1e9;
+        let exec = cycles / clock_hz + self.launch_overhead_us * 1e-6;
+        // DRAM bandwidth cap over the whole launch. Uncoalesced access
+        // fetches a full 64-byte line per 4-byte lane element, amplifying
+        // DRAM traffic 16×.
+        let amplification = if profile.coalesced_access { 1.0 } else { 16.0 };
+        let total_bytes = profile.mem_bytes * launch.n_items as f64 * amplification;
+        let bw_floor = total_bytes / (self.spec.dram_gbps * 1e9);
+        exec.max(bw_floor)
+    }
+
+    /// Application GFLOP/s for a launch.
+    pub fn gflops(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        let total_flops = profile.flops * launch.n_items as f64;
+        total_flops / self.kernel_time(profile, launch) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GpuModel {
+        GpuModel::new(GpuSpec::gtx580())
+    }
+
+    #[test]
+    fn occupancy_respects_fermi_limits() {
+        let m = model();
+        let p = KernelProfile::compute(16.0);
+        // wg=256 → 8 warps/block; 48/8 = 6 blocks; 48 active warps.
+        let o = m.occupancy(&p, Launch::new(1 << 20, 256));
+        assert_eq!(o.warps_per_block, 8);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.active_warps, 48);
+        assert_eq!(o.lane_efficiency, 1.0);
+        // wg=32 → 1 warp/block; block limit (8) binds.
+        let o = m.occupancy(&p, Launch::new(1 << 20, 32));
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.active_warps, 8);
+    }
+
+    #[test]
+    fn single_item_groups_waste_lanes() {
+        let m = model();
+        let o = m.occupancy(&KernelProfile::compute(16.0), Launch::new(1 << 20, 1));
+        assert!((o.lane_efficiency - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let m = model();
+        // 16 KB per group on a 48 KB SM → 3 blocks max.
+        let p = KernelProfile::compute(16.0).with_local_mem(16.0 * 1024.0);
+        let o = m.occupancy(&p, Launch::new(1 << 20, 128));
+        assert_eq!(o.blocks_per_sm, 3);
+    }
+
+    #[test]
+    fn small_launches_underfill_sms() {
+        let m = model();
+        let o = m.occupancy(&KernelProfile::compute(16.0), Launch::new(40 * 256, 256));
+        // 40 blocks over 16 SMs → 3 resident, not the cap of 6.
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn gpu_is_insensitive_to_ilp_at_full_occupancy() {
+        // Figure 6's GPU claim.
+        let m = model();
+        let launch = Launch::new(1 << 22, 256);
+        let base = KernelProfile::compute(512.0);
+        let g1 = m.gflops(&base.clone().with_ilp(1.0), launch);
+        let g4 = m.gflops(&base.clone().with_ilp(4.0), launch);
+        assert!(
+            (g4 - g1).abs() / g1 < 0.02,
+            "GPU should be flat across ILP: {g1} vs {g4}"
+        );
+    }
+
+    #[test]
+    fn tiny_workgroups_collapse_gpu_throughput() {
+        // Figure 3's GPU claim.
+        let m = model();
+        let p = KernelProfile::streaming(2.0, 8.0);
+        let t_wg1 = m.kernel_time(&p, Launch::new(1 << 20, 1));
+        let t_wg256 = m.kernel_time(&p, Launch::new(1 << 20, 256));
+        assert!(
+            t_wg1 > 20.0 * t_wg256,
+            "wg=1 {t_wg1} should be far slower than wg=256 {t_wg256}"
+        );
+    }
+
+    #[test]
+    fn coalescing_workitems_degrades_gpu() {
+        // Figure 1's GPU claim: fat sequential workitems serialize on
+        // in-order GPU threads and starve the TLP.
+        let m = model();
+        let base = KernelProfile::streaming(1.0, 8.0);
+        let t_base = m.kernel_time(&base, Launch::new(1_000_000, 256));
+        let t_coal = m.kernel_time(&base.coalesced(1000), Launch::new(1_000, 256));
+        assert!(
+            t_coal > 1.5 * t_base,
+            "coalesced {t_coal} should be slower than base {t_base} on GPU"
+        );
+    }
+
+    #[test]
+    fn uncoalesced_access_is_slower() {
+        let m = model();
+        let p = KernelProfile::streaming(4.0, 32.0);
+        let t_c = m.kernel_time(&p, Launch::new(1 << 20, 256));
+        let t_u = m.kernel_time(&p.clone().uncoalesced(), Launch::new(1 << 20, 256));
+        assert!(t_u > t_c);
+    }
+
+    #[test]
+    fn gflops_below_peak() {
+        let m = model();
+        let p = KernelProfile::compute(1024.0).with_ilp(8.0);
+        let g = m.gflops(&p, Launch::new(1 << 22, 256));
+        assert!(g < m.spec.peak_sp_gflops());
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_caps_streaming_kernels() {
+        let m = model();
+        // Pure streaming: 1 flop, lots of bytes.
+        let p = KernelProfile::streaming(1.0, 256.0);
+        let launch = Launch::new(1 << 22, 256);
+        let t = m.kernel_time(&p, launch);
+        let bw_floor = 256.0 * (1 << 22) as f64 / (m.spec.dram_gbps * 1e9);
+        assert!(t >= bw_floor);
+    }
+}

@@ -1,0 +1,274 @@
+//! The full Hong–Kim analytical GPU model (ISCA 2009) — the model the
+//! reproduced paper cites as its reference \[18\].
+//!
+//! Where [`crate::GpuModel`] is a two-regime simplification (throughput-
+//! vs latency-bound), this module implements the paper's actual MWP/CWP
+//! construction:
+//!
+//! * **MWP** (memory warp parallelism): how many warps' memory requests
+//!   overlap, limited by latency/departure-delay, by bandwidth, and by the
+//!   number of resident warps `N`.
+//! * **CWP** (computation warp parallelism): how many warps' compute
+//!   periods fit into one memory period, capped at `N`.
+//! * Three execution regimes: memory-bound (`MWP < CWP`), compute-bound
+//!   (`MWP ≥ CWP`), and not-enough-warps (`N < MWP`).
+//!
+//! The two models agree on every qualitative behaviour the reproduction
+//! depends on (ILP-flatness at occupancy, occupancy cliffs, coalescing),
+//! which `tests` below cross-check; `HongKimModel` additionally exposes
+//! the intermediate quantities (MWP, CWP, per-period cycles) for the
+//! curious.
+
+use crate::launch::Launch;
+use crate::machine::GpuSpec;
+use crate::profile::KernelProfile;
+
+/// Intermediate quantities of one Hong–Kim evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HongKimBreakdown {
+    /// Resident warps per SM.
+    pub n: f64,
+    /// Memory warp parallelism.
+    pub mwp: f64,
+    /// Computation warp parallelism.
+    pub cwp: f64,
+    /// Compute cycles of one warp between two memory periods.
+    pub comp_cycles: f64,
+    /// Cycles of one memory waiting period.
+    pub mem_cycles: f64,
+    /// Memory requests per warp.
+    pub mem_insts: f64,
+    /// Total cycles for one SM to retire its resident warps once.
+    pub exec_cycles_per_wave: f64,
+    /// Which regime applied.
+    pub regime: Regime,
+}
+
+/// The three cases of the Hong–Kim execution-time equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `MWP < CWP`: memory requests saturate; compute hides under memory.
+    MemoryBound,
+    /// `MWP ≥ CWP` with enough warps: compute periods dominate.
+    ComputeBound,
+    /// Fewer warps than needed to reach MWP: latency exposed.
+    NotEnoughWarps,
+}
+
+/// The Hong–Kim analytical model over a [`GpuSpec`].
+#[derive(Debug, Clone)]
+pub struct HongKimModel {
+    pub spec: GpuSpec,
+    /// Fixed kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl HongKimModel {
+    pub fn new(spec: GpuSpec) -> Self {
+        HongKimModel {
+            spec,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// Resident warps per SM for this launch (shared occupancy logic with
+    /// the simplified model).
+    fn resident(&self, profile: &KernelProfile, launch: Launch) -> (f64, usize, usize) {
+        let m = crate::gpu::GpuModel::new(self.spec.clone());
+        let occ = m.occupancy(profile, launch);
+        (occ.active_warps as f64, occ.blocks_per_sm, occ.waves)
+    }
+
+    /// The full evaluation, exposing every intermediate quantity.
+    pub fn breakdown(&self, profile: &KernelProfile, launch: Launch) -> HongKimBreakdown {
+        let (n, _blocks, waves) = self.resident(profile, launch);
+        let s = &self.spec;
+
+        // Per-warp instruction mix: 4-byte accesses per lane.
+        let mem_insts = (profile.mem_bytes / 4.0).max(1e-9);
+        let comp_insts = profile.flops;
+        // Computation cycles of one warp between consecutive memory ops.
+        let comp_cycles = (comp_insts * s.issue_cycles) / mem_insts.max(1.0) * mem_insts.min(1.0)
+            + comp_insts * s.issue_cycles * (1.0 - mem_insts.min(1.0));
+        // Simplified: total compute cycles per warp / memory periods.
+        let comp_per_period = comp_insts * s.issue_cycles / mem_insts.max(1.0);
+
+        // Departure delay between consecutive transactions of one warp:
+        // coalesced = one transaction, uncoalesced = one per lane.
+        let departure = if profile.coalesced_access {
+            s.mem_departure
+        } else {
+            s.mem_departure * s.warp_size as f64
+        };
+        let mem_l = s.mem_latency + (departure - s.mem_departure);
+
+        // MWP: bounded by latency/departure, bandwidth, and N.
+        let mwp_without_bw = mem_l / departure;
+        let bytes_per_txn = if profile.coalesced_access { 128.0 } else { 4.0 };
+        let bw_per_warp = bytes_per_txn / mem_l; // bytes per cycle per warp
+        let sm_bw = s.dram_gbps * 1e9 / (s.clock_ghz * 1e9) / s.sms as f64;
+        let mwp_peak_bw = sm_bw / bw_per_warp.max(1e-12);
+        let mwp = mwp_without_bw.min(mwp_peak_bw).min(n).max(1.0);
+
+        // CWP: how many warps' compute fits in one memory period.
+        let cwp_full = (mem_l + comp_per_period) / comp_per_period.max(1e-9);
+        let cwp = cwp_full.min(n).max(1.0);
+
+        let (exec, regime) = if mwp >= cwp && n >= mwp_without_bw.min(cwp_full) {
+            // Compute-bound: one memory period exposed at the start, then
+            // compute back-to-back.
+            let exec = mem_l + comp_per_period * mem_insts * n;
+            (exec, Regime::ComputeBound)
+        } else if cwp > mwp {
+            // Memory-bound: memory periods serialize in groups of MWP.
+            let exec = mem_insts * mem_l * (n / mwp) + comp_per_period * mem_insts;
+            (exec, Regime::MemoryBound)
+        } else {
+            // Not enough warps: each memory period fully exposed.
+            let exec = mem_insts * (mem_l + departure * (n - 1.0).max(0.0))
+                + comp_per_period * mem_insts * n;
+            (exec, Regime::NotEnoughWarps)
+        };
+
+        // Dependent-ALU chains add exposed latency only when warps are few.
+        let chain_stall = profile.chain_ops * s.alu_latency;
+        let issue_work = n * comp_insts * s.issue_cycles;
+        let exec = exec.max(issue_work.max(chain_stall + comp_insts * s.issue_cycles));
+
+        HongKimBreakdown {
+            n,
+            mwp,
+            cwp,
+            comp_cycles,
+            mem_cycles: mem_l,
+            mem_insts,
+            exec_cycles_per_wave: exec * waves as f64 / waves.max(1) as f64,
+            regime,
+        }
+    }
+
+    /// Wall-clock seconds for one launch.
+    pub fn kernel_time(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        let (_, _, waves) = self.resident(profile, launch);
+        let b = self.breakdown(profile, launch);
+        let cycles = b.exec_cycles_per_wave * waves as f64;
+        cycles / (self.spec.clock_ghz * 1e9) + self.launch_overhead_us * 1e-6
+    }
+
+    /// Application GFLOP/s.
+    pub fn gflops(&self, profile: &KernelProfile, launch: Launch) -> f64 {
+        profile.flops * launch.n_items as f64 / self.kernel_time(profile, launch) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+    use crate::machine::GpuSpec;
+
+    fn hk() -> HongKimModel {
+        HongKimModel::new(GpuSpec::gtx580())
+    }
+
+    fn simple() -> GpuModel {
+        GpuModel::new(GpuSpec::gtx580())
+    }
+
+    #[test]
+    fn streaming_kernels_are_memory_bound() {
+        let b = hk().breakdown(
+            &KernelProfile::streaming(2.0, 16.0),
+            Launch::new(1 << 22, 256),
+        );
+        assert_eq!(b.regime, Regime::MemoryBound, "{b:?}");
+        assert!(b.cwp > b.mwp);
+    }
+
+    #[test]
+    fn compute_kernels_are_compute_bound() {
+        let b = hk().breakdown(
+            &KernelProfile::compute(2048.0).with_ilp(8.0),
+            Launch::new(1 << 22, 256),
+        );
+        assert!(
+            b.regime == Regime::ComputeBound || b.mwp >= b.cwp,
+            "{b:?}"
+        );
+    }
+
+    #[test]
+    fn mwp_cwp_bounded_by_resident_warps() {
+        let m = hk();
+        for wg in [32usize, 64, 256, 1024] {
+            let b = m.breakdown(&KernelProfile::streaming(4.0, 24.0), Launch::new(1 << 20, wg));
+            assert!(b.mwp <= b.n + 1e-9, "{wg}: {b:?}");
+            assert!(b.cwp <= b.n + 1e-9, "{wg}: {b:?}");
+            assert!(b.mwp >= 1.0 && b.cwp >= 1.0);
+        }
+    }
+
+    #[test]
+    fn agrees_with_simplified_model_on_ilp_flatness() {
+        let m = hk();
+        let launch = Launch::new(1 << 22, 256);
+        let g1 = m.gflops(&KernelProfile::compute(512.0).with_ilp(1.0), launch);
+        let g4 = m.gflops(&KernelProfile::compute(512.0).with_ilp(4.0), launch);
+        assert!((g4 - g1).abs() / g1 < 0.05, "{g1} vs {g4}");
+    }
+
+    #[test]
+    fn agrees_with_simplified_model_on_occupancy_cliffs() {
+        let (m, s) = (hk(), simple());
+        let p = KernelProfile::streaming(2.0, 8.0);
+        let t_hk_1 = m.kernel_time(&p, Launch::new(1 << 20, 1));
+        let t_hk_256 = m.kernel_time(&p, Launch::new(1 << 20, 256));
+        let t_s_1 = s.kernel_time(&p, Launch::new(1 << 20, 1));
+        let t_s_256 = s.kernel_time(&p, Launch::new(1 << 20, 256));
+        assert!(t_hk_1 > 5.0 * t_hk_256, "HK cliff: {t_hk_1} vs {t_hk_256}");
+        assert!(t_s_1 > 5.0 * t_s_256, "simple cliff: {t_s_1} vs {t_s_256}");
+    }
+
+    #[test]
+    fn uncoalesced_access_raises_departure_and_slows_down() {
+        let m = hk();
+        let launch = Launch::new(1 << 20, 256);
+        let c = KernelProfile::streaming(2.0, 16.0);
+        let t_c = m.kernel_time(&c, launch);
+        let t_u = m.kernel_time(&c.clone().uncoalesced(), launch);
+        assert!(t_u > 2.0 * t_c, "{t_u} vs {t_c}");
+        let b = m.breakdown(&c.clone().uncoalesced(), launch);
+        let bc = m.breakdown(&c, launch);
+        assert!(b.mwp < bc.mwp, "uncoalesced MWP must shrink: {b:?} vs {bc:?}");
+    }
+
+    #[test]
+    fn models_rank_workloads_identically() {
+        // The two models need not agree in absolute terms, but their
+        // *ordering* of workloads must match — that ordering is what the
+        // figures plot.
+        let (m, s) = (hk(), simple());
+        let launch = Launch::new(1 << 20, 256);
+        let workloads = [
+            KernelProfile::streaming(1.0, 8.0),
+            KernelProfile::streaming(64.0, 8.0),
+            KernelProfile::compute(512.0),
+            KernelProfile::streaming(4.0, 64.0),
+        ];
+        let mut hk_times: Vec<(usize, f64)> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, m.kernel_time(p, launch)))
+            .collect();
+        let mut s_times: Vec<(usize, f64)> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, s.kernel_time(p, launch)))
+            .collect();
+        hk_times.sort_by(|a, b| a.1.total_cmp(&b.1));
+        s_times.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let hk_order: Vec<usize> = hk_times.iter().map(|&(i, _)| i).collect();
+        let s_order: Vec<usize> = s_times.iter().map(|&(i, _)| i).collect();
+        assert_eq!(hk_order, s_order);
+    }
+}

@@ -1,0 +1,63 @@
+//! NDRange launch geometry as the models see it (flattened to 1-D).
+
+/// A kernel launch: total workitems and workgroup size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Total number of workitems (global work size, flattened).
+    pub n_items: usize,
+    /// Workitems per workgroup (local work size, flattened).
+    pub wg_size: usize,
+}
+
+impl Launch {
+    pub fn new(n_items: usize, wg_size: usize) -> Self {
+        assert!(n_items > 0, "launch needs at least one workitem");
+        assert!(wg_size > 0, "workgroup size must be at least 1");
+        Launch { n_items, wg_size }
+    }
+
+    /// Number of workgroups (`⌈n_items / wg_size⌉`).
+    pub fn n_groups(&self) -> usize {
+        self.n_items.div_ceil(self.wg_size)
+    }
+
+    /// Size of the last (possibly partial) group.
+    pub fn last_group_size(&self) -> usize {
+        let rem = self.n_items % self.wg_size;
+        if rem == 0 {
+            self.wg_size
+        } else {
+            rem
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_count_rounds_up() {
+        assert_eq!(Launch::new(100, 32).n_groups(), 4);
+        assert_eq!(Launch::new(96, 32).n_groups(), 3);
+        assert_eq!(Launch::new(1, 1024).n_groups(), 1);
+    }
+
+    #[test]
+    fn last_group_size_handles_remainder() {
+        assert_eq!(Launch::new(100, 32).last_group_size(), 4);
+        assert_eq!(Launch::new(96, 32).last_group_size(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workitem")]
+    fn empty_launch_rejected() {
+        let _ = Launch::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_wg_rejected() {
+        let _ = Launch::new(10, 0);
+    }
+}

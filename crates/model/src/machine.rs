@@ -1,0 +1,161 @@
+//! Machine descriptions, with presets for the paper's Table I hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// An out-of-order multicore CPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads per core (SMT).
+    pub smt: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Single-precision SIMD lanes (SSE 4.2 ⇒ 4).
+    pub simd_width_f32: usize,
+    /// Latency of a dependent FP op, in cycles.
+    pub fp_latency: f64,
+    /// Independent FP operations issuable per cycle per core (port count).
+    pub fp_ports: f64,
+    /// Sustainable streaming bandwidth per core, bytes per cycle.
+    pub mem_bytes_per_cycle: f64,
+    /// L1 cache bandwidth per core, bytes per cycle (charged against
+    /// workgroup-local traffic, which stays cache-resident).
+    pub l1_bytes_per_cycle: f64,
+    /// Scheduling cost of dispatching one workgroup task, nanoseconds.
+    pub group_dispatch_ns: f64,
+    /// SPMD-emulation bookkeeping per workitem, nanoseconds (index setup,
+    /// bounds, function-call overhead of the workitem body).
+    pub item_overhead_ns: f64,
+    /// Workgroup size the runtime picks when `local_work_size` is NULL.
+    pub default_wg: usize,
+    /// `memcpy` bandwidth for host↔buffer staging copies, GB/s.
+    pub memcpy_gbps: f64,
+    /// Fixed cost of a transfer API call (allocation, validation), ns.
+    pub transfer_call_ns: f64,
+}
+
+impl CpuSpec {
+    /// The paper's CPU: Intel Xeon E5645 (Table I) — 6 Westmere cores,
+    /// 2-way SMT, SSE 4.2, 2.40 GHz.
+    pub fn xeon_e5645() -> Self {
+        CpuSpec {
+            name: "Intel Xeon E5645".to_string(),
+            cores: 6,
+            smt: 2,
+            freq_ghz: 2.4,
+            simd_width_f32: 4,
+            fp_latency: 4.0,
+            fp_ports: 2.0,
+            mem_bytes_per_cycle: 2.0,
+            l1_bytes_per_cycle: 16.0,
+            group_dispatch_ns: 200.0,
+            item_overhead_ns: 20.0,
+            default_wg: 512,
+            memcpy_gbps: 6.0,
+            transfer_call_ns: 4_000.0,
+        }
+    }
+
+    /// Logical (SMT) threads.
+    pub fn logical_cores(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Theoretical single-precision peak, GFLOP/s
+    /// (lanes × ports × logical cores × clock). The Table I figure (230.4)
+    /// counts logical cores: 4 × 2 × 12 × 2.4.
+    pub fn peak_sp_gflops(&self) -> f64 {
+        self.simd_width_f32 as f64 * self.fp_ports * self.logical_cores() as f64 * self.freq_ghz
+    }
+}
+
+/// A discrete GPU, parameterized at Fermi granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Occupancy limit: resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Occupancy limit: resident blocks (workgroups) per SM.
+    pub max_blocks_per_sm: usize,
+    /// Shared (local) memory per SM, bytes.
+    pub shared_mem_per_sm: usize,
+    /// Shader clock in GHz.
+    pub clock_ghz: f64,
+    /// Cycles to issue one warp-wide ALU instruction.
+    pub issue_cycles: f64,
+    /// Dependent-ALU latency in cycles (exposed only at low occupancy).
+    pub alu_latency: f64,
+    /// Global-memory latency in cycles.
+    pub mem_latency: f64,
+    /// Departure delay between memory transactions of one warp, cycles.
+    pub mem_departure: f64,
+    /// Global memory bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// PCIe bandwidth for host↔device transfers, GB/s.
+    pub pcie_gbps: f64,
+    /// PCIe transfer setup latency, microseconds.
+    pub pcie_latency_us: f64,
+}
+
+impl GpuSpec {
+    /// The paper's GPU: NVIDIA GeForce GTX 580 (Table I) — 16 SMs, Fermi
+    /// limits (48 warps / 8 blocks per SM, 48 KB shared), 1544 MHz shader
+    /// clock.
+    pub fn gtx580() -> Self {
+        GpuSpec {
+            name: "NVIDIA GeForce GTX 580".to_string(),
+            sms: 16,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 48 * 1024,
+            clock_ghz: 1.544,
+            issue_cycles: 1.0,
+            alu_latency: 18.0,
+            mem_latency: 400.0,
+            mem_departure: 4.0,
+            dram_gbps: 192.4,
+            pcie_gbps: 6.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+
+    /// Theoretical single-precision peak, GFLOP/s (cores × 2 ops (FMA) ×
+    /// clock; GF110 has 32 CUDA cores per SM). Table I: 1.56 TFLOP/s.
+    pub fn peak_sp_gflops(&self) -> f64 {
+        (self.sms * 32) as f64 * 2.0 * self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_peak_matches_table1() {
+        let s = CpuSpec::xeon_e5645();
+        assert!((s.peak_sp_gflops() - 230.4).abs() < 1e-9);
+        assert_eq!(s.logical_cores(), 12);
+    }
+
+    #[test]
+    fn gtx580_peak_matches_table1() {
+        let s = GpuSpec::gtx580();
+        // 512 cores × 2 × 1.544 GHz = 1581 GFLOP/s ≈ the 1.56 TFLOP/s quoted.
+        assert!((s.peak_sp_gflops() - 1581.056).abs() < 1e-6);
+    }
+
+    #[test]
+    fn specs_clone_and_compare() {
+        let s = CpuSpec::xeon_e5645();
+        assert_eq!(s, s.clone());
+        let g = GpuSpec::gtx580();
+        assert_eq!(g, g.clone());
+    }
+}

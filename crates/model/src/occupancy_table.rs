@@ -1,0 +1,148 @@
+//! An occupancy-calculator table, like NVIDIA's spreadsheet: for each
+//! workgroup size, the resident blocks/warps per SM and the limiting
+//! resource. The paper's Figures 3/4 GPU curves are this table acting on
+//! throughput.
+
+use crate::gpu::GpuModel;
+use crate::launch::Launch;
+use crate::machine::GpuSpec;
+use crate::profile::KernelProfile;
+
+/// Which hardware limit capped occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// The per-SM resident-warp limit.
+    Warps,
+    /// The per-SM resident-block limit.
+    Blocks,
+    /// Shared (local) memory capacity.
+    SharedMemory,
+}
+
+/// One row of the occupancy table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyRow {
+    pub wg_size: usize,
+    pub warps_per_block: usize,
+    pub blocks_per_sm: usize,
+    pub active_warps: usize,
+    /// `active_warps / max_warps_per_sm`.
+    pub occupancy: f64,
+    pub limit: OccupancyLimit,
+}
+
+/// Build the occupancy table for `spec` and a kernel using
+/// `local_mem_per_group` bytes of shared memory, over power-of-two
+/// workgroup sizes up to the warp limit.
+pub fn occupancy_table(spec: &GpuSpec, local_mem_per_group: f64) -> Vec<OccupancyRow> {
+    let model = GpuModel::new(spec.clone());
+    let profile = KernelProfile::compute(16.0).with_local_mem(local_mem_per_group);
+    let max_wg = spec.warp_size * spec.max_warps_per_sm;
+    let mut rows = Vec::new();
+    let mut wg = 1usize;
+    while wg <= max_wg {
+        // A launch large enough that the residency caps, not the grid,
+        // bind.
+        let launch = Launch::new(wg * spec.max_blocks_per_sm * spec.sms * 4, wg);
+        let occ = model.occupancy(&profile, launch);
+        let warps_per_block = occ.warps_per_block;
+        let by_warps = spec.max_warps_per_sm / warps_per_block;
+        let by_shmem = if local_mem_per_group > 0.0 {
+            (spec.shared_mem_per_sm as f64 / local_mem_per_group) as usize
+        } else {
+            usize::MAX
+        };
+        let limit = if occ.blocks_per_sm == by_shmem {
+            OccupancyLimit::SharedMemory
+        } else if occ.blocks_per_sm == spec.max_blocks_per_sm
+            && spec.max_blocks_per_sm <= by_warps
+        {
+            OccupancyLimit::Blocks
+        } else {
+            OccupancyLimit::Warps
+        };
+        rows.push(OccupancyRow {
+            wg_size: wg,
+            warps_per_block,
+            blocks_per_sm: occ.blocks_per_sm,
+            active_warps: occ.active_warps,
+            occupancy: occ.active_warps as f64 / spec.max_warps_per_sm as f64,
+            limit,
+        });
+        wg *= 2;
+    }
+    rows
+}
+
+/// Render the table as Markdown (used by docs and the device explorer).
+pub fn render_occupancy_table(rows: &[OccupancyRow]) -> String {
+    let mut out = String::from(
+        "| wg | warps/block | blocks/SM | active warps | occupancy | limited by |\n\
+         |---:|---:|---:|---:|---:|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.0}% | {:?} |\n",
+            r.wg_size,
+            r.warps_per_block,
+            r.blocks_per_sm,
+            r.active_warps,
+            r.occupancy * 100.0,
+            r.limit
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_table_matches_known_points() {
+        let rows = occupancy_table(&GpuSpec::gtx580(), 0.0);
+        let at = |wg: usize| rows.iter().find(|r| r.wg_size == wg).copied().unwrap();
+        // wg=32: 1 warp/block, 8-block limit → 8 warps → 17%.
+        let r = at(32);
+        assert_eq!(r.blocks_per_sm, 8);
+        assert_eq!(r.active_warps, 8);
+        assert_eq!(r.limit, OccupancyLimit::Blocks);
+        // wg=256: 8 warps/block × 6 blocks = 48 warps → 100%.
+        let r = at(256);
+        assert_eq!(r.active_warps, 48);
+        assert!((r.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(r.limit, OccupancyLimit::Warps);
+        // wg=1536 (the Fermi max): one block of 48 warps.
+        let r = at(1024);
+        assert_eq!(r.warps_per_block, 32);
+        assert_eq!(r.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn shared_memory_becomes_the_limit() {
+        // 16 KB per block on a 48 KB SM → at most 3 blocks everywhere the
+        // warp cap allows more.
+        let rows = occupancy_table(&GpuSpec::gtx580(), 16.0 * 1024.0);
+        let r = rows.iter().find(|r| r.wg_size == 64).unwrap();
+        assert_eq!(r.blocks_per_sm, 3);
+        assert_eq!(r.limit, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        for shmem in [0.0, 1024.0, 12.0 * 1024.0] {
+            for r in occupancy_table(&GpuSpec::gtx580(), shmem) {
+                assert!(r.occupancy <= 1.0 + 1e-12, "{r:?}");
+                assert!(r.active_warps >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_a_row_per_size() {
+        let rows = occupancy_table(&GpuSpec::gtx580(), 0.0);
+        let md = render_occupancy_table(&rows);
+        assert_eq!(md.lines().count(), rows.len() + 2);
+        assert!(md.contains("| 256 | 8 | 6 | 48 | 100% | Warps |"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Data-transfer time models (Section III-D / Figures 7, 8).
+
+use crate::machine::{CpuSpec, GpuSpec};
+
+/// Which physical path a transfer takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferPath {
+    /// Host ↔ CPU-device buffer: same DRAM, so cost is `memcpy` plus API
+    /// overhead.
+    CpuDevice,
+    /// Host ↔ discrete GPU over PCIe.
+    PcieDevice,
+}
+
+/// Analytic transfer-time model.
+///
+/// The copy APIs (`clEnqueueRead/WriteBuffer`) move bytes through a staging
+/// object: on the CPU path that is two `memcpy` hops plus an allocation; the
+/// map API returns a pointer and costs only the API call. On the PCIe path
+/// both families ultimately cross the bus, but mapping pinned memory avoids
+/// the staging hop.
+#[derive(Debug, Clone)]
+pub struct TransferModel {
+    pub path: TransferPath,
+    /// `memcpy` bandwidth, GB/s (CPU path).
+    pub memcpy_gbps: f64,
+    /// Fixed API overhead per call, ns.
+    pub call_ns: f64,
+    /// PCIe bandwidth, GB/s (PCIe path).
+    pub pcie_gbps: f64,
+    /// PCIe setup latency, µs (PCIe path).
+    pub pcie_latency_us: f64,
+}
+
+impl TransferModel {
+    /// The CPU-device model from a [`CpuSpec`].
+    pub fn cpu(spec: &CpuSpec) -> Self {
+        TransferModel {
+            path: TransferPath::CpuDevice,
+            memcpy_gbps: spec.memcpy_gbps,
+            call_ns: spec.transfer_call_ns,
+            pcie_gbps: 0.0,
+            pcie_latency_us: 0.0,
+        }
+    }
+
+    /// The PCIe model from a [`GpuSpec`].
+    pub fn gpu(spec: &GpuSpec) -> Self {
+        TransferModel {
+            path: TransferPath::PcieDevice,
+            memcpy_gbps: 8.0,
+            call_ns: 2_000.0,
+            pcie_gbps: spec.pcie_gbps,
+            pcie_latency_us: spec.pcie_latency_us,
+        }
+    }
+
+    /// Seconds to move `bytes` with the explicit-copy API.
+    pub fn copy_time(&self, bytes: usize) -> f64 {
+        let b = bytes as f64;
+        match self.path {
+            TransferPath::CpuDevice => {
+                // Two memcpy hops through the staging object, plus the call.
+                self.call_ns * 1e-9 + 2.0 * b / (self.memcpy_gbps * 1e9)
+            }
+            TransferPath::PcieDevice => {
+                // Staging hop in host memory, then the bus.
+                self.call_ns * 1e-9
+                    + b / (self.memcpy_gbps * 1e9)
+                    + self.pcie_latency_us * 1e-6
+                    + b / (self.pcie_gbps * 1e9)
+            }
+        }
+    }
+
+    /// Seconds for the map API to make `bytes` host-accessible.
+    pub fn map_time(&self, bytes: usize) -> f64 {
+        let b = bytes as f64;
+        match self.path {
+            // Pointer return only.
+            TransferPath::CpuDevice => self.call_ns * 1e-9,
+            // Pinned DMA across the bus, no staging hop.
+            TransferPath::PcieDevice => {
+                self.call_ns * 1e-9 + self.pcie_latency_us * 1e-6 + b / (self.pcie_gbps * 1e9)
+            }
+        }
+    }
+
+    /// `copy_time / map_time` — the advantage Figure 7 plots (per transfer).
+    pub fn map_advantage(&self, bytes: usize) -> f64 {
+        self.copy_time(bytes) / self.map_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_model() -> TransferModel {
+        TransferModel::cpu(&CpuSpec::xeon_e5645())
+    }
+
+    #[test]
+    fn mapping_beats_copying_on_cpu() {
+        let m = cpu_model();
+        for bytes in [4 << 10, 1 << 20, 64 << 20] {
+            assert!(m.map_time(bytes) < m.copy_time(bytes), "{bytes}");
+        }
+    }
+
+    #[test]
+    fn map_advantage_grows_with_size() {
+        // Paper: "the performance gap increases with ... data transfer sizes".
+        let m = cpu_model();
+        let small = m.map_advantage(64 << 10);
+        let large = m.map_advantage(64 << 20);
+        assert!(large > small, "{small} -> {large}");
+    }
+
+    #[test]
+    fn cpu_map_cost_is_size_independent() {
+        let m = cpu_model();
+        assert_eq!(m.map_time(1 << 10), m.map_time(1 << 30));
+    }
+
+    #[test]
+    fn pcie_transfers_pay_latency_and_bandwidth() {
+        let m = TransferModel::gpu(&GpuSpec::gtx580());
+        let t = m.copy_time(1 << 20);
+        assert!(t > m.pcie_latency_us * 1e-6);
+        // Map still crosses the bus on a discrete device, but is cheaper
+        // than copy (no staging hop).
+        assert!(m.map_time(1 << 20) < t);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_the_call() {
+        let m = cpu_model();
+        assert!((m.copy_time(0) - m.call_ns * 1e-9).abs() < 1e-15);
+    }
+}

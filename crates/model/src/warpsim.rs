@@ -1,0 +1,354 @@
+//! A cycle-stepping SM simulator — the dynamic counterpart to the two
+//! analytic GPU models.
+//!
+//! Where [`crate::GpuModel`] and [`crate::HongKimModel`] compute closed-form
+//! cycle counts, this module *executes* the warp schedule: `N` resident
+//! warps, a round-robin single-issue scheduler, dependent-ALU latency via
+//! per-warp scoreboarding, and a bounded pool of outstanding memory
+//! requests (MSHRs). It exists to validate the analytic models' regimes
+//! from below — the three implementations must agree on every qualitative
+//! behaviour the reproduction relies on — and to expose schedule-level
+//! detail (issue occupancy, stall breakdown) the closed forms cannot.
+
+use crate::launch::Launch;
+use crate::machine::GpuSpec;
+use crate::profile::KernelProfile;
+
+/// Configuration of the dynamic SM simulation.
+#[derive(Debug, Clone)]
+pub struct WarpSimConfig {
+    pub spec: GpuSpec,
+    /// Outstanding memory requests the SM sustains (MSHR capacity).
+    pub mshrs: usize,
+    /// Per-op readiness delay divisor from intra-thread ILP is capped here.
+    pub max_ilp: f64,
+}
+
+impl WarpSimConfig {
+    pub fn new(spec: GpuSpec) -> Self {
+        WarpSimConfig {
+            spec,
+            mshrs: 32,
+            max_ilp: 8.0,
+        }
+    }
+}
+
+/// Outcome of simulating one wave of resident warps on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmRun {
+    /// Cycles until every resident warp retired.
+    pub cycles: u64,
+    /// Cycles in which an instruction issued.
+    pub issue_cycles: u64,
+    /// Cycles in which every warp was blocked on ALU dependences.
+    pub alu_stall_cycles: u64,
+    /// Cycles in which every warp was blocked on memory (latency or MSHRs).
+    pub mem_stall_cycles: u64,
+}
+
+impl SmRun {
+    /// Fraction of cycles that issued an instruction.
+    pub fn issue_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issue_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Warp {
+    /// Remaining (compute-op, then-load) segments.
+    segments_left: u32,
+    /// Compute ops left in the current segment.
+    ops_left: u32,
+    /// Earliest cycle this warp may issue again.
+    ready_at: u64,
+    /// Waiting on an outstanding load.
+    waiting_mem: bool,
+    done: bool,
+}
+
+/// Instruction-trace shape derived from a [`KernelProfile`]: the per-thread
+/// stream is `segments` repetitions of (`ops_per_segment` dependent-ish
+/// compute ops, then one load), with any flop remainder folded into the
+/// first segment.
+fn trace_shape(profile: &KernelProfile) -> (u32, u32, bool) {
+    let loads = (profile.mem_bytes / 4.0).round().max(0.0) as u32;
+    let flops = profile.flops.round().max(1.0) as u32;
+    if loads == 0 {
+        (1, flops, false)
+    } else {
+        (loads, (flops / loads).max(1), true)
+    }
+}
+
+/// Simulate one SM running `n_warps` resident warps of `profile`.
+pub fn simulate_sm(cfg: &WarpSimConfig, profile: &KernelProfile, n_warps: usize) -> SmRun {
+    let (segments, ops_per_segment, has_loads) = trace_shape(profile);
+    let s = &cfg.spec;
+    // Per-op readiness delay: a fully dependent chain waits the ALU latency;
+    // `ilp` independent streams divide it.
+    let chain_fraction = if profile.flops > 0.0 {
+        (profile.chain_ops * profile.ilp / profile.flops).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let op_delay = ((s.alu_latency / profile.ilp.min(cfg.max_ilp)) * chain_fraction)
+        .max(1.0)
+        .round() as u64;
+    let txns = if profile.coalesced_access {
+        1u64
+    } else {
+        s.warp_size as u64
+    };
+    let mem_latency = s.mem_latency as u64 + (txns - 1) * s.mem_departure as u64;
+
+    let mut warps = vec![
+        Warp {
+            segments_left: segments,
+            ops_left: ops_per_segment,
+            ready_at: 0,
+            waiting_mem: false,
+            done: n_warps == 0,
+        };
+        n_warps.max(1)
+    ];
+    if n_warps == 0 {
+        return SmRun {
+            cycles: 0,
+            issue_cycles: 0,
+            alu_stall_cycles: 0,
+            mem_stall_cycles: 0,
+        };
+    }
+
+    // Outstanding load completion times (bounded by MSHRs).
+    let mut mshrs: Vec<u64> = Vec::with_capacity(cfg.mshrs);
+    let mut cycle: u64 = 0;
+    let mut issue_cycles = 0u64;
+    let mut alu_stalls = 0u64;
+    let mut mem_stalls = 0u64;
+    let mut rr = 0usize; // round-robin cursor
+    let hard_stop = 1u64 << 40;
+
+    loop {
+        // Retire completed loads.
+        mshrs.retain(|&t| t > cycle);
+        for w in warps.iter_mut() {
+            if w.waiting_mem && w.ready_at <= cycle {
+                w.waiting_mem = false;
+            }
+        }
+        if warps.iter().all(|w| w.done) {
+            break;
+        }
+
+        // Find a ready warp, round-robin.
+        let n = warps.len();
+        let mut issued = false;
+        for k in 0..n {
+            let idx = (rr + k) % n;
+            let w = &mut warps[idx];
+            if w.done || w.ready_at > cycle {
+                continue;
+            }
+            // Issue one instruction from this warp.
+            if w.ops_left > 0 {
+                w.ops_left -= 1;
+                w.ready_at = cycle + op_delay;
+                if w.ops_left == 0 && !has_loads {
+                    // Compute-only segment boundary: advance without a load.
+                    w.segments_left -= 1;
+                    if w.segments_left > 0 {
+                        w.ops_left = ops_per_segment;
+                    }
+                }
+            } else if w.segments_left > 0 {
+                // The segment's trailing load.
+                if mshrs.len() >= cfg.mshrs {
+                    continue; // structurally stalled; try another warp
+                }
+                mshrs.push(cycle + mem_latency);
+                w.ready_at = cycle + mem_latency;
+                w.waiting_mem = true;
+                w.segments_left -= 1;
+                if w.segments_left > 0 {
+                    w.ops_left = ops_per_segment;
+                }
+            }
+            if w.ops_left == 0 && w.segments_left == 0 && !w.waiting_mem {
+                w.done = true;
+            }
+            rr = (idx + 1) % n;
+            issued = true;
+            issue_cycles += 1;
+            break;
+        }
+
+        if !issued {
+            // Classify the stall: memory if any warp waits on a load or
+            // MSHRs are full, else ALU.
+            if warps.iter().any(|w| !w.done && w.waiting_mem) || mshrs.len() >= cfg.mshrs {
+                mem_stalls += 1;
+            } else {
+                alu_stalls += 1;
+            }
+            // Skip straight to the next interesting cycle.
+            let next_ready = warps
+                .iter()
+                .filter(|w| !w.done)
+                .map(|w| w.ready_at)
+                .min()
+                .unwrap_or(cycle + 1);
+            let next_mshr = mshrs.iter().copied().min().unwrap_or(u64::MAX);
+            let target = next_ready.min(next_mshr).max(cycle + 1);
+            let skipped = target - cycle - 1;
+            if warps.iter().any(|w| !w.done && w.waiting_mem) || mshrs.len() >= cfg.mshrs {
+                mem_stalls += skipped;
+            } else {
+                alu_stalls += skipped;
+            }
+            cycle = target;
+            continue;
+        }
+        cycle += 1;
+        if cycle > hard_stop {
+            panic!("warp simulation did not terminate");
+        }
+    }
+
+    SmRun {
+        cycles: cycle,
+        issue_cycles,
+        alu_stall_cycles: alu_stalls,
+        mem_stall_cycles: mem_stalls,
+    }
+}
+
+/// Wall-clock seconds for a whole launch: waves of resident blocks per SM,
+/// each wave simulated dynamically.
+pub fn kernel_time(cfg: &WarpSimConfig, profile: &KernelProfile, launch: Launch) -> f64 {
+    let analytic = crate::gpu::GpuModel::new(cfg.spec.clone());
+    let occ = analytic.occupancy(profile, launch);
+    let run = simulate_sm(cfg, profile, occ.active_warps);
+    let cycles = run.cycles.max(1) * occ.waves as u64;
+    cycles as f64 / (cfg.spec.clock_ghz * 1e9) + 5e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+    use crate::machine::GpuSpec;
+
+    fn cfg() -> WarpSimConfig {
+        WarpSimConfig::new(GpuSpec::gtx580())
+    }
+
+    #[test]
+    fn compute_only_single_warp_is_latency_bound() {
+        // One warp, one segment of 100 fully dependent ops: every op waits
+        // the full ALU latency.
+        let p = KernelProfile::compute(100.0);
+        let run = simulate_sm(&cfg(), &p, 1);
+        let expected = 100 * GpuSpec::gtx580().alu_latency as u64;
+        assert!(
+            run.cycles >= expected - 20 && run.cycles <= expected + 20,
+            "{run:?} vs ~{expected}"
+        );
+        assert!(run.alu_stall_cycles > run.issue_cycles);
+    }
+
+    #[test]
+    fn many_warps_hide_alu_latency() {
+        // 48 resident warps of dependent chains: issue slots fill and the
+        // SM becomes throughput-bound.
+        let p = KernelProfile::compute(100.0);
+        let run = simulate_sm(&cfg(), &p, 48);
+        assert!(
+            run.issue_occupancy() > 0.9,
+            "occupancy {}",
+            run.issue_occupancy()
+        );
+        // Total issue work = 48 × 100 ops.
+        assert_eq!(run.issue_cycles, 4800);
+    }
+
+    #[test]
+    fn ilp_matters_alone_but_not_at_occupancy() {
+        let p1 = KernelProfile::compute(128.0).with_ilp(1.0);
+        let p4 = KernelProfile::compute(128.0).with_ilp(4.0);
+        let solo1 = simulate_sm(&cfg(), &p1, 1).cycles;
+        let solo4 = simulate_sm(&cfg(), &p4, 1).cycles;
+        assert!(
+            solo1 as f64 > 2.5 * solo4 as f64,
+            "single warp: ILP must matter ({solo1} vs {solo4})"
+        );
+        let full1 = simulate_sm(&cfg(), &p1, 48).cycles;
+        let full4 = simulate_sm(&cfg(), &p4, 48).cycles;
+        let rel = (full1 as f64 - full4 as f64).abs() / full1 as f64;
+        assert!(rel < 0.1, "full occupancy: ILP must not matter ({full1} vs {full4})");
+    }
+
+    #[test]
+    fn memory_latency_is_hidden_by_warps_until_mshrs_bind() {
+        let p = KernelProfile::streaming(4.0, 16.0); // 4 loads per thread
+        let few = simulate_sm(&cfg(), &p, 2);
+        let many = simulate_sm(&cfg(), &p, 32);
+        // Per-warp cycles must shrink with TLP.
+        let per_few = few.cycles as f64 / 2.0;
+        let per_many = many.cycles as f64 / 32.0;
+        assert!(
+            per_many < per_few / 3.0,
+            "TLP must hide memory latency: {per_few} vs {per_many}"
+        );
+        assert!(few.mem_stall_cycles > few.issue_cycles);
+    }
+
+    #[test]
+    fn dynamic_and_analytic_models_rank_configurations_identically() {
+        let sim = cfg();
+        let analytic = GpuModel::new(GpuSpec::gtx580());
+        let p = KernelProfile::streaming(8.0, 16.0);
+        let mut sim_times = Vec::new();
+        let mut ana_times = Vec::new();
+        for wg in [1usize, 32, 256] {
+            let launch = Launch::new(1 << 18, wg);
+            sim_times.push(kernel_time(&sim, &p, launch));
+            ana_times.push(analytic.kernel_time(&p, launch));
+        }
+        // Both must order wg=1 slowest … wg=256 fastest.
+        assert!(sim_times[0] > sim_times[1] && sim_times[1] > sim_times[2], "{sim_times:?}");
+        assert!(ana_times[0] > ana_times[1] && ana_times[1] > ana_times[2], "{ana_times:?}");
+    }
+
+    #[test]
+    fn uncoalesced_loads_cost_more_cycles() {
+        let p = KernelProfile::streaming(4.0, 16.0);
+        let c = simulate_sm(&cfg(), &p, 16).cycles;
+        let u = simulate_sm(&cfg(), &p.clone().uncoalesced(), 16).cycles;
+        assert!(u > c, "{u} vs {c}");
+    }
+
+    #[test]
+    fn zero_warps_is_empty() {
+        let run = simulate_sm(&cfg(), &KernelProfile::compute(10.0), 0);
+        assert_eq!(run.cycles, 0);
+    }
+
+    #[test]
+    fn stall_accounting_covers_every_cycle() {
+        let p = KernelProfile::streaming(16.0, 32.0);
+        for warps in [1usize, 8, 48] {
+            let run = simulate_sm(&cfg(), &p, warps);
+            assert_eq!(
+                run.issue_cycles + run.alu_stall_cycles + run.mem_stall_cycles,
+                run.cycles,
+                "{warps} warps: {run:?}"
+            );
+        }
+    }
+}

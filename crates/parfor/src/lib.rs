@@ -1,0 +1,47 @@
+//! # par-for — an OpenMP-style parallel-for runtime
+//!
+//! The reproduced paper contrasts OpenCL against "the conventional parallel
+//! programming model" — OpenMP. This crate is that baseline, built on the
+//! same [`cl_pool::ThreadPool`] the OpenCL-style runtime uses, so measured
+//! differences are attributable to the programming model (granularity,
+//! scheduling policy, vectorization strategy) rather than to two unrelated
+//! thread pools.
+//!
+//! Feature map to OpenMP:
+//!
+//! | OpenMP                                | here                                              |
+//! |---------------------------------------|---------------------------------------------------|
+//! | `#pragma omp parallel for`            | [`Team::parallel_for`]                            |
+//! | `schedule(static[,chunk])`            | [`Schedule::Static`]                              |
+//! | `schedule(dynamic,chunk)`             | [`Schedule::Dynamic`]                             |
+//! | `schedule(guided)`                    | [`Schedule::Guided`]                              |
+//! | `reduction(+:acc)`                    | [`Team::parallel_reduce`]                         |
+//! | `OMP_NUM_THREADS`                     | [`Team::new`] thread count                        |
+//! | `OMP_PROC_BIND` / `GOMP_CPU_AFFINITY` | [`cl_pool::PinPolicy`] via [`Team::with_pool`]    |
+//!
+//! ## Example
+//!
+//! ```
+//! use par_for::{Team, Schedule};
+//!
+//! let team = Team::new(4).unwrap();
+//! let a = vec![1.0f32; 1000];
+//! let b = vec![2.0f32; 1000];
+//! let mut c = vec![0.0f32; 1000];
+//! {
+//!     let (a, b) = (&a, &b);
+//!     team.parallel_for_mut(&mut c, Schedule::Static { chunk: None }, |i, ci| {
+//!         *ci = a[i] + b[i];
+//!     });
+//! }
+//! assert!(c.iter().all(|&x| x == 3.0));
+//! ```
+
+mod loops;
+mod reduce;
+mod schedule;
+mod sections;
+mod team;
+
+pub use schedule::Schedule;
+pub use team::{Team, TeamError};

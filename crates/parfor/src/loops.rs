@@ -1,0 +1,252 @@
+//! Worksharing loop constructs.
+
+use std::ops::Range;
+
+use cl_pool::{ChunkSource, GuidedSource};
+
+use crate::schedule::Schedule;
+use crate::team::Team;
+
+impl Team {
+    /// `#pragma omp parallel for schedule(...)`: run `body(i)` for every
+    /// `i` in `range`, blocking until all iterations complete.
+    pub fn parallel_for<F>(&self, range: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let base = range.start;
+        let body = &body;
+        match sched {
+            Schedule::Static { .. } => {
+                let blocks = sched
+                    .static_blocks(n, self.threads())
+                    .expect("static schedule has blocks");
+                self.pool().scope(|s| {
+                    for (lo, hi) in blocks {
+                        s.spawn(move || {
+                            for i in lo..hi {
+                                body(base + i);
+                            }
+                        });
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } => {
+                let src = ChunkSource::new(n, usize::max(chunk, 1));
+                let src = &src;
+                self.pool().scope(|s| {
+                    for _ in 0..self.threads() {
+                        s.spawn(move || {
+                            while let Some(r) = src.claim() {
+                                for i in r {
+                                    body(base + i);
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            Schedule::Guided { min_chunk } => {
+                let src = GuidedSource::new(n, self.threads(), min_chunk);
+                let src = &src;
+                self.pool().scope(|s| {
+                    for _ in 0..self.threads() {
+                        s.spawn(move || {
+                            while let Some(r) = src.claim() {
+                                for i in r {
+                                    body(base + i);
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel loop with exclusive access to one output element per
+    /// iteration: `body(i, &mut data[i])`.
+    ///
+    /// This is the shape of the OpenMP ports of the study's kernels
+    /// (`c[i] = f(a[i], b[i])`): safe mutable disjoint access without
+    /// interior mutability. Chunking follows `sched` at element granularity.
+    pub fn parallel_for_mut<T, F>(&self, data: &mut [T], sched: Schedule, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let body = &body;
+        match sched {
+            Schedule::Static { .. } => {
+                let blocks = sched
+                    .static_blocks(n, self.threads())
+                    .expect("static schedule has blocks");
+                self.pool().scope(|s| {
+                    let mut rest = data;
+                    let mut offset = 0;
+                    for (lo, hi) in blocks {
+                        let (head, tail) = rest.split_at_mut(hi - lo);
+                        rest = tail;
+                        let start = offset;
+                        offset = hi;
+                        s.spawn(move || {
+                            for (k, slot) in head.iter_mut().enumerate() {
+                                body(start + k, slot);
+                            }
+                        });
+                    }
+                });
+            }
+            // Run-time schedules need shared claiming; hand out raw chunks
+            // through a ChunkSource and index into the slice via a shared
+            // base pointer. Disjointness is guaranteed by the source.
+            Schedule::Dynamic { chunk } => {
+                self.dynamic_for_mut(data, usize::max(chunk, 1), body);
+            }
+            Schedule::Guided { min_chunk } => {
+                // Guided over mutable data falls back to dynamic with the
+                // minimum chunk; the shrinking sequence does not change
+                // which indices are visited.
+                self.dynamic_for_mut(data, usize::max(min_chunk, 1), body);
+            }
+        }
+    }
+
+    fn dynamic_for_mut<T, F>(&self, data: &mut [T], chunk: usize, body: &F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = data.len();
+        let src = ChunkSource::new(n, chunk);
+        let src = &src;
+        let ptr = SharedMut(data.as_mut_ptr());
+        let ptr = &ptr;
+        self.pool().scope(|s| {
+            for _ in 0..self.threads() {
+                s.spawn(move || {
+                    while let Some(r) = src.claim() {
+                        for i in r {
+                            // SAFETY: the chunk source hands each index to
+                            // exactly one claimant, so this &mut is unique;
+                            // the scope join keeps `data` alive.
+                            let slot = unsafe { &mut *ptr.0.add(i) };
+                            body(i, slot);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Two-dimensional worksharing loop (`collapse(2)`): runs
+    /// `body(row, col)` over the full cross product, parallelizing rows.
+    pub fn parallel_for_2d<F>(&self, rows: Range<usize>, cols: Range<usize>, sched: Schedule, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let cols_range = cols.clone();
+        let body = &body;
+        self.parallel_for(rows, sched, move |r| {
+            for c in cols_range.clone() {
+                body(r, c);
+            }
+        });
+    }
+}
+
+struct SharedMut<T>(*mut T);
+// SAFETY: used only with disjoint indices handed out by a ChunkSource.
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn hit_all(team: &Team, sched: Schedule, n: usize) {
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for(0..n, sched, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+            "schedule {} missed or duplicated iterations",
+            sched.describe()
+        );
+    }
+
+    #[test]
+    fn every_schedule_visits_each_index_once() {
+        let team = Team::new(4).unwrap();
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 13 },
+            Schedule::Guided { min_chunk: 4 },
+        ] {
+            hit_all(&team, sched, 997);
+        }
+    }
+
+    #[test]
+    fn nonzero_range_start_is_respected() {
+        let team = Team::new(2).unwrap();
+        let hits: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for(5..15, Schedule::Dynamic { chunk: 3 }, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from((5..15).contains(&i));
+            assert_eq!(h.load(Ordering::SeqCst), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let team = Team::new(2).unwrap();
+        team.parallel_for(3..3, Schedule::default(), |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn for_mut_writes_every_element() {
+        let team = Team::new(4).unwrap();
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Dynamic { chunk: 8 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let mut v = vec![0usize; 1009];
+            team.parallel_for_mut(&mut v, sched, |i, x| *x = i * 2);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+        }
+    }
+
+    #[test]
+    fn for_2d_covers_cross_product() {
+        let team = Team::new(3).unwrap();
+        let hits: Vec<AtomicUsize> = (0..12 * 9).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for_2d(0..12, 0..9, Schedule::default(), |r, c| {
+            hits[r * 9 + c].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_team_matches_serial() {
+        let team = Team::new(1).unwrap();
+        let mut v = vec![0.0f64; 256];
+        team.parallel_for_mut(&mut v, Schedule::default(), |i, x| *x = (i as f64).sqrt());
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i as f64).sqrt());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Reductions, analogous to OpenMP's `reduction` clause: each thread folds a
+//! private accumulator over its iterations, then the privates are combined.
+
+use std::ops::Range;
+
+use parking_lot::Mutex;
+
+use cl_pool::ChunkSource;
+
+use crate::schedule::Schedule;
+use crate::team::Team;
+
+impl Team {
+    /// `#pragma omp parallel for reduction(op:acc)`.
+    ///
+    /// * `identity()` produces each thread's private accumulator.
+    /// * `fold(acc, i)` accumulates one iteration.
+    /// * `combine(a, b)` merges two private accumulators.
+    ///
+    /// For a deterministic result, `combine` should be associative and
+    /// commutative over the folded values (floating-point sums are combined
+    /// in an unspecified thread order, exactly as in OpenMP).
+    pub fn parallel_reduce<T, I, F, C>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        identity: I,
+        fold: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(T, usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return identity();
+        }
+        let base = range.start;
+        let partials_store: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        let (identity, fold, partials) = (&identity, &fold, &partials_store);
+
+        match sched {
+            Schedule::Static { .. } => {
+                let blocks = sched
+                    .static_blocks(n, self.threads())
+                    .expect("static schedule has blocks");
+                self.pool().scope(|s| {
+                    for (lo, hi) in blocks {
+                        s.spawn(move || {
+                            let mut acc = identity();
+                            for i in lo..hi {
+                                acc = fold(acc, base + i);
+                            }
+                            partials.lock().push(acc);
+                        });
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } | Schedule::Guided { min_chunk: chunk } => {
+                let src = ChunkSource::new(n, usize::max(chunk, 1));
+                let src = &src;
+                self.pool().scope(|s| {
+                    for _ in 0..self.threads() {
+                        s.spawn(move || {
+                            let mut acc = identity();
+                            let mut touched = false;
+                            while let Some(r) = src.claim() {
+                                touched = true;
+                                for i in r {
+                                    acc = fold(acc, base + i);
+                                }
+                            }
+                            if touched {
+                                partials.lock().push(acc);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        let mut merged = identity();
+        for p in partials_store.into_inner() {
+            merged = combine(merged, p);
+        }
+        merged
+    }
+
+    /// Convenience sum reduction over `f(i)` (the common `reduction(+:x)`).
+    pub fn parallel_sum<F>(&self, range: Range<usize>, sched: Schedule, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        self.parallel_reduce(range, sched, || 0.0, |acc, i| acc + f(i), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let team = Team::new(4).unwrap();
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Dynamic { chunk: 16 },
+            Schedule::Guided { min_chunk: 8 },
+        ] {
+            let s = team.parallel_sum(0..10_001, sched, |i| i as f64);
+            assert_eq!(s, (10_000.0 * 10_001.0) / 2.0, "{}", sched.describe());
+        }
+    }
+
+    #[test]
+    fn empty_reduction_is_identity() {
+        let team = Team::new(2).unwrap();
+        let s = team.parallel_reduce(4..4, Schedule::default(), || 7i64, |a, _| a + 1, |a, b| a + b);
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let team = Team::new(3).unwrap();
+        let data: Vec<i64> = (0..5000).map(|i| (i * 37 % 4999) as i64).collect();
+        let data = &data;
+        let m = team.parallel_reduce(
+            0..data.len(),
+            Schedule::Dynamic { chunk: 64 },
+            || i64::MIN,
+            |acc, i| acc.max(data[i]),
+            |a, b| a.max(b),
+        );
+        assert_eq!(m, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn dot_product_matches_serial() {
+        let team = Team::new(4).unwrap();
+        let a: Vec<f64> = (0..2048).map(|i| (i % 17) as f64).collect();
+        let b: Vec<f64> = (0..2048).map(|i| (i % 13) as f64).collect();
+        let (ar, br) = (&a, &b);
+        let dot = team.parallel_sum(0..a.len(), Schedule::default(), |i| ar[i] * br[i]);
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot - serial).abs() < 1e-9);
+    }
+}

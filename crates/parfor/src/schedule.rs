@@ -1,0 +1,107 @@
+//! Loop scheduling policies, mirroring OpenMP's `schedule` clause.
+
+/// How loop iterations are divided among team threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks decided up front. `chunk: None` gives each thread
+    /// one block of `⌈n/threads⌉` iterations (OpenMP default); `Some(c)`
+    /// deals out fixed blocks of `c` iterations round-robin.
+    Static { chunk: Option<usize> },
+    /// Threads claim fixed-size chunks from a shared counter at run time.
+    Dynamic { chunk: usize },
+    /// Threads claim shrinking chunks (`remaining / (2·threads)`), never
+    /// smaller than `min_chunk`.
+    Guided { min_chunk: usize },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+}
+
+impl Schedule {
+    /// OpenMP-style spelling, for reports ("static", "dynamic,64", …).
+    pub fn describe(&self) -> String {
+        match self {
+            Schedule::Static { chunk: None } => "static".to_string(),
+            Schedule::Static { chunk: Some(c) } => format!("static,{c}"),
+            Schedule::Dynamic { chunk } => format!("dynamic,{chunk}"),
+            Schedule::Guided { min_chunk } => format!("guided,{min_chunk}"),
+        }
+    }
+
+    /// The static block boundaries for `n` iterations over `threads`
+    /// threads; `None` for run-time (dynamic/guided) schedules.
+    pub fn static_blocks(&self, n: usize, threads: usize) -> Option<Vec<(usize, usize)>> {
+        let threads = usize::max(threads, 1);
+        match *self {
+            Schedule::Static { chunk: None } => {
+                let block = n.div_ceil(threads);
+                let mut out = Vec::new();
+                let mut start = 0;
+                while start < n {
+                    let end = usize::min(start + block, n);
+                    out.push((start, end));
+                    start = end;
+                }
+                Some(out)
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                let c = usize::max(c, 1);
+                let mut out = Vec::new();
+                let mut start = 0;
+                while start < n {
+                    let end = usize::min(start + c, n);
+                    out.push((start, end));
+                    start = end;
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_static_splits_evenly() {
+        let blocks = Schedule::default().static_blocks(100, 4).unwrap();
+        assert_eq!(blocks, vec![(0, 25), (25, 50), (50, 75), (75, 100)]);
+    }
+
+    #[test]
+    fn static_handles_remainder() {
+        let blocks = Schedule::Static { chunk: None }.static_blocks(10, 4).unwrap();
+        let total: usize = blocks.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 10);
+        assert!(blocks.len() <= 4);
+    }
+
+    #[test]
+    fn static_chunked_deals_fixed_blocks() {
+        let blocks = Schedule::Static { chunk: Some(3) }.static_blocks(10, 2).unwrap();
+        assert_eq!(blocks, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+    }
+
+    #[test]
+    fn dynamic_has_no_static_blocks() {
+        assert!(Schedule::Dynamic { chunk: 4 }.static_blocks(10, 2).is_none());
+    }
+
+    #[test]
+    fn describe_matches_openmp_spelling() {
+        assert_eq!(Schedule::default().describe(), "static");
+        assert_eq!(Schedule::Static { chunk: Some(8) }.describe(), "static,8");
+        assert_eq!(Schedule::Dynamic { chunk: 64 }.describe(), "dynamic,64");
+        assert_eq!(Schedule::Guided { min_chunk: 4 }.describe(), "guided,4");
+    }
+
+    #[test]
+    fn empty_loop_has_no_blocks() {
+        assert_eq!(Schedule::default().static_blocks(0, 4).unwrap(), vec![]);
+    }
+}

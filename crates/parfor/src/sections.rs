@@ -1,0 +1,99 @@
+//! `#pragma omp sections` / `parallel` region analogs: run a fixed set of
+//! independent closures concurrently, with the implicit barrier at the end.
+
+use crate::team::Team;
+
+impl Team {
+    /// Run two independent closures concurrently and return both results
+    /// (`sections` with two `section` blocks).
+    pub fn parallel_invoke2<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut ra = None;
+        let mut rb = None;
+        self.pool().scope(|s| {
+            s.spawn(|| ra = Some(a()));
+            s.spawn(|| rb = Some(b()));
+        });
+        (ra.expect("section a ran"), rb.expect("section b ran"))
+    }
+
+    /// Run every closure in `sections` concurrently (`sections` with N
+    /// blocks). Blocks until all complete.
+    pub fn parallel_sections(&self, sections: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        self.pool().scope(|s| {
+            for f in sections {
+                s.spawn(f);
+            }
+        });
+    }
+
+    /// `#pragma omp parallel` with `omp_get_thread_num()`-style ids: run
+    /// `body(thread_id)` once per team thread, concurrently.
+    pub fn parallel_region(&self, body: impl Fn(usize) + Sync) {
+        let body = &body;
+        self.pool().scope(|s| {
+            for tid in 0..self.threads() {
+                s.spawn(move || body(tid));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn invoke2_returns_both_results() {
+        let team = Team::new(2).unwrap();
+        let (a, b) = team.parallel_invoke2(|| 6 * 7, || "hello".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn invoke2_can_borrow_disjoint_data() {
+        let team = Team::new(2).unwrap();
+        let mut left = vec![0u32; 100];
+        let mut right = vec![0u32; 100];
+        let (l, r) = (&mut left, &mut right);
+        team.parallel_invoke2(
+            || l.iter_mut().for_each(|x| *x = 1),
+            || r.iter_mut().for_each(|x| *x = 2),
+        );
+        assert!(left.iter().all(|&x| x == 1));
+        assert!(right.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn sections_all_run() {
+        let team = Team::new(3).unwrap();
+        let counter = AtomicUsize::new(0);
+        let sections: Vec<Box<dyn FnOnce() + Send + '_>> = (0..7)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        team.parallel_sections(sections);
+        assert_eq!(counter.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn parallel_region_gives_each_thread_an_id() {
+        let team = Team::new(4).unwrap();
+        let seen: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_region(|tid| {
+            seen[tid].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::SeqCst) == 1));
+    }
+}

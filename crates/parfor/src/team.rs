@@ -1,0 +1,105 @@
+//! A team of threads executing parallel regions, analogous to an OpenMP
+//! parallel region's thread team.
+
+use std::sync::Arc;
+
+use cl_pool::{PinPolicy, PoolConfig, ThreadPool};
+
+/// Errors from team construction.
+#[derive(Debug)]
+pub enum TeamError {
+    /// The underlying pool failed to start.
+    Pool(cl_pool::PoolError),
+}
+
+impl std::fmt::Display for TeamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeamError::Pool(e) => write!(f, "failed to create team: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TeamError {}
+
+/// A thread team. All `parallel_*` entry points block until the region is
+/// complete, like the implicit barrier at the end of an OpenMP worksharing
+/// construct.
+#[derive(Clone)]
+pub struct Team {
+    pool: Arc<ThreadPool>,
+    threads: usize,
+}
+
+impl Team {
+    /// A team with `threads` dedicated, unpinned threads
+    /// (`OMP_NUM_THREADS=threads`).
+    pub fn new(threads: usize) -> Result<Self, TeamError> {
+        Self::with_binding(threads, PinPolicy::None)
+    }
+
+    /// A team with `threads` dedicated threads bound according to `pin`
+    /// (`OMP_PROC_BIND` / `GOMP_CPU_AFFINITY`).
+    pub fn with_binding(threads: usize, pin: PinPolicy) -> Result<Self, TeamError> {
+        let pool = ThreadPool::new(
+            PoolConfig::default()
+                .workers(threads)
+                .pin(pin),
+        )
+        .map_err(TeamError::Pool)?;
+        Ok(Team {
+            threads,
+            pool: Arc::new(pool),
+        })
+    }
+
+    /// A team running on an existing shared pool. The team's logical width
+    /// is the pool's worker count.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        Team {
+            threads: pool.workers(),
+            pool,
+        }
+    }
+
+    /// The number of threads in the team.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The underlying pool (shared with `ocl-rt` in comparative experiments).
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_reports_thread_count() {
+        let team = Team::new(3).unwrap();
+        assert_eq!(team.threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        assert!(Team::new(0).is_err());
+    }
+
+    #[test]
+    fn with_pool_adopts_width() {
+        let pool = Arc::new(ThreadPool::new(PoolConfig::default().workers(2)).unwrap());
+        let team = Team::with_pool(pool);
+        assert_eq!(team.threads(), 2);
+    }
+
+    #[test]
+    fn bound_team_works() {
+        let team = Team::with_binding(2, PinPolicy::Compact).unwrap();
+        let mut v = vec![0u8; 100];
+        team.parallel_for_mut(&mut v, crate::Schedule::default(), |_, x| *x = 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Thread-to-core pinning.
+//!
+//! OpenCL (as of the paper's era) exposes no affinity control, which the
+//! paper identifies as a CPU-side performance limitation (Section II-D /
+//! III-E). This module provides the mechanism the study uses to *add*
+//! affinity to our runtime and quantify its benefit: pinning pool workers to
+//! physical cores with `sched_setaffinity`.
+
+use std::io;
+
+/// How pool workers are bound to CPU cores.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// No binding; the OS scheduler is free to migrate threads. This is the
+    /// behaviour of OpenCL runtimes of the paper's era.
+    #[default]
+    None,
+    /// Worker `i` is pinned to core `i % available_cores()`. Fills cores in
+    /// order, keeping neighbouring workers on neighbouring cores (analogous
+    /// to `OMP_PROC_BIND=close`).
+    Compact,
+    /// Worker `i` is pinned to core `(i * stride) % available_cores()` with a
+    /// stride spreading workers across the topology (analogous to
+    /// `OMP_PROC_BIND=spread`).
+    Scatter,
+    /// Worker `i` is pinned to `cores[i % cores.len()]`, mirroring
+    /// `GOMP_CPU_AFFINITY="..."` explicit core lists.
+    Explicit(Vec<usize>),
+}
+
+impl PinPolicy {
+    /// The core that worker `worker` binds to under this policy, or `None`
+    /// if the policy does not bind.
+    pub fn core_for(&self, worker: usize, n_cores: usize) -> Option<usize> {
+        if n_cores == 0 {
+            return None;
+        }
+        match self {
+            PinPolicy::None => None,
+            PinPolicy::Compact => Some(worker % n_cores),
+            PinPolicy::Scatter => {
+                // Spread over the core list: first pass hits even cores,
+                // second pass odd ones, approximating socket/LLC spreading.
+                let stride = usize::max(n_cores / 2, 1);
+                Some((worker * stride + worker / 2 * (n_cores % 2)) % n_cores)
+            }
+            PinPolicy::Explicit(cores) => {
+                if cores.is_empty() {
+                    None
+                } else {
+                    Some(cores[worker % cores.len()] % n_cores)
+                }
+            }
+        }
+    }
+}
+
+/// Number of CPUs available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pin the calling thread to a single CPU core.
+///
+/// Returns an error if the kernel rejects the mask (e.g. the core does not
+/// exist or is outside the process's cpuset).
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> io::Result<()> {
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(core, &mut set);
+        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Pin the calling thread to a single CPU core (no-op off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> io::Result<()> {
+    Ok(())
+}
+
+/// The core the calling thread currently runs on, if the OS exposes it.
+#[cfg(target_os = "linux")]
+pub fn current_core() -> Option<usize> {
+    let cpu = unsafe { libc::sched_getcpu() };
+    (cpu >= 0).then_some(cpu as usize)
+}
+
+/// The core the calling thread currently runs on, if the OS exposes it.
+#[cfg(not(target_os = "linux"))]
+pub fn current_core() -> Option<usize> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_never_binds() {
+        assert_eq!(PinPolicy::None.core_for(0, 8), None);
+        assert_eq!(PinPolicy::None.core_for(5, 8), None);
+    }
+
+    #[test]
+    fn compact_policy_fills_in_order() {
+        let p = PinPolicy::Compact;
+        assert_eq!(p.core_for(0, 4), Some(0));
+        assert_eq!(p.core_for(1, 4), Some(1));
+        assert_eq!(p.core_for(3, 4), Some(3));
+        assert_eq!(p.core_for(4, 4), Some(0)); // wraps for SMT oversubscription
+    }
+
+    #[test]
+    fn scatter_policy_spreads() {
+        let p = PinPolicy::Scatter;
+        let cores: Vec<_> = (0..4).map(|w| p.core_for(w, 8).unwrap()).collect();
+        // Workers must not all land on neighbouring cores.
+        assert!(cores.windows(2).any(|w| w[1].abs_diff(w[0]) > 1), "{cores:?}");
+    }
+
+    #[test]
+    fn explicit_policy_uses_list() {
+        let p = PinPolicy::Explicit(vec![3, 1]);
+        assert_eq!(p.core_for(0, 8), Some(3));
+        assert_eq!(p.core_for(1, 8), Some(1));
+        assert_eq!(p.core_for(2, 8), Some(3));
+    }
+
+    #[test]
+    fn explicit_empty_list_does_not_bind() {
+        assert_eq!(PinPolicy::Explicit(vec![]).core_for(0, 8), None);
+    }
+
+    #[test]
+    fn zero_cores_never_binds() {
+        assert_eq!(PinPolicy::Compact.core_for(0, 0), None);
+    }
+
+    #[test]
+    fn pin_to_core_zero_succeeds() {
+        // Core 0 exists on every machine this test runs on.
+        pin_current_thread(0).unwrap();
+        #[cfg(target_os = "linux")]
+        assert_eq!(current_core(), Some(0));
+    }
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+}

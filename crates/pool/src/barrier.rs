@@ -1,0 +1,129 @@
+//! A reusable (generation-counted) barrier.
+//!
+//! `ocl-rt` uses this when a kernel is executed with one *persistent* thread
+//! per workgroup column (the "thread-per-workitem" ablation), and `par-for`
+//! uses it for phased parallel loops. `std::sync::Barrier` is single-shot
+//! per generation and not resettable to a different party count, hence this
+//! small implementation.
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    waiting: usize,
+    generation: u64,
+}
+
+/// A reusable central barrier for `parties` threads.
+pub struct CentralBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl CentralBarrier {
+    /// Create a barrier for `parties` participants (must be ≥ 1).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "barrier needs at least one party");
+        CentralBarrier {
+            parties,
+            state: Mutex::new(State {
+                waiting: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all `parties` threads have called `wait` for the current
+    /// generation. Returns `true` for exactly one "leader" thread per
+    /// generation.
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = CentralBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn phases_are_ordered_across_threads() {
+        // Each thread bumps a phase counter only after the barrier; the
+        // counter must never be observed torn between phases.
+        let parties = 4;
+        let barrier = Arc::new(CentralBarrier::new(parties));
+        let phase_hits = Arc::new([const { AtomicUsize::new(0) }; 3]);
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = Arc::clone(&barrier);
+            let hits = Arc::clone(&phase_hits);
+            handles.push(std::thread::spawn(move || {
+                for phase in 0..3 {
+                    hits[phase].fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    // After the barrier every party must have hit this phase.
+                    assert_eq!(hits[phase].load(Ordering::SeqCst), parties);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let parties = 3;
+        let barrier = Arc::new(CentralBarrier::new(parties));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    if barrier.wait() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_panics() {
+        let _ = CentralBarrier::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Atomic claiming of index ranges — the mechanism behind dynamic and guided
+//! loop schedules in `par-for`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared source of fixed-size chunks over `0..len`.
+///
+/// Threads call [`ChunkSource::claim`] until it returns `None`; every index is
+/// handed out exactly once.
+pub struct ChunkSource {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkSource {
+    /// A source over `0..len` handing out chunks of `chunk` indices
+    /// (`chunk ≥ 1`).
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        ChunkSource {
+            next: AtomicUsize::new(0),
+            len,
+            chunk,
+        }
+    }
+
+    /// Claim the next chunk, or `None` when the range is exhausted.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..usize::min(start + self.chunk, self.len))
+    }
+
+    /// Total number of indices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the source covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A shared source of *shrinking* chunks over `0..len` (OpenMP "guided"
+/// schedule): each claim takes `remaining / (2 * workers)` indices, never
+/// fewer than `min_chunk`.
+pub struct GuidedSource {
+    next: AtomicUsize,
+    len: usize,
+    workers: usize,
+    min_chunk: usize,
+}
+
+impl GuidedSource {
+    pub fn new(len: usize, workers: usize, min_chunk: usize) -> Self {
+        GuidedSource {
+            next: AtomicUsize::new(0),
+            len,
+            workers: usize::max(workers, 1),
+            min_chunk: usize::max(min_chunk, 1),
+        }
+    }
+
+    /// Claim the next guided chunk, or `None` when exhausted.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        loop {
+            let start = self.next.load(Ordering::Relaxed);
+            if start >= self.len {
+                return None;
+            }
+            let remaining = self.len - start;
+            let size = usize::max(remaining / (2 * self.workers), self.min_chunk);
+            let size = usize::min(size, remaining);
+            if self
+                .next
+                .compare_exchange_weak(start, start + size, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(start..start + size);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let src = ChunkSource::new(103, 10);
+        let mut seen = vec![0u8; 103];
+        while let Some(r) = src.claim() {
+            for i in r {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        assert!(ChunkSource::new(0, 8).claim().is_none());
+        assert!(GuidedSource::new(0, 4, 1).claim().is_none());
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint_and_complete() {
+        let src = Arc::new(ChunkSource::new(10_000, 7));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let src = Arc::clone(&src);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(r) = src.claim() {
+                    mine.extend(r);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let src = GuidedSource::new(1000, 4, 1);
+        let first = src.claim().unwrap();
+        let mut last = first.clone();
+        while let Some(r) = src.claim() {
+            last = r;
+        }
+        assert!(first.len() > last.len());
+        assert_eq!(last.end, 1000);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let src = GuidedSource::new(100, 4, 16);
+        let mut sizes = Vec::new();
+        while let Some(r) = src.claim() {
+            sizes.push(r.len());
+        }
+        // All but possibly the last chunk respect the minimum.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 16, "{sizes:?}");
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_chunk_panics() {
+        let _ = ChunkSource::new(10, 0);
+    }
+}

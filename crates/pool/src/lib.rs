@@ -1,0 +1,67 @@
+//! # cl-pool — a work-stealing thread pool with core pinning and overhead metrics
+//!
+//! This crate is the scheduling substrate of the OpenCL-on-CPU study. Both the
+//! OpenCL-style runtime (`ocl-rt`) and the OpenMP-style baseline (`par-for`)
+//! run on this pool, so that differences measured between the two programming
+//! models come from the models themselves, not from two unrelated schedulers.
+//!
+//! The pool is deliberately *observable*: it counts tasks, steals, parks and
+//! (optionally) per-task dispatch latency, because per-workgroup scheduling
+//! overhead is one of the quantities the reproduced paper measures
+//! (Section III-B, Figures 1-5).
+//!
+//! ## Design
+//!
+//! * One OS thread per worker, a global [`crossbeam::deque::Injector`] plus a
+//!   per-worker [`crossbeam::deque::Worker`] deque with LIFO slot semantics.
+//! * Workers spin briefly, then park on a condvar; submitters unpark.
+//! * [`ThreadPool::scope`] provides structured, borrowing task spawning
+//!   (joined before the scope returns, so borrowed data stays valid).
+//! * [`affinity::PinPolicy`] pins workers to cores for the affinity
+//!   experiment (Figure 9 of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use cl_pool::{ThreadPool, PoolConfig};
+//!
+//! let pool = ThreadPool::new(PoolConfig::default().workers(4)).unwrap();
+//! let mut data = vec![0u64; 1024];
+//! pool.scope(|s| {
+//!     for chunk in data.chunks_mut(256) {
+//!         s.spawn(move || {
+//!             for x in chunk.iter_mut() {
+//!                 *x = 7;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert!(data.iter().all(|&x| x == 7));
+//! ```
+
+pub mod affinity;
+pub mod barrier;
+pub mod chunk;
+pub mod metrics;
+mod pool;
+mod scope;
+mod worker;
+
+pub use affinity::{available_cores, pin_current_thread, PinPolicy};
+pub use barrier::CentralBarrier;
+pub use chunk::{ChunkSource, GuidedSource};
+pub use metrics::{MetricsSnapshot, PoolMetrics};
+pub use pool::{PoolConfig, PoolError, ThreadPool};
+pub use scope::Scope;
+
+/// Identifier of a worker inside a pool: `0..workers`.
+pub type WorkerId = usize;
+
+/// Returns the id of the worker executing the current thread, if the current
+/// thread is a pool worker.
+///
+/// Kernel code uses this to attribute cache accesses and affinity decisions
+/// to cores.
+pub fn current_worker() -> Option<WorkerId> {
+    worker::current_worker()
+}

@@ -1,0 +1,430 @@
+//! The thread pool itself: construction, task submission, structured scopes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Stealer};
+use parking_lot::{Condvar, Mutex};
+
+use crate::affinity::{available_cores, PinPolicy};
+use crate::metrics::PoolMetrics;
+use crate::scope::Scope;
+use crate::worker;
+
+/// A unit of work queued on the pool.
+pub(crate) struct Task {
+    pub(crate) job: Box<dyn FnOnce() + Send + 'static>,
+    /// Set when latency sampling is enabled; measured at execution start.
+    pub(crate) enqueued: Option<Instant>,
+}
+
+/// Configuration for [`ThreadPool::new`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads. Defaults to the number of available cores.
+    pub workers: usize,
+    /// Core-binding policy for workers.
+    pub pin: PinPolicy,
+    /// Sample per-task queue→start dispatch latency (adds one `Instant::now`
+    /// per submission and one per execution).
+    pub sample_latency: bool,
+    /// Prefix for worker thread names.
+    pub name_prefix: String,
+    /// How many times a worker polls for work before parking.
+    pub spin_tries: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: available_cores(),
+            pin: PinPolicy::None,
+            sample_latency: false,
+            name_prefix: "cl-pool".to_string(),
+            spin_tries: 64,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Set the worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the pinning policy.
+    pub fn pin(mut self, p: PinPolicy) -> Self {
+        self.pin = p;
+        self
+    }
+
+    /// Enable dispatch-latency sampling.
+    pub fn sample_latency(mut self, on: bool) -> Self {
+        self.sample_latency = on;
+        self
+    }
+}
+
+/// Errors from pool construction.
+#[derive(Debug)]
+pub enum PoolError {
+    /// `workers == 0` was requested.
+    ZeroWorkers,
+    /// An OS thread could not be spawned.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroWorkers => write!(f, "thread pool needs at least one worker"),
+            PoolError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+pub(crate) struct Inner {
+    pub(crate) injector: Injector<Task>,
+    pub(crate) stealers: Vec<Stealer<Task>>,
+    pub(crate) sleep_lock: Mutex<usize>, // number of parked workers
+    pub(crate) wakeup: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: PoolMetrics,
+    pub(crate) workers: usize,
+    pub(crate) sample_latency: bool,
+    pub(crate) spin_tries: u32,
+}
+
+impl Inner {
+    /// Wake one parked worker if any are parked.
+    pub(crate) fn notify_one(&self) {
+        let sleepers = self.sleep_lock.lock();
+        if *sleepers > 0 {
+            self.metrics.record_unpark();
+            self.wakeup.notify_one();
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.wakeup.notify_all();
+    }
+
+    /// Try to obtain one task from the injector or any worker deque.
+    /// Used both by parked-adjacent workers and by threads helping while
+    /// waiting on a scope.
+    pub(crate) fn steal_task(&self) -> Option<Task> {
+        loop {
+            match self.injector.steal() {
+                crossbeam::deque::Steal::Success(t) => {
+                    self.metrics.record_injector();
+                    return Some(t);
+                }
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                match s.steal() {
+                    crossbeam::deque::Steal::Success(t) => {
+                        self.metrics.record_steal();
+                        return Some(t);
+                    }
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn execute(&self, task: Task) {
+        if let Some(t0) = task.enqueued {
+            self.metrics.record_latency(t0.elapsed());
+        }
+        let job = task.job;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        self.metrics.record_exec();
+        if result.is_err() {
+            self.metrics.record_panic();
+            // The panic itself is surfaced through the owning Scope (if any);
+            // a detached `spawn` swallows it but counts it.
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool shuts it down and joins all workers.
+pub struct ThreadPool {
+    pub(crate) inner: Arc<Inner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pin: PinPolicy,
+}
+
+impl ThreadPool {
+    /// Create a pool with `cfg.workers` worker threads.
+    pub fn new(cfg: PoolConfig) -> Result<Self, PoolError> {
+        if cfg.workers == 0 {
+            return Err(PoolError::ZeroWorkers);
+        }
+        let locals: Vec<crossbeam::deque::Worker<Task>> = (0..cfg.workers)
+            .map(|_| crossbeam::deque::Worker::new_fifo())
+            .collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let inner = Arc::new(Inner {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(0),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: PoolMetrics::default(),
+            workers: cfg.workers,
+            sample_latency: cfg.sample_latency,
+            spin_tries: cfg.spin_tries,
+        });
+        let n_cores = available_cores();
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for (id, local) in locals.into_iter().enumerate() {
+            let inner2 = Arc::clone(&inner);
+            let core = cfg.pin.core_for(id, n_cores);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-{}", cfg.name_prefix, id))
+                .spawn(move || worker::run_worker(inner2, id, local, core))
+                .map_err(PoolError::Spawn)?;
+            handles.push(handle);
+        }
+        Ok(ThreadPool {
+            inner,
+            handles: Mutex::new(handles),
+            pin: cfg.pin,
+        })
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The pinning policy the pool was built with.
+    pub fn pin_policy(&self) -> &PinPolicy {
+        &self.pin
+    }
+
+    /// Pool counters.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.inner.metrics
+    }
+
+    /// Submit a detached `'static` task.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        let enqueued = self.inner.sample_latency.then(Instant::now);
+        self.inner.injector.push(Task {
+            job: Box::new(f),
+            enqueued,
+        });
+        self.inner.notify_one();
+    }
+
+    /// Structured parallelism: tasks spawned on the scope may borrow from the
+    /// enclosing stack frame and are all joined before `scope` returns.
+    ///
+    /// If any task panics, the panic is re-raised here after all tasks have
+    /// completed.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let scope = Scope::new(self);
+        let out = f(&scope);
+        scope.wait(self);
+        out
+    }
+
+    /// Run `f(i)` for every `i in 0..n`, splitting the index space into
+    /// roughly `chunks_per_worker * workers` contiguous chunks. Blocks until
+    /// all indices have run.
+    pub fn run_indexed(&self, n: usize, chunks_per_worker: usize, f: impl Fn(usize) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let n_chunks = usize::max(1, self.workers() * usize::max(1, chunks_per_worker));
+        let chunk = n.div_ceil(n_chunks);
+        let f = &f;
+        self.scope(|s| {
+            let mut start = 0;
+            while start < n {
+                let end = usize::min(start + chunk, n);
+                s.spawn(move || {
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+                start = end;
+            }
+        });
+    }
+
+    /// Block the calling thread until the pool's queues are observed empty.
+    /// Only a quiescence heuristic for tests/metrics; `scope` is the real
+    /// completion mechanism.
+    pub fn wait_idle_hint(&self) {
+        while self.inner.steal_task().map(|t| self.inner.execute(t)).is_some() {}
+    }
+
+    /// A process-wide shared pool with default configuration.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(PoolConfig::default()).expect("global pool"))
+    }
+
+    /// Help execute queued tasks while `cond` is false; park briefly when no
+    /// work is available. Used by scope-joining.
+    pub(crate) fn help_until(&self, cond: impl Fn() -> bool) {
+        while !cond() {
+            if let Some(task) = self.inner.steal_task() {
+                self.inner.execute(task);
+            } else {
+                std::thread::yield_now();
+                if cond() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.notify_all();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        assert!(matches!(
+            ThreadPool::new(PoolConfig::default().workers(0)),
+            Err(PoolError::ZeroWorkers)
+        ));
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = Instant::now();
+        while hits.load(Ordering::SeqCst) < 100 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_joins_before_returning() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(4)).unwrap();
+        let mut data = vec![0u32; 4096];
+        pool.scope(|s| {
+            for chunk in data.chunks_mut(64) {
+                s.spawn(move || chunk.iter_mut().for_each(|x| *x += 1));
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(PoolConfig::default().workers(2)).unwrap());
+        let total = Arc::new(AtomicUsize::new(0));
+        let p2 = Arc::clone(&pool);
+        let t2 = Arc::clone(&total);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let p3 = Arc::clone(&p2);
+                let t3 = Arc::clone(&t2);
+                s.spawn(move || {
+                    p3.scope(|inner| {
+                        for _ in 0..8 {
+                            let t4 = Arc::clone(&t3);
+                            inner.spawn(move || {
+                                t4.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn run_indexed_covers_every_index_once() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(3)).unwrap();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(1000, 4, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn run_indexed_zero_is_noop() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        pool.run_indexed(0, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exploded")]
+    fn scope_propagates_panics() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        pool.scope(|s| {
+            s.spawn(|| panic!("kernel exploded"));
+        });
+    }
+
+    #[test]
+    fn metrics_count_tasks() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        pool.run_indexed(64, 2, |_| {});
+        let snap = pool.metrics().snapshot();
+        assert!(snap.tasks_executed >= 4, "{snap:?}");
+    }
+
+    #[test]
+    fn latency_sampling_records_samples() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2).sample_latency(true)).unwrap();
+        pool.run_indexed(128, 4, |_| {});
+        let snap = pool.metrics().snapshot();
+        assert!(snap.dispatch_samples > 0);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(1)).unwrap();
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        pool.run_indexed(16, 1, |_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,170 @@
+//! Stress and property tests for the thread pool: heavy fan-out, deep
+//! nesting, panic storms, and schedule-independence of chunk sources.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cl_pool::{ChunkSource, GuidedSource, PinPolicy, PoolConfig, ThreadPool};
+use proptest::prelude::*;
+
+#[test]
+fn hundred_thousand_tiny_tasks_complete() {
+    let pool = ThreadPool::new(PoolConfig::default().workers(4)).unwrap();
+    let counter = AtomicU64::new(0);
+    pool.scope(|s| {
+        for _ in 0..100_000 {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 100_000);
+}
+
+#[test]
+fn deeply_nested_scopes_terminate() {
+    fn recurse(pool: &ThreadPool, depth: usize, hits: &AtomicUsize) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        if depth == 0 {
+            return;
+        }
+        pool.scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| recurse(pool, depth - 1, hits));
+            }
+        });
+    }
+    let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+    let hits = AtomicUsize::new(0);
+    recurse(&pool, 8, &hits);
+    // 1 + 2 + 4 + ... + 2^8 = 2^9 - 1.
+    assert_eq!(hits.load(Ordering::Relaxed), (1 << 9) - 1);
+}
+
+#[test]
+fn panic_storm_does_not_wedge_the_pool() {
+    let pool = ThreadPool::new(PoolConfig::default().workers(3)).unwrap();
+    for round in 0..5 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..64 {
+                    s.spawn(move || {
+                        if i % 7 == 0 {
+                            panic!("round {round}");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "round {round} should propagate a panic");
+    }
+    // The pool still works afterwards.
+    let ok = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..32 {
+            s.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 32);
+
+    // Scope tasks report panics through the scope (caught above); only
+    // detached tasks hit the pool's panic counter.
+    let before = pool.metrics().snapshot().panics;
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..5 {
+        let done = Arc::clone(&done);
+        pool.spawn(move || {
+            done.fetch_add(1, Ordering::SeqCst);
+            panic!("detached");
+        });
+    }
+    while done.load(Ordering::SeqCst) < 5 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // The counter updates after the task body returns; give it a beat.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while pool.metrics().snapshot().panics < before + 5
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(pool.metrics().snapshot().panics >= before + 5);
+}
+
+#[test]
+fn pinned_pools_of_every_policy_run_work() {
+    for pin in [
+        PinPolicy::None,
+        PinPolicy::Compact,
+        PinPolicy::Scatter,
+        PinPolicy::Explicit(vec![0]),
+    ] {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2).pin(pin.clone())).unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.run_indexed(1000, 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000, "{pin:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chunk_sources_partition_any_range(
+        len in 0usize..50_000,
+        chunk in 1usize..4096,
+        threads in 1usize..6,
+    ) {
+        let src = Arc::new(ChunkSource::new(len, chunk));
+        let covered = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let src = Arc::clone(&src);
+            let covered = Arc::clone(&covered);
+            handles.push(std::thread::spawn(move || {
+                while let Some(r) = src.claim() {
+                    covered.fetch_add(r.len(), Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(covered.load(Ordering::Relaxed), len);
+    }
+
+    #[test]
+    fn guided_sources_partition_any_range(
+        len in 0usize..50_000,
+        workers in 1usize..8,
+        min_chunk in 1usize..256,
+    ) {
+        let src = GuidedSource::new(len, workers, min_chunk);
+        let mut covered = 0usize;
+        let mut last_end = 0usize;
+        while let Some(r) = src.claim() {
+            prop_assert_eq!(r.start, last_end, "chunks must be contiguous");
+            last_end = r.end;
+            covered += r.len();
+        }
+        prop_assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn run_indexed_is_exactly_once_for_any_shape(
+        n in 0usize..5_000,
+        chunks_per_worker in 0usize..9,
+        workers in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(PoolConfig::default().workers(workers)).unwrap();
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(n, chunks_per_worker, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,532 @@
+//! Vectorization-legality analysis for the two programming models.
+//!
+//! [`LoopVectorizer`] answers "would a loop auto-vectorizer accept this
+//! OpenMP-style loop?", applying the conditions of the Intel guide (\[17\] in
+//! the paper): the loop must be countable, have a single entry and single
+//! exit, straight-line control flow, (near-)contiguous memory access, and no
+//! loop-carried dependences. [`analyze_opencl_kernel`] answers the same
+//! question for the OpenCL strategy, which packs *workitems* into lanes and
+//! therefore needs none of the dependence reasoning — the source of the
+//! Figure 10/11 asymmetry.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{ArrayId, IndexExpr, Loop, Stmt, TripCount};
+
+/// Why vectorization was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// Trip count depends on data computed in the loop.
+    Uncountable,
+    /// `break` (second exit) in the body.
+    MultipleExits,
+    /// Data-dependent branch in the body.
+    ControlFlow,
+    /// A reference with stride ∉ {0, ±1} (would need gather/scatter).
+    NonContiguous(ArrayId),
+    /// A cross-iteration dependence through memory on this array.
+    LoopCarriedDependence(ArrayId),
+    /// A loop-carried scalar (reduction chain) under strict FP semantics.
+    LoopCarriedScalar,
+    /// A call the compiler cannot see through.
+    OpaqueCall,
+}
+
+/// Outcome of an analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorizationReport {
+    /// Whether the compiler vectorizes the code.
+    pub vectorized: bool,
+    /// Refusal reasons (empty when `vectorized`).
+    pub reasons: Vec<Reason>,
+    /// Vector width used when vectorized.
+    pub width: usize,
+    /// Whether the vectorized form needs gather loads (slower lanes).
+    pub uses_gather: bool,
+}
+
+impl VectorizationReport {
+    fn refused(reasons: Vec<Reason>) -> Self {
+        VectorizationReport {
+            vectorized: false,
+            reasons,
+            width: 1,
+            uses_gather: false,
+        }
+    }
+
+    /// Modelled speedup factor over scalar execution: `width` when clean,
+    /// halved when gathers are needed, 1 when refused.
+    pub fn speedup(&self) -> f64 {
+        if !self.vectorized {
+            1.0
+        } else if self.uses_gather {
+            self.width as f64 / 2.0
+        } else {
+            self.width as f64
+        }
+    }
+}
+
+/// Policy knobs of the modelled compiler.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorizerPolicy {
+    /// Target vector width in f32 lanes (SSE 4.2 ⇒ 4).
+    pub width: usize,
+    /// Vectorize FP reductions (requires relaxed FP; Intel `-fp-model fast`).
+    /// Off by default — the strict-FP behaviour behind Figure 11.
+    pub relaxed_fp_reductions: bool,
+    /// If-convert simple branches into masked/blended lanes.
+    pub if_conversion: bool,
+}
+
+impl Default for VectorizerPolicy {
+    fn default() -> Self {
+        VectorizerPolicy {
+            width: 4,
+            relaxed_fp_reductions: false,
+            if_conversion: false,
+        }
+    }
+}
+
+/// The OpenMP-style loop auto-vectorizer model.
+#[derive(Debug, Clone, Default)]
+pub struct LoopVectorizer {
+    pub policy: VectorizerPolicy,
+}
+
+impl LoopVectorizer {
+    pub fn new(policy: VectorizerPolicy) -> Self {
+        LoopVectorizer { policy }
+    }
+
+    /// Apply the legality rules to `l`.
+    pub fn analyze(&self, l: &Loop) -> VectorizationReport {
+        let mut reasons = Vec::new();
+
+        // Rule 1: countable.
+        if l.trip == TripCount::DataDependent {
+            reasons.push(Reason::Uncountable);
+        }
+
+        // Rules 2-3: single exit, straight-line control flow; plus opaque
+        // calls and loop-carried scalars; plus access-pattern collection.
+        let mut loads: BTreeMap<ArrayId, Vec<IndexExpr>> = BTreeMap::new();
+        let mut stores: BTreeMap<ArrayId, Vec<IndexExpr>> = BTreeMap::new();
+        let mut uses_gather = false;
+        l.for_each_stmt(|s| match s {
+            Stmt::Break => reasons.push(Reason::MultipleExits),
+            Stmt::If { .. } => {
+                if !self.policy.if_conversion {
+                    reasons.push(Reason::ControlFlow);
+                }
+            }
+            Stmt::OpaqueCall { .. } => reasons.push(Reason::OpaqueCall),
+            Stmt::AccUpdate { .. } => {
+                if !self.policy.relaxed_fp_reductions {
+                    reasons.push(Reason::LoopCarriedScalar);
+                }
+            }
+            Stmt::Load { array, index, .. } => loads.entry(*array).or_default().push(*index),
+            Stmt::Store { array, index, .. } => stores.entry(*array).or_default().push(*index),
+            Stmt::BinOp { .. } | Stmt::MathCall { .. } => {}
+        });
+
+        // Rule 4: contiguous access (stride 0 = loop-invariant broadcast,
+        // |stride| 1 = unit walk; anything else would need gather/scatter,
+        // which this compiler generation refuses for stores and accepts
+        // nowhere).
+        for (arr, idxs) in loads.iter().chain(stores.iter()) {
+            for ix in idxs {
+                if ix.stride.unsigned_abs() > 1 {
+                    reasons.push(Reason::NonContiguous(*arr));
+                }
+            }
+        }
+
+        // Rule 5: no loop-carried dependences. For each array with at least
+        // one store, test every (store, access) pair for a solution
+        // `store.at(i) == other.at(j)` with `i ≠ j` within the vector window.
+        for (arr, sts) in &stores {
+            let mut dependent = false;
+            let empty = Vec::new();
+            let lds = loads.get(arr).unwrap_or(&empty);
+            for st in sts {
+                for other in lds.iter().chain(sts.iter()) {
+                    if Self::cross_iteration_alias(st, other, self.policy.width as i64) {
+                        dependent = true;
+                    }
+                }
+            }
+            if dependent {
+                reasons.push(Reason::LoopCarriedDependence(*arr));
+            }
+        }
+
+        reasons.sort_by_key(|r| format!("{r:?}"));
+        reasons.dedup();
+        if reasons.is_empty() {
+            VectorizationReport {
+                vectorized: true,
+                reasons,
+                width: self.policy.width,
+                uses_gather,
+            }
+        } else {
+            // Gathers only matter when we vectorize.
+            uses_gather = false;
+            let _ = uses_gather;
+            VectorizationReport::refused(reasons)
+        }
+    }
+
+    /// Does `a.at(i) == b.at(j)` admit a solution with `0 < |i−j| < window`?
+    fn cross_iteration_alias(a: &IndexExpr, b: &IndexExpr, window: i64) -> bool {
+        if a == b {
+            return false; // same element in the same iteration only
+        }
+        // Solve a.stride·i + a.offset == b.stride·j + b.offset for small
+        // |i−j|. With equal strides s: distance d = (b.offset − a.offset)/s.
+        if a.stride == b.stride {
+            if a.stride == 0 {
+                // Both loop-invariant: same element every iteration ⇒
+                // dependence iff they alias at all.
+                return a.offset == b.offset;
+            }
+            let diff = b.offset - a.offset;
+            if diff % a.stride != 0 {
+                return false;
+            }
+            let d = diff / a.stride;
+            d != 0 && d.abs() < window
+        } else {
+            // Mixed strides (e.g. a store at `i` and a load at `2i`):
+            // conservatively dependent — real compilers give up here too.
+            true
+        }
+    }
+}
+
+/// The OpenCL implicit (cross-workitem) vectorizer model.
+///
+/// The kernel body is the `Loop` body viewed per-workitem; `IndexExpr`
+/// strides are in the *global id*. Independence across workitems is
+/// guaranteed by the NDRange contract, so dependence analysis is skipped
+/// entirely. Only divergent control flow (without if-conversion) and opaque
+/// calls refuse; non-contiguous access vectorizes with gathers.
+pub fn analyze_opencl_kernel(body: &Loop, policy: VectorizerPolicy) -> VectorizationReport {
+    let mut reasons = Vec::new();
+    let mut uses_gather = false;
+    body.for_each_stmt(|s| match s {
+        Stmt::If { .. } => {
+            // The Intel OpenCL compiler predicates divergent kernels.
+            if !policy.if_conversion {
+                // Even the default CL compiler if-converts; keep it on.
+            }
+        }
+        Stmt::OpaqueCall { .. } => reasons.push(Reason::OpaqueCall),
+        Stmt::Load { index, .. } | Stmt::Store { index, .. } => {
+            if index.stride.unsigned_abs() > 1 {
+                uses_gather = true;
+            }
+        }
+        // A loop-carried scalar inside one workitem does not cross lanes:
+        // lanes are different workitems.
+        _ => {}
+    });
+    reasons.dedup();
+    if reasons.is_empty() {
+        VectorizationReport {
+            vectorized: true,
+            reasons,
+            width: policy.width,
+            uses_gather,
+        }
+    } else {
+        VectorizationReport::refused(reasons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{MathFn, Op, Operand, Temp};
+
+    fn a(n: u32) -> ArrayId {
+        ArrayId(n)
+    }
+
+    /// `c[i] = a[i] * b[i]` — the clean elementwise loop.
+    fn clean_loop() -> Loop {
+        Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::Load {
+                    dst: Temp(1),
+                    array: a(1),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::BinOp {
+                    dst: Temp(2),
+                    op: Op::Mul,
+                    lhs: Operand::Temp(Temp(0)),
+                    rhs: Operand::Temp(Temp(1)),
+                },
+                Stmt::Store {
+                    array: a(2),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(2)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn clean_elementwise_loop_vectorizes() {
+        let r = LoopVectorizer::default().analyze(&clean_loop());
+        assert!(r.vectorized, "{:?}", r.reasons);
+        assert_eq!(r.width, 4);
+        assert_eq!(r.speedup(), 4.0);
+    }
+
+    #[test]
+    fn data_dependent_trip_count_refused() {
+        let mut l = clean_loop();
+        l.trip = TripCount::DataDependent;
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(!r.vectorized);
+        assert!(r.reasons.contains(&Reason::Uncountable));
+    }
+
+    #[test]
+    fn break_refused() {
+        let mut l = clean_loop();
+        l.body.push(Stmt::Break);
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.reasons.contains(&Reason::MultipleExits));
+    }
+
+    #[test]
+    fn branch_refused_without_if_conversion() {
+        let mut l = clean_loop();
+        l.body.push(Stmt::If {
+            cond: Operand::Temp(Temp(2)),
+            then_body: vec![],
+            else_body: vec![],
+        });
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.reasons.contains(&Reason::ControlFlow));
+        // With if-conversion the same loop is accepted.
+        let policy = VectorizerPolicy {
+            if_conversion: true,
+            ..Default::default()
+        };
+        assert!(LoopVectorizer::new(policy).analyze(&l).vectorized);
+    }
+
+    #[test]
+    fn strided_access_refused() {
+        // The paper's "noncontiguous memory access" factor: a[2i].
+        let mut l = clean_loop();
+        l.body[0] = Stmt::Load {
+            dst: Temp(0),
+            array: a(0),
+            index: IndexExpr::strided(2),
+        };
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.reasons.contains(&Reason::NonContiguous(a(0))));
+    }
+
+    #[test]
+    fn backward_dependence_refused() {
+        // c[i] = c[i-1] * 2 — the classic loop-carried flow dependence.
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::shifted(-1),
+                },
+                Stmt::BinOp {
+                    dst: Temp(1),
+                    op: Op::Mul,
+                    lhs: Operand::Temp(Temp(0)),
+                    rhs: Operand::Const(2.0),
+                },
+                Stmt::Store {
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(1)),
+                },
+            ],
+        );
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.reasons.contains(&Reason::LoopCarriedDependence(a(0))));
+    }
+
+    #[test]
+    fn far_dependence_outside_window_allowed() {
+        // c[i] = c[i-100]: distance 100 ≥ window 4 — safe to vectorize by 4.
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::shifted(-100),
+                },
+                Stmt::Store {
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.vectorized, "{:?}", r.reasons);
+    }
+
+    #[test]
+    fn same_index_load_store_is_not_a_dependence() {
+        // c[i] = c[i] + 1 reads and writes the same iteration's element.
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::BinOp {
+                    dst: Temp(1),
+                    op: Op::Add,
+                    lhs: Operand::Temp(Temp(0)),
+                    rhs: Operand::Const(1.0),
+                },
+                Stmt::Store {
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(1)),
+                },
+            ],
+        );
+        assert!(LoopVectorizer::default().analyze(&l).vectorized);
+    }
+
+    #[test]
+    fn reduction_refused_under_strict_fp_but_allowed_relaxed() {
+        // The Figure 11 pattern: a loop-carried FMUL chain.
+        let l = Loop::new(
+            TripCount::Constant(4),
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::AccUpdate {
+                    op: Op::Mul,
+                    value: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let strict = LoopVectorizer::default().analyze(&l);
+        assert!(strict.reasons.contains(&Reason::LoopCarriedScalar));
+        let relaxed = LoopVectorizer::new(VectorizerPolicy {
+            relaxed_fp_reductions: true,
+            ..Default::default()
+        })
+        .analyze(&l);
+        assert!(relaxed.vectorized);
+    }
+
+    #[test]
+    fn opaque_call_refused_math_call_allowed() {
+        let mut l = clean_loop();
+        l.body.push(Stmt::MathCall {
+            dst: Temp(5),
+            func: MathFn::Sqrt,
+            arg: Operand::Temp(Temp(2)),
+        });
+        assert!(LoopVectorizer::default().analyze(&l).vectorized);
+        l.body.push(Stmt::OpaqueCall {
+            dst: Temp(6),
+            arg: Operand::Temp(Temp(2)),
+        });
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(r.reasons.contains(&Reason::OpaqueCall));
+    }
+
+    #[test]
+    fn opencl_vectorizes_the_dependence_bound_kernel() {
+        // The Figure 11 asymmetry: the same FMUL chain refused above (as an
+        // OpenMP loop) vectorizes as an OpenCL kernel because lanes are
+        // workitems, not iterations.
+        let kernel_body = Loop::new(
+            TripCount::Constant(4),
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::linear(), // contiguous in global id
+                },
+                Stmt::AccUpdate {
+                    op: Op::Mul,
+                    value: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let r = analyze_opencl_kernel(&kernel_body, VectorizerPolicy::default());
+        assert!(r.vectorized);
+        assert_eq!(r.width, 4);
+    }
+
+    #[test]
+    fn opencl_strided_access_uses_gather() {
+        let body = Loop::new(
+            TripCount::Runtime,
+            vec![Stmt::Load {
+                dst: Temp(0),
+                array: a(0),
+                index: IndexExpr::strided(4),
+            }],
+        );
+        let r = analyze_opencl_kernel(&body, VectorizerPolicy::default());
+        assert!(r.vectorized);
+        assert!(r.uses_gather);
+        assert_eq!(r.speedup(), 2.0);
+    }
+
+    #[test]
+    fn mixed_stride_store_is_conservatively_dependent() {
+        // store a[i], load a[2i]: give up like a real compiler.
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: a(0),
+                    index: IndexExpr::strided(2),
+                },
+                Stmt::Store {
+                    array: a(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let r = LoopVectorizer::default().analyze(&l);
+        assert!(!r.vectorized);
+        assert!(r
+            .reasons
+            .iter()
+            .any(|x| matches!(x, Reason::LoopCarriedDependence(_) | Reason::NonContiguous(_))));
+    }
+}

@@ -1,0 +1,184 @@
+//! Vectorization *profitability* estimation — the second half of what an
+//! auto-vectorizer does after legality (Section II-E's "programs should
+//! satisfy certain conditions to fully take advantage" is about both).
+//!
+//! Given a legal vectorization and the loop's shape, estimate the realized
+//! speedup including the effects the Intel guide \[17\] warns about:
+//!
+//! * **remainder loops** — trip counts that are not width-multiples run a
+//!   scalar tail;
+//! * **alignment peeling** — misaligned bases peel up to `W−1` scalar
+//!   iterations;
+//! * **gathers** — non-contiguous lanes load element-by-element.
+
+use crate::analysis::VectorizationReport;
+
+/// Shape facts about one executed loop instance.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopShape {
+    /// Runtime trip count.
+    pub trip_count: u64,
+    /// Whether the base pointers are vector-aligned (peeling if not).
+    pub aligned: bool,
+    /// Fraction of the body's work that is vectorizable arithmetic
+    /// (the rest — address math, control — stays scalar-ish). 0..=1.
+    pub vector_fraction: f64,
+}
+
+impl LoopShape {
+    pub fn new(trip_count: u64) -> Self {
+        LoopShape {
+            trip_count,
+            aligned: true,
+            vector_fraction: 1.0,
+        }
+    }
+
+    pub fn misaligned(mut self) -> Self {
+        self.aligned = false;
+        self
+    }
+
+    pub fn with_vector_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.vector_fraction = f;
+        self
+    }
+}
+
+/// Estimated execution profile of a (possibly) vectorized loop instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupEstimate {
+    /// Iterations executed in vector form.
+    pub vector_iterations: u64,
+    /// Iterations executed scalar (peel + remainder, or everything when
+    /// the loop did not vectorize).
+    pub scalar_iterations: u64,
+    /// Estimated speedup over fully-scalar execution.
+    pub speedup: f64,
+}
+
+/// Estimate the realized speedup of `report` applied to a loop of `shape`.
+pub fn estimate(report: &VectorizationReport, shape: LoopShape) -> SpeedupEstimate {
+    let n = shape.trip_count;
+    if !report.vectorized || n == 0 {
+        return SpeedupEstimate {
+            vector_iterations: 0,
+            scalar_iterations: n,
+            speedup: 1.0,
+        };
+    }
+    let w = report.width as u64;
+    // Peel to alignment, then main vector body, then remainder.
+    let peel = if shape.aligned { 0 } else { (w - 1).min(n) };
+    let after_peel = n - peel;
+    let vector_iters = after_peel / w * w;
+    let remainder = after_peel - vector_iters;
+    let scalar_iters = peel + remainder;
+
+    // Per-lane-step cost relative to one scalar iteration.
+    let lane_step_cost = if report.uses_gather { 2.0 } else { 1.0 };
+    // Amdahl over the vectorizable fraction of the body.
+    let f = shape.vector_fraction;
+    let vector_body_cost =
+        (vector_iters as f64 / w as f64) * lane_step_cost * f + vector_iters as f64 * (1.0 - f);
+    let total_cost = vector_body_cost + scalar_iters as f64;
+    let speedup = n as f64 / total_cost.max(1e-12);
+
+    SpeedupEstimate {
+        vector_iterations: vector_iters,
+        scalar_iterations: scalar_iters,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::VectorizationReport;
+
+    fn vec_report(width: usize, gather: bool) -> VectorizationReport {
+        VectorizationReport {
+            vectorized: true,
+            reasons: vec![],
+            width,
+            uses_gather: gather,
+        }
+    }
+
+    fn scalar_report() -> VectorizationReport {
+        VectorizationReport {
+            vectorized: false,
+            reasons: vec![crate::Reason::ControlFlow],
+            width: 1,
+            uses_gather: false,
+        }
+    }
+
+    #[test]
+    fn long_aligned_loops_approach_full_width() {
+        let e = estimate(&vec_report(4, false), LoopShape::new(1 << 20));
+        assert!(e.speedup > 3.99, "{e:?}");
+        assert_eq!(e.scalar_iterations, 0);
+    }
+
+    #[test]
+    fn refused_loops_are_scalar() {
+        let e = estimate(&scalar_report(), LoopShape::new(1000));
+        assert_eq!(e.speedup, 1.0);
+        assert_eq!(e.scalar_iterations, 1000);
+        assert_eq!(e.vector_iterations, 0);
+    }
+
+    #[test]
+    fn remainder_hurts_short_loops() {
+        // Trip 7 at width 4: one vector step + 3 scalar = cost 4 vs 7.
+        let e = estimate(&vec_report(4, false), LoopShape::new(7));
+        assert_eq!(e.vector_iterations, 4);
+        assert_eq!(e.scalar_iterations, 3);
+        assert!((e.speedup - 7.0 / 4.0).abs() < 1e-12);
+        // Very long loops do not care.
+        let long = estimate(&vec_report(4, false), LoopShape::new(4003));
+        assert!(long.speedup > 3.9);
+    }
+
+    #[test]
+    fn peeling_adds_scalar_iterations() {
+        let aligned = estimate(&vec_report(4, false), LoopShape::new(64));
+        let misaligned = estimate(&vec_report(4, false), LoopShape::new(64).misaligned());
+        assert_eq!(aligned.scalar_iterations, 0);
+        assert_eq!(misaligned.scalar_iterations, 3 + 1); // 3 peel + 1 remainder
+        assert!(misaligned.speedup < aligned.speedup);
+    }
+
+    #[test]
+    fn gathers_halve_the_lane_benefit() {
+        let clean = estimate(&vec_report(4, false), LoopShape::new(4096));
+        let gather = estimate(&vec_report(4, true), LoopShape::new(4096));
+        assert!((gather.speedup - clean.speedup / 2.0).abs() < 0.01, "{gather:?}");
+    }
+
+    #[test]
+    fn amdahl_caps_partially_vector_bodies() {
+        let e = estimate(
+            &vec_report(4, false),
+            LoopShape::new(1 << 16).with_vector_fraction(0.5),
+        );
+        // 50% scalar body: speedup = 1 / (0.5/4 + 0.5) = 1.6.
+        assert!((e.speedup - 1.6).abs() < 0.01, "{e:?}");
+    }
+
+    #[test]
+    fn zero_trip_loop_is_neutral() {
+        let e = estimate(&vec_report(4, false), LoopShape::new(0));
+        assert_eq!(e.speedup, 1.0);
+    }
+
+    #[test]
+    fn tiny_trip_below_width_stays_scalar() {
+        let e = estimate(&vec_report(8, false), LoopShape::new(5));
+        assert_eq!(e.vector_iterations, 0);
+        assert_eq!(e.scalar_iterations, 5);
+        assert!((e.speedup - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,190 @@
+//! A miniature loop IR — just enough structure to express the
+//! vectorization-legality questions of the Intel auto-vectorization guide
+//! (the paper's reference \[17\]): countability, control flow, access
+//! strides, and cross-iteration dependences.
+
+/// Identifier of an array object referenced by the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// Identifier of an iteration-private scalar temporary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Temp(pub u32);
+
+/// An affine index expression in the loop variable: `stride·i + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexExpr {
+    pub stride: i64,
+    pub offset: i64,
+}
+
+impl IndexExpr {
+    /// The identity index `i`.
+    pub fn linear() -> Self {
+        IndexExpr { stride: 1, offset: 0 }
+    }
+
+    /// `i + offset`.
+    pub fn shifted(offset: i64) -> Self {
+        IndexExpr { stride: 1, offset }
+    }
+
+    /// `stride·i`.
+    pub fn strided(stride: i64) -> Self {
+        IndexExpr { stride, offset: 0 }
+    }
+
+    /// A loop-invariant index (`stride == 0`).
+    pub fn constant(offset: i64) -> Self {
+        IndexExpr { stride: 0, offset }
+    }
+
+    /// Evaluate at iteration `i`.
+    pub fn at(&self, i: i64) -> i64 {
+        self.stride * i + self.offset
+    }
+}
+
+/// Value operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    Temp(Temp),
+    Const(f64),
+    /// The loop induction variable itself (as a value).
+    Induction,
+}
+
+/// Scalar binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    CmpLt,
+}
+
+/// Math intrinsics a vector math library (SVML-style) provides; calls to
+/// these do not block vectorization, unlike unknown calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathFn {
+    Sqrt,
+    Exp,
+    Log,
+}
+
+/// Statements of a loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst = array[index]`
+    Load {
+        dst: Temp,
+        array: ArrayId,
+        index: IndexExpr,
+    },
+    /// `array[index] = src`
+    Store {
+        array: ArrayId,
+        index: IndexExpr,
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`
+    BinOp {
+        dst: Temp,
+        op: Op,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = fn(arg)` with a known math intrinsic.
+    MathCall {
+        dst: Temp,
+        func: MathFn,
+        arg: Operand,
+    },
+    /// `dst = extern_fn(arg)` — an opaque call the compiler cannot analyze.
+    OpaqueCall { dst: Temp, arg: Operand },
+    /// `acc = acc ⊕ value` — a loop-carried scalar (reduction pattern).
+    AccUpdate { op: Op, value: Operand },
+    /// Structured branch on a data-dependent condition.
+    If {
+        cond: Operand,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// Early exit from the loop.
+    Break,
+}
+
+/// How many times the loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// Known at compile time.
+    Constant(u64),
+    /// Known before the loop starts (runtime `n`) — still countable.
+    Runtime,
+    /// Exit depends on values computed inside the loop — uncountable.
+    DataDependent,
+}
+
+/// A candidate loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    pub trip: TripCount,
+    pub body: Vec<Stmt>,
+}
+
+impl Loop {
+    pub fn new(trip: TripCount, body: Vec<Stmt>) -> Self {
+        Loop { trip, body }
+    }
+
+    /// Visit every statement, including nested `If` bodies.
+    pub fn for_each_stmt<'a>(&'a self, mut f: impl FnMut(&'a Stmt)) {
+        fn walk<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                f(s);
+                if let Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } = s
+                {
+                    walk(then_body, f);
+                    walk(else_body, f);
+                }
+            }
+        }
+        walk(&self.body, &mut f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_expr_evaluates() {
+        assert_eq!(IndexExpr::linear().at(5), 5);
+        assert_eq!(IndexExpr::shifted(-1).at(5), 4);
+        assert_eq!(IndexExpr::strided(2).at(5), 10);
+        assert_eq!(IndexExpr::constant(7).at(5), 7);
+    }
+
+    #[test]
+    fn walker_reaches_nested_statements() {
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![Stmt::If {
+                cond: Operand::Const(1.0),
+                then_body: vec![Stmt::Break],
+                else_body: vec![Stmt::AccUpdate {
+                    op: Op::Add,
+                    value: Operand::Const(1.0),
+                }],
+            }],
+        );
+        let mut count = 0;
+        l.for_each_stmt(|_| count += 1);
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: every SIMD lane operation agrees with its scalar
+//! counterpart on arbitrary inputs, for both supported widths.
+
+use cl_vec::{simd_apply, simd_apply2, VecF32};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Bounded to avoid inf/NaN arithmetic edge cases; lane ops are IEEE
+    // pass-throughs either way.
+    -1e6f32..1e6f32
+}
+
+fn pos_f32() -> impl Strategy<Value = f32> {
+    1e-3f32..1e4f32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_ops_match_scalar_4(a in prop::array::uniform4(finite_f32()), b in prop::array::uniform4(finite_f32())) {
+        let va = VecF32(a);
+        let vb = VecF32(b);
+        for k in 0..4 {
+            prop_assert_eq!((va + vb)[k], a[k] + b[k]);
+            prop_assert_eq!((va - vb)[k], a[k] - b[k]);
+            prop_assert_eq!((va * vb)[k], a[k] * b[k]);
+            prop_assert_eq!(va.min(vb)[k], a[k].min(b[k]));
+            prop_assert_eq!(va.max(vb)[k], a[k].max(b[k]));
+            prop_assert_eq!((-va)[k], -a[k]);
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_scalar_8(a in prop::array::uniform8(finite_f32()), b in prop::array::uniform8(finite_f32())) {
+        let va = VecF32(a);
+        let vb = VecF32(b);
+        for k in 0..8 {
+            prop_assert_eq!((va * vb + va)[k], a[k] * b[k] + a[k]);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_scalar(
+        a in prop::array::uniform4(finite_f32()),
+        b in prop::array::uniform4(finite_f32()),
+        c in prop::array::uniform4(finite_f32()),
+    ) {
+        let r = VecF32(a).mul_add(VecF32(b), VecF32(c));
+        for k in 0..4 {
+            prop_assert_eq!(r[k], a[k] * b[k] + c[k]);
+        }
+    }
+
+    #[test]
+    fn math_fns_match_scalar(a in prop::array::uniform4(pos_f32())) {
+        let v = VecF32(a);
+        for k in 0..4 {
+            prop_assert_eq!(v.sqrt()[k], a[k].sqrt());
+            prop_assert_eq!(v.ln()[k], a[k].ln());
+            prop_assert_eq!(v.rsqrt()[k], 1.0 / a[k].sqrt());
+        }
+    }
+
+    #[test]
+    fn hsum_matches_iterative_sum(a in prop::array::uniform4(finite_f32())) {
+        let expected: f32 = a.iter().sum();
+        prop_assert_eq!(VecF32(a).hsum(), expected);
+    }
+
+    #[test]
+    fn select_is_lanewise(
+        mask in prop::array::uniform4(any::<bool>()),
+        a in prop::array::uniform4(finite_f32()),
+        b in prop::array::uniform4(finite_f32()),
+    ) {
+        let r = VecF32::select(mask, VecF32(a), VecF32(b));
+        for k in 0..4 {
+            prop_assert_eq!(r[k], if mask[k] { a[k] } else { b[k] });
+        }
+    }
+
+    #[test]
+    fn simd_apply_equals_scalar_loop(data in prop::collection::vec(finite_f32(), 0..200)) {
+        let mut simd_out = vec![0.0f32; data.len()];
+        simd_apply::<4>(&data, &mut simd_out, |v| v * v + v, |x| x * x + x);
+        let scalar_out: Vec<f32> = data.iter().map(|&x| x * x + x).collect();
+        prop_assert_eq!(simd_out, scalar_out);
+    }
+
+    #[test]
+    fn simd_apply2_equals_scalar_loop(
+        n in 0usize..200,
+        seed_a in finite_f32(),
+        seed_b in finite_f32(),
+    ) {
+        let a: Vec<f32> = (0..n).map(|i| seed_a + i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| seed_b - i as f32).collect();
+        let mut out = vec![0.0f32; n];
+        simd_apply2::<8>(&a, &b, &mut out, |x, y| x - y, |x, y| x - y);
+        for i in 0..n {
+            prop_assert_eq!(out[i], a[i] - b[i]);
+        }
+    }
+
+    #[test]
+    fn gather_matches_indexing(
+        src in prop::collection::vec(finite_f32(), 1..64),
+        raw_idx in prop::array::uniform4(any::<usize>()),
+    ) {
+        let idx = [
+            raw_idx[0] % src.len(),
+            raw_idx[1] % src.len(),
+            raw_idx[2] % src.len(),
+            raw_idx[3] % src.len(),
+        ];
+        let v = VecF32::<4>::gather(&src, &idx);
+        for k in 0..4 {
+            prop_assert_eq!(v[k], src[idx[k]]);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_any_offset(
+        data in prop::collection::vec(finite_f32(), 8..64),
+        off_seed in any::<usize>(),
+    ) {
+        let off = off_seed % (data.len() - 7);
+        let v = VecF32::<8>::load(&data, off);
+        let mut out = vec![0.0f32; data.len()];
+        v.store(&mut out, off);
+        prop_assert_eq!(&out[off..off + 8], &data[off..off + 8]);
+    }
+}

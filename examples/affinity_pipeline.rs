@@ -1,0 +1,119 @@
+//! Affinity pipeline: the extension the paper proposes in Section III-E,
+//! in action. Two dependent kernels (vector add, then vector multiply) run
+//! through [`ocl_rt::AffinityExecutor`] with workgroup→core placement:
+//! once *aligned* (consumer groups on the cores that produced their input)
+//! and once *misaligned* (rotated by one core) — the Figure 9 experiment
+//! as a user program.
+//!
+//! ```text
+//! cargo run --release -p cl-examples --bin affinity_pipeline -- [elements_per_core]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ocl_rt::{AffinityExecutor, Buffer, Context, Device, GroupCtx, Kernel, MemFlags, NDRange};
+
+struct VecAdd {
+    a: Buffer<f32>,
+    b: Buffer<f32>,
+    c: Buffer<f32>,
+}
+
+impl Kernel for VecAdd {
+    fn name(&self) -> &str {
+        "vecadd"
+    }
+    fn run_group(&self, g: &mut GroupCtx) {
+        let (a, b, c) = (self.a.view(), self.b.view(), self.c.view_mut());
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            c.set(i, a.get(i) + b.get(i));
+        });
+    }
+}
+
+struct VecMul {
+    c: Buffer<f32>,
+    d: Buffer<f32>,
+}
+
+impl Kernel for VecMul {
+    fn name(&self) -> &str {
+        "vecmul"
+    }
+    fn run_group(&self, g: &mut GroupCtx) {
+        let (c, d) = (self.c.view(), self.d.view_mut());
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            let x = c.get(i);
+            d.set(i, x * x);
+        });
+    }
+}
+
+fn main() {
+    let per_core: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 15);
+    let cores = cl_pool::available_cores();
+    let n = cores * per_core;
+
+    println!(
+        "affinity pipeline on {cores} core(s), {per_core} elements per core \
+         (paper Section III-E / Figure 9)"
+    );
+    if cores == 1 {
+        println!("note: single-core host — both placements will time alike.");
+    }
+
+    let ctx = Context::new(Device::native_cpu(cores).unwrap());
+    let exec = AffinityExecutor::new(cores).unwrap();
+
+    let a = ctx
+        .buffer_from(MemFlags::READ_ONLY, &vec![1.25f32; n])
+        .unwrap();
+    let b = ctx
+        .buffer_from(MemFlags::READ_ONLY, &vec![0.75f32; n])
+        .unwrap();
+    let c = ctx.buffer::<f32>(MemFlags::default(), n).unwrap();
+    let d = ctx.buffer::<f32>(MemFlags::default(), n).unwrap();
+
+    let produce: Arc<dyn Kernel> = Arc::new(VecAdd {
+        a,
+        b,
+        c: c.clone(),
+    });
+    let consume: Arc<dyn Kernel> = Arc::new(VecMul {
+        c: c.clone(),
+        d: d.clone(),
+    });
+    // One workgroup per core slice: group g covers elements of core g's
+    // slice when placed with the aligned mapping.
+    let range = NDRange::d1(n).local1(per_core);
+
+    for (label, shift) in [("aligned  ", 0usize), ("misaligned", 1)] {
+        // Produce with the identity placement, consume with the shifted one.
+        exec.enqueue_kernel_bound(&produce, range, exec.aligned())
+            .unwrap();
+        let t0 = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            exec.enqueue_kernel_bound(&consume, range, exec.rotated(shift))
+                .unwrap();
+        }
+        let per_run = t0.elapsed() / reps;
+        println!("  {label}: {per_run:>9.3?} per consumer launch");
+    }
+
+    let q = ctx.queue();
+    let mut out = vec![0.0f32; n];
+    q.read_buffer(&d, 0, &mut out).unwrap();
+    assert!(out.iter().all(|&x| x == 4.0));
+    println!("results verified: (1.25 + 0.75)^2 = 4.0 everywhere");
+    println!(
+        "the paper measured the misaligned placement ~15% slower on 8 cores; \
+         the deterministic cache-level version is `repro --only fig9`"
+    );
+}

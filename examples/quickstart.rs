@@ -1,0 +1,78 @@
+//! Quickstart: the smallest complete `ocl-rt` program.
+//!
+//! Creates a CPU device, a context and a queue; uploads data; runs a
+//! `square` NDRange kernel; reads the result back — the classic OpenCL
+//! "hello world" flow, in this runtime's API.
+//!
+//! ```text
+//! cargo run --release -p cl-examples --bin quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ocl_rt::{Buffer, Context, Device, GroupCtx, Kernel, MemFlags, NDRange};
+
+/// `__kernel void square(__global const float* in, __global float* out)`
+struct Square {
+    input: Buffer<f32>,
+    output: Buffer<f32>,
+}
+
+impl Kernel for Square {
+    fn name(&self) -> &str {
+        "square"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let input = self.input.view();
+        let output = self.output.view_mut();
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            let x = input.get(i);
+            output.set(i, x * x);
+        });
+    }
+}
+
+fn main() {
+    const N: usize = 1 << 20;
+
+    // 1. Device, context, queue (clGetDeviceIDs / clCreateContext /
+    //    clCreateCommandQueue).
+    let device = Device::native_cpu(cl_pool::available_cores()).expect("CPU device");
+    println!("device: {}", device.name());
+    let ctx = Context::new(device);
+    let queue = ctx.queue();
+
+    // 2. Buffers (clCreateBuffer) — input initialized from host data.
+    let host_in: Vec<f32> = (0..N).map(|i| i as f32 * 0.001).collect();
+    let input = ctx
+        .buffer_from(MemFlags::READ_ONLY, &host_in)
+        .expect("input buffer");
+    let output = ctx
+        .buffer::<f32>(MemFlags::WRITE_ONLY, N)
+        .expect("output buffer");
+
+    // 3. Kernel + NDRange launch (clEnqueueNDRangeKernel). Passing no
+    //    local size reproduces local_work_size = NULL.
+    let kernel: Arc<dyn Kernel> = Arc::new(Square {
+        input,
+        output: output.clone(),
+    });
+    let event = queue
+        .enqueue_kernel(&kernel, NDRange::d1(N))
+        .expect("launch");
+    println!(
+        "ran {} workitems in {} workgroups in {:?}",
+        event.items,
+        event.groups,
+        event.duration()
+    );
+
+    // 4. Read back (clEnqueueReadBuffer) and check.
+    let mut result = vec![0.0f32; N];
+    queue.read_buffer(&output, 0, &mut result).expect("read");
+    let spot = N / 2;
+    assert_eq!(result[spot], host_in[spot] * host_in[spot]);
+    println!("result[{spot}] = {} ok", result[spot]);
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use ocl_rt::{Context, Device};
+use perf_model::{CpuSpec, GpuSpec};
+
+/// A native CPU context sized to the host.
+pub fn native_ctx() -> Context {
+    Context::new(Device::native_cpu(cl_pool::available_cores().max(2)).unwrap())
+}
+
+/// Contexts for all three device kinds (native, modeled CPU, modeled GPU).
+pub fn all_ctxs() -> Vec<(&'static str, Context)> {
+    vec![
+        ("native", native_ctx()),
+        (
+            "modeled-cpu",
+            Context::new(Device::modeled_cpu(CpuSpec::xeon_e5645())),
+        ),
+        (
+            "modeled-gpu",
+            Context::new(Device::modeled_gpu(GpuSpec::gtx580())),
+        ),
+    ]
+}

@@ -1,0 +1,103 @@
+//! Cross-device consistency: the three device kinds must agree on results
+//! while disagreeing (correctly) on reported timing; transfer commands must
+//! behave per device class.
+
+use integration_tests::{all_ctxs, native_ctx};
+use ocl_rt::{CommandKind, Device, MemFlags};
+use perf_model::{CpuSpec, GpuSpec};
+
+#[test]
+fn copy_and_fill_work_on_every_device_kind() {
+    for (name, ctx) in all_ctxs() {
+        let q = ctx.queue();
+        let a = ctx
+            .buffer_from(MemFlags::default(), &(0..64).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        let b = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        q.fill_buffer(&b, -1.0f32).unwrap();
+        q.copy_buffer(&a, 0, &b, 32, 32).unwrap();
+        let mut got = vec![0.0f32; 64];
+        q.read_buffer(&b, 0, &mut got).unwrap();
+        assert!(got[..32].iter().all(|&x| x == -1.0), "{name}: fill half");
+        assert_eq!(got[32], 0.0, "{name}");
+        assert_eq!(got[63], 31.0, "{name}");
+    }
+}
+
+#[test]
+fn event_kinds_match_the_commands() {
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let b = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
+    assert_eq!(
+        q.write_buffer(&b, 0, &[0.0f32; 16]).unwrap().kind(),
+        CommandKind::WriteBuffer
+    );
+    let mut out = [0.0f32; 16];
+    assert_eq!(
+        q.read_buffer(&b, 0, &mut out).unwrap().kind(),
+        CommandKind::ReadBuffer
+    );
+    let (map, ev) = q.map_buffer(&b).unwrap();
+    assert_eq!(ev.kind(), CommandKind::MapBuffer);
+    drop(map);
+}
+
+#[test]
+fn mapping_is_free_on_cpu_but_crosses_pcie_on_gpu() {
+    // The decisive difference of Section III-D: on a CPU device a mapping
+    // is a pointer return (size-independent, ~µs); on a discrete GPU it
+    // still moves the bytes across the bus (milliseconds at 16 MiB).
+    let gpu = ocl_rt::Context::new(Device::modeled_gpu(GpuSpec::gtx580()));
+    let cpu = ocl_rt::Context::new(Device::modeled_cpu(CpuSpec::xeon_e5645()));
+    let n = 4 << 20; // 16 MiB of f32
+    let qg = gpu.queue();
+    let qc = cpu.queue();
+    let bg = gpu.buffer::<f32>(MemFlags::default(), n).unwrap();
+    let bc = cpu.buffer::<f32>(MemFlags::default(), n).unwrap();
+    let (mg, evg) = qg.map_buffer(&bg).unwrap();
+    let (mc, evc) = qc.map_buffer(&bc).unwrap();
+    drop(mg);
+    drop(mc);
+    assert!(
+        evg.duration_s() > 100.0 * evc.duration_s(),
+        "GPU map {} vs CPU map {}",
+        evg.duration_s(),
+        evc.duration_s()
+    );
+    // Copying pays on both devices, and on the CPU it pays double (two
+    // staging hops) — the mechanism behind Figure 7's ratios.
+    let host = vec![0.0f32; n];
+    let tc_copy = qc.write_buffer(&bc, 0, &host).unwrap().duration_s();
+    assert!(tc_copy > 100.0 * evc.duration_s());
+}
+
+#[test]
+fn devices_report_distinct_timing_for_identical_work() {
+    // Same kernel, same geometry: the modeled GPU should report far less
+    // time than the modeled CPU for a massively parallel streaming kernel.
+    let mut times = std::collections::HashMap::new();
+    for (name, ctx) in all_ctxs() {
+        let q = ctx.queue();
+        let built = cl_kernels::apps::vectoradd::build(&ctx, 1 << 20, 1, Some(256), 5);
+        let ev = q.enqueue_kernel(&built.kernel, built.range).unwrap();
+        built.verify(&q).unwrap();
+        times.insert(name, ev.duration_s());
+    }
+    assert!(
+        times["modeled-gpu"] < times["modeled-cpu"],
+        "GPU should win a parallel streaming kernel: {times:?}"
+    );
+}
+
+#[test]
+fn vectorizer_toggle_changes_modeled_cpu_time() {
+    // `-cl-opt-disable` (through the device knob) must slow a compute-bound
+    // kernel on the modeled plane.
+    let spec = CpuSpec::xeon_e5645();
+    let on = perf_model::CpuModel::new(spec.clone());
+    let off = perf_model::CpuModel::new(spec).without_vectorizer();
+    let p = perf_model::KernelProfile::compute(512.0).with_ilp(8.0);
+    let launch = perf_model::Launch::new(1 << 18, 256);
+    assert!(off.kernel_time(&p, launch) > 2.0 * on.kernel_time(&p, launch));
+}

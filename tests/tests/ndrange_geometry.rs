@@ -1,0 +1,153 @@
+//! NDRange geometry across dimensions: 1-D/2-D/3-D launches, id
+//! consistency, and properties of the NULL-local resolution heuristic.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use integration_tests::native_ctx;
+use ocl_rt::{Buffer, GroupCtx, Kernel, MemFlags, NDRange};
+use proptest::prelude::*;
+
+/// Writes `gx + 1000·gy + 1000000·gz` at the flattened global id.
+struct StampIds {
+    out: Buffer<u64>,
+}
+
+impl Kernel for StampIds {
+    fn name(&self) -> &str {
+        "stamp_ids"
+    }
+    fn run_group(&self, g: &mut GroupCtx) {
+        let out = self.out.view_mut();
+        g.for_each(|wi| {
+            let code =
+                wi.global_id(0) as u64 + 1000 * wi.global_id(1) as u64 + 1_000_000 * wi.global_id(2) as u64;
+            out.set(wi.global_linear(), code);
+        });
+    }
+}
+
+#[test]
+fn three_dimensional_ids_are_consistent() {
+    let (nx, ny, nz) = (8usize, 6, 4);
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let out = ctx
+        .buffer::<u64>(MemFlags::default(), nx * ny * nz)
+        .unwrap();
+    let k: Arc<dyn Kernel> = Arc::new(StampIds { out: out.clone() });
+    let ev = q
+        .enqueue_kernel(&k, NDRange::d3(nx, ny, nz).local3(4, 3, 2))
+        .unwrap();
+    assert_eq!(ev.groups, (8 / 4) * (6 / 3) * (4 / 2));
+    assert_eq!(ev.items, (nx * ny * nz) as u64);
+    let v = out.view();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let lin = x + nx * (y + ny * z);
+                assert_eq!(
+                    v.get(lin),
+                    x as u64 + 1000 * y as u64 + 1_000_000 * z as u64,
+                    "({x},{y},{z})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_dimensional_local_ids_partition_groups() {
+    struct CheckLocal;
+    impl Kernel for CheckLocal {
+        fn name(&self) -> &str {
+            "check_local"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let (gx, gy) = (g.group_id(0), g.group_id(1));
+            let (lx, ly) = (g.local_size(0), g.local_size(1));
+            g.for_each(|wi| {
+                assert_eq!(wi.global_id(0), gx * lx + wi.local_id(0));
+                assert_eq!(wi.global_id(1), gy * ly + wi.local_id(1));
+                assert!(wi.local_id(0) < lx && wi.local_id(1) < ly);
+            });
+        }
+    }
+    let ctx = native_ctx();
+    let q = ctx.queue();
+    let k: Arc<dyn Kernel> = Arc::new(CheckLocal);
+    q.enqueue_kernel(&k, NDRange::d2(24, 18).local2(6, 3))
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn null_resolution_always_divides_and_respects_caps(
+        n in 1usize..5_000_000,
+        default_wg in 1usize..2048,
+        target_groups in 1usize..512,
+    ) {
+        let r = NDRange::d1(n).resolve_with(default_wg, target_groups).unwrap();
+        prop_assert_eq!(n % r.local[0], 0, "local must divide global");
+        prop_assert!(r.local[0] <= default_wg.max(1));
+        prop_assert_eq!(r.n_groups() * r.wg_size(), n);
+    }
+
+    #[test]
+    fn null_resolution_meets_the_group_target_when_possible(
+        n_exp in 6u32..22,
+        target in 1usize..64,
+    ) {
+        // Power-of-two sizes always admit divisors near the target; the
+        // ceil in the cap can undershoot by at most 2x.
+        let n = 1usize << n_exp;
+        let r = NDRange::d1(n).resolve_with(512, target).unwrap();
+        prop_assert!(
+            2 * r.n_groups() >= target.min(n),
+            "{n} items, target {target}: got {} groups of {}",
+            r.n_groups(),
+            r.local[0]
+        );
+    }
+
+    #[test]
+    fn every_item_runs_once_in_2d(
+        gx in 1usize..40,
+        gy in 1usize..40,
+        lx in 1usize..8,
+        ly in 1usize..8,
+    ) {
+        // Round globals up to multiples of the local size.
+        let gx = gx.div_ceil(lx) * lx;
+        let gy = gy.div_ceil(ly) * ly;
+        let ctx = native_ctx();
+        let q = ctx.queue();
+
+        struct Count {
+            hits: std::sync::Arc<Vec<AtomicU32>>,
+            w: usize,
+        }
+        impl Kernel for Count {
+            fn name(&self) -> &str {
+                "count2d"
+            }
+            fn run_group(&self, g: &mut GroupCtx) {
+                g.for_each(|wi| {
+                    self.hits[wi.global_id(1) * self.w + wi.global_id(0)]
+                        .fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        let hits = std::sync::Arc::new(
+            (0..gx * gy).map(|_| AtomicU32::new(0)).collect::<Vec<_>>(),
+        );
+        let k: Arc<dyn Kernel> = Arc::new(Count {
+            hits: std::sync::Arc::clone(&hits),
+            w: gx,
+        });
+        q.enqueue_kernel(&k, NDRange::d2(gx, gy).local2(lx, ly)).unwrap();
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's five concluding findings (Section V), each asserted against
+//! this reproduction end-to-end. If a change to any crate breaks one of
+//! these, the reproduction no longer reproduces the paper.
+
+use cl_harness::{figures, Config};
+use cl_vec::VectorizerPolicy;
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+/// Finding 1: "Large workgroup size is helpful for better performance on
+/// CPUs."
+#[test]
+fn finding1_large_workgroups_help_cpus() {
+    let fig3 = figures::fig3::run(&cfg());
+    for x in ["square_1", "vectoraddition_1"] {
+        let small = fig3.series("case_1(CPU)").unwrap().get(x).unwrap();
+        let large = fig3.series("case_4(CPU)").unwrap().get(x).unwrap();
+        assert!(
+            large > 2.0 * small,
+            "{x}: case_4 {large} should dwarf case_1 {small}"
+        );
+    }
+    // Heavier per-item kernels still improve, just less dramatically.
+    let small = fig3.series("case_1(CPU)").unwrap().get("matrixmulnaive_1").unwrap();
+    let large = fig3.series("case_4(CPU)").unwrap().get("matrixmulnaive_1").unwrap();
+    assert!(large > small, "naive MM: {large} vs {small}");
+}
+
+/// Finding 2: "Large ILP helps performance on CPUs." (And implicitly: not
+/// on GPUs — Figure 6.)
+#[test]
+fn finding2_ilp_helps_cpus_not_gpus() {
+    let fig6 = figures::fig6::run(&cfg());
+    let cpu = fig6.series("CPU (modeled GFLOP/s)").unwrap();
+    let gpu = fig6.series("GPU (modeled GFLOP/s)").unwrap();
+    assert!(cpu.get("4").unwrap() > 2.5 * cpu.get("1").unwrap());
+    let rel = (gpu.get("4").unwrap() - gpu.get("1").unwrap()).abs() / gpu.get("1").unwrap();
+    assert!(rel < 0.05, "GPU must be ILP-insensitive, got {rel}");
+}
+
+/// Finding 3: "On CPUs, Mapping APIs perform superior compared to explicit
+/// data transfer APIs. Memory allocation flags do not change performance."
+#[test]
+fn finding3_mapping_beats_copying_flags_irrelevant() {
+    let fig7 = figures::fig7::run(&cfg());
+    let first = fig7.series[0].clone();
+    for (app, ratio) in &first.points {
+        assert!(*ratio >= 1.0, "{app}: mapping must not lose ({ratio})");
+    }
+    // All four flag/placement combinations coincide.
+    for s in &fig7.series[1..] {
+        for (x, v) in &first.points {
+            assert_eq!(s.get(x).unwrap(), *v, "{x} differs across flags");
+        }
+    }
+}
+
+/// Finding 4: "Adding affinity support to OpenCL may help performance in
+/// some cases."
+#[test]
+fn finding4_affinity_matters() {
+    let fig9 = figures::fig9::run(&cfg());
+    let m = fig9
+        .series("modeled (cache-sim)")
+        .unwrap()
+        .get("misaligned")
+        .unwrap();
+    assert!(
+        m > 1.05,
+        "misaligned placement must cost measurably more, got {m}"
+    );
+}
+
+/// Finding 5: "Programming model can have possible effect on
+/// compiler-supported vectorization."
+#[test]
+fn finding5_programming_model_affects_vectorization() {
+    let policy = VectorizerPolicy::default();
+    let mut opencl_wins = 0;
+    for bench in cl_kernels::mbench::all() {
+        let omp = bench.openmp_report(policy);
+        let ocl = bench.opencl_report(policy);
+        assert!(ocl.vectorized, "{}: OpenCL must vectorize", bench.name);
+        if !omp.vectorized {
+            opencl_wins += 1;
+        }
+    }
+    assert!(
+        opencl_wins >= 4,
+        "the asymmetry must show on several benches, got {opencl_wins}"
+    );
+}
+
+/// The headline of Section III-B.1: coalescing helps CPUs, hurts GPUs.
+#[test]
+fn coalescing_asymmetry_between_devices() {
+    let fig1 = figures::fig1::run(&cfg());
+    let cpu = fig1.series("1000(CPU)").unwrap();
+    let gpu = fig1.series("1000(GPU)").unwrap();
+    for (x, v) in &cpu.points {
+        assert!(*v > 1.0, "{x}: CPU must gain from coalescing ({v})");
+        let g = gpu.get(x).unwrap();
+        assert!(g < 1.0, "{x}: GPU must lose from coalescing ({g})");
+    }
+}
