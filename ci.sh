@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI: format, build, test, and statically lint the registry kernels.
+# Mirrors what the driver enforces; run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cl-lint --deny-warnings"
+cargo run --release --quiet --bin cl-lint -- --deny-warnings
+
+echo "CI green."

@@ -1,0 +1,177 @@
+//! Lifting `cl_vec` loop IR into the access IR.
+//!
+//! `cl_vec::ir::Loop` describes one scalar loop with single-induction
+//! affine indices (`stride·i + offset`) — the form the vectorizer analyzes.
+//! The runtime's program-built kernels execute such a loop with one
+//! iteration per workitem, so the induction variable *is* the global
+//! linear id. This module performs that lift, producing a
+//! [`KernelAccessSpec`] the four lints understand.
+
+use cl_vec::{Loop, Stmt};
+
+use crate::ir::{Affine, Guard, KernelAccessSpec, LintGeometry, SpecBuilder, Var};
+
+/// Lift a `cl_vec` loop into an access spec.
+///
+/// `arrays` names each `ArrayId` in order and gives its element length.
+/// Accesses nested under data-dependent `If` branches are included with
+/// their full (unconditional) domain — a superset, which keeps race proofs
+/// sound — and reported in the returned notes.
+pub fn lift_loop(
+    name: &str,
+    l: &Loop,
+    arrays: &[(String, usize)],
+    geometry: LintGeometry,
+) -> (KernelAccessSpec, Vec<String>) {
+    let mut b = SpecBuilder::new(name, geometry);
+    let bufs: Vec<_> = arrays
+        .iter()
+        .map(|(n, len)| b.buffer(n.clone(), *len))
+        .collect();
+    let mut notes = Vec::new();
+    if l.trip == cl_vec::TripCount::DataDependent {
+        notes.push("trip count is data-dependent: analyzed at the full NDRange".into());
+    }
+    let mut depth = 0usize;
+    walk(&l.body, &mut b, &bufs, &mut depth, &mut notes);
+    (b.finish(), notes)
+}
+
+fn walk(
+    stmts: &[Stmt],
+    b: &mut SpecBuilder,
+    bufs: &[crate::ir::GlobalBuf],
+    depth: &mut usize,
+    notes: &mut Vec<String>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Load { array, index, .. } => {
+                note_if_branched(*depth, notes, "load");
+                b.read(
+                    bufs[array.0 as usize],
+                    Affine::from_index_expr(*index, Var::GlobalLinear),
+                    Guard::Always,
+                );
+            }
+            Stmt::Store { array, index, .. } => {
+                note_if_branched(*depth, notes, "store");
+                b.write(
+                    bufs[array.0 as usize],
+                    Affine::from_index_expr(*index, Var::GlobalLinear),
+                    Guard::Always,
+                );
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                *depth += 1;
+                walk(then_body, b, bufs, depth, notes);
+                walk(else_body, b, bufs, depth, notes);
+                *depth -= 1;
+            }
+            Stmt::Break => {
+                notes.push("early exit: later iterations may not run (superset domain)".into())
+            }
+            Stmt::BinOp { .. }
+            | Stmt::MathCall { .. }
+            | Stmt::OpaqueCall { .. }
+            | Stmt::AccUpdate { .. } => {}
+        }
+    }
+}
+
+fn note_if_branched(depth: usize, notes: &mut Vec<String>, what: &str) {
+    if depth > 0 {
+        notes.push(format!(
+            "{what} under a data-dependent branch: treated as unconditional"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{analyze, Verdict};
+    use cl_vec::{ArrayId, IndexExpr, Operand, Temp, TripCount};
+
+    #[test]
+    fn streaming_loop_lifts_to_a_clean_spec() {
+        // out[i] = in[i] (the copy microbenchmark shape).
+        let n = 4096;
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: ArrayId(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::Store {
+                    array: ArrayId(1),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let (spec, notes) = lift_loop(
+            "copy",
+            &l,
+            &[("in".into(), n), ("out".into(), n)],
+            LintGeometry::d1(n, 256),
+        );
+        assert!(notes.is_empty());
+        let r = analyze(&spec);
+        assert!(r.clean(), "{:?}", r.findings);
+        assert_eq!(r.disjoint_writes, Verdict::Proven);
+    }
+
+    #[test]
+    fn strided_store_with_short_buffer_is_flagged() {
+        // out[2i + 1] with out only n long: indices reach 2n - 1.
+        let n = 1024;
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![Stmt::Store {
+                array: ArrayId(0),
+                index: IndexExpr {
+                    stride: 2,
+                    offset: 1,
+                },
+                src: Operand::Const(0.0),
+            }],
+        );
+        let (spec, _) = lift_loop(
+            "strided",
+            &l,
+            &[("out".into(), n)],
+            LintGeometry::d1(n, 256),
+        );
+        let r = analyze(&spec);
+        assert_eq!(r.bounds, Verdict::Violation);
+        // The write itself is injective, so disjointness still proves.
+        assert_eq!(r.disjoint_writes, Verdict::Proven);
+    }
+
+    #[test]
+    fn branched_store_is_noted_but_analyzed() {
+        let n = 512;
+        let l = Loop::new(
+            TripCount::Runtime,
+            vec![Stmt::If {
+                cond: Operand::Temp(Temp(0)),
+                then_body: vec![Stmt::Store {
+                    array: ArrayId(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Const(1.0),
+                }],
+                else_body: vec![],
+            }],
+        );
+        let (spec, notes) = lift_loop("masked", &l, &[("out".into(), n)], LintGeometry::d1(n, 64));
+        assert_eq!(notes.len(), 1);
+        assert!(analyze(&spec).clean());
+    }
+}

@@ -1,0 +1,466 @@
+//! The per-workitem kernel access IR.
+//!
+//! A [`KernelAccessSpec`] describes, symbolically, every global- and
+//! local-memory access a kernel performs as an affine function of the
+//! workitem coordinates, segmented into barrier-separated phases. It lifts
+//! the single-loop affine index machinery of `cl_vec::ir::IndexExpr`
+//! (`stride·i + offset` over one induction variable) to the NDRange domain:
+//! multi-term affine expressions over the six workitem id variables, with
+//! execution guards and barrier structure.
+//!
+//! Specs are pure data: building one allocates no buffers and runs no
+//! kernel, so the lints can sweep every registry kernel cheaply.
+
+use cl_vec::IndexExpr;
+
+/// A workitem id variable an index may depend on.
+///
+/// Dimension-indexed variables take `d ∈ {0, 1, 2}`. The linearized forms
+/// match the runtime's `global_linear`/`local_linear`/`group_linear`
+/// (x fastest): `global_linear = gx + gy·GX + gz·GX·GY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// `get_global_id(d)`
+    Global(u8),
+    /// `get_local_id(d)`
+    Local(u8),
+    /// `get_group_id(d)`
+    Group(u8),
+    /// Flattened global id.
+    GlobalLinear,
+    /// Flattened local id within the workgroup.
+    LocalLinear,
+    /// Flattened workgroup id.
+    GroupLinear,
+}
+
+/// A multi-term affine index expression: `Σ coef·var + offset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Affine {
+    pub terms: Vec<(Var, i64)>,
+    pub offset: i64,
+}
+
+impl Affine {
+    /// The constant expression `offset`.
+    pub fn constant(offset: i64) -> Self {
+        Affine {
+            terms: Vec::new(),
+            offset,
+        }
+    }
+
+    /// `coef · var`.
+    pub fn var(var: Var, coef: i64) -> Self {
+        Affine {
+            terms: vec![(var, coef)],
+            offset: 0,
+        }
+    }
+
+    /// `var` with coefficient 1.
+    pub fn of(var: Var) -> Self {
+        Affine::var(var, 1)
+    }
+
+    /// Add a constant.
+    pub fn plus(mut self, c: i64) -> Self {
+        self.offset += c;
+        self
+    }
+
+    /// Add another term, merging coefficients of repeated variables.
+    pub fn plus_var(mut self, var: Var, coef: i64) -> Self {
+        if let Some(t) = self.terms.iter_mut().find(|(v, _)| *v == var) {
+            t.1 += coef;
+        } else {
+            self.terms.push((var, coef));
+        }
+        self.terms.retain(|(_, c)| *c != 0);
+        self
+    }
+
+    /// Lift a `cl_vec` single-induction index to this IR, with the loop
+    /// induction variable standing for `var` (usually [`Var::GlobalLinear`]:
+    /// the canonical "one loop iteration per workitem" mapping).
+    pub fn from_index_expr(ix: IndexExpr, var: Var) -> Self {
+        if ix.stride == 0 {
+            Affine::constant(ix.offset)
+        } else {
+            Affine::var(var, ix.stride).plus(ix.offset)
+        }
+    }
+
+    /// If the expression uses at most the single variable `var`, return
+    /// `(coef, offset)` (`coef` = 0 for constants).
+    pub fn as_single(&self, var: Var) -> Option<(i64, i64)> {
+        match self.terms.as_slice() {
+            [] => Some((0, self.offset)),
+            [(v, c)] if *v == var => Some((*c, self.offset)),
+            _ => None,
+        }
+    }
+}
+
+/// An index expression: affine in the workitem ids, or data-dependent with
+/// a known conservative range (e.g. a histogram bin computed from input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Index {
+    Affine(Affine),
+    /// Data-dependent index known only to lie in `[min, max]` (inclusive).
+    Opaque {
+        min: i64,
+        max: i64,
+    },
+}
+
+impl From<Affine> for Index {
+    fn from(a: Affine) -> Self {
+        Index::Affine(a)
+    }
+}
+
+/// What kind of memory operation an access performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+    /// A read-modify-write through an atomic; exempt from the
+    /// disjoint-write contract (collisions are serialized) but still
+    /// bounds-checked.
+    AtomicUpdate,
+}
+
+/// Which memory space, and which buffer within it, an access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Index into [`KernelAccessSpec::global_buffers`].
+    Global(usize),
+    /// Index into [`KernelAccessSpec::local_buffers`].
+    Local(usize),
+}
+
+/// The execution guard under which an access (or barrier) runs.
+///
+/// Guards restrict the set of active workitems; the provers use them to
+/// tighten domains, and the divergence lint uses them to decide whether a
+/// barrier is workgroup-uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Every workitem executes.
+    Always,
+    /// Only the workitem with `local_linear == 0` (e.g. the final
+    /// per-group result store of a reduction).
+    LocalLeader,
+    /// Only workitems with `local_linear < bound` (tree-reduction phases).
+    LocalLt(usize),
+    /// Only workitems with `global_linear < bound` (`if (i < n)` tails).
+    GlobalLt(usize),
+}
+
+/// One symbolic memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    pub target: Target,
+    pub kind: AccessKind,
+    pub index: Index,
+    pub guard: Guard,
+}
+
+/// A barrier-free interval of a kernel: every access in a phase may execute
+/// concurrently across workitems with no intervening synchronization.
+#[derive(Debug, Clone, Default)]
+pub struct Phase {
+    pub accesses: Vec<Access>,
+}
+
+/// A named buffer with its element length for the analyzed launch.
+#[derive(Debug, Clone)]
+pub struct BufferSpec {
+    pub name: String,
+    pub len: usize,
+}
+
+/// The launch geometry a spec is analyzed against.
+///
+/// Self-contained (depends only on this crate) so the analysis sits below
+/// the runtime in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintGeometry {
+    pub global: [usize; 3],
+    pub local: [usize; 3],
+}
+
+impl LintGeometry {
+    /// A 1-D launch. `local` must divide `global`.
+    pub fn d1(global: usize, local: usize) -> Self {
+        LintGeometry {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
+    }
+
+    /// A 2-D launch.
+    pub fn d2(gx: usize, gy: usize, lx: usize, ly: usize) -> Self {
+        LintGeometry {
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+        }
+    }
+
+    /// Check the geometry is well-formed: nonzero sizes, local divides
+    /// global in every dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in 0..3 {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(format!("dimension {d}: zero size"));
+            }
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(format!(
+                    "dimension {d}: local {} does not divide global {}",
+                    self.local[d], self.global[d]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Workgroups along dimension `d`.
+    pub fn groups(&self, d: usize) -> usize {
+        self.global[d] / self.local[d]
+    }
+
+    /// Total workitems.
+    pub fn items(&self) -> usize {
+        self.global.iter().product()
+    }
+
+    /// Workitems per group.
+    pub fn wg_size(&self) -> usize {
+        self.local.iter().product()
+    }
+
+    /// Total workgroups.
+    pub fn n_groups(&self) -> usize {
+        (0..3).map(|d| self.groups(d)).product()
+    }
+}
+
+/// The complete symbolic access description of one kernel at one geometry.
+#[derive(Debug, Clone)]
+pub struct KernelAccessSpec {
+    pub name: String,
+    pub geometry: LintGeometry,
+    pub global_buffers: Vec<BufferSpec>,
+    pub local_buffers: Vec<BufferSpec>,
+    /// Barrier-separated intervals, in program order. `phases.len()` is
+    /// always `barriers.len() + 1`.
+    pub phases: Vec<Phase>,
+    /// The guard each barrier executes under; barrier `i` separates
+    /// `phases[i]` from `phases[i + 1]`.
+    pub barriers: Vec<Guard>,
+}
+
+/// Handle to a declared global buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBuf(pub usize);
+
+/// Handle to a declared local buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalBuf(pub usize);
+
+/// Fluent builder for [`KernelAccessSpec`].
+pub struct SpecBuilder {
+    spec: KernelAccessSpec,
+}
+
+impl SpecBuilder {
+    pub fn new(name: impl Into<String>, geometry: LintGeometry) -> Self {
+        SpecBuilder {
+            spec: KernelAccessSpec {
+                name: name.into(),
+                geometry,
+                global_buffers: Vec::new(),
+                local_buffers: Vec::new(),
+                phases: vec![Phase::default()],
+                barriers: Vec::new(),
+            },
+        }
+    }
+
+    /// Declare a global buffer of `len` elements.
+    pub fn buffer(&mut self, name: impl Into<String>, len: usize) -> GlobalBuf {
+        self.spec.global_buffers.push(BufferSpec {
+            name: name.into(),
+            len,
+        });
+        GlobalBuf(self.spec.global_buffers.len() - 1)
+    }
+
+    /// Declare a local (per-workgroup) buffer of `len` elements.
+    pub fn local(&mut self, name: impl Into<String>, len: usize) -> LocalBuf {
+        self.spec.local_buffers.push(BufferSpec {
+            name: name.into(),
+            len,
+        });
+        LocalBuf(self.spec.local_buffers.len() - 1)
+    }
+
+    fn push(&mut self, access: Access) -> &mut Self {
+        self.spec
+            .phases
+            .last_mut()
+            .expect("at least one phase")
+            .accesses
+            .push(access);
+        self
+    }
+
+    pub fn read(&mut self, buf: GlobalBuf, index: impl Into<Index>, guard: Guard) -> &mut Self {
+        self.push(Access {
+            target: Target::Global(buf.0),
+            kind: AccessKind::Read,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    pub fn write(&mut self, buf: GlobalBuf, index: impl Into<Index>, guard: Guard) -> &mut Self {
+        self.push(Access {
+            target: Target::Global(buf.0),
+            kind: AccessKind::Write,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    pub fn atomic(&mut self, buf: GlobalBuf, index: impl Into<Index>, guard: Guard) -> &mut Self {
+        self.push(Access {
+            target: Target::Global(buf.0),
+            kind: AccessKind::AtomicUpdate,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    pub fn local_read(
+        &mut self,
+        buf: LocalBuf,
+        index: impl Into<Index>,
+        guard: Guard,
+    ) -> &mut Self {
+        self.push(Access {
+            target: Target::Local(buf.0),
+            kind: AccessKind::Read,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    pub fn local_write(
+        &mut self,
+        buf: LocalBuf,
+        index: impl Into<Index>,
+        guard: Guard,
+    ) -> &mut Self {
+        self.push(Access {
+            target: Target::Local(buf.0),
+            kind: AccessKind::Write,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    /// A read-modify-write through a local atomic (`atomic_inc` on
+    /// `__local` memory): exempt from race pairing against other atomics,
+    /// still bounds-checked.
+    pub fn local_atomic(
+        &mut self,
+        buf: LocalBuf,
+        index: impl Into<Index>,
+        guard: Guard,
+    ) -> &mut Self {
+        self.push(Access {
+            target: Target::Local(buf.0),
+            kind: AccessKind::AtomicUpdate,
+            index: index.into(),
+            guard,
+        })
+    }
+
+    /// End the current phase with a `barrier(CLK_*_MEM_FENCE)` executed
+    /// under `guard` (a guard other than [`Guard::Always`] is what the
+    /// divergence lint looks for).
+    pub fn barrier(&mut self, guard: Guard) -> &mut Self {
+        self.spec.barriers.push(guard);
+        self.spec.phases.push(Phase::default());
+        self
+    }
+
+    pub fn finish(self) -> KernelAccessSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_builder_merges_terms() {
+        let a = Affine::of(Var::GlobalLinear)
+            .plus_var(Var::GlobalLinear, 3)
+            .plus(7);
+        assert_eq!(a.terms, vec![(Var::GlobalLinear, 4)]);
+        assert_eq!(a.offset, 7);
+        assert_eq!(a.as_single(Var::GlobalLinear), Some((4, 7)));
+        assert_eq!(a.as_single(Var::LocalLinear), None);
+    }
+
+    #[test]
+    fn zero_coefficients_vanish() {
+        let a = Affine::var(Var::Local(0), 2).plus_var(Var::Local(0), -2);
+        assert!(a.terms.is_empty());
+        assert_eq!(a.as_single(Var::Group(0)), Some((0, 0)));
+    }
+
+    #[test]
+    fn index_expr_lift_matches_at() {
+        let ix = IndexExpr {
+            stride: 4,
+            offset: 3,
+        };
+        let a = Affine::from_index_expr(ix, Var::GlobalLinear);
+        assert_eq!(a.as_single(Var::GlobalLinear), Some((4, 3)));
+        // The lifted form evaluates like the original at any point.
+        assert_eq!(ix.at(11), 4 * 11 + 3);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(LintGeometry::d1(1024, 64).validate().is_ok());
+        assert!(LintGeometry::d1(100, 64).validate().is_err());
+        assert!(LintGeometry::d2(8, 6, 4, 3).validate().is_ok());
+        let g = LintGeometry::d2(8, 6, 4, 3);
+        assert_eq!(g.n_groups(), 2 * 2);
+        assert_eq!(g.items(), 48);
+        assert_eq!(g.wg_size(), 12);
+    }
+
+    #[test]
+    fn builder_tracks_phases_and_barriers() {
+        let geom = LintGeometry::d1(64, 8);
+        let mut b = SpecBuilder::new("k", geom);
+        let x = b.buffer("x", 64);
+        let s = b.local("scratch", 8);
+        b.read(x, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.local_write(s, Affine::of(Var::LocalLinear), Guard::Always);
+        b.barrier(Guard::Always);
+        b.write(x, Affine::of(Var::GroupLinear), Guard::LocalLeader);
+        let spec = b.finish();
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.barriers.len(), 1);
+        assert_eq!(spec.phases[0].accesses.len(), 2);
+        assert_eq!(spec.phases[1].accesses.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cl-analyze — static analysis of kernel memory access patterns
+//!
+//! OpenCL's memory model hands the programmer a contract: workitems in
+//! different workgroups must never write the same global buffer element,
+//! `__local` accesses must be separated by barriers, barriers must be
+//! workgroup-uniform, and every index must stay in bounds. The runtime's
+//! dynamic validator (`ocl_rt::validate_disjoint_writes`) checks the first
+//! property by executing the kernel once per workgroup and diffing buffer
+//! bytes — O(groups × buffer) work that also misses writes of
+//! bit-identical values.
+//!
+//! This crate checks the same contracts *statically*. Kernels describe
+//! their memory behavior as a [`KernelAccessSpec`]: per-workitem affine
+//! index expressions (`Σ coef·id + offset` over the global/local/group
+//! ids), with execution guards, segmented into barrier phases — a lift of
+//! the single-induction affine machinery in `cl_vec::ir` to the NDRange
+//! domain (see [`from_ir`]). Four lints run over a spec:
+//!
+//! 1. [`lints::analyze`] proves **disjoint writes** with mixed-radix
+//!    injectivity, interval separation, and GCD residue reasoning;
+//! 2. detects **local-memory races** within barrier intervals;
+//! 3. flags **barrier divergence** under non-uniform guards;
+//! 4. proves **in-bounds** access via guard-aware interval arithmetic.
+//!
+//! Verdicts are three-valued ([`Verdict`]): `Proven` lets the runtime skip
+//! the dynamic validator, `Violation` rejects the launch outright, and
+//! `Unknown` falls back to the dynamic check.
+
+pub mod from_ir;
+pub mod ir;
+pub mod lints;
+pub mod prove;
+
+pub use from_ir::lift_loop;
+pub use ir::{
+    Access, AccessKind, Affine, BufferSpec, Guard, Index, KernelAccessSpec, LintGeometry, Phase,
+    SpecBuilder, Target, Var,
+};
+pub use lints::{analyze, Analysis, Finding, LintKind, Severity, Verdict};

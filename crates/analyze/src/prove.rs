@@ -1,0 +1,551 @@
+//! Arithmetic provers over affine access expressions.
+//!
+//! Everything reduces to a canonical form: an affine expression over the
+//! six bounded coordinate variables `[lx, ly, lz, gx, gy, gz]` (local id
+//! and group id per dimension), obtained by substituting
+//! `global(d) = group(d)·L(d) + local(d)` and expanding the linearized ids.
+//! On that form the provers decide:
+//!
+//! - **injectivity** (no two distinct workitems produce the same index) via
+//!   the mixed-radix/superincreasing test on sorted coefficients;
+//! - **cross-group separability** (items in different workgroups never
+//!   share an index) by splitting into local and group parts and comparing
+//!   the local span against the minimum gap between group values;
+//! - **pairwise disjointness** of two different accesses via interval
+//!   separation and GCD residue reasoning;
+//! - **index ranges** for bounds checking, via interval arithmetic.
+//!
+//! All arithmetic runs in `i128` so geometry-sized coefficients cannot
+//! overflow.
+
+use crate::ir::{Affine, Guard, Index, LintGeometry, Var};
+
+/// Canonical affine form over the six bounded variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canon {
+    /// Coefficients for `[lx, ly, lz, gx, gy, gz]`.
+    pub coefs: [i128; 6],
+    pub offset: i128,
+    /// Domain size of each variable under the access's guard (a bound of 1
+    /// pins the variable to 0).
+    pub bounds: [u64; 6],
+}
+
+/// Variable domain sizes under `guard`, or `None` if the guard admits no
+/// workitems at all (the access never executes).
+pub fn guard_bounds(guard: Guard, g: &LintGeometry) -> Option<[u64; 6]> {
+    let full = [
+        g.local[0] as u64,
+        g.local[1] as u64,
+        g.local[2] as u64,
+        g.groups(0) as u64,
+        g.groups(1) as u64,
+        g.groups(2) as u64,
+    ];
+    match guard {
+        Guard::Always => Some(full),
+        Guard::LocalLeader => Some([1, 1, 1, full[3], full[4], full[5]]),
+        Guard::LocalLt(0) | Guard::GlobalLt(0) => None,
+        Guard::LocalLt(b) => {
+            let mut bounds = full;
+            if g.local[1] == 1 && g.local[2] == 1 {
+                bounds[0] = full[0].min(b as u64);
+            }
+            // Multi-dimensional local shapes keep the full (conservative,
+            // still sound: a superset domain only weakens proofs).
+            Some(bounds)
+        }
+        Guard::GlobalLt(_) => Some(full), // tightened case-by-case below
+    }
+}
+
+/// Expand an [`Affine`] over workitem ids into the canonical bounded form.
+pub fn canonicalize(a: &Affine, guard: Guard, g: &LintGeometry) -> Option<Canon> {
+    let bounds = guard_bounds(guard, g)?;
+    let mut coefs = [0i128; 6];
+    let l = [g.local[0] as i128, g.local[1] as i128, g.local[2] as i128];
+    let gx = g.global[0] as i128;
+    let gy = g.global[1] as i128;
+    let grp = [
+        g.groups(0) as i128,
+        g.groups(1) as i128,
+        g.groups(2) as i128,
+    ];
+    for &(var, c) in &a.terms {
+        let c = c as i128;
+        match var {
+            Var::Local(d) => coefs[d as usize] += c,
+            Var::Group(d) => coefs[3 + d as usize] += c,
+            Var::Global(d) => {
+                let d = d as usize;
+                coefs[d] += c;
+                coefs[3 + d] += c * l[d];
+            }
+            Var::LocalLinear => {
+                coefs[0] += c;
+                coefs[1] += c * l[0];
+                coefs[2] += c * l[0] * l[1];
+            }
+            Var::GroupLinear => {
+                coefs[3] += c;
+                coefs[4] += c * grp[0];
+                coefs[5] += c * grp[0] * grp[1];
+            }
+            Var::GlobalLinear => {
+                // global_linear = global(0) + global(1)·GX + global(2)·GX·GY
+                for (d, scale) in [(0, 1), (1, gx), (2, gx * gy)] {
+                    coefs[d] += c * scale;
+                    coefs[3 + d] += c * scale * l[d];
+                }
+            }
+        }
+    }
+    Some(Canon {
+        coefs,
+        offset: a.offset as i128,
+        bounds,
+    })
+}
+
+impl Canon {
+    /// `(min, max)` of the expression over its domain.
+    pub fn interval(&self) -> (i128, i128) {
+        let mut lo = self.offset;
+        let mut hi = self.offset;
+        for i in 0..6 {
+            let span = self.coefs[i] * (self.bounds[i] as i128 - 1);
+            if span >= 0 {
+                hi += span;
+            } else {
+                lo += span;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// The local-id part `(coef, bound)` pairs with effective extent.
+    fn part(&self, range: std::ops::Range<usize>) -> Vec<(i128, u64)> {
+        range
+            .filter(|&i| self.bounds[i] > 1)
+            .map(|i| (self.coefs[i], self.bounds[i]))
+            .collect()
+    }
+
+    /// Width of the value set of the local-id part: `Σ |c|·(b−1)`.
+    pub fn local_span(&self) -> i128 {
+        self.part(0..3)
+            .iter()
+            .map(|&(c, b)| c.abs() * (b as i128 - 1))
+            .sum()
+    }
+
+    /// GCD of all coefficients over non-degenerate variables; 0 when the
+    /// expression is constant over its domain.
+    pub fn coef_gcd(&self) -> i128 {
+        let mut g = 0i128;
+        for i in 0..6 {
+            if self.bounds[i] > 1 {
+                g = gcd(g, self.coefs[i].abs());
+            }
+        }
+        g
+    }
+}
+
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Mixed-radix (superincreasing) injectivity test over `(coef, bound)`
+/// pairs. Returns `Err` with a human-readable reason when the test cannot
+/// certify injectivity.
+fn injective_pairs(mut pairs: Vec<(i128, u64)>) -> Result<(), String> {
+    if pairs.iter().any(|&(c, _)| c == 0) {
+        return Err("a varying coordinate does not influence the index".into());
+    }
+    pairs.sort_by_key(|&(c, _)| c.abs());
+    let mut span = 0i128; // Σ |c_j|·(b_j−1) over already-accepted terms
+    for &(c, b) in &pairs {
+        if c.abs() <= span {
+            return Err(format!(
+                "stride {} can be cancelled by smaller-stride terms spanning {}",
+                c.abs(),
+                span
+            ));
+        }
+        span += c.abs() * (b as i128 - 1);
+    }
+    Ok(())
+}
+
+/// Prove the access index is injective over all active workitems: no two
+/// distinct items (in any groups) ever produce the same index.
+pub fn injective(c: &Canon) -> Result<(), String> {
+    injective_pairs(c.part(0..6))
+}
+
+/// A definite (not merely unproven) collision: some varying coordinate has
+/// coefficient zero, so two workitems differing only there share an index.
+pub fn definite_self_collision(c: &Canon) -> Option<String> {
+    const NAMES: [&str; 6] = ["lx", "ly", "lz", "gx", "gy", "gz"];
+    (0..6)
+        .find(|&i| c.bounds[i] > 1 && c.coefs[i] == 0)
+        .map(|i| {
+            format!(
+                "index ignores coordinate {} (domain size {}): distinct workitems write the same element",
+                NAMES[i], c.bounds[i]
+            )
+        })
+}
+
+/// Minimum nonzero value of `|Σ c_i·δ_i|` over `|δ_i| < b_i`, valid when
+/// the pairs pass the superincreasing test; `None` when they don't.
+fn min_gap(mut pairs: Vec<(i128, u64)>) -> Option<i128> {
+    if pairs.is_empty() {
+        return None; // constant: no two distinct values at all
+    }
+    injective_pairs(pairs.clone()).ok()?;
+    pairs.sort_by_key(|&(c, _)| c.abs());
+    let mut span = 0i128;
+    let mut gap = i128::MAX;
+    for &(c, b) in &pairs {
+        gap = gap.min(c.abs() - span);
+        span += c.abs() * (b as i128 - 1);
+    }
+    Some(gap)
+}
+
+/// Prove workitems in different groups never share an index for this
+/// access: either fully injective, or separable (group part injective and
+/// the local span smaller than any gap between group values).
+pub fn cross_group_disjoint(c: &Canon) -> Result<(), String> {
+    if c.part(3..6).is_empty() {
+        // Only one group is active: trivially disjoint across groups.
+        return Ok(());
+    }
+    if injective(c).is_ok() {
+        return Ok(());
+    }
+    injective_pairs(c.part(3..6)).map_err(|e| format!("group part not injective: {e}"))?;
+    let gap = min_gap(c.part(3..6)).expect("injective group part has a gap");
+    let span = c.local_span();
+    if span < gap {
+        Ok(())
+    } else {
+        Err(format!(
+            "local span {span} reaches into the next group's range (gap {gap})"
+        ))
+    }
+}
+
+/// Outcome of a pairwise disjointness query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairOutcome {
+    /// The two accesses can never touch the same element.
+    Disjoint,
+    /// Overlap cannot be ruled out with the available reasoning.
+    Unknown(String),
+    /// The accesses definitely collide across distinct workitems.
+    Collide(String),
+}
+
+/// Decide whether accesses `a` and `b` (canonicalized, same buffer) can
+/// ever target the same element from *different* workitems.
+pub fn pair_disjoint(a: &Canon, b: &Canon) -> PairOutcome {
+    // Interval separation.
+    let (alo, ahi) = a.interval();
+    let (blo, bhi) = b.interval();
+    if ahi < blo || bhi < alo {
+        return PairOutcome::Disjoint;
+    }
+    // GCD residue classes: every value of `a` is ≡ offset_a (mod da).
+    let (da, db) = (a.coef_gcd(), b.coef_gcd());
+    if da == 0 && db == 0 {
+        // Both constant over their domains.
+        return if a.offset == b.offset {
+            PairOutcome::Collide(format!("both accesses always target element {}", a.offset))
+        } else {
+            PairOutcome::Disjoint
+        };
+    }
+    let g = gcd(da, db);
+    if g > 1 && (a.offset - b.offset).rem_euclid(g) != 0 {
+        return PairOutcome::Disjoint;
+    }
+    PairOutcome::Unknown(format!(
+        "ranges [{alo}, {ahi}] and [{blo}, {bhi}] overlap and residues agree (mod {g})"
+    ))
+}
+
+/// Decide whether `a` and `b` can target the same element from workitems in
+/// *different groups*. Weaker requirement than [`pair_disjoint`]; used for
+/// accesses in different barrier phases, where intra-group ordering is
+/// already serialized by the barrier.
+pub fn pair_cross_group_disjoint(a: &Canon, b: &Canon) -> PairOutcome {
+    match pair_disjoint(a, b) {
+        PairOutcome::Disjoint => return PairOutcome::Disjoint,
+        PairOutcome::Collide(r) => return PairOutcome::Collide(r),
+        PairOutcome::Unknown(_) => {}
+    }
+    // Same group mapping: if both accesses partition the buffer by group
+    // identically, overlap can only happen within a group.
+    if a.coefs[3..] == b.coefs[3..] && a.bounds[3..] == b.bounds[3..] {
+        if a.part(3..6).is_empty() {
+            return PairOutcome::Disjoint; // single active group
+        }
+        if let Some(gap) = min_gap(a.part(3..6)) {
+            // Extent of the group-independent part (local ids + offset) of
+            // both accesses together.
+            let (a_lo, a_hi) = local_extent(a);
+            let (b_lo, b_hi) = local_extent(b);
+            let extent = a_hi.max(b_hi) - a_lo.min(b_lo);
+            if extent < gap {
+                return PairOutcome::Disjoint;
+            }
+        }
+    }
+    PairOutcome::Unknown("no cross-group separation argument applies".into())
+}
+
+/// `(min, max)` of the local part plus offset.
+fn local_extent(c: &Canon) -> (i128, i128) {
+    let mut lo = c.offset;
+    let mut hi = c.offset;
+    for i in 0..3 {
+        let span = c.coefs[i] * (c.bounds[i] as i128 - 1);
+        if span >= 0 {
+            hi += span;
+        } else {
+            lo += span;
+        }
+    }
+    (lo, hi)
+}
+
+/// `(min, max)` element index an access can touch, or `None` when the
+/// guard admits no workitems. Guard-aware: single-variable expressions over
+/// the guarded id use the tightened range.
+pub fn index_interval(index: &Index, guard: Guard, g: &LintGeometry) -> Option<(i128, i128)> {
+    match index {
+        Index::Opaque { min, max } => {
+            guard_bounds(guard, g)?;
+            Some((*min as i128, *max as i128))
+        }
+        Index::Affine(a) => {
+            // `idx = c·global_linear + off` under `global_linear < n`:
+            // the guard caps the variable directly.
+            if let (Guard::GlobalLt(n), Some((c, off))) = (guard, a.as_single(Var::GlobalLinear)) {
+                let m = (g.items() as i128).min(n as i128);
+                if m == 0 {
+                    return None;
+                }
+                let (c, off) = (c as i128, off as i128);
+                let end = c * (m - 1) + off;
+                return Some((off.min(end), off.max(end)));
+            }
+            if let (Guard::LocalLt(n), Some((c, off))) = (guard, a.as_single(Var::LocalLinear)) {
+                let m = (g.wg_size() as i128).min(n as i128);
+                if m == 0 {
+                    return None;
+                }
+                let (c, off) = (c as i128, off as i128);
+                let end = c * (m - 1) + off;
+                return Some((off.min(end), off.max(end)));
+            }
+            canonicalize(a, guard, g).map(|c| c.interval())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Affine, Guard, LintGeometry, Var};
+
+    fn canon(a: &Affine, guard: Guard, g: &LintGeometry) -> Canon {
+        canonicalize(a, guard, g).expect("non-empty guard")
+    }
+
+    #[test]
+    fn linear_global_index_is_injective() {
+        let g = LintGeometry::d1(1 << 20, 256);
+        let c = canon(&Affine::of(Var::GlobalLinear), Guard::Always, &g);
+        assert!(injective(&c).is_ok());
+        assert_eq!(c.interval(), (0, (1 << 20) - 1));
+    }
+
+    #[test]
+    fn strided_coalesced_index_is_injective() {
+        // c[k·i + j] for k = 4, j = 3.
+        let g = LintGeometry::d1(1 << 10, 64);
+        let c = canon(
+            &Affine::var(Var::GlobalLinear, 4).plus(3),
+            Guard::Always,
+            &g,
+        );
+        assert!(injective(&c).is_ok());
+    }
+
+    #[test]
+    fn group_only_index_collides_within_group_but_separates_groups() {
+        let g = LintGeometry::d1(1024, 64);
+        let a = Affine::of(Var::GroupLinear);
+        let full = canon(&a, Guard::Always, &g);
+        assert!(injective(&full).is_err());
+        assert!(definite_self_collision(&full).is_some());
+        // Restricted to the group leader, it becomes injective.
+        let leader = canon(&a, Guard::LocalLeader, &g);
+        assert!(injective(&leader).is_ok());
+        assert!(cross_group_disjoint(&leader).is_ok());
+    }
+
+    #[test]
+    fn row_major_2d_is_injective() {
+        // C[gy·W + gx] with W = global x size.
+        let g = LintGeometry::d2(64, 48, 16, 16);
+        let idx = Affine::var(Var::Global(1), 64).plus_var(Var::Global(0), 1);
+        let c = canon(&idx, Guard::Always, &g);
+        assert!(injective(&c).is_ok());
+        assert_eq!(c.interval(), (0, 64 * 48 - 1));
+    }
+
+    #[test]
+    fn overlapping_rows_are_not_injective() {
+        // C[gy·W + gx] with W smaller than the x extent: rows overlap.
+        let g = LintGeometry::d2(64, 48, 16, 16);
+        let idx = Affine::var(Var::Global(1), 32).plus_var(Var::Global(0), 1);
+        let c = canon(&idx, Guard::Always, &g);
+        assert!(injective(&c).is_err());
+    }
+
+    #[test]
+    fn cross_group_separation_needs_gap() {
+        let g = LintGeometry::d1(256, 64);
+        // Each group writes a 64-wide block at 64·group + local: separable.
+        let block = Affine::var(Var::GroupLinear, 64).plus_var(Var::LocalLinear, 1);
+        assert!(cross_group_disjoint(&canon(&block, Guard::Always, &g)).is_ok());
+        // 32-wide stride with 64 locals: local span crosses into the next
+        // group's block.
+        let overlap = Affine::var(Var::GroupLinear, 32).plus_var(Var::LocalLinear, 1);
+        assert!(cross_group_disjoint(&canon(&overlap, Guard::Always, &g)).is_err());
+    }
+
+    #[test]
+    fn residue_classes_separate_interleaved_writes() {
+        let g = LintGeometry::d1(1024, 64);
+        let even = canon(&Affine::var(Var::GlobalLinear, 2), Guard::Always, &g);
+        let odd = canon(
+            &Affine::var(Var::GlobalLinear, 2).plus(1),
+            Guard::Always,
+            &g,
+        );
+        assert_eq!(pair_disjoint(&even, &odd), PairOutcome::Disjoint);
+        // Same residue: unknown.
+        let also_even = canon(&Affine::var(Var::GlobalLinear, 4), Guard::Always, &g);
+        assert!(matches!(
+            pair_disjoint(&even, &also_even),
+            PairOutcome::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn interval_separation_detects_block_split() {
+        let g = LintGeometry::d1(256, 64);
+        let lo = canon(&Affine::of(Var::GlobalLinear), Guard::Always, &g);
+        let hi = canon(&Affine::of(Var::GlobalLinear).plus(256), Guard::Always, &g);
+        assert_eq!(pair_disjoint(&lo, &hi), PairOutcome::Disjoint);
+    }
+
+    #[test]
+    fn constant_conflicts_are_definite() {
+        let g = LintGeometry::d1(256, 64);
+        let a = canon(&Affine::constant(5), Guard::Always, &g);
+        let b = canon(&Affine::constant(5), Guard::Always, &g);
+        assert!(matches!(pair_disjoint(&a, &b), PairOutcome::Collide(_)));
+        let c = canon(&Affine::constant(6), Guard::Always, &g);
+        assert_eq!(pair_disjoint(&a, &c), PairOutcome::Disjoint);
+    }
+
+    #[test]
+    fn guarded_tail_tightens_the_interval() {
+        // out[i] under `i < n` with padded global size.
+        let g = LintGeometry::d1(1024, 64);
+        let (lo, hi) = index_interval(
+            &Affine::of(Var::GlobalLinear).into(),
+            Guard::GlobalLt(1000),
+            &g,
+        )
+        .unwrap();
+        assert_eq!((lo, hi), (0, 999));
+        // Unguarded, the interval covers the padding too.
+        let (_, hi_full) =
+            index_interval(&Affine::of(Var::GlobalLinear).into(), Guard::Always, &g).unwrap();
+        assert_eq!(hi_full, 1023);
+    }
+
+    #[test]
+    fn empty_guards_never_execute() {
+        let g = LintGeometry::d1(64, 64);
+        assert!(index_interval(
+            &Affine::of(Var::GlobalLinear).into(),
+            Guard::GlobalLt(0),
+            &g
+        )
+        .is_none());
+        assert!(guard_bounds(Guard::LocalLt(0), &g).is_none());
+    }
+
+    #[test]
+    fn grid_stride_phases_separate_by_interval() {
+        // Grid-stride: pass m writes out[i + m·T] guarded i + m·T < n.
+        let t = 1 << 12;
+        let n: usize = 10_000;
+        let g = LintGeometry::d1(t, 256);
+        let pass = |m: usize| {
+            canonicalize(
+                &Affine::of(Var::GlobalLinear).plus((m * t) as i64),
+                Guard::GlobalLt(n.saturating_sub(m * t)),
+                &g,
+            )
+        };
+        let p0 = pass(0).unwrap();
+        let p1 = pass(1).unwrap();
+        assert_eq!(pair_disjoint(&p0, &p1), PairOutcome::Disjoint);
+        assert!(pass(3).is_none(), "pass beyond n never executes");
+    }
+
+    #[test]
+    fn cross_group_pair_with_shared_group_mapping() {
+        let g = LintGeometry::d1(256, 64);
+        // Two writes into per-group blocks of 130: block·group + local and
+        // block·group + 64 + local. Intra-group they may be ordered by a
+        // barrier; across groups the gap argument separates them.
+        let a = canon(
+            &Affine::var(Var::GroupLinear, 130).plus_var(Var::LocalLinear, 1),
+            Guard::Always,
+            &g,
+        );
+        let b = canon(
+            &Affine::var(Var::GroupLinear, 130)
+                .plus_var(Var::LocalLinear, 1)
+                .plus(64),
+            Guard::Always,
+            &g,
+        );
+        assert_eq!(pair_cross_group_disjoint(&a, &b), PairOutcome::Disjoint);
+        assert!(matches!(pair_disjoint(&a, &b), PairOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn gcd_helper() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(-4, 6), 2);
+    }
+}

@@ -2,7 +2,8 @@
 //! (Section III-D's negative result, verified as wall-clock: READ_ONLY /
 //! WRITE_ONLY / READ_WRITE access flags and device vs pinned placement.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cl_bench::crit::{BenchmarkId, Criterion, Throughput};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::apps::square;
@@ -20,7 +21,10 @@ fn alloc_flags(c: &mut Criterion) {
     tune(&mut g);
     let built_ro_wo = square::build(&ctx, N, 1, Some(512), 1);
     g.bench_function("ro_in_wo_out", |b| {
-        b.iter(|| q.enqueue_kernel(&built_ro_wo.kernel, built_ro_wo.range).unwrap());
+        b.iter(|| {
+            q.enqueue_kernel(&built_ro_wo.kernel, built_ro_wo.range)
+                .unwrap()
+        });
     });
     {
         use cl_kernels::util::random_f32;

@@ -3,7 +3,8 @@
 //! and how does the modeled per-group overhead knob move the Figure 1/3
 //! curves?
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::tune;
 use cl_pool::{ChunkSource, GuidedSource, PoolConfig, ThreadPool};
@@ -85,5 +86,10 @@ fn overhead_sensitivity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, dispatch_overhead, chunk_strategies, overhead_sensitivity);
+criterion_group!(
+    benches,
+    dispatch_overhead,
+    chunk_strategies,
+    overhead_sensitivity
+);
 criterion_main!(benches);

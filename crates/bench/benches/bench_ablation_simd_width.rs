@@ -3,7 +3,8 @@
 //! the implicit vectorizer's payoff comes from and what AVX-width lanes
 //! would add.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cl_bench::crit::{BenchmarkId, Criterion, Throughput};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::tune;
 use cl_vec::{simd_apply2, VecF32};

@@ -2,7 +2,8 @@
 //! The OpenMP plane runs scalar wherever the loop vectorizer refuses; the
 //! OpenCL plane always runs the cross-workitem SIMD form.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::tune;
 use cl_kernels::mbench;

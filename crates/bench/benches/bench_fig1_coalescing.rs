@@ -4,7 +4,8 @@
 //! 10×, 100×, 1000× coalescing (constant total work). Modeled plane: the
 //! deterministic CPU/GPU evaluation, benchmarked for evaluation cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::apps::{square, vectoradd};

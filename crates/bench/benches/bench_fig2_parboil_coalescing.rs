@@ -1,6 +1,7 @@
 //! Figure 2: Parboil kernels with 1×, 2×, 4× workload per workitem (CPU).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::parboil::{cp, mriq};

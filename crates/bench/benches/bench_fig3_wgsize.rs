@@ -3,7 +3,8 @@
 //! task per group), so the sweep exposes the paper's CPU-side shape in
 //! wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::apps::{matrixmul, square, vectoradd};

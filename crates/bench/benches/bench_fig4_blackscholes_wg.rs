@@ -2,7 +2,8 @@
 //! paper's point — long per-workitem work makes the CPU insensitive — shows
 //! here as near-identical wall-clock across the Table V cases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::apps::blackscholes;

@@ -1,7 +1,8 @@
 //! Figure 5: Parboil workgroup-size sweep (native CPU), ×1 … ×16 of the
 //! Table III defaults.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::parboil::{cp, mriq};

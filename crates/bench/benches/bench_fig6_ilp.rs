@@ -2,7 +2,8 @@
 //! chains execute on the real out-of-order host core, so throughput rising
 //! with ILP here is the paper's mechanism itself, not a model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cl_bench::crit::{BenchmarkId, Criterion, Throughput};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use cl_kernels::ilp;

@@ -2,7 +2,8 @@
 //! path really moves every byte twice through a staging object; the map
 //! path really returns a pointer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cl_bench::crit::{BenchmarkId, Criterion, Throughput};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use ocl_rt::MemFlags;
@@ -32,9 +33,7 @@ fn transfer_apis(c: &mut Criterion) {
         });
         // Placement dimension: pinned-host allocation behaves identically
         // on a CPU device (the paper's finding).
-        let pinned = ctx
-            .buffer::<f32>(MemFlags::ALLOC_HOST_PTR, n)
-            .unwrap();
+        let pinned = ctx.buffer::<f32>(MemFlags::ALLOC_HOST_PTR, n).unwrap();
         g.bench_with_input(BenchmarkId::new("write_copy_pinned", mib), &mib, |b, _| {
             b.iter(|| q.write_buffer(&pinned, 0, &host).unwrap());
         });

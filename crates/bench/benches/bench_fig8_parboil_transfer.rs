@@ -1,7 +1,8 @@
 //! Figure 8: Parboil transfer footprints, host→device and device→host,
 //! copy vs map, on the native CPU device.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cl_bench::{native_ctx, tune};
 use ocl_rt::MemFlags;

@@ -5,7 +5,8 @@
 //! wall-clock gap as a cycle count on any machine — plus the raw
 //! simulator's access throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cl_bench::crit::{BenchmarkId, Criterion};
+use cl_bench::{criterion_group, criterion_main};
 
 use cache_sim::{Hierarchy, HierarchyConfig};
 use cl_bench::tune;

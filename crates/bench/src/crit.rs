@@ -1,0 +1,368 @@
+//! A miniature Criterion-compatible measurement harness.
+//!
+//! The workspace builds offline, so the benches cannot depend on the
+//! `criterion` crate. This module keeps the subset of its API the bench
+//! targets use — groups, `BenchmarkId`, throughput annotation, warm-up /
+//! measurement-time / sample-count tuning — backed by a simple
+//! warmup-then-sample wall-clock loop. Results print one line per
+//! benchmark: median, min and max time per iteration, plus derived
+//! throughput when annotated.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink (re-exported name-compatibly with criterion).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement marker types (only wall-clock time is supported).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// A `group/function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotation: per-iteration volume for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Build from the process environment; any non-flag CLI argument is a
+    /// substring filter on benchmark names (cargo's `--bench` flag and
+    /// friends are ignored).
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter, ran: 0 }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group("");
+        g.run(&id.render(), f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Print a closing line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) run", self.ran);
+    }
+}
+
+/// A group of related benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = usize::max(n, 2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.render(), f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.render(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, bench_name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            bench_name.to_string()
+        } else {
+            format!("{}/{}", self.name, bench_name)
+        };
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        let Some(stats) = bencher.stats else {
+            println!("{full:<50} (no measurement: closure never called iter)");
+            return;
+        };
+        self.criterion.ran += 1;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => format!(
+                "  {:>10}/s",
+                human_bytes(b as f64 / (stats.median_ns / 1e9))
+            ),
+            Throughput::Elements(e) => {
+                format!("  {:>10.3e} elem/s", e as f64 / (stats.median_ns / 1e9))
+            }
+        });
+        println!(
+            "{full:<50} time: [{} {} {}]{}",
+            human_time(stats.min_ns),
+            human_time(stats.median_ns),
+            human_time(stats.max_ns),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+struct Stats {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick an iteration batch that fits the
+    /// measurement budget, then time `sample_size` batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Batch size so that sample_size batches fill the measurement time.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let per_sample = budget_ns / self.sample_size as f64;
+        let batch = u64::max(1, (per_sample / est_ns.max(1.0)) as u64);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.stats = Some(Stats {
+            median_ns: samples_ns[samples_ns.len() / 2],
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("nonempty"),
+        });
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1e3 {
+        format!("{bps:.0} B")
+    } else if bps < 1e6 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1e9 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Define a benchmark group function from a list of bench functions
+/// (compatible with `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::crit::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups (compatible with
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::crit::Criterion::from_env();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_stats() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        g.finish();
+        assert!(hits > 0);
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            ran: 0,
+        };
+        let mut g = c.benchmark_group("t");
+        g.bench_function("skipped", |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(c.ran, 0);
+    }
+
+    #[test]
+    fn ids_render_with_parameters() {
+        assert_eq!(BenchmarkId::new("f", 42).render(), "f/42");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert!(human_time(12.0).contains("ns"));
+        assert!(human_time(12_000.0).contains("µs"));
+        assert!(human_time(12_000_000.0).contains("ms"));
+        assert!(human_bytes(2e9).contains("GiB"));
+    }
+}

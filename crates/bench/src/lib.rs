@@ -14,13 +14,15 @@ use std::time::Duration;
 
 use ocl_rt::{Context, Device};
 
+pub mod crit;
+
 /// A native CPU context sized to the host.
 pub fn native_ctx() -> Context {
     Context::new(Device::native_cpu(cl_pool::available_cores()).unwrap())
 }
 
 /// Benchmark-group defaults: short, stable, CI-friendly.
-pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+pub fn tune(group: &mut crate::crit::BenchmarkGroup<'_>) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(800));

@@ -18,10 +18,13 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1, "need at least one way");
         assert!(
-            self.size_bytes % (self.ways * self.line_bytes) == 0 && self.sets() >= 1,
+            self.size_bytes.is_multiple_of(self.ways * self.line_bytes) && self.sets() >= 1,
             "size must be a whole number of sets"
         );
     }

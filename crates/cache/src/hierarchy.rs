@@ -230,7 +230,7 @@ mod tests {
     fn shared_l3_serves_other_core() {
         let mut h = Hierarchy::new(HierarchyConfig::tiny(2));
         h.access(0, 0x2000, true); // core 0 brings the line in everywhere
-        // Core 1 misses its private caches but hits the shared L3.
+                                   // Core 1 misses its private caches but hits the shared L3.
         assert_eq!(h.access(1, 0x2000, false), HitLevel::L3);
         // And now it is resident in core 1's L1 too.
         assert_eq!(h.access(1, 0x2000, false), HitLevel::L1);

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cl_pool::{PinPolicy, PoolConfig, ThreadPool};
-use parking_lot::{Condvar, Mutex};
+use cl_util::sync::{Condvar, Mutex};
 
 use crate::error::ClError;
 use crate::event::{CommandKind, Event};
@@ -46,9 +46,8 @@ impl AffinityExecutor {
                 .workers(1)
                 .pin(PinPolicy::Explicit(vec![core]));
             cfg.name_prefix = format!("affinity-lane-{core}");
-            lanes.push(
-                ThreadPool::new(cfg).map_err(|e| ClError::DeviceUnavailable(e.to_string()))?,
-            );
+            lanes
+                .push(ThreadPool::new(cfg).map_err(|e| ClError::DeviceUnavailable(e.to_string()))?);
         }
         Ok(AffinityExecutor { lanes })
     }
@@ -92,7 +91,11 @@ impl AffinityExecutor {
         }
         done.wait();
 
-        let mut ev = Event::new(CommandKind::NdRangeKernel, t0.elapsed().as_secs_f64(), false);
+        let mut ev = Event::new(
+            CommandKind::NdRangeKernel,
+            t0.elapsed().as_secs_f64(),
+            false,
+        );
         ev.groups = n_groups as u64;
         ev.barriers = barriers.load(Ordering::Relaxed);
         ev.items = items.load(Ordering::Relaxed);
@@ -149,7 +152,7 @@ mod tests {
     use crate::context::Context;
     use crate::device::Device;
     use crate::MemFlags;
-    use parking_lot::Mutex as PMutex;
+    use cl_util::sync::Mutex as PMutex;
 
     struct RecordLane {
         out: Buffer<u32>,
@@ -162,10 +165,7 @@ mod tests {
         }
         fn run_group(&self, g: &mut GroupCtx) {
             let group = g.group_id(0);
-            let name = std::thread::current()
-                .name()
-                .unwrap_or("?")
-                .to_string();
+            let name = std::thread::current().name().unwrap_or("?").to_string();
             self.names.lock().push((group, name));
             let out = self.out.view_mut();
             g.for_each(|wi| {
@@ -261,7 +261,8 @@ mod tests {
             dst: dst.clone(),
         });
         let range = NDRange::d1(256).local1(32);
-        exec.enqueue_kernel_bound(&fill, range, exec.aligned()).unwrap();
+        exec.enqueue_kernel_bound(&fill, range, exec.aligned())
+            .unwrap();
         for placement in [0usize, 1] {
             exec.enqueue_kernel_bound(&double, range, exec.rotated(placement))
                 .unwrap();

@@ -85,7 +85,10 @@ impl<T: Pod> Buffer<T> {
     /// parent's storage and flags; dropping the parent keeps the storage
     /// alive (reference-counted, like OpenCL).
     pub fn sub_buffer(&self, origin: usize, count: usize) -> Result<Buffer<T>, ClError> {
-        if origin.checked_add(count).is_none_or(|end| end > self.window) {
+        if origin
+            .checked_add(count)
+            .is_none_or(|end| end > self.window)
+        {
             return Err(ClError::Mem(cl_mem::MemError::OutOfBounds {
                 offset: origin * std::mem::size_of::<T>(),
                 len: count * std::mem::size_of::<T>(),
@@ -208,7 +211,11 @@ impl<T: Pod> BufView<'_, T> {
     /// Bounds-checked element read.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "buffer read out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "buffer read out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked; T is Pod.
         unsafe { *self.ptr.add(i) }
     }
@@ -253,7 +260,11 @@ impl<T: Pod> BufViewMut<'_, T> {
     /// Bounds-checked element read.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "buffer read out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "buffer read out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked.
         unsafe { *self.ptr.add(i) }
     }
@@ -261,7 +272,11 @@ impl<T: Pod> BufViewMut<'_, T> {
     /// Bounds-checked element write.
     #[inline]
     pub fn set(&self, i: usize, v: T) {
-        assert!(i < self.len, "buffer write out of bounds: {i} >= {}", self.len);
+        assert!(
+            i < self.len,
+            "buffer write out of bounds: {i} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked; disjointness per the view contract.
         unsafe { *self.ptr.add(i) = v };
     }

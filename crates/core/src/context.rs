@@ -60,11 +60,17 @@ impl Context {
     /// data at creation time (copied through the transfer engine, so the
     /// copy is visible in the statistics).
     pub fn buffer_from<T: Pod>(&self, flags: MemFlags, data: &[T]) -> Result<Buffer<T>, ClError> {
-        let buf = Buffer::create(flags.union(MemFlags::COPY_HOST_PTR), data.len(), self.inner.id)?;
+        let buf = Buffer::create(
+            flags.union(MemFlags::COPY_HOST_PTR),
+            data.len(),
+            self.inner.id,
+        )?;
         let bytes = unsafe {
             std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
         };
-        self.inner.transfer.write_buffer(&buf.inner.region, 0, bytes)?;
+        self.inner
+            .transfer
+            .write_buffer(&buf.inner.region, 0, bytes)?;
         Ok(buf)
     }
 }

@@ -196,8 +196,7 @@ impl Platform {
     /// The devices this reproduction exposes: a native CPU sized to the
     /// host, plus modeled replicas of the paper's Table I machines.
     pub fn devices() -> Vec<Device> {
-        let native = Device::native_cpu(cl_pool::available_cores())
-            .expect("host CPU device");
+        let native = Device::native_cpu(cl_pool::available_cores()).expect("host CPU device");
         vec![
             native,
             Device::modeled_cpu(CpuSpec::xeon_e5645()),

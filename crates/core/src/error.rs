@@ -23,6 +23,14 @@ pub enum ClError {
     DeviceUnavailable(String),
     /// Buffer belongs to a different context than the queue.
     WrongContext,
+    /// The static analyzer proved this launch violates the OpenCL memory
+    /// contract (conflicting writes, a local-memory race, a divergent
+    /// barrier, or an out-of-bounds access). Raised by debug builds at
+    /// enqueue time for kernels that publish an access spec.
+    ContractViolation {
+        kernel: String,
+        findings: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ClError {
@@ -38,6 +46,11 @@ impl std::fmt::Display for ClError {
             ClError::BufferTooLarge => write!(f, "buffer size overflows"),
             ClError::DeviceUnavailable(s) => write!(f, "device unavailable: {s}"),
             ClError::WrongContext => write!(f, "object used with the wrong context"),
+            ClError::ContractViolation { kernel, findings } => write!(
+                f,
+                "kernel `{kernel}` proven to violate the memory contract: {}",
+                findings.join("; ")
+            ),
         }
     }
 }

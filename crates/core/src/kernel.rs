@@ -254,6 +254,17 @@ pub trait Kernel: Send + Sync {
     fn profile(&self) -> KernelProfile {
         KernelProfile::compute(1.0)
     }
+
+    /// Symbolic access description of this kernel at the given launch
+    /// geometry, if the kernel's indexing is expressible in the affine
+    /// access IR. When provided, debug builds statically check the OpenCL
+    /// memory contract at enqueue time ([`cl_analyze::analyze`]): a proven
+    /// violation rejects the launch, a proof lets callers skip the dynamic
+    /// `validate_disjoint_writes`, and anything unprovable falls back to the
+    /// dynamic path. `None` (the default) opts out of static checking.
+    fn access_spec(&self, _range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        None
+    }
 }
 
 #[cfg(test)]

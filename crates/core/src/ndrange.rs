@@ -107,10 +107,7 @@ impl NDRange {
         }
         let local = match self.local {
             Some(l) => {
-                if l.iter().any(|&x| x == 0)
-                    || (0..3).any(|d| self.global[d] % l[d].max(1) != 0)
-                    || l.iter().take(self.dims).any(|&x| x == 0)
-                {
+                if l.contains(&0) || (0..3).any(|d| !self.global[d].is_multiple_of(l[d].max(1))) {
                     return Err(ClError::InvalidWorkGroupSize {
                         global: self.global,
                         local: l,
@@ -147,7 +144,7 @@ impl NDRange {
 /// Largest divisor of `n` that is ≤ `cap` (≥ 1).
 fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
     let cap = cap.min(n);
-    (1..=cap).rev().find(|d| n % d == 0).unwrap_or(1)
+    (1..=cap).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
 }
 
 /// A validated launch geometry.
@@ -187,6 +184,14 @@ impl ResolvedRange {
     /// The equivalent flattened [`perf_model::Launch`] for the cost models.
     pub fn launch(&self) -> perf_model::Launch {
         perf_model::Launch::new(self.total_items(), self.wg_size())
+    }
+
+    /// The geometry in the static analyzer's vocabulary.
+    pub fn lint_geometry(&self) -> cl_analyze::LintGeometry {
+        cl_analyze::LintGeometry {
+            global: self.global,
+            local: self.local,
+        }
     }
 }
 

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn relaxed_math_unlocks_reduction_vectorization() {
         // The Figure 11 loop under each option set.
-        use cl_vec::{ArrayId, IndexExpr, Loop, LoopVectorizer, Op, Operand, Stmt, Temp, TripCount};
+        use cl_vec::{
+            ArrayId, IndexExpr, Loop, LoopVectorizer, Op, Operand, Stmt, Temp, TripCount,
+        };
         let fig11 = Loop::new(
             TripCount::Constant(4),
             vec![

@@ -46,9 +46,15 @@ impl CommandQueue {
     /// `clEnqueueNDRangeKernel` (blocking). The workgroup size comes from
     /// `range`; passing a range without `local*` reproduces the NULL
     /// `local_work_size` behaviour.
-    pub fn enqueue_kernel(&self, kernel: &Arc<dyn Kernel>, range: NDRange) -> Result<Event, ClError> {
+    pub fn enqueue_kernel(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+    ) -> Result<Event, ClError> {
         let device = self.ctx.device();
         let resolved = range.resolve_with(device.default_wg(), device.null_target_groups())?;
+        #[cfg(debug_assertions)]
+        check_contract(kernel, &resolved)?;
         Ok(execute_kernel(device, kernel, &resolved))
     }
 
@@ -186,8 +192,7 @@ impl CommandQueue {
         self.check_ctx(buf)?;
         let t0 = Instant::now();
         let elem = std::mem::size_of::<T>();
-        let raw =
-            unsafe { std::slice::from_raw_parts(&value as *const T as *const u8, elem) };
+        let raw = unsafe { std::slice::from_raw_parts(&value as *const T as *const u8, elem) };
         // Write the pattern element-by-element through a staged row to keep
         // the fill a single region write.
         let mut staged = vec![0u8; buf.byte_len()];
@@ -218,6 +223,38 @@ impl CommandQueue {
             }
         }
     }
+}
+
+/// Debug-build enqueue gate: kernels that publish an access spec are run
+/// through the static lints, and a *proven* contract violation (conflicting
+/// writes, local race, divergent barrier, out-of-bounds) rejects the launch
+/// before it executes. Unproven properties pass — they are what the dynamic
+/// `validate_disjoint_writes` exists for. Set `CL_SKIP_STATIC_CHECK=1` to
+/// opt out (e.g. when deliberately launching a racy fixture).
+#[cfg(debug_assertions)]
+fn check_contract(
+    kernel: &Arc<dyn Kernel>,
+    resolved: &crate::ndrange::ResolvedRange,
+) -> Result<(), ClError> {
+    if std::env::var_os("CL_SKIP_STATIC_CHECK").is_some() {
+        return Ok(());
+    }
+    let Some(spec) = kernel.access_spec(resolved) else {
+        return Ok(());
+    };
+    let analysis = cl_analyze::analyze(&spec);
+    if analysis.has_errors() {
+        return Err(ClError::ContractViolation {
+            kernel: kernel.name().to_string(),
+            findings: analysis
+                .findings
+                .iter()
+                .filter(|f| f.severity == cl_analyze::Severity::Error)
+                .map(|f| format!("[{}] {}", f.kind.as_str(), f.message))
+                .collect(),
+        });
+    }
+    Ok(())
 }
 
 /// A read mapping viewed as a `[T]` slice. Unmaps on drop.
@@ -308,7 +345,9 @@ mod tests {
         let q = ctx.queue();
         let buf = ctx.buffer::<f32>(MemFlags::default(), 100).unwrap();
         q.write_buffer(&buf, 0, &vec![1.0f32; 100]).unwrap();
-        let ev = q.run(AddOne { data: buf.clone() }, NDRange::d1(100)).unwrap();
+        let ev = q
+            .run(AddOne { data: buf.clone() }, NDRange::d1(100))
+            .unwrap();
         assert_eq!(ev.items, 100);
         let mut out = vec![0.0f32; 100];
         q.read_buffer(&buf, 0, &mut out).unwrap();
@@ -395,5 +434,75 @@ mod tests {
         // NULL local resolved to some divisor; every item ran once.
         assert_eq!(ev.items, 1000);
         assert!(ev.groups >= 2);
+    }
+
+    /// A kernel whose spec the prover can refute: every group's leader
+    /// writes element 0.
+    struct ProvenRacy {
+        data: Buffer<f32>,
+    }
+    impl Kernel for ProvenRacy {
+        fn name(&self) -> &str {
+            "proven_racy"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let d = self.data.view_mut();
+            g.for_each(|wi| {
+                if wi.local_id(0) == 0 {
+                    d.set(0, 1.0);
+                }
+            });
+        }
+        fn access_spec(
+            &self,
+            range: &crate::ndrange::ResolvedRange,
+        ) -> Option<cl_analyze::KernelAccessSpec> {
+            use cl_analyze::{Affine, Guard, SpecBuilder};
+            let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+            let out = b.buffer("data", self.data.len());
+            b.write(out, Affine::constant(0), Guard::LocalLeader);
+            Some(b.finish())
+        }
+    }
+
+    /// Debug builds reject a launch whose spec is a proven contract
+    /// violation at enqueue time, before any group runs; the
+    /// `CL_SKIP_STATIC_CHECK` escape hatch restores the old behaviour.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn proven_violation_is_rejected_at_enqueue() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(ProvenRacy { data: buf.clone() });
+        let err = q.enqueue_kernel(&k, NDRange::d1(64).local1(8)).unwrap_err();
+        match err {
+            ClError::ContractViolation { kernel, findings } => {
+                assert_eq!(kernel, "proven_racy");
+                assert!(!findings.is_empty());
+                assert!(findings[0].contains("disjoint-writes"), "{findings:?}");
+            }
+            other => panic!("expected ContractViolation, got {other:?}"),
+        }
+        // Nothing ran: the buffer is untouched.
+        let mut out = vec![0.0f32; 64];
+        q.read_buffer(&buf, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0.0));
+
+        std::env::set_var("CL_SKIP_STATIC_CHECK", "1");
+        let run = q.enqueue_kernel(&k, NDRange::d1(64).local1(8));
+        std::env::remove_var("CL_SKIP_STATIC_CHECK");
+        run.unwrap();
+    }
+
+    /// Single-group launches of the same kernel are contract-clean and must
+    /// not be rejected (the guard-aware geometry sensitivity of the lints).
+    #[test]
+    fn single_group_launch_of_leader_writer_is_accepted() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(ProvenRacy { data: buf.clone() });
+        q.enqueue_kernel(&k, NDRange::d1(64).local1(64)).unwrap();
     }
 }

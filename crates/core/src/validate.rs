@@ -55,8 +55,7 @@ pub fn validate_disjoint_writes<T: Pod + PartialEq>(
             (0..b.len()).map(|i| v.get(i)).collect()
         })
         .collect();
-    let mut writer: Vec<Vec<Option<usize>>> =
-        watched.iter().map(|b| vec![None; b.len()]).collect();
+    let mut writer: Vec<Vec<Option<usize>>> = watched.iter().map(|b| vec![None; b.len()]).collect();
     let mut conflicts = Vec::new();
 
     for linear in 0..n_groups {
@@ -129,8 +128,7 @@ mod tests {
         let ctx = Context::new(Device::native_cpu(1).unwrap());
         let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
         let k: Arc<dyn Kernel> = Arc::new(Disjoint { out: out.clone() });
-        let conflicts =
-            validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
+        let conflicts = validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
         assert!(conflicts.is_empty(), "{conflicts:?}");
     }
 
@@ -139,8 +137,7 @@ mod tests {
         let ctx = Context::new(Device::native_cpu(1).unwrap());
         let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
         let k: Arc<dyn Kernel> = Arc::new(Racy { out: out.clone() });
-        let conflicts =
-            validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
+        let conflicts = validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
         assert!(!conflicts.is_empty());
         let c = &conflicts[0];
         assert_eq!(c.index, 0, "{c:?}");
@@ -155,8 +152,83 @@ mod tests {
         let ctx = Context::new(Device::native_cpu(1).unwrap());
         let out = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
         let k: Arc<dyn Kernel> = Arc::new(Racy { out: out.clone() });
-        let conflicts =
-            validate_disjoint_writes(&k, NDRange::d1(16).local1(16), &[&out]).unwrap();
+        let conflicts = validate_disjoint_writes(&k, NDRange::d1(16).local1(16), &[&out]).unwrap();
         assert!(conflicts.is_empty());
+    }
+
+    /// Like [`Racy`], but every group's leader stores the SAME constant to
+    /// element 0 — a real cross-group conflict whose writes are
+    /// bit-identical after the first group.
+    struct BitIdenticalRacy {
+        out: Buffer<f32>,
+    }
+    impl Kernel for BitIdenticalRacy {
+        fn name(&self) -> &str {
+            "bit_identical_racy"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let out = self.out.view_mut();
+            g.for_each(|wi| {
+                out.set(wi.global_id(0), wi.global_id(0) as f32 + 1.0);
+                if wi.local_id(0) == 0 {
+                    out.set(0, 42.0);
+                }
+            });
+        }
+        fn access_spec(
+            &self,
+            range: &crate::ndrange::ResolvedRange,
+        ) -> Option<cl_analyze::KernelAccessSpec> {
+            use cl_analyze::{Affine, Guard, SpecBuilder, Var};
+            let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+            let out = b.buffer("out", self.out.len());
+            b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+            b.write(out, Affine::constant(0), Guard::LocalLeader);
+            Some(b.finish())
+        }
+    }
+
+    /// The documented blind spot: once element 0 holds 42.0, later groups'
+    /// conflicting stores of 42.0 don't change the bytes, so the diff-based
+    /// validator sees nothing. (Only group 0's initial 0.0 → 42.0 edge is
+    /// visible, and a single writer is legal.)
+    #[test]
+    fn bit_identical_writes_evade_the_dynamic_validator() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(BitIdenticalRacy { out: out.clone() });
+        let conflicts = validate_disjoint_writes(&k, NDRange::d1(64).local1(8), &[&out]).unwrap();
+        assert!(
+            conflicts.is_empty(),
+            "the diff cannot see bit-identical rewrites: {conflicts:?}"
+        );
+    }
+
+    /// The same launch under the static prover: the shared element-0 slot is
+    /// a *proven* contract violation — the case the dynamic validator just
+    /// missed.
+    #[test]
+    fn static_prover_catches_what_the_dynamic_validator_misses() {
+        let ctx = Context::new(Device::native_cpu(1).unwrap());
+        let out = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        let k = BitIdenticalRacy { out: out.clone() };
+        let resolved = NDRange::d1(64).local1(8).resolve(512).unwrap();
+        let spec = k.access_spec(&resolved).unwrap();
+        let analysis = cl_analyze::analyze(&spec);
+        assert_eq!(analysis.disjoint_writes, cl_analyze::Verdict::Violation);
+        assert!(analysis.has_errors());
+    }
+
+    /// A clean kernel's spec lets callers skip the dynamic sweep entirely.
+    #[test]
+    fn proven_disjoint_spec_subsumes_the_dynamic_check() {
+        use cl_analyze::{Affine, Guard, SpecBuilder, Var};
+        let resolved = NDRange::d1(64).local1(8).resolve(512).unwrap();
+        let mut b = SpecBuilder::new("disjoint", resolved.lint_geometry());
+        let out = b.buffer("out", 64);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        let analysis = cl_analyze::analyze(&b.finish());
+        assert!(analysis.clean());
+        assert_eq!(analysis.disjoint_writes, cl_analyze::Verdict::Proven);
     }
 }

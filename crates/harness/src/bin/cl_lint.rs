@@ -1,0 +1,246 @@
+//! `cl-lint` — statically check every registry kernel's memory contract.
+//!
+//! ```text
+//! cl-lint [--deny-warnings] [--out DIR] [--default-wg N]
+//!
+//!   --deny-warnings  exit nonzero on any finding (even unproven warnings)
+//!   --out DIR        output directory (default: results)
+//!   --default-wg N   workgroup size cap for NULL locals (default: 256)
+//! ```
+//!
+//! Sweeps the Table II/III launch geometries ([`cl_kernels::registry`]),
+//! runs the four static lints of `cl-analyze` on each kernel's access spec
+//! (disjoint writes, local races, barrier divergence, bounds), and writes
+//! `lint.md` + `lint.csv`. A proven violation or a missing spec always
+//! fails the run; warnings fail only under `--deny-warnings`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use cl_analyze::{analyze, Severity, Verdict};
+use cl_kernels::registry::{parboil_kernels, simple_apps};
+
+struct Row {
+    benchmark: &'static str,
+    kernel: &'static str,
+    global: String,
+    local: [usize; 3],
+    disjoint: Verdict,
+    local_races: Verdict,
+    barriers: Verdict,
+    bounds: Verdict,
+    checked_writes: usize,
+    checked_accesses: usize,
+    findings: Vec<(Severity, String)>,
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Proven => "proven",
+        Verdict::Violation => "VIOLATION",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warnings = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut default_wg = 256usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--default-wg" => {
+                i += 1;
+                default_wg = args
+                    .get(i)
+                    .expect("--default-wg needs a size")
+                    .parse()
+                    .expect("--default-wg needs an integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: cl-lint [--deny-warnings] [--out DIR] [--default-wg N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for entry in simple_apps().into_iter().chain(parboil_kernels()) {
+        for &global in &entry.globals {
+            let resolved = match entry.resolve(global, default_wg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "cl-lint: {}/{} at {}: unresolvable geometry: {e}",
+                        entry.benchmark,
+                        entry.kernel,
+                        global.describe()
+                    );
+                    std::process::exit(1);
+                }
+            };
+            let Some(spec) = entry.access_spec(global, default_wg) else {
+                missing.push(format!(
+                    "{}/{} at {}",
+                    entry.benchmark,
+                    entry.kernel,
+                    global.describe()
+                ));
+                continue;
+            };
+            let a = analyze(&spec);
+            rows.push(Row {
+                benchmark: entry.benchmark,
+                kernel: entry.kernel,
+                global: global.describe(),
+                local: resolved.local,
+                disjoint: a.disjoint_writes,
+                local_races: a.local_races,
+                barriers: a.barrier_divergence,
+                bounds: a.bounds,
+                checked_writes: a.checked_writes,
+                checked_accesses: a.checked_accesses,
+                findings: a
+                    .findings
+                    .iter()
+                    .map(|f| (f.severity, format!("[{}] {}", f.kind.as_str(), f.message)))
+                    .collect(),
+            });
+        }
+    }
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    fs::write(
+        out_dir.join("lint.md"),
+        render_md(&rows, &missing, default_wg),
+    )
+    .expect("write lint.md");
+    fs::write(out_dir.join("lint.csv"), render_csv(&rows)).expect("write lint.csv");
+
+    let errors: usize = rows
+        .iter()
+        .flat_map(|r| &r.findings)
+        .filter(|(s, _)| *s == Severity::Error)
+        .count();
+    let warnings: usize = rows
+        .iter()
+        .flat_map(|r| &r.findings)
+        .filter(|(s, _)| *s == Severity::Warning)
+        .count();
+    for row in &rows {
+        for (sev, msg) in &row.findings {
+            let tag = match sev {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            eprintln!(
+                "cl-lint: {tag}: {}/{} at {}: {msg}",
+                row.benchmark, row.kernel, row.global
+            );
+        }
+    }
+    for m in &missing {
+        eprintln!("cl-lint: error: {m}: kernel publishes no access spec");
+    }
+    println!(
+        "cl-lint: {} launches checked, {errors} errors, {warnings} warnings, {} without specs",
+        rows.len(),
+        missing.len()
+    );
+
+    if errors > 0 || !missing.is_empty() || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}
+
+fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
+    let mut md = String::new();
+    md.push_str("# Static lint of the registry kernels\n\n");
+    let _ = writeln!(
+        md,
+        "Every Table II/III launch geometry, checked by `cl-analyze` \
+         (NULL locals resolved with a {default_wg}-workitem cap). \
+         `proven` means the property holds for every workitem of the \
+         launch; `unknown` would fall back to the dynamic validator.\n"
+    );
+    md.push_str(
+        "| Benchmark | Kernel | Global | Local | Disjoint writes | Local races | Barriers | Bounds | Writes | Accesses |\n",
+    );
+    md.push_str("|---|---|---|---|---|---|---|---|---:|---:|\n");
+    for r in rows {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {}x{}x{} | {} | {} | {} | {} | {} | {} |",
+            r.benchmark,
+            r.kernel,
+            r.global,
+            r.local[0],
+            r.local[1],
+            r.local[2],
+            verdict_str(r.disjoint),
+            verdict_str(r.local_races),
+            verdict_str(r.barriers),
+            verdict_str(r.bounds),
+            r.checked_writes,
+            r.checked_accesses,
+        );
+    }
+    let all_findings: Vec<String> = rows
+        .iter()
+        .flat_map(|r| {
+            r.findings
+                .iter()
+                .map(move |(_, m)| format!("- {}/{} at {}: {m}", r.benchmark, r.kernel, r.global))
+        })
+        .chain(missing.iter().map(|m| format!("- {m}: no access spec")))
+        .collect();
+    if all_findings.is_empty() {
+        md.push_str("\nNo findings: all four properties proven on every launch.\n");
+    } else {
+        md.push_str("\n## Findings\n\n");
+        for f in all_findings {
+            md.push_str(&f);
+            md.push('\n');
+        }
+    }
+    md
+}
+
+fn render_csv(rows: &[Row]) -> String {
+    let mut csv = String::from(
+        "benchmark,kernel,global,local,disjoint_writes,local_races,barrier_divergence,bounds,checked_writes,checked_accesses,findings\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}x{}x{},{},{},{},{},{},{},{}",
+            r.benchmark,
+            r.kernel,
+            r.global.replace(' ', ""),
+            r.local[0],
+            r.local[1],
+            r.local[2],
+            verdict_str(r.disjoint),
+            verdict_str(r.local_races),
+            verdict_str(r.barriers),
+            verdict_str(r.bounds),
+            r.checked_writes,
+            r.checked_accesses,
+            r.findings.len(),
+        );
+    }
+    csv
+}

@@ -49,8 +49,7 @@ fn main() {
 
     fs::create_dir_all(&out_dir).expect("create output directory");
     eprintln!(
-        "repro: plane = {}{}, sizes = {}",
-        "modeled",
+        "repro: plane = modeled{}, sizes = {}",
         if cfg.native { " + native" } else { "" },
         if cfg.quick { "quick" } else { "full (paper)" }
     );
@@ -94,7 +93,10 @@ fn main() {
     }
 
     fs::write(out_dir.join("EXPERIMENTS.generated.md"), combined).expect("write combined");
-    eprintln!("wrote {}", out_dir.join("EXPERIMENTS.generated.md").display());
+    eprintln!(
+        "wrote {}",
+        out_dir.join("EXPERIMENTS.generated.md").display()
+    );
 }
 
 fn run_one(id: &str, cfg: &Config) -> Figure {

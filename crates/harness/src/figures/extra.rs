@@ -23,14 +23,27 @@ pub fn vectorizer_ablation(_cfg: &Config) -> Figure {
     let apps = [
         ("Square", profiles::square(1), 1_000_000usize, 500usize),
         ("Vectoradd", profiles::vectoradd(1), 1_100_000, 500),
-        ("Matrixmul(16x16)", profiles::matrixmul_tiled(320, 16), 1_280_000, 256),
-        ("Blackscholes", profiles::blackscholes(512.0), 1_638_400, 256),
+        (
+            "Matrixmul(16x16)",
+            profiles::matrixmul_tiled(320, 16),
+            1_280_000,
+            256,
+        ),
+        (
+            "Blackscholes",
+            profiles::blackscholes(512.0),
+            1_638_400,
+            256,
+        ),
         ("ILP4 microbench", profiles::ilp(512, 4), 1 << 20, 256),
     ];
     let mut s = Series::new("vectorizer speedup");
     for (name, profile, n, wg) in apps {
         let launch = Launch::new(n, wg);
-        s.push(name, off.kernel_time(&profile, launch) / on.kernel_time(&profile, launch));
+        s.push(
+            name,
+            off.kernel_time(&profile, launch) / on.kernel_time(&profile, launch),
+        );
     }
     fig.series.push(s);
     fig.notes.push(

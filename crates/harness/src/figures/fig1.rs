@@ -119,7 +119,10 @@ mod tests {
             let v10 = fig.series("10(CPU)").unwrap().get(&x).unwrap();
             let v100 = fig.series("100(CPU)").unwrap().get(&x).unwrap();
             let v1000 = fig.series("1000(CPU)").unwrap().get(&x).unwrap();
-            assert!(v10 <= v100 + 1e-9 && v100 <= v1000 + 1e-9, "{x}: {v10} {v100} {v1000}");
+            assert!(
+                v10 <= v100 + 1e-9 && v100 <= v1000 + 1e-9,
+                "{x}: {v10} {v100} {v1000}"
+            );
         }
     }
 

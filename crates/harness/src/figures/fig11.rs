@@ -65,11 +65,15 @@ mod tests {
     fn the_asymmetry_of_figure_11() {
         let fig = run(&Config::default());
         assert_eq!(
-            fig.series("OpenMP loop vectorizer").unwrap().get("vectorized"),
+            fig.series("OpenMP loop vectorizer")
+                .unwrap()
+                .get("vectorized"),
             Some(0.0)
         );
         assert_eq!(
-            fig.series("OpenCL implicit vectorizer").unwrap().get("vectorized"),
+            fig.series("OpenCL implicit vectorizer")
+                .unwrap()
+                .get("vectorized"),
             Some(1.0)
         );
     }
@@ -78,6 +82,10 @@ mod tests {
     fn refusal_is_the_loop_carried_scalar() {
         let bench = &mbench::all()[1];
         let r = bench.openmp_report(VectorizerPolicy::default());
-        assert!(r.reasons.contains(&Reason::LoopCarriedScalar), "{:?}", r.reasons);
+        assert!(
+            r.reasons.contains(&Reason::LoopCarriedScalar),
+            "{:?}",
+            r.reasons
+        );
     }
 }

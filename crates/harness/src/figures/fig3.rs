@@ -224,12 +224,23 @@ mod tests {
     #[test]
     fn blackscholes_cpu_flat_gpu_sensitive() {
         let f = fig();
-        let cpu_1 = f.series("case_1(CPU)").unwrap().get("blackscholes_1").unwrap();
+        let cpu_1 = f
+            .series("case_1(CPU)")
+            .unwrap()
+            .get("blackscholes_1")
+            .unwrap();
         assert!(
             (cpu_1 - 1.0).abs() < 0.15,
             "CPU blackscholes should be near-flat at wg=1, got {cpu_1}"
         );
-        let gpu_1 = f.series("case_1(GPU)").unwrap().get("blackscholes_1").unwrap();
-        assert!(gpu_1 < 0.5, "GPU blackscholes wg=1 should collapse, got {gpu_1}");
+        let gpu_1 = f
+            .series("case_1(GPU)")
+            .unwrap()
+            .get("blackscholes_1")
+            .unwrap();
+        assert!(
+            gpu_1 < 0.5,
+            "GPU blackscholes wg=1 should collapse, got {gpu_1}"
+        );
     }
 }

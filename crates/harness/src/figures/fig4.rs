@@ -104,8 +104,16 @@ mod tests {
     #[test]
     fn gpu_recovers_with_larger_groups() {
         let fig = run(&Config::default());
-        let g1 = fig.series("case_1(GPU)").unwrap().get("blackscholes_1").unwrap();
-        let g4 = fig.series("case_4(GPU)").unwrap().get("blackscholes_1").unwrap();
+        let g1 = fig
+            .series("case_1(GPU)")
+            .unwrap()
+            .get("blackscholes_1")
+            .unwrap();
+        let g4 = fig
+            .series("case_4(GPU)")
+            .unwrap()
+            .get("blackscholes_1")
+            .unwrap();
         assert!(g4 > g1, "GPU case_4 {g4} should beat case_1 {g1}");
     }
 }

@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn light_kernels_benefit_more() {
         let fig = run(&Config::default());
-        let light = fig.series("MRI-Q: computePhiMag").unwrap().get("16").unwrap();
+        let light = fig
+            .series("MRI-Q: computePhiMag")
+            .unwrap()
+            .get("16")
+            .unwrap();
         let heavy = fig.series("CP: cenergy(X)").unwrap().get("16").unwrap();
         assert!(
             light >= heavy,

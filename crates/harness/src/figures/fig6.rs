@@ -24,7 +24,10 @@ use super::{cpu, gpu};
 pub const ROUNDS: usize = 512;
 
 pub fn run(cfg: &Config) -> Figure {
-    let mut fig = Figure::new("fig6", "ILP microbenchmark throughput (GFLOP/s), CPU vs GPU");
+    let mut fig = Figure::new(
+        "fig6",
+        "ILP microbenchmark throughput (GFLOP/s), CPU vs GPU",
+    );
     let cpu = cpu();
     let gpu = gpu();
     let n = cfg.size(1 << 22, 1 << 18);
@@ -86,18 +89,33 @@ mod tests {
         let (c1, c4) = (c.get("1").unwrap(), c.get("4").unwrap());
         assert!(c4 > 2.5 * c1, "CPU ILP4 {c4} should be ≫ ILP1 {c1}");
         let (g1, g4) = (g.get("1").unwrap(), g.get("4").unwrap());
-        assert!((g4 - g1).abs() / g1 < 0.02, "GPU should be flat: {g1} vs {g4}");
+        assert!(
+            (g4 - g1).abs() / g1 < 0.02,
+            "GPU should be flat: {g1} vs {g4}"
+        );
     }
 
     #[test]
     fn magnitudes_are_in_the_papers_ballpark() {
         let fig = run(&Config::default());
-        let c1 = fig.series("CPU (modeled GFLOP/s)").unwrap().get("1").unwrap();
-        let c4 = fig.series("CPU (modeled GFLOP/s)").unwrap().get("4").unwrap();
+        let c1 = fig
+            .series("CPU (modeled GFLOP/s)")
+            .unwrap()
+            .get("1")
+            .unwrap();
+        let c4 = fig
+            .series("CPU (modeled GFLOP/s)")
+            .unwrap()
+            .get("4")
+            .unwrap();
         // Paper: ILP1 ≈ 12, ILP4 ≈ 45 on a 230-GFLOP/s-peak CPU.
         assert!((5.0..30.0).contains(&c1), "ILP1 = {c1}");
         assert!((25.0..90.0).contains(&c4), "ILP4 = {c4}");
-        let g = fig.series("GPU (modeled GFLOP/s)").unwrap().get("2").unwrap();
+        let g = fig
+            .series("GPU (modeled GFLOP/s)")
+            .unwrap()
+            .get("2")
+            .unwrap();
         assert!((200.0..1200.0).contains(&g), "GPU = {g}");
     }
 

@@ -30,7 +30,13 @@ fn apps(cfg: &Config) -> Vec<(String, usize, usize, usize, perf_model::KernelPro
         },
         {
             let n = s(1_100_000);
-            ("Vectoradd".into(), n, 2 * n * 4, n * 4, profiles::vectoradd(1))
+            (
+                "Vectoradd".into(),
+                n,
+                2 * n * 4,
+                n * 4,
+                profiles::vectoradd(1),
+            )
         },
         {
             let (w, h) = (800, 1600);
@@ -174,7 +180,10 @@ mod tests {
         let va = s.get("Vectoradd").unwrap();
         // Binomialoption computes ~510 flops per 16 transferred bytes.
         let bo = s.get("Binomialoption").unwrap();
-        assert!(va > bo, "Vectoradd {va} should gain more than Binomial {bo}");
+        assert!(
+            va > bo,
+            "Vectoradd {va} should gain more than Binomial {bo}"
+        );
         assert!(bo < 1.05, "compute-bound app should be near 1.0, got {bo}");
     }
 

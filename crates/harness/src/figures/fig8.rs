@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn mapping_is_faster_in_both_directions() {
         let fig = run(&Config::default());
-        for (copy, map) in [("Copying H2D", "Mapping H2D"), ("Copying D2H", "Mapping D2H")] {
+        for (copy, map) in [
+            ("Copying H2D", "Mapping H2D"),
+            ("Copying D2H", "Mapping D2H"),
+        ] {
             let c = fig.series(copy).unwrap();
             let m = fig.series(map).unwrap();
             for (x, cv) in &c.points {

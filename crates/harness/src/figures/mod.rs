@@ -2,6 +2,8 @@
 
 pub mod extra;
 pub mod fig1;
+pub mod fig10;
+pub mod fig11;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -10,8 +12,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
 
 use ocl_rt::NDRange;
 use perf_model::{CpuModel, CpuSpec, GpuModel, GpuSpec, Launch};

@@ -25,8 +25,8 @@ pub mod stats;
 pub mod tables;
 
 pub use measure::{measure_native, Config};
-pub use stats::{measure_stable, summarize, Measurement};
 pub use report::{Figure, Series};
+pub use stats::{measure_stable, summarize, Measurement};
 
 /// All figure experiments in paper order.
 pub fn all_figures(cfg: &Config) -> Vec<Figure> {

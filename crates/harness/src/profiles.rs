@@ -72,7 +72,7 @@ pub fn blackscholes(opts: f64) -> KernelProfile {
         item_contiguous: true,
         local_mem_per_group: 0.0,
         dependent_loads: opts,
-            local_traffic_bytes: 0.0,
+        local_traffic_bytes: 0.0,
     }
 }
 
@@ -90,7 +90,7 @@ pub fn cenergy(n_atoms: usize, items_per_wi: usize) -> KernelProfile {
         item_contiguous: true,
         local_mem_per_group: 0.0,
         dependent_loads: 1.0,
-            local_traffic_bytes: 0.0,
+        local_traffic_bytes: 0.0,
     }
 }
 
@@ -113,7 +113,7 @@ pub fn mri_accum(k_samples: usize, items_per_wi: usize) -> KernelProfile {
         item_contiguous: true,
         local_mem_per_group: 0.0,
         dependent_loads: 3.0 * k,
-            local_traffic_bytes: 0.0,
+        local_traffic_bytes: 0.0,
     }
 }
 

@@ -57,12 +57,18 @@ fn app_table(title: &str, entries: &[cl_kernels::AppEntry]) -> String {
 
 /// Table II: characteristics of the simple applications.
 pub fn table2() -> String {
-    app_table("Table II: Characteristics of the Simple Applications", &simple_apps())
+    app_table(
+        "Table II: Characteristics of the Simple Applications",
+        &simple_apps(),
+    )
 }
 
 /// Table III: characteristics of the Parboil benchmarks.
 pub fn table3() -> String {
-    app_table("Table III: Characteristics of the Parboil Benchmarks", &parboil_kernels())
+    app_table(
+        "Table III: Characteristics of the Parboil Benchmarks",
+        &parboil_kernels(),
+    )
 }
 
 /// Table IV: workitem counts of the coalescing experiment.
@@ -101,7 +107,14 @@ pub fn table5() -> String {
 
 /// All tables concatenated.
 pub fn all_tables() -> String {
-    format!("{}{}{}{}{}", table1(), table2(), table3(), table4(), table5())
+    format!(
+        "{}{}{}{}{}",
+        table1(),
+        table2(),
+        table3(),
+        table4(),
+        table5()
+    )
 }
 
 #[cfg(test)]

@@ -58,7 +58,12 @@ fn markdown_contains_every_series_and_csv_every_point() {
     for fig in figures() {
         let md = fig.to_markdown();
         for s in &fig.series {
-            assert!(md.contains(&s.label), "{}: markdown misses {}", fig.id, s.label);
+            assert!(
+                md.contains(&s.label),
+                "{}: markdown misses {}",
+                fig.id,
+                s.label
+            );
         }
         let csv = fig.to_csv();
         let expected_rows: usize = fig.series.iter().map(|s| s.points.len()).sum();

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -120,6 +120,10 @@ impl Kernel for BinomialOption {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        crate::access::binomial(self.steps, self.out.len(), range.lint_geometry())
+    }
 }
 
 /// Serial reference: same lattice, same arithmetic order per node.
@@ -171,7 +175,8 @@ pub fn build(ctx: &Context, n_options: usize, steps: usize, seed: u64) -> Built 
     let want = reference(&hs, &hx, &ht, steps);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n_options];
-        q.read_buffer(&out, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&out, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = max_rel_error(&got, &want, 1e-2);
         if err < 1e-3 {
             Ok(())

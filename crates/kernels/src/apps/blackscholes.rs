@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use cl_vec::VecF32;
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -24,11 +24,11 @@ pub const VOLATILITY: f32 = 0.30;
 #[inline]
 pub fn cnd(d: f32) -> f32 {
     const A1: f32 = 0.319_381_53;
-    const A2: f32 = -0.356_563_782;
-    const A3: f32 = 1.781_477_937;
-    const A4: f32 = -1.821_255_978;
-    const A5: f32 = 1.330_274_429;
-    const RSQRT2PI: f32 = 0.398_942_28;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    const RSQRT2PI: f32 = 0.398_942_3;
     let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
     let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
     let cnd = RSQRT2PI * (-0.5 * d * d).exp() * poly;
@@ -45,11 +45,11 @@ pub fn cnd(d: f32) -> f32 {
 #[inline]
 pub fn cnd_x4(d: VecF32<4>) -> VecF32<4> {
     let a1 = VecF32::<4>::splat(0.319_381_53);
-    let a2 = VecF32::<4>::splat(-0.356_563_782);
-    let a3 = VecF32::<4>::splat(1.781_477_937);
-    let a4 = VecF32::<4>::splat(-1.821_255_978);
-    let a5 = VecF32::<4>::splat(1.330_274_429);
-    let rsqrt2pi = VecF32::<4>::splat(0.398_942_28);
+    let a2 = VecF32::<4>::splat(-0.356_563_78);
+    let a3 = VecF32::<4>::splat(1.781_477_9);
+    let a4 = VecF32::<4>::splat(-1.821_255_9);
+    let a5 = VecF32::<4>::splat(1.330_274_5);
+    let rsqrt2pi = VecF32::<4>::splat(0.398_942_3);
     let one = VecF32::<4>::splat(1.0);
     let abs_d = d.max(-d);
     let k = one / (VecF32::<4>::splat(0.231_641_9).mul_add(abs_d, one));
@@ -167,8 +167,7 @@ impl Kernel for BlackScholes {
                 for lane in 0..4 {
                     let mut o = opt + lane;
                     while o < n {
-                        let (c, p) =
-                            price(s.get(o), x.get(o), t.get(o), RISK_FREE, VOLATILITY);
+                        let (c, p) = price(s.get(o), x.get(o), t.get(o), RISK_FREE, VOLATILITY);
                         call.set(o, c);
                         put.set(o, p);
                         o += total_items;
@@ -204,6 +203,13 @@ impl Kernel for BlackScholes {
             dependent_loads: opts,
             local_traffic_bytes: 0.0,
         }
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::blackscholes(
+            self.n_options,
+            range.lint_geometry(),
+        ))
     }
 }
 
@@ -271,8 +277,10 @@ pub fn build(
     Built::new(kernel, range, move |q| {
         let mut got_c = vec![0.0f32; n_options];
         let mut got_p = vec![0.0f32; n_options];
-        q.read_buffer(&call, 0, &mut got_c).map_err(|e| e.to_string())?;
-        q.read_buffer(&put, 0, &mut got_p).map_err(|e| e.to_string())?;
+        q.read_buffer(&call, 0, &mut got_c)
+            .map_err(|e| e.to_string())?;
+        q.read_buffer(&put, 0, &mut got_p)
+            .map_err(|e| e.to_string())?;
         let ec = max_rel_error(&got_c, &want_c, 1e-2);
         let ep = max_rel_error(&got_p, &want_p, 1e-2);
         if ec < 1e-3 && ep < 1e-3 {
@@ -337,8 +345,16 @@ mod tests {
         let (c, p) = price_x4(s, x, t, RISK_FREE, VOLATILITY);
         for lane in 0..4 {
             let (sc, sp) = price(s[lane], x[lane], t[lane], RISK_FREE, VOLATILITY);
-            assert!((c[lane] - sc).abs() < 1e-4, "lane {lane} call {} vs {sc}", c[lane]);
-            assert!((p[lane] - sp).abs() < 1e-4, "lane {lane} put {} vs {sp}", p[lane]);
+            assert!(
+                (c[lane] - sc).abs() < 1e-4,
+                "lane {lane} call {} vs {sc}",
+                c[lane]
+            );
+            assert!(
+                (p[lane] - sp).abs() < 1e-4,
+                "lane {lane} put {} vs {sp}",
+                p[lane]
+            );
         }
     }
 
@@ -366,7 +382,8 @@ mod tests {
             n_options,
             grid_items: 1024,
         });
-        q.enqueue_kernel(&kernel, NDRange::d1(1024).local1(128)).unwrap();
+        q.enqueue_kernel(&kernel, NDRange::d1(1024).local1(128))
+            .unwrap();
         let (want_c, want_p) = reference(&hs, &hx, &ht);
         let mut got_c = vec![0.0f32; n_options];
         let mut got_p = vec![0.0f32; n_options];

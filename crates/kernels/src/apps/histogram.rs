@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -73,6 +73,14 @@ impl Kernel for Histogram {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::histogram(
+            self.n,
+            BINS,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// Serial reference.
@@ -118,7 +126,8 @@ pub fn build(ctx: &Context, n: usize, wg: usize, seed: u64) -> Built {
     let want = reference(&host);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0u32; BINS];
-        q.read_buffer(&bins, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&bins, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         if got == want {
             Ok(())
         } else {

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -95,6 +95,10 @@ impl Kernel for MatrixMul {
             local_traffic_bytes: k * (64.0 + 4.0),
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        crate::access::matrixmul_tiled(self.w, self.h, self.k, range.lint_geometry())
+    }
 }
 
 /// Naive matrix multiply: every workitem walks a full row/column pair in
@@ -146,6 +150,15 @@ impl Kernel for MatrixMulNaive {
             dependent_loads: 2.0 * k,
             local_traffic_bytes: 0.0,
         }
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::matrixmul_naive(
+            self.w,
+            self.h,
+            self.k,
+            range.lint_geometry(),
+        ))
     }
 }
 

@@ -15,10 +15,14 @@ use ocl_rt::{CommandQueue, Kernel, NDRange};
 
 /// A fully-wired launch: kernel object, launch geometry, and a correctness
 /// check against the serial reference. What the harness sweeps.
+/// Post-run verification closure: reads results back through the queue
+/// and compares against the host reference.
+pub type VerifyFn = dyn Fn(&CommandQueue) -> Result<(), String> + Send + Sync;
+
 pub struct Built {
     pub kernel: Arc<dyn Kernel>,
     pub range: NDRange,
-    check: Box<dyn Fn(&CommandQueue) -> Result<(), String> + Send + Sync>,
+    check: Box<VerifyFn>,
 }
 
 impl Built {

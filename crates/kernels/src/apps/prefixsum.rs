@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::Team;
 
 use crate::apps::Built;
@@ -27,7 +27,10 @@ impl Kernel for PrefixSum {
 
     fn run_group(&self, g: &mut GroupCtx) {
         let wg = g.local_size(0);
-        assert!(wg.is_power_of_two(), "scan requires a power-of-two workgroup");
+        assert!(
+            wg.is_power_of_two(),
+            "scan requires a power-of-two workgroup"
+        );
         let data = self.data.view_mut();
         let mut ping = g.local::<f32>(wg);
         let mut pong = g.local::<f32>(wg);
@@ -78,6 +81,10 @@ impl Kernel for PrefixSum {
             dependent_loads: 1.0,
             local_traffic_bytes: 0.0,
         }
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::prefixsum(self.n, range.lint_geometry()))
     }
 }
 
@@ -131,7 +138,10 @@ pub fn openmp(team: &Team, data: &mut [f32]) {
 
 /// Build the kernel (Table II geometry: `n = 1024` in a single group).
 pub fn build(ctx: &Context, n: usize, seed: u64) -> Built {
-    assert!(n.is_power_of_two(), "prefixSum workload must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "prefixSum workload must be a power of two"
+    );
     let host = random_f32(seed, n, 0.0, 1.0);
     let data = ctx.buffer_from(MemFlags::default(), &host).unwrap();
     let kernel = Arc::new(PrefixSum {
@@ -142,7 +152,8 @@ pub fn build(ctx: &Context, n: usize, seed: u64) -> Built {
     let want = reference(&host);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n];
-        q.read_buffer(&data, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&data, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = max_rel_error(&got, &want, 1e-3);
         if err < 1e-3 {
             Ok(())

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -39,7 +39,10 @@ impl Kernel for Reduction {
         // Phase 2: binary tree, halving the active span each step (the
         // classic pattern requires a power-of-two group size, as the SDK
         // sample does).
-        assert!(wg.is_power_of_two(), "reduce requires a power-of-two workgroup");
+        assert!(
+            wg.is_power_of_two(),
+            "reduce requires a power-of-two workgroup"
+        );
         let mut span = wg / 2;
         while span > 0 {
             g.for_each(|wi| {
@@ -74,6 +77,10 @@ impl Kernel for Reduction {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        crate::access::reduction(self.n, self.partials.len(), range.lint_geometry())
+    }
 }
 
 fn g_index(wi: &ocl_rt::WorkItem, wg: usize) -> usize {
@@ -106,7 +113,8 @@ pub fn build(ctx: &Context, n: usize, wg: usize, seed: u64) -> Built {
     let want = reference(&host);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n_groups];
-        q.read_buffer(&partials, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&partials, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let total: f64 = got.iter().map(|&x| x as f64).sum();
         let tol = 1e-4 * (want.abs() + 1.0);
         if (total - want).abs() < tol.max(1e-2) {

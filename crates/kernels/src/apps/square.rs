@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use cl_vec::VecF32;
-use ocl_rt::{
-    Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange,
-};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -71,6 +69,14 @@ impl Kernel for Square {
         // One multiply, one 4B load + 4B store per element.
         KernelProfile::streaming(1.0, 8.0).coalesced(self.items_per_wi)
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::square(
+            self.n,
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// Serial reference.
@@ -88,8 +94,17 @@ pub fn openmp(team: &Team, input: &[f32], output: &mut [f32], sched: Schedule) {
 
 /// Build the kernel with seeded input. `local: None` reproduces the NULL
 /// `local_work_size` configuration of Table II.
-pub fn build(ctx: &Context, n: usize, items_per_wi: usize, local: Option<usize>, seed: u64) -> Built {
-    assert!(items_per_wi >= 1 && n % items_per_wi == 0, "coalescing must divide n");
+pub fn build(
+    ctx: &Context,
+    n: usize,
+    items_per_wi: usize,
+    local: Option<usize>,
+    seed: u64,
+) -> Built {
+    assert!(
+        items_per_wi >= 1 && n.is_multiple_of(items_per_wi),
+        "coalescing must divide n"
+    );
     let host_in = random_f32(seed, n, -2.0, 2.0);
     let input = ctx.buffer_from(MemFlags::READ_ONLY, &host_in).unwrap();
     let output = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, n).unwrap();
@@ -106,7 +121,8 @@ pub fn build(ctx: &Context, n: usize, items_per_wi: usize, local: Option<usize>,
     let want = reference(&host_in);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n];
-        q.read_buffer(&output, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&output, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = max_rel_error(&got, &want, 1e-5);
         if err < 1e-5 {
             Ok(())

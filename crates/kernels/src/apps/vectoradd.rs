@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cl_vec::VecF32;
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -68,6 +68,14 @@ impl Kernel for VectorAdd {
         // One add; two loads and one store of 4 B each.
         KernelProfile::streaming(1.0, 12.0).coalesced(self.items_per_wi)
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::vectoradd(
+            self.n,
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// Serial reference.
@@ -81,8 +89,17 @@ pub fn openmp(team: &Team, a: &[f32], b: &[f32], c: &mut [f32], sched: Schedule)
 }
 
 /// Build with seeded inputs.
-pub fn build(ctx: &Context, n: usize, items_per_wi: usize, local: Option<usize>, seed: u64) -> Built {
-    assert!(items_per_wi >= 1 && n % items_per_wi == 0, "coalescing must divide n");
+pub fn build(
+    ctx: &Context,
+    n: usize,
+    items_per_wi: usize,
+    local: Option<usize>,
+    seed: u64,
+) -> Built {
+    assert!(
+        items_per_wi >= 1 && n.is_multiple_of(items_per_wi),
+        "coalescing must divide n"
+    );
     let ha = random_f32(seed, n, -10.0, 10.0);
     let hb = random_f32(seed ^ 0xABCD, n, -10.0, 10.0);
     let a = ctx.buffer_from(MemFlags::READ_ONLY, &ha).unwrap();

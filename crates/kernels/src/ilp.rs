@@ -186,7 +186,8 @@ pub fn build(ctx: &Context, n: usize, ilp: usize, iters: usize, wg: usize, seed:
     let want = reference(&host, ilp, iters);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n];
-        q.read_buffer(&output, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&output, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = crate::util::max_rel_error(&got, &want, 1e-2);
         if err < 1e-3 {
             Ok(())

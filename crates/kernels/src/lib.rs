@@ -23,6 +23,7 @@
 //! [`registry`] holds the Table II/III launch geometries so the harness and
 //! benches sweep exactly the configurations the paper reports.
 
+pub mod access;
 pub mod apps;
 pub mod ilp;
 pub mod mbench;
@@ -30,4 +31,4 @@ pub mod parboil;
 pub mod registry;
 pub mod util;
 
-pub use registry::{simple_apps, parboil_kernels, AppEntry};
+pub use registry::{parboil_kernels, simple_apps, AppEntry};

@@ -79,7 +79,11 @@ impl MBench {
         policy: VectorizerPolicy,
     ) -> VectorizationReport {
         let report = self.openmp_report(policy);
-        let f = if report.vectorized { self.simd } else { self.scalar };
+        let f = if report.vectorized {
+            self.simd
+        } else {
+            self.scalar
+        };
         self.run_parallel(team, a, b, c, f);
         report
     }
@@ -102,9 +106,13 @@ impl MBench {
             rest = tail;
             start += take;
         }
-        team.parallel_for_mut(&mut chunks, Schedule::Dynamic { chunk: 1 }, |_, (s, sub)| {
-            f(a, b, sub, *s);
-        });
+        team.parallel_for_mut(
+            &mut chunks,
+            Schedule::Dynamic { chunk: 1 },
+            |_, (s, sub)| {
+                f(a, b, sub, *s);
+            },
+        );
     }
 
     /// Serial reference.
@@ -329,10 +337,27 @@ fn ir_elementwise_mul() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::linear() },
-            Stmt::Load { dst: Temp(1), array: ArrayId(1), index: IndexExpr::linear() },
-            Stmt::BinOp { dst: Temp(2), op: Op::Mul, lhs: Operand::Temp(Temp(0)), rhs: Operand::Temp(Temp(1)) },
-            Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(2)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::linear(),
+            },
+            Stmt::Load {
+                dst: Temp(1),
+                array: ArrayId(1),
+                index: IndexExpr::linear(),
+            },
+            Stmt::BinOp {
+                dst: Temp(2),
+                op: Op::Mul,
+                lhs: Operand::Temp(Temp(0)),
+                rhs: Operand::Temp(Temp(1)),
+            },
+            Stmt::Store {
+                array: ArrayId(2),
+                index: IndexExpr::linear(),
+                src: Operand::Temp(Temp(2)),
+            },
         ],
     )
 }
@@ -342,10 +367,24 @@ fn ir_fmul_chain() -> Loop {
     Loop::new(
         TripCount::Constant(CHAIN as u64),
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::linear() },
-            Stmt::Load { dst: Temp(1), array: ArrayId(1), index: IndexExpr::linear() },
-            Stmt::AccUpdate { op: Op::Mul, value: Operand::Temp(Temp(0)) },
-            Stmt::AccUpdate { op: Op::Add, value: Operand::Temp(Temp(1)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::linear(),
+            },
+            Stmt::Load {
+                dst: Temp(1),
+                array: ArrayId(1),
+                index: IndexExpr::linear(),
+            },
+            Stmt::AccUpdate {
+                op: Op::Mul,
+                value: Operand::Temp(Temp(0)),
+            },
+            Stmt::AccUpdate {
+                op: Op::Add,
+                value: Operand::Temp(Temp(1)),
+            },
         ],
     )
 }
@@ -354,10 +393,30 @@ fn ir_strided() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::strided(2) },
-            Stmt::Load { dst: Temp(1), array: ArrayId(0), index: IndexExpr { stride: 2, offset: 1 } },
-            Stmt::BinOp { dst: Temp(2), op: Op::Add, lhs: Operand::Temp(Temp(0)), rhs: Operand::Temp(Temp(1)) },
-            Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(2)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::strided(2),
+            },
+            Stmt::Load {
+                dst: Temp(1),
+                array: ArrayId(0),
+                index: IndexExpr {
+                    stride: 2,
+                    offset: 1,
+                },
+            },
+            Stmt::BinOp {
+                dst: Temp(2),
+                op: Op::Add,
+                lhs: Operand::Temp(Temp(0)),
+                rhs: Operand::Temp(Temp(1)),
+            },
+            Stmt::Store {
+                array: ArrayId(2),
+                index: IndexExpr::linear(),
+                src: Operand::Temp(Temp(2)),
+            },
         ],
     )
 }
@@ -366,10 +425,27 @@ fn ir_gather3() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::strided(3) },
-            Stmt::Load { dst: Temp(1), array: ArrayId(1), index: IndexExpr::linear() },
-            Stmt::BinOp { dst: Temp(2), op: Op::Add, lhs: Operand::Temp(Temp(0)), rhs: Operand::Temp(Temp(1)) },
-            Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(2)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::strided(3),
+            },
+            Stmt::Load {
+                dst: Temp(1),
+                array: ArrayId(1),
+                index: IndexExpr::linear(),
+            },
+            Stmt::BinOp {
+                dst: Temp(2),
+                op: Op::Add,
+                lhs: Operand::Temp(Temp(0)),
+                rhs: Operand::Temp(Temp(1)),
+            },
+            Stmt::Store {
+                array: ArrayId(2),
+                index: IndexExpr::linear(),
+                src: Operand::Temp(Temp(2)),
+            },
         ],
     )
 }
@@ -378,10 +454,27 @@ fn ir_stencil() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::shifted(1) },
-            Stmt::Load { dst: Temp(1), array: ArrayId(0), index: IndexExpr::linear() },
-            Stmt::BinOp { dst: Temp(2), op: Op::Sub, lhs: Operand::Temp(Temp(0)), rhs: Operand::Temp(Temp(1)) },
-            Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(2)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::shifted(1),
+            },
+            Stmt::Load {
+                dst: Temp(1),
+                array: ArrayId(0),
+                index: IndexExpr::linear(),
+            },
+            Stmt::BinOp {
+                dst: Temp(2),
+                op: Op::Sub,
+                lhs: Operand::Temp(Temp(0)),
+                rhs: Operand::Temp(Temp(1)),
+            },
+            Stmt::Store {
+                array: ArrayId(2),
+                index: IndexExpr::linear(),
+                src: Operand::Temp(Temp(2)),
+            },
         ],
     )
 }
@@ -390,19 +483,47 @@ fn ir_branch() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::linear() },
-            Stmt::BinOp { dst: Temp(1), op: Op::CmpLt, lhs: Operand::Const(0.0), rhs: Operand::Temp(Temp(0)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::linear(),
+            },
+            Stmt::BinOp {
+                dst: Temp(1),
+                op: Op::CmpLt,
+                lhs: Operand::Const(0.0),
+                rhs: Operand::Temp(Temp(0)),
+            },
             Stmt::If {
                 cond: Operand::Temp(Temp(1)),
                 then_body: vec![
-                    Stmt::Load { dst: Temp(2), array: ArrayId(1), index: IndexExpr::linear() },
-                    Stmt::BinOp { dst: Temp(3), op: Op::Mul, lhs: Operand::Temp(Temp(0)), rhs: Operand::Temp(Temp(2)) },
-                    Stmt::MathCall { dst: Temp(4), func: MathFn::Sqrt, arg: Operand::Temp(Temp(3)) },
-                    Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(4)) },
+                    Stmt::Load {
+                        dst: Temp(2),
+                        array: ArrayId(1),
+                        index: IndexExpr::linear(),
+                    },
+                    Stmt::BinOp {
+                        dst: Temp(3),
+                        op: Op::Mul,
+                        lhs: Operand::Temp(Temp(0)),
+                        rhs: Operand::Temp(Temp(2)),
+                    },
+                    Stmt::MathCall {
+                        dst: Temp(4),
+                        func: MathFn::Sqrt,
+                        arg: Operand::Temp(Temp(3)),
+                    },
+                    Stmt::Store {
+                        array: ArrayId(2),
+                        index: IndexExpr::linear(),
+                        src: Operand::Temp(Temp(4)),
+                    },
                 ],
-                else_body: vec![
-                    Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Const(0.0) },
-                ],
+                else_body: vec![Stmt::Store {
+                    array: ArrayId(2),
+                    index: IndexExpr::linear(),
+                    src: Operand::Const(0.0),
+                }],
             },
         ],
     )
@@ -412,8 +533,15 @@ fn ir_uncountable() -> Loop {
     Loop::new(
         TripCount::DataDependent,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::constant(0) },
-            Stmt::AccUpdate { op: Op::Add, value: Operand::Temp(Temp(0)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::constant(0),
+            },
+            Stmt::AccUpdate {
+                op: Op::Add,
+                value: Operand::Temp(Temp(0)),
+            },
         ],
     )
 }
@@ -422,11 +550,32 @@ fn ir_exp_mul() -> Loop {
     Loop::new(
         TripCount::Runtime,
         vec![
-            Stmt::Load { dst: Temp(0), array: ArrayId(0), index: IndexExpr::linear() },
-            Stmt::MathCall { dst: Temp(1), func: MathFn::Exp, arg: Operand::Temp(Temp(0)) },
-            Stmt::Load { dst: Temp(2), array: ArrayId(1), index: IndexExpr::linear() },
-            Stmt::BinOp { dst: Temp(3), op: Op::Mul, lhs: Operand::Temp(Temp(1)), rhs: Operand::Temp(Temp(2)) },
-            Stmt::Store { array: ArrayId(2), index: IndexExpr::linear(), src: Operand::Temp(Temp(3)) },
+            Stmt::Load {
+                dst: Temp(0),
+                array: ArrayId(0),
+                index: IndexExpr::linear(),
+            },
+            Stmt::MathCall {
+                dst: Temp(1),
+                func: MathFn::Exp,
+                arg: Operand::Temp(Temp(0)),
+            },
+            Stmt::Load {
+                dst: Temp(2),
+                array: ArrayId(1),
+                index: IndexExpr::linear(),
+            },
+            Stmt::BinOp {
+                dst: Temp(3),
+                op: Op::Mul,
+                lhs: Operand::Temp(Temp(1)),
+                rhs: Operand::Temp(Temp(2)),
+            },
+            Stmt::Store {
+                array: ArrayId(2),
+                index: IndexExpr::linear(),
+                src: Operand::Temp(Temp(3)),
+            },
         ],
     )
 }
@@ -434,30 +583,94 @@ fn ir_exp_mul() -> Loop {
 /// The eight benchmarks of Figure 10.
 pub fn all() -> Vec<MBench> {
     vec![
-        MBench { id: 1, name: "MBench1", trait_under_test: "clean elementwise multiply",
-            flops_per_elem: 1.0, in_factor: 1, in_pad: 0,
-            scalar: mb1_scalar, simd: mb1_simd, omp_ir: ir_elementwise_mul },
-        MBench { id: 2, name: "MBench2", trait_under_test: "FMUL dependence chain (Fig. 11)",
-            flops_per_elem: 2.0 * CHAIN as f64, in_factor: CHAIN, in_pad: 0,
-            scalar: mb2_scalar, simd: mb2_simd, omp_ir: ir_fmul_chain },
-        MBench { id: 3, name: "MBench3", trait_under_test: "non-unit stride (2)",
-            flops_per_elem: 1.0, in_factor: 2, in_pad: 8,
-            scalar: mb3_scalar, simd: mb3_simd, omp_ir: ir_strided },
-        MBench { id: 4, name: "MBench4", trait_under_test: "non-unit stride (3)",
-            flops_per_elem: 1.0, in_factor: 3, in_pad: 12,
-            scalar: mb4_scalar, simd: mb4_simd, omp_ir: ir_gather3 },
-        MBench { id: 5, name: "MBench5", trait_under_test: "forward stencil (vectorizable)",
-            flops_per_elem: 1.0, in_factor: 1, in_pad: 8,
-            scalar: mb5_scalar, simd: mb5_simd, omp_ir: ir_stencil },
-        MBench { id: 6, name: "MBench6", trait_under_test: "data-dependent branch",
-            flops_per_elem: 3.0, in_factor: 1, in_pad: 0,
-            scalar: mb6_scalar, simd: mb6_simd, omp_ir: ir_branch },
-        MBench { id: 7, name: "MBench7", trait_under_test: "uncountable inner loop",
-            flops_per_elem: 4.0 * NEWTON_ITERS as f64, in_factor: 1, in_pad: 0,
-            scalar: mb7_scalar, simd: mb7_simd, omp_ir: ir_uncountable },
-        MBench { id: 8, name: "MBench8", trait_under_test: "SVML math call (both vectorize)",
-            flops_per_elem: 10.0, in_factor: 1, in_pad: 0,
-            scalar: mb8_scalar, simd: mb8_simd, omp_ir: ir_exp_mul },
+        MBench {
+            id: 1,
+            name: "MBench1",
+            trait_under_test: "clean elementwise multiply",
+            flops_per_elem: 1.0,
+            in_factor: 1,
+            in_pad: 0,
+            scalar: mb1_scalar,
+            simd: mb1_simd,
+            omp_ir: ir_elementwise_mul,
+        },
+        MBench {
+            id: 2,
+            name: "MBench2",
+            trait_under_test: "FMUL dependence chain (Fig. 11)",
+            flops_per_elem: 2.0 * CHAIN as f64,
+            in_factor: CHAIN,
+            in_pad: 0,
+            scalar: mb2_scalar,
+            simd: mb2_simd,
+            omp_ir: ir_fmul_chain,
+        },
+        MBench {
+            id: 3,
+            name: "MBench3",
+            trait_under_test: "non-unit stride (2)",
+            flops_per_elem: 1.0,
+            in_factor: 2,
+            in_pad: 8,
+            scalar: mb3_scalar,
+            simd: mb3_simd,
+            omp_ir: ir_strided,
+        },
+        MBench {
+            id: 4,
+            name: "MBench4",
+            trait_under_test: "non-unit stride (3)",
+            flops_per_elem: 1.0,
+            in_factor: 3,
+            in_pad: 12,
+            scalar: mb4_scalar,
+            simd: mb4_simd,
+            omp_ir: ir_gather3,
+        },
+        MBench {
+            id: 5,
+            name: "MBench5",
+            trait_under_test: "forward stencil (vectorizable)",
+            flops_per_elem: 1.0,
+            in_factor: 1,
+            in_pad: 8,
+            scalar: mb5_scalar,
+            simd: mb5_simd,
+            omp_ir: ir_stencil,
+        },
+        MBench {
+            id: 6,
+            name: "MBench6",
+            trait_under_test: "data-dependent branch",
+            flops_per_elem: 3.0,
+            in_factor: 1,
+            in_pad: 0,
+            scalar: mb6_scalar,
+            simd: mb6_simd,
+            omp_ir: ir_branch,
+        },
+        MBench {
+            id: 7,
+            name: "MBench7",
+            trait_under_test: "uncountable inner loop",
+            flops_per_elem: 4.0 * NEWTON_ITERS as f64,
+            in_factor: 1,
+            in_pad: 0,
+            scalar: mb7_scalar,
+            simd: mb7_simd,
+            omp_ir: ir_uncountable,
+        },
+        MBench {
+            id: 8,
+            name: "MBench8",
+            trait_under_test: "SVML math call (both vectorize)",
+            flops_per_elem: 10.0,
+            in_factor: 1,
+            in_pad: 0,
+            scalar: mb8_scalar,
+            simd: mb8_simd,
+            omp_ir: ir_exp_mul,
+        },
     ]
 }
 

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -95,8 +95,8 @@ impl Kernel for Cenergy {
         let na = (self.atoms.len() / 4) as f64;
         let k = self.items_per_wi as f64;
         KernelProfile {
-            flops: 10.0 * na * k, // 3 sub, 3 mul, 2 add, rsqrt, div ≈ 10
-            mem_bytes: 4.0 * k,   // atoms stay cached; one grid store
+            flops: 10.0 * na * k,    // 3 sub, 3 mul, 2 add, rsqrt, div ≈ 10
+            mem_bytes: 4.0 * k,      // atoms stay cached; one grid store
             chain_ops: 2.0 * na * k, // the accumulation chain
             ilp: 1.0,
             vectorizable: true,
@@ -107,6 +107,16 @@ impl Kernel for Cenergy {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        crate::access::cenergy(
+            self.nx,
+            self.ny,
+            self.atoms.len(),
+            self.items_per_wi,
+            range.lint_geometry(),
+        )
+    }
 }
 
 /// Serial reference.
@@ -114,8 +124,7 @@ pub fn reference(atoms: &Atoms, nx: usize, ny: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; nx * ny];
     for gy in 0..ny {
         for gx in 0..nx {
-            out[gy * nx + gx] =
-                potential_at(gx as f32 * SPACING, gy as f32 * SPACING, &atoms.data);
+            out[gy * nx + gx] = potential_at(gx as f32 * SPACING, gy as f32 * SPACING, &atoms.data);
         }
     }
     out
@@ -142,7 +151,7 @@ pub fn build(
     local: Option<(usize, usize)>,
     seed: u64,
 ) -> Built {
-    assert!(nx % items_per_wi == 0, "coalescing must divide nx");
+    assert!(nx.is_multiple_of(items_per_wi), "coalescing must divide nx");
     let atoms = Atoms::generate(seed, n_atoms, nx as f32 * SPACING);
     let a = ctx.buffer_from(MemFlags::READ_ONLY, &atoms.data).unwrap();
     let grid = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, nx * ny).unwrap();
@@ -160,7 +169,8 @@ pub fn build(
     let want = reference(&atoms, nx, ny);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; want.len()];
-        q.read_buffer(&grid, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&grid, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = max_rel_error(&got, &want, 1e-2);
         if err < 1e-3 {
             Ok(())
@@ -222,7 +232,10 @@ mod tests {
 
     #[test]
     fn atom_generation_is_deterministic() {
-        assert_eq!(Atoms::generate(1, 10, 8.0).data, Atoms::generate(1, 10, 8.0).data);
+        assert_eq!(
+            Atoms::generate(1, 10, 8.0).data,
+            Atoms::generate(1, 10, 8.0).data
+        );
         assert_eq!(Atoms::generate(1, 10, 8.0).len(), 10);
     }
 }

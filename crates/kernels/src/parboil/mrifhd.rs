@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cl_vec::VecF32;
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -92,6 +92,14 @@ impl Kernel for RhoPhi {
     fn profile(&self) -> KernelProfile {
         KernelProfile::streaming(6.0, 24.0).coalesced(self.items_per_wi)
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::mrifhd_rhophi(
+            self.n,
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// `FH`: per voxel, accumulate `rRho·cos + iRho·sin` phase sums (the same
@@ -161,6 +169,15 @@ impl Kernel for Fh {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::mrifhd_fh(
+            self.n_voxels,
+            self.kx.len(),
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// Serial references.
@@ -180,14 +197,20 @@ pub fn reference_rhophi(
     (rr, ri)
 }
 
-pub fn reference_fh(vox: &Voxels, traj: &Trajectory, rho_r: &[f32], rho_i: &[f32]) -> (Vec<f32>, Vec<f32>) {
+pub fn reference_fh(
+    vox: &Voxels,
+    traj: &Trajectory,
+    rho_r: &[f32],
+    rho_i: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
     let mut out_r = Vec::with_capacity(vox.len());
     let mut out_i = Vec::with_capacity(vox.len());
     for v in 0..vox.len() {
         let mut fr = 0.0f32;
         let mut fi = 0.0f32;
         for k in 0..traj.len() {
-            let arg = TWO_PI * (traj.kx[k] * vox.x[v] + traj.ky[k] * vox.y[v] + traj.kz[k] * vox.z[v]);
+            let arg =
+                TWO_PI * (traj.kx[k] * vox.x[v] + traj.ky[k] * vox.y[v] + traj.kz[k] * vox.z[v]);
             let (s, c) = arg.sin_cos();
             fr += rho_r[k] * c + rho_i[k] * s;
             fi += rho_i[k] * c - rho_r[k] * s;
@@ -218,7 +241,8 @@ pub fn openmp_fh(
         let mut fr = 0.0f32;
         let mut fi = 0.0f32;
         for k in 0..traj.len() {
-            let arg = TWO_PI * (traj.kx[k] * vox.x[v] + traj.ky[k] * vox.y[v] + traj.kz[k] * vox.z[v]);
+            let arg =
+                TWO_PI * (traj.kx[k] * vox.x[v] + traj.ky[k] * vox.y[v] + traj.kz[k] * vox.z[v]);
             let (s, c) = arg.sin_cos();
             fr += rho_r[k] * c + rho_i[k] * s;
             fi += rho_i[k] * c - rho_r[k] * s;
@@ -236,7 +260,7 @@ pub fn build_rhophi(
     local: Option<usize>,
     seed: u64,
 ) -> Built {
-    assert!(n % items_per_wi == 0, "coalescing must divide n");
+    assert!(n.is_multiple_of(items_per_wi), "coalescing must divide n");
     let hr = random_f32(seed, n, -1.0, 1.0);
     let hi = random_f32(seed ^ 0x1, n, -1.0, 1.0);
     let hdr = random_f32(seed ^ 0x2, n, -1.0, 1.0);
@@ -265,8 +289,10 @@ pub fn build_rhophi(
     Built::new(kernel, range, move |q| {
         let mut gr = vec![0.0f32; n];
         let mut gi = vec![0.0f32; n];
-        q.read_buffer(&rho_r, 0, &mut gr).map_err(|e| e.to_string())?;
-        q.read_buffer(&rho_i, 0, &mut gi).map_err(|e| e.to_string())?;
+        q.read_buffer(&rho_r, 0, &mut gr)
+            .map_err(|e| e.to_string())?;
+        q.read_buffer(&rho_i, 0, &mut gi)
+            .map_err(|e| e.to_string())?;
         let er = max_rel_error(&gr, &want_r, 1e-3);
         let ei = max_rel_error(&gi, &want_i, 1e-3);
         if er < 1e-4 && ei < 1e-4 {
@@ -286,7 +312,10 @@ pub fn build_fh(
     local: Option<usize>,
     seed: u64,
 ) -> Built {
-    assert!(n_voxels % items_per_wi == 0, "coalescing must divide n");
+    assert!(
+        n_voxels.is_multiple_of(items_per_wi),
+        "coalescing must divide n"
+    );
     let vox = Voxels::generate(seed, n_voxels);
     let traj = Trajectory::generate(seed ^ 0xFEED, k_samples);
     let hrr = random_f32(seed ^ 0x4, k_samples, -1.0, 1.0);
@@ -323,8 +352,10 @@ pub fn build_fh(
     Built::new(kernel, range, move |q| {
         let mut gr = vec![0.0f32; n_voxels];
         let mut gi = vec![0.0f32; n_voxels];
-        q.read_buffer(&fh_r, 0, &mut gr).map_err(|e| e.to_string())?;
-        q.read_buffer(&fh_i, 0, &mut gi).map_err(|e| e.to_string())?;
+        q.read_buffer(&fh_r, 0, &mut gr)
+            .map_err(|e| e.to_string())?;
+        q.read_buffer(&fh_i, 0, &mut gi)
+            .map_err(|e| e.to_string())?;
         let er = max_rel_error(&gr, &want_r, 1e-1);
         let ei = max_rel_error(&gi, &want_i, 1e-1);
         if er < 1e-2 && ei < 1e-2 {

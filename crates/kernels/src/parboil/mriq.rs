@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cl_vec::VecF32;
-use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange};
+use ocl_rt::{Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange};
 use par_for::{Schedule, Team};
 
 use crate::apps::Built;
@@ -81,6 +81,14 @@ impl Kernel for ComputePhiMag {
 
     fn profile(&self) -> KernelProfile {
         KernelProfile::streaming(3.0, 12.0).coalesced(self.items_per_wi)
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::mriq_phimag(
+            self.n,
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
     }
 }
 
@@ -216,6 +224,15 @@ impl Kernel for ComputeQ {
             local_traffic_bytes: 0.0,
         }
     }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        Some(crate::access::mriq_computeq(
+            self.n_voxels,
+            self.kx.len(),
+            self.items_per_wi,
+            range.lint_geometry(),
+        ))
+    }
 }
 
 /// Serial references.
@@ -261,7 +278,7 @@ pub fn build_phimag(
     local: Option<usize>,
     seed: u64,
 ) -> Built {
-    assert!(n % items_per_wi == 0, "coalescing must divide n");
+    assert!(n.is_multiple_of(items_per_wi), "coalescing must divide n");
     let hr = random_f32(seed, n, -1.0, 1.0);
     let hi = random_f32(seed ^ 0xF, n, -1.0, 1.0);
     let phi_r = ctx.buffer_from(MemFlags::READ_ONLY, &hr).unwrap();
@@ -281,7 +298,8 @@ pub fn build_phimag(
     let want = reference_phimag(&hr, &hi);
     Built::new(kernel, range, move |q| {
         let mut got = vec![0.0f32; n];
-        q.read_buffer(&phi_mag, 0, &mut got).map_err(|e| e.to_string())?;
+        q.read_buffer(&phi_mag, 0, &mut got)
+            .map_err(|e| e.to_string())?;
         let err = max_rel_error(&got, &want, 1e-4);
         if err < 1e-4 {
             Ok(())
@@ -300,7 +318,10 @@ pub fn build_q(
     local: Option<usize>,
     seed: u64,
 ) -> Built {
-    assert!(n_voxels % items_per_wi == 0, "coalescing must divide n");
+    assert!(
+        n_voxels.is_multiple_of(items_per_wi),
+        "coalescing must divide n"
+    );
     let vox = Voxels::generate(seed, n_voxels);
     let traj = Trajectory::generate(seed ^ 0xBEEF, k_samples);
     let x = ctx.buffer_from(MemFlags::READ_ONLY, &vox.x).unwrap();

@@ -54,6 +54,44 @@ pub struct AppEntry {
     pub local: LocalSpec,
 }
 
+impl AppEntry {
+    /// The [`ocl_rt::NDRange`] of this entry at one of its global sizes
+    /// (NULL locals stay NULL, to be resolved by the runtime).
+    pub fn ndrange(&self, global: GlobalSpec) -> ocl_rt::NDRange {
+        let range = match global {
+            GlobalSpec::D1(n) => ocl_rt::NDRange::d1(n),
+            GlobalSpec::D2(x, y) => ocl_rt::NDRange::d2(x, y),
+        };
+        match self.local {
+            LocalSpec::Null => range,
+            LocalSpec::D1(l) => range.local1(l),
+            LocalSpec::D2(x, y) => range.local2(x, y),
+        }
+    }
+
+    /// Resolve this entry's launch geometry the way a queue would,
+    /// choosing a workgroup size ≤ `default_wg` for NULL locals.
+    pub fn resolve(
+        &self,
+        global: GlobalSpec,
+        default_wg: usize,
+    ) -> Result<ocl_rt::ResolvedRange, ocl_rt::ClError> {
+        self.ndrange(global).resolve(default_wg)
+    }
+
+    /// The static access spec of this entry's kernel at `global`
+    /// ([`crate::access::spec_for`]), or `None` if the shape is not
+    /// expressible in the affine access IR.
+    pub fn access_spec(
+        &self,
+        global: GlobalSpec,
+        default_wg: usize,
+    ) -> Option<cl_analyze::KernelAccessSpec> {
+        let resolved = self.resolve(global, default_wg).ok()?;
+        crate::access::spec_for(self.benchmark, self.kernel, resolved.lint_geometry())
+    }
+}
+
 /// Table II: the simple applications and their default launch geometries.
 pub fn simple_apps() -> Vec<AppEntry> {
     use GlobalSpec::*;
@@ -241,6 +279,18 @@ mod tests {
         assert_eq!(LocalSpec::D2(16, 16).describe(), "16 X 16");
         assert_eq!(GlobalSpec::D2(800, 1600).describe(), "800 X 1600");
         assert_eq!(GlobalSpec::D2(800, 1600).total(), 1_280_000);
+    }
+
+    #[test]
+    fn every_entry_resolves_and_yields_a_spec() {
+        for entry in simple_apps().into_iter().chain(parboil_kernels()) {
+            for &g in &entry.globals {
+                let resolved = entry.resolve(g, 256).unwrap();
+                assert_eq!(resolved.total_items(), g.total(), "{}", entry.benchmark);
+                let spec = entry.access_spec(g, 256);
+                assert!(spec.is_some(), "{}/{}", entry.benchmark, entry.kernel);
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,13 @@
 //! Seeded workload generation and numeric comparison helpers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Deterministic vector of `n` floats in `[lo, hi)`.
 pub fn random_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+    cl_util::rng::random_f32(seed, n, lo, hi)
 }
 
 /// Deterministic vector of `n` u32 values below `bound`.
 pub fn random_u32(seed: u64, n: usize, bound: u32) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..bound)).collect()
+    cl_util::rng::random_u32(seed, n, bound)
 }
 
 /// Largest relative error between two float slices (absolute error where

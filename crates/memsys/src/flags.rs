@@ -117,7 +117,10 @@ impl fmt::Display for FlagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlagError::ConflictingAccess => {
-                write!(f, "READ_WRITE, WRITE_ONLY and READ_ONLY are mutually exclusive")
+                write!(
+                    f,
+                    "READ_WRITE, WRITE_ONLY and READ_ONLY are mutually exclusive"
+                )
             }
         }
     }

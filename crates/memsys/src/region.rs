@@ -24,7 +24,11 @@ pub enum AllocLocation {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemError {
     /// Access at `offset..offset+len` falls outside a region of `size` bytes.
-    OutOfBounds { offset: usize, len: usize, size: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        size: usize,
+    },
     /// Zero-sized buffers are invalid (`CL_INVALID_BUFFER_SIZE`).
     ZeroSize,
     /// A mapping conflicts with an outstanding mapping.
@@ -144,7 +148,11 @@ impl MemRegion {
         // SAFETY: bounds checked; src and dst cannot overlap (dst is a
         // distinct Rust allocation borrowed mutably).
         unsafe {
-            std::ptr::copy_nonoverlapping(self.ptr.as_ptr().add(offset), dst.as_mut_ptr(), dst.len());
+            std::ptr::copy_nonoverlapping(
+                self.ptr.as_ptr().add(offset),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
         }
         Ok(())
     }
@@ -166,7 +174,10 @@ impl MemRegion {
     /// the lifetime of the slice (the OpenCL contract).
     pub unsafe fn slice(&self, offset: usize, len: usize) -> Result<&[u8], MemError> {
         self.check(offset, len)?;
-        Ok(std::slice::from_raw_parts(self.ptr.as_ptr().add(offset), len))
+        Ok(std::slice::from_raw_parts(
+            self.ptr.as_ptr().add(offset),
+            len,
+        ))
     }
 
     /// Borrow a byte range mutably through `&self`.

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use cl_util::sync::Mutex;
 
 use crate::region::{MemError, MemRegion};
 use crate::stats::TransferStats;
@@ -74,7 +74,12 @@ impl TransferEngine {
     }
 
     /// `clEnqueueWriteBuffer`: host → staging → region (two copies).
-    pub fn write_buffer(&self, region: &MemRegion, offset: usize, src: &[u8]) -> Result<(), MemError> {
+    pub fn write_buffer(
+        &self,
+        region: &MemRegion,
+        offset: usize,
+        src: &[u8],
+    ) -> Result<(), MemError> {
         self.stats.bump_copy();
         // The intermediate object the paper describes: "the OpenCL runtime
         // should allocate a separate memory object and copy the data".
@@ -87,7 +92,12 @@ impl TransferEngine {
     }
 
     /// `clEnqueueReadBuffer`: region → staging → host (two copies).
-    pub fn read_buffer(&self, region: &MemRegion, offset: usize, dst: &mut [u8]) -> Result<(), MemError> {
+    pub fn read_buffer(
+        &self,
+        region: &MemRegion,
+        offset: usize,
+        dst: &mut [u8],
+    ) -> Result<(), MemError> {
         self.stats.bump_copy();
         self.stats.bump_staging();
         let mut staging = vec![0u8; dst.len()];
@@ -175,7 +185,11 @@ impl MapGuard<'_> {
     pub fn as_slice(&self) -> &[u8] {
         // SAFETY: conflict detection ensures no concurrent writer through
         // this engine; bounds validated at map time.
-        unsafe { self.region.slice(self.offset, self.len).expect("validated at map time") }
+        unsafe {
+            self.region
+                .slice(self.offset, self.len)
+                .expect("validated at map time")
+        }
     }
 
     /// The mapped bytes, writable. Panics if the mapping is read-only —
@@ -275,8 +289,14 @@ mod tests {
         let e = TransferEngine::new();
         let r = region(64);
         let _w = e.map(&r, 0, 32, MapMode::Write).unwrap();
-        assert_eq!(e.map(&r, 16, 16, MapMode::Read).unwrap_err(), MemError::MapConflict);
-        assert_eq!(e.map(&r, 0, 64, MapMode::Write).unwrap_err(), MemError::MapConflict);
+        assert_eq!(
+            e.map(&r, 16, 16, MapMode::Read).unwrap_err(),
+            MemError::MapConflict
+        );
+        assert_eq!(
+            e.map(&r, 0, 64, MapMode::Write).unwrap_err(),
+            MemError::MapConflict
+        );
     }
 
     #[test]

@@ -1,33 +1,40 @@
 //! Property tests for the memory subsystem: transfer roundtrips at
 //! arbitrary offsets, mapping semantics, and byte accounting invariants.
-
-use proptest::prelude::*;
+//!
+//! Seeded random sweeps (the workspace builds offline, so these are
+//! hand-rolled rather than proptest strategies).
 
 use cl_mem::{AllocLocation, MapMode, MemRegion, TransferEngine};
+use cl_util::XorShift;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn copy_roundtrip_at_any_offset(
-        region_len in 1usize..8192,
-        payload in prop::collection::vec(any::<u8>(), 1..512),
-        offset_seed in any::<usize>(),
-    ) {
-        prop_assume!(payload.len() <= region_len);
-        let offset = offset_seed % (region_len - payload.len() + 1);
+#[test]
+fn copy_roundtrip_at_any_offset() {
+    let mut rng = XorShift::seed_from_u64(0xA1);
+    for case in 0..CASES {
+        let region_len = rng.range_usize(1, 8192);
+        let payload_len = rng.range_usize(1, 512).min(region_len);
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.next_u64() as u8).collect();
+        let offset = rng.range_usize(0, region_len - payload.len() + 1);
         let e = TransferEngine::new();
         let r = MemRegion::alloc(region_len, AllocLocation::Device).unwrap();
         e.write_buffer(&r, offset, &payload).unwrap();
         let mut out = vec![0u8; payload.len()];
         e.read_buffer(&r, offset, &mut out).unwrap();
-        prop_assert_eq!(out, payload);
+        assert_eq!(
+            out, payload,
+            "case {case}: len={region_len} offset={offset}"
+        );
     }
+}
 
-    #[test]
-    fn copy_moves_exactly_double_the_bytes(
-        sizes in prop::collection::vec(1usize..4096, 1..8),
-    ) {
+#[test]
+fn copy_moves_exactly_double_the_bytes() {
+    let mut rng = XorShift::seed_from_u64(0xA2);
+    for case in 0..CASES {
+        let n_sizes = rng.range_usize(1, 8);
+        let sizes: Vec<usize> = (0..n_sizes).map(|_| rng.range_usize(1, 4096)).collect();
         let e = TransferEngine::new();
         let total: usize = sizes.iter().sum();
         let r = MemRegion::alloc(total.max(1), AllocLocation::Device).unwrap();
@@ -38,15 +45,24 @@ proptest! {
             expected += 2 * *s as u64;
             offset += s;
         }
-        prop_assert_eq!(e.stats().snapshot().bytes_copied, expected);
-        prop_assert_eq!(e.stats().snapshot().copy_calls, sizes.len() as u64);
+        assert_eq!(e.stats().snapshot().bytes_copied, expected, "case {case}");
+        assert_eq!(
+            e.stats().snapshot().copy_calls,
+            sizes.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn mapping_never_copies(
-        len in 1usize..16384,
-        writes in prop::collection::vec((any::<usize>(), any::<u8>()), 0..32),
-    ) {
+#[test]
+fn mapping_never_copies() {
+    let mut rng = XorShift::seed_from_u64(0xA3);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 16384);
+        let n_writes = rng.range_usize(0, 32);
+        let writes: Vec<(usize, u8)> = (0..n_writes)
+            .map(|_| (rng.next_u64() as usize, rng.next_u64() as u8))
+            .collect();
         let e = TransferEngine::new();
         let r = MemRegion::alloc(len, AllocLocation::PinnedHost).unwrap();
         {
@@ -56,51 +72,61 @@ proptest! {
                 slice[idx % len] = *v;
             }
         }
-        prop_assert_eq!(e.stats().snapshot().bytes_copied, 0);
-        prop_assert_eq!(e.outstanding_maps(&r), 0);
+        assert_eq!(e.stats().snapshot().bytes_copied, 0, "case {case}");
+        assert_eq!(e.outstanding_maps(&r), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn disjoint_write_maps_coexist(
-        split in 1usize..1023,
-    ) {
+#[test]
+fn disjoint_write_maps_coexist() {
+    let mut rng = XorShift::seed_from_u64(0xA4);
+    for case in 0..CASES {
+        let split = rng.range_usize(1, 1023);
         let e = TransferEngine::new();
         let r = MemRegion::alloc(1024, AllocLocation::Device).unwrap();
         let a = e.map(&r, 0, split, MapMode::Write).unwrap();
         let b = e.map(&r, split, 1024 - split, MapMode::Write).unwrap();
-        prop_assert_eq!(e.outstanding_maps(&r), 2);
+        assert_eq!(e.outstanding_maps(&r), 2, "case {case}: split={split}");
         drop(a);
         drop(b);
-        prop_assert_eq!(e.outstanding_maps(&r), 0);
+        assert_eq!(e.outstanding_maps(&r), 0, "case {case}: split={split}");
     }
+}
 
-    #[test]
-    fn overlapping_writer_maps_always_conflict(
-        start_a in 0usize..512,
-        len_a in 1usize..512,
-        start_b in 0usize..512,
-        len_b in 1usize..512,
-    ) {
+#[test]
+fn overlapping_writer_maps_always_conflict() {
+    let mut rng = XorShift::seed_from_u64(0xA5);
+    for case in 0..CASES {
+        let start_a = rng.range_usize(0, 512);
+        let len_a = rng.range_usize(1, 512);
+        let start_b = rng.range_usize(0, 512);
+        let len_b = rng.range_usize(1, 512);
         let overlap = start_a < start_b + len_b && start_b < start_a + len_a;
         let e = TransferEngine::new();
         let r = MemRegion::alloc(1024, AllocLocation::Device).unwrap();
         let _a = e.map(&r, start_a, len_a, MapMode::Write).unwrap();
         let b = e.map(&r, start_b, len_b, MapMode::Write);
-        prop_assert_eq!(b.is_err(), overlap);
+        assert_eq!(
+            b.is_err(),
+            overlap,
+            "case {case}: a=[{start_a}, +{len_a}) b=[{start_b}, +{len_b})"
+        );
     }
+}
 
-    #[test]
-    fn fill_then_read_any_window(
-        len in 1usize..4096,
-        value in any::<u8>(),
-        window in 0usize..4096,
-    ) {
+#[test]
+fn fill_then_read_any_window() {
+    let mut rng = XorShift::seed_from_u64(0xA6);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 4096);
+        let value = rng.next_u64() as u8;
+        let window = rng.range_usize(0, 4096);
         let r = MemRegion::alloc(len, AllocLocation::Device).unwrap();
         r.fill(value);
         let take = window % len + 1;
         let start = len - take;
         let mut out = vec![0u8; take];
         r.read_into(start, &mut out).unwrap();
-        prop_assert!(out.iter().all(|&b| b == value));
+        assert!(out.iter().all(|&b| b == value), "case {case}");
     }
 }

@@ -79,8 +79,7 @@ impl CpuModel {
         // SPMD bookkeeping per workitem; vectorization coalesces `lanes`
         // workitems into one body execution, amortizing the bookkeeping.
         let item_overhead_cycles = self.spec.item_overhead_ns * 1e-9 * freq_hz / lanes;
-        let group_cycles =
-            launch.wg_size as f64 * (item_cycles + item_overhead_cycles);
+        let group_cycles = launch.wg_size as f64 * (item_cycles + item_overhead_cycles);
         let dispatch_cycles = self.spec.group_dispatch_ns * 1e-9 * freq_hz;
 
         // Makespan across *physical* cores: SMT threads share FP ports, so
@@ -120,10 +119,7 @@ mod tests {
         // is faster because per-item overhead shrinks.
         let m = model();
         let base = m.kernel_time(&square_profile(), Launch::new(10_000_000, 512));
-        let coal = m.kernel_time(
-            &square_profile().coalesced(1000),
-            Launch::new(10_000, 10),
-        );
+        let coal = m.kernel_time(&square_profile().coalesced(1000), Launch::new(10_000, 10));
         assert!(
             coal < base,
             "coalesced {coal} should beat base {base} on CPU"

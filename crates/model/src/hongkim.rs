@@ -191,17 +191,17 @@ mod tests {
             &KernelProfile::compute(2048.0).with_ilp(8.0),
             Launch::new(1 << 22, 256),
         );
-        assert!(
-            b.regime == Regime::ComputeBound || b.mwp >= b.cwp,
-            "{b:?}"
-        );
+        assert!(b.regime == Regime::ComputeBound || b.mwp >= b.cwp, "{b:?}");
     }
 
     #[test]
     fn mwp_cwp_bounded_by_resident_warps() {
         let m = hk();
         for wg in [32usize, 64, 256, 1024] {
-            let b = m.breakdown(&KernelProfile::streaming(4.0, 24.0), Launch::new(1 << 20, wg));
+            let b = m.breakdown(
+                &KernelProfile::streaming(4.0, 24.0),
+                Launch::new(1 << 20, wg),
+            );
             assert!(b.mwp <= b.n + 1e-9, "{wg}: {b:?}");
             assert!(b.cwp <= b.n + 1e-9, "{wg}: {b:?}");
             assert!(b.mwp >= 1.0 && b.cwp >= 1.0);
@@ -239,7 +239,10 @@ mod tests {
         assert!(t_u > 2.0 * t_c, "{t_u} vs {t_c}");
         let b = m.breakdown(&c.clone().uncoalesced(), launch);
         let bc = m.breakdown(&c, launch);
-        assert!(b.mwp < bc.mwp, "uncoalesced MWP must shrink: {b:?} vs {bc:?}");
+        assert!(
+            b.mwp < bc.mwp,
+            "uncoalesced MWP must shrink: {b:?} vs {bc:?}"
+        );
     }
 
     #[test]

@@ -28,18 +28,18 @@ mod cpu;
 mod gpu;
 mod hongkim;
 mod launch;
-mod occupancy_table;
-pub mod warpsim;
 mod machine;
+mod occupancy_table;
 mod profile;
 mod transfer;
+pub mod warpsim;
 
 pub use cpu::CpuModel;
 pub use gpu::{GpuModel, Occupancy};
 pub use hongkim::{HongKimBreakdown, HongKimModel, Regime};
-pub use occupancy_table::{occupancy_table, render_occupancy_table, OccupancyLimit, OccupancyRow};
-pub use warpsim::{simulate_sm, SmRun, WarpSimConfig};
 pub use launch::Launch;
 pub use machine::{CpuSpec, GpuSpec};
+pub use occupancy_table::{occupancy_table, render_occupancy_table, OccupancyLimit, OccupancyRow};
 pub use profile::KernelProfile;
 pub use transfer::{TransferModel, TransferPath};
+pub use warpsim::{simulate_sm, SmRun, WarpSimConfig};

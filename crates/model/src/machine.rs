@@ -1,9 +1,7 @@
 //! Machine descriptions, with presets for the paper's Table I hardware.
 
-use serde::{Deserialize, Serialize};
-
 /// An out-of-order multicore CPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     pub name: String,
     /// Physical cores.
@@ -72,7 +70,7 @@ impl CpuSpec {
 }
 
 /// A discrete GPU, parameterized at Fermi granularity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     pub name: String,
     /// Streaming multiprocessors.

@@ -54,8 +54,7 @@ pub fn occupancy_table(spec: &GpuSpec, local_mem_per_group: f64) -> Vec<Occupanc
         };
         let limit = if occ.blocks_per_sm == by_shmem {
             OccupancyLimit::SharedMemory
-        } else if occ.blocks_per_sm == spec.max_blocks_per_sm
-            && spec.max_blocks_per_sm <= by_warps
+        } else if occ.blocks_per_sm == spec.max_blocks_per_sm && spec.max_blocks_per_sm <= by_warps
         {
             OccupancyLimit::Blocks
         } else {

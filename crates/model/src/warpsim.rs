@@ -290,7 +290,10 @@ mod tests {
         let full1 = simulate_sm(&cfg(), &p1, 48).cycles;
         let full4 = simulate_sm(&cfg(), &p4, 48).cycles;
         let rel = (full1 as f64 - full4 as f64).abs() / full1 as f64;
-        assert!(rel < 0.1, "full occupancy: ILP must not matter ({full1} vs {full4})");
+        assert!(
+            rel < 0.1,
+            "full occupancy: ILP must not matter ({full1} vs {full4})"
+        );
     }
 
     #[test]
@@ -321,8 +324,14 @@ mod tests {
             ana_times.push(analytic.kernel_time(&p, launch));
         }
         // Both must order wg=1 slowest … wg=256 fastest.
-        assert!(sim_times[0] > sim_times[1] && sim_times[1] > sim_times[2], "{sim_times:?}");
-        assert!(ana_times[0] > ana_times[1] && ana_times[1] > ana_times[2], "{ana_times:?}");
+        assert!(
+            sim_times[0] > sim_times[1] && sim_times[1] > sim_times[2],
+            "{sim_times:?}"
+        );
+        assert!(
+            ana_times[0] > ana_times[1] && ana_times[1] > ana_times[2],
+            "{ana_times:?}"
+        );
     }
 
     #[test]

@@ -149,8 +149,13 @@ impl Team {
 
     /// Two-dimensional worksharing loop (`collapse(2)`): runs
     /// `body(row, col)` over the full cross product, parallelizing rows.
-    pub fn parallel_for_2d<F>(&self, rows: Range<usize>, cols: Range<usize>, sched: Schedule, body: F)
-    where
+    pub fn parallel_for_2d<F>(
+        &self,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        sched: Schedule,
+        body: F,
+    ) where
         F: Fn(usize, usize) + Sync,
     {
         let cols_range = cols.clone();

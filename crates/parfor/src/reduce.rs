@@ -3,7 +3,7 @@
 
 use std::ops::Range;
 
-use parking_lot::Mutex;
+use cl_util::sync::Mutex;
 
 use cl_pool::ChunkSource;
 
@@ -118,7 +118,13 @@ mod tests {
     #[test]
     fn empty_reduction_is_identity() {
         let team = Team::new(2).unwrap();
-        let s = team.parallel_reduce(4..4, Schedule::default(), || 7i64, |a, _| a + 1, |a, b| a + b);
+        let s = team.parallel_reduce(
+            4..4,
+            Schedule::default(),
+            || 7i64,
+            |a, _| a + 1,
+            |a, b| a + b,
+        );
         assert_eq!(s, 7);
     }
 

@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn static_handles_remainder() {
-        let blocks = Schedule::Static { chunk: None }.static_blocks(10, 4).unwrap();
+        let blocks = Schedule::Static { chunk: None }
+            .static_blocks(10, 4)
+            .unwrap();
         let total: usize = blocks.iter().map(|(s, e)| e - s).sum();
         assert_eq!(total, 10);
         assert!(blocks.len() <= 4);
@@ -83,13 +85,17 @@ mod tests {
 
     #[test]
     fn static_chunked_deals_fixed_blocks() {
-        let blocks = Schedule::Static { chunk: Some(3) }.static_blocks(10, 2).unwrap();
+        let blocks = Schedule::Static { chunk: Some(3) }
+            .static_blocks(10, 2)
+            .unwrap();
         assert_eq!(blocks, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
     }
 
     #[test]
     fn dynamic_has_no_static_blocks() {
-        assert!(Schedule::Dynamic { chunk: 4 }.static_blocks(10, 2).is_none());
+        assert!(Schedule::Dynamic { chunk: 4 }
+            .static_blocks(10, 2)
+            .is_none());
     }
 
     #[test]

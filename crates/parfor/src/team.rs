@@ -41,12 +41,8 @@ impl Team {
     /// A team with `threads` dedicated threads bound according to `pin`
     /// (`OMP_PROC_BIND` / `GOMP_CPU_AFFINITY`).
     pub fn with_binding(threads: usize, pin: PinPolicy) -> Result<Self, TeamError> {
-        let pool = ThreadPool::new(
-            PoolConfig::default()
-                .workers(threads)
-                .pin(pin),
-        )
-        .map_err(TeamError::Pool)?;
+        let pool = ThreadPool::new(PoolConfig::default().workers(threads).pin(pin))
+            .map_err(TeamError::Pool)?;
         Ok(Team {
             threads,
             pool: Arc::new(pool),

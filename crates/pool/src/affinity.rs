@@ -5,6 +5,10 @@
 //! III-E). This module provides the mechanism the study uses to *add*
 //! affinity to our runtime and quantify its benefit: pinning pool workers to
 //! physical cores with `sched_setaffinity`.
+//!
+//! The syscalls are issued directly (no `libc`), keeping the workspace
+//! hermetic; on targets without a known syscall ABI the calls degrade to
+//! no-ops, losing only the locality benefit.
 
 use std::io;
 
@@ -62,39 +66,130 @@ pub fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Raw affinity syscalls for the architectures we run on.
+    use std::arch::asm;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SCHED_SETAFFINITY: usize = 203;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_GETCPU: usize = 309;
+
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SCHED_SETAFFINITY: usize = 122;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_GETCPU: usize = 168;
+
+    /// 1024-bit CPU mask, the kernel's `cpu_set_t` size.
+    pub const MASK_WORDS: usize = 16;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall3(nr: usize, a: usize, b: usize, c: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall3(nr: usize, a: usize, b: usize, c: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a as isize => ret,
+            in("x1") b,
+            in("x2") c,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// `sched_setaffinity(0, mask)` for the calling thread.
+    pub fn set_affinity(mask: &[u64; MASK_WORDS]) -> isize {
+        unsafe {
+            syscall3(
+                SYS_SCHED_SETAFFINITY,
+                0,
+                std::mem::size_of_val(mask),
+                mask.as_ptr() as usize,
+            )
+        }
+    }
+
+    /// `getcpu()` for the calling thread; negative on failure.
+    pub fn current_cpu() -> isize {
+        let mut cpu: u32 = 0;
+        let rc = unsafe { syscall3(SYS_GETCPU, &mut cpu as *mut u32 as usize, 0, 0) };
+        if rc < 0 {
+            rc
+        } else {
+            cpu as isize
+        }
+    }
+}
+
 /// Pin the calling thread to a single CPU core.
 ///
 /// Returns an error if the kernel rejects the mask (e.g. the core does not
 /// exist or is outside the process's cpuset).
-#[cfg(target_os = "linux")]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 pub fn pin_current_thread(core: usize) -> io::Result<()> {
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        libc::CPU_SET(core, &mut set);
-        let rc = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
-        if rc != 0 {
-            return Err(io::Error::last_os_error());
-        }
+    if core >= sys::MASK_WORDS * 64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "core index exceeds the cpu mask width",
+        ));
+    }
+    let mut mask = [0u64; sys::MASK_WORDS];
+    mask[core / 64] |= 1u64 << (core % 64);
+    let rc = sys::set_affinity(&mask);
+    if rc < 0 {
+        return Err(io::Error::from_raw_os_error(-rc as i32));
     }
     Ok(())
 }
 
-/// Pin the calling thread to a single CPU core (no-op off Linux).
-#[cfg(not(target_os = "linux"))]
+/// Pin the calling thread to a single CPU core (no-op where the syscall ABI
+/// is not wired up).
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 pub fn pin_current_thread(_core: usize) -> io::Result<()> {
     Ok(())
 }
 
 /// The core the calling thread currently runs on, if the OS exposes it.
-#[cfg(target_os = "linux")]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 pub fn current_core() -> Option<usize> {
-    let cpu = unsafe { libc::sched_getcpu() };
+    let cpu = sys::current_cpu();
     (cpu >= 0).then_some(cpu as usize)
 }
 
 /// The core the calling thread currently runs on, if the OS exposes it.
-#[cfg(not(target_os = "linux"))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 pub fn current_core() -> Option<usize> {
     None
 }
@@ -123,7 +218,10 @@ mod tests {
         let p = PinPolicy::Scatter;
         let cores: Vec<_> = (0..4).map(|w| p.core_for(w, 8).unwrap()).collect();
         // Workers must not all land on neighbouring cores.
-        assert!(cores.windows(2).any(|w| w[1].abs_diff(w[0]) > 1), "{cores:?}");
+        assert!(
+            cores.windows(2).any(|w| w[1].abs_diff(w[0]) > 1),
+            "{cores:?}"
+        );
     }
 
     #[test]
@@ -148,8 +246,16 @@ mod tests {
     fn pin_to_core_zero_succeeds() {
         // Core 0 exists on every machine this test runs on.
         pin_current_thread(0).unwrap();
-        #[cfg(target_os = "linux")]
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
         assert_eq!(current_core(), Some(0));
+    }
+
+    #[test]
+    fn out_of_mask_core_is_rejected() {
+        assert!(pin_current_thread(usize::MAX).is_err() || cfg!(not(target_os = "linux")));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! per generation and not resettable to a different party count, hence this
 //! small implementation.
 
-use parking_lot::{Condvar, Mutex};
+use cl_util::sync::{Condvar, Mutex};
 
 struct State {
     waiting: usize,

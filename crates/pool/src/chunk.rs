@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn chunks_cover_range_exactly_once() {
         let src = ChunkSource::new(103, 10);
-        let mut seen = vec![0u8; 103];
+        let mut seen = [0u8; 103];
         while let Some(r) = src.claim() {
             for i in r {
                 seen[i] += 1;

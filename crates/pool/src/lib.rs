@@ -12,8 +12,8 @@
 //!
 //! ## Design
 //!
-//! * One OS thread per worker, a global [`crossbeam::deque::Injector`] plus a
-//!   per-worker [`crossbeam::deque::Worker`] deque with LIFO slot semantics.
+//! * One OS thread per worker, a global [`deque::Injector`] plus a
+//!   per-worker [`deque::Worker`] queue with stealing.
 //! * Workers spin briefly, then park on a condvar; submitters unpark.
 //! * [`ThreadPool::scope`] provides structured, borrowing task spawning
 //!   (joined before the scope returns, so borrowed data stays valid).
@@ -42,6 +42,7 @@
 pub mod affinity;
 pub mod barrier;
 pub mod chunk;
+pub mod deque;
 pub mod metrics;
 mod pool;
 mod scope;

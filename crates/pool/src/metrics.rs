@@ -93,11 +93,9 @@ impl MetricsSnapshot {
     /// Average queue→start dispatch latency over the sampled tasks, or zero
     /// if sampling was off.
     pub fn mean_dispatch_latency(&self) -> Duration {
-        if self.dispatch_samples == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.dispatch_latency_ns / self.dispatch_samples)
-        }
+        self.dispatch_latency_ns
+            .checked_div(self.dispatch_samples)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     /// Counter-wise difference `self - earlier`, for measuring one experiment
@@ -145,7 +143,10 @@ mod tests {
         let m = PoolMetrics::default();
         m.record_latency(Duration::from_nanos(100));
         m.record_latency(Duration::from_nanos(300));
-        assert_eq!(m.snapshot().mean_dispatch_latency(), Duration::from_nanos(200));
+        assert_eq!(
+            m.snapshot().mean_dispatch_latency(),
+            Duration::from_nanos(200)
+        );
     }
 
     #[test]

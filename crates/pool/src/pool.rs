@@ -4,8 +4,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use crossbeam::deque::{Injector, Stealer};
-use parking_lot::{Condvar, Mutex};
+use cl_util::sync::{Condvar, Mutex};
+
+use crate::deque::{Injector, Steal, Stealer};
 
 use crate::affinity::{available_cores, PinPolicy};
 use crate::metrics::PoolMetrics;
@@ -119,23 +120,23 @@ impl Inner {
     pub(crate) fn steal_task(&self) -> Option<Task> {
         loop {
             match self.injector.steal() {
-                crossbeam::deque::Steal::Success(t) => {
+                Steal::Success(t) => {
                     self.metrics.record_injector();
                     return Some(t);
                 }
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
+                Steal::Retry => continue,
+                Steal::Empty => break,
             }
         }
         for s in &self.stealers {
             loop {
                 match s.steal() {
-                    crossbeam::deque::Steal::Success(t) => {
+                    Steal::Success(t) => {
                         self.metrics.record_steal();
                         return Some(t);
                     }
-                    crossbeam::deque::Steal::Retry => continue,
-                    crossbeam::deque::Steal::Empty => break,
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
                 }
             }
         }
@@ -172,8 +173,8 @@ impl ThreadPool {
         if cfg.workers == 0 {
             return Err(PoolError::ZeroWorkers);
         }
-        let locals: Vec<crossbeam::deque::Worker<Task>> = (0..cfg.workers)
-            .map(|_| crossbeam::deque::Worker::new_fifo())
+        let locals: Vec<crate::deque::Worker<Task>> = (0..cfg.workers)
+            .map(|_| crate::deque::Worker::new_fifo())
             .collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
         let inner = Arc::new(Inner {
@@ -270,7 +271,12 @@ impl ThreadPool {
     /// Only a quiescence heuristic for tests/metrics; `scope` is the real
     /// completion mechanism.
     pub fn wait_idle_hint(&self) {
-        while self.inner.steal_task().map(|t| self.inner.execute(t)).is_some() {}
+        while self
+            .inner
+            .steal_task()
+            .map(|t| self.inner.execute(t))
+            .is_some()
+        {}
     }
 
     /// A process-wide shared pool with default configuration.

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use cl_util::sync::Mutex;
 
 use crate::pool::{Task, ThreadPool};
 

@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::deque::Worker as LocalQueue;
+use crate::deque::{Steal, Worker as LocalQueue};
 
 use crate::affinity::pin_current_thread;
 use crate::pool::{Inner, Task};
@@ -39,12 +39,12 @@ pub(crate) fn run_worker(
             // Refill from the injector in batches to amortize contention.
             loop {
                 match inner.injector.steal_batch_and_pop(&local) {
-                    crossbeam::deque::Steal::Success(t) => {
+                    Steal::Success(t) => {
                         inner.metrics.record_injector();
                         return Some(t);
                     }
-                    crossbeam::deque::Steal::Retry => continue,
-                    crossbeam::deque::Steal::Empty => break,
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
                 }
             }
             // Steal from siblings, starting after our own position so the
@@ -54,12 +54,12 @@ pub(crate) fn run_worker(
                 let victim = (id + k) % n;
                 loop {
                     match inner.stealers[victim].steal_batch_and_pop(&local) {
-                        crossbeam::deque::Steal::Success(t) => {
+                        Steal::Success(t) => {
                             inner.metrics.record_steal();
                             return Some(t);
                         }
-                        crossbeam::deque::Steal::Retry => continue,
-                        crossbeam::deque::Steal::Empty => break,
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
                     }
                 }
             }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cl_pool::{ChunkSource, GuidedSource, PinPolicy, PoolConfig, ThreadPool};
-use proptest::prelude::*;
+use cl_util::XorShift;
 
 #[test]
 fn hundred_thousand_tiny_tasks_complete() {
@@ -85,9 +85,7 @@ fn panic_storm_does_not_wedge_the_pool() {
     }
     // The counter updates after the task body returns; give it a beat.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    while pool.metrics().snapshot().panics < before + 5
-        && std::time::Instant::now() < deadline
-    {
+    while pool.metrics().snapshot().panics < before + 5 && std::time::Instant::now() < deadline {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     assert!(pool.metrics().snapshot().panics >= before + 5);
@@ -110,15 +108,16 @@ fn pinned_pools_of_every_policy_run_work() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+// Property tests: seeded random sweeps over the parameter space (the
+// workspace builds offline, so these are hand-rolled rather than proptest).
 
-    #[test]
-    fn chunk_sources_partition_any_range(
-        len in 0usize..50_000,
-        chunk in 1usize..4096,
-        threads in 1usize..6,
-    ) {
+#[test]
+fn chunk_sources_partition_any_range() {
+    let mut rng = XorShift::seed_from_u64(0xC1);
+    for case in 0..32 {
+        let len = rng.range_usize(0, 50_000);
+        let chunk = rng.range_usize(1, 4096);
+        let threads = rng.range_usize(1, 6);
         let src = Arc::new(ChunkSource::new(len, chunk));
         let covered = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
@@ -134,37 +133,48 @@ proptest! {
         for h in handles {
             h.join().unwrap();
         }
-        prop_assert_eq!(covered.load(Ordering::Relaxed), len);
+        assert_eq!(
+            covered.load(Ordering::Relaxed),
+            len,
+            "case {case}: len={len} chunk={chunk} threads={threads}"
+        );
     }
+}
 
-    #[test]
-    fn guided_sources_partition_any_range(
-        len in 0usize..50_000,
-        workers in 1usize..8,
-        min_chunk in 1usize..256,
-    ) {
+#[test]
+fn guided_sources_partition_any_range() {
+    let mut rng = XorShift::seed_from_u64(0xC2);
+    for case in 0..32 {
+        let len = rng.range_usize(0, 50_000);
+        let workers = rng.range_usize(1, 8);
+        let min_chunk = rng.range_usize(1, 256);
         let src = GuidedSource::new(len, workers, min_chunk);
         let mut covered = 0usize;
         let mut last_end = 0usize;
         while let Some(r) = src.claim() {
-            prop_assert_eq!(r.start, last_end, "chunks must be contiguous");
+            assert_eq!(r.start, last_end, "case {case}: chunks must be contiguous");
             last_end = r.end;
             covered += r.len();
         }
-        prop_assert_eq!(covered, len);
+        assert_eq!(covered, len, "case {case}: len={len} workers={workers}");
     }
+}
 
-    #[test]
-    fn run_indexed_is_exactly_once_for_any_shape(
-        n in 0usize..5_000,
-        chunks_per_worker in 0usize..9,
-        workers in 1usize..5,
-    ) {
+#[test]
+fn run_indexed_is_exactly_once_for_any_shape() {
+    let mut rng = XorShift::seed_from_u64(0xC3);
+    for case in 0..16 {
+        let n = rng.range_usize(0, 5_000);
+        let chunks_per_worker = rng.range_usize(0, 9);
+        let workers = rng.range_usize(1, 5);
         let pool = ThreadPool::new(PoolConfig::default().workers(workers)).unwrap();
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         pool.run_indexed(n, chunks_per_worker, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "case {case}: n={n} chunks_per_worker={chunks_per_worker} workers={workers}"
+        );
     }
 }

@@ -1,0 +1,17 @@
+//! # cl-util — dependency-free utilities shared across the workspace
+//!
+//! The workspace builds hermetically (no network, no external crates), so
+//! the small pieces that used to come from `rand` and `parking_lot` live
+//! here instead:
+//!
+//! * [`rng`] — a seeded xorshift PRNG for deterministic workload
+//!   generation and randomized (but reproducible) property tests.
+//! * [`sync`] — `Mutex`/`RwLock`/`Condvar` wrappers over `std::sync` with
+//!   the `parking_lot` calling convention (no poison propagation: a
+//!   panicked critical section does not turn every later `lock()` into an
+//!   `Err`).
+
+pub mod rng;
+pub mod sync;
+
+pub use rng::XorShift;

@@ -1,0 +1,167 @@
+//! A small, fast, seedable PRNG (xorshift64* seeded through splitmix64).
+//!
+//! Not cryptographic — it exists so workload generation and property tests
+//! are deterministic per seed without an external `rand` dependency. The
+//! stream for a given seed is stable across platforms and releases; tests
+//! may rely on that.
+
+/// A 64-bit xorshift-multiply generator.
+///
+/// The raw seed is whitened with splitmix64 so that small consecutive
+/// seeds (0, 1, 2, …) produce uncorrelated streams.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Create a generator from a seed. Any seed (including 0) is valid.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 step: guarantees a nonzero state for xorshift.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift {
+            state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u32` below `bound` (must be nonzero). Uses the widening
+    /// multiply trick; the modulo bias is < 2⁻³² and irrelevant here.
+    #[inline]
+    pub fn range_u32(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "range_u32 bound must be nonzero");
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (half-open; `hi > lo`).
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "range_usize needs hi > lo");
+        let span = (hi - lo) as u64;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Deterministic vector of `n` floats in `[lo, hi)`.
+pub fn random_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = XorShift::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_f32(lo, hi)).collect()
+}
+
+/// Deterministic vector of `n` u32 values below `bound`.
+pub fn random_u32(seed: u64, n: usize, bound: u32) -> Vec<u32> {
+    let mut rng = XorShift::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_u32(bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = XorShift::seed_from_u64(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = XorShift::seed_from_u64(0);
+        let v: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn float_ranges_hold() {
+        let mut r = XorShift::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.range_f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y = r.next_f64();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hold_and_cover() {
+        let mut r = XorShift::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.range_u32(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+            let u = r.range_usize(5, 15);
+            assert!((5..15).contains(&u));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached: {seen:?}");
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = XorShift::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

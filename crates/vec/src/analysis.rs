@@ -219,17 +219,13 @@ pub fn analyze_opencl_kernel(body: &Loop, policy: VectorizerPolicy) -> Vectoriza
     let mut reasons = Vec::new();
     let mut uses_gather = false;
     body.for_each_stmt(|s| match s {
-        Stmt::If { .. } => {
-            // The Intel OpenCL compiler predicates divergent kernels.
-            if !policy.if_conversion {
-                // Even the default CL compiler if-converts; keep it on.
-            }
-        }
+        // Divergent control flow: the Intel OpenCL compiler predicates
+        // divergent kernels, and even the default CL compiler if-converts,
+        // so `policy.if_conversion` is irrelevant on this path.
+        Stmt::If { .. } => {}
         Stmt::OpaqueCall { .. } => reasons.push(Reason::OpaqueCall),
-        Stmt::Load { index, .. } | Stmt::Store { index, .. } => {
-            if index.stride.unsigned_abs() > 1 {
-                uses_gather = true;
-            }
+        Stmt::Load { index, .. } | Stmt::Store { index, .. } if index.stride.unsigned_abs() > 1 => {
+            uses_gather = true;
         }
         // A loop-carried scalar inside one workitem does not cross lanes:
         // lanes are different workitems.
@@ -524,9 +520,9 @@ mod tests {
         );
         let r = LoopVectorizer::default().analyze(&l);
         assert!(!r.vectorized);
-        assert!(r
-            .reasons
-            .iter()
-            .any(|x| matches!(x, Reason::LoopCarriedDependence(_) | Reason::NonContiguous(_))));
+        assert!(r.reasons.iter().any(|x| matches!(
+            x,
+            Reason::LoopCarriedDependence(_) | Reason::NonContiguous(_)
+        )));
     }
 }

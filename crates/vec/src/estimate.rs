@@ -155,7 +155,10 @@ mod tests {
     fn gathers_halve_the_lane_benefit() {
         let clean = estimate(&vec_report(4, false), LoopShape::new(4096));
         let gather = estimate(&vec_report(4, true), LoopShape::new(4096));
-        assert!((gather.speedup - clean.speedup / 2.0).abs() < 0.01, "{gather:?}");
+        assert!(
+            (gather.speedup - clean.speedup / 2.0).abs() < 0.01,
+            "{gather:?}"
+        );
     }
 
     #[test]

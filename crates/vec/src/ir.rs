@@ -21,7 +21,10 @@ pub struct IndexExpr {
 impl IndexExpr {
     /// The identity index `i`.
     pub fn linear() -> Self {
-        IndexExpr { stride: 1, offset: 0 }
+        IndexExpr {
+            stride: 1,
+            offset: 0,
+        }
     }
 
     /// `i + offset`.

@@ -60,82 +60,52 @@ impl<const W: usize> VecF32<W> {
     /// target has it; otherwise mul+add — lane semantics are what matter).
     #[inline]
     pub fn mul_add(self, a: Self, b: Self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k] * a.0[k] + b.0[k];
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k] * a.0[k] + b.0[k]))
     }
 
     /// Lane-wise square root.
     #[inline]
     pub fn sqrt(self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k].sqrt();
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k].sqrt()))
     }
 
     /// Lane-wise reciprocal square root.
     #[inline]
     pub fn rsqrt(self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = 1.0 / self.0[k].sqrt();
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| 1.0 / self.0[k].sqrt()))
     }
 
     /// Lane-wise natural exponential.
     #[inline]
     pub fn exp(self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k].exp();
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k].exp()))
     }
 
     /// Lane-wise natural logarithm.
     #[inline]
     pub fn ln(self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k].ln();
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k].ln()))
     }
 
     /// Lane-wise minimum.
     #[inline]
     pub fn min(self, o: Self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k].min(o.0[k]);
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k].min(o.0[k])))
     }
 
     /// Lane-wise maximum.
     #[inline]
     pub fn max(self, o: Self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = self.0[k].max(o.0[k]);
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| self.0[k].max(o.0[k])))
     }
 
     /// Lane-wise select: lane `k` is `a[k]` where `mask[k]`, else `b[k]`
     /// (branchless divergence handling, as a predicating vectorizer emits).
     #[inline]
     pub fn select(mask: [bool; W], a: Self, b: Self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = if mask[k] { a.0[k] } else { b.0[k] };
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(
+            |k| if mask[k] { a.0[k] } else { b.0[k] },
+        ))
     }
 
     /// Horizontal sum of all lanes.
@@ -156,11 +126,7 @@ macro_rules! lane_op {
             type Output = Self;
             #[inline]
             fn $method(self, rhs: Self) -> Self {
-                let mut out = [0.0f32; W];
-                for k in 0..W {
-                    out[k] = self.0[k] $op rhs.0[k];
-                }
-                VecF32(out)
+                VecF32(std::array::from_fn(|k| self.0[k] $op rhs.0[k]))
             }
         }
     };
@@ -175,11 +141,7 @@ impl<const W: usize> Neg for VecF32<W> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        let mut out = [0.0f32; W];
-        for k in 0..W {
-            out[k] = -self.0[k];
-        }
-        VecF32(out)
+        VecF32(std::array::from_fn(|k| -self.0[k]))
     }
 }
 

@@ -28,4 +28,4 @@ pub use analysis::{
 };
 pub use estimate::{estimate, LoopShape, SpeedupEstimate};
 pub use ir::{ArrayId, IndexExpr, Loop, MathFn, Op, Operand, Stmt, Temp, TripCount};
-pub use lanes::{simd_apply, simd_apply2, VecF32, F32x4, F32x8};
+pub use lanes::{simd_apply, simd_apply2, F32x4, F32x8, VecF32};

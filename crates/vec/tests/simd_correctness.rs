@@ -1,134 +1,199 @@
 //! Property tests: every SIMD lane operation agrees with its scalar
-//! counterpart on arbitrary inputs, for both supported widths.
+//! counterpart on seeded-random inputs, for both supported widths.
+//!
+//! The workspace builds offline, so these sweeps are hand-rolled seeded
+//! loops rather than proptest strategies.
 
 use cl_vec::{simd_apply, simd_apply2, VecF32};
-use proptest::prelude::*;
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    // Bounded to avoid inf/NaN arithmetic edge cases; lane ops are IEEE
-    // pass-throughs either way.
-    -1e6f32..1e6f32
+/// Deterministic xorshift64* stream, kept local so cl-vec stays
+/// dependency-free (it is the root of the workspace dependency graph).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Bounded to avoid inf/NaN arithmetic edge cases; lane ops are IEEE
+    /// pass-throughs either way.
+    fn finite(&mut self) -> f32 {
+        self.f32(-1e6, 1e6)
+    }
+
+    fn pos(&mut self) -> f32 {
+        self.f32(1e-3, 1e4)
+    }
+
+    fn array<const N: usize>(&mut self) -> [f32; N] {
+        std::array::from_fn(|_| self.finite())
+    }
 }
 
-fn pos_f32() -> impl Strategy<Value = f32> {
-    1e-3f32..1e4f32
-}
+const CASES: usize = 128;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn binary_ops_match_scalar_4(a in prop::array::uniform4(finite_f32()), b in prop::array::uniform4(finite_f32())) {
+#[test]
+fn binary_ops_match_scalar_4() {
+    let mut rng = Rng::new(0x51);
+    for _ in 0..CASES {
+        let a: [f32; 4] = rng.array();
+        let b: [f32; 4] = rng.array();
         let va = VecF32(a);
         let vb = VecF32(b);
         for k in 0..4 {
-            prop_assert_eq!((va + vb)[k], a[k] + b[k]);
-            prop_assert_eq!((va - vb)[k], a[k] - b[k]);
-            prop_assert_eq!((va * vb)[k], a[k] * b[k]);
-            prop_assert_eq!(va.min(vb)[k], a[k].min(b[k]));
-            prop_assert_eq!(va.max(vb)[k], a[k].max(b[k]));
-            prop_assert_eq!((-va)[k], -a[k]);
+            assert_eq!((va + vb)[k], a[k] + b[k]);
+            assert_eq!((va - vb)[k], a[k] - b[k]);
+            assert_eq!((va * vb)[k], a[k] * b[k]);
+            assert_eq!(va.min(vb)[k], a[k].min(b[k]));
+            assert_eq!(va.max(vb)[k], a[k].max(b[k]));
+            assert_eq!((-va)[k], -a[k]);
         }
     }
+}
 
-    #[test]
-    fn binary_ops_match_scalar_8(a in prop::array::uniform8(finite_f32()), b in prop::array::uniform8(finite_f32())) {
+#[test]
+fn binary_ops_match_scalar_8() {
+    let mut rng = Rng::new(0x52);
+    for _ in 0..CASES {
+        let a: [f32; 8] = rng.array();
+        let b: [f32; 8] = rng.array();
         let va = VecF32(a);
         let vb = VecF32(b);
         for k in 0..8 {
-            prop_assert_eq!((va * vb + va)[k], a[k] * b[k] + a[k]);
+            assert_eq!((va * vb + va)[k], a[k] * b[k] + a[k]);
         }
     }
+}
 
-    #[test]
-    fn mul_add_matches_scalar(
-        a in prop::array::uniform4(finite_f32()),
-        b in prop::array::uniform4(finite_f32()),
-        c in prop::array::uniform4(finite_f32()),
-    ) {
+#[test]
+fn mul_add_matches_scalar() {
+    let mut rng = Rng::new(0x53);
+    for _ in 0..CASES {
+        let a: [f32; 4] = rng.array();
+        let b: [f32; 4] = rng.array();
+        let c: [f32; 4] = rng.array();
         let r = VecF32(a).mul_add(VecF32(b), VecF32(c));
         for k in 0..4 {
-            prop_assert_eq!(r[k], a[k] * b[k] + c[k]);
+            assert_eq!(r[k], a[k] * b[k] + c[k]);
         }
     }
+}
 
-    #[test]
-    fn math_fns_match_scalar(a in prop::array::uniform4(pos_f32())) {
+#[test]
+fn math_fns_match_scalar() {
+    let mut rng = Rng::new(0x54);
+    for _ in 0..CASES {
+        let a: [f32; 4] = std::array::from_fn(|_| rng.pos());
         let v = VecF32(a);
-        for k in 0..4 {
-            prop_assert_eq!(v.sqrt()[k], a[k].sqrt());
-            prop_assert_eq!(v.ln()[k], a[k].ln());
-            prop_assert_eq!(v.rsqrt()[k], 1.0 / a[k].sqrt());
+        for (k, &x) in a.iter().enumerate() {
+            assert_eq!(v.sqrt()[k], x.sqrt());
+            assert_eq!(v.ln()[k], x.ln());
+            assert_eq!(v.rsqrt()[k], 1.0 / x.sqrt());
         }
     }
+}
 
-    #[test]
-    fn hsum_matches_iterative_sum(a in prop::array::uniform4(finite_f32())) {
+#[test]
+fn hsum_matches_iterative_sum() {
+    let mut rng = Rng::new(0x55);
+    for _ in 0..CASES {
+        let a: [f32; 4] = rng.array();
         let expected: f32 = a.iter().sum();
-        prop_assert_eq!(VecF32(a).hsum(), expected);
+        assert_eq!(VecF32(a).hsum(), expected);
     }
+}
 
-    #[test]
-    fn select_is_lanewise(
-        mask in prop::array::uniform4(any::<bool>()),
-        a in prop::array::uniform4(finite_f32()),
-        b in prop::array::uniform4(finite_f32()),
-    ) {
+#[test]
+fn select_is_lanewise() {
+    let mut rng = Rng::new(0x56);
+    for _ in 0..CASES {
+        let mask: [bool; 4] = std::array::from_fn(|_| rng.bool());
+        let a: [f32; 4] = rng.array();
+        let b: [f32; 4] = rng.array();
         let r = VecF32::select(mask, VecF32(a), VecF32(b));
         for k in 0..4 {
-            prop_assert_eq!(r[k], if mask[k] { a[k] } else { b[k] });
+            assert_eq!(r[k], if mask[k] { a[k] } else { b[k] });
         }
     }
+}
 
-    #[test]
-    fn simd_apply_equals_scalar_loop(data in prop::collection::vec(finite_f32(), 0..200)) {
+#[test]
+fn simd_apply_equals_scalar_loop() {
+    let mut rng = Rng::new(0x57);
+    for _ in 0..CASES {
+        let n = rng.usize(200);
+        let data: Vec<f32> = (0..n).map(|_| rng.finite()).collect();
         let mut simd_out = vec![0.0f32; data.len()];
         simd_apply::<4>(&data, &mut simd_out, |v| v * v + v, |x| x * x + x);
         let scalar_out: Vec<f32> = data.iter().map(|&x| x * x + x).collect();
-        prop_assert_eq!(simd_out, scalar_out);
+        assert_eq!(simd_out, scalar_out);
     }
+}
 
-    #[test]
-    fn simd_apply2_equals_scalar_loop(
-        n in 0usize..200,
-        seed_a in finite_f32(),
-        seed_b in finite_f32(),
-    ) {
+#[test]
+fn simd_apply2_equals_scalar_loop() {
+    let mut rng = Rng::new(0x58);
+    for _ in 0..CASES {
+        let n = rng.usize(200);
+        let seed_a = rng.finite();
+        let seed_b = rng.finite();
         let a: Vec<f32> = (0..n).map(|i| seed_a + i as f32).collect();
         let b: Vec<f32> = (0..n).map(|i| seed_b - i as f32).collect();
         let mut out = vec![0.0f32; n];
         simd_apply2::<8>(&a, &b, &mut out, |x, y| x - y, |x, y| x - y);
         for i in 0..n {
-            prop_assert_eq!(out[i], a[i] - b[i]);
+            assert_eq!(out[i], a[i] - b[i]);
         }
     }
+}
 
-    #[test]
-    fn gather_matches_indexing(
-        src in prop::collection::vec(finite_f32(), 1..64),
-        raw_idx in prop::array::uniform4(any::<usize>()),
-    ) {
-        let idx = [
-            raw_idx[0] % src.len(),
-            raw_idx[1] % src.len(),
-            raw_idx[2] % src.len(),
-            raw_idx[3] % src.len(),
-        ];
+#[test]
+fn gather_matches_indexing() {
+    let mut rng = Rng::new(0x59);
+    for _ in 0..CASES {
+        let len = 1 + rng.usize(63);
+        let src: Vec<f32> = (0..len).map(|_| rng.finite()).collect();
+        let idx: [usize; 4] = std::array::from_fn(|_| rng.usize(len));
         let v = VecF32::<4>::gather(&src, &idx);
         for k in 0..4 {
-            prop_assert_eq!(v[k], src[idx[k]]);
+            assert_eq!(v[k], src[idx[k]]);
         }
     }
+}
 
-    #[test]
-    fn load_store_roundtrip_any_offset(
-        data in prop::collection::vec(finite_f32(), 8..64),
-        off_seed in any::<usize>(),
-    ) {
-        let off = off_seed % (data.len() - 7);
+#[test]
+fn load_store_roundtrip_any_offset() {
+    let mut rng = Rng::new(0x5A);
+    for _ in 0..CASES {
+        let len = 8 + rng.usize(56);
+        let data: Vec<f32> = (0..len).map(|_| rng.finite()).collect();
+        let off = rng.usize(data.len() - 7);
         let v = VecF32::<8>::load(&data, off);
         let mut out = vec![0.0f32; data.len()];
         v.store(&mut out, off);
-        prop_assert_eq!(&out[off..off + 8], &data[off..off + 8]);
+        assert_eq!(&out[off..off + 8], &data[off..off + 8]);
     }
 }

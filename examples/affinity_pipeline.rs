@@ -80,11 +80,7 @@ fn main() {
     let c = ctx.buffer::<f32>(MemFlags::default(), n).unwrap();
     let d = ctx.buffer::<f32>(MemFlags::default(), n).unwrap();
 
-    let produce: Arc<dyn Kernel> = Arc::new(VecAdd {
-        a,
-        b,
-        c: c.clone(),
-    });
+    let produce: Arc<dyn Kernel> = Arc::new(VecAdd { a, b, c: c.clone() });
     let consume: Arc<dyn Kernel> = Arc::new(VecMul {
         c: c.clone(),
         d: d.clone(),

@@ -32,17 +32,23 @@ fn main() {
         let q = ctx.queue();
         let built = cl_kernels::apps::vectoradd::build(&ctx, N, 1, None, 42);
         let ev = q.enqueue_kernel(&built.kernel, built.range).unwrap();
-        built.verify(&q).expect("results match the serial reference");
+        built
+            .verify(&q)
+            .expect("results match the serial reference");
         println!(
             "  {:<38} {:>12.3?} ({} groups{})",
             name,
             ev.duration(),
             ev.groups,
-            if ev.modeled { ", modeled" } else { ", measured" }
+            if ev.modeled {
+                ", modeled"
+            } else {
+                ", measured"
+            }
         );
     }
 
-    println!("\n== transfer APIs: copy vs map ({} MiB) ==", N * 4 >> 20);
+    println!("\n== transfer APIs: copy vs map ({} MiB) ==", (N * 4) >> 20);
     let device = Platform::devices().remove(0);
     let ctx = Context::new(device);
     let q = ctx.queue();
@@ -70,7 +76,9 @@ fn main() {
         "  clEnqueueMapBuffer:   {map_time:>10.3?}  bytes moved through staging: {}",
         after_map.delta_since(&before).bytes_copied
     );
-    println!("  (the paper's Section III-D finding: mapping returns a pointer, copying pays twice)");
+    println!(
+        "  (the paper's Section III-D finding: mapping returns a pointer, copying pays twice)"
+    );
 
     println!("\n== GTX 580 occupancy table (the Figure 3/4 GPU mechanism) ==");
     let rows = perf_model::occupancy_table(&perf_model::GpuSpec::gtx580(), 0.0);

@@ -10,9 +10,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use cl_util::XorShift;
 use ocl_rt::{Buffer, Context, Device, GroupCtx, Kernel, MemFlags, NDRange};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 struct BoxBlur {
     src: Buffer<f32>,
@@ -76,10 +75,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let w: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1024);
     let h: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
-    assert!(w % 16 == 0 && h % 16 == 0, "dimensions must be multiples of 16");
+    assert!(
+        w.is_multiple_of(16) && h.is_multiple_of(16),
+        "dimensions must be multiples of 16"
+    );
 
-    let mut rng = StdRng::seed_from_u64(7);
-    let host: Vec<f32> = (0..w * h).map(|_| rng.random_range(0.0..255.0)).collect();
+    let mut rng = XorShift::seed_from_u64(7);
+    let host: Vec<f32> = (0..w * h).map(|_| rng.range_f32(0.0, 255.0)).collect();
     let want = reference(&host, w, h);
 
     let device = Device::native_cpu(cl_pool::available_cores()).unwrap();

@@ -13,10 +13,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use cl_util::XorShift;
 use cl_vec::VecF32;
 use ocl_rt::{Buffer, Context, Device, GroupCtx, Kernel, MemFlags, NDRange};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const SOFTENING: f32 = 1e-3;
 const DT: f32 = 0.01;
@@ -166,10 +165,10 @@ fn main() {
     let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(2048);
     let steps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
 
-    let mut rng = StdRng::seed_from_u64(2013);
-    let host_px: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let host_py: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
-    let host_mass: Vec<f32> = (0..n).map(|_| rng.random_range(0.1..1.0)).collect();
+    let mut rng = XorShift::seed_from_u64(2013);
+    let host_px: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let host_py: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let host_mass: Vec<f32> = (0..n).map(|_| rng.range_f32(0.1, 1.0)).collect();
 
     let mut device = Device::native_cpu(cl_pool::available_cores()).unwrap();
 

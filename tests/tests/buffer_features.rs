@@ -28,7 +28,10 @@ fn sub_buffer_windows_the_parent() {
     let ctx = native_ctx();
     let q = ctx.queue();
     let parent = ctx
-        .buffer_from(MemFlags::default(), &(0..100).map(|i| i as f32).collect::<Vec<_>>())
+        .buffer_from(
+            MemFlags::default(),
+            &(0..100).map(|i| i as f32).collect::<Vec<_>>(),
+        )
         .unwrap();
     let sub = parent.sub_buffer(10, 20).unwrap();
     assert_eq!(sub.len(), 20);
@@ -80,7 +83,10 @@ fn copy_buffer_moves_device_side() {
     let ctx = native_ctx();
     let q = ctx.queue();
     let src = ctx
-        .buffer_from(MemFlags::default(), &(0..50).map(|i| i as f32).collect::<Vec<_>>())
+        .buffer_from(
+            MemFlags::default(),
+            &(0..50).map(|i| i as f32).collect::<Vec<_>>(),
+        )
         .unwrap();
     let dst = ctx.buffer::<f32>(MemFlags::default(), 50).unwrap();
     let ev = q.copy_buffer(&src, 5, &dst, 10, 20).unwrap();
@@ -98,7 +104,10 @@ fn copy_between_sub_buffers() {
     let ctx = native_ctx();
     let q = ctx.queue();
     let a = ctx
-        .buffer_from(MemFlags::default(), &(0..32).map(|i| i as f32).collect::<Vec<_>>())
+        .buffer_from(
+            MemFlags::default(),
+            &(0..32).map(|i| i as f32).collect::<Vec<_>>(),
+        )
         .unwrap();
     let b = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
     let sa = a.sub_buffer(8, 8).unwrap();
@@ -106,7 +115,10 @@ fn copy_between_sub_buffers() {
     q.copy_buffer(&sa, 0, &sb, 0, 8).unwrap();
     let mut got = vec![0.0f32; 32];
     q.read_buffer(&b, 0, &mut got).unwrap();
-    assert_eq!(&got[16..24], &[8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+    assert_eq!(
+        &got[16..24],
+        &[8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+    );
 }
 
 #[test]

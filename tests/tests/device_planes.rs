@@ -11,7 +11,10 @@ fn copy_and_fill_work_on_every_device_kind() {
     for (name, ctx) in all_ctxs() {
         let q = ctx.queue();
         let a = ctx
-            .buffer_from(MemFlags::default(), &(0..64).map(|i| i as f32).collect::<Vec<_>>())
+            .buffer_from(
+                MemFlags::default(),
+                &(0..64).map(|i| i as f32).collect::<Vec<_>>(),
+            )
             .unwrap();
         let b = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
         q.fill_buffer(&b, -1.0f32).unwrap();

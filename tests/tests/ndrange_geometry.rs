@@ -4,9 +4,9 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use cl_util::XorShift;
 use integration_tests::native_ctx;
 use ocl_rt::{Buffer, GroupCtx, Kernel, MemFlags, NDRange};
-use proptest::prelude::*;
 
 /// Writes `gx + 1000·gy + 1000000·gz` at the flattened global id.
 struct StampIds {
@@ -20,8 +20,9 @@ impl Kernel for StampIds {
     fn run_group(&self, g: &mut GroupCtx) {
         let out = self.out.view_mut();
         g.for_each(|wi| {
-            let code =
-                wi.global_id(0) as u64 + 1000 * wi.global_id(1) as u64 + 1_000_000 * wi.global_id(2) as u64;
+            let code = wi.global_id(0) as u64
+                + 1000 * wi.global_id(1) as u64
+                + 1_000_000 * wi.global_id(2) as u64;
             out.set(wi.global_linear(), code);
         });
     }
@@ -80,48 +81,53 @@ fn two_dimensional_local_ids_partition_groups() {
         .unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+// Property sweeps: seeded random parameter spaces (hand-rolled loops; the
+// workspace builds offline, so proptest is unavailable).
 
-    #[test]
-    fn null_resolution_always_divides_and_respects_caps(
-        n in 1usize..5_000_000,
-        default_wg in 1usize..2048,
-        target_groups in 1usize..512,
-    ) {
-        let r = NDRange::d1(n).resolve_with(default_wg, target_groups).unwrap();
-        prop_assert_eq!(n % r.local[0], 0, "local must divide global");
-        prop_assert!(r.local[0] <= default_wg.max(1));
-        prop_assert_eq!(r.n_groups() * r.wg_size(), n);
+#[test]
+fn null_resolution_always_divides_and_respects_caps() {
+    let mut rng = XorShift::seed_from_u64(0xD1);
+    for case in 0..32 {
+        let n = rng.range_usize(1, 5_000_000);
+        let default_wg = rng.range_usize(1, 2048);
+        let target_groups = rng.range_usize(1, 512);
+        let r = NDRange::d1(n)
+            .resolve_with(default_wg, target_groups)
+            .unwrap();
+        assert_eq!(n % r.local[0], 0, "case {case}: local must divide global");
+        assert!(r.local[0] <= default_wg.max(1), "case {case}");
+        assert_eq!(r.n_groups() * r.wg_size(), n, "case {case}");
     }
+}
 
-    #[test]
-    fn null_resolution_meets_the_group_target_when_possible(
-        n_exp in 6u32..22,
-        target in 1usize..64,
-    ) {
+#[test]
+fn null_resolution_meets_the_group_target_when_possible() {
+    let mut rng = XorShift::seed_from_u64(0xD2);
+    for _ in 0..32 {
         // Power-of-two sizes always admit divisors near the target; the
         // ceil in the cap can undershoot by at most 2x.
+        let n_exp = rng.range_usize(6, 22) as u32;
+        let target = rng.range_usize(1, 64);
         let n = 1usize << n_exp;
         let r = NDRange::d1(n).resolve_with(512, target).unwrap();
-        prop_assert!(
+        assert!(
             2 * r.n_groups() >= target.min(n),
             "{n} items, target {target}: got {} groups of {}",
             r.n_groups(),
             r.local[0]
         );
     }
+}
 
-    #[test]
-    fn every_item_runs_once_in_2d(
-        gx in 1usize..40,
-        gy in 1usize..40,
-        lx in 1usize..8,
-        ly in 1usize..8,
-    ) {
+#[test]
+fn every_item_runs_once_in_2d() {
+    let mut rng = XorShift::seed_from_u64(0xD3);
+    for _ in 0..16 {
+        let lx = rng.range_usize(1, 8);
+        let ly = rng.range_usize(1, 8);
         // Round globals up to multiples of the local size.
-        let gx = gx.div_ceil(lx) * lx;
-        let gy = gy.div_ceil(ly) * ly;
+        let gx = rng.range_usize(1, 40).div_ceil(lx) * lx;
+        let gy = rng.range_usize(1, 40).div_ceil(ly) * ly;
         let ctx = native_ctx();
         let q = ctx.queue();
 
@@ -140,14 +146,16 @@ proptest! {
                 });
             }
         }
-        let hits = std::sync::Arc::new(
-            (0..gx * gy).map(|_| AtomicU32::new(0)).collect::<Vec<_>>(),
-        );
+        let hits = std::sync::Arc::new((0..gx * gy).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
         let k: Arc<dyn Kernel> = Arc::new(Count {
             hits: std::sync::Arc::clone(&hits),
             w: gx,
         });
-        q.enqueue_kernel(&k, NDRange::d2(gx, gy).local2(lx, ly)).unwrap();
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        q.enqueue_kernel(&k, NDRange::d2(gx, gy).local2(lx, ly))
+            .unwrap();
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "{gx}x{gy} local {lx}x{ly}"
+        );
     }
 }

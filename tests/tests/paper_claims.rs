@@ -23,8 +23,16 @@ fn finding1_large_workgroups_help_cpus() {
         );
     }
     // Heavier per-item kernels still improve, just less dramatically.
-    let small = fig3.series("case_1(CPU)").unwrap().get("matrixmulnaive_1").unwrap();
-    let large = fig3.series("case_4(CPU)").unwrap().get("matrixmulnaive_1").unwrap();
+    let small = fig3
+        .series("case_1(CPU)")
+        .unwrap()
+        .get("matrixmulnaive_1")
+        .unwrap();
+    let large = fig3
+        .series("case_4(CPU)")
+        .unwrap()
+        .get("matrixmulnaive_1")
+        .unwrap();
     assert!(large > small, "naive MM: {large} vs {small}");
 }
 

@@ -60,11 +60,7 @@ fn dependent_kernels_chain_through_a_shared_buffer() {
     let d = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, N).unwrap();
 
     // Kernel 1 produces C; kernel 2 consumes it (the Figure 9 dependence).
-    let k1: Arc<dyn Kernel> = Arc::new(Add {
-        a,
-        b,
-        c: c.clone(),
-    });
+    let k1: Arc<dyn Kernel> = Arc::new(Add { a, b, c: c.clone() });
     let k2: Arc<dyn Kernel> = Arc::new(MulInPlace {
         c: c.clone(),
         d: d.clone(),
@@ -124,24 +120,23 @@ fn repeated_launches_reuse_buffers_without_leaks() {
     }
     // Buffers freed with the context.
     let (dev_after, _) = cl_mem::live_bytes();
-    assert!(dev_after <= dev_before + 64, "leak: {dev_before} -> {dev_after}");
+    assert!(
+        dev_after <= dev_before + 64,
+        "leak: {dev_before} -> {dev_after}"
+    );
 }
 
 #[test]
 fn pinned_device_runs_the_same_pipeline() {
     const N: usize = 2048;
-    let device =
-        ocl_rt::Device::native_cpu_pinned(2, cl_pool::PinPolicy::Compact).unwrap();
+    let device = ocl_rt::Device::native_cpu_pinned(2, cl_pool::PinPolicy::Compact).unwrap();
     let ctx = ocl_rt::Context::new(device);
     let q = ctx.queue();
     let c = ctx
         .buffer_from(MemFlags::default(), &vec![3.0f32; N])
         .unwrap();
     let d = ctx.buffer::<f32>(MemFlags::default(), N).unwrap();
-    let k: Arc<dyn Kernel> = Arc::new(MulInPlace {
-        c,
-        d: d.clone(),
-    });
+    let k: Arc<dyn Kernel> = Arc::new(MulInPlace { c, d: d.clone() });
     q.enqueue_kernel(&k, NDRange::d1(N).local1(256)).unwrap();
     let mut out = vec![0.0f32; N];
     q.read_buffer(&d, 0, &mut out).unwrap();

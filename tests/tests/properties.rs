@@ -1,167 +1,216 @@
 //! Property-based tests over the whole stack: kernels vs serial references
 //! for arbitrary sizes/geometries, scheduler exactly-once guarantees,
 //! model invariants, and vectorizer-legality properties.
-
-use proptest::prelude::*;
+//!
+//! Seeded random sweeps (hand-rolled loops; the workspace builds offline,
+//! so proptest is unavailable).
 
 use cl_kernels::apps::{reduction, square, vectoradd};
+use cl_util::XorShift;
 use cl_vec::{IndexExpr, Loop, LoopVectorizer, Stmt, Temp, TripCount, VectorizerPolicy};
 use integration_tests::native_ctx;
 use perf_model::{CpuModel, CpuSpec, GpuModel, GpuSpec, KernelProfile, Launch};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn square_matches_reference_for_arbitrary_geometry(
-        n in 1usize..4096,
-        wg in 1usize..64,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn square_matches_reference_for_arbitrary_geometry() {
+    let mut rng = XorShift::seed_from_u64(0xE1);
+    for case in 0..CASES {
+        let wg = rng.range_usize(1, 64);
+        let seed = rng.next_u64();
         let ctx = native_ctx();
         let q = ctx.queue();
         // Explicit wg must divide n; round n up to the next multiple.
-        let n = n.div_ceil(wg) * wg;
+        let n = rng.range_usize(1, 4096).div_ceil(wg) * wg;
         let built = square::build(&ctx, n, 1, Some(wg), seed);
         q.enqueue_kernel(&built.kernel, built.range).unwrap();
-        built.verify(&q).map_err(|e| TestCaseError::fail(e))?;
+        built
+            .verify(&q)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn coalescing_preserves_vectoradd_results(
-        exp in 4usize..12,
-        k_exp in 0usize..3,
-        seed in any::<u64>(),
-    ) {
-        let n = 1usize << exp;
-        let k = 1usize << k_exp; // 1, 2, 4 — divides any power of two n ≥ 16
+#[test]
+fn coalescing_preserves_vectoradd_results() {
+    let mut rng = XorShift::seed_from_u64(0xE2);
+    for case in 0..CASES {
+        let n = 1usize << rng.range_usize(4, 12);
+        let k = 1usize << rng.range_usize(0, 3); // 1, 2, 4 — divides any power of two n ≥ 16
+        let seed = rng.next_u64();
         let ctx = native_ctx();
         let q = ctx.queue();
         let built = vectoradd::build(&ctx, n, k, None, seed);
         q.enqueue_kernel(&built.kernel, built.range).unwrap();
-        built.verify(&q).map_err(|e| TestCaseError::fail(e))?;
+        built
+            .verify(&q)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn reduction_matches_for_power_of_two_groups(
-        n in 1usize..20_000,
-        wg_exp in 0u32..9,
-        seed in any::<u64>(),
-    ) {
-        let wg = 1usize << wg_exp;
+#[test]
+fn reduction_matches_for_power_of_two_groups() {
+    let mut rng = XorShift::seed_from_u64(0xE3);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 20_000);
+        let wg = 1usize << rng.range_usize(0, 9);
+        let seed = rng.next_u64();
         let ctx = native_ctx();
         let q = ctx.queue();
         let built = reduction::build(&ctx, n, wg, seed);
         q.enqueue_kernel(&built.kernel, built.range).unwrap();
-        built.verify(&q).map_err(|e| TestCaseError::fail(e))?;
+        built
+            .verify(&q)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+    }
+}
+
+#[test]
+fn every_workitem_runs_exactly_once() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc as StdArc;
+
+    struct CountEach {
+        hits: StdArc<Vec<AtomicU32>>,
+    }
+    impl ocl_rt::Kernel for CountEach {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn run_group(&self, g: &mut ocl_rt::GroupCtx) {
+            g.for_each(|wi| {
+                self.hits[wi.global_linear()].fetch_add(1, Ordering::Relaxed);
+            });
+        }
     }
 
-    #[test]
-    fn every_workitem_runs_exactly_once(
-        items_exp in 2usize..12,
-        wg in 1usize..48,
-    ) {
-        use std::sync::atomic::{AtomicU32, Ordering};
-        use std::sync::Arc as StdArc;
-
-        struct CountEach {
-            hits: StdArc<Vec<AtomicU32>>,
-        }
-        impl ocl_rt::Kernel for CountEach {
-            fn name(&self) -> &str { "count" }
-            fn run_group(&self, g: &mut ocl_rt::GroupCtx) {
-                g.for_each(|wi| {
-                    self.hits[wi.global_linear()].fetch_add(1, Ordering::Relaxed);
-                });
-            }
-        }
-
+    let mut rng = XorShift::seed_from_u64(0xE4);
+    for case in 0..CASES {
+        let items_exp = rng.range_usize(2, 12);
+        let wg = rng.range_usize(1, 48);
         let n = (1usize << items_exp).div_ceil(wg) * wg;
         let ctx = native_ctx();
         let q = ctx.queue();
-        let hits: StdArc<Vec<AtomicU32>> =
-            StdArc::new((0..n).map(|_| AtomicU32::new(0)).collect());
+        let hits: StdArc<Vec<AtomicU32>> = StdArc::new((0..n).map(|_| AtomicU32::new(0)).collect());
         let k: std::sync::Arc<dyn ocl_rt::Kernel> = std::sync::Arc::new(CountEach {
             hits: StdArc::clone(&hits),
         });
-        q.enqueue_kernel(&k, ocl_rt::NDRange::d1(n).local1(wg)).unwrap();
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        q.enqueue_kernel(&k, ocl_rt::NDRange::d1(n).local1(wg))
+            .unwrap();
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "case {case}: n={n} wg={wg}"
+        );
     }
+}
 
-    #[test]
-    fn cpu_model_time_is_monotonic_in_work(
-        flops in 1.0f64..1e4,
-        mem in 0.0f64..1e4,
-        n_exp in 4u32..22,
-        wg_exp in 0u32..10,
-    ) {
+#[test]
+fn cpu_model_time_is_monotonic_in_work() {
+    let mut rng = XorShift::seed_from_u64(0xE5);
+    for case in 0..CASES {
+        let flops = rng.range_f64(1.0, 1e4);
+        let mem = rng.range_f64(0.0, 1e4);
+        let n = 1usize << rng.range_usize(4, 22);
+        let wg = (1usize << rng.range_usize(0, 10)).min(n);
         let model = CpuModel::new(CpuSpec::xeon_e5645());
-        let n = 1usize << n_exp;
-        let wg = (1usize << wg_exp).min(n);
         let launch = Launch::new(n, wg);
         let p1 = KernelProfile::streaming(flops, mem);
         let p2 = KernelProfile::streaming(flops * 2.0, mem * 2.0);
-        let (t1, t2) = (model.kernel_time(&p1, launch), model.kernel_time(&p2, launch));
-        prop_assert!(t1 > 0.0 && t1.is_finite());
-        prop_assert!(t2 >= t1, "more work cannot be faster: {t1} vs {t2}");
+        let (t1, t2) = (
+            model.kernel_time(&p1, launch),
+            model.kernel_time(&p2, launch),
+        );
+        assert!(t1 > 0.0 && t1.is_finite(), "case {case}");
+        assert!(
+            t2 >= t1,
+            "case {case}: more work cannot be faster: {t1} vs {t2}"
+        );
     }
+}
 
-    #[test]
-    fn gpu_occupancy_never_exceeds_fermi_limits(
-        wg in 1usize..1025,
-        n_exp in 8u32..24,
-        shmem in 0.0f64..65536.0,
-    ) {
+#[test]
+fn gpu_occupancy_never_exceeds_fermi_limits() {
+    let mut rng = XorShift::seed_from_u64(0xE6);
+    for case in 0..CASES {
+        let wg = rng.range_usize(1, 1025);
+        let n = (1usize << rng.range_usize(8, 24)).div_ceil(wg) * wg;
+        let shmem = rng.range_f64(0.0, 65536.0);
         let model = GpuModel::new(GpuSpec::gtx580());
-        let n = (1usize << n_exp).div_ceil(wg) * wg;
         let profile = KernelProfile::streaming(8.0, 16.0).with_local_mem(shmem);
         let occ = model.occupancy(&profile, Launch::new(n, wg));
-        prop_assert!(occ.active_warps >= 1);
-        prop_assert!(occ.blocks_per_sm >= 1);
+        assert!(occ.active_warps >= 1, "case {case}");
+        assert!(occ.blocks_per_sm >= 1, "case {case}");
         // One block is always resident; beyond that the warp cap holds.
         if occ.blocks_per_sm > 1 {
-            prop_assert!(occ.active_warps <= 48, "{occ:?}");
+            assert!(occ.active_warps <= 48, "case {case}: {occ:?}");
         }
-        prop_assert!(occ.lane_efficiency > 0.0 && occ.lane_efficiency <= 1.0);
-        prop_assert!(occ.waves >= 1);
+        assert!(
+            occ.lane_efficiency > 0.0 && occ.lane_efficiency <= 1.0,
+            "case {case}"
+        );
+        assert!(occ.waves >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn vectorized_verdicts_are_internally_consistent(
-        stride in -4i64..5,
-        offset in -8i64..9,
-        trip in prop_oneof![Just(TripCount::Runtime), Just(TripCount::Constant(16)), Just(TripCount::DataDependent)],
-    ) {
+#[test]
+fn vectorized_verdicts_are_internally_consistent() {
+    let mut rng = XorShift::seed_from_u64(0xE7);
+    for case in 0..CASES {
+        let stride = rng.range_usize(0, 9) as i64 - 4; // -4..=4
+        let offset = rng.range_usize(0, 17) as i64 - 8; // -8..=8
+        let trip = match rng.range_usize(0, 3) {
+            0 => TripCount::Runtime,
+            1 => TripCount::Constant(16),
+            _ => TripCount::DataDependent,
+        };
         // A single strided load + linear store: the verdict must be
         // vectorized ⟺ no reasons, and refusal must name a real rule.
-        let l = Loop::new(trip, vec![
-            Stmt::Load { dst: Temp(0), array: cl_vec::ArrayId(0), index: IndexExpr { stride, offset } },
-            Stmt::Store { array: cl_vec::ArrayId(1), index: IndexExpr::linear(), src: cl_vec::Operand::Temp(Temp(0)) },
-        ]);
+        let l = Loop::new(
+            trip,
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: cl_vec::ArrayId(0),
+                    index: IndexExpr { stride, offset },
+                },
+                Stmt::Store {
+                    array: cl_vec::ArrayId(1),
+                    index: IndexExpr::linear(),
+                    src: cl_vec::Operand::Temp(Temp(0)),
+                },
+            ],
+        );
         let r = LoopVectorizer::new(VectorizerPolicy::default()).analyze(&l);
-        prop_assert_eq!(r.vectorized, r.reasons.is_empty());
+        assert_eq!(r.vectorized, r.reasons.is_empty(), "case {case}");
         if stride.unsigned_abs() > 1 {
-            prop_assert!(!r.vectorized);
+            assert!(!r.vectorized, "case {case}");
         }
         if trip == TripCount::DataDependent {
-            prop_assert!(!r.vectorized);
+            assert!(!r.vectorized, "case {case}");
         }
         if r.vectorized {
-            prop_assert_eq!(r.width, 4);
+            assert_eq!(r.width, 4, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn map_roundtrip_preserves_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 1..4096)) {
+#[test]
+fn map_roundtrip_preserves_arbitrary_bytes() {
+    let mut rng = XorShift::seed_from_u64(0xE8);
+    for case in 0..CASES {
+        let len = rng.range_usize(1, 4096);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let ctx = native_ctx();
         let q = ctx.queue();
-        let buf = ctx.buffer::<u8>(ocl_rt::MemFlags::default(), data.len()).unwrap();
+        let buf = ctx
+            .buffer::<u8>(ocl_rt::MemFlags::default(), data.len())
+            .unwrap();
         {
             let (mut m, _) = q.map_buffer_mut(&buf).unwrap();
             m.copy_from_slice(&data);
         }
         let mut out = vec![0u8; data.len()];
         q.read_buffer(&buf, 0, &mut out).unwrap();
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data, "case {case}");
     }
 }

@@ -58,12 +58,9 @@ fn coalesced_variants_stay_disjoint() {
             n: 1024,
             items_per_wi: k,
         });
-        let conflicts = validate_disjoint_writes(
-            &kernel,
-            ocl_rt::NDRange::d1(1024 / k).local1(16),
-            &[&out],
-        )
-        .unwrap();
+        let conflicts =
+            validate_disjoint_writes(&kernel, ocl_rt::NDRange::d1(1024 / k).local1(16), &[&out])
+                .unwrap();
         assert!(conflicts.is_empty(), "{k}x: {conflicts:?}");
     }
 }
