@@ -19,4 +19,7 @@ cargo test -q
 echo "== cl-lint --deny-warnings"
 cargo run --release --quiet --bin cl-lint -- --deny-warnings
 
+echo "== cl-chaos --rounds 25 --seed 7"
+cargo run --release --quiet --bin cl-chaos -- --rounds 25 --seed 7
+
 echo "CI green."

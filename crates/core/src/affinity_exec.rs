@@ -13,15 +13,18 @@
 //! private caches of the core that produced it (the aligned case of
 //! Figure 9); changing the mapping reproduces the misaligned case.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cl_pool::{PinPolicy, PoolConfig, ThreadPool};
-use cl_util::sync::{Condvar, Mutex};
+use cl_pool::{FatalFault, PinPolicy, PoolConfig, ThreadPool};
 
 use crate::error::ClError;
 use crate::event::{CommandKind, Event};
+use crate::fault::{
+    panic_message, FaultKind, FaultRecord, GidTrace, Latch, LatchGuard, LaunchFault,
+};
 use crate::kernel::{GroupCtx, Kernel};
 use crate::ndrange::NDRange;
 
@@ -66,30 +69,93 @@ impl AffinityExecutor {
         range: NDRange,
         placement: impl Fn(usize) -> usize,
     ) -> Result<Event, ClError> {
+        // Self-heal lanes whose single worker was retired by a fatal fault
+        // in an earlier launch (one atomic load per healthy lane).
+        let mut respawned = 0u64;
+        for lane in &self.lanes {
+            respawned += lane.recover() as u64;
+        }
         // Affinity launches default to one group per lane-step worth of
         // items; an explicit local size is honoured as usual.
         let resolved = range.resolve_with(512, self.cores() * 4)?;
         let n_groups = resolved.n_groups();
-        let done = Arc::new(Completion::new(n_groups));
-        let barriers = Arc::new(AtomicU64::new(0));
-        let items = Arc::new(AtomicU64::new(0));
+        let state = Arc::new(BoundLaunch {
+            fault: LaunchFault::new(),
+            latch: Latch::new(n_groups as u64),
+            barriers: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
 
         let t0 = Instant::now();
         for linear in 0..n_groups {
             let lane = placement(linear) % self.lanes.len();
             let kernel = Arc::clone(kernel);
-            let done = Arc::clone(&done);
-            let barriers = Arc::clone(&barriers);
-            let items = Arc::clone(&items);
+            let state = Arc::clone(&state);
             self.lanes[lane].spawn(move || {
-                let mut g = GroupCtx::new(&resolved, resolved.group_coords(linear));
-                kernel.run_group(&mut g);
-                barriers.fetch_add(g.stats.barriers, Ordering::Relaxed);
-                items.fetch_add(g.stats.items_run, Ordering::Relaxed);
-                done.finish_one();
+                let _done = LatchGuard(&state.latch);
+                if state.fault.abort.is_tripped() {
+                    return;
+                }
+                let group = resolved.group_coords(linear);
+                let base = [
+                    group[0] * resolved.local[0],
+                    group[1] * resolved.local[1],
+                    group[2] * resolved.local[2],
+                ];
+                let trace = GidTrace::new(base);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut g = GroupCtx::with_fault(&resolved, group, &trace, &state.fault.abort);
+                    kernel.run_group(&mut g);
+                    g.stats
+                }));
+                match result {
+                    Ok(stats) => {
+                        state.barriers.fetch_add(stats.barriers, Ordering::Relaxed);
+                        state.items.fetch_add(stats.items_run, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        state.panics.fetch_add(1, Ordering::Relaxed);
+                        let fatal = payload.is::<FatalFault>();
+                        let message = panic_message(payload);
+                        state.fault.trip(FaultRecord {
+                            kind: if fatal {
+                                FaultKind::FatalPanic
+                            } else {
+                                FaultKind::Panic
+                            },
+                            kernel: kernel.name().to_string(),
+                            gid: trace.get(),
+                            group: linear,
+                            worker: cl_pool::current_worker(),
+                            message: message.clone(),
+                        });
+                        if fatal {
+                            FatalFault::raise(message);
+                        }
+                    }
+                }
             });
         }
-        done.wait();
+        // Lanes are single-worker pools, so a fatal fault mid-launch leaves
+        // that lane's queued groups unexecuted until the lane is respawned.
+        // Poll the latch and recover lanes once a fault trips — respawned
+        // workers then drain the remaining (aborted) groups as no-ops.
+        while !state.latch.wait_poll(Duration::from_millis(5)) {
+            if state.fault.abort.is_tripped() {
+                for lane in &self.lanes {
+                    lane.recover();
+                }
+            }
+        }
+
+        if let Some(rec) = state.fault.take() {
+            return Err(ClError::KernelPanicked {
+                gid: rec.gid,
+                message: rec.annotated_message(),
+                kernel: rec.kernel,
+            });
+        }
 
         let mut ev = Event::new(
             CommandKind::NdRangeKernel,
@@ -97,8 +163,10 @@ impl AffinityExecutor {
             false,
         );
         ev.groups = n_groups as u64;
-        ev.barriers = barriers.load(Ordering::Relaxed);
-        ev.items = items.load(Ordering::Relaxed);
+        ev.barriers = state.barriers.load(Ordering::Relaxed);
+        ev.items = state.items.load(Ordering::Relaxed);
+        ev.panics = state.panics.load(Ordering::Relaxed);
+        ev.workers_respawned = respawned;
         Ok(ev)
     }
 
@@ -115,34 +183,13 @@ impl AffinityExecutor {
     }
 }
 
-/// Count-down completion latch.
-struct Completion {
-    remaining: Mutex<usize>,
-    cv: Condvar,
-}
-
-impl Completion {
-    fn new(n: usize) -> Self {
-        Completion {
-            remaining: Mutex::new(n),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn finish_one(&self) {
-        let mut r = self.remaining.lock();
-        *r -= 1;
-        if *r == 0 {
-            self.cv.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut r = self.remaining.lock();
-        while *r > 0 {
-            self.cv.wait(&mut r);
-        }
-    }
+/// Shared state of one bound (affinity) launch.
+struct BoundLaunch {
+    fault: LaunchFault,
+    latch: Latch,
+    barriers: AtomicU64,
+    items: AtomicU64,
+    panics: AtomicU64,
 }
 
 #[cfg(test)]

@@ -141,6 +141,11 @@ impl<T: Pod> Buffer<T> {
     /// A read view for kernel code. Panics if the buffer was created
     /// `WRITE_ONLY` (kernel-side access violation, caught loudly instead of
     /// being undefined as in OpenCL).
+    ///
+    /// Kept as an assert rather than a `Result`: views are taken inside
+    /// kernel bodies, where a panic is contained by the launch's
+    /// `catch_unwind` and surfaces to the host as `ClError::KernelPanicked`
+    /// with the faulting global id.
     pub fn view(&self) -> BufView<'_, T> {
         assert!(
             self.inner.flags.kernel_can_read(),
@@ -156,7 +161,7 @@ impl<T: Pod> Buffer<T> {
     }
 
     /// A write view for kernel code. Panics if the buffer was created
-    /// `READ_ONLY`.
+    /// `READ_ONLY`. Contained at launch like [`Buffer::view`].
     pub fn view_mut(&self) -> BufViewMut<'_, T> {
         assert!(
             self.inner.flags.kernel_can_write(),
@@ -197,6 +202,11 @@ pub struct BufView<'b, T: Pod> {
 unsafe impl<T: Pod> Send for BufView<'_, T> {}
 unsafe impl<T: Pod> Sync for BufView<'_, T> {}
 
+// Bounds asserts in the view accessors below stay asserts on purpose: they
+// run on the kernel side of the API, where returning a Result would change
+// every kernel's signature and an out-of-bounds access is a kernel bug, not
+// a host input error. The launch engine contains the panic and reports it
+// as `ClError::KernelPanicked` at the exact global id.
 impl<T: Pod> BufView<'_, T> {
     /// Element count.
     pub fn len(&self) -> usize {

@@ -51,6 +51,12 @@ impl Context {
         CommandQueue::new(self.clone())
     }
 
+    /// Create a command queue with explicit [`QueueConfig`] properties
+    /// (e.g. a launch watchdog deadline), ignoring the environment.
+    pub fn queue_with(&self, cfg: crate::queue::QueueConfig) -> CommandQueue {
+        CommandQueue::with_config(self.clone(), cfg)
+    }
+
     /// `clCreateBuffer`: an uninitialized (zeroed) buffer of `len` elements.
     pub fn buffer<T: Pod>(&self, flags: MemFlags, len: usize) -> Result<Buffer<T>, ClError> {
         Buffer::create(flags, len, self.inner.id)

@@ -145,6 +145,11 @@ impl Device {
     }
 
     /// Disable/enable the implicit vectorizer (ablation knob).
+    ///
+    /// The `expect` is a deliberate invariant, not a recoverable condition:
+    /// flipping the knob after the device has been shared (contexts/queues
+    /// hold clones) would change vectorization under a live launch. Callers
+    /// configure the device before building a context.
     pub fn set_vectorize(&mut self, on: bool) {
         Arc::get_mut(&mut self.inner)
             .map(|i| i.vectorize = on)
@@ -184,6 +189,9 @@ fn shared_exec_pool() -> Arc<ThreadPool> {
     use std::sync::OnceLock;
     static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
     POOL.get_or_init(|| {
+        // Construction-time expect: pool creation fails only if the OS
+        // cannot spawn threads at all, in which case no device can work and
+        // there is nothing for the caller to recover.
         Arc::new(ThreadPool::new(PoolConfig::default()).expect("modeled-device exec pool"))
     })
     .clone()

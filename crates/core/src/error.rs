@@ -31,6 +31,37 @@ pub enum ClError {
         kernel: String,
         findings: Vec<String>,
     },
+    /// A workitem panicked during the launch. The panic was contained (the
+    /// device-lost analog of `CL_OUT_OF_RESOURCES`): peers parked at
+    /// barriers were released, remaining workgroups were drained, and the
+    /// queue stays usable — the next enqueue self-heals any worker the
+    /// fault retired. Buffer contents touched by the launch are undefined,
+    /// as after any failed OpenCL enqueue.
+    KernelPanicked {
+        kernel: String,
+        /// Global id of the workitem that panicked.
+        gid: [usize; 3],
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The launch exceeded `QueueConfig::launch_timeout`
+    /// (`CL_LAUNCH_TIMEOUT_MS`): the watchdog tripped the abort protocol
+    /// and the launch was abandoned. Covers livelocked/stalled kernels the
+    /// panic path cannot catch.
+    LaunchTimedOut {
+        kernel: String,
+        timeout: std::time::Duration,
+    },
+    /// `CL_INVALID_KERNEL_NAME`: `Program::create_kernel` was asked for a
+    /// name the program does not define.
+    InvalidKernelName {
+        name: String,
+        /// The kernel names the program does define, for the error message.
+        available: Vec<String>,
+    },
+    /// `CL_INVALID_BUILD_OPTIONS`: `clBuildProgram` options string did not
+    /// parse.
+    InvalidBuildOptions(String),
 }
 
 impl std::fmt::Display for ClError {
@@ -51,6 +82,24 @@ impl std::fmt::Display for ClError {
                 "kernel `{kernel}` proven to violate the memory contract: {}",
                 findings.join("; ")
             ),
+            ClError::KernelPanicked {
+                kernel,
+                gid,
+                message,
+            } => write!(
+                f,
+                "kernel `{kernel}` panicked at global id {gid:?}: {message}"
+            ),
+            ClError::LaunchTimedOut { kernel, timeout } => write!(
+                f,
+                "kernel `{kernel}` exceeded the launch timeout of {timeout:?} and was aborted"
+            ),
+            ClError::InvalidKernelName { name, available } => write!(
+                f,
+                "no kernel named `{name}` (program defines: {})",
+                available.join(", ")
+            ),
+            ClError::InvalidBuildOptions(s) => write!(f, "invalid build options: {s}"),
         }
     }
 }

@@ -28,6 +28,18 @@ pub struct Event {
     pub items: u64,
     /// Bytes moved (transfer commands).
     pub bytes: u64,
+    /// Workitem panics contained during this launch. A successful launch
+    /// reports 0 — a launch with a fault returns `Err(KernelPanicked)`, and
+    /// the error itself carries the faulting kernel/gid/message — but the
+    /// field keeps fault statistics on the event stream (harness reports)
+    /// rather than a side channel.
+    pub panics: u64,
+    /// Watchdog timeouts observed for this launch (0 or, on the abandoned
+    /// launch's record, 1).
+    pub timeouts: u64,
+    /// Workers the queue's self-healing enqueue respawned before running
+    /// this command — nonzero on the first launch after a fatal fault.
+    pub workers_respawned: u64,
     /// True when `duration` is modeled rather than measured.
     pub modeled: bool,
 }
@@ -41,6 +53,9 @@ impl Event {
             barriers: 0,
             items: 0,
             bytes: 0,
+            panics: 0,
+            timeouts: 0,
+            workers_respawned: 0,
             modeled,
         }
     }

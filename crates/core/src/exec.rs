@@ -1,66 +1,245 @@
-//! The NDRange execution engine.
+//! The NDRange execution engine, with fault containment.
 //!
 //! Native devices: one pool task per workgroup — real scheduling overhead,
 //! the quantity Figures 1/3 measure. Modeled devices: the kernel still
 //! executes (so outputs are correct and testable), but in coarse chunks for
 //! speed, and the event reports the analytic model's time for the *device
 //! being modeled*.
+//!
+//! ## Fault containment (DESIGN.md §9)
+//!
+//! Every workgroup chunk runs inside `catch_unwind`. A panic is captured
+//! into the launch's [`LaunchFault`] (first fault wins) together with the
+//! faulting global id and worker, the per-launch [`AbortSignal`] trips, and
+//! the enqueue call returns [`ClError::KernelPanicked`] instead of
+//! unwinding. Chunks observe the signal at their boundaries and drain as
+//! no-ops; barrier-parked peers are released through
+//! `CentralBarrier::wait_abortable`. A [`FatalFault`] payload additionally
+//! retires the worker (device-lost model) — the queue respawns it on the
+//! next enqueue. An optional watchdog deadline trips the same abort path
+//! for stalls the panic path cannot see and returns
+//! [`ClError::LaunchTimedOut`].
+//!
+//! The launch state is `Arc`-owned (not borrowed from the enqueue frame)
+//! precisely so a timed-out launch can be *abandoned*: the host returns
+//! while a stuck chunk still holds its reference.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use cl_pool::FatalFault;
 
 use crate::device::{Device, DeviceKind};
+use crate::error::ClError;
 use crate::event::{CommandKind, Event};
+use crate::fault::{
+    panic_message, FaultKind, FaultRecord, GidTrace, Latch, LatchGuard, LaunchFault,
+};
 use crate::kernel::{GroupCtx, Kernel};
 use crate::ndrange::ResolvedRange;
+
+/// After a timeout is reported, how long the host waits for in-flight
+/// chunks to notice the abort signal and park the launch state before the
+/// enqueue call returns anyway. Only a stuck chunk (which the watchdog
+/// exists for) outlives this.
+const ABANDON_GRACE: Duration = Duration::from_millis(50);
+
+struct LaunchState {
+    kernel: Arc<dyn Kernel>,
+    range: ResolvedRange,
+    fault: LaunchFault,
+    latch: Latch,
+    barriers: AtomicU64,
+    items: AtomicU64,
+    panics: AtomicU64,
+    simd_ok: bool,
+    width: usize,
+}
+
+impl LaunchState {
+    /// Execute workgroups `chunk` (linear ids), containing any panic.
+    fn run_chunk(&self, chunk: std::ops::Range<usize>) {
+        // Count the chunk down even if a FatalFault re-raise unwinds out.
+        let _done = LatchGuard(&self.latch);
+        for linear in chunk {
+            if self.fault.abort.is_tripped() {
+                // Drain the rest of the launch as no-ops.
+                continue;
+            }
+            let group = self.range.group_coords(linear);
+            let base = [
+                group[0] * self.range.local[0],
+                group[1] * self.range.local[1],
+                group[2] * self.range.local[2],
+            ];
+            let trace = GidTrace::new(base);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut g = GroupCtx::with_fault(&self.range, group, &trace, &self.fault.abort);
+                let used_simd = self.simd_ok && self.kernel.run_group_simd(&mut g, self.width);
+                if !used_simd {
+                    self.kernel.run_group(&mut g);
+                }
+                g.stats
+            }));
+            match result {
+                Ok(stats) => {
+                    self.barriers.fetch_add(stats.barriers, Ordering::Relaxed);
+                    self.items.fetch_add(stats.items_run, Ordering::Relaxed);
+                }
+                Err(payload) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    let fatal = payload.is::<FatalFault>();
+                    let message = panic_message(payload);
+                    self.fault.trip(FaultRecord {
+                        kind: if fatal {
+                            FaultKind::FatalPanic
+                        } else {
+                            FaultKind::Panic
+                        },
+                        kernel: self.kernel.name().to_string(),
+                        gid: trace.get(),
+                        group: linear,
+                        worker: cl_pool::current_worker(),
+                        message: message.clone(),
+                    });
+                    if fatal {
+                        // Re-raise so the pool retires this worker; the latch
+                        // guard has the count-down covered.
+                        FatalFault::raise(message);
+                    }
+                }
+            }
+        }
+    }
+}
 
 pub(crate) fn execute_kernel(
     device: &Device,
     kernel: &Arc<dyn Kernel>,
     range: &ResolvedRange,
-) -> Event {
+    launch_timeout: Option<Duration>,
+) -> Result<Event, ClError> {
     let n_groups = range.n_groups();
-    let barriers = AtomicU64::new(0);
-    let items = AtomicU64::new(0);
-    let simd_ok = device.vectorizes() && range.local[1] == 1 && range.local[2] == 1;
-    let width = device.simd_width();
-
-    let run_group = |linear: usize| {
-        let mut g = GroupCtx::new(range, range.group_coords(linear));
-        let used_simd = simd_ok && kernel.run_group_simd(&mut g, width);
-        if !used_simd {
-            kernel.run_group(&mut g);
-        }
-        barriers.fetch_add(g.stats.barriers, Ordering::Relaxed);
-        items.fetch_add(g.stats.items_run, Ordering::Relaxed);
-    };
-
     let pool = device.pool();
-    let (duration_s, modeled) = match device.kind() {
-        DeviceKind::NativeCpu => {
-            let t0 = Instant::now();
-            pool.scope(|s| {
-                for linear in 0..n_groups {
-                    let run_group = &run_group;
-                    s.spawn(move || run_group(linear));
-                }
-            });
-            (t0.elapsed().as_secs_f64(), false)
+
+    // Native devices: one chunk per workgroup (the paper's per-workgroup
+    // scheduling overhead stays real). Modeled devices: coarse chunks for
+    // speed, as before.
+    let groups_per_chunk = match device.kind() {
+        DeviceKind::NativeCpu => 1,
+        DeviceKind::ModeledCpu(_) | DeviceKind::ModeledGpu(_) => {
+            n_groups.div_ceil(usize::max(1, pool.workers() * 8))
         }
+    };
+    let n_chunks = n_groups.div_ceil(groups_per_chunk);
+
+    let state = Arc::new(LaunchState {
+        kernel: Arc::clone(kernel),
+        range: *range,
+        fault: LaunchFault::new(),
+        latch: Latch::new(n_chunks as u64),
+        barriers: AtomicU64::new(0),
+        items: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        simd_ok: device.vectorizes() && range.local[1] == 1 && range.local[2] == 1,
+        width: device.simd_width(),
+    });
+
+    let t0 = Instant::now();
+    for c in 0..n_chunks {
+        let start = c * groups_per_chunk;
+        let end = usize::min(start + groups_per_chunk, n_groups);
+        let state = Arc::clone(&state);
+        pool.spawn(move || state.run_chunk(start..end));
+    }
+
+    let completed = match launch_timeout {
+        None => {
+            // No deadline: the host helps execute chunks, exactly the
+            // pre-fault-tolerance behaviour (and the measured overhead).
+            pool.help_until(|| state.latch.is_done());
+            true
+        }
+        Some(timeout) => {
+            // With a deadline armed the host must NOT help: it could pick up
+            // the stuck chunk itself and never observe the deadline. A
+            // watchdog thread trips the abort path at the deadline; the
+            // host then grants in-flight chunks a short grace window.
+            let deadline = t0 + timeout;
+            let watchdog_state = Arc::clone(&state);
+            let watchdog = std::thread::Builder::new()
+                .name("cl-watchdog".into())
+                .spawn(move || {
+                    if !watchdog_state.latch.wait_deadline(deadline) {
+                        watchdog_state.fault.trip(FaultRecord {
+                            kind: FaultKind::Timeout,
+                            kernel: watchdog_state.kernel.name().to_string(),
+                            gid: [0, 0, 0],
+                            group: 0,
+                            worker: None,
+                            message: format!("launch exceeded {timeout:?}"),
+                        });
+                    }
+                });
+            match watchdog {
+                Ok(handle) => {
+                    let done = state.latch.wait_deadline(deadline + ABANDON_GRACE);
+                    let _ = handle.join();
+                    done
+                }
+                Err(_) => {
+                    // No thread available for the watchdog: the host plays
+                    // watchdog itself (it just cannot help with chunks).
+                    let done = state.latch.wait_deadline(deadline);
+                    if !done {
+                        state.fault.trip(FaultRecord {
+                            kind: FaultKind::Timeout,
+                            kernel: kernel.name().to_string(),
+                            gid: [0, 0, 0],
+                            group: 0,
+                            worker: None,
+                            message: format!("launch exceeded {timeout:?}"),
+                        });
+                        state.latch.wait_deadline(Instant::now() + ABANDON_GRACE);
+                    }
+                    done
+                }
+            }
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    if let Some(rec) = state.fault.take() {
+        return Err(match rec.kind {
+            FaultKind::Timeout => ClError::LaunchTimedOut {
+                kernel: rec.kernel,
+                timeout: launch_timeout.unwrap_or(elapsed),
+            },
+            FaultKind::Panic | FaultKind::FatalPanic => ClError::KernelPanicked {
+                gid: rec.gid,
+                message: rec.annotated_message(),
+                kernel: rec.kernel,
+            },
+        });
+    }
+    debug_assert!(completed, "no fault recorded but latch not done");
+
+    let (duration_s, modeled) = match device.kind() {
+        DeviceKind::NativeCpu => (elapsed.as_secs_f64(), false),
         DeviceKind::ModeledCpu(model) => {
-            pool.run_indexed(n_groups, 8, run_group);
             (model.kernel_time(&kernel.profile(), range.launch()), true)
         }
         DeviceKind::ModeledGpu(model) => {
-            pool.run_indexed(n_groups, 8, run_group);
             (model.kernel_time(&kernel.profile(), range.launch()), true)
         }
     };
 
     let mut ev = Event::new(CommandKind::NdRangeKernel, duration_s, modeled);
     ev.groups = n_groups as u64;
-    ev.barriers = barriers.into_inner();
-    ev.items = items.into_inner();
-    ev
+    ev.barriers = state.barriers.load(Ordering::Relaxed);
+    ev.items = state.items.load(Ordering::Relaxed);
+    ev.panics = state.panics.load(Ordering::Relaxed);
+    Ok(ev)
 }

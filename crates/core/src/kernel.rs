@@ -10,9 +10,11 @@
 //! `for_each` completes all workitems of the phase before returning, barrier
 //! semantics hold by construction.
 
+use cl_pool::AbortSignal;
 use perf_model::KernelProfile;
 
 use crate::buffer::Pod;
+use crate::fault::GidTrace;
 use crate::ndrange::ResolvedRange;
 
 /// One workitem's identity within a launch (`get_global_id` etc.).
@@ -114,6 +116,13 @@ pub struct GroupCtx<'r> {
     pub(crate) range: &'r ResolvedRange,
     pub(crate) group: [usize; 3],
     pub(crate) stats: GroupStats,
+    /// Scratch cell the workitem loop stamps with the current global id so
+    /// a contained panic can name the faulting item. `None` outside the
+    /// fault-tolerant launch path (e.g. the dynamic validator).
+    pub(crate) trace: Option<&'r GidTrace>,
+    /// The launch's abort signal, when running under the contained
+    /// execution engine.
+    pub(crate) abort: Option<&'r AbortSignal>,
 }
 
 impl<'r> GroupCtx<'r> {
@@ -122,7 +131,42 @@ impl<'r> GroupCtx<'r> {
             range,
             group,
             stats: GroupStats::default(),
+            trace: None,
+            abort: None,
         }
+    }
+
+    pub(crate) fn with_fault(
+        range: &'r ResolvedRange,
+        group: [usize; 3],
+        trace: &'r GidTrace,
+        abort: &'r AbortSignal,
+    ) -> Self {
+        GroupCtx {
+            range,
+            group,
+            stats: GroupStats::default(),
+            trace: Some(trace),
+            abort: Some(abort),
+        }
+    }
+
+    /// Cooperative cancellation: `true` once the launch has faulted (a peer
+    /// panicked, or the watchdog fired) and this group should return early.
+    /// Long-running kernel loops are expected to poll this, the way GPU
+    /// kernels poll a preemption flag; the runtime also checks it at every
+    /// chunk boundary on its own.
+    #[inline]
+    pub fn aborted(&self) -> bool {
+        self.abort.is_some_and(|a| a.is_tripped())
+    }
+
+    /// The launch's abort signal, for parking-capable primitives such as
+    /// [`cl_pool::CentralBarrier::wait_abortable`]. `None` when the group
+    /// runs outside the fault-tolerant engine (e.g. under the dynamic
+    /// write validator, which serializes groups).
+    pub fn abort_signal(&self) -> Option<AbortSignal> {
+        self.abort.cloned()
     }
 
     /// `get_group_id(dim)`.
@@ -174,6 +218,9 @@ impl<'r> GroupCtx<'r> {
                         local_size: local,
                         global_size: self.range.global,
                     };
+                    if let Some(t) = self.trace {
+                        t.set(wi.global);
+                    }
                     body(&wi);
                     items += 1;
                 }
@@ -199,6 +246,9 @@ impl<'r> GroupCtx<'r> {
         let main = local[0] - local[0] % width;
         let mut lx = 0;
         while lx < main {
+            if let Some(t) = self.trace {
+                t.set([base + lx, 0, 0]);
+            }
             body(base + lx);
             lx += width;
         }
@@ -209,6 +259,9 @@ impl<'r> GroupCtx<'r> {
                 local_size: local,
                 global_size: self.range.global,
             };
+            if let Some(t) = self.trace {
+                t.set(wi.global);
+            }
             tail(&wi);
             lx += 1;
         }

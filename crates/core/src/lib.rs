@@ -77,6 +77,7 @@ mod device;
 mod error;
 mod event;
 mod exec;
+mod fault;
 mod kernel;
 mod ndrange;
 mod program;
@@ -96,8 +97,13 @@ pub use event::{CommandKind, Event};
 pub use kernel::{GroupCtx, Kernel, LocalBuf, WorkItem};
 pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
-pub use queue::{CommandQueue, TypedMap, TypedMapMut};
+pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};
 pub use validate::{validate_disjoint_writes, WriteConflict};
+
+/// Fault-containment vocabulary, re-exported from the pool so kernels can
+/// raise worker-killing faults and park on abortable barriers without
+/// depending on `cl-pool` directly.
+pub use cl_pool::{AbortSignal, BarrierAborted, FatalFault};
 
 // Re-exported so downstream crates name flags and profiles through the
 // runtime, as OpenCL programs name `cl_mem_flags` through the CL headers.

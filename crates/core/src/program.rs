@@ -39,8 +39,8 @@ impl BuildOptions {
                 // Accepted-and-ignored flags real programs pass.
                 "-cl-mad-enable" | "-cl-no-signed-zeros" | "-w" => {}
                 other => {
-                    return Err(ClError::DeviceUnavailable(format!(
-                        "unknown build option: {other}"
+                    return Err(ClError::InvalidBuildOptions(format!(
+                        "unknown option: {other}"
                     )))
                 }
             }
@@ -92,7 +92,10 @@ impl Program {
         self.kernels
             .get(name)
             .map(|f| f())
-            .ok_or_else(|| ClError::DeviceUnavailable(format!("no kernel named {name}")))
+            .ok_or_else(|| ClError::InvalidKernelName {
+                name: name.to_string(),
+                available: self.kernel_names().iter().map(|s| s.to_string()).collect(),
+            })
     }
 
     /// Names of all kernels (`clCreateKernelsInProgram`).

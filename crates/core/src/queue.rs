@@ -20,20 +20,62 @@ use crate::exec::execute_kernel;
 use crate::kernel::Kernel;
 use crate::ndrange::NDRange;
 
+/// Queue construction options (`clCreateCommandQueue` properties analog).
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Deadline for a single kernel enqueue. When set, a watchdog thread
+    /// trips the launch's abort protocol at the deadline and the enqueue
+    /// returns [`ClError::LaunchTimedOut`]. `None` (the default) disables
+    /// the watchdog; [`QueueConfig::from_env`] reads `CL_LAUNCH_TIMEOUT_MS`.
+    pub launch_timeout: Option<std::time::Duration>,
+}
+
+impl QueueConfig {
+    /// Defaults, overridden by the environment: `CL_LAUNCH_TIMEOUT_MS=<ms>`
+    /// arms the launch watchdog (0 or unparsable values leave it off).
+    pub fn from_env() -> Self {
+        let launch_timeout = std::env::var("CL_LAUNCH_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(std::time::Duration::from_millis);
+        QueueConfig { launch_timeout }
+    }
+
+    /// Set the launch watchdog deadline.
+    pub fn launch_timeout(mut self, t: std::time::Duration) -> Self {
+        self.launch_timeout = Some(t);
+        self
+    }
+}
+
 /// An in-order command queue (`cl_command_queue` analog).
 #[derive(Clone)]
 pub struct CommandQueue {
     ctx: Context,
+    cfg: QueueConfig,
 }
 
 impl CommandQueue {
     pub(crate) fn new(ctx: Context) -> Self {
-        CommandQueue { ctx }
+        CommandQueue {
+            ctx,
+            cfg: QueueConfig::from_env(),
+        }
+    }
+
+    pub(crate) fn with_config(ctx: Context, cfg: QueueConfig) -> Self {
+        CommandQueue { ctx, cfg }
     }
 
     /// The owning context.
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
     }
 
     fn check_ctx<T: Pod>(&self, buf: &Buffer<T>) -> Result<(), ClError> {
@@ -52,10 +94,16 @@ impl CommandQueue {
         range: NDRange,
     ) -> Result<Event, ClError> {
         let device = self.ctx.device();
+        // Self-healing: respawn any worker a previous launch's fatal fault
+        // retired, so a faulted queue recovers on its next enqueue. One
+        // atomic load when nothing died.
+        let respawned = device.pool().recover() as u64;
         let resolved = range.resolve_with(device.default_wg(), device.null_target_groups())?;
         #[cfg(debug_assertions)]
         check_contract(kernel, &resolved)?;
-        Ok(execute_kernel(device, kernel, &resolved))
+        let mut ev = execute_kernel(device, kernel, &resolved, self.cfg.launch_timeout)?;
+        ev.workers_respawned = respawned;
+        Ok(ev)
     }
 
     /// Convenience for concrete kernel types.
@@ -74,7 +122,7 @@ impl CommandQueue {
     ) -> Result<Event, ClError> {
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(src);
-        let byte_off = buf.byte_offset() + offset * std::mem::size_of::<T>();
+        let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
         let t0 = Instant::now();
         let raw = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
         self.ctx
@@ -96,7 +144,7 @@ impl CommandQueue {
     ) -> Result<Event, ClError> {
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(dst);
-        let byte_off = buf.byte_offset() + offset * std::mem::size_of::<T>();
+        let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
         let t0 = Instant::now();
         let raw = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
         self.ctx
@@ -170,17 +218,17 @@ impl CommandQueue {
         self.check_ctx(src)?;
         self.check_ctx(dst)?;
         let elem = std::mem::size_of::<T>();
-        let bytes = count * elem;
+        // Host-API-reachable sizes: a hostile `count`/offset must surface as
+        // CL_INVALID_BUFFER_SIZE, not an arithmetic overflow panic.
+        let bytes = count.checked_mul(elem).ok_or(ClError::BufferTooLarge)?;
+        let src_off = elem_offset_bytes::<T>(src.byte_offset(), src_offset)?;
+        let dst_off = elem_offset_bytes::<T>(dst.byte_offset(), dst_offset)?;
         let t0 = Instant::now();
         // Bounds are enforced by the region; stage through a scratch Vec so
         // overlapping src/dst windows behave like memmove.
         let mut scratch = vec![0u8; bytes];
-        src.inner
-            .region
-            .read_into(src.byte_offset() + src_offset * elem, &mut scratch)?;
-        dst.inner
-            .region
-            .write_from(dst.byte_offset() + dst_offset * elem, &scratch)?;
+        src.inner.region.read_into(src_off, &mut scratch)?;
+        dst.inner.region.write_from(dst_off, &scratch)?;
         let mut ev = self.transfer_event(CommandKind::WriteBuffer, t0, bytes, true);
         ev.bytes = bytes as u64;
         Ok(ev)
@@ -223,6 +271,16 @@ impl CommandQueue {
             }
         }
     }
+}
+
+/// Byte offset of element `offset` within a buffer window, with the
+/// arithmetic checked: an element offset large enough to overflow `usize`
+/// is a host API error (`CL_INVALID_BUFFER_SIZE`), never a panic.
+fn elem_offset_bytes<T: Pod>(base: usize, offset: usize) -> Result<usize, ClError> {
+    offset
+        .checked_mul(std::mem::size_of::<T>())
+        .and_then(|o| o.checked_add(base))
+        .ok_or(ClError::BufferTooLarge)
 }
 
 /// Debug-build enqueue gate: kernels that publish an access spec are run

@@ -1,0 +1,304 @@
+//! `cl-chaos` — randomized fault-injection soak for the fault-tolerant
+//! runtime.
+//!
+//! ```text
+//! cl-chaos [--rounds N] [--seed S] [--workers W] [--timeout-ms T] [--out DIR]
+//!
+//!   --rounds N      fault rounds to run (default: 25)
+//!   --seed S        PRNG seed for the round mix (default: 7)
+//!   --workers W     pool workers of the device under test (default: min(4, cores))
+//!   --timeout-ms T  launch watchdog deadline per enqueue (default: 250)
+//!   --out DIR       output directory for chaos.md (default: results)
+//! ```
+//!
+//! Each round injects one fault from [`cl_kernels::chaos`] — an ordinary
+//! panic, a fatal (worker-retiring) fault, a panic payload whose `Drop`
+//! panics, a stalled group the watchdog must kill, or a deserted
+//! cross-group barrier — into a randomized 1-D launch geometry, asserts
+//! the enqueue returns the *right* `ClError`, and then proves the queue
+//! recovered by running a clean probe **on the same queue** and comparing
+//! its output bit-exactly against the serial reference. Any wrong error,
+//! failed probe, or mismatched output is an unrecovered fault and fails
+//! the run (nonzero exit).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cl_kernels::chaos::{reference, ChaosKernel, ChaosMode};
+use cl_util::XorShift;
+use ocl_rt::{ClError, Context, Device, Kernel, MemFlags, NDRange, QueueConfig};
+
+struct Round {
+    mode: &'static str,
+    n: usize,
+    local: usize,
+    injected: String,
+    error: String,
+    /// The faulted enqueue returned the expected `ClError` (with the exact
+    /// faulting gid, where the mode pins one).
+    error_ok: bool,
+    /// The clean probe on the same queue succeeded bit-exactly.
+    probe_ok: bool,
+    respawned: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rounds = 25usize;
+    let mut seed = 7u64;
+    let mut workers = usize::min(4, cl_pool::available_cores().max(1));
+    let mut timeout_ms = 250u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                i += 1;
+                rounds = parse(&args, i, "--rounds");
+            }
+            "--seed" => {
+                i += 1;
+                seed = parse(&args, i, "--seed");
+            }
+            "--workers" => {
+                i += 1;
+                workers = parse(&args, i, "--workers");
+            }
+            "--timeout-ms" => {
+                i += 1;
+                timeout_ms = parse(&args, i, "--timeout-ms");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cl-chaos [--rounds N] [--seed S] [--workers W] \
+                     [--timeout-ms T] [--out DIR]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // The soak injects panics on purpose; keep them off stderr.
+    cl_kernels::chaos::install_quiet_panic_hook();
+
+    let device = Device::native_cpu(workers.max(1)).expect("chaos device");
+    let pool = Arc::clone(device.pool());
+    let ctx = Context::new(device);
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    // One queue for the whole soak: every round must leave it usable.
+    let q = ctx.queue_with(QueueConfig::default().launch_timeout(timeout));
+
+    let mut rng = XorShift::seed_from_u64(seed);
+    let mut results = Vec::with_capacity(rounds);
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        let local = [16usize, 32, 64][(rng.next_u64() % 3) as usize];
+        let mut groups = 2 + (rng.next_u64() % 7) as usize;
+        let kind = rng.next_u64() % 5;
+        if kind == 4 {
+            // Barrier desync parks every surviving group on a cross-group
+            // rendezvous. With the watchdog armed the host does not help
+            // execute chunks, so the parked groups must never outnumber the
+            // workers or the deserting group could be starved of a worker.
+            groups = groups.min(workers.max(1));
+        }
+        let n = groups * local;
+        let mode = match kind {
+            0 => ChaosMode::PanicAt {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            1 => ChaosMode::FatalAt {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            2 => ChaosMode::PayloadBomb {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            3 => ChaosMode::StallUntilAbort {
+                group: (rng.next_u64() as usize) % groups,
+            },
+            _ => ChaosMode::BarrierDesync {
+                panic_group: (rng.next_u64() as usize) % groups,
+            },
+        };
+
+        let out = ctx
+            .buffer::<u32>(MemFlags::default(), n)
+            .expect("chaos buffer");
+        let kernel: Arc<dyn Kernel> = Arc::new(ChaosKernel::new(out.clone(), mode, groups));
+        let res = q.enqueue_kernel(&kernel, NDRange::d1(n).local1(local));
+        let (error_ok, error) = judge(&mode, &res);
+
+        // A fatal fault retires its worker asynchronously (the worker
+        // unwinds after the launch's latch releases the host). Wait for the
+        // retirement to land so the probe's self-healing respawn — and its
+        // `workers_respawned` count — is deterministic.
+        if matches!(mode, ChaosMode::FatalAt { .. }) {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while pool.lost_workers() == 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+
+        // Recovery proof: a clean launch over the same buffer, same queue.
+        let probe: Arc<dyn Kernel> =
+            Arc::new(ChaosKernel::new(out.clone(), ChaosMode::Clean, groups));
+        let mut respawned = 0;
+        let probe_ok = match q.enqueue_kernel(&probe, NDRange::d1(n).local1(local)) {
+            Ok(ev) => {
+                respawned = ev.workers_respawned;
+                let mut host = vec![0u32; n];
+                q.read_buffer(&out, 0, &mut host).is_ok() && host == reference(n)
+            }
+            Err(e) => {
+                eprintln!("cl-chaos: round {round}: clean probe failed: {e}");
+                false
+            }
+        };
+        let respawn_ok = match mode {
+            ChaosMode::FatalAt { .. } => respawned >= 1,
+            _ => true,
+        };
+
+        results.push(Round {
+            mode: mode.label(),
+            n,
+            local,
+            injected: format!("{mode:?}"),
+            error,
+            error_ok: error_ok && respawn_ok,
+            probe_ok,
+            respawned,
+        });
+    }
+    let elapsed = t0.elapsed();
+
+    let recovered = results.iter().filter(|r| r.error_ok && r.probe_ok).count();
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    fs::write(
+        out_dir.join("chaos.md"),
+        render_md(&results, seed, workers, timeout, recovered, elapsed),
+    )
+    .expect("write chaos.md");
+
+    for (i, r) in results.iter().enumerate() {
+        if !(r.error_ok && r.probe_ok) {
+            eprintln!(
+                "cl-chaos: round {i} UNRECOVERED: {} ({}), error: {} (expected={}), probe ok={}",
+                r.mode, r.injected, r.error, r.error_ok, r.probe_ok
+            );
+        }
+    }
+    println!(
+        "cl-chaos: {recovered}/{} rounds recovered (seed {seed}, {workers} workers, \
+         timeout {timeout:?}, {:.2}s)",
+        results.len(),
+        elapsed.as_secs_f64()
+    );
+    if recovered != results.len() {
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: not a valid value: {}", args[i]))
+}
+
+/// Does `res` report the fault `mode` injected, the way the fault model
+/// promises?
+fn judge(mode: &ChaosMode, res: &Result<ocl_rt::Event, ClError>) -> (bool, String) {
+    match res {
+        Ok(_) => (false, "Ok (no fault reported)".into()),
+        Err(e) => {
+            let ok = match (mode, e) {
+                (
+                    ChaosMode::PanicAt { gid }
+                    | ChaosMode::FatalAt { gid }
+                    | ChaosMode::PayloadBomb { gid },
+                    ClError::KernelPanicked {
+                        kernel, gid: got, ..
+                    },
+                ) => kernel == "chaos" && *got == [*gid, 0, 0],
+                (ChaosMode::BarrierDesync { .. }, ClError::KernelPanicked { kernel, .. }) => {
+                    kernel == "chaos"
+                }
+                (ChaosMode::StallUntilAbort { .. }, ClError::LaunchTimedOut { kernel, .. }) => {
+                    kernel == "chaos"
+                }
+                _ => false,
+            };
+            (ok, e.to_string())
+        }
+    }
+}
+
+fn render_md(
+    rounds: &[Round],
+    seed: u64,
+    workers: usize,
+    timeout: Duration,
+    recovered: usize,
+    elapsed: Duration,
+) -> String {
+    let mut md = String::new();
+    md.push_str("# Chaos soak: fault injection against the fault-tolerant runtime\n\n");
+    let _ = writeln!(
+        md,
+        "{} rounds, seed {seed}, {workers} workers, launch timeout {timeout:?}, \
+         wall time {:.2}s. Each round injects one fault, asserts the enqueue \
+         reports it as the right `ClError`, then runs a clean probe on the \
+         **same queue** and checks its output bit-exactly.\n",
+        rounds.len(),
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        md,
+        "**Recovered: {recovered}/{} ({}%).**\n",
+        rounds.len(),
+        if rounds.is_empty() {
+            100
+        } else {
+            100 * recovered / rounds.len()
+        }
+    );
+    md.push_str("| Round | Mode | Geometry | Injected | Reported error | Error ok | Probe ok | Respawned |\n");
+    md.push_str("|---:|---|---|---|---|---|---|---:|\n");
+    for (i, r) in rounds.iter().enumerate() {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {}/{} | `{}` | {} | {} | {} | {} |",
+            i,
+            r.mode,
+            r.n,
+            r.local,
+            r.injected,
+            r.error,
+            if r.error_ok { "yes" } else { "**NO**" },
+            if r.probe_ok { "yes" } else { "**NO**" },
+            r.respawned,
+        );
+    }
+    let fatal_rounds = rounds.iter().filter(|r| r.mode == "fatal").count();
+    let total_respawned: u64 = rounds.iter().map(|r| r.respawned).sum();
+    let _ = writeln!(
+        md,
+        "\n{fatal_rounds} fatal (worker-retiring) rounds; {total_respawned} worker \
+         respawns observed by probe enqueues. A `fatal` round counts as recovered \
+         only if its probe respawned at least one worker."
+    );
+    md
+}

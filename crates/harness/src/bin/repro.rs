@@ -13,9 +13,28 @@
 //! `EXPERIMENTS.generated.md`.
 
 use std::fs;
+use std::panic::catch_unwind;
 use std::path::PathBuf;
 
-use cl_harness::{all_figures, figures, tables, Config, Figure};
+use cl_harness::{figures, tables, Config, Figure};
+
+/// Every experiment id, in report order (`all_figures` plus the extras).
+const ALL_IDS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "extra-vectorizer",
+    "extra-occupancy",
+    "extra-scheduling",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,16 +73,29 @@ fn main() {
         if cfg.quick { "quick" } else { "full (paper)" }
     );
 
-    let figures: Vec<Figure> = match &only {
-        Some(id) => vec![run_one(id, &cfg)],
-        None => {
-            let mut figs = all_figures(&cfg);
-            figs.push(figures::extra::vectorizer_ablation(&cfg));
-            figs.push(figures::extra::occupancy_figure(&cfg));
-            figs.push(figures::extra::scheduling_ablation(&cfg));
-            figs
-        }
+    // Each experiment runs inside `catch_unwind`: one panicking figure is
+    // reported (and fails the run with a nonzero exit) without losing the
+    // results of every other figure.
+    let ids: Vec<&str> = match &only {
+        Some(id) => vec![id.as_str()],
+        None => ALL_IDS.to_vec(),
     };
+    let mut figures: Vec<Figure> = Vec::with_capacity(ids.len());
+    let mut failed: Vec<String> = Vec::new();
+    for id in ids {
+        match catch_unwind(|| run_one(id, &cfg)) {
+            Ok(fig) => figures.push(fig),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                eprintln!("repro: {id} FAILED: {msg}");
+                failed.push(id.to_string());
+            }
+        }
+    }
 
     let mut combined = String::new();
     combined.push_str("# Generated experiment results\n\n");
@@ -97,6 +129,14 @@ fn main() {
         "wrote {}",
         out_dir.join("EXPERIMENTS.generated.md").display()
     );
+    if !failed.is_empty() {
+        eprintln!(
+            "repro: {} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
 }
 
 fn run_one(id: &str, cfg: &Config) -> Figure {

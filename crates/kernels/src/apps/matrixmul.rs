@@ -333,8 +333,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "square workgroups")]
-    fn non_square_tile_panics() {
+    fn non_square_tile_is_contained_as_kernel_panic() {
+        // The kernel-side assert no longer unwinds out of the enqueue: the
+        // fault-tolerant engine contains it and reports `KernelPanicked`.
         let ctx = ctx();
         let q = ctx.queue();
         let (a, b, c, _want) = build_common(&ctx, 16, 16, 16, 1);
@@ -347,6 +348,17 @@ mod tests {
             k: 16,
         });
         let k: Arc<dyn Kernel> = kernel;
-        let _ = q.enqueue_kernel(&k, NDRange::d2(16, 16).local2(4, 2));
+        let err = q
+            .enqueue_kernel(&k, NDRange::d2(16, 16).local2(4, 2))
+            .unwrap_err();
+        match err {
+            ocl_rt::ClError::KernelPanicked {
+                kernel, message, ..
+            } => {
+                assert_eq!(kernel, "matrixMul");
+                assert!(message.contains("square workgroups"), "{message}");
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,219 @@
+//! Fault-injection kernels for the chaos harness (`cl-chaos`) and the
+//! fault-tolerance tests.
+//!
+//! Every mode computes the same verifiable function when healthy —
+//! `out[i] = 3*i + 1` ([`expected`]) — so a post-fault probe on the same
+//! queue can be checked bit-exactly against [`reference`]. The injected
+//! faults cover each leg of the runtime's fault model (DESIGN.md §9):
+//!
+//! * [`ChaosMode::PanicAt`] — an ordinary `panic!` in one workitem
+//!   (contained; worker survives);
+//! * [`ChaosMode::FatalAt`] — a [`FatalFault`] (device-lost model; the
+//!   worker retires and the next enqueue respawns it);
+//! * [`ChaosMode::PayloadBomb`] — a panic whose *payload* panics again in
+//!   its own `Drop` (the nastiest containment corner);
+//! * [`ChaosMode::StallUntilAbort`] — one group livelocks until the launch
+//!   watchdog trips the abort signal (the stall the panic path cannot see);
+//! * [`ChaosMode::BarrierDesync`] — peers rendezvous on a cross-group
+//!   [`CentralBarrier`] that one group deserts by panicking, exercising
+//!   `wait_abortable` release of parked parties.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cl_pool::CentralBarrier;
+use ocl_rt::{Buffer, FatalFault, GroupCtx, Kernel};
+
+/// Which fault the kernel injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// No fault: every item writes `expected(i)`.
+    Clean,
+    /// `panic!` when the workitem with this (1-D) global id runs.
+    PanicAt { gid: usize },
+    /// Raise a [`FatalFault`] at this global id, retiring the worker.
+    FatalAt { gid: usize },
+    /// Panic with a payload whose `Drop` itself panics, at this global id.
+    PayloadBomb { gid: usize },
+    /// The workgroup with this linear id spins (polling
+    /// [`GroupCtx::aborted`]) until the launch aborts — only a watchdog
+    /// deadline ends such a launch.
+    StallUntilAbort { group: usize },
+    /// All groups park on a cross-group barrier except this one, which
+    /// panics instead of arriving; parked peers must be released by the
+    /// abort protocol.
+    BarrierDesync { panic_group: usize },
+}
+
+impl ChaosMode {
+    /// Short name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosMode::Clean => "clean",
+            ChaosMode::PanicAt { .. } => "panic",
+            ChaosMode::FatalAt { .. } => "fatal",
+            ChaosMode::PayloadBomb { .. } => "payload-bomb",
+            ChaosMode::StallUntilAbort { .. } => "stall",
+            ChaosMode::BarrierDesync { .. } => "barrier-desync",
+        }
+    }
+}
+
+/// The healthy output: a cheap, index-dependent value with no fixed point
+/// at zero, so an untouched (zeroed) element never passes by accident.
+#[inline]
+pub fn expected(i: usize) -> u32 {
+    (3 * i + 1) as u32
+}
+
+/// The full healthy output for `n` items.
+pub fn reference(n: usize) -> Vec<u32> {
+    (0..n).map(expected).collect()
+}
+
+/// Panic payload whose `Drop` panics again (outside of an unwind), probing
+/// the runtime's payload-drop containment.
+struct BombPayload;
+
+impl Drop for BombPayload {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            panic!("chaos: bomb payload detonated in Drop");
+        }
+    }
+}
+
+/// Install a panic hook that suppresses the default "thread panicked"
+/// report for faults this module injects (they are expected and contained),
+/// delegating every other panic to the previous hook. Meant for the
+/// `cl-chaos` soak binary, whose stderr would otherwise drown in reports of
+/// its own injections; tests keep the default hook.
+pub fn install_quiet_panic_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        let injected = p.downcast_ref::<BombPayload>().is_some()
+            || p.downcast_ref::<cl_pool::FatalFault>().is_some()
+            || p.downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("chaos:"))
+            || p.downcast_ref::<String>()
+                .is_some_and(|s| s.contains("chaos:"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// A 1-D kernel that injects the configured fault while computing
+/// `out[i] = expected(i)` everywhere else.
+pub struct ChaosKernel {
+    out: Buffer<u32>,
+    mode: ChaosMode,
+    /// Cross-group rendezvous for [`ChaosMode::BarrierDesync`]; parties =
+    /// the launch's group count, so it completes only if *every* group
+    /// arrives — which the deserting group never does.
+    barrier: Arc<CentralBarrier>,
+}
+
+/// Wall-clock fuse for [`ChaosMode::StallUntilAbort`]: if no watchdog is
+/// armed (a harness bug), the stall self-terminates instead of wedging the
+/// test suite.
+const STALL_FUSE: Duration = Duration::from_secs(10);
+
+impl ChaosKernel {
+    /// Build a chaos kernel over `out` for a launch of `n_groups`
+    /// workgroups (the barrier-desync rendezvous is sized to it).
+    pub fn new(out: Buffer<u32>, mode: ChaosMode, n_groups: usize) -> Self {
+        ChaosKernel {
+            out,
+            mode,
+            barrier: Arc::new(CentralBarrier::new(n_groups.max(1))),
+        }
+    }
+
+    fn run_clean_items(&self, g: &mut GroupCtx) {
+        let out = self.out.view_mut();
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            out.set(i, expected(i));
+        });
+    }
+}
+
+impl Kernel for ChaosKernel {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let out = self.out.view_mut();
+        match self.mode {
+            ChaosMode::Clean => self.run_clean_items(g),
+            ChaosMode::PanicAt { gid } => g.for_each(|wi| {
+                let i = wi.global_id(0);
+                if i == gid {
+                    panic!("chaos: injected panic at gid {i}");
+                }
+                out.set(i, expected(i));
+            }),
+            ChaosMode::FatalAt { gid } => g.for_each(|wi| {
+                let i = wi.global_id(0);
+                if i == gid {
+                    FatalFault::raise(format!("chaos: injected fatal fault at gid {i}"));
+                }
+                out.set(i, expected(i));
+            }),
+            ChaosMode::PayloadBomb { gid } => g.for_each(|wi| {
+                let i = wi.global_id(0);
+                if i == gid {
+                    std::panic::panic_any(BombPayload);
+                }
+                out.set(i, expected(i));
+            }),
+            ChaosMode::StallUntilAbort { group } => {
+                if g.group_id(0) == group {
+                    // Livelock until the watchdog trips the launch's abort
+                    // signal. No output is written — the launch fails.
+                    let fuse = Instant::now() + STALL_FUSE;
+                    while !g.aborted() && Instant::now() < fuse {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                } else {
+                    self.run_clean_items(g);
+                }
+            }
+            ChaosMode::BarrierDesync { panic_group } => {
+                if g.group_id(0) == panic_group {
+                    panic!("chaos: group {panic_group} deserted the inter-group barrier");
+                }
+                // Park on a rendezvous the deserting group will never
+                // reach; only the abort protocol can release us. Outside
+                // the fault-tolerant engine (no abort signal) there is no
+                // release path, so refuse to park at all.
+                if let Some(signal) = g.abort_signal() {
+                    let _ = self.barrier.wait_abortable(&signal);
+                }
+                self.run_clean_items(g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_has_no_zero_fixed_point() {
+        assert_eq!(expected(0), 1);
+        assert_eq!(expected(21), 64);
+        assert_eq!(reference(4), vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    fn labels_name_every_mode() {
+        assert_eq!(ChaosMode::Clean.label(), "clean");
+        assert_eq!(ChaosMode::PanicAt { gid: 3 }.label(), "panic");
+        assert_eq!(ChaosMode::StallUntilAbort { group: 0 }.label(), "stall");
+    }
+}

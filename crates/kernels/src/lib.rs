@@ -22,9 +22,14 @@
 //!
 //! [`registry`] holds the Table II/III launch geometries so the harness and
 //! benches sweep exactly the configurations the paper reports.
+//!
+//! [`chaos`] holds the fault-injection kernels driven by the `cl-chaos`
+//! soak harness: deliberately panicking, stalling, and barrier-deserting
+//! kernels that exercise the runtime's fault containment.
 
 pub mod access;
 pub mod apps;
+pub mod chaos;
 pub mod ilp;
 pub mod mbench;
 pub mod parboil;

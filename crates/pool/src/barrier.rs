@@ -6,7 +6,17 @@
 //! per generation and not resettable to a different party count, hence this
 //! small implementation.
 
+use std::time::Duration;
+
 use cl_util::sync::{Condvar, Mutex};
+
+use crate::fault::{AbortSignal, BarrierAborted};
+
+/// How often a parked `wait_abortable` caller re-checks the abort signal.
+/// 1ms bounds the release latency of peers parked behind a faulted party
+/// without measurable cost on the non-fault path (the condvar notify still
+/// wakes completers immediately).
+const ABORT_POLL: Duration = Duration::from_millis(1);
 
 struct State {
     waiting: usize,
@@ -57,6 +67,45 @@ impl CentralBarrier {
             }
             false
         }
+    }
+
+    /// Like [`wait`](Self::wait), but gives up when `signal` trips.
+    ///
+    /// This is the fault-tolerant rendezvous used by barrier-synchronized
+    /// kernel execution: if a peer faults before arriving, the launch's
+    /// [`AbortSignal`] is tripped and every party parked here returns
+    /// `Err(BarrierAborted)` within roughly [`ABORT_POLL`] instead of
+    /// deadlocking. An aborting party withdraws its arrival, so the barrier
+    /// stays consistent for later generations (e.g. after recovery).
+    pub fn wait_abortable(&self, signal: &AbortSignal) -> Result<bool, BarrierAborted> {
+        let mut st = self.state.lock();
+        if signal.is_tripped() {
+            return Err(BarrierAborted);
+        }
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.parties {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(true);
+        }
+        while st.generation == gen {
+            self.cv.wait_for(&mut st, ABORT_POLL);
+            if st.generation != gen {
+                break;
+            }
+            if signal.is_tripped() {
+                // Withdraw our arrival: the generation we joined will never
+                // complete, and a stale count would corrupt the next one.
+                st.waiting -= 1;
+                // Wake peers so they observe the signal now, not at their
+                // next poll tick.
+                self.cv.notify_all();
+                return Err(BarrierAborted);
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -125,5 +174,69 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_parties_panics() {
         let _ = CentralBarrier::new(0);
+    }
+
+    #[test]
+    fn abortable_wait_completes_when_all_arrive() {
+        let parties = 3;
+        let barrier = Arc::new(CentralBarrier::new(parties));
+        let signal = AbortSignal::new();
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = Arc::clone(&barrier);
+            let signal = signal.clone();
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    if barrier.wait_abortable(&signal).unwrap() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn abortable_wait_releases_parked_parties() {
+        let barrier = Arc::new(CentralBarrier::new(2));
+        let signal = AbortSignal::new();
+        let parked = {
+            let barrier = Arc::clone(&barrier);
+            let signal = signal.clone();
+            std::thread::spawn(move || barrier.wait_abortable(&signal))
+        };
+        // The second party never arrives; trip the signal instead.
+        std::thread::sleep(Duration::from_millis(20));
+        signal.trip();
+        let t0 = std::time::Instant::now();
+        assert_eq!(parked.join().unwrap(), Err(BarrierAborted));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "abort release took {:?}",
+            t0.elapsed()
+        );
+        // The withdrawn arrival must not poison the next generation: with
+        // both parties present the barrier completes normally again.
+        let other = {
+            let barrier = Arc::clone(&barrier);
+            let signal = AbortSignal::new();
+            std::thread::spawn(move || barrier.wait_abortable(&signal))
+        };
+        let fresh = AbortSignal::new();
+        assert!(barrier.wait_abortable(&fresh).is_ok());
+        assert!(other.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn abortable_wait_refuses_tripped_signal() {
+        let barrier = CentralBarrier::new(2);
+        let signal = AbortSignal::new();
+        signal.trip();
+        assert_eq!(barrier.wait_abortable(&signal), Err(BarrierAborted));
     }
 }

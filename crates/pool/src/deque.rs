@@ -133,6 +133,17 @@ impl<T> Stealer<T> {
         }
     }
 
+    /// Rebuild an owner handle for this queue.
+    ///
+    /// Used when a dead worker is respawned: the replacement thread adopts
+    /// the original deque — and any tasks still parked in it — so every
+    /// published `Stealer` stays valid and no queued work is lost.
+    pub fn to_worker(&self) -> Worker<T> {
+        Worker {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
     /// Steal a batch into `local` and return one task to run.
     pub fn steal_batch_and_pop(&self, local: &Worker<T>) -> Steal<T> {
         let mut q = self.queue.lock();

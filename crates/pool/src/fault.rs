@@ -1,0 +1,128 @@
+//! Fault-containment vocabulary shared by the pool and its clients.
+//!
+//! A real OpenCL driver turns device-side failures into recoverable API
+//! errors (`CL_OUT_OF_RESOURCES`, device-lost) instead of taking the host
+//! process down. The pool's half of that contract is defined here:
+//!
+//! * [`AbortSignal`] — a monotonic per-launch flag. Producers of work trip
+//!   it on the first fault; everything else checks it at chunk boundaries
+//!   (and inside [`CentralBarrier::wait_abortable`]) and drains as a no-op.
+//! * [`FatalFault`] — the one panic payload the pool's containment
+//!   deliberately does *not* absorb: it retires the worker thread that ran
+//!   the task, modeling a device-lost error. [`ThreadPool::recover`]
+//!   respawns retired workers.
+//!
+//! [`CentralBarrier::wait_abortable`]: crate::CentralBarrier::wait_abortable
+//! [`ThreadPool::recover`]: crate::ThreadPool::recover
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonic abort flag for one unit of cooperative work (a
+/// kernel launch, a phased loop). Cloning is cheap (one `Arc`); checking is
+/// one atomic load; once tripped it stays tripped.
+#[derive(Debug, Clone, Default)]
+pub struct AbortSignal {
+    tripped: Arc<AtomicBool>,
+}
+
+impl AbortSignal {
+    /// A fresh, untripped signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the signal. Idempotent; returns `true` for the caller that
+    /// tripped it first.
+    pub fn trip(&self) -> bool {
+        !self.tripped.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether the signal has been tripped.
+    #[inline]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+}
+
+/// Panic payload that kills its worker thread.
+///
+/// The pool contains ordinary panics: the task is marked failed, the worker
+/// survives. A task that panics with a `FatalFault` payload instead retires
+/// its worker (the thread exits after the task), modeling the class of
+/// faults a real driver cannot contain in place — a device reset, a
+/// poisoned execution lane. The worker's queued tasks are *not* lost: its
+/// deque outlives the thread and siblings steal from it. The pool stays
+/// functional and [`ThreadPool::recover`](crate::ThreadPool::recover)
+/// respawns the lost worker on demand.
+///
+/// Host threads that execute tasks while helping a launch are never killed
+/// by a `FatalFault`; only pool workers retire.
+#[derive(Debug)]
+pub struct FatalFault {
+    /// Human-readable description of the unrecoverable fault.
+    pub reason: String,
+}
+
+impl FatalFault {
+    /// Panic the current task with a worker-killing payload.
+    pub fn raise(reason: impl Into<String>) -> ! {
+        std::panic::panic_any(FatalFault {
+            reason: reason.into(),
+        })
+    }
+}
+
+impl std::fmt::Display for FatalFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fatal worker fault: {}", self.reason)
+    }
+}
+
+/// Error returned by [`CentralBarrier::wait_abortable`] when the launch's
+/// [`AbortSignal`] tripped while parties were parked: the barrier will never
+/// complete this generation, and the caller must unwind its work.
+///
+/// [`CentralBarrier::wait_abortable`]: crate::CentralBarrier::wait_abortable
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierAborted;
+
+impl std::fmt::Display for BarrierAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("barrier wait aborted: a peer faulted before arriving")
+    }
+}
+
+impl std::error::Error for BarrierAborted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_trips_once() {
+        let s = AbortSignal::new();
+        assert!(!s.is_tripped());
+        assert!(s.trip());
+        assert!(s.is_tripped());
+        assert!(!s.trip(), "second trip is not the first");
+        assert!(s.is_tripped());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = AbortSignal::new();
+        let b = a.clone();
+        a.trip();
+        assert!(b.is_tripped());
+    }
+
+    #[test]
+    fn fatal_fault_payload_is_downcastable() {
+        let r = std::panic::catch_unwind(|| FatalFault::raise("lane poisoned"));
+        let payload = r.unwrap_err();
+        let fault = payload.downcast_ref::<FatalFault>().unwrap();
+        assert!(fault.reason.contains("poisoned"));
+        assert!(fault.to_string().contains("fatal worker fault"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod affinity;
 pub mod barrier;
 pub mod chunk;
 pub mod deque;
+pub mod fault;
 pub mod metrics;
 mod pool;
 mod scope;
@@ -51,6 +52,7 @@ mod worker;
 pub use affinity::{available_cores, pin_current_thread, PinPolicy};
 pub use barrier::CentralBarrier;
 pub use chunk::{ChunkSource, GuidedSource};
+pub use fault::{AbortSignal, BarrierAborted, FatalFault};
 pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use pool::{PoolConfig, PoolError, ThreadPool};
 pub use scope::Scope;

@@ -24,6 +24,10 @@ pub struct PoolMetrics {
     pub unparks: AtomicU64,
     /// Tasks whose closure panicked.
     pub panics: AtomicU64,
+    /// Workers retired by a fatal fault (see `FatalFault`).
+    pub workers_lost: AtomicU64,
+    /// Workers respawned by `ThreadPool::recover`.
+    pub workers_respawned: AtomicU64,
     /// Sum of sampled queue→start latency, in nanoseconds.
     pub dispatch_latency_ns: AtomicU64,
     /// Number of latency samples contributing to `dispatch_latency_ns`.
@@ -55,6 +59,14 @@ impl PoolMetrics {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_worker_lost(&self) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_latency(&self, latency: Duration) {
         self.dispatch_latency_ns
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
@@ -70,6 +82,8 @@ impl PoolMetrics {
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             dispatch_latency_ns: self.dispatch_latency_ns.load(Ordering::Relaxed),
             dispatch_samples: self.dispatch_samples.load(Ordering::Relaxed),
         }
@@ -85,6 +99,8 @@ pub struct MetricsSnapshot {
     pub parks: u64,
     pub unparks: u64,
     pub panics: u64,
+    pub workers_lost: u64,
+    pub workers_respawned: u64,
     pub dispatch_latency_ns: u64,
     pub dispatch_samples: u64,
 }
@@ -108,6 +124,8 @@ impl MetricsSnapshot {
             parks: self.parks - earlier.parks,
             unparks: self.unparks - earlier.unparks,
             panics: self.panics - earlier.panics,
+            workers_lost: self.workers_lost - earlier.workers_lost,
+            workers_respawned: self.workers_respawned - earlier.workers_respawned,
             dispatch_latency_ns: self.dispatch_latency_ns - earlier.dispatch_latency_ns,
             dispatch_samples: self.dispatch_samples - earlier.dispatch_samples,
         }

@@ -9,9 +9,19 @@ use cl_util::sync::{Condvar, Mutex};
 use crate::deque::{Injector, Steal, Stealer};
 
 use crate::affinity::{available_cores, PinPolicy};
+use crate::fault::FatalFault;
 use crate::metrics::PoolMetrics;
 use crate::scope::Scope;
 use crate::worker;
+
+/// What `Inner::execute` observed about a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecOutcome {
+    /// The task ran (possibly panicking — ordinary panics are contained).
+    Done,
+    /// The task raised a [`FatalFault`]: the executing worker must retire.
+    Fatal,
+}
 
 /// A unit of work queued on the pool.
 pub(crate) struct Task {
@@ -98,6 +108,13 @@ pub(crate) struct Inner {
     pub(crate) workers: usize,
     pub(crate) sample_latency: bool,
     pub(crate) spin_tries: u32,
+    /// Per-worker "retired by a fatal fault" flags, set on the worker's exit
+    /// path so `recover` knows exactly which threads to replace.
+    pub(crate) dead: Vec<AtomicBool>,
+    /// Fast-path dirty bit: true iff some `dead[i]` may be set. Lets
+    /// `recover` cost one atomic load per call in the (overwhelmingly
+    /// common) no-fault case.
+    pub(crate) worker_died: AtomicBool,
 }
 
 impl Inner {
@@ -143,17 +160,33 @@ impl Inner {
         None
     }
 
-    pub(crate) fn execute(&self, task: Task) {
+    pub(crate) fn execute(&self, task: Task) -> ExecOutcome {
         if let Some(t0) = task.enqueued {
             self.metrics.record_latency(t0.elapsed());
         }
         let job = task.job;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
         self.metrics.record_exec();
-        if result.is_err() {
-            self.metrics.record_panic();
-            // The panic itself is surfaced through the owning Scope (if any);
-            // a detached `spawn` swallows it but counts it.
+        match result {
+            Ok(()) => ExecOutcome::Done,
+            Err(payload) => {
+                // The panic itself is surfaced through the owning Scope or
+                // launch fault record (if any); a detached `spawn` swallows
+                // it but counts it.
+                self.metrics.record_panic();
+                let fatal = payload.is::<FatalFault>();
+                // Even the payload's own Drop may panic (hostile kernels do
+                // exist — the chaos harness injects exactly this); dropping
+                // it inside another catch keeps the containment boundary
+                // airtight.
+                let payload = std::panic::AssertUnwindSafe(payload);
+                let _ = std::panic::catch_unwind(move || drop(payload));
+                if fatal {
+                    ExecOutcome::Fatal
+                } else {
+                    ExecOutcome::Done
+                }
+            }
         }
     }
 }
@@ -165,6 +198,10 @@ pub struct ThreadPool {
     pub(crate) inner: Arc<Inner>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     pin: PinPolicy,
+    /// Resolved core assignment per worker id, kept so `recover` re-pins
+    /// replacement threads exactly like the originals.
+    cores: Vec<Option<usize>>,
+    name_prefix: String,
 }
 
 impl ThreadPool {
@@ -187,12 +224,17 @@ impl ThreadPool {
             workers: cfg.workers,
             sample_latency: cfg.sample_latency,
             spin_tries: cfg.spin_tries,
+            dead: (0..cfg.workers).map(|_| AtomicBool::new(false)).collect(),
+            worker_died: AtomicBool::new(false),
         });
         let n_cores = available_cores();
+        let cores: Vec<Option<usize>> = (0..cfg.workers)
+            .map(|id| cfg.pin.core_for(id, n_cores))
+            .collect();
         let mut handles = Vec::with_capacity(cfg.workers);
         for (id, local) in locals.into_iter().enumerate() {
             let inner2 = Arc::clone(&inner);
-            let core = cfg.pin.core_for(id, n_cores);
+            let core = cores[id];
             let handle = std::thread::Builder::new()
                 .name(format!("{}-{}", cfg.name_prefix, id))
                 .spawn(move || worker::run_worker(inner2, id, local, core))
@@ -203,6 +245,8 @@ impl ThreadPool {
             inner,
             handles: Mutex::new(handles),
             pin: cfg.pin,
+            cores,
+            name_prefix: cfg.name_prefix,
         })
     }
 
@@ -285,12 +329,87 @@ impl ThreadPool {
         GLOBAL.get_or_init(|| ThreadPool::new(PoolConfig::default()).expect("global pool"))
     }
 
+    /// Number of workers currently retired by a fatal fault and awaiting
+    /// [`recover`](Self::recover). Racy hint, like all pool statistics.
+    pub fn lost_workers(&self) -> usize {
+        if !self.inner.worker_died.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.inner
+            .dead
+            .iter()
+            .filter(|d| d.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Respawn workers retired by a [`crate::FatalFault`], re-pinning each
+    /// replacement to the original worker's core. Returns the number of
+    /// workers respawned.
+    ///
+    /// The replacement thread adopts the dead worker's deque, so tasks that
+    /// were queued there when the fault hit are still executed. When no
+    /// worker has died this costs a single atomic load, cheap enough to call
+    /// before every kernel enqueue (self-healing queues do exactly that).
+    pub fn recover(&self) -> usize {
+        if !self.inner.worker_died.swap(false, Ordering::AcqRel) {
+            return 0;
+        }
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            // Shutdown joins every handle, dead or alive; nothing to do.
+            return 0;
+        }
+        let mut handles = self.handles.lock();
+        let mut respawned = 0;
+        for (id, slot) in handles.iter_mut().enumerate() {
+            if !self.inner.dead[id].swap(false, Ordering::AcqRel) {
+                continue;
+            }
+            let inner2 = Arc::clone(&self.inner);
+            let local = self.inner.stealers[id].to_worker();
+            let core = self.cores[id];
+            match std::thread::Builder::new()
+                .name(format!("{}-{}", self.name_prefix, id))
+                .spawn(move || worker::run_worker(inner2, id, local, core))
+            {
+                Ok(fresh) => {
+                    // The dead flag is set on the worker's exit path, so this
+                    // join returns promptly.
+                    let _ = std::mem::replace(slot, fresh).join();
+                    self.inner.metrics.record_worker_respawned();
+                    respawned += 1;
+                }
+                Err(_) => {
+                    // Out of threads right now; leave the worker flagged so a
+                    // later recover() retries.
+                    self.inner.dead[id].store(true, Ordering::Release);
+                    self.inner.worker_died.store(true, Ordering::Release);
+                }
+            }
+        }
+        respawned
+    }
+
+    /// Shut the pool down and join every worker, including workers already
+    /// retired by a fatal fault (their handles join immediately). Idempotent:
+    /// handles are drained, so a second call — or the implicit call from
+    /// `Drop` — is a no-op and never double-joins.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.notify_all();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
     /// Help execute queued tasks while `cond` is false; park briefly when no
-    /// work is available. Used by scope-joining.
-    pub(crate) fn help_until(&self, cond: impl Fn() -> bool) {
+    /// work is available. Used by scope-joining and by launch waits in
+    /// `ocl-rt`. A helping thread is never retired by a fatal fault — only
+    /// pool workers are.
+    pub fn help_until(&self, cond: impl Fn() -> bool) {
         while !cond() {
             if let Some(task) = self.inner.steal_task() {
-                self.inner.execute(task);
+                // Outcome deliberately ignored: fatality applies to workers.
+                let _ = self.inner.execute(task);
             } else {
                 std::thread::yield_now();
                 if cond() {
@@ -304,11 +423,7 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.notify_all();
-        for h in self.handles.lock().drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -432,5 +547,129 @@ mod tests {
         let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
         pool.run_indexed(16, 1, |_| {});
         drop(pool); // must not hang
+    }
+
+    fn kill_one_worker(pool: &ThreadPool) {
+        pool.spawn(|| crate::FatalFault::raise("injected device-lost"));
+        let t0 = Instant::now();
+        while pool.metrics().snapshot().workers_lost == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "worker never died");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn fatal_fault_retires_worker_and_recover_respawns() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        kill_one_worker(&pool);
+        assert_eq!(pool.lost_workers(), 1);
+        assert_eq!(pool.recover(), 1);
+        assert_eq!(pool.lost_workers(), 0);
+        // Second recover is a no-op.
+        assert_eq!(pool.recover(), 0);
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.workers_lost, 1);
+        assert_eq!(snap.workers_respawned, 1);
+        // The pool is fully functional again.
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = Instant::now();
+        while hits.load(Ordering::SeqCst) < 64 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn pool_survives_unrecovered_worker_loss() {
+        // Without recover(), the surviving worker (plus stealing) must still
+        // drain all queued work — a dead worker's deque stays reachable.
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        kill_one_worker(&pool);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = Instant::now();
+        while hits.load(Ordering::SeqCst) < 64 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn shutdown_with_dead_workers_does_not_hang_or_double_join() {
+        // Regression: Drop/shutdown after a contained fatal fault (recovery
+        // never ran) must join the dead worker's handle exactly once and
+        // return promptly.
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        kill_one_worker(&pool);
+        pool.shutdown();
+        pool.shutdown(); // idempotent: handles were drained
+        assert_eq!(pool.recover(), 0, "recover after shutdown is a no-op");
+        drop(pool); // implicit shutdown is also a no-op
+    }
+
+    #[test]
+    fn fatal_fault_in_scope_reaches_host_and_retires_worker() {
+        let pool = ThreadPool::new(PoolConfig::default().workers(2)).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| crate::FatalFault::raise("scope lane down"));
+            });
+        }));
+        let payload = result.unwrap_err();
+        assert!(payload.is::<crate::FatalFault>());
+        // The worker that ran the task retires (unless the host helped it
+        // through); either way recover() leaves a fully working pool.
+        pool.recover();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        pool.spawn(move || {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        while hits.load(Ordering::SeqCst) < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn panicking_payload_drop_is_contained() {
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                if !std::thread::panicking() {
+                    panic!("payload drop bomb");
+                }
+            }
+        }
+        let pool = ThreadPool::new(PoolConfig::default().workers(1)).unwrap();
+        pool.spawn(|| std::panic::panic_any(Bomb));
+        let t0 = Instant::now();
+        while pool.metrics().snapshot().panics < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The worker survived both the panic and the panicking Drop.
+        assert_eq!(pool.lost_workers(), 0);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&done);
+        pool.spawn(move || {
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        while done.load(Ordering::SeqCst) < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use cl_util::sync::Mutex;
 
+use crate::fault::FatalFault;
 use crate::pool::{Task, ThreadPool};
 
 struct ScopeState {
@@ -58,12 +59,23 @@ impl<'scope> Scope<'scope> {
         let job = Box::new(move || {
             let result = std::panic::catch_unwind(AssertUnwindSafe(boxed));
             if let Err(payload) = result {
-                let mut slot = state.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
+                let fatal = payload.is::<FatalFault>();
+                {
+                    let mut slot = state.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
+                state.pending.fetch_sub(1, Ordering::Release);
+                if fatal {
+                    // The payload is recorded for the host above; re-raise a
+                    // fresh FatalFault so the pool still retires this worker
+                    // (fatality must not be absorbed by scope bookkeeping).
+                    FatalFault::raise("fatal fault re-raised from scope task");
+                }
+            } else {
+                state.pending.fetch_sub(1, Ordering::Release);
             }
-            state.pending.fetch_sub(1, Ordering::Release);
         });
         // SAFETY: the pool pointer is valid for the duration of the scope
         // (it is the pool running the enclosing `scope` call).

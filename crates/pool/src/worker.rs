@@ -8,7 +8,7 @@ use std::time::Duration;
 use crate::deque::{Steal, Worker as LocalQueue};
 
 use crate::affinity::pin_current_thread;
-use crate::pool::{Inner, Task};
+use crate::pool::{ExecOutcome, Inner, Task};
 use crate::WorkerId;
 
 thread_local! {
@@ -69,7 +69,19 @@ pub(crate) fn run_worker(
         match task {
             Some(task) => {
                 idle_spins = 0;
-                inner.execute(task);
+                if inner.execute(task) == ExecOutcome::Fatal {
+                    // Retire this worker (device-lost model). The exit is a
+                    // clean return — no unwind — so the thread's local queue
+                    // (shared with its Stealer) survives for siblings to
+                    // drain and for the respawned replacement to adopt.
+                    inner.metrics.record_worker_lost();
+                    inner.dead[id].store(true, Ordering::Release);
+                    inner.worker_died.store(true, Ordering::Release);
+                    // Wake peers: queued work must not wait for a park tick.
+                    inner.notify_all();
+                    WORKER_ID.with(|c| c.set(None));
+                    return;
+                }
             }
             None => {
                 idle_spins += 1;
