@@ -22,4 +22,10 @@ cargo run --release --quiet --bin cl-lint -- --deny-warnings
 echo "== cl-chaos --rounds 25 --seed 7"
 cargo run --release --quiet --bin cl-chaos -- --rounds 25 --seed 7
 
+echo "== cl-trace smoke (regenerates results/trace.md + trace.json)"
+cargo run --release --quiet --bin cl-trace
+
+echo "== cl-chaos tracing soak (CL_TRACE=1, 5 rounds)"
+CL_TRACE=1 cargo run --release --quiet --bin cl-chaos -- --rounds 5 --seed 7 --out target/chaos-traced
+
 echo "CI green."

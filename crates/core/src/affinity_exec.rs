@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use cl_pool::{FatalFault, PinPolicy, PoolConfig, ThreadPool};
 
 use crate::error::ClError;
-use crate::event::{CommandKind, Event};
+use crate::event::{CommandKind, Event, ProfilingInfo};
 use crate::fault::{
     panic_message, FaultKind, FaultRecord, GidTrace, Latch, LatchGuard, LaunchFault,
 };
@@ -69,6 +69,7 @@ impl AffinityExecutor {
         range: NDRange,
         placement: impl Fn(usize) -> usize,
     ) -> Result<Event, ClError> {
+        let queued_ns = crate::trace::now_ns();
         // Self-heal lanes whose single worker was retired by a fatal fault
         // in an earlier launch (one atomic load per healthy lane).
         let mut respawned = 0u64;
@@ -88,6 +89,7 @@ impl AffinityExecutor {
         });
 
         let t0 = Instant::now();
+        let submitted_ns = crate::trace::now_ns();
         for linear in 0..n_groups {
             let lane = placement(linear) % self.lanes.len();
             let kernel = Arc::clone(kernel);
@@ -162,6 +164,15 @@ impl AffinityExecutor {
             t0.elapsed().as_secs_f64(),
             false,
         );
+        // Affinity lanes don't track first-group start; the dispatch loop
+        // itself is the submit/start boundary, so both share a stamp (the
+        // monotonic invariant still holds).
+        ev.profiling = ProfilingInfo {
+            queued_ns,
+            submitted_ns,
+            started_ns: submitted_ns,
+            completed_ns: crate::trace::now_ns(),
+        };
         ev.groups = n_groups as u64;
         ev.barriers = state.barriers.load(Ordering::Relaxed);
         ev.items = state.items.load(Ordering::Relaxed);

@@ -11,6 +11,63 @@ pub enum CommandKind {
     UnmapBuffer,
 }
 
+impl CommandKind {
+    /// Stable lowercase label, used by trace exports and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommandKind::NdRangeKernel => "ndrange-kernel",
+            CommandKind::ReadBuffer => "read-buffer",
+            CommandKind::WriteBuffer => "write-buffer",
+            CommandKind::MapBuffer => "map-buffer",
+            CommandKind::UnmapBuffer => "unmap-buffer",
+        }
+    }
+}
+
+/// The four command-lifetime timestamps of `clGetEventProfilingInfo`
+/// (`CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END}`), in nanoseconds since
+/// the process trace epoch ([`crate::trace::now_ns`]).
+///
+/// Invariant: `queued ≤ submitted ≤ started ≤ completed`, on success *and*
+/// on the fault paths (a launch abandoned before any chunk started clamps
+/// `started` into the window instead of reporting 0). On modeled devices
+/// `completed − started` is the *modeled* execution time of the device
+/// under study, while `queued`/`submitted` remain host wall-clock — the
+/// same split a profiling-enabled OpenCL queue reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfilingInfo {
+    /// `CL_PROFILING_COMMAND_QUEUED`: the enqueue call was entered.
+    pub queued_ns: u64,
+    /// `CL_PROFILING_COMMAND_SUBMIT`: validation passed and the command was
+    /// handed to the execution engine (chunks pushed to the pool).
+    pub submitted_ns: u64,
+    /// `CL_PROFILING_COMMAND_START`: the first workgroup chunk began
+    /// executing (transfers: the copy/map began).
+    pub started_ns: u64,
+    /// `CL_PROFILING_COMMAND_END`: the command finished.
+    pub completed_ns: u64,
+}
+
+impl ProfilingInfo {
+    /// The OpenCL ordering invariant the runtime guarantees.
+    pub fn is_monotonic(&self) -> bool {
+        self.queued_ns <= self.submitted_ns
+            && self.submitted_ns <= self.started_ns
+            && self.started_ns <= self.completed_ns
+    }
+
+    /// `COMMAND_END − COMMAND_START` in seconds: the execution time.
+    pub fn execution_s(&self) -> f64 {
+        (self.completed_ns - self.started_ns) as f64 / 1e9
+    }
+
+    /// `COMMAND_START − COMMAND_QUEUED` in seconds: queue + dispatch
+    /// overhead before the command ran.
+    pub fn overhead_s(&self) -> f64 {
+        (self.started_ns - self.queued_ns) as f64 / 1e9
+    }
+}
+
 /// A completed command's record. All enqueue calls in this runtime are
 /// blocking (the paper's measurement methodology, Section III-A), so events
 /// are always in the `CL_COMPLETE` state and exist to carry timing.
@@ -42,6 +99,9 @@ pub struct Event {
     pub workers_respawned: u64,
     /// True when `duration` is modeled rather than measured.
     pub modeled: bool,
+    /// The `clGetEventProfilingInfo` timestamps, populated on every
+    /// enqueue (tracing enabled or not).
+    pub(crate) profiling: ProfilingInfo,
 }
 
 impl Event {
@@ -57,6 +117,7 @@ impl Event {
             timeouts: 0,
             workers_respawned: 0,
             modeled,
+            profiling: ProfilingInfo::default(),
         }
     }
 
@@ -73,6 +134,12 @@ impl Event {
     /// Duration as a [`std::time::Duration`].
     pub fn duration(&self) -> std::time::Duration {
         std::time::Duration::from_secs_f64(self.duration_s.max(0.0))
+    }
+
+    /// `clGetEventProfilingInfo`: the queued/submitted/started/completed
+    /// timestamps of this command.
+    pub fn profiling(&self) -> ProfilingInfo {
+        self.profiling
     }
 }
 

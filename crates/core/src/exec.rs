@@ -33,12 +33,13 @@ use cl_pool::FatalFault;
 
 use crate::device::{Device, DeviceKind};
 use crate::error::ClError;
-use crate::event::{CommandKind, Event};
+use crate::event::{CommandKind, Event, ProfilingInfo};
 use crate::fault::{
     panic_message, FaultKind, FaultRecord, GidTrace, Latch, LatchGuard, LaunchFault,
 };
-use crate::kernel::{GroupCtx, Kernel};
+use crate::kernel::{BarrierTrace, GroupCtx, Kernel};
 use crate::ndrange::ResolvedRange;
+use crate::trace::{self, Span, TraceLog};
 
 /// After a timeout is reported, how long the host waits for in-flight
 /// chunks to notice the abort signal and park the launch state before the
@@ -56,14 +57,38 @@ struct LaunchState {
     panics: AtomicU64,
     simd_ok: bool,
     width: usize,
+    /// The queue's trace log when tracing is enabled; `None` costs the hot
+    /// path only `Option` checks.
+    trace: Option<Arc<TraceLog>>,
+    launch_id: u64,
+    /// `CL_PROFILING_COMMAND_START`: stamped once by the first chunk to
+    /// begin executing (0 = no chunk started yet).
+    started_ns: AtomicU64,
 }
 
 impl LaunchState {
+    /// Stamp the launch's COMMAND_START timestamp, first chunk wins. One
+    /// relaxed load per chunk after that.
+    fn mark_started(&self) {
+        if self.started_ns.load(Ordering::Relaxed) == 0 {
+            let _ = self.started_ns.compare_exchange(
+                0,
+                trace::now_ns().max(1),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
     /// Execute workgroups `chunk` (linear ids), containing any panic.
     fn run_chunk(&self, chunk: std::ops::Range<usize>) {
         // Count the chunk down even if a FatalFault re-raise unwinds out.
         let _done = LatchGuard(&self.latch);
-        for linear in chunk {
+        self.mark_started();
+        let span_t0 = self.trace.as_ref().map(|_| trace::now_ns());
+        let mut chunk_items = 0u64;
+        let mut chunk_barriers = 0u64;
+        for linear in chunk.clone() {
             if self.fault.abort.is_tripped() {
                 // Drain the rest of the launch as no-ops.
                 continue;
@@ -77,6 +102,11 @@ impl LaunchState {
             let trace = GidTrace::new(base);
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut g = GroupCtx::with_fault(&self.range, group, &trace, &self.fault.abort);
+                g.btrace = self.trace.as_deref().map(|log| BarrierTrace {
+                    log,
+                    launch: self.launch_id,
+                    group: linear,
+                });
                 let used_simd = self.simd_ok && self.kernel.run_group_simd(&mut g, self.width);
                 if !used_simd {
                     self.kernel.run_group(&mut g);
@@ -87,11 +117,19 @@ impl LaunchState {
                 Ok(stats) => {
                     self.barriers.fetch_add(stats.barriers, Ordering::Relaxed);
                     self.items.fetch_add(stats.items_run, Ordering::Relaxed);
+                    chunk_items += stats.items_run;
+                    chunk_barriers += stats.barriers;
                 }
                 Err(payload) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
                     let fatal = payload.is::<FatalFault>();
                     let message = panic_message(payload);
+                    if let Some(log) = &self.trace {
+                        log.record(Span::abort(
+                            self.launch_id,
+                            if fatal { "fatal-panic" } else { "panic" },
+                        ));
+                    }
                     self.fault.trip(FaultRecord {
                         kind: if fatal {
                             FaultKind::FatalPanic
@@ -105,12 +143,33 @@ impl LaunchState {
                         message: message.clone(),
                     });
                     if fatal {
+                        // Close this chunk's span before the re-raise
+                        // unwinds, so the trace still accounts for every
+                        // scheduled chunk.
+                        if let (Some(log), Some(t0)) = (&self.trace, span_t0) {
+                            log.record(Span::chunk(
+                                self.launch_id,
+                                chunk.clone(),
+                                chunk_items,
+                                chunk_barriers,
+                                t0,
+                            ));
+                        }
                         // Re-raise so the pool retires this worker; the latch
                         // guard has the count-down covered.
                         FatalFault::raise(message);
                     }
                 }
             }
+        }
+        if let (Some(log), Some(t0)) = (&self.trace, span_t0) {
+            log.record(Span::chunk(
+                self.launch_id,
+                chunk,
+                chunk_items,
+                chunk_barriers,
+                t0,
+            ));
         }
     }
 }
@@ -120,9 +179,12 @@ pub(crate) fn execute_kernel(
     kernel: &Arc<dyn Kernel>,
     range: &ResolvedRange,
     launch_timeout: Option<Duration>,
+    trace_log: Option<&Arc<TraceLog>>,
+    queued_ns: u64,
 ) -> Result<Event, ClError> {
     let n_groups = range.n_groups();
     let pool = device.pool();
+    let launch_id = trace_log.map_or(0, |t| t.begin_launch());
 
     // Native devices: one chunk per workgroup (the paper's per-workgroup
     // scheduling overhead stays real). Modeled devices: coarse chunks for
@@ -145,8 +207,14 @@ pub(crate) fn execute_kernel(
         panics: AtomicU64::new(0),
         simd_ok: device.vectorizes() && range.local[1] == 1 && range.local[2] == 1,
         width: device.simd_width(),
+        trace: trace_log.cloned(),
+        launch_id,
+        started_ns: AtomicU64::new(0),
     });
 
+    // CL_PROFILING_COMMAND_SUBMIT: validation is done, chunks go to the
+    // pool now.
+    let submitted_ns = trace::now_ns();
     let t0 = Instant::now();
     for c in 0..n_chunks {
         let start = c * groups_per_chunk;
@@ -173,6 +241,9 @@ pub(crate) fn execute_kernel(
                 .name("cl-watchdog".into())
                 .spawn(move || {
                     if !watchdog_state.latch.wait_deadline(deadline) {
+                        if let Some(log) = &watchdog_state.trace {
+                            log.record(Span::abort(watchdog_state.launch_id, "timeout"));
+                        }
                         watchdog_state.fault.trip(FaultRecord {
                             kind: FaultKind::Timeout,
                             kernel: watchdog_state.kernel.name().to_string(),
@@ -194,6 +265,9 @@ pub(crate) fn execute_kernel(
                     // watchdog itself (it just cannot help with chunks).
                     let done = state.latch.wait_deadline(deadline);
                     if !done {
+                        if let Some(log) = &state.trace {
+                            log.record(Span::abort(state.launch_id, "timeout"));
+                        }
                         state.fault.trip(FaultRecord {
                             kind: FaultKind::Timeout,
                             kernel: kernel.name().to_string(),
@@ -210,8 +284,38 @@ pub(crate) fn execute_kernel(
         }
     };
     let elapsed = t0.elapsed();
+    let end_ns = trace::now_ns();
+
+    // CL_PROFILING_COMMAND_START, with the error-path fix: a launch
+    // abandoned (or timed out) before any chunk began executing has no
+    // stamp — fall back to `end_ns`, and clamp a racing stamp into
+    // [submitted, end], so `queued ≤ submitted ≤ started ≤ completed`
+    // holds on KernelPanicked and LaunchTimedOut paths too.
+    let first_chunk_ns = state.started_ns.load(Ordering::Relaxed);
+    let started_ns = if first_chunk_ns == 0 {
+        end_ns
+    } else {
+        first_chunk_ns.clamp(submitted_ns, end_ns)
+    };
 
     if let Some(rec) = state.fault.take() {
+        if let Some(log) = trace_log {
+            let profiling = ProfilingInfo {
+                queued_ns,
+                submitted_ns,
+                started_ns,
+                completed_ns: end_ns,
+            };
+            log.record(Span::launch(
+                launch_id,
+                &rec.kernel,
+                n_groups,
+                state.items.load(Ordering::Relaxed),
+                state.barriers.load(Ordering::Relaxed),
+                profiling,
+                false,
+            ));
+        }
         return Err(match rec.kind {
             FaultKind::Timeout => ClError::LaunchTimedOut {
                 kernel: rec.kernel,
@@ -236,10 +340,37 @@ pub(crate) fn execute_kernel(
         }
     };
 
+    // Modeled devices report the modeled execution window (the device
+    // under study), native devices the measured one — mirroring how
+    // profiling-enabled OpenCL queues report device time.
+    let completed_ns = if modeled {
+        started_ns + (duration_s * 1e9) as u64
+    } else {
+        end_ns
+    };
+    let profiling = ProfilingInfo {
+        queued_ns,
+        submitted_ns,
+        started_ns,
+        completed_ns,
+    };
+
     let mut ev = Event::new(CommandKind::NdRangeKernel, duration_s, modeled);
     ev.groups = n_groups as u64;
     ev.barriers = state.barriers.load(Ordering::Relaxed);
     ev.items = state.items.load(Ordering::Relaxed);
     ev.panics = state.panics.load(Ordering::Relaxed);
+    ev.profiling = profiling;
+    if let Some(log) = trace_log {
+        log.record(Span::launch(
+            launch_id,
+            kernel.name(),
+            n_groups,
+            ev.items,
+            ev.barriers,
+            profiling,
+            true,
+        ));
+    }
     Ok(ev)
 }

@@ -111,6 +111,14 @@ pub(crate) struct GroupStats {
     pub(crate) items_run: u64,
 }
 
+/// Where a traced group's barrier spans go: the launch's [`TraceLog`]
+/// plus the identity (launch id, linear group id) to stamp on each span.
+pub(crate) struct BarrierTrace<'r> {
+    pub(crate) log: &'r crate::trace::TraceLog,
+    pub(crate) launch: u64,
+    pub(crate) group: usize,
+}
+
 /// The execution context of one workgroup.
 pub struct GroupCtx<'r> {
     pub(crate) range: &'r ResolvedRange,
@@ -123,6 +131,8 @@ pub struct GroupCtx<'r> {
     /// The launch's abort signal, when running under the contained
     /// execution engine.
     pub(crate) abort: Option<&'r AbortSignal>,
+    /// Barrier-wait span sink, when the launch is traced.
+    pub(crate) btrace: Option<BarrierTrace<'r>>,
 }
 
 impl<'r> GroupCtx<'r> {
@@ -133,6 +143,7 @@ impl<'r> GroupCtx<'r> {
             stats: GroupStats::default(),
             trace: None,
             abort: None,
+            btrace: None,
         }
     }
 
@@ -148,6 +159,7 @@ impl<'r> GroupCtx<'r> {
             stats: GroupStats::default(),
             trace: Some(trace),
             abort: Some(abort),
+            btrace: None,
         }
     }
 
@@ -276,6 +288,13 @@ impl<'r> GroupCtx<'r> {
     #[inline]
     pub fn barrier(&mut self) {
         self.stats.barriers += 1;
+        if let Some(bt) = &self.btrace {
+            bt.log.record(crate::trace::Span::barrier(
+                bt.launch,
+                bt.group,
+                self.stats.barriers,
+            ));
+        }
     }
 
     /// Allocate zeroed workgroup-local memory (`__local T[len]`).

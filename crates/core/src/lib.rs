@@ -82,6 +82,7 @@ mod kernel;
 mod ndrange;
 mod program;
 mod queue;
+mod trace;
 mod validate;
 
 /// Re-export so consumers can implement [`Kernel::access_spec`] (whose
@@ -93,11 +94,12 @@ pub use buffer::{BufView, BufViewMut, Buffer, Pod};
 pub use context::Context;
 pub use device::{Device, DeviceKind, Platform};
 pub use error::ClError;
-pub use event::{CommandKind, Event};
+pub use event::{CommandKind, Event, ProfilingInfo};
 pub use kernel::{GroupCtx, Kernel, LocalBuf, WorkItem};
 pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
 pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};
+pub use trace::{now_ns, Span, SpanKind, TraceLog};
 pub use validate::{validate_disjoint_writes, WriteConflict};
 
 /// Fault-containment vocabulary, re-exported from the pool so kernels can

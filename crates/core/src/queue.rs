@@ -7,7 +7,6 @@
 
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::time::Instant;
 
 use cl_mem::{MapGuard, MapMode};
 
@@ -15,10 +14,11 @@ use crate::buffer::{Buffer, Pod};
 use crate::context::Context;
 use crate::device::DeviceKind;
 use crate::error::ClError;
-use crate::event::{CommandKind, Event};
+use crate::event::{CommandKind, Event, ProfilingInfo};
 use crate::exec::execute_kernel;
 use crate::kernel::Kernel;
 use crate::ndrange::NDRange;
+use crate::trace::{self, Span, TraceLog};
 
 /// Queue construction options (`clCreateCommandQueue` properties analog).
 #[derive(Debug, Clone, Default)]
@@ -28,23 +28,45 @@ pub struct QueueConfig {
     /// returns [`ClError::LaunchTimedOut`]. `None` (the default) disables
     /// the watchdog; [`QueueConfig::from_env`] reads `CL_LAUNCH_TIMEOUT_MS`.
     pub launch_timeout: Option<std::time::Duration>,
+    /// Record structured [`Span`]s for every command the queue runs into a
+    /// per-queue [`TraceLog`] (the `CL_QUEUE_PROFILING_ENABLE` analog, plus
+    /// scheduler-level detail OpenCL does not expose). Off by default —
+    /// disabled queues allocate no log and record nothing;
+    /// [`QueueConfig::from_env`] reads `CL_TRACE`.
+    pub tracing: bool,
 }
 
 impl QueueConfig {
     /// Defaults, overridden by the environment: `CL_LAUNCH_TIMEOUT_MS=<ms>`
-    /// arms the launch watchdog (0 or unparsable values leave it off).
+    /// arms the launch watchdog (0 or unparsable values leave it off);
+    /// `CL_TRACE=1` (or `true`) enables span tracing.
     pub fn from_env() -> Self {
         let launch_timeout = std::env::var("CL_LAUNCH_TIMEOUT_MS")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
             .filter(|&ms| ms > 0)
             .map(std::time::Duration::from_millis);
-        QueueConfig { launch_timeout }
+        let tracing = std::env::var("CL_TRACE")
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false);
+        QueueConfig {
+            launch_timeout,
+            tracing,
+        }
     }
 
     /// Set the launch watchdog deadline.
     pub fn launch_timeout(mut self, t: std::time::Duration) -> Self {
         self.launch_timeout = Some(t);
+        self
+    }
+
+    /// Enable or disable span tracing.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }
@@ -54,18 +76,19 @@ impl QueueConfig {
 pub struct CommandQueue {
     ctx: Context,
     cfg: QueueConfig,
+    /// The queue's span sink; allocated once iff `cfg.tracing`. Clones of
+    /// the queue share it (as clones share the underlying `cl_command_queue`).
+    trace: Option<Arc<TraceLog>>,
 }
 
 impl CommandQueue {
     pub(crate) fn new(ctx: Context) -> Self {
-        CommandQueue {
-            ctx,
-            cfg: QueueConfig::from_env(),
-        }
+        CommandQueue::with_config(ctx, QueueConfig::from_env())
     }
 
     pub(crate) fn with_config(ctx: Context, cfg: QueueConfig) -> Self {
-        CommandQueue { ctx, cfg }
+        let trace = cfg.tracing.then(|| Arc::new(TraceLog::new()));
+        CommandQueue { ctx, cfg, trace }
     }
 
     /// The owning context.
@@ -76,6 +99,12 @@ impl CommandQueue {
     /// The queue's configuration.
     pub fn config(&self) -> &QueueConfig {
         &self.cfg
+    }
+
+    /// The queue's trace log, when tracing is enabled
+    /// ([`QueueConfig::tracing`] / `CL_TRACE=1`).
+    pub fn trace(&self) -> Option<&Arc<TraceLog>> {
+        self.trace.as_ref()
     }
 
     fn check_ctx<T: Pod>(&self, buf: &Buffer<T>) -> Result<(), ClError> {
@@ -93,15 +122,36 @@ impl CommandQueue {
         kernel: &Arc<dyn Kernel>,
         range: NDRange,
     ) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
         let device = self.ctx.device();
+        // Scoped sink install: the pool reports steals and worker lifecycle
+        // events into this queue's log only while one of its traced launches
+        // is in flight, so untraced queues sharing the pool stay silent and
+        // a traced queue doesn't collect other queues' scheduling noise.
+        let _sink = self.trace.as_ref().map(|log| {
+            device
+                .pool()
+                .set_event_sink(Arc::clone(log) as Arc<dyn cl_pool::PoolEventSink>);
+            SinkGuard {
+                pool: device.pool(),
+            }
+        });
         // Self-healing: respawn any worker a previous launch's fatal fault
         // retired, so a faulted queue recovers on its next enqueue. One
-        // atomic load when nothing died.
+        // atomic load when nothing died. (Runs under the sink install so a
+        // respawn triggered by this enqueue lands in the trace.)
         let respawned = device.pool().recover() as u64;
         let resolved = range.resolve_with(device.default_wg(), device.null_target_groups())?;
         #[cfg(debug_assertions)]
         check_contract(kernel, &resolved)?;
-        let mut ev = execute_kernel(device, kernel, &resolved, self.cfg.launch_timeout)?;
+        let mut ev = execute_kernel(
+            device,
+            kernel,
+            &resolved,
+            self.cfg.launch_timeout,
+            self.trace.as_ref(),
+            queued_ns,
+        )?;
         ev.workers_respawned = respawned;
         Ok(ev)
     }
@@ -120,18 +170,17 @@ impl CommandQueue {
         offset: usize,
         src: &[T],
     ) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(src);
         let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         let raw = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
         self.ctx
             .inner
             .transfer
             .write_buffer(&buf.inner.region, byte_off, raw)?;
-        let mut ev = self.transfer_event(CommandKind::WriteBuffer, t0, bytes, true);
-        ev.bytes = bytes as u64;
-        Ok(ev)
+        Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
     }
 
     /// `clEnqueueReadBuffer` (blocking): buffer → host through the staging
@@ -142,18 +191,17 @@ impl CommandQueue {
         offset: usize,
         dst: &mut [T],
     ) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(dst);
         let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         let raw = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
         self.ctx
             .inner
             .transfer
             .read_buffer(&buf.inner.region, byte_off, raw)?;
-        let mut ev = self.transfer_event(CommandKind::ReadBuffer, t0, bytes, true);
-        ev.bytes = bytes as u64;
-        Ok(ev)
+        Ok(self.transfer_event(CommandKind::ReadBuffer, queued_ns, started_ns, bytes, true))
     }
 
     /// `clEnqueueMapBuffer` with `CL_MAP_READ` (blocking): zero-copy host
@@ -162,16 +210,22 @@ impl CommandQueue {
         &'q self,
         buf: &'q Buffer<T>,
     ) -> Result<(TypedMap<'q, T>, Event), ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         let guard = self.ctx.inner.transfer.map(
             &buf.inner.region,
             buf.byte_offset(),
             buf.byte_len(),
             MapMode::Read,
         )?;
-        let mut ev = self.transfer_event(CommandKind::MapBuffer, t0, buf.byte_len(), false);
-        ev.bytes = buf.byte_len() as u64;
+        let ev = self.transfer_event(
+            CommandKind::MapBuffer,
+            queued_ns,
+            started_ns,
+            buf.byte_len(),
+            false,
+        );
         Ok((
             TypedMap {
                 guard,
@@ -186,16 +240,22 @@ impl CommandQueue {
         &'q self,
         buf: &'q Buffer<T>,
     ) -> Result<(TypedMapMut<'q, T>, Event), ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         let guard = self.ctx.inner.transfer.map(
             &buf.inner.region,
             buf.byte_offset(),
             buf.byte_len(),
             MapMode::ReadWrite,
         )?;
-        let mut ev = self.transfer_event(CommandKind::MapBuffer, t0, buf.byte_len(), false);
-        ev.bytes = buf.byte_len() as u64;
+        let ev = self.transfer_event(
+            CommandKind::MapBuffer,
+            queued_ns,
+            started_ns,
+            buf.byte_len(),
+            false,
+        );
         Ok((
             TypedMapMut {
                 guard,
@@ -215,6 +275,7 @@ impl CommandQueue {
         dst_offset: usize,
         count: usize,
     ) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(src)?;
         self.check_ctx(dst)?;
         let elem = std::mem::size_of::<T>();
@@ -223,22 +284,21 @@ impl CommandQueue {
         let bytes = count.checked_mul(elem).ok_or(ClError::BufferTooLarge)?;
         let src_off = elem_offset_bytes::<T>(src.byte_offset(), src_offset)?;
         let dst_off = elem_offset_bytes::<T>(dst.byte_offset(), dst_offset)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         // Bounds are enforced by the region; stage through a scratch Vec so
         // overlapping src/dst windows behave like memmove.
         let mut scratch = vec![0u8; bytes];
         src.inner.region.read_into(src_off, &mut scratch)?;
         dst.inner.region.write_from(dst_off, &scratch)?;
-        let mut ev = self.transfer_event(CommandKind::WriteBuffer, t0, bytes, true);
-        ev.bytes = bytes as u64;
-        Ok(ev)
+        Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
     }
 
     /// `clEnqueueFillBuffer` (blocking): fill the buffer's window with a
     /// repeated element value.
     pub fn fill_buffer<T: Pod>(&self, buf: &Buffer<T>, value: T) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
-        let t0 = Instant::now();
+        let started_ns = trace::now_ns();
         let elem = std::mem::size_of::<T>();
         let raw = unsafe { std::slice::from_raw_parts(&value as *const T as *const u8, elem) };
         // Write the pattern element-by-element through a staged row to keep
@@ -248,18 +308,33 @@ impl CommandQueue {
             chunk.copy_from_slice(raw);
         }
         buf.inner.region.write_from(buf.byte_offset(), &staged)?;
-        let mut ev = self.transfer_event(CommandKind::WriteBuffer, t0, staged.len(), true);
-        ev.bytes = staged.len() as u64;
-        Ok(ev)
+        Ok(self.transfer_event(
+            CommandKind::WriteBuffer,
+            queued_ns,
+            started_ns,
+            staged.len(),
+            true,
+        ))
     }
 
     /// `clFinish`: all commands block already, so this is a no-op provided
     /// for API fidelity.
     pub fn finish(&self) {}
 
-    fn transfer_event(&self, kind: CommandKind, t0: Instant, bytes: usize, is_copy: bool) -> Event {
-        match self.ctx.device().kind() {
-            DeviceKind::NativeCpu => Event::new(kind, t0.elapsed().as_secs_f64(), false),
+    /// Build a completed transfer's event: duration (wall for native,
+    /// modeled for modeled devices), bytes, the four profiling timestamps,
+    /// and — when tracing — a [`SpanKind::Transfer`](crate::SpanKind) span.
+    fn transfer_event(
+        &self,
+        kind: CommandKind,
+        queued_ns: u64,
+        started_ns: u64,
+        bytes: usize,
+        is_copy: bool,
+    ) -> Event {
+        let end_ns = trace::now_ns();
+        let (duration_s, modeled) = match self.ctx.device().kind() {
+            DeviceKind::NativeCpu => (end_ns.saturating_sub(started_ns) as f64 / 1e9, false),
             DeviceKind::ModeledCpu(_) | DeviceKind::ModeledGpu(_) => {
                 let model = self.ctx.device().transfer_model();
                 let d = if is_copy {
@@ -267,9 +342,44 @@ impl CommandQueue {
                 } else {
                     model.map_time(bytes)
                 };
-                Event::new(kind, d, true)
+                (d, true)
             }
+        };
+        // As for kernels: modeled devices report the modeled transfer window.
+        let completed_ns = if modeled {
+            started_ns + (duration_s * 1e9) as u64
+        } else {
+            end_ns
+        };
+        let mut ev = Event::new(kind, duration_s, modeled);
+        ev.bytes = bytes as u64;
+        ev.profiling = ProfilingInfo {
+            queued_ns,
+            submitted_ns: started_ns,
+            started_ns,
+            completed_ns,
+        };
+        if let Some(log) = &self.trace {
+            log.record(Span::transfer(
+                kind,
+                bytes,
+                started_ns,
+                completed_ns.saturating_sub(started_ns),
+            ));
         }
+        ev
+    }
+}
+
+/// Uninstalls the pool event sink a traced enqueue installed, even on the
+/// error paths.
+struct SinkGuard<'p> {
+    pool: &'p Arc<cl_pool::ThreadPool>,
+}
+
+impl Drop for SinkGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.clear_event_sink();
     }
 }
 

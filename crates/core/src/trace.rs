@@ -1,0 +1,485 @@
+//! Structured tracing for the runtime (DESIGN.md §10).
+//!
+//! A [`TraceLog`] records one [`Span`] per interesting runtime moment:
+//! kernel launches (with their [`ProfilingInfo`] timestamps), per-worker
+//! workgroup-chunk executions (with the executing worker and its pinned
+//! core), barrier phases, deque steals, fault aborts, worker retirements
+//! and respawns, and memsys transfer/map commands. Spans make the paper's
+//! "where does the time go" questions — workitem coalescing, workgroup
+//! chunking, map vs copy, core placement — directly assertable from tests
+//! and reportable from the `cl-trace` harness binary.
+//!
+//! Tracing is **opt-in** per queue (`QueueConfig::tracing` / `CL_TRACE=1`).
+//! When disabled nothing is allocated and the launch hot path pays only an
+//! `Option` check; the pool's steal path pays a single relaxed atomic load
+//! (no sink installed). All timestamps are nanoseconds since the process
+//! trace epoch ([`now_ns`]), the same clock [`ProfilingInfo`] uses, so
+//! event timestamps and spans line up on one timeline.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use cl_util::sync::Mutex;
+
+use crate::event::{CommandKind, ProfilingInfo};
+
+/// Nanoseconds since the process trace epoch (the first call in the
+/// process). Monotonic; shared by spans and [`ProfilingInfo`].
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// What a [`Span`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One kernel enqueue, queued → completed. Carries the event's
+    /// [`ProfilingInfo`] and whether the launch succeeded.
+    Launch,
+    /// One workgroup chunk (`group_start..group_end` linear ids) executed
+    /// by one thread.
+    Chunk,
+    /// A barrier phase boundary inside a workgroup (instant: barriers are
+    /// satisfied by construction in the coalesced execution model, so they
+    /// mark phases rather than measure waiting).
+    Barrier,
+    /// A task was stolen from a sibling worker's deque.
+    Steal,
+    /// The launch's abort protocol tripped (panic, fatal fault, or
+    /// watchdog timeout — see the label).
+    Abort,
+    /// A worker retired after a fatal fault (device-lost model).
+    WorkerLost,
+    /// A self-healing enqueue respawned a retired worker.
+    WorkerRespawn,
+    /// A blocking transfer command (read/write/map/copy/fill).
+    Transfer,
+}
+
+impl SpanKind {
+    /// Stable lowercase name, used by the chrome://tracing export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Launch => "launch",
+            SpanKind::Chunk => "chunk",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Steal => "steal",
+            SpanKind::Abort => "abort",
+            SpanKind::WorkerLost => "worker-lost",
+            SpanKind::WorkerRespawn => "worker-respawn",
+            SpanKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// One recorded runtime moment. A deliberately flat record: every kind
+/// uses the subset of fields that applies to it (the constructors document
+/// which), so tests and exporters can filter and aggregate without
+/// pattern-matching nested payloads.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub kind: SpanKind,
+    /// Launch this span belongs to (`TraceLog`-unique, starting at 1);
+    /// 0 for spans not tied to a launch (transfers, pool events).
+    pub launch: u64,
+    /// Kernel name (launch), command label (transfer), or fault kind
+    /// (abort). Empty otherwise.
+    pub label: String,
+    /// Span start, ns since the trace epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Span duration in ns (0 for instant events).
+    pub dur_ns: u64,
+    /// Pool worker that produced the span (`None`: host or helper thread).
+    pub worker: Option<usize>,
+    /// Core the producing worker is pinned to, per its pool's `PinPolicy`.
+    pub core: Option<usize>,
+    /// Chunk/launch: first linear workgroup id covered (launch: 0).
+    pub group_start: usize,
+    /// Chunk/launch: one past the last linear workgroup id covered
+    /// (launch: the launch's total group count).
+    pub group_end: usize,
+    /// Chunk/launch: workitems executed. Transfer: bytes moved.
+    pub items: u64,
+    /// Chunk/launch: barrier phases executed.
+    pub barriers: u64,
+    /// Launch: completed without a fault. Other kinds: true.
+    pub ok: bool,
+    /// Launch: the event-profiling timestamps (zeroed for other kinds).
+    pub profiling: ProfilingInfo,
+}
+
+impl Span {
+    fn base(kind: SpanKind, launch: u64, start_ns: u64, dur_ns: u64) -> Self {
+        Span {
+            kind,
+            launch,
+            label: String::new(),
+            start_ns,
+            dur_ns,
+            worker: cl_pool::current_worker(),
+            core: cl_pool::current_pinned_core(),
+            group_start: 0,
+            group_end: 0,
+            items: 0,
+            barriers: 0,
+            ok: true,
+            profiling: ProfilingInfo::default(),
+        }
+    }
+
+    pub(crate) fn launch(
+        id: u64,
+        kernel: &str,
+        n_groups: usize,
+        items: u64,
+        barriers: u64,
+        profiling: ProfilingInfo,
+        ok: bool,
+    ) -> Self {
+        let mut s = Span::base(
+            SpanKind::Launch,
+            id,
+            profiling.queued_ns,
+            profiling.completed_ns.saturating_sub(profiling.queued_ns),
+        );
+        s.label = kernel.to_string();
+        s.group_end = n_groups;
+        s.items = items;
+        s.barriers = barriers;
+        s.ok = ok;
+        s.profiling = profiling;
+        s
+    }
+
+    pub(crate) fn chunk(
+        launch: u64,
+        groups: Range<usize>,
+        items: u64,
+        barriers: u64,
+        start_ns: u64,
+    ) -> Self {
+        let mut s = Span::base(
+            SpanKind::Chunk,
+            launch,
+            start_ns,
+            now_ns().saturating_sub(start_ns),
+        );
+        s.group_start = groups.start;
+        s.group_end = groups.end;
+        s.items = items;
+        s.barriers = barriers;
+        s
+    }
+
+    pub(crate) fn barrier(launch: u64, group: usize, phase: u64) -> Self {
+        let mut s = Span::base(SpanKind::Barrier, launch, now_ns(), 0);
+        s.group_start = group;
+        s.group_end = group + 1;
+        s.barriers = phase;
+        s
+    }
+
+    pub(crate) fn abort(launch: u64, reason: &str) -> Self {
+        let mut s = Span::base(SpanKind::Abort, launch, now_ns(), 0);
+        s.label = reason.to_string();
+        s.ok = false;
+        s
+    }
+
+    pub(crate) fn transfer(kind: CommandKind, bytes: usize, start_ns: u64, dur_ns: u64) -> Self {
+        let mut s = Span::base(SpanKind::Transfer, 0, start_ns, dur_ns);
+        s.label = kind.label().to_string();
+        s.items = bytes as u64;
+        s
+    }
+
+    fn pool_event(kind: SpanKind, worker: Option<usize>) -> Self {
+        let mut s = Span::base(kind, 0, now_ns(), 0);
+        s.worker = worker;
+        s
+    }
+
+    /// Linear workgroup ids this span covers.
+    pub fn groups(&self) -> Range<usize> {
+        self.group_start..self.group_end
+    }
+}
+
+/// An in-memory trace sink: append-only, queryable, exportable.
+///
+/// One log per traced queue. Recording is a mutex push (tracing is a
+/// measurement mode, not a hot-path default); queries snapshot the spans.
+#[derive(Default)]
+pub struct TraceLog {
+    spans: Mutex<Vec<Span>>,
+    next_launch: AtomicU64,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Allocate the next launch id (1-based; 0 means "no launch").
+    pub(crate) fn begin_launch(&self) -> u64 {
+        self.next_launch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn record(&self, span: Span) {
+        self.spans.lock().push(span);
+    }
+
+    /// Snapshot of every span recorded so far, in record order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all recorded spans (launch ids keep increasing).
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// All spans of one kind, in record order.
+    pub fn of_kind(&self, kind: SpanKind) -> Vec<Span> {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// All launch spans, in record order.
+    pub fn launches(&self) -> Vec<Span> {
+        self.of_kind(SpanKind::Launch)
+    }
+
+    /// The most recent launch span, if any.
+    pub fn last_launch(&self) -> Option<Span> {
+        self.spans
+            .lock()
+            .iter()
+            .rev()
+            .find(|s| s.kind == SpanKind::Launch)
+            .cloned()
+    }
+
+    /// The chunk spans of `launch`, sorted by first covered group id.
+    pub fn chunks_of(&self, launch: u64) -> Vec<Span> {
+        let mut v: Vec<Span> = self
+            .spans
+            .lock()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Chunk && s.launch == launch)
+            .cloned()
+            .collect();
+        v.sort_by_key(|s| s.group_start);
+        v
+    }
+
+    /// Verify that the chunk spans of `launch` exactly partition the
+    /// linear workgroup ids `0..n_groups`: no gap, no overlap, no stray
+    /// group. This is the central execution invariant tracing makes
+    /// checkable — every workgroup scheduled exactly once.
+    pub fn verify_chunk_partition(&self, launch: u64, n_groups: usize) -> Result<(), String> {
+        let chunks = self.chunks_of(launch);
+        let mut next = 0usize;
+        for c in &chunks {
+            if c.group_start != next {
+                return Err(format!(
+                    "launch {launch}: expected a chunk starting at group {next}, \
+                     found [{}, {}) — {} chunks total",
+                    c.group_start,
+                    c.group_end,
+                    chunks.len()
+                ));
+            }
+            if c.group_end <= c.group_start {
+                return Err(format!(
+                    "launch {launch}: empty/inverted chunk [{}, {})",
+                    c.group_start, c.group_end
+                ));
+            }
+            next = c.group_end;
+        }
+        if next != n_groups {
+            return Err(format!(
+                "launch {launch}: chunks cover groups 0..{next}, launch has {n_groups}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Export every span as a chrome://tracing "trace event" JSON array
+    /// (load via chrome://tracing or https://ui.perfetto.dev). Durations
+    /// use complete events (`ph:"X"`), instants use `ph:"i"`; `tid` is the
+    /// worker id + 1 (0 = host), timestamps are microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(128 * spans.len() + 2);
+        out.push('[');
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ph = if s.dur_ns > 0 || s.kind == SpanKind::Chunk || s.kind == SpanKind::Launch {
+                "X"
+            } else {
+                "i"
+            };
+            let tid = s.worker.map_or(0, |w| w + 1);
+            let name = if s.label.is_empty() {
+                s.kind.name().to_string()
+            } else {
+                format!("{}:{}", s.kind.name(), json_escape(&s.label))
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\
+                 \"ts\":{:.3},\"pid\":1,\"tid\":{tid}",
+                s.kind.name(),
+                s.start_ns as f64 / 1e3,
+            ));
+            if ph == "X" {
+                out.push_str(&format!(",\"dur\":{:.3}", s.dur_ns as f64 / 1e3));
+            } else {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(&format!(
+                ",\"args\":{{\"launch\":{},\"groups\":\"{}..{}\",\"items\":{},\
+                 \"barriers\":{},\"core\":{},\"ok\":{}}}}}",
+                s.launch,
+                s.group_start,
+                s.group_end,
+                s.items,
+                s.barriers,
+                s.core.map_or(-1i64, |c| c as i64),
+                s.ok,
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The pool-event bridge: a traced launch installs its queue's log as the
+/// pool's event sink, so steals and worker lifecycle events recorded by
+/// `cl-pool` land on the same timeline as the launch's chunks.
+impl cl_pool::PoolEventSink for TraceLog {
+    fn on_steal(&self, thief: Option<usize>) {
+        let mut s = Span::pool_event(SpanKind::Steal, thief);
+        s.core = cl_pool::current_pinned_core();
+        self.record(s);
+    }
+
+    fn on_worker_lost(&self, worker: usize) {
+        self.record(Span::pool_event(SpanKind::WorkerLost, Some(worker)));
+    }
+
+    fn on_worker_respawned(&self, worker: usize) {
+        self.record(Span::pool_event(SpanKind::WorkerRespawn, Some(worker)));
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn launch_ids_are_unique_and_one_based() {
+        let log = TraceLog::new();
+        assert_eq!(log.begin_launch(), 1);
+        assert_eq!(log.begin_launch(), 2);
+    }
+
+    #[test]
+    fn partition_check_accepts_exact_cover_and_rejects_gaps() {
+        let log = TraceLog::new();
+        let id = log.begin_launch();
+        log.record(Span::chunk(id, 4..8, 0, 0, now_ns()));
+        log.record(Span::chunk(id, 0..4, 0, 0, now_ns()));
+        assert!(log.verify_chunk_partition(id, 8).is_ok());
+        assert!(log.verify_chunk_partition(id, 9).is_err());
+
+        let id2 = log.begin_launch();
+        log.record(Span::chunk(id2, 0..3, 0, 0, now_ns()));
+        log.record(Span::chunk(id2, 4..8, 0, 0, now_ns()));
+        let err = log.verify_chunk_partition(id2, 8).unwrap_err();
+        assert!(
+            err.contains("expected a chunk starting at group 3"),
+            "{err}"
+        );
+
+        let id3 = log.begin_launch();
+        log.record(Span::chunk(id3, 0..4, 0, 0, now_ns()));
+        log.record(Span::chunk(id3, 2..8, 0, 0, now_ns()));
+        assert!(log.verify_chunk_partition(id3, 8).is_err());
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let log = TraceLog::new();
+        let id = log.begin_launch();
+        log.record(Span::chunk(id, 0..2, 64, 1, now_ns()));
+        log.record(Span::abort(id, "panic \"quoted\""));
+        let json = log.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("abort:panic \\\"quoted\\\""));
+        // Balanced braces — the cheap structural sanity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn queries_filter_by_kind_and_launch() {
+        let log = TraceLog::new();
+        let a = log.begin_launch();
+        let b = log.begin_launch();
+        log.record(Span::chunk(a, 0..1, 1, 0, now_ns()));
+        log.record(Span::chunk(b, 0..1, 1, 0, now_ns()));
+        log.record(Span::abort(b, "timeout"));
+        assert_eq!(log.chunks_of(a).len(), 1);
+        assert_eq!(log.chunks_of(b).len(), 1);
+        assert_eq!(log.of_kind(SpanKind::Abort).len(), 1);
+        assert_eq!(log.len(), 3);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

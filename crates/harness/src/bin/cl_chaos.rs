@@ -98,7 +98,8 @@ fn main() {
     let ctx = Context::new(device);
     let timeout = Duration::from_millis(timeout_ms.max(1));
     // One queue for the whole soak: every round must leave it usable.
-    let q = ctx.queue_with(QueueConfig::default().launch_timeout(timeout));
+    // `from_env` honours CL_TRACE=1, so CI can soak the tracing paths too.
+    let q = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout));
 
     let mut rng = XorShift::seed_from_u64(seed);
     let mut results = Vec::with_capacity(rounds);

@@ -54,7 +54,7 @@ pub use barrier::CentralBarrier;
 pub use chunk::{ChunkSource, GuidedSource};
 pub use fault::{AbortSignal, BarrierAborted, FatalFault};
 pub use metrics::{MetricsSnapshot, PoolMetrics};
-pub use pool::{PoolConfig, PoolError, ThreadPool};
+pub use pool::{PoolConfig, PoolError, PoolEventSink, ThreadPool};
 pub use scope::Scope;
 
 /// Identifier of a worker inside a pool: `0..workers`.
@@ -67,4 +67,14 @@ pub type WorkerId = usize;
 /// to cores.
 pub fn current_worker() -> Option<WorkerId> {
     worker::current_worker()
+}
+
+/// The core the calling pool worker was assigned by its [`PinPolicy`], or
+/// `None` on non-worker threads and unpinned workers.
+///
+/// Reports the policy's intent (recorded even when the affinity syscall was
+/// rejected by a restricted cpuset), so trace consumers see the placement
+/// the experiment *asked for* deterministically.
+pub fn current_pinned_core() -> Option<usize> {
+    worker::current_pinned_core()
 }

@@ -78,6 +78,25 @@ impl PoolConfig {
     }
 }
 
+/// Observer for scheduler events that are invisible in aggregate counters:
+/// individual steals, worker retirements, and respawns. Installed with
+/// [`ThreadPool::set_event_sink`]; `ocl-rt`'s trace log implements it so
+/// launches can attribute scheduling behaviour span-by-span.
+///
+/// Callbacks run on the thread where the event happened (the thief, the
+/// dying worker, the recovering host) and must be cheap and panic-free.
+pub trait PoolEventSink: Send + Sync {
+    /// A task was stolen from a sibling worker's deque. `thief` is the
+    /// stealing worker's id, or `None` when a non-worker (helping) thread
+    /// stole it.
+    fn on_steal(&self, thief: Option<crate::WorkerId>);
+    /// A worker retired after executing a task that raised a
+    /// [`FatalFault`].
+    fn on_worker_lost(&self, worker: crate::WorkerId);
+    /// [`ThreadPool::recover`] replaced a retired worker.
+    fn on_worker_respawned(&self, worker: crate::WorkerId);
+}
+
 /// Errors from pool construction.
 #[derive(Debug)]
 pub enum PoolError {
@@ -115,6 +134,10 @@ pub(crate) struct Inner {
     /// `recover` cost one atomic load per call in the (overwhelmingly
     /// common) no-fault case.
     pub(crate) worker_died: AtomicBool,
+    /// Fast-path gate for the event sink: steal/retire/respawn paths pay
+    /// one relaxed load when no sink is installed (the common case).
+    pub(crate) sink_active: AtomicBool,
+    pub(crate) sink: Mutex<Option<Arc<dyn PoolEventSink>>>,
 }
 
 impl Inner {
@@ -129,6 +152,14 @@ impl Inner {
 
     pub(crate) fn notify_all(&self) {
         self.wakeup.notify_all();
+    }
+
+    /// The installed event sink, if any. One relaxed load when none is.
+    pub(crate) fn sink(&self) -> Option<Arc<dyn PoolEventSink>> {
+        if !self.sink_active.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.sink.lock().clone()
     }
 
     /// Try to obtain one task from the injector or any worker deque.
@@ -150,6 +181,9 @@ impl Inner {
                 match s.steal() {
                     Steal::Success(t) => {
                         self.metrics.record_steal();
+                        if let Some(sink) = self.sink() {
+                            sink.on_steal(crate::current_worker());
+                        }
                         return Some(t);
                     }
                     Steal::Retry => continue,
@@ -226,6 +260,8 @@ impl ThreadPool {
             spin_tries: cfg.spin_tries,
             dead: (0..cfg.workers).map(|_| AtomicBool::new(false)).collect(),
             worker_died: AtomicBool::new(false),
+            sink_active: AtomicBool::new(false),
+            sink: Mutex::new(None),
         });
         let n_cores = available_cores();
         let cores: Vec<Option<usize>> = (0..cfg.workers)
@@ -263,6 +299,20 @@ impl ThreadPool {
     /// Pool counters.
     pub fn metrics(&self) -> &PoolMetrics {
         &self.inner.metrics
+    }
+
+    /// Install an observer for per-event scheduler signals (steals, worker
+    /// retirements, respawns). Replaces any previous sink. When no sink is
+    /// installed the hot paths pay a single relaxed atomic load.
+    pub fn set_event_sink(&self, sink: Arc<dyn PoolEventSink>) {
+        *self.inner.sink.lock() = Some(sink);
+        self.inner.sink_active.store(true, Ordering::Release);
+    }
+
+    /// Remove the event sink installed by [`Self::set_event_sink`].
+    pub fn clear_event_sink(&self) {
+        self.inner.sink_active.store(false, Ordering::Release);
+        *self.inner.sink.lock() = None;
     }
 
     /// Submit a detached `'static` task.
@@ -376,6 +426,9 @@ impl ThreadPool {
                     // join returns promptly.
                     let _ = std::mem::replace(slot, fresh).join();
                     self.inner.metrics.record_worker_respawned();
+                    if let Some(sink) = self.inner.sink() {
+                        sink.on_worker_respawned(id);
+                    }
                     respawned += 1;
                 }
                 Err(_) => {

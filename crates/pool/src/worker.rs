@@ -13,11 +13,20 @@ use crate::WorkerId;
 
 thread_local! {
     static WORKER_ID: Cell<Option<WorkerId>> = const { Cell::new(None) };
+    static WORKER_CORE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Worker id of the calling thread, when it is a pool worker.
 pub(crate) fn current_worker() -> Option<WorkerId> {
     WORKER_ID.with(|c| c.get())
+}
+
+/// Core the calling worker was assigned by its pool's [`crate::PinPolicy`],
+/// when the thread is a pool worker with a pinned core. This records the
+/// policy's *intent* — it is set even if the `sched_setaffinity` call was
+/// rejected (restricted cpuset), so traces stay deterministic.
+pub(crate) fn current_pinned_core() -> Option<usize> {
+    WORKER_CORE.with(|c| c.get())
 }
 
 pub(crate) fn run_worker(
@@ -27,6 +36,7 @@ pub(crate) fn run_worker(
     pin_core: Option<usize>,
 ) {
     WORKER_ID.with(|c| c.set(Some(id)));
+    WORKER_CORE.with(|c| c.set(pin_core));
     if let Some(core) = pin_core {
         // Best effort: a rejected mask (restricted cpuset) must not kill the
         // worker, only lose the locality benefit.
@@ -56,6 +66,9 @@ pub(crate) fn run_worker(
                     match inner.stealers[victim].steal_batch_and_pop(&local) {
                         Steal::Success(t) => {
                             inner.metrics.record_steal();
+                            if let Some(sink) = inner.sink() {
+                                sink.on_steal(Some(id));
+                            }
                             return Some(t);
                         }
                         Steal::Retry => continue,
@@ -77,9 +90,13 @@ pub(crate) fn run_worker(
                     inner.metrics.record_worker_lost();
                     inner.dead[id].store(true, Ordering::Release);
                     inner.worker_died.store(true, Ordering::Release);
+                    if let Some(sink) = inner.sink() {
+                        sink.on_worker_lost(id);
+                    }
                     // Wake peers: queued work must not wait for a park tick.
                     inner.notify_all();
                     WORKER_ID.with(|c| c.set(None));
+                    WORKER_CORE.with(|c| c.set(None));
                     return;
                 }
             }
@@ -106,6 +123,7 @@ pub(crate) fn run_worker(
         }
     }
     WORKER_ID.with(|c| c.set(None));
+    WORKER_CORE.with(|c| c.set(None));
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use cl_util::XorShift;
 use integration_tests::native_ctx;
-use ocl_rt::{Buffer, GroupCtx, Kernel, MemFlags, NDRange};
+use ocl_rt::{Buffer, ClError, GroupCtx, Kernel, MemFlags, NDRange, QueueConfig};
 
 /// Writes `gx + 1000·gy + 1000000·gz` at the flattened global id.
 struct StampIds {
@@ -158,4 +158,86 @@ fn every_item_runs_once_in_2d() {
             "{gx}x{gy} local {lx}x{ly}"
         );
     }
+}
+
+// Trace-partition properties: with tracing on, the chunk spans of every
+// launch must be an exact partition of the launch's linear workgroup ids —
+// whatever the dimensionality, workgroup size, or NULL-local resolution.
+
+/// A kernel with no observable side effect; the *trace* is the output.
+struct Nop;
+impl Kernel for Nop {
+    fn name(&self) -> &str {
+        "nop"
+    }
+    fn run_group(&self, g: &mut GroupCtx) {
+        g.for_each(|_| {});
+    }
+}
+
+#[test]
+fn trace_chunks_partition_any_explicit_geometry() {
+    let mut rng = XorShift::seed_from_u64(0xD4);
+    let ctx = native_ctx();
+    let q = ctx.queue_with(QueueConfig::default().tracing(true));
+    let log = q.trace().unwrap().clone();
+    let k: std::sync::Arc<dyn Kernel> = std::sync::Arc::new(Nop);
+    for case in 0..24 {
+        let dims = rng.range_usize(1, 4);
+        // Locals from 1 up; globals rounded to multiples (explicit locals
+        // must divide), including size-1 edges in every dimension.
+        let (l, g): (Vec<usize>, Vec<usize>) = (0..dims)
+            .map(|_| {
+                let l = rng.range_usize(1, 9);
+                (l, rng.range_usize(1, 30).div_ceil(l) * l)
+            })
+            .unzip();
+        let range = match dims {
+            1 => NDRange::d1(g[0]).local1(l[0]),
+            2 => NDRange::d2(g[0], g[1]).local2(l[0], l[1]),
+            _ => NDRange::d3(g[0], g[1], g[2]).local3(l[0], l[1], l[2]),
+        };
+        let ev = q.enqueue_kernel(&k, range).unwrap();
+        let launch = log.last_launch().unwrap();
+        let n_groups: usize = g.iter().zip(&l).map(|(gi, li)| gi / li).product();
+        assert_eq!(ev.groups as usize, n_groups, "case {case}: {g:?}/{l:?}");
+        log.verify_chunk_partition(launch.launch, n_groups)
+            .unwrap_or_else(|e| panic!("case {case}: {g:?} local {l:?}: {e}"));
+        let covered: u64 = log.chunks_of(launch.launch).iter().map(|c| c.items).sum();
+        assert_eq!(covered, ev.items, "case {case}");
+    }
+}
+
+#[test]
+fn trace_chunks_partition_null_local_resolutions() {
+    // NULL local_work_size with awkward (prime, non-divisible) globals: the
+    // resolver picks the workgroup size, and whatever it picks, the chunk
+    // spans must still cover each group exactly once.
+    let mut rng = XorShift::seed_from_u64(0xD5);
+    let ctx = native_ctx();
+    let q = ctx.queue_with(QueueConfig::default().tracing(true));
+    let log = q.trace().unwrap().clone();
+    let k: std::sync::Arc<dyn Kernel> = std::sync::Arc::new(Nop);
+    for &n in &[1usize, 2, 3, 97, 101, 1009, 4096, 9973] {
+        let _ = rng.next_u64();
+        let ev = q.enqueue_kernel(&k, NDRange::d1(n)).unwrap();
+        let launch = log.last_launch().unwrap();
+        assert_eq!(ev.items, n as u64, "n={n}");
+        log.verify_chunk_partition(launch.launch, ev.groups as usize)
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn zero_sized_launch_is_rejected_and_records_no_spans() {
+    let ctx = native_ctx();
+    let q = ctx.queue_with(QueueConfig::default().tracing(true));
+    let log = q.trace().unwrap().clone();
+    let k: std::sync::Arc<dyn Kernel> = std::sync::Arc::new(Nop);
+    let err = q.enqueue_kernel(&k, NDRange::d1(0)).unwrap_err();
+    assert!(matches!(err, ClError::InvalidGlobalWorkSize));
+    assert!(
+        log.is_empty(),
+        "a rejected launch must not leave spans behind"
+    );
 }

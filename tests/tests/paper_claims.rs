@@ -4,6 +4,8 @@
 
 use cl_harness::{figures, Config};
 use cl_vec::VectorizerPolicy;
+use ocl_rt::{Context, Device};
+use perf_model::{CpuSpec, GpuSpec};
 
 fn cfg() -> Config {
     Config::default()
@@ -98,6 +100,67 @@ fn finding5_programming_model_affects_vectorization() {
     assert!(
         opencl_wins >= 4,
         "the asymmetry must show on several benches, got {opencl_wins}"
+    );
+}
+
+/// Figure 6 through the event-profiling path: run the real ILP kernels on
+/// the *modeled* devices and derive throughput from the events'
+/// `clGetEventProfilingInfo` timestamps (deterministic model profiles, no
+/// sleeps). The paper's shape must survive the profiling plumbing: CPU
+/// speedup monotone in ILP 1→4 and large; GPU flat.
+#[test]
+fn fig6_ilp_shape_holds_in_profiling_timestamps() {
+    // Enough workgroups to saturate GPU occupancy (flatness is a TLP
+    // claim — an underfilled device IS ILP-sensitive), few enough inner
+    // iterations that the kernels still execute quickly in debug builds.
+    const N: usize = 1 << 18;
+    const ITERS: usize = 16;
+    let total_flops = cl_kernels::ilp::flops_per_item(ITERS) * N as f64;
+
+    let gflops_by_ilp = |ctx: &Context| -> Vec<f64> {
+        let q = ctx.queue();
+        (1..=4usize)
+            .map(|ilp| {
+                let built = cl_kernels::ilp::build(ctx, N, ilp, ITERS, 256, 7);
+                let ev = q.enqueue_kernel(&built.kernel, built.range).unwrap();
+                let p = ev.profiling();
+                assert!(p.is_monotonic(), "ilp={ilp}: {p:?}");
+                built.verify(&q).unwrap();
+                total_flops / p.execution_s() / 1e9
+            })
+            .collect()
+    };
+
+    let cpu = gflops_by_ilp(&Context::new(Device::modeled_cpu(CpuSpec::xeon_e5645())));
+    assert!(
+        cpu.windows(2).all(|w| w[1] > w[0]),
+        "CPU throughput must rise monotonically with ILP: {cpu:?}"
+    );
+    assert!(cpu[3] > 2.5 * cpu[0], "CPU ILP4 must dwarf ILP1: {cpu:?}");
+
+    let gpu = gflops_by_ilp(&Context::new(Device::modeled_gpu(GpuSpec::gtx580())));
+    let spread = (gpu.iter().cloned().fold(f64::MIN, f64::max)
+        - gpu.iter().cloned().fold(f64::MAX, f64::min))
+        / gpu[0];
+    assert!(
+        spread < 0.05,
+        "GPU must be ILP-insensitive in profiled time: {gpu:?} (spread {spread})"
+    );
+}
+
+/// Figure 9 pinned tighter than finding 4: the deterministic cache
+/// simulation charges misaligned workgroup placement at least 10% over the
+/// aligned run (the repo's committed figure reports ~14%).
+#[test]
+fn fig9_misalignment_costs_at_least_ten_percent() {
+    let fig9 = figures::fig9::run(&cfg());
+    let s = fig9.series("modeled (cache-sim)").unwrap();
+    let aligned = s.get("aligned").unwrap();
+    let misaligned = s.get("misaligned").unwrap();
+    assert_eq!(aligned, 1.0, "aligned run is the unit baseline");
+    assert!(
+        misaligned >= 1.10,
+        "misaligned placement must cost ≥10%, got {misaligned}"
     );
 }
 

@@ -8,7 +8,8 @@
 use cl_kernels::apps::{reduction, square, vectoradd};
 use cl_util::XorShift;
 use cl_vec::{IndexExpr, Loop, LoopVectorizer, Stmt, Temp, TripCount, VectorizerPolicy};
-use integration_tests::native_ctx;
+use integration_tests::{all_ctxs, native_ctx};
+use ocl_rt::QueueConfig;
 use perf_model::{CpuModel, CpuSpec, GpuModel, GpuSpec, KernelProfile, Launch};
 
 const CASES: usize = 24;
@@ -190,6 +191,78 @@ fn vectorized_verdicts_are_internally_consistent() {
         }
         if r.vectorized {
             assert_eq!(r.width, 4, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn traced_launches_balance_on_every_device_kind() {
+    // On every device kind — native (one chunk per group) and modeled
+    // (coarse chunks) — a traced launch's chunk spans must partition the
+    // NDRange, and their per-chunk item/barrier tallies must sum to the
+    // event's aggregates. Reduction exercises barriers too.
+    let mut rng = XorShift::seed_from_u64(0xE9);
+    for case in 0..8 {
+        let n = rng.range_usize(64, 20_000);
+        let wg = 1usize << rng.range_usize(2, 8);
+        let seed = rng.next_u64();
+        for (name, ctx) in all_ctxs() {
+            let q = ctx.queue_with(QueueConfig::default().tracing(true));
+            let log = q.trace().unwrap().clone();
+            let built = reduction::build(&ctx, n, wg, seed);
+            let ev = q.enqueue_kernel(&built.kernel, built.range).unwrap();
+            let launch = log.last_launch().unwrap();
+            assert!(launch.ok, "case {case} on {name}");
+            log.verify_chunk_partition(launch.launch, ev.groups as usize)
+                .unwrap_or_else(|e| panic!("case {case} on {name}: {e}"));
+            let chunks = log.chunks_of(launch.launch);
+            assert_eq!(
+                chunks.iter().map(|c| c.items).sum::<u64>(),
+                ev.items,
+                "case {case} on {name}: chunk items don't sum to the event's"
+            );
+            assert_eq!(
+                chunks.iter().map(|c| c.barriers).sum::<u64>(),
+                ev.barriers,
+                "case {case} on {name}: chunk barriers don't sum to the event's"
+            );
+            built
+                .verify(&q)
+                .unwrap_or_else(|e| panic!("case {case} on {name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn profiling_timestamps_are_monotonic_on_every_device_kind() {
+    let mut rng = XorShift::seed_from_u64(0xEA);
+    for case in 0..8 {
+        let wg = 1usize << rng.range_usize(0, 7);
+        let n = rng.range_usize(1, 4096).div_ceil(wg) * wg;
+        let seed = rng.next_u64();
+        for (name, ctx) in all_ctxs() {
+            let q = ctx.queue();
+            let built = square::build(&ctx, n, 1, Some(wg), seed);
+            let ev = q.enqueue_kernel(&built.kernel, built.range).unwrap();
+            let p = ev.profiling();
+            assert!(p.is_monotonic(), "case {case} on {name}: {p:?}");
+            // The profiling window agrees with the event's duration: the
+            // modeled window is exact by construction, the native one is
+            // measured twice (wall vs clock) so it only has to be close.
+            let window = p.execution_s();
+            if ev.modeled {
+                assert!(
+                    (window - ev.duration_s()).abs() <= 1e-9 + ev.duration_s() * 1e-6,
+                    "case {case} on {name}: window {window} vs modeled {}",
+                    ev.duration_s()
+                );
+            } else {
+                assert!(
+                    window <= ev.duration_s() + 1e-3,
+                    "case {case} on {name}: execution window {window} exceeds wall {}",
+                    ev.duration_s()
+                );
+            }
         }
     }
 }
