@@ -28,4 +28,7 @@ cargo run --release --quiet --bin cl-trace
 echo "== cl-chaos tracing soak (CL_TRACE=1, 5 rounds)"
 CL_TRACE=1 cargo run --release --quiet --bin cl-chaos -- --rounds 5 --seed 7 --out target/chaos-traced
 
+echo "== cl-flow (clean replays must be violation-free; seeded faults all caught)"
+cargo run --release --quiet --bin cl-flow
+
 echo "CI green."

@@ -1,0 +1,472 @@
+//! Per-launch footprint summaries: per-buffer read/write interval sets.
+//!
+//! A [`LaunchFootprint`] compresses a [`KernelAccessSpec`] at its concrete
+//! NDRange into, per global buffer, four element interval sets:
+//!
+//! * **may_read / may_write** — over-approximations: every element the
+//!   kernel could possibly touch (from [`crate::prove::index_interval`],
+//!   guard-aware). Sound for proving two commands *independent*.
+//! * **must_read / must_write** — under-approximations: elements *every*
+//!   execution of the launch definitely touches. Sound for proving a
+//!   dependence (RAW/WAW) or a redundant transfer *certain*.
+//!
+//! The must sets require the access's value set to be *provably the whole
+//! integer interval* between its min and max — certified with the same
+//! mixed-radix reasoning the injectivity prover uses, inverted: instead of
+//! demanding each stride exceed the span of smaller terms (no collisions),
+//! contiguity demands each stride be *bridgeable* by that span (no holes).
+
+use crate::ir::{AccessKind, Guard, Index, KernelAccessSpec, LintGeometry, Target, Var};
+use crate::prove::{canonicalize, index_interval, Canon};
+
+/// A set of disjoint, sorted, half-open `[lo, end)` intervals over `i128`.
+///
+/// The flow analyzer uses these for byte ranges within a buffer region; the
+/// footprint summary uses them for element ranges. All operations keep the
+/// canonical form (sorted, disjoint, non-adjacent, non-empty runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    runs: Vec<(i128, i128)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// The single interval `[lo, end)` (empty if `lo >= end`).
+    pub fn of(lo: i128, end: i128) -> Self {
+        let mut s = IntervalSet::new();
+        s.insert(lo, end);
+        s
+    }
+
+    /// Add `[lo, end)`, merging overlapping and adjacent runs.
+    pub fn insert(&mut self, lo: i128, end: i128) {
+        if lo >= end {
+            return;
+        }
+        self.runs.push((lo, end));
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.runs.sort_unstable();
+        let mut merged: Vec<(i128, i128)> = Vec::with_capacity(self.runs.len());
+        for &(lo, end) in &self.runs {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(end),
+                _ => merged.push((lo, end)),
+            }
+        }
+        self.runs = merged;
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        out.runs.extend_from_slice(&other.runs);
+        out.normalize();
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (alo, aend) = self.runs[i];
+            let (blo, bend) = other.runs[j];
+            let lo = alo.max(blo);
+            let end = aend.min(bend);
+            if lo < end {
+                out.runs.push((lo, end));
+            }
+            if aend <= bend {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        for &(run_lo, end) in &self.runs {
+            let mut lo = run_lo;
+            for &(blo, bend) in &other.runs {
+                if bend <= lo || blo >= end {
+                    continue;
+                }
+                if blo > lo {
+                    out.runs.push((lo, blo));
+                }
+                lo = lo.max(bend);
+                if lo >= end {
+                    break;
+                }
+            }
+            if lo < end {
+                out.runs.push((lo, end));
+            }
+        }
+        out
+    }
+
+    /// Whether the two sets share any point.
+    pub fn overlaps(&self, other: &IntervalSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (alo, aend) = self.runs[i];
+            let (blo, bend) = other.runs[j];
+            if alo.max(blo) < aend.min(bend) {
+                return true;
+            }
+            if aend <= bend {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Whether every point of `other` is in `self`.
+    pub fn covers(&self, other: &IntervalSet) -> bool {
+        other.subtract(self).is_empty()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of points covered.
+    pub fn covered(&self) -> u128 {
+        self.runs.iter().map(|&(lo, end)| (end - lo) as u128).sum()
+    }
+
+    /// `(min, one-past-max)` over all runs, or `None` if empty.
+    pub fn bounds(&self) -> Option<(i128, i128)> {
+        match (self.runs.first(), self.runs.last()) {
+            (Some(&(lo, _)), Some(&(_, end))) => Some((lo, end)),
+            _ => None,
+        }
+    }
+
+    /// The canonical runs, sorted and disjoint.
+    pub fn runs(&self) -> &[(i128, i128)] {
+        &self.runs
+    }
+
+    /// Affinely map every run: `[lo, end)` → `[lo·scale + offset,
+    /// end·scale + offset)` — e.g. element intervals to byte intervals.
+    /// `scale` must be positive (order-preserving).
+    pub fn scaled(&self, scale: i128, offset: i128) -> IntervalSet {
+        assert!(scale > 0, "scale must be positive");
+        IntervalSet {
+            runs: self
+                .runs
+                .iter()
+                .map(|&(lo, end)| (lo * scale + offset, end * scale + offset))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, (lo, end)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "[{lo}, {end})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Element-granular footprint of one global buffer under one launch.
+#[derive(Debug, Clone)]
+pub struct BufferFootprint {
+    /// Index into the spec's `global_buffers`.
+    pub buffer: usize,
+    /// The spec's buffer name (matched against arg bindings by recorders).
+    pub name: String,
+    /// Declared element length.
+    pub len: usize,
+    /// Elements the launch may read (over-approximation).
+    pub may_read: IntervalSet,
+    /// Elements the launch may write (over-approximation).
+    pub may_write: IntervalSet,
+    /// Elements every run of the launch definitely reads.
+    pub must_read: IntervalSet,
+    /// Elements every run of the launch definitely writes.
+    pub must_write: IntervalSet,
+    /// Whether any access is an atomic read-modify-write (atomics
+    /// contribute to both may sets and never to the must sets).
+    pub atomic: bool,
+}
+
+/// The per-buffer footprints of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchFootprint {
+    pub kernel: String,
+    pub buffers: Vec<BufferFootprint>,
+}
+
+impl LaunchFootprint {
+    /// The footprint of the buffer the spec names `name`, if declared.
+    pub fn buffer(&self, name: &str) -> Option<&BufferFootprint> {
+        self.buffers.iter().find(|b| b.name == name)
+    }
+}
+
+/// Summarize a spec's global-memory behaviour into per-buffer interval
+/// sets over its concrete geometry.
+pub fn launch_footprint(spec: &KernelAccessSpec) -> LaunchFootprint {
+    let mut buffers: Vec<BufferFootprint> = spec
+        .global_buffers
+        .iter()
+        .enumerate()
+        .map(|(i, b)| BufferFootprint {
+            buffer: i,
+            name: b.name.clone(),
+            len: b.len,
+            may_read: IntervalSet::new(),
+            may_write: IntervalSet::new(),
+            must_read: IntervalSet::new(),
+            must_write: IntervalSet::new(),
+            atomic: false,
+        })
+        .collect();
+    for phase in &spec.phases {
+        for acc in &phase.accesses {
+            let Target::Global(b) = acc.target else {
+                continue;
+            };
+            // An empty guard means the access never executes: both sets stay
+            // empty.
+            let may = index_interval(&acc.index, acc.guard, &spec.geometry)
+                .map(|(lo, hi)| IntervalSet::of(lo, hi + 1))
+                .unwrap_or_default();
+            let must = must_interval(&acc.index, acc.guard, &spec.geometry)
+                .map(|(lo, hi)| IntervalSet::of(lo, hi + 1))
+                .unwrap_or_default();
+            let fp = &mut buffers[b];
+            match acc.kind {
+                AccessKind::Read => {
+                    fp.may_read = fp.may_read.union(&may);
+                    fp.must_read = fp.must_read.union(&must);
+                }
+                AccessKind::Write => {
+                    fp.may_write = fp.may_write.union(&may);
+                    fp.must_write = fp.must_write.union(&must);
+                }
+                AccessKind::AtomicUpdate => {
+                    fp.atomic = true;
+                    fp.may_read = fp.may_read.union(&may);
+                    fp.may_write = fp.may_write.union(&may);
+                }
+            }
+        }
+    }
+    LaunchFootprint {
+        kernel: spec.name.clone(),
+        buffers,
+    }
+}
+
+/// `(min, max)` of an access's value set when that set is provably the
+/// *full* integer interval and the access *definitely executes*, so every
+/// element in the interval is touched on every run. `None` whenever either
+/// half cannot be certified (opaque indices, guards we cannot tighten,
+/// strides that leave holes).
+fn must_interval(index: &Index, guard: Guard, g: &LintGeometry) -> Option<(i128, i128)> {
+    let Index::Affine(a) = index else {
+        return None;
+    };
+    match guard {
+        // Always: every workitem executes. LocalLeader: exactly one item
+        // per group executes, unconditionally — canonicalize pins the local
+        // ids to a single value, so contiguity over the group part decides.
+        Guard::Always | Guard::LocalLeader => {
+            let c = canonicalize(a, guard, g)?;
+            contiguous(&c).then(|| c.interval())
+        }
+        Guard::GlobalLt(n) => {
+            let (coef, off) = a.as_single(Var::GlobalLinear)?;
+            single_var_must(coef, off, (g.items() as i128).min(n as i128))
+        }
+        Guard::LocalLt(n) => {
+            // Same index range in every group: LocalLt admits the first
+            // `min(wg, n)` lanes of each group, all of which execute.
+            let (coef, off) = a.as_single(Var::LocalLinear)?;
+            single_var_must(coef, off, (g.wg_size() as i128).min(n as i128))
+        }
+    }
+}
+
+/// Single-variable case under a tightened guard: `±1·v + off` over
+/// `v ∈ [0, m)` covers its interval exactly; constants cover their point.
+fn single_var_must(coef: i64, off: i64, m: i128) -> Option<(i128, i128)> {
+    if m <= 0 {
+        return None;
+    }
+    let off = off as i128;
+    if coef == 0 {
+        return Some((off, off));
+    }
+    if coef.abs() != 1 {
+        return None; // stride > 1 leaves holes
+    }
+    let end = coef as i128 * (m - 1) + off;
+    Some((off.min(end), off.max(end)))
+}
+
+/// Mixed-radix contiguity test: over the sorted absolute coefficients of
+/// the non-degenerate variables, each stride must be bridgeable by the
+/// value span of the smaller terms (`|c| ≤ 1 + Σ |c_j|·(b_j−1)`). Then the
+/// value set is exactly the integer interval between min and max — the
+/// inverse of the superincreasing injectivity condition.
+fn contiguous(c: &Canon) -> bool {
+    let mut pairs: Vec<(i128, u64)> = (0..6)
+        .filter(|&i| c.bounds[i] > 1 && c.coefs[i] != 0)
+        .map(|i| (c.coefs[i].abs(), c.bounds[i]))
+        .collect();
+    pairs.sort_unstable();
+    let mut span = 0i128;
+    for (coef, b) in pairs {
+        if coef > span + 1 {
+            return false;
+        }
+        span += coef * (b as i128 - 1);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Affine, SpecBuilder};
+
+    #[test]
+    fn interval_set_ops_keep_canonical_form() {
+        let mut a = IntervalSet::new();
+        a.insert(10, 20);
+        a.insert(0, 5);
+        a.insert(5, 10); // adjacent: merges with both neighbours
+        assert_eq!(a.runs(), &[(0, 20)]);
+        assert_eq!(a.covered(), 20);
+
+        let b = IntervalSet::of(15, 30).union(&IntervalSet::of(40, 50));
+        assert_eq!(a.intersect(&b).runs(), &[(15, 20)]);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.subtract(&b).runs(), &[(0, 15)]);
+        assert_eq!(b.subtract(&a).runs(), &[(20, 30), (40, 50)]);
+        assert!(IntervalSet::of(0, 100).covers(&b));
+        assert!(!b.covers(&a));
+        assert_eq!(b.bounds(), Some((15, 50)));
+        assert!(IntervalSet::of(5, 5).is_empty());
+    }
+
+    #[test]
+    fn scaling_maps_elements_to_bytes() {
+        let elems = IntervalSet::of(0, 10).union(&IntervalSet::of(20, 30));
+        let bytes = elems.scaled(4, 64);
+        assert_eq!(bytes.runs(), &[(64, 104), (144, 184)]);
+    }
+
+    #[test]
+    fn unit_stride_guarded_kernel_has_exact_must_sets() {
+        // square at n = 1000, padded geometry: in/out touched exactly [0, n).
+        let geom = LintGeometry::d1(1024, 256);
+        let mut b = SpecBuilder::new("square", geom);
+        let inp = b.buffer("in", 1000);
+        let out = b.buffer("out", 1000);
+        b.read(inp, Affine::of(Var::GlobalLinear), Guard::GlobalLt(1000));
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::GlobalLt(1000));
+        let fp = launch_footprint(&b.finish());
+        let input = fp.buffer("in").unwrap();
+        let out = fp.buffer("out").unwrap();
+        assert_eq!(input.may_read.runs(), &[(0, 1000)]);
+        assert_eq!(input.must_read.runs(), &[(0, 1000)]);
+        assert!(input.may_write.is_empty());
+        assert_eq!(out.must_write.runs(), &[(0, 1000)]);
+        assert_eq!(out.may_write, out.must_write);
+    }
+
+    #[test]
+    fn strided_writes_have_no_must_set() {
+        let geom = LintGeometry::d1(8, 4);
+        let mut b = SpecBuilder::new("strided", geom);
+        let out = b.buffer("out", 16);
+        b.write(out, Affine::var(Var::GlobalLinear, 2), Guard::Always);
+        let fp = launch_footprint(&b.finish());
+        let o = fp.buffer("out").unwrap();
+        assert_eq!(o.may_write.runs(), &[(0, 15)]); // hull [0, 14] inclusive
+        assert!(o.must_write.is_empty(), "stride 2 leaves holes");
+    }
+
+    #[test]
+    fn leader_guarded_group_writes_are_contiguous_musts() {
+        // reduce's partial store: partials[group] under LocalLeader.
+        let geom = LintGeometry::d1(1024, 64);
+        let mut b = SpecBuilder::new("partials", geom);
+        let p = b.buffer("partials", 16);
+        b.write(p, Affine::of(Var::GroupLinear), Guard::LocalLeader);
+        let fp = launch_footprint(&b.finish());
+        let p = fp.buffer("partials").unwrap();
+        assert_eq!(p.must_write.runs(), &[(0, 16)]);
+        assert_eq!(p.may_write, p.must_write);
+    }
+
+    #[test]
+    fn opaque_and_atomic_accesses_stay_may_only() {
+        let geom = LintGeometry::d1(128, 64);
+        let mut b = SpecBuilder::new("hist", geom);
+        let bins = b.buffer("bins", 256);
+        b.atomic(bins, Index::Opaque { min: 0, max: 255 }, Guard::Always);
+        let fp = launch_footprint(&b.finish());
+        let bins = fp.buffer("bins").unwrap();
+        assert!(bins.atomic);
+        assert_eq!(bins.may_read.runs(), &[(0, 256)]);
+        assert_eq!(bins.may_write.runs(), &[(0, 256)]);
+        assert!(bins.must_write.is_empty());
+        assert!(bins.must_read.is_empty());
+    }
+
+    #[test]
+    fn empty_guard_contributes_nothing() {
+        let geom = LintGeometry::d1(64, 64);
+        let mut b = SpecBuilder::new("dead", geom);
+        let out = b.buffer("out", 64);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::GlobalLt(0));
+        let fp = launch_footprint(&b.finish());
+        let o = fp.buffer("out").unwrap();
+        assert!(o.may_write.is_empty());
+        assert!(o.must_write.is_empty());
+    }
+
+    #[test]
+    fn row_major_2d_store_is_a_full_must_cover() {
+        // C[gy·W + gx] over the whole grid: coefficients (1, W) with bounds
+        // (W, H) are contiguous, so the must set is the whole matrix.
+        let geom = LintGeometry::d2(32, 16, 8, 8);
+        let mut b = SpecBuilder::new("mm", geom);
+        let c = b.buffer("C", 32 * 16);
+        b.write(
+            c,
+            Affine::var(Var::Global(1), 32).plus_var(Var::Global(0), 1),
+            Guard::Always,
+        );
+        let fp = launch_footprint(&b.finish());
+        assert_eq!(fp.buffer("C").unwrap().must_write.runs(), &[(0, 512)]);
+    }
+}

@@ -25,12 +25,26 @@
 //! Verdicts are three-valued ([`Verdict`]): `Proven` lets the runtime skip
 //! the dynamic validator, `Violation` rejects the launch outright, and
 //! `Unknown` falls back to the dynamic check.
+//!
+//! Beyond single launches, [`footprint`] compresses a spec into per-buffer
+//! read/write interval sets over its concrete NDRange, and [`flow`] lifts
+//! those footprints to whole *command streams*: a dependence DAG
+//! (RAW/WAR/WAW/independent, three-valued) plus five inter-command lints
+//! (flag-contract, use-while-mapped, read-before-write, redundant
+//! transfer, unsynchronized host access) — the static core of `cl-flow`.
 
+pub mod flow;
+pub mod footprint;
 pub mod from_ir;
 pub mod ir;
 pub mod lints;
 pub mod prove;
 
+pub use flow::{
+    analyze_flow, BufUse, DepEdge, FlagClass, FlowAnalysis, FlowCommand, FlowFinding, FlowLintKind,
+    FlowOp, HazardKind,
+};
+pub use footprint::{launch_footprint, BufferFootprint, IntervalSet, LaunchFootprint};
 pub use from_ir::lift_loop;
 pub use ir::{
     Access, AccessKind, Affine, BufferSpec, Guard, Index, KernelAccessSpec, LintGeometry, Phase,

@@ -1,7 +1,7 @@
 //! Typed buffer objects (`cl_mem` analog) and kernel-side views.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cl_mem::{AllocLocation, MemFlags, MemRegion};
@@ -25,11 +25,16 @@ unsafe impl Pod for i64 {}
 unsafe impl Pod for [f32; 2] {}
 unsafe impl Pod for [f32; 4] {}
 
+/// Process-wide allocation counter: a stable identity for flow analysis
+/// (region addresses can be reused after a buffer is freed).
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
 pub(crate) struct BufferInner {
     pub(crate) region: MemRegion,
     pub(crate) flags: MemFlags,
     pub(crate) len: usize,
     pub(crate) ctx_id: u64,
+    pub(crate) id: u64,
 }
 
 /// A typed device buffer. Cloning is cheap (reference-counted, like
@@ -73,11 +78,18 @@ impl<T: Pod> Buffer<T> {
                 flags,
                 len,
                 ctx_id,
+                id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             }),
             offset: 0,
             window: len,
             _elem: PhantomData,
         })
+    }
+
+    /// Stable identity of the backing allocation (shared by clones and
+    /// sub-buffers, unique across the process lifetime).
+    pub fn id(&self) -> u64 {
+        self.inner.id
     }
 
     /// `clCreateSubBuffer`: a handle onto `count` elements starting at

@@ -1,0 +1,230 @@
+//! Command-stream recording — the runtime side of `cl-flow`.
+//!
+//! When a queue is created with [`crate::queue::QueueConfig::recording`]
+//! (or `CL_FLOW=1`), every command it executes is lowered into a
+//! [`cl_analyze::flow::FlowCommand`] and appended to the queue's
+//! [`FlowLog`]: kernel enqueues with their arg→buffer bindings and static
+//! footprints, all transfer commands, and map/unmap pairs. The log can then
+//! be analyzed offline with [`cl_analyze::analyze_flow`] — dependence DAG
+//! plus the five inter-command lints.
+//!
+//! Launch lowering happens **once per enqueue**: bindings are queried a
+//! single time via [`crate::kernel::Kernel::buffer_bindings`] and the
+//! footprint is scaled from elements to region-absolute bytes right there —
+//! workgroup chunks never re-resolve argument metadata. With recording
+//! disabled the queue holds no log and every record site is a single
+//! `Option` branch (measured by `cl-flow` the same way `cl-trace` measures
+//! the disabled-tracing path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cl_analyze::flow::{analyze_flow, BufUse, FlagClass, FlowAnalysis, FlowCommand, FlowOp};
+use cl_analyze::launch_footprint;
+use cl_mem::MemFlags;
+use cl_util::sync::Mutex;
+
+use crate::buffer::{Buffer, Pod};
+use crate::kernel::{ArgBinding, Kernel};
+use crate::ndrange::ResolvedRange;
+
+/// An in-memory recording of a queue's command stream.
+#[derive(Default)]
+pub struct FlowLog {
+    commands: Mutex<Vec<FlowCommand>>,
+    next_map_id: AtomicU64,
+}
+
+impl FlowLog {
+    pub fn new() -> Self {
+        FlowLog::default()
+    }
+
+    pub(crate) fn push(&self, cmd: FlowCommand) {
+        self.commands.lock().push(cmd);
+    }
+
+    pub(crate) fn next_map_id(&self) -> u64 {
+        self.next_map_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded stream.
+    pub fn commands(&self) -> Vec<FlowCommand> {
+        self.commands.lock().clone()
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.commands.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.commands.lock().is_empty()
+    }
+
+    /// Drop all recorded commands.
+    pub fn clear(&self) {
+        self.commands.lock().clear();
+    }
+
+    /// Analyze the recorded stream: dependence DAG + five lints.
+    pub fn analyze(&self) -> FlowAnalysis {
+        analyze_flow(&self.commands.lock())
+    }
+
+    /// Record a raw host access to `elems` (element range within the
+    /// buffer's window). `via_map: None` models touching device memory
+    /// outside any mapping — the unsynchronized-host-access violation;
+    /// `Some(id)` attributes the access to a mapping obtained from
+    /// [`crate::queue::CommandQueue::map_buffer`] (see `TypedMap::map_id`).
+    pub fn record_host_access<T: Pod>(
+        &self,
+        buf: &Buffer<T>,
+        elems: std::ops::Range<usize>,
+        write: bool,
+        via_map: Option<u64>,
+    ) {
+        let esz = std::mem::size_of::<T>();
+        let lo = (buf.byte_offset() + elems.start * esz) as i128;
+        let end = (buf.byte_offset() + elems.end * esz) as i128;
+        let mut u = transfer_use(buf);
+        if write {
+            u = u.writes(lo, end);
+        } else {
+            u = u.may_reads(lo, end);
+        }
+        let op = FlowOp::HostAccess { write, via_map };
+        let label = op.describe();
+        self.push(FlowCommand::new(op, label, vec![u]));
+    }
+}
+
+impl std::fmt::Debug for FlowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlowLog({} commands)", self.len())
+    }
+}
+
+pub(crate) fn flag_class(flags: MemFlags) -> FlagClass {
+    if !flags.kernel_can_write() {
+        FlagClass::ReadOnly
+    } else if !flags.kernel_can_read() {
+        FlagClass::WriteOnly
+    } else {
+        FlagClass::ReadWrite
+    }
+}
+
+/// Base `BufUse` for a transfer command touching `buf`'s window: identity,
+/// flags, and span, with empty interval sets for the caller to fill.
+pub(crate) fn transfer_use<T: Pod>(buf: &Buffer<T>) -> BufUse {
+    let lo = buf.byte_offset();
+    BufUse::new(
+        buf.id(),
+        format!("mem#{}", buf.id()),
+        flag_class(buf.flags()),
+        (lo, lo + buf.byte_len()),
+    )
+    .preinit(buf.flags().contains(MemFlags::COPY_HOST_PTR))
+}
+
+fn binding_use(b: &ArgBinding) -> BufUse {
+    let class = match (b.readable, b.writable) {
+        (true, false) => FlagClass::ReadOnly,
+        (false, _) => FlagClass::WriteOnly,
+        (true, true) => FlagClass::ReadWrite,
+    };
+    BufUse::new(
+        b.buffer,
+        b.name.clone(),
+        class,
+        (b.byte_offset, b.byte_offset + b.byte_len),
+    )
+    .preinit(b.preinit)
+}
+
+/// Lower one kernel enqueue into flow uses: bindings are captured once,
+/// and each binding's element footprint (when the kernel has a spec) is
+/// scaled to region-absolute bytes. Bindings without a matching spec
+/// buffer — and all bindings of spec-less kernels — get conservative
+/// whole-window may sets in the directions the allocation flags permit.
+/// Returns `(uses, has_spec)`.
+pub(crate) fn launch_uses(kernel: &dyn Kernel, resolved: &ResolvedRange) -> (Vec<BufUse>, bool) {
+    let bindings = kernel.buffer_bindings();
+    if bindings.is_empty() {
+        return (Vec::new(), false);
+    }
+    let spec = kernel.access_spec(resolved);
+    let fp = spec.as_ref().map(launch_footprint);
+    let uses = bindings
+        .iter()
+        .map(|b| {
+            let mut u = binding_use(b);
+            match fp.as_ref().and_then(|f| f.buffer(&b.name)) {
+                Some(bf) => {
+                    let esz = b.elem_size as i128;
+                    let off = b.byte_offset as i128;
+                    u.may_read = bf.may_read.scaled(esz, off);
+                    u.must_read = bf.must_read.scaled(esz, off);
+                    u.may_write = bf.may_write.scaled(esz, off);
+                    u.must_write = bf.must_write.scaled(esz, off);
+                    u.atomic = bf.atomic;
+                }
+                None => {
+                    let (lo, end) = (u.span.0 as i128, u.span.1 as i128);
+                    if b.readable {
+                        u = u.may_reads(lo, end);
+                    }
+                    if b.writable {
+                        u = u.may_writes(lo, end);
+                    }
+                }
+            }
+            u
+        })
+        .collect();
+    (uses, spec.is_some())
+}
+
+/// Deferred unmap recording carried by `TypedMap`/`TypedMapMut`: when the
+/// host view drops, the `Unmap` command lands in the log (host writes
+/// through a writable mapping become visible at unmap).
+pub(crate) struct FlowUnmap {
+    log: Arc<FlowLog>,
+    map_id: u64,
+    template: BufUse,
+    lo: i128,
+    end: i128,
+    writes: bool,
+}
+
+impl FlowUnmap {
+    pub(crate) fn new(log: Arc<FlowLog>, map_id: u64, template: BufUse, writes: bool) -> Self {
+        let (lo, end) = (template.span.0 as i128, template.span.1 as i128);
+        FlowUnmap {
+            log,
+            map_id,
+            template,
+            lo,
+            end,
+            writes,
+        }
+    }
+
+    pub(crate) fn map_id(&self) -> u64 {
+        self.map_id
+    }
+
+    pub(crate) fn record(self) {
+        let mut u = self.template;
+        if self.writes {
+            u = u.writes(self.lo, self.end);
+        }
+        self.log.push(FlowCommand::new(
+            FlowOp::Unmap { id: self.map_id },
+            format!("unmap#{}", self.map_id),
+            vec![u],
+        ));
+    }
+}

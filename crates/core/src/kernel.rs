@@ -13,9 +13,50 @@
 use cl_pool::AbortSignal;
 use perf_model::KernelProfile;
 
-use crate::buffer::Pod;
+use crate::buffer::{Buffer, Pod};
 use crate::fault::GidTrace;
 use crate::ndrange::ResolvedRange;
+
+/// One kernel argument's binding to a buffer, for the command-stream
+/// recorder (`clSetKernelArg` metadata). `name` must match the buffer name
+/// in the kernel's [`cl_analyze::KernelAccessSpec`] so the recorder can
+/// attach the launch footprint to the right allocation; unmatched bindings
+/// fall back to whole-window conservative footprints.
+#[derive(Debug, Clone)]
+pub struct ArgBinding {
+    /// Spec buffer name this argument is declared under.
+    pub name: String,
+    /// Stable allocation id ([`Buffer::id`]).
+    pub buffer: u64,
+    /// Element size in bytes.
+    pub elem_size: usize,
+    /// Byte offset of the bound window within the backing region.
+    pub byte_offset: usize,
+    /// Byte length of the bound window.
+    pub byte_len: usize,
+    /// Whether kernels may read this allocation (`!WRITE_ONLY`).
+    pub readable: bool,
+    /// Whether kernels may write this allocation (`!READ_ONLY`).
+    pub writable: bool,
+    /// Whether the allocation was host-initialized (`COPY_HOST_PTR`).
+    pub preinit: bool,
+}
+
+impl ArgBinding {
+    /// Capture the binding facts of one buffer argument.
+    pub fn of<T: Pod>(name: &str, buf: &Buffer<T>) -> Self {
+        ArgBinding {
+            name: name.to_string(),
+            buffer: buf.id(),
+            elem_size: std::mem::size_of::<T>(),
+            byte_offset: buf.byte_offset(),
+            byte_len: buf.byte_len(),
+            readable: buf.flags().kernel_can_read(),
+            writable: buf.flags().kernel_can_write(),
+            preinit: buf.flags().contains(cl_mem::MemFlags::COPY_HOST_PTR),
+        }
+    }
+}
 
 /// One workitem's identity within a launch (`get_global_id` etc.).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -336,6 +377,14 @@ pub trait Kernel: Send + Sync {
     /// dynamic path. `None` (the default) opts out of static checking.
     fn access_spec(&self, _range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
         None
+    }
+
+    /// The buffer arguments this kernel was constructed with, for the
+    /// command-stream recorder and the enqueue-time flag-contract check.
+    /// Queried **once per enqueue** (never per workgroup chunk). The
+    /// default — no bindings — opts the kernel out of flow recording.
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        Vec::new()
     }
 }
 

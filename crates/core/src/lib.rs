@@ -78,6 +78,7 @@ mod error;
 mod event;
 mod exec;
 mod fault;
+mod flow;
 mod kernel;
 mod ndrange;
 mod program;
@@ -95,7 +96,8 @@ pub use context::Context;
 pub use device::{Device, DeviceKind, Platform};
 pub use error::ClError;
 pub use event::{CommandKind, Event, ProfilingInfo};
-pub use kernel::{GroupCtx, Kernel, LocalBuf, WorkItem};
+pub use flow::FlowLog;
+pub use kernel::{ArgBinding, GroupCtx, Kernel, LocalBuf, WorkItem};
 pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
 pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};

@@ -10,12 +10,15 @@ use std::sync::Arc;
 
 use cl_mem::{MapGuard, MapMode};
 
+use cl_analyze::flow::{FlowCommand, FlowOp};
+
 use crate::buffer::{Buffer, Pod};
 use crate::context::Context;
 use crate::device::DeviceKind;
 use crate::error::ClError;
 use crate::event::{CommandKind, Event, ProfilingInfo};
 use crate::exec::execute_kernel;
+use crate::flow::{self, FlowLog};
 use crate::kernel::Kernel;
 use crate::ndrange::NDRange;
 use crate::trace::{self, Span, TraceLog};
@@ -34,6 +37,12 @@ pub struct QueueConfig {
     /// disabled queues allocate no log and record nothing;
     /// [`QueueConfig::from_env`] reads `CL_TRACE`.
     pub tracing: bool,
+    /// Record the queue's command stream (launches with arg→buffer
+    /// bindings, transfers, map/unmap) into a per-queue [`FlowLog`] for
+    /// offline dataflow analysis (`cl-flow`). Off by default — disabled
+    /// queues allocate no log and every record site is one branch;
+    /// [`QueueConfig::from_env`] reads `CL_FLOW`.
+    pub recording: bool,
 }
 
 impl QueueConfig {
@@ -46,15 +55,18 @@ impl QueueConfig {
             .and_then(|v| v.trim().parse::<u64>().ok())
             .filter(|&ms| ms > 0)
             .map(std::time::Duration::from_millis);
-        let tracing = std::env::var("CL_TRACE")
-            .map(|v| {
-                let v = v.trim();
-                v == "1" || v.eq_ignore_ascii_case("true")
-            })
-            .unwrap_or(false);
+        let env_on = |name: &str| {
+            std::env::var(name)
+                .map(|v| {
+                    let v = v.trim();
+                    v == "1" || v.eq_ignore_ascii_case("true")
+                })
+                .unwrap_or(false)
+        };
         QueueConfig {
             launch_timeout,
-            tracing,
+            tracing: env_on("CL_TRACE"),
+            recording: env_on("CL_FLOW"),
         }
     }
 
@@ -69,6 +81,12 @@ impl QueueConfig {
         self.tracing = on;
         self
     }
+
+    /// Enable or disable command-stream recording.
+    pub fn recording(mut self, on: bool) -> Self {
+        self.recording = on;
+        self
+    }
 }
 
 /// An in-order command queue (`cl_command_queue` analog).
@@ -79,6 +97,9 @@ pub struct CommandQueue {
     /// The queue's span sink; allocated once iff `cfg.tracing`. Clones of
     /// the queue share it (as clones share the underlying `cl_command_queue`).
     trace: Option<Arc<TraceLog>>,
+    /// The queue's command-stream recording; allocated once iff
+    /// `cfg.recording`, shared by clones like the trace log.
+    flow: Option<Arc<FlowLog>>,
 }
 
 impl CommandQueue {
@@ -88,7 +109,13 @@ impl CommandQueue {
 
     pub(crate) fn with_config(ctx: Context, cfg: QueueConfig) -> Self {
         let trace = cfg.tracing.then(|| Arc::new(TraceLog::new()));
-        CommandQueue { ctx, cfg, trace }
+        let flow = cfg.recording.then(|| Arc::new(FlowLog::new()));
+        CommandQueue {
+            ctx,
+            cfg,
+            trace,
+            flow,
+        }
     }
 
     /// The owning context.
@@ -105,6 +132,12 @@ impl CommandQueue {
     /// ([`QueueConfig::tracing`] / `CL_TRACE=1`).
     pub fn trace(&self) -> Option<&Arc<TraceLog>> {
         self.trace.as_ref()
+    }
+
+    /// The queue's command-stream recording, when enabled
+    /// ([`QueueConfig::recording`] / `CL_FLOW=1`).
+    pub fn flow(&self) -> Option<&Arc<FlowLog>> {
+        self.flow.as_ref()
     }
 
     fn check_ctx<T: Pod>(&self, buf: &Buffer<T>) -> Result<(), ClError> {
@@ -144,6 +177,29 @@ impl CommandQueue {
         let resolved = range.resolve_with(device.default_wg(), device.null_target_groups())?;
         #[cfg(debug_assertions)]
         check_contract(kernel, &resolved)?;
+        // Lower the launch for recording and/or the debug flag-contract
+        // gate. Bindings and the footprint are captured exactly once per
+        // enqueue, right here — workgroup chunks never re-resolve argument
+        // metadata. With recording off (release), this is one branch.
+        let lowered = (self.flow.is_some() || cfg!(debug_assertions))
+            .then(|| flow::launch_uses(kernel.as_ref(), &resolved));
+        #[cfg(debug_assertions)]
+        if let Some((uses, _)) = &lowered {
+            check_flag_contract(kernel.name(), uses)?;
+        }
+        if let Some(log) = &self.flow {
+            // Recorded before execution so faulted launches still appear in
+            // the stream the lints see.
+            let (uses, has_spec) = lowered.unwrap_or_default();
+            log.push(FlowCommand::new(
+                FlowOp::Launch {
+                    kernel: kernel.name().to_string(),
+                    has_spec,
+                },
+                kernel.name(),
+                uses,
+            ));
+        }
         let mut ev = execute_kernel(
             device,
             kernel,
@@ -180,6 +236,14 @@ impl CommandQueue {
             .inner
             .transfer
             .write_buffer(&buf.inner.region, byte_off, raw)?;
+        if let Some(log) = &self.flow {
+            let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
+            log.push(FlowCommand::new(
+                FlowOp::WriteBuffer,
+                format!("write {bytes}B"),
+                vec![flow::transfer_use(buf).writes(lo, end)],
+            ));
+        }
         Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
     }
 
@@ -201,6 +265,14 @@ impl CommandQueue {
             .inner
             .transfer
             .read_buffer(&buf.inner.region, byte_off, raw)?;
+        if let Some(log) = &self.flow {
+            let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
+            log.push(FlowCommand::new(
+                FlowOp::ReadBuffer,
+                format!("read {bytes}B"),
+                vec![flow::transfer_use(buf).reads(lo, end)],
+            ));
+        }
         Ok(self.transfer_event(CommandKind::ReadBuffer, queued_ns, started_ns, bytes, true))
     }
 
@@ -226,9 +298,26 @@ impl CommandQueue {
             buf.byte_len(),
             false,
         );
+        // Read-intent map: the host definitely consumes the mapped bytes,
+        // so the Map command carries a must-read over the range.
+        let flow = self.flow.as_ref().map(|log| {
+            let id = log.next_map_id();
+            let u = flow::transfer_use(buf);
+            let (lo, end) = (u.span.0 as i128, u.span.1 as i128);
+            log.push(FlowCommand::new(
+                FlowOp::Map {
+                    id,
+                    writable: false,
+                },
+                format!("map#{id} (ro)"),
+                vec![u.clone().reads(lo, end)],
+            ));
+            flow::FlowUnmap::new(Arc::clone(log), id, u, false)
+        });
         Ok((
             TypedMap {
                 guard,
+                flow,
                 _t: PhantomData,
             },
             ev,
@@ -256,9 +345,22 @@ impl CommandQueue {
             buf.byte_len(),
             false,
         );
+        // Write-intent map: host writes become visible at unmap, so the
+        // write sets ride the deferred Unmap command, not the Map.
+        let flow = self.flow.as_ref().map(|log| {
+            let id = log.next_map_id();
+            let u = flow::transfer_use(buf);
+            log.push(FlowCommand::new(
+                FlowOp::Map { id, writable: true },
+                format!("map#{id} (rw)"),
+                vec![u.clone()],
+            ));
+            flow::FlowUnmap::new(Arc::clone(log), id, u, true)
+        });
         Ok((
             TypedMapMut {
                 guard,
+                flow,
                 _t: PhantomData,
             },
             ev,
@@ -290,6 +392,16 @@ impl CommandQueue {
         let mut scratch = vec![0u8; bytes];
         src.inner.region.read_into(src_off, &mut scratch)?;
         dst.inner.region.write_from(dst_off, &scratch)?;
+        if let Some(log) = &self.flow {
+            log.push(FlowCommand::new(
+                FlowOp::CopyBuffer,
+                format!("copy {bytes}B"),
+                vec![
+                    flow::transfer_use(src).reads(src_off as i128, (src_off + bytes) as i128),
+                    flow::transfer_use(dst).writes(dst_off as i128, (dst_off + bytes) as i128),
+                ],
+            ));
+        }
         Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
     }
 
@@ -308,12 +420,47 @@ impl CommandQueue {
             chunk.copy_from_slice(raw);
         }
         buf.inner.region.write_from(buf.byte_offset(), &staged)?;
+        if let Some(log) = &self.flow {
+            let lo = buf.byte_offset() as i128;
+            log.push(FlowCommand::new(
+                FlowOp::FillBuffer,
+                format!("fill {}B", staged.len()),
+                vec![flow::transfer_use(buf).writes(lo, lo + staged.len() as i128)],
+            ));
+        }
         Ok(self.transfer_event(
             CommandKind::WriteBuffer,
             queued_ns,
             started_ns,
             staged.len(),
             true,
+        ))
+    }
+
+    /// `clEnqueueUnmapMemObject` by buffer window: force-release the one
+    /// outstanding mapping that covers exactly this handle's byte range.
+    ///
+    /// Surfaces the unmap-of-unmapped path as a typed error —
+    /// `ClError::Mem(MemError::NotMapped)` — instead of a silent no-op or
+    /// debug panic. The usual RAII path ([`TypedMap`]/[`TypedMapMut`]
+    /// dropping) does not need this; it exists for explicit lifecycle
+    /// control (e.g. a guard handed to `std::mem::forget`) and for error
+    /// surface parity with OpenCL's `CL_INVALID_VALUE` on bad unmaps.
+    pub fn unmap_buffer<T: Pod>(&self, buf: &Buffer<T>) -> Result<Event, ClError> {
+        let queued_ns = trace::now_ns();
+        self.check_ctx(buf)?;
+        let started_ns = trace::now_ns();
+        self.ctx.inner.transfer.unmap_range(
+            &buf.inner.region,
+            buf.byte_offset(),
+            buf.byte_len(),
+        )?;
+        Ok(self.transfer_event(
+            CommandKind::UnmapBuffer,
+            queued_ns,
+            started_ns,
+            buf.byte_len(),
+            false,
         ))
     }
 
@@ -425,10 +572,75 @@ fn check_contract(
     Ok(())
 }
 
+/// Debug-build enqueue gate #2, the flow layer's flag-contract check:
+/// kernels that publish arg bindings are checked against their buffers'
+/// allocation flags — a *definite* write into a `READ_ONLY` allocation (or
+/// read of a `WRITE_ONLY` one) rejects the launch with a typed
+/// [`ClError::ContractViolation`] instead of the kernel-side view panic it
+/// would otherwise hit mid-launch. May-only overlaps pass (they surface as
+/// warnings in offline `cl-flow` analysis). Same `CL_SKIP_STATIC_CHECK`
+/// opt-out as [`check_contract`].
+#[cfg(debug_assertions)]
+fn check_flag_contract(
+    kernel_name: &str,
+    uses: &[cl_analyze::flow::BufUse],
+) -> Result<(), ClError> {
+    if uses.is_empty() || std::env::var_os("CL_SKIP_STATIC_CHECK").is_some() {
+        return Ok(());
+    }
+    let cmd = FlowCommand::new(
+        FlowOp::Launch {
+            kernel: kernel_name.to_string(),
+            has_spec: true,
+        },
+        kernel_name,
+        uses.to_vec(),
+    );
+    let analysis = cl_analyze::analyze_flow(std::slice::from_ref(&cmd));
+    // Only the flag-contract lint is meaningful on a single-command stream
+    // (read-before-write etc. need the full history this gate cannot see).
+    let findings: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| {
+            f.kind == cl_analyze::FlowLintKind::FlagContract
+                && f.severity == cl_analyze::Severity::Error
+        })
+        .map(|f| format!("[{}] {}", f.kind.as_str(), f.message))
+        .collect();
+    if !findings.is_empty() {
+        return Err(ClError::ContractViolation {
+            kernel: kernel_name.to_string(),
+            findings,
+        });
+    }
+    Ok(())
+}
+
 /// A read mapping viewed as a `[T]` slice. Unmaps on drop.
 pub struct TypedMap<'a, T: Pod> {
     guard: MapGuard<'a>,
+    /// Deferred `Unmap` recording for flow analysis; `None` when the
+    /// queue is not recording.
+    flow: Option<flow::FlowUnmap>,
     _t: PhantomData<T>,
+}
+
+impl<T: Pod> TypedMap<'_, T> {
+    /// The flow-analysis mapping id, when the queue records its command
+    /// stream (for attributing host accesses via
+    /// [`FlowLog::record_host_access`]).
+    pub fn map_id(&self) -> Option<u64> {
+        self.flow.as_ref().map(|f| f.map_id())
+    }
+}
+
+impl<T: Pod> Drop for TypedMap<'_, T> {
+    fn drop(&mut self) {
+        if let Some(f) = self.flow.take() {
+            f.record();
+        }
+    }
 }
 
 impl<T: Pod> std::ops::Deref for TypedMap<'_, T> {
@@ -449,7 +661,26 @@ impl<T: Pod> std::ops::Deref for TypedMap<'_, T> {
 /// A write mapping viewed as a mutable `[T]` slice. Unmaps on drop.
 pub struct TypedMapMut<'a, T: Pod> {
     guard: MapGuard<'a>,
+    /// Deferred `Unmap` recording (carrying the host's writes, which
+    /// become visible at unmap); `None` when the queue is not recording.
+    flow: Option<flow::FlowUnmap>,
     _t: PhantomData<T>,
+}
+
+impl<T: Pod> TypedMapMut<'_, T> {
+    /// The flow-analysis mapping id, when the queue records its command
+    /// stream.
+    pub fn map_id(&self) -> Option<u64> {
+        self.flow.as_ref().map(|f| f.map_id())
+    }
+}
+
+impl<T: Pod> Drop for TypedMapMut<'_, T> {
+    fn drop(&mut self) {
+        if let Some(f) = self.flow.take() {
+            f.record();
+        }
+    }
 }
 
 impl<T: Pod> std::ops::Deref for TypedMapMut<'_, T> {
@@ -500,6 +731,9 @@ mod tests {
         }
         fn profile(&self) -> KernelProfile {
             KernelProfile::streaming(1.0, 8.0)
+        }
+        fn buffer_bindings(&self) -> Vec<crate::kernel::ArgBinding> {
+            vec![crate::kernel::ArgBinding::of("data", &self.data)]
         }
     }
 
@@ -672,5 +906,144 @@ mod tests {
         let buf = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
         let k: Arc<dyn Kernel> = Arc::new(ProvenRacy { data: buf.clone() });
         q.enqueue_kernel(&k, NDRange::d1(64).local1(64)).unwrap();
+    }
+
+    #[test]
+    fn recording_captures_the_command_stream() {
+        use cl_analyze::HazardKind;
+        let ctx = ctx_native();
+        let q = ctx.queue_with(QueueConfig::default().recording(true));
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
+        q.write_buffer(&buf, 0, &[1.0f32; 16]).unwrap();
+        q.run(AddOne { data: buf.clone() }, NDRange::d1(16))
+            .unwrap();
+        let mut out = vec![0.0f32; 16];
+        q.read_buffer(&buf, 0, &mut out).unwrap();
+
+        let log = q.flow().expect("recording queue has a flow log");
+        assert_eq!(log.len(), 3);
+        let cmds = log.commands();
+        assert!(matches!(cmds[0].op, FlowOp::WriteBuffer));
+        assert!(
+            matches!(&cmds[1].op, FlowOp::Launch { kernel, has_spec } if kernel == "add_one" && !has_spec)
+        );
+        assert!(matches!(cmds[2].op, FlowOp::ReadBuffer));
+        // The spec-less kernel gets conservative whole-window may sets from
+        // its binding, so the chain is connected but unproven.
+        let a = log.analyze();
+        assert!(!a.has_violations(), "{:?}", a.findings);
+        assert!(a
+            .edges
+            .iter()
+            .any(|e| e.kind == HazardKind::Raw && e.from == 1 && e.to == 2));
+    }
+
+    #[test]
+    fn disabled_recording_has_no_log() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        assert!(q.flow().is_none());
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 4).unwrap();
+        q.write_buffer(&buf, 0, &[0.0f32; 4]).unwrap();
+        assert!(q.flow().is_none());
+    }
+
+    #[test]
+    fn map_unmap_pairs_record_with_live_ids() {
+        let ctx = ctx_native();
+        let q = ctx.queue_with(QueueConfig::default().recording(true));
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 8).unwrap();
+        {
+            let (mut m, _) = q.map_buffer_mut(&buf).unwrap();
+            assert!(m.map_id().is_some());
+            m[0] = 4.0;
+        }
+        let log = q.flow().unwrap();
+        let cmds = log.commands();
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0].op, FlowOp::Map { writable: true, .. }));
+        assert!(matches!(cmds[1].op, FlowOp::Unmap { .. }));
+        let a = log.analyze();
+        assert!(!a.has_violations(), "{:?}", a.findings);
+    }
+
+    /// The force-unmap queue surface returns a typed error on the
+    /// unmap-of-unmapped path instead of panicking or silently succeeding.
+    #[test]
+    fn unmap_buffer_surfaces_not_mapped() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 8).unwrap();
+        assert!(matches!(
+            q.unmap_buffer(&buf),
+            Err(ClError::Mem(cl_mem::MemError::NotMapped))
+        ));
+        let (m, _) = q.map_buffer(&buf).unwrap();
+        // Leak the guard: the mapping stays live, and the explicit unmap
+        // releases it exactly once.
+        std::mem::forget(m);
+        q.unmap_buffer(&buf).unwrap();
+        assert!(matches!(
+            q.unmap_buffer(&buf),
+            Err(ClError::Mem(cl_mem::MemError::NotMapped))
+        ));
+    }
+
+    /// A kernel that definitely writes its buffer, with bindings + spec.
+    struct FillOnes {
+        out: Buffer<f32>,
+    }
+    impl Kernel for FillOnes {
+        fn name(&self) -> &str {
+            "fill_ones"
+        }
+        fn run_group(&self, g: &mut GroupCtx) {
+            let d = self.out.view_mut();
+            g.for_each(|wi| d.set(wi.global_id(0), 1.0));
+        }
+        fn access_spec(
+            &self,
+            range: &crate::ndrange::ResolvedRange,
+        ) -> Option<cl_analyze::KernelAccessSpec> {
+            use cl_analyze::{Affine, Guard, SpecBuilder, Var};
+            let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+            let out = b.buffer("out", self.out.len());
+            b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+            Some(b.finish())
+        }
+        fn buffer_bindings(&self) -> Vec<crate::kernel::ArgBinding> {
+            vec![crate::kernel::ArgBinding::of("out", &self.out)]
+        }
+    }
+
+    /// Debug builds reject a definite flag-contract violation at enqueue
+    /// time, before any workgroup can hit the kernel-side view panic.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn definite_write_to_read_only_buffer_rejected_at_enqueue() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::READ_ONLY, 32).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(FillOnes { out: buf.clone() });
+        let err = q.enqueue_kernel(&k, NDRange::d1(32)).unwrap_err();
+        match err {
+            ClError::ContractViolation { kernel, findings } => {
+                assert_eq!(kernel, "fill_ones");
+                assert!(findings[0].contains("flag-contract"), "{findings:?}");
+            }
+            // Another test's CL_SKIP_STATIC_CHECK window can race past the
+            // gate; the runtime view assert still rejects the launch.
+            ClError::KernelPanicked { .. } => {}
+            other => panic!("expected ContractViolation, got {other:?}"),
+        }
+    }
+
+    /// The same kernel on a writable buffer passes both enqueue gates.
+    #[test]
+    fn flag_clean_kernel_is_accepted() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, 32).unwrap();
+        q.run(FillOnes { out: buf }, NDRange::d1(32)).unwrap();
     }
 }

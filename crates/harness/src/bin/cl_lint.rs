@@ -11,14 +11,18 @@
 //! Sweeps the Table II/III launch geometries ([`cl_kernels::registry`]),
 //! runs the four static lints of `cl-analyze` on each kernel's access spec
 //! (disjoint writes, local races, barrier divergence, bounds), and writes
-//! `lint.md` + `lint.csv`. A proven violation or a missing spec always
-//! fails the run; warnings fail only under `--deny-warnings`.
+//! `lint.md` + `lint.csv` with a coverage column: every launch is either
+//! `spec` (fully analyzed) or `exempt` (explicitly unspecifiable at that
+//! geometry, with a documented reason). A proven violation or a
+//! *silently*-unspecified kernel always fails the run; warnings fail only
+//! under `--deny-warnings`.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
 use cl_analyze::{analyze, Severity, Verdict};
+use cl_kernels::access::SpecCoverage;
 use cl_kernels::registry::{parboil_kernels, simple_apps};
 
 struct Row {
@@ -26,6 +30,9 @@ struct Row {
     kernel: &'static str,
     global: String,
     local: [usize; 3],
+    /// `Some(reason)` for explicitly exempt launches (no spec at this
+    /// geometry, documented why); the verdict fields are then meaningless.
+    exempt: Option<&'static str>,
     disjoint: Verdict,
     local_races: Verdict,
     barriers: Verdict,
@@ -33,6 +40,24 @@ struct Row {
     checked_writes: usize,
     checked_accesses: usize,
     findings: Vec<(Severity, String)>,
+}
+
+impl Row {
+    fn coverage(&self) -> &'static str {
+        if self.exempt.is_some() {
+            "exempt"
+        } else {
+            "spec"
+        }
+    }
+
+    fn verdict_cell(&self, v: Verdict) -> &'static str {
+        if self.exempt.is_some() {
+            "—"
+        } else {
+            verdict_str(v)
+        }
+    }
 }
 
 fn verdict_str(v: Verdict) -> &'static str {
@@ -92,14 +117,36 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let Some(spec) = entry.access_spec(global, default_wg) else {
-                missing.push(format!(
-                    "{}/{} at {}",
-                    entry.benchmark,
-                    entry.kernel,
-                    global.describe()
-                ));
-                continue;
+            let spec = match entry.coverage(global, default_wg) {
+                // Silently unspecified: the registry grew a kernel nobody
+                // wrote a spec (or an exemption) for. Always an error.
+                None => {
+                    missing.push(format!(
+                        "{}/{} at {}",
+                        entry.benchmark,
+                        entry.kernel,
+                        global.describe()
+                    ));
+                    continue;
+                }
+                Some(SpecCoverage::Exempt(reason)) => {
+                    rows.push(Row {
+                        benchmark: entry.benchmark,
+                        kernel: entry.kernel,
+                        global: global.describe(),
+                        local: resolved.local,
+                        exempt: Some(reason),
+                        disjoint: Verdict::Unknown,
+                        local_races: Verdict::Unknown,
+                        barriers: Verdict::Unknown,
+                        bounds: Verdict::Unknown,
+                        checked_writes: 0,
+                        checked_accesses: 0,
+                        findings: Vec::new(),
+                    });
+                    continue;
+                }
+                Some(SpecCoverage::Spec(spec)) => *spec,
             };
             let a = analyze(&spec);
             rows.push(Row {
@@ -107,6 +154,7 @@ fn main() {
                 kernel: entry.kernel,
                 global: global.describe(),
                 local: resolved.local,
+                exempt: None,
                 disjoint: a.disjoint_writes,
                 local_races: a.local_races,
                 barriers: a.barrier_divergence,
@@ -155,9 +203,11 @@ fn main() {
     for m in &missing {
         eprintln!("cl-lint: error: {m}: kernel publishes no access spec");
     }
+    let exempt = rows.iter().filter(|r| r.exempt.is_some()).count();
     println!(
-        "cl-lint: {} launches checked, {errors} errors, {warnings} warnings, {} without specs",
-        rows.len(),
+        "cl-lint: {} launches checked, {errors} errors, {warnings} warnings, \
+         {exempt} exempt, {} without specs",
+        rows.len() - exempt,
         missing.len()
     );
 
@@ -177,26 +227,41 @@ fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
          launch; `unknown` would fall back to the dynamic validator.\n"
     );
     md.push_str(
-        "| Benchmark | Kernel | Global | Local | Disjoint writes | Local races | Barriers | Bounds | Writes | Accesses |\n",
+        "| Benchmark | Kernel | Global | Local | Coverage | Disjoint writes | Local races | Barriers | Bounds | Writes | Accesses |\n",
     );
-    md.push_str("|---|---|---|---|---|---|---|---|---:|---:|\n");
+    md.push_str("|---|---|---|---|---|---|---|---|---|---:|---:|\n");
     for r in rows {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {}x{}x{} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {}x{}x{} | {} | {} | {} | {} | {} | {} | {} |",
             r.benchmark,
             r.kernel,
             r.global,
             r.local[0],
             r.local[1],
             r.local[2],
-            verdict_str(r.disjoint),
-            verdict_str(r.local_races),
-            verdict_str(r.barriers),
-            verdict_str(r.bounds),
+            r.coverage(),
+            r.verdict_cell(r.disjoint),
+            r.verdict_cell(r.local_races),
+            r.verdict_cell(r.barriers),
+            r.verdict_cell(r.bounds),
             r.checked_writes,
             r.checked_accesses,
         );
+    }
+    let exempt: Vec<&Row> = rows.iter().filter(|r| r.exempt.is_some()).collect();
+    if !exempt.is_empty() {
+        md.push_str("\n## Exempt launches\n\n");
+        for r in exempt {
+            let _ = writeln!(
+                md,
+                "- {}/{} at {}: {}",
+                r.benchmark,
+                r.kernel,
+                r.global,
+                r.exempt.unwrap()
+            );
+        }
     }
     let all_findings: Vec<String> = rows
         .iter()
@@ -221,22 +286,30 @@ fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
 
 fn render_csv(rows: &[Row]) -> String {
     let mut csv = String::from(
-        "benchmark,kernel,global,local,disjoint_writes,local_races,barrier_divergence,bounds,checked_writes,checked_accesses,findings\n",
+        "benchmark,kernel,global,local,coverage,disjoint_writes,local_races,barrier_divergence,bounds,checked_writes,checked_accesses,findings\n",
     );
     for r in rows {
+        let cell = |v: Verdict| {
+            if r.exempt.is_some() {
+                "-"
+            } else {
+                verdict_str(v)
+            }
+        };
         let _ = writeln!(
             csv,
-            "{},{},{},{}x{}x{},{},{},{},{},{},{},{}",
+            "{},{},{},{}x{}x{},{},{},{},{},{},{},{},{}",
             r.benchmark,
             r.kernel,
             r.global.replace(' ', ""),
             r.local[0],
             r.local[1],
             r.local[2],
-            verdict_str(r.disjoint),
-            verdict_str(r.local_races),
-            verdict_str(r.barriers),
-            verdict_str(r.bounds),
+            r.coverage(),
+            cell(r.disjoint),
+            cell(r.local_races),
+            cell(r.barriers),
+            cell(r.bounds),
             r.checked_writes,
             r.checked_accesses,
             r.findings.len(),

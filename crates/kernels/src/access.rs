@@ -507,36 +507,104 @@ pub const LINT_CP_ATOMS: usize = 4096;
 /// with the `ComputeQ`/`FH` voxel walks.
 pub const LINT_NUM_K: usize = 3072;
 
-/// The access spec for one registry entry (`benchmark` + `kernel` as named
-/// in [`crate::registry`]) at a concrete resolved geometry. Workload
+/// Spec coverage for one registry kernel at one geometry: either a full
+/// [`KernelAccessSpec`], or an explicit exemption naming why the shape is
+/// not expressible in the affine access IR at that geometry. A kernel with
+/// *neither* is silently unspecified — `cl-lint` treats that as an error so
+/// the registry can never grow an unchecked kernel by accident.
+pub enum SpecCoverage {
+    /// Full static spec — the lints and `cl-flow` footprints apply.
+    Spec(Box<KernelAccessSpec>),
+    /// Known kernel, deliberately unspecified at this geometry; the reason
+    /// documents what falls back to dynamic (enqueue-time) checking.
+    Exempt(&'static str),
+}
+
+impl SpecCoverage {
+    /// The spec, if this coverage carries one.
+    pub fn into_spec(self) -> Option<KernelAccessSpec> {
+        match self {
+            SpecCoverage::Spec(s) => Some(*s),
+            SpecCoverage::Exempt(_) => None,
+        }
+    }
+
+    /// The exemption reason, if this coverage is an exemption.
+    pub fn exempt_reason(&self) -> Option<&'static str> {
+        match self {
+            SpecCoverage::Spec(_) => None,
+            SpecCoverage::Exempt(r) => Some(r),
+        }
+    }
+}
+
+/// Coverage for one registry entry (`benchmark` + `kernel` as named in
+/// [`crate::registry`]) at a concrete resolved geometry. Workload
 /// parameters not fixed by the geometry (matrix inner dimension, option
 /// counts, atom counts) use the registry defaults documented inline.
-pub fn spec_for(benchmark: &str, kernel: &str, geom: LintGeometry) -> Option<KernelAccessSpec> {
+/// Returns `None` only for kernels the registry does not know at all.
+pub fn coverage_for(benchmark: &str, kernel: &str, geom: LintGeometry) -> Option<SpecCoverage> {
+    use SpecCoverage::{Exempt, Spec};
+    let spec = |s: KernelAccessSpec| Some(Spec(Box::new(s)));
     let n = geom.items();
     match (benchmark, kernel) {
-        ("Square", _) => Some(square(n, 1, geom)),
-        ("Vectoraddition", _) => Some(vectoradd(n, 1, geom)),
+        ("Square", _) => spec(square(n, 1, geom)),
+        ("Vectoraddition", _) => spec(vectoradd(n, 1, geom)),
         // C(h×w) = A(h×k)·B(k×w) with k = w (square-ish deck).
-        ("Matrixmul", _) => matrixmul_tiled(geom.global[0], geom.global[1], geom.global[0], geom),
-        ("MatrixmulNaive", _) => Some(matrixmul_naive(
+        ("Matrixmul", _) => {
+            match matrixmul_tiled(geom.global[0], geom.global[1], geom.global[0], geom) {
+                Some(s) => spec(s),
+                None => Some(Exempt(
+                    "tiled matrixMul needs a square workgroup whose side divides k; \
+                     other shapes fall back to dynamic checks",
+                )),
+            }
+        }
+        ("MatrixmulNaive", _) => spec(matrixmul_naive(
             geom.global[0],
             geom.global[1],
             geom.global[0],
             geom,
         )),
-        ("Reduction", _) => reduction(n, n / geom.wg_size(), geom),
-        ("Histogram", _) => Some(histogram(n, 256, geom)),
-        ("Prefixsum", _) => Some(prefixsum(n, geom)),
+        ("Reduction", _) => match reduction(n, n / geom.wg_size(), geom) {
+            Some(s) => spec(s),
+            None => Some(Exempt(
+                "reduce's halving tree needs a power-of-two workgroup; \
+                 other sizes fall back to dynamic checks",
+            )),
+        },
+        ("Histogram", _) => spec(histogram(n, 256, geom)),
+        ("Prefixsum", _) => spec(prefixsum(n, geom)),
         // `n_options = 4 × items`: every workitem strides (the build default).
-        ("Blackscholes", _) => Some(blackscholes(4 * n, geom)),
-        ("Binomialoption", _) => binomial(geom.wg_size(), n / geom.wg_size(), geom),
-        ("CP", _) => cenergy(geom.global[0], geom.global[1], 4 * LINT_CP_ATOMS, 1, geom),
-        ("MRI-Q", "computePhiMag") => Some(mriq_phimag(n, 1, geom)),
-        ("MRI-Q", "computeQ") => Some(mriq_computeq(n, LINT_NUM_K, 1, geom)),
-        ("MRI-FHD", "RhoPhi") => Some(mrifhd_rhophi(n, 1, geom)),
-        ("MRI-FHD", "FH") => Some(mrifhd_fh(n, LINT_NUM_K, 1, geom)),
+        ("Blackscholes", _) => spec(blackscholes(4 * n, geom)),
+        ("Binomialoption", _) => match binomial(geom.wg_size(), n / geom.wg_size(), geom) {
+            Some(s) => spec(s),
+            None => Some(Exempt(
+                "binomialoption requires workgroup size == steps (one option \
+                 per group); other geometries fall back to dynamic checks",
+            )),
+        },
+        ("CP", _) => match cenergy(geom.global[0], geom.global[1], 4 * LINT_CP_ATOMS, 1, geom) {
+            Some(s) => spec(s),
+            None => Some(Exempt(
+                "cenergy's column guard gx·k + j < nx has no affine form over \
+                 the flattened id unless nx = global_x·k; tails fall back to \
+                 dynamic checks",
+            )),
+        },
+        ("MRI-Q", "computePhiMag") => spec(mriq_phimag(n, 1, geom)),
+        ("MRI-Q", "computeQ") => spec(mriq_computeq(n, LINT_NUM_K, 1, geom)),
+        ("MRI-FHD", "RhoPhi") => spec(mrifhd_rhophi(n, 1, geom)),
+        ("MRI-FHD", "FH") => spec(mrifhd_fh(n, LINT_NUM_K, 1, geom)),
         _ => None,
     }
+}
+
+/// The access spec for one registry entry at a concrete resolved geometry —
+/// [`coverage_for`] flattened: exemptions and unknown kernels both yield
+/// `None` (dynamic checking only).
+pub fn spec_for(benchmark: &str, kernel: &str, geom: LintGeometry) -> Option<KernelAccessSpec> {
+    coverage_for(benchmark, kernel, geom)?.into_spec()
 }
 
 #[cfg(test)]
@@ -597,6 +665,29 @@ mod tests {
         assert!(cenergy(64, 512, 4 * 100, 1, geom).is_some());
         // nx not covered by global_x · k: fall back to dynamic checking.
         assert!(cenergy(65, 512, 4 * 100, 1, geom).is_none());
+    }
+
+    #[test]
+    fn coverage_distinguishes_exempt_from_missing() {
+        // Non-square tiles: tiled matrixMul is exempt, with a reason.
+        let geom = LintGeometry::d2(32, 32, 8, 4);
+        let cov = coverage_for("Matrixmul", "matrixMul", geom).unwrap();
+        assert!(cov.exempt_reason().unwrap().contains("square workgroup"));
+        // Same geometry through spec_for: flattened to None.
+        assert!(spec_for("Matrixmul", "matrixMul", geom).is_none());
+        // A kernel the registry has never heard of is Missing, not Exempt.
+        assert!(coverage_for("Nope", "nope", geom).is_none());
+        // Non-power-of-two workgroup: reduction is exempt; binomial (whose
+        // step count is derived from the workgroup) still has a spec.
+        let g1 = LintGeometry::d1(600, 100);
+        assert!(coverage_for("Reduction", "reduce", g1)
+            .unwrap()
+            .exempt_reason()
+            .is_some());
+        assert!(coverage_for("Binomialoption", "binomialoption", g1)
+            .unwrap()
+            .into_spec()
+            .is_some());
     }
 
     #[test]

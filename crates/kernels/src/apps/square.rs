@@ -77,6 +77,15 @@ impl Kernel for Square {
             range.lint_geometry(),
         ))
     }
+
+    fn buffer_bindings(&self) -> Vec<ocl_rt::ArgBinding> {
+        // Names match the spec buffers so `cl-flow` can scale the static
+        // footprint onto these allocations.
+        vec![
+            ocl_rt::ArgBinding::of("in", &self.input),
+            ocl_rt::ArgBinding::of("out", &self.output),
+        ]
+    }
 }
 
 /// Serial reference.

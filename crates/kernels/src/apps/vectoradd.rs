@@ -76,6 +76,14 @@ impl Kernel for VectorAdd {
             range.lint_geometry(),
         ))
     }
+
+    fn buffer_bindings(&self) -> Vec<ocl_rt::ArgBinding> {
+        vec![
+            ocl_rt::ArgBinding::of("a", &self.a),
+            ocl_rt::ArgBinding::of("b", &self.b),
+            ocl_rt::ArgBinding::of("c", &self.c),
+        ]
+    }
 }
 
 /// Serial reference.

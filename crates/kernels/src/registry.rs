@@ -90,6 +90,18 @@ impl AppEntry {
         let resolved = self.resolve(global, default_wg).ok()?;
         crate::access::spec_for(self.benchmark, self.kernel, resolved.lint_geometry())
     }
+
+    /// Spec coverage of this entry at `global`
+    /// ([`crate::access::coverage_for`]): a spec, an explicit exemption, or
+    /// `None` for a silently-unspecified kernel (`cl-lint` fails on those).
+    pub fn coverage(
+        &self,
+        global: GlobalSpec,
+        default_wg: usize,
+    ) -> Option<crate::access::SpecCoverage> {
+        let resolved = self.resolve(global, default_wg).ok()?;
+        crate::access::coverage_for(self.benchmark, self.kernel, resolved.lint_geometry())
+    }
 }
 
 /// Table II: the simple applications and their default launch geometries.

@@ -147,6 +147,7 @@ impl TransferEngine {
             offset,
             len,
             mode,
+            defused: false,
         })
     }
 
@@ -158,15 +159,56 @@ impl TransferEngine {
             .map_or(0, |v| v.len())
     }
 
-    fn unmap(&self, region_key: usize, id: u64) {
+    /// Remove the mapping `id`; `false` (with no stats bump) if no such
+    /// mapping is live — the unmap-of-unmapped path.
+    fn unmap(&self, region_key: usize, id: u64) -> bool {
         let mut maps = self.maps.lock();
-        if let Some(entries) = maps.get_mut(&region_key) {
-            entries.retain(|e| e.id != id);
-            if entries.is_empty() {
-                maps.remove(&region_key);
+        let removed = match maps.get_mut(&region_key) {
+            Some(entries) => {
+                let before = entries.len();
+                entries.retain(|e| e.id != id);
+                let removed = entries.len() != before;
+                if entries.is_empty() {
+                    maps.remove(&region_key);
+                }
+                removed
             }
+            None => false,
+        };
+        if removed {
+            self.stats.bump_unmap();
         }
-        self.stats.bump_unmap();
+        removed
+    }
+
+    /// `clEnqueueUnmapMemObject` by range: remove the one outstanding
+    /// mapping that covers exactly `[offset, offset + len)` of `region`.
+    ///
+    /// Returns [`MemError::NotMapped`] when no such mapping is live — a
+    /// typed error the caller can surface, instead of the silent (or
+    /// debug-panic) behaviour unmap-of-unmapped used to have.
+    pub fn unmap_range(
+        &self,
+        region: &MemRegion,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), MemError> {
+        let id = {
+            let maps = self.maps.lock();
+            maps.get(&(region.as_ptr() as usize))
+                .and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|e| e.offset == offset && e.len == len)
+                        .map(|e| e.id)
+                })
+                .ok_or(MemError::NotMapped)?
+        };
+        if self.unmap(region.as_ptr() as usize, id) {
+            Ok(())
+        } else {
+            Err(MemError::NotMapped)
+        }
     }
 }
 
@@ -178,9 +220,24 @@ pub struct MapGuard<'e> {
     offset: usize,
     len: usize,
     mode: MapMode,
+    /// Set once the mapping has been released explicitly; Drop becomes a
+    /// no-op instead of a second (unmap-of-unmapped) release.
+    defused: bool,
 }
 
 impl MapGuard<'_> {
+    /// Release the mapping explicitly, surfacing the unmap-of-unmapped
+    /// path as a typed error: if something already force-released this
+    /// mapping (e.g. [`TransferEngine::unmap_range`]), returns
+    /// [`MemError::NotMapped`] rather than silently double-counting.
+    pub fn unmap(mut self) -> Result<(), MemError> {
+        self.defused = true;
+        if self.engine.unmap(self.region.as_ptr() as usize, self.id) {
+            Ok(())
+        } else {
+            Err(MemError::NotMapped)
+        }
+    }
     /// The mapped bytes, readable.
     pub fn as_slice(&self) -> &[u8] {
         // SAFETY: conflict detection ensures no concurrent writer through
@@ -236,7 +293,11 @@ impl std::fmt::Debug for MapGuard<'_> {
 
 impl Drop for MapGuard<'_> {
     fn drop(&mut self) {
-        self.engine.unmap(self.region.as_ptr() as usize, self.id);
+        if !self.defused {
+            // Ignore the removal result: a force-unmapped (unmap_range)
+            // entry is already gone and the stat was counted there.
+            self.engine.unmap(self.region.as_ptr() as usize, self.id);
+        }
     }
 }
 
@@ -341,6 +402,51 @@ mod tests {
             e.map(&r, 8, 16, MapMode::Read),
             Err(MemError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn explicit_unmap_succeeds_once_and_counts_once() {
+        let e = TransferEngine::new();
+        let r = region(64);
+        let m = e.map(&r, 0, 64, MapMode::Write).unwrap();
+        m.unmap().unwrap();
+        assert_eq!(e.outstanding_maps(&r), 0);
+        assert_eq!(e.stats().snapshot().unmap_calls, 1);
+    }
+
+    #[test]
+    fn unmap_range_of_unmapped_region_is_a_typed_error() {
+        let e = TransferEngine::new();
+        let r = region(64);
+        assert_eq!(e.unmap_range(&r, 0, 64), Err(MemError::NotMapped));
+        // Wrong range on a live mapping is equally NotMapped.
+        let _m = e.map(&r, 0, 32, MapMode::Read).unwrap();
+        assert_eq!(e.unmap_range(&r, 0, 64), Err(MemError::NotMapped));
+        assert_eq!(e.unmap_range(&r, 0, 32), Ok(()));
+        assert_eq!(e.outstanding_maps(&r), 0);
+    }
+
+    #[test]
+    fn force_unmapped_guard_reports_not_mapped_and_does_not_double_count() {
+        let e = TransferEngine::new();
+        let r = region(64);
+        let m = e.map(&r, 0, 64, MapMode::Write).unwrap();
+        e.unmap_range(&r, 0, 64).unwrap();
+        // The guard's mapping is already gone: explicit unmap is typed...
+        assert_eq!(m.unmap(), Err(MemError::NotMapped));
+        // ...and the release was counted exactly once.
+        assert_eq!(e.stats().snapshot().unmap_calls, 1);
+    }
+
+    #[test]
+    fn dropping_a_force_unmapped_guard_is_silent() {
+        let e = TransferEngine::new();
+        let r = region(64);
+        {
+            let _m = e.map(&r, 0, 64, MapMode::Write).unwrap();
+            e.unmap_range(&r, 0, 64).unwrap();
+        } // Drop after force-unmap: no panic, no extra stat.
+        assert_eq!(e.stats().snapshot().unmap_calls, 1);
     }
 
     #[test]
