@@ -1,34 +1,157 @@
 #!/usr/bin/env bash
-# Offline CI: format, build, test, and statically lint the registry kernels.
-# Mirrors what the driver enforces; run before pushing.
+# Offline CI, split into named stages with per-stage wall-clock timing.
+#
+#   ci.sh [--fast] [--stage NAME]
+#
+#   --fast        skip the soak stages (chaos, traced-chaos)
+#   --stage NAME  run a single stage by name
+#
+# Stages, in order:
+#
+#   fmt           cargo fmt --check
+#   clippy        cargo clippy --workspace --all-targets -- -D warnings
+#   build         cargo build --release
+#   test          cargo test -q
+#   lint          cl-lint --deny-warnings (regenerates results/lint.md)
+#   bench-smoke   CL_BENCH_SMOKE=1 cargo bench (compile+smoke every target)
+#   chaos         cl-chaos 25-round fault-injection soak -> target/ci-chaos
+#   trace         cl-trace --stable --workers 2 (regenerates results/trace.md)
+#   traced-chaos  CL_TRACE=1 soak; asserts target/chaos-traced/chaos-trace.json
+#   flow          cl-flow --stable --workers 2 (regenerates results/flow.md)
+#   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
+#   drift         git diff --exit-code results/ (regenerated reports committed?)
+#
+# The drift stage is why lint/trace/flow pin --workers 2 and --stable: the
+# committed reports must be byte-identical on any machine. Regenerate them
+# the same way before committing a change that shifts their contents.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check"
-cargo fmt --check
+FAST=0
+ONLY=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --fast) FAST=1 ;;
+        --stage)
+            shift
+            ONLY="${1:?--stage needs a name}"
+            ;;
+        --help | -h)
+            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        *)
+            echo "unknown argument: $1" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
 
-echo "== cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+SUMMARY=()
+MATCHED=0
+CURRENT_STAGE=""
+trap '[[ -n "$CURRENT_STAGE" ]] && echo "ci.sh: stage $CURRENT_STAGE FAILED" >&2' ERR
 
-echo "== cargo build --release"
-cargo build --release
+# run_stage NAME [soak] — run stage_NAME (dashes mapped to underscores),
+# timing it and honouring --stage / --fast.
+run_stage() {
+    local name="$1" kind="${2:-}"
+    if [[ -n "$ONLY" && "$ONLY" != "$name" ]]; then
+        return 0
+    fi
+    MATCHED=1
+    if [[ "$FAST" == 1 && "$kind" == soak ]]; then
+        echo "== $name (skipped: --fast)"
+        SUMMARY+=("$name|-|skipped")
+        return 0
+    fi
+    echo "== $name"
+    CURRENT_STAGE="$name"
+    local t0=$SECONDS
+    "stage_${name//-/_}"
+    SUMMARY+=("$name|$((SECONDS - t0))s|ok")
+    CURRENT_STAGE=""
+}
 
-echo "== cargo test -q"
-cargo test -q
+stage_fmt() { cargo fmt --check; }
 
-echo "== cl-lint --deny-warnings"
-cargo run --release --quiet --bin cl-lint -- --deny-warnings
+stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 
-echo "== cl-chaos --rounds 25 --seed 7"
-cargo run --release --quiet --bin cl-chaos -- --rounds 25 --seed 7
+stage_build() { cargo build --release; }
 
-echo "== cl-trace smoke (regenerates results/trace.md + trace.json)"
-cargo run --release --quiet --bin cl-trace
+stage_test() { cargo test -q; }
 
-echo "== cl-chaos tracing soak (CL_TRACE=1, 5 rounds)"
-CL_TRACE=1 cargo run --release --quiet --bin cl-chaos -- --rounds 5 --seed 7 --out target/chaos-traced
+stage_lint() { cargo run --release --quiet --bin cl-lint -- --deny-warnings; }
 
-echo "== cl-flow (clean replays must be violation-free; seeded faults all caught)"
-cargo run --release --quiet --bin cl-flow
+# Every `cargo bench` target must still compile and run. The smoke profile
+# (3 samples, 10ms/50ms budgets) proves that without paying full
+# measurement time.
+stage_bench_smoke() { CL_BENCH_SMOKE=1 cargo bench; }
 
+# Soak output goes to target/, not results/: its report carries wall-clock
+# and geometry noise, while results/ holds only committed deterministic
+# reports guarded by the drift stage.
+stage_chaos() {
+    cargo run --release --quiet --bin cl-chaos -- --rounds 25 --seed 7 --out target/ci-chaos
+}
+
+stage_trace() {
+    cargo run --release --quiet --bin cl-trace -- --stable --workers 2
+}
+
+stage_traced_chaos() {
+    CL_TRACE=1 cargo run --release --quiet --bin cl-chaos -- \
+        --rounds 5 --seed 7 --out target/chaos-traced
+    local trace=target/chaos-traced/chaos-trace.json
+    if [[ ! -s "$trace" ]]; then
+        echo "traced soak produced no spans: $trace missing or empty" >&2
+        return 1
+    fi
+    cargo run --release --quiet --bin cl-bench -- --check-json "$trace"
+}
+
+stage_flow() {
+    cargo run --release --quiet --bin cl-flow -- --stable --workers 2
+}
+
+# The performance gate: run the microbenchmark suite and compare against
+# the committed baseline; a median regression beyond max(abs floor, k*MAD)
+# exits nonzero. BENCH.json is the machine-readable run artifact.
+stage_bench_gate() {
+    cargo run --release --quiet --bin cl-bench -- --fast
+}
+
+stage_drift() {
+    if ! git diff --exit-code -- results/; then
+        echo "results/ drifted: regenerate with the lint/trace/flow stages and commit" >&2
+        return 1
+    fi
+}
+
+run_stage fmt
+run_stage clippy
+run_stage build
+run_stage test
+run_stage lint
+run_stage bench-smoke
+run_stage chaos soak
+run_stage trace
+run_stage traced-chaos soak
+run_stage flow
+run_stage bench-gate
+run_stage drift
+
+if [[ -n "$ONLY" && "$MATCHED" == 0 ]]; then
+    echo "unknown stage: $ONLY" >&2
+    exit 2
+fi
+
+echo
+echo "Stage summary:"
+printf '  %-14s %8s  %s\n' stage time status
+for row in "${SUMMARY[@]}"; do
+    IFS='|' read -r name secs status <<<"$row"
+    printf '  %-14s %8s  %s\n' "$name" "$secs" "$status"
+done
 echo "CI green."

@@ -7,9 +7,20 @@
 //! warmup-then-sample wall-clock loop. Results print one line per
 //! benchmark: median, min and max time per iteration, plus derived
 //! throughput when annotated.
+//!
+//! `CL_BENCH_SMOKE=1` overrides every group's tuning to a compile+smoke
+//! profile (3 samples, 10 ms warm-up, 50 ms measurement) so CI can prove
+//! each bench target builds and runs without paying full measurement time.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Is the smoke profile requested? Read once; the answer is process-wide.
+fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("CL_BENCH_SMOKE").is_some_and(|v| v == "1"))
+}
 
 /// Opaque value sink (re-exported name-compatibly with criterion).
 pub fn black_box<T>(x: T) -> T {
@@ -187,11 +198,22 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&full) {
             return;
         }
-        let mut bencher = Bencher {
-            warm_up: self.warm_up,
-            measurement: self.measurement,
-            sample_size: self.sample_size,
-            stats: None,
+        // The smoke profile wins over per-group tuning: the targets dial in
+        // real measurement budgets, CI only needs "builds and runs".
+        let mut bencher = if smoke() {
+            Bencher {
+                warm_up: Duration::from_millis(10),
+                measurement: Duration::from_millis(50),
+                sample_size: 3,
+                stats: None,
+            }
+        } else {
+            Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                sample_size: self.sample_size,
+                stats: None,
+            }
         };
         f(&mut bencher);
         let Some(stats) = bencher.stats else {

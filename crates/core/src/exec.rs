@@ -1,10 +1,22 @@
 //! The NDRange execution engine, with fault containment.
 //!
-//! Native devices: one pool task per workgroup — real scheduling overhead,
-//! the quantity Figures 1/3 measure. Modeled devices: the kernel still
-//! executes (so outputs are correct and testable), but in coarse chunks for
-//! speed, and the event reports the analytic model's time for the *device
-//! being modeled*.
+//! Native devices: one dispatch *chunk* per workgroup — real per-workgroup
+//! scheduling overhead, the quantity Figures 1/3 measure. Modeled devices:
+//! the kernel still executes (so outputs are correct and testable), but in
+//! coarse chunks for speed, and the event reports the analytic model's
+//! time for the *device being modeled*.
+//!
+//! ## Claim-based dispatch
+//!
+//! A launch does not enqueue one boxed pool task per chunk (that costs an
+//! allocation plus an injector lock round-trip *per workgroup* — it was
+//! the dominant term in `cl-bench dispatch/*`). Instead the chunks live in
+//! an atomic [`cl_pool::ChunkSource`] inside the launch state, and the
+//! launch fans out at most `workers` claim-loop tasks (one batched
+//! submit). Every executor — pool worker or helping host — claims chunks
+//! with one `fetch_add` each until the source is dry. Chunk identity,
+//! per-chunk trace spans, and the completion latch are untouched: each
+//! claimed chunk still runs and is accounted exactly once.
 //!
 //! ## Fault containment (DESIGN.md §9)
 //!
@@ -50,6 +62,9 @@ const ABANDON_GRACE: Duration = Duration::from_millis(50);
 struct LaunchState {
     kernel: Arc<dyn Kernel>,
     range: ResolvedRange,
+    /// The launch's undispatched chunks; workers and the helping host claim
+    /// from it until dry.
+    source: cl_pool::ChunkSource,
     fault: LaunchFault,
     latch: Latch,
     barriers: AtomicU64,
@@ -172,6 +187,16 @@ impl LaunchState {
             ));
         }
     }
+
+    /// Claim and run chunks until the source is dry. A `FatalFault`
+    /// re-raised by [`Self::run_chunk`] unwinds out of the loop — on a pool
+    /// worker that retires the worker; remaining chunks stay claimable by
+    /// its peers and the host.
+    fn run_claim_loop(&self) {
+        while let Some(chunk) = self.source.claim() {
+            self.run_chunk(chunk);
+        }
+    }
 }
 
 pub(crate) fn execute_kernel(
@@ -200,6 +225,7 @@ pub(crate) fn execute_kernel(
     let state = Arc::new(LaunchState {
         kernel: Arc::clone(kernel),
         range: *range,
+        source: cl_pool::ChunkSource::new(n_groups, groups_per_chunk),
         fault: LaunchFault::new(),
         latch: Latch::new(n_chunks as u64),
         barriers: AtomicU64::new(0),
@@ -211,22 +237,38 @@ pub(crate) fn execute_kernel(
         launch_id,
         started_ns: AtomicU64::new(0),
     });
+    if let Some(log) = trace_log {
+        // One reallocation up front instead of amortized growth while
+        // chunks are recording.
+        log.reserve(n_chunks + 2);
+    }
 
-    // CL_PROFILING_COMMAND_SUBMIT: validation is done, chunks go to the
-    // pool now.
+    // CL_PROFILING_COMMAND_SUBMIT: validation is done, the launch's claim
+    // tasks go to the pool now. At most one claim loop per worker — each
+    // chunk is claimed from the shared source with a `fetch_add`, not
+    // carried by its own boxed task.
     let submitted_ns = trace::now_ns();
     let t0 = Instant::now();
-    for c in 0..n_chunks {
-        let start = c * groups_per_chunk;
-        let end = usize::min(start + groups_per_chunk, n_groups);
+    let n_tasks = usize::min(pool.workers(), n_chunks);
+    pool.spawn_batch((0..n_tasks).map(|_| {
         let state = Arc::clone(&state);
-        pool.spawn(move || state.run_chunk(start..end));
-    }
+        move || state.run_claim_loop()
+    }));
 
     let completed = match launch_timeout {
         None => {
-            // No deadline: the host helps execute chunks, exactly the
-            // pre-fault-tolerance behaviour (and the measured overhead).
+            // No deadline: the host claims chunks alongside the workers,
+            // exactly the pre-fault-tolerance behaviour (and the measured
+            // overhead). A FatalFault raised by a host-run chunk is caught
+            // here — the fault record is already tripped inside run_chunk,
+            // and retirement applies to pool workers, not the host — and
+            // the loop keeps draining so the latch completes.
+            while let Some(chunk) = state.source.claim() {
+                let state = &state;
+                let _ = catch_unwind(AssertUnwindSafe(move || state.run_chunk(chunk)));
+            }
+            // Chunks claimed by workers may still be in flight; help with
+            // any other queued pool work while they finish.
             pool.help_until(|| state.latch.is_done());
             true
         }

@@ -3,6 +3,8 @@
 //! it. The fault *model* is documented in DESIGN.md §9.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use cl_pool::AbortSignal;
@@ -82,29 +84,37 @@ impl FaultRecord {
 /// Count-down completion latch for a launch's chunks. Unlike a `Scope`, the
 /// latch never re-raises panics and supports waiting with a deadline, so a
 /// timed-out launch can be reported while its stuck chunk is abandoned.
+///
+/// The count is an atomic: `count_down` is a single `fetch_sub` on every
+/// chunk but the last (which additionally takes the lock to publish the
+/// wakeup), and `is_done` — polled by the helping host between tasks — is
+/// one load. Only actual *waiting* touches the mutex/condvar pair.
 pub(crate) struct Latch {
-    remaining: Mutex<u64>,
+    remaining: AtomicU64,
+    lock: Mutex<()>,
     cv: Condvar,
 }
 
 impl Latch {
     pub(crate) fn new(n: u64) -> Self {
         Latch {
-            remaining: Mutex::new(n),
+            remaining: AtomicU64::new(n),
+            lock: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
     pub(crate) fn count_down(&self) {
-        let mut r = self.remaining.lock();
-        *r -= 1;
-        if *r == 0 {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk: serialize with waiters so the notify cannot land
+            // between a waiter's count check and its wait.
+            let _g = self.lock.lock();
             self.cv.notify_all();
         }
     }
 
     pub(crate) fn is_done(&self) -> bool {
-        *self.remaining.lock() == 0
+        self.remaining.load(Ordering::Acquire) == 0
     }
 
     /// Wait until the latch reaches zero or `poll` elapses, whichever comes
@@ -118,9 +128,9 @@ impl Latch {
     /// Wait until the latch reaches zero or `deadline` passes. Returns
     /// `true` when all chunks completed.
     pub(crate) fn wait_deadline(&self, deadline: Instant) -> bool {
-        let mut r = self.remaining.lock();
+        let mut g = self.lock.lock();
         loop {
-            if *r == 0 {
+            if self.is_done() {
                 return true;
             }
             let now = Instant::now();
@@ -129,7 +139,7 @@ impl Latch {
             }
             // Cap each wait so a missed notify can only cost one tick.
             let step = Duration::min(deadline - now, Duration::from_millis(5));
-            self.cv.wait_for(&mut r, step);
+            self.cv.wait_for(&mut g, step);
         }
     }
 }
@@ -144,18 +154,44 @@ impl Drop for LatchGuard<'_> {
     }
 }
 
+/// Whether the workitem loops stamp the faulting-gid trace per *item*
+/// (exact) or leave it at the per-group base (coarse).
+///
+/// Exact stamping costs a store on every workitem of every launch to make
+/// the one-in-a-billion panic report item-precise — a textbook case of
+/// taxing the hot path for the cold one. Release builds therefore default
+/// to coarse: a contained panic still names the kernel, workgroup, and the
+/// group's base global id. Debug builds (where the containment tests run)
+/// default to exact. `CL_EXACT_GID=1`/`0` overrides either way.
+pub(crate) fn exact_gid() -> bool {
+    static EXACT: OnceLock<bool> = OnceLock::new();
+    *EXACT.get_or_init(|| match std::env::var("CL_EXACT_GID") {
+        Ok(v) => v == "1",
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
 /// A per-chunk scratch cell the workitem loop stamps with the current global
 /// id. Lives *outside* the `catch_unwind` boundary, so when a workitem
 /// panics the id of the faulting item survives the unwind.
 pub(crate) struct GidTrace {
     gid: Cell<[usize; 3]>,
+    exact: bool,
 }
 
 impl GidTrace {
     pub(crate) fn new(initial: [usize; 3]) -> Self {
         GidTrace {
             gid: Cell::new(initial),
+            exact: exact_gid(),
         }
+    }
+
+    /// Whether workitem loops should stamp this trace per item (see
+    /// [`exact_gid`]). Checked once per loop, not per item.
+    #[inline]
+    pub(crate) fn exact(&self) -> bool {
+        self.exact
     }
 
     #[inline]

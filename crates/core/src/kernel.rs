@@ -261,6 +261,10 @@ impl<'r> GroupCtx<'r> {
             self.group[1] * local[1],
             self.group[2] * local[2],
         ];
+        // Decided once per phase, not per item: in coarse mode (release
+        // default) the trace keeps the group's base gid and the loop pays
+        // no per-item store.
+        let stamp = self.trace.filter(|t| t.exact());
         let mut items = 0u64;
         for lz in 0..local[2] {
             for ly in 0..local[1] {
@@ -271,7 +275,7 @@ impl<'r> GroupCtx<'r> {
                         local_size: local,
                         global_size: self.range.global,
                     };
-                    if let Some(t) = self.trace {
+                    if let Some(t) = stamp {
                         t.set(wi.global);
                     }
                     body(&wi);
@@ -297,9 +301,10 @@ impl<'r> GroupCtx<'r> {
         debug_assert!(local[1] == 1 && local[2] == 1, "SIMD path is 1-D");
         let base = self.group[0] * local[0];
         let main = local[0] - local[0] % width;
+        let stamp = self.trace.filter(|t| t.exact());
         let mut lx = 0;
         while lx < main {
-            if let Some(t) = self.trace {
+            if let Some(t) = stamp {
                 t.set([base + lx, 0, 0]);
             }
             body(base + lx);
@@ -312,7 +317,7 @@ impl<'r> GroupCtx<'r> {
                 local_size: local,
                 global_size: self.range.global,
             };
-            if let Some(t) = self.trace {
+            if let Some(t) = stamp {
                 t.set(wi.global);
             }
             tail(&wi);

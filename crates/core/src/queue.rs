@@ -6,11 +6,12 @@
 //! [`Event`] carrying the command's duration.
 
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use cl_mem::{MapGuard, MapMode};
 
-use cl_analyze::flow::{FlowCommand, FlowOp};
+use cl_analyze::flow::{BufUse, FlowCommand, FlowOp};
+use cl_util::sync::Mutex;
 
 use crate::buffer::{Buffer, Pod};
 use crate::context::Context;
@@ -20,7 +21,7 @@ use crate::event::{CommandKind, Event, ProfilingInfo};
 use crate::exec::execute_kernel;
 use crate::flow::{self, FlowLog};
 use crate::kernel::Kernel;
-use crate::ndrange::NDRange;
+use crate::ndrange::{NDRange, ResolvedRange};
 use crate::trace::{self, Span, TraceLog};
 
 /// Queue construction options (`clCreateCommandQueue` properties analog).
@@ -89,6 +90,33 @@ impl QueueConfig {
     }
 }
 
+/// A memoized enqueue plan: everything `enqueue_kernel` derives from the
+/// (kernel, NDRange) pair before execution. Re-enqueueing an unchanged
+/// pair — the shape of every figure sweep and benchmark loop — skips the
+/// range resolution, the debug-mode contract checks, and the lowering of
+/// the kernel's arg-binding vector into flow uses.
+///
+/// The kernel is held [`Weak`] and verified with [`Arc::ptr_eq`] on
+/// upgrade, so a cached plan can neither keep a kernel (and its buffers)
+/// alive nor be mistaken for a new kernel allocated at a recycled address.
+struct EnqueuePlan {
+    kernel: Weak<dyn Kernel>,
+    range: NDRange,
+    resolved: ResolvedRange,
+    /// Lowered flow uses + has_spec; present iff lowering was needed when
+    /// the plan was built (recording queue, or any debug build).
+    lowered: Option<LoweredUses>,
+}
+
+/// A kernel's arg bindings lowered to flow uses, plus whether the kernel
+/// carries an access spec at all.
+type LoweredUses = (Vec<BufUse>, bool);
+
+/// Entries kept in the per-queue plan cache. Small on purpose: sweeps
+/// alternate between a handful of kernels, and a linear scan of eight
+/// entries is cheaper than hashing a trait-object pointer.
+const PLAN_CACHE_CAP: usize = 8;
+
 /// An in-order command queue (`cl_command_queue` analog).
 #[derive(Clone)]
 pub struct CommandQueue {
@@ -100,6 +128,8 @@ pub struct CommandQueue {
     /// The queue's command-stream recording; allocated once iff
     /// `cfg.recording`, shared by clones like the trace log.
     flow: Option<Arc<FlowLog>>,
+    /// Memoized enqueue plans, shared by clones. See [`EnqueuePlan`].
+    plans: Arc<Mutex<Vec<EnqueuePlan>>>,
 }
 
 impl CommandQueue {
@@ -115,7 +145,38 @@ impl CommandQueue {
             cfg,
             trace,
             flow,
+            plans: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Look up a memoized plan for (`kernel`, `range`). Dead entries
+    /// (kernel dropped) found along the way are evicted.
+    fn cached_plan(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+    ) -> Option<(ResolvedRange, Option<LoweredUses>)> {
+        let mut plans = self.plans.lock();
+        let mut hit = None;
+        plans.retain(|p| match p.kernel.upgrade() {
+            None => false,
+            Some(k) => {
+                if hit.is_none() && p.range == range && Arc::ptr_eq(&k, kernel) {
+                    hit = Some((p.resolved, p.lowered.clone()));
+                }
+                true
+            }
+        });
+        hit
+    }
+
+    /// Memoize a freshly built plan, evicting the oldest entry at capacity.
+    fn remember_plan(&self, plan: EnqueuePlan) {
+        let mut plans = self.plans.lock();
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.remove(0);
+        }
+        plans.push(plan);
     }
 
     /// The owning context.
@@ -174,19 +235,41 @@ impl CommandQueue {
         // atomic load when nothing died. (Runs under the sink install so a
         // respawn triggered by this enqueue lands in the trace.)
         let respawned = device.pool().recover() as u64;
-        let resolved = range.resolve_with(device.default_wg(), device.null_target_groups())?;
-        #[cfg(debug_assertions)]
-        check_contract(kernel, &resolved)?;
-        // Lower the launch for recording and/or the debug flag-contract
-        // gate. Bindings and the footprint are captured exactly once per
-        // enqueue, right here — workgroup chunks never re-resolve argument
-        // metadata. With recording off (release), this is one branch.
-        let lowered = (self.flow.is_some() || cfg!(debug_assertions))
-            .then(|| flow::launch_uses(kernel.as_ref(), &resolved));
-        #[cfg(debug_assertions)]
-        if let Some((uses, _)) = &lowered {
-            check_flag_contract(kernel.name(), uses)?;
-        }
+        // Re-enqueues of an unchanged (kernel, range) pair reuse the
+        // memoized plan: resolution, contract checks, and lowering ran — and
+        // passed — when the plan was built. Failing launches are never
+        // cached, so a rejected kernel is re-checked (and re-rejected)
+        // every time.
+        let need_lowered = self.flow.is_some() || cfg!(debug_assertions);
+        let (resolved, lowered) = match self
+            .cached_plan(kernel, range)
+            .filter(|(_, lowered)| !need_lowered || lowered.is_some())
+        {
+            Some(plan) => plan,
+            None => {
+                let resolved =
+                    range.resolve_with(device.default_wg(), device.null_target_groups())?;
+                #[cfg(debug_assertions)]
+                check_contract(kernel, &resolved)?;
+                // Lower the launch for recording and/or the debug
+                // flag-contract gate. Bindings and the footprint are
+                // captured at most once per (kernel, range) — workgroup
+                // chunks never re-resolve argument metadata. With recording
+                // off (release), this is one branch.
+                let lowered = need_lowered.then(|| flow::launch_uses(kernel.as_ref(), &resolved));
+                #[cfg(debug_assertions)]
+                if let Some((uses, _)) = &lowered {
+                    check_flag_contract(kernel.name(), uses)?;
+                }
+                self.remember_plan(EnqueuePlan {
+                    kernel: Arc::downgrade(kernel),
+                    range,
+                    resolved,
+                    lowered: lowered.clone(),
+                });
+                (resolved, lowered)
+            }
+        };
         if let Some(log) = &self.flow {
             // Recorded before execution so faulted launches still appear in
             // the stream the lints see.

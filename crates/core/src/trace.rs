@@ -236,6 +236,13 @@ impl TraceLog {
         self.spans.lock().clone()
     }
 
+    /// Pre-size the log for `additional` upcoming spans (a launch reserves
+    /// room for its chunk spans up front, so recording chunks never grows
+    /// the vector mid-launch).
+    pub fn reserve(&self, additional: usize) {
+        self.spans.lock().reserve(additional);
+    }
+
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
         self.spans.lock().len()

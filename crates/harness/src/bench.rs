@@ -1,0 +1,464 @@
+//! # Benchmark gate: robust statistics, `BENCH.json` IO, baseline compare
+//!
+//! Support library for the `cl-bench` binary (DESIGN.md §12). Three
+//! pieces:
+//!
+//! * **Statistics** — [`sample`] runs warmup-then-sample timing of a
+//!   closure and [`BenchStats`] summarizes with *median/MAD/min* rather
+//!   than mean/stddev: a single scheduler hiccup in a 1-core CI container
+//!   shifts a mean by orders of magnitude but moves the median by at most
+//!   one rank position.
+//! * **Report IO** — [`Report`] is the schema of `BENCH.json`: the
+//!   current run's records plus an optional `history` of labelled past
+//!   runs (the committed baseline carries `pre-optimization` /
+//!   `post-optimization` entries there). Writing uses `format!`; reading
+//!   uses `cl_util::json`.
+//! * **Gate** — [`compare`] implements the noise-aware threshold: a
+//!   benchmark fails only when its median regresses beyond
+//!   `max(abs_floor, rel_floor·base_median, k·max(base_MAD, cur_MAD))`.
+//!   Each term guards a distinct failure mode — the absolute floor keeps
+//!   nanosecond-scale benches from gating on timer granularity, the
+//!   relative floor absorbs machine-to-machine constant factors, and the
+//!   MAD term scales with however noisy *this* run actually was.
+
+use cl_util::json::{self, Json};
+use std::time::Instant;
+
+/// Robust summary of one benchmark's samples, in nanoseconds per
+/// operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    pub median: f64,
+    /// Median absolute deviation — robust spread estimate.
+    pub mad: f64,
+    pub min: f64,
+    pub samples: usize,
+}
+
+/// Median of a slice (averages the two central ranks for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&devs)
+}
+
+impl BenchStats {
+    pub fn from_samples(xs: &[f64]) -> Self {
+        BenchStats {
+            median: median(xs),
+            mad: mad(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            samples: xs.len(),
+        }
+    }
+}
+
+/// Warmup-then-sample measurement. Runs `f` (which performs `ops_per_call`
+/// operations and may return a checksum to defeat dead-code elimination)
+/// `warmup` times untimed, then `samples` times timed, and reports
+/// ns-per-operation statistics.
+pub fn sample<F: FnMut() -> u64>(
+    warmup: usize,
+    samples: usize,
+    ops_per_call: u64,
+    mut f: F,
+) -> BenchStats {
+    assert!(samples > 0 && ops_per_call > 0);
+    let mut sink = 0u64;
+    for _ in 0..warmup {
+        sink = sink.wrapping_add(f());
+    }
+    let mut xs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        let dt = t0.elapsed().as_nanos() as f64;
+        xs.push(dt / ops_per_call as f64);
+    }
+    // Keep the checksum observable so the timed region cannot be elided.
+    std::hint::black_box(sink);
+    BenchStats::from_samples(&xs)
+}
+
+/// One benchmark's result as recorded in `BENCH.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub name: String,
+    /// What one "operation" is, e.g. "ns/enqueue", "ns/group", "ns/task".
+    pub unit: String,
+    pub stats: BenchStats,
+}
+
+/// A labelled past run embedded in a report's `history` array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    pub label: String,
+    pub benches: Vec<BenchRecord>,
+}
+
+/// The full `BENCH.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub schema: u32,
+    pub workers: usize,
+    pub benches: Vec<BenchRecord>,
+    pub history: Vec<HistoryEntry>,
+}
+
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl Report {
+    pub fn new(workers: usize, benches: Vec<BenchRecord>) -> Self {
+        Report {
+            schema: SCHEMA_VERSION,
+            workers,
+            benches,
+            history: Vec::new(),
+        }
+    }
+
+    pub fn find(&self, name: &str) -> Option<&BenchRecord> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// Serialize to the `BENCH.json` wire format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", self.schema));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str("  \"benches\": [\n");
+        s.push_str(&records_json(&self.benches, "    "));
+        s.push_str("  ],\n");
+        s.push_str("  \"history\": [\n");
+        for (i, h) in self.history.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"label\": \"{}\", \"benches\": [\n",
+                json::escape(&h.label)
+            ));
+            s.push_str(&records_json(&h.benches, "      "));
+            s.push_str("    ] }");
+            s.push_str(if i + 1 < self.history.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parse a `BENCH.json` document, validating the schema version.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = field_f64(&v, "schema")? as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema {schema} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let workers = field_f64(&v, "workers")? as usize;
+        let benches = parse_records(v.get("benches").ok_or("missing 'benches'")?)?;
+        let history = match v.get("history") {
+            None => Vec::new(),
+            Some(h) => {
+                let arr = h.as_arr().ok_or("'history' must be an array")?;
+                let mut out = Vec::with_capacity(arr.len());
+                for e in arr {
+                    out.push(HistoryEntry {
+                        label: e
+                            .get("label")
+                            .and_then(Json::as_str)
+                            .ok_or("history entry missing 'label'")?
+                            .to_string(),
+                        benches: parse_records(
+                            e.get("benches").ok_or("history entry missing 'benches'")?,
+                        )?,
+                    });
+                }
+                out
+            }
+        };
+        Ok(Report {
+            schema,
+            workers,
+            benches,
+            history,
+        })
+    }
+}
+
+fn records_json(records: &[BenchRecord], indent: &str) -> String {
+    let mut s = String::new();
+    for (i, b) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "{indent}{{ \"name\": \"{}\", \"unit\": \"{}\", \"median\": {:.1}, \"mad\": {:.1}, \"min\": {:.1}, \"samples\": {} }}",
+            json::escape(&b.name),
+            json::escape(&b.unit),
+            b.stats.median,
+            b.stats.mad,
+            b.stats.min,
+            b.stats.samples,
+        ));
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn parse_records(v: &Json) -> Result<Vec<BenchRecord>, String> {
+    let arr = v.as_arr().ok_or("'benches' must be an array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for b in arr {
+        out.push(BenchRecord {
+            name: b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("bench missing 'name'")?
+                .to_string(),
+            unit: b
+                .get("unit")
+                .and_then(Json::as_str)
+                .ok_or("bench missing 'unit'")?
+                .to_string(),
+            stats: BenchStats {
+                median: field_f64(b, "median")?,
+                mad: field_f64(b, "mad")?,
+                min: field_f64(b, "min")?,
+                samples: field_f64(b, "samples")? as usize,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Gate thresholds. A benchmark regresses only when
+/// `cur.median - base.median > max(abs_floor_ns, rel_floor·base.median,
+/// mad_k·max(base.mad, cur.mad))`.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Absolute slack in ns: differences below timer/scheduler granularity
+    /// never gate.
+    pub abs_floor_ns: f64,
+    /// Relative slack as a fraction of the baseline median.
+    pub rel_floor: f64,
+    /// Noise multiplier applied to the larger of the two runs' MADs.
+    pub mad_k: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        // Generous by design: the gate must be quiet on a loaded 1-core CI
+        // container and still catch the order-of-magnitude regressions
+        // that matter (an accidental per-launch allocation, a lost fast
+        // path). Tighten per-machine via cl-bench flags if you have quiet
+        // hardware.
+        GateConfig {
+            abs_floor_ns: 25_000.0,
+            rel_floor: 0.5,
+            mad_k: 6.0,
+        }
+    }
+}
+
+/// Outcome of comparing one benchmark against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateVerdict {
+    pub name: String,
+    pub unit: String,
+    pub base_median: f64,
+    pub cur_median: f64,
+    /// `cur_median - base_median` (positive = slower).
+    pub delta: f64,
+    /// The computed tolerance for this benchmark.
+    pub allowed: f64,
+    pub regressed: bool,
+}
+
+/// Compare a current run against a baseline. Benchmarks present in only
+/// one of the two reports are skipped (new benchmarks don't fail the gate;
+/// removed ones are reported by the caller from the returned names).
+pub fn compare(base: &Report, cur: &Report, cfg: &GateConfig) -> Vec<GateVerdict> {
+    let mut out = Vec::new();
+    for cb in &cur.benches {
+        let Some(bb) = base.find(&cb.name) else {
+            continue;
+        };
+        let delta = cb.stats.median - bb.stats.median;
+        let allowed = cfg
+            .abs_floor_ns
+            .max(cfg.rel_floor * bb.stats.median)
+            .max(cfg.mad_k * bb.stats.mad.max(cb.stats.mad));
+        out.push(GateVerdict {
+            name: cb.name.clone(),
+            unit: cb.unit.clone(),
+            base_median: bb.stats.median,
+            cur_median: cb.stats.median,
+            delta,
+            allowed,
+            regressed: delta > allowed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, median: f64, mad: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            unit: "ns/op".to_string(),
+            stats: BenchStats {
+                median,
+                mad,
+                min: median * 0.9,
+                samples: 20,
+            },
+        }
+    }
+
+    fn report(benches: Vec<BenchRecord>) -> Report {
+        Report::new(4, benches)
+    }
+
+    #[test]
+    fn median_odd_even_and_mad() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+        // Samples {1,1,1,1,100}: median 1, deviations {0,0,0,0,99} → MAD 0.
+        // The outlier that would wreck a stddev is invisible to MAD.
+        assert_eq!(mad(&[1.0, 1.0, 1.0, 1.0, 100.0]), 0.0);
+        // {10,12,14,16,100}: median 14, deviations {4,2,0,2,86} → MAD 2.
+        assert_eq!(mad(&[10.0, 12.0, 14.0, 16.0, 100.0]), 2.0);
+    }
+
+    #[test]
+    fn sample_measures_and_counts() {
+        let mut calls = 0u64;
+        let s = sample(3, 7, 10, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 10, "3 warmup + 7 timed");
+        assert_eq!(s.samples, 7);
+        assert!(s.min >= 0.0 && s.median >= s.min);
+    }
+
+    #[test]
+    fn gate_detects_clear_regression() {
+        // Baseline 100µs median, tiny MAD; current 300µs. delta=200µs,
+        // allowed = max(25µs, 50µs, 6·1µs) = 50µs → regression.
+        let base = report(vec![rec("a", 100_000.0, 1_000.0)]);
+        let cur = report(vec![rec("a", 300_000.0, 1_000.0)]);
+        let v = &compare(&base, &cur, &GateConfig::default())[0];
+        assert!(v.regressed, "{v:?}");
+        assert_eq!(v.delta, 200_000.0);
+    }
+
+    #[test]
+    fn gate_passes_improvement() {
+        let base = report(vec![rec("a", 100_000.0, 1_000.0)]);
+        let cur = report(vec![rec("a", 40_000.0, 1_000.0)]);
+        let v = &compare(&base, &cur, &GateConfig::default())[0];
+        assert!(!v.regressed, "improvements never gate: {v:?}");
+        assert!(v.delta < 0.0);
+    }
+
+    #[test]
+    fn gate_passes_noise_within_k_mad() {
+        // delta=120µs exceeds the abs (25µs) and rel (50µs) floors, but the
+        // baseline was noisy: MAD 25µs → allowed = 6·25µs = 150µs.
+        let base = report(vec![rec("a", 100_000.0, 25_000.0)]);
+        let cur = report(vec![rec("a", 220_000.0, 2_000.0)]);
+        let v = &compare(&base, &cur, &GateConfig::default())[0];
+        assert!(!v.regressed, "noise within k·MAD must pass: {v:?}");
+        // And a *current*-run noise spike widens tolerance symmetrically.
+        let cur2 = report(vec![rec("a", 220_000.0, 30_000.0)]);
+        let base2 = report(vec![rec("a", 100_000.0, 1_000.0)]);
+        assert!(!compare(&base2, &cur2, &GateConfig::default())[0].regressed);
+    }
+
+    #[test]
+    fn gate_abs_floor_protects_tiny_benches() {
+        // 2µs → 20µs is a 10× regression but under the 25µs absolute
+        // floor: sub-granularity, must pass.
+        let base = report(vec![rec("a", 2_000.0, 100.0)]);
+        let cur = report(vec![rec("a", 20_000.0, 100.0)]);
+        assert!(!compare(&base, &cur, &GateConfig::default())[0].regressed);
+        // With the floor lowered, the same delta gates.
+        let tight = GateConfig {
+            abs_floor_ns: 1_000.0,
+            rel_floor: 0.5,
+            mad_k: 6.0,
+        };
+        assert!(compare(&base, &cur, &tight)[0].regressed);
+    }
+
+    #[test]
+    fn gate_skips_unmatched_benches() {
+        let base = report(vec![rec("a", 1.0, 0.0), rec("gone", 1.0, 0.0)]);
+        let cur = report(vec![rec("a", 1.0, 0.0), rec("new", 9e9, 0.0)]);
+        let vs = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].name, "a");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = report(vec![
+            rec("enqueue/empty-1g", 12_345.5, 321.25),
+            rec("dispatch/wg64", 789.0, 10.0),
+        ]);
+        r.history.push(HistoryEntry {
+            label: "pre-optimization".to_string(),
+            benches: vec![rec("enqueue/empty-1g", 20_000.0, 400.0)],
+        });
+        let text = r.to_json();
+        let back = Report::from_json(&text).expect("round trip");
+        // f64 values survive the fixed-point format: compare to 0.1 ns.
+        assert_eq!(back.schema, r.schema);
+        assert_eq!(back.workers, r.workers);
+        assert_eq!(back.benches.len(), 2);
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.history[0].label, "pre-optimization");
+        for (a, b) in r.benches.iter().zip(&back.benches) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.unit, b.unit);
+            assert!((a.stats.median - b.stats.median).abs() < 0.1);
+            assert!((a.stats.mad - b.stats.mad).abs() < 0.1);
+            assert_eq!(a.stats.samples, b.stats.samples);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json("{}").is_err(), "missing fields");
+        assert!(
+            Report::from_json(r#"{"schema": 99, "workers": 1, "benches": []}"#).is_err(),
+            "future schema must be refused, not misread"
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! `cl-bench` — the continuous performance gate (DESIGN.md §12).
+//!
+//! ```text
+//! cl-bench [--workers W] [--fast] [--out FILE] [--baseline FILE]
+//!          [--record-baseline FILE] [--make-baseline FILE=LABEL ...]
+//!          [--gate-only RUN.json] [--check-json FILE]
+//!          [--inject-regression FACTOR]
+//!          [--abs-floor-ns N] [--rel-floor F] [--mad-k K]
+//! ```
+//!
+//! Runs the curated hot-path suite (enqueue latency, dispatch cost across
+//! workgroup sizes, deque steal throughput, copy-vs-map transfer,
+//! disabled-path instrumentation overheads), writes the run to `BENCH.json`,
+//! and compares it against the committed `BENCH_BASELINE.json` with
+//! noise-aware thresholds: a benchmark fails only when its median regresses
+//! beyond `max(abs_floor, rel_floor·base, k·MAD)`. Nonzero exit on
+//! regression.
+//!
+//! Maintenance flags:
+//!
+//! * `--record-baseline FILE` — also write this run as a fresh baseline
+//!   (no gating).
+//! * `--make-baseline a.json=label-a b.json=label-b` — assemble a baseline
+//!   from saved runs: the *last* file's benches become the gating set, and
+//!   every file is kept as a labelled `history` entry (this is how the
+//!   committed baseline carries its pre/post-optimization evidence).
+//! * `--gate-only RUN.json` — skip measurement and gate a saved run
+//!   (deterministic; used by the gate's own tests).
+//! * `--inject-regression F` — multiply every measured median by `F`
+//!   before gating, to prove the gate trips (used by tests and CI docs).
+//! * `--check-json FILE` — parse-validate any JSON artifact and exit
+//!   (used by CI on the traced-chaos export).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cl_harness::bench::{
+    compare, sample, BenchRecord, BenchStats, GateConfig, HistoryEntry, Report,
+};
+use cl_pool::deque::{Steal, Worker};
+use ocl_rt::{Context, GroupCtx, Kernel, MemFlags, NDRange, QueueConfig};
+
+/// A kernel with an empty body: enqueueing it measures pure runtime
+/// overhead — resolve, contract checks, dispatch, completion, event
+/// construction — with no compute to hide behind.
+struct EmptyKernel;
+
+impl Kernel for EmptyKernel {
+    fn name(&self) -> &str {
+        "bench_empty"
+    }
+    fn run_group(&self, _g: &mut GroupCtx) {}
+}
+
+struct Opts {
+    workers: usize,
+    fast: bool,
+    out: PathBuf,
+    baseline: PathBuf,
+    record_baseline: Option<PathBuf>,
+    make_baseline: Vec<(PathBuf, String)>,
+    gate_only: Option<PathBuf>,
+    check_json: Option<PathBuf>,
+    inject: f64,
+    gate: GateConfig,
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // --check-json: validate an arbitrary artifact and exit.
+    if let Some(path) = &opts.check_json {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("{}: unreadable: {e}", path.display())),
+        };
+        if text.trim().is_empty() {
+            fail(&format!("{}: empty file", path.display()));
+        }
+        if let Err(e) = cl_util::json::parse(&text) {
+            fail(&format!("{}: invalid JSON: {e}", path.display()));
+        }
+        println!(
+            "cl-bench: {} is valid JSON ({} bytes)",
+            path.display(),
+            text.len()
+        );
+        return;
+    }
+
+    // --make-baseline: assemble a baseline from saved run files.
+    if !opts.make_baseline.is_empty() {
+        let mut history = Vec::new();
+        let mut gating: Option<Report> = None;
+        for (path, label) in &opts.make_baseline {
+            let r = load_report(path);
+            history.push(HistoryEntry {
+                label: label.clone(),
+                benches: r.benches.clone(),
+            });
+            gating = Some(r);
+        }
+        let mut base = gating.expect("at least one --make-baseline file");
+        base.history = history;
+        std::fs::write(&opts.out, base.to_json()).expect("write baseline");
+        println!(
+            "cl-bench: baseline written to {} ({} benches, {} history entries)",
+            opts.out.display(),
+            base.benches.len(),
+            base.history.len()
+        );
+        return;
+    }
+
+    // Obtain the current run: measure, or load with --gate-only.
+    let mut run = match &opts.gate_only {
+        Some(path) => load_report(path),
+        None => run_suite(&opts),
+    };
+
+    if opts.inject != 1.0 {
+        eprintln!(
+            "cl-bench: injecting synthetic regression factor {} into medians",
+            opts.inject
+        );
+        for b in &mut run.benches {
+            b.stats.median *= opts.inject;
+        }
+    }
+
+    if opts.gate_only.is_none() {
+        std::fs::write(&opts.out, run.to_json()).expect("write BENCH.json");
+        println!("cl-bench: run written to {}", opts.out.display());
+        if let Some(path) = &opts.record_baseline {
+            std::fs::write(path, run.to_json()).expect("write baseline");
+            println!(
+                "cl-bench: baseline recorded to {} (no gate)",
+                path.display()
+            );
+            return;
+        }
+    }
+
+    // Gate against the baseline.
+    if !opts.baseline.exists() {
+        eprintln!(
+            "cl-bench: no baseline at {} — nothing to gate against (run with \
+             --record-baseline to create one)",
+            opts.baseline.display()
+        );
+        return;
+    }
+    let base = load_report(&opts.baseline);
+    let verdicts = compare(&base, &run, &opts.gate);
+    let mut regressions = 0usize;
+    println!(
+        "\n| benchmark | unit | baseline | current | delta | allowed | verdict |\n\
+         |---|---|---:|---:|---:|---:|---|"
+    );
+    for v in &verdicts {
+        if v.regressed {
+            regressions += 1;
+        }
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:+.0} | {:.0} | {} |",
+            v.name,
+            v.unit,
+            v.base_median,
+            v.cur_median,
+            v.delta,
+            v.allowed,
+            if v.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let gated = verdicts.len();
+    let missing: Vec<&str> = base
+        .benches
+        .iter()
+        .filter(|b| run.find(&b.name).is_none())
+        .map(|b| b.name.as_str())
+        .collect();
+    if !missing.is_empty() {
+        println!("\nbaseline benches absent from this run (not gated): {missing:?}");
+    }
+    if regressions > 0 {
+        eprintln!("\ncl-bench: {regressions}/{gated} benchmarks REGRESSED beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("\ncl-bench: gate passed ({gated} benchmarks within tolerance)");
+}
+
+/// Run the curated hot-path suite and collect a [`Report`].
+fn run_suite(opts: &Opts) -> Report {
+    let (warm, samples) = if opts.fast { (2, 6) } else { (5, 20) };
+    let ctx = Context::new(ocl_rt::Device::native_cpu(opts.workers).expect("bench device"));
+    let q = ctx.queue_with(QueueConfig::default().launch_timeout(Duration::from_secs(60)));
+    let mut benches = Vec::new();
+    let mut push = |name: &str, unit: &str, stats: BenchStats| {
+        eprintln!(
+            "  {name}: median {:.0} {unit}, mad {:.0}, min {:.0} ({} samples)",
+            stats.median, stats.mad, stats.min, stats.samples
+        );
+        benches.push(BenchRecord {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            stats,
+        });
+    };
+    eprintln!(
+        "cl-bench: native CPU, {} workers, {}{} samples/bench",
+        opts.workers,
+        if opts.fast { "fast profile, " } else { "" },
+        samples
+    );
+
+    // --- Enqueue→completion latency of an empty kernel -------------------
+    // One group: the floor of a blocking enqueue (resolve + dispatch of a
+    // single chunk + event). 64 groups: adds the per-chunk fan-out.
+    let empty: Arc<dyn Kernel> = Arc::new(EmptyKernel);
+    const BATCH: u64 = 8;
+    for (label, groups) in [("enqueue/empty-1g", 1usize), ("enqueue/empty-64g", 64)] {
+        let range = NDRange::d1(64 * groups).local1(64);
+        let stats = sample(warm, samples, BATCH, || {
+            for _ in 0..BATCH {
+                q.enqueue_kernel(&empty, range).expect("empty enqueue");
+            }
+            groups as u64
+        });
+        push(label, "ns/enqueue", stats);
+    }
+
+    // --- Dispatch cost per group across workgroup sizes (Table II sweep) -
+    // Same kernel object and NDRange reused across enqueues, so repeated
+    // launches of an unchanged (kernel, range) pair — the case the
+    // enqueue-plan cache serves — are what's being timed.
+    const SWEEP_N: usize = 65_536;
+    for wg in [64usize, 256, 1024] {
+        let built = cl_kernels::apps::square::build(&ctx, SWEEP_N, 1, Some(wg), 7);
+        let groups = (SWEEP_N / wg) as u64;
+        let stats = sample(warm, samples, groups, || {
+            q.enqueue_kernel(&built.kernel, built.range)
+                .expect("sweep enqueue");
+            groups
+        });
+        built.verify(&q).expect("sweep results");
+        push(&format!("dispatch/wg{wg}"), "ns/group", stats);
+    }
+
+    // --- Deque steal throughput ------------------------------------------
+    // Push N unit tasks into a worker deque, drain them through a stealer's
+    // steal_batch_and_pop into a second local queue — the pool's sibling
+    // steal path, minus the threads.
+    const STEAL_N: usize = 10_000;
+    let stats = sample(warm, samples, STEAL_N as u64, || {
+        let owner = Worker::new_fifo();
+        for i in 0..STEAL_N {
+            owner.push(i);
+        }
+        let stealer = owner.stealer();
+        let local = Worker::new_fifo();
+        let mut drained = 0u64;
+        loop {
+            match stealer.steal_batch_and_pop(&local) {
+                Steal::Success(_) => drained += 1,
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+            while local.pop().is_some() {
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, STEAL_N as u64);
+        drained
+    });
+    push("pool/steal", "ns/task", stats);
+
+    // --- Transfer: explicit copy vs zero-copy map (Figure 7 path) --------
+    const TX_BYTES: usize = 4 << 20;
+    let host: Vec<u8> = (0..TX_BYTES).map(|b| b as u8).collect();
+    let buf = ctx
+        .buffer::<u8>(MemFlags::default(), TX_BYTES)
+        .expect("buf");
+    let mut back = vec![0u8; TX_BYTES];
+    let stats = sample(warm, samples, 2, || {
+        q.write_buffer(&buf, 0, &host).expect("write");
+        q.read_buffer(&buf, 0, &mut back).expect("read");
+        back[0] as u64
+    });
+    push("transfer/copy-4MiB", "ns/xfer", stats);
+    let stats = sample(warm, samples, 2, || {
+        {
+            let (mut m, _ev) = q.map_buffer_mut(&buf).expect("map mut");
+            m[0] = m[0].wrapping_add(1);
+        }
+        let (m, _ev) = q.map_buffer(&buf).expect("map");
+        let x = m[0] as u64;
+        drop(m);
+        x
+    });
+    push("transfer/map-4MiB", "ns/xfer", stats);
+
+    // --- Disabled-path instrumentation overheads -------------------------
+    // The PR 3 tracer and PR 4 flow recorder must cost one skipped Option
+    // branch when off. trace-off: empty kernel (no buffers — isolates the
+    // span-record sites). flow-off: square (has buffer bindings, so a
+    // release-mode regression that starts lowering flow uses eagerly would
+    // surface here).
+    let stats = sample(warm, samples, BATCH, || {
+        let range = NDRange::d1(256).local1(64);
+        for _ in 0..BATCH {
+            q.enqueue_kernel(&empty, range).expect("trace-off enqueue");
+        }
+        BATCH
+    });
+    push("overhead/trace-off", "ns/enqueue", stats);
+    let built = cl_kernels::apps::square::build(&ctx, 4096, 1, Some(64), 7);
+    let stats = sample(warm, samples, BATCH, || {
+        for _ in 0..BATCH {
+            q.enqueue_kernel(&built.kernel, built.range)
+                .expect("flow-off enqueue");
+        }
+        BATCH
+    });
+    built.verify(&q).expect("flow-off results");
+    push("overhead/flow-off", "ns/enqueue", stats);
+
+    Report::new(opts.workers, benches)
+}
+
+fn load_report(path: &PathBuf) -> Report {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("{}: unreadable: {e}", path.display())));
+    Report::from_json(&text).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cl-bench: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Opts {
+        workers: usize::min(4, cl_pool::available_cores().max(1)),
+        fast: false,
+        out: PathBuf::from("BENCH.json"),
+        baseline: PathBuf::from("BENCH_BASELINE.json"),
+        record_baseline: None,
+        make_baseline: Vec::new(),
+        gate_only: None,
+        check_json: None,
+        inject: 1.0,
+        gate: GateConfig::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                o.workers = parse(&args, i, "--workers");
+            }
+            "--fast" => o.fast = true,
+            "--out" => {
+                i += 1;
+                o.out = path(&args, i, "--out");
+            }
+            "--baseline" => {
+                i += 1;
+                o.baseline = path(&args, i, "--baseline");
+            }
+            "--record-baseline" => {
+                i += 1;
+                o.record_baseline = Some(path(&args, i, "--record-baseline"));
+            }
+            "--make-baseline" => {
+                // Consume every following FILE=LABEL operand.
+                while let Some(spec) = args.get(i + 1).filter(|s| !s.starts_with("--")) {
+                    i += 1;
+                    let (file, label) = spec
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("--make-baseline wants FILE=LABEL: {spec}"));
+                    o.make_baseline
+                        .push((PathBuf::from(file), label.to_string()));
+                }
+                if o.make_baseline.is_empty() {
+                    fail("--make-baseline needs at least one FILE=LABEL");
+                }
+            }
+            "--gate-only" => {
+                i += 1;
+                o.gate_only = Some(path(&args, i, "--gate-only"));
+            }
+            "--check-json" => {
+                i += 1;
+                o.check_json = Some(path(&args, i, "--check-json"));
+            }
+            "--inject-regression" => {
+                i += 1;
+                o.inject = parse(&args, i, "--inject-regression");
+            }
+            "--abs-floor-ns" => {
+                i += 1;
+                o.gate.abs_floor_ns = parse(&args, i, "--abs-floor-ns");
+            }
+            "--rel-floor" => {
+                i += 1;
+                o.gate.rel_floor = parse(&args, i, "--rel-floor");
+            }
+            "--mad-k" => {
+                i += 1;
+                o.gate.mad_k = parse(&args, i, "--mad-k");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cl-bench [--workers W] [--fast] [--out FILE] [--baseline FILE]\n\
+                     \x20               [--record-baseline FILE] [--make-baseline FILE=LABEL ...]\n\
+                     \x20               [--gate-only RUN.json] [--check-json FILE]\n\
+                     \x20               [--inject-regression F] [--abs-floor-ns N] \
+                     [--rel-floor F] [--mad-k K]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.workers = o.workers.max(1);
+    o
+}
+
+fn path(args: &[String], i: usize, flag: &str) -> PathBuf {
+    PathBuf::from(
+        args.get(i)
+            .unwrap_or_else(|| panic!("{flag} needs a value")),
+    )
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: not a valid value: {}", args[i]))
+}

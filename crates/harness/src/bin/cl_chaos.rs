@@ -90,6 +90,14 @@ fn main() {
         i += 1;
     }
 
+    // The soak asserts the *exact* faulting gid in every panic report, so
+    // opt into per-item gid stamping — release builds default to coarse
+    // (group-base) attribution on the hot path. Must be set before the
+    // first launch reads the knob.
+    if std::env::var_os("CL_EXACT_GID").is_none() {
+        std::env::set_var("CL_EXACT_GID", "1");
+    }
+
     // The soak injects panics on purpose; keep them off stderr.
     cl_kernels::chaos::install_quiet_panic_hook();
 
@@ -192,6 +200,18 @@ fn main() {
         render_md(&results, seed, workers, timeout, recovered, elapsed),
     )
     .expect("write chaos.md");
+    // Under CL_TRACE=1 the soak also exports its span log, so CI can assert
+    // the traced-chaos artifact exists and parses (the trace must survive
+    // every contained fault, not just clean runs).
+    if let Some(log) = q.trace() {
+        let path = out_dir.join("chaos-trace.json");
+        fs::write(&path, log.to_chrome_json()).expect("write chaos-trace.json");
+        println!(
+            "cl-chaos: traced soak exported {} spans to {}",
+            log.len(),
+            path.display()
+        );
+    }
 
     for (i, r) in results.iter().enumerate() {
         if !(r.error_ok && r.probe_ok) {

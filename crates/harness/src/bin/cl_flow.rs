@@ -2,11 +2,12 @@
 //! recording queue and statically analyze the command stream.
 //!
 //! ```text
-//! cl-flow [--workers W] [--seed S] [--out DIR]
+//! cl-flow [--workers W] [--seed S] [--out DIR] [--stable]
 //!
 //!   --workers W  pool workers of the device under test (default: min(4, cores))
 //!   --seed S     input seed for the replayed kernels (default: 7)
 //!   --out DIR    output directory for flow.md / flow.csv (default: results)
+//!   --stable     deterministic report: skip the wall-clock overhead sweep
 //! ```
 //!
 //! Three clean replays, each on its own recording queue:
@@ -314,6 +315,7 @@ fn main() {
     let mut workers = usize::min(4, cl_pool::available_cores().max(1));
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("results");
+    let mut stable = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -329,8 +331,9 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
             }
+            "--stable" => stable = true,
             "--help" | "-h" => {
-                println!("usage: cl-flow [--workers W] [--seed S] [--out DIR]");
+                println!("usage: cl-flow [--workers W] [--seed S] [--out DIR] [--stable]");
                 return;
             }
             other => {
@@ -395,16 +398,22 @@ fn main() {
         }
         t0.elapsed().as_secs_f64()
     };
-    let off_a = sweep(QueueConfig::default());
-    let off_b = sweep(QueueConfig::default());
-    let on = sweep(QueueConfig::default().recording(true));
-    let base = off_a.min(off_b);
-    let noise = (off_a - off_b).abs() / base;
-    let recording_cost = on / base - 1.0;
+    // Stable mode skips the sweep entirely: its numbers are wall-clock and
+    // would churn the committed report. `cl-bench` carries the continuous
+    // measurement as `overhead/flow-off`.
+    let (noise, recording_cost) = if stable {
+        (0.0, 0.0)
+    } else {
+        let off_a = sweep(QueueConfig::default());
+        let off_b = sweep(QueueConfig::default());
+        let on = sweep(QueueConfig::default().recording(true));
+        let base = off_a.min(off_b);
+        ((off_a - off_b).abs() / base, on / base - 1.0)
+    };
 
     // ------ Reports ------
     fs::create_dir_all(&out_dir).expect("create output directory");
-    let md = render_md(&clean, chain_proven, &seeded, noise, recording_cost);
+    let md = render_md(&clean, chain_proven, &seeded, noise, recording_cost, stable);
     fs::write(out_dir.join("flow.md"), md).expect("write flow.md");
     fs::write(out_dir.join("flow.csv"), render_csv(&clean, &seeded)).expect("write flow.csv");
 
@@ -432,6 +441,7 @@ fn render_md(
     seeded: &[Seeded],
     noise: f64,
     recording_cost: f64,
+    stable: bool,
 ) -> String {
     let mut md = String::new();
     md.push_str("# Command-stream analysis (`cl-flow`)\n\n");
@@ -530,16 +540,27 @@ fn render_md(
     }
 
     md.push_str("\n## Disabled-path overhead\n\n");
-    let _ = writeln!(
-        md,
-        "A 12-launch square coalescing sweep, run twice with recording \
-         disabled and once enabled: run-to-run noise {:.2}%, recording run \
-         {:+.2}% vs the faster disabled run. With recording off the queue \
-         holds no `FlowLog`, launch bindings are never queried, and every \
-         record site is one skipped `Option` branch.",
-        noise * 100.0,
-        recording_cost * 100.0,
-    );
+    if stable {
+        md.push_str(
+            "Skipped in stable mode: the sweep's numbers are wall-clock and \
+             would churn this committed report. The continuous measurement \
+             lives in `cl-bench` as `overhead/flow-off`, gated against \
+             `BENCH_BASELINE.json`. With recording off the queue holds no \
+             `FlowLog`, launch bindings are never queried, and every record \
+             site is one skipped `Option` branch.\n",
+        );
+    } else {
+        let _ = writeln!(
+            md,
+            "A 12-launch square coalescing sweep, run twice with recording \
+             disabled and once enabled: run-to-run noise {:.2}%, recording run \
+             {:+.2}% vs the faster disabled run. With recording off the queue \
+             holds no `FlowLog`, launch bindings are never queried, and every \
+             record site is one skipped `Option` branch.",
+            noise * 100.0,
+            recording_cost * 100.0,
+        );
+    }
     md
 }
 

@@ -2,11 +2,17 @@
 //! report where the time goes.
 //!
 //! ```text
-//! cl-trace [--workers W] [--seed S] [--out DIR]
+//! cl-trace [--workers W] [--seed S] [--out DIR] [--stable]
 //!
 //!   --workers W  pool workers of the device under test (default: min(4, cores))
 //!   --seed S     input seed for the replayed kernels (default: 7)
 //!   --out DIR    output directory for trace.md / trace.json (default: results)
+//!   --stable     deterministic trace.md: volatile cells (timings, steal
+//!                counts, span totals) render as "·" so the committed report
+//!                is byte-identical across machines and runs — the CI
+//!                results-drift gate regenerates it and diffs. The overhead
+//!                sweep is skipped; structural data (groups, chunks,
+//!                barriers) and the partition checks still run in full.
 //! ```
 //!
 //! Replays two figure workloads on a traced native-CPU queue — the
@@ -145,6 +151,7 @@ fn main() {
     let mut workers = usize::min(4, cl_pool::available_cores().max(1));
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("results");
+    let mut stable = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -160,8 +167,9 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
             }
+            "--stable" => stable = true,
             "--help" | "-h" => {
-                println!("usage: cl-trace [--workers W] [--seed S] [--out DIR]");
+                println!("usage: cl-trace [--workers W] [--seed S] [--out DIR] [--stable]");
                 return;
             }
             other => {
@@ -270,12 +278,17 @@ fn main() {
         }
         t0.elapsed().as_secs_f64()
     };
-    let off_a = sweep(QueueConfig::default());
-    let off_b = sweep(QueueConfig::default());
-    let on = sweep(QueueConfig::default().tracing(true));
-    let base = off_a.min(off_b);
-    let noise = (off_a - off_b).abs() / base;
-    let traced_cost = on / base - 1.0;
+    // The overhead comparison is pure wall-clock — meaningless to commit in
+    // the deterministic report, so --stable skips the measurement.
+    let (noise, traced_cost) = if stable {
+        (0.0, 0.0)
+    } else {
+        let off_a = sweep(QueueConfig::default());
+        let off_b = sweep(QueueConfig::default());
+        let on = sweep(QueueConfig::default().tracing(true));
+        let base = off_a.min(off_b);
+        ((off_a - off_b).abs() / base, on / base - 1.0)
+    };
 
     // ------ Reports ------
     fs::create_dir_all(&out_dir).expect("create output directory");
@@ -287,7 +300,15 @@ fn main() {
         breakdown("Figure 6 ILP ladder", &w2_spans, workers),
         breakdown("Transfer write vs map", &tx_spans, workers),
     ];
-    let md = render_md(&rows, &phases, workers, noise, traced_cost, log.len());
+    let md = render_md(
+        &rows,
+        &phases,
+        workers,
+        noise,
+        traced_cost,
+        log.len(),
+        stable,
+    );
     fs::write(out_dir.join("trace.md"), md).expect("write trace.md");
 
     println!(
@@ -305,6 +326,7 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_md(
     rows: &[LaunchRow],
     phases: &[PhaseBreakdown],
@@ -312,17 +334,32 @@ fn render_md(
     noise: f64,
     traced_cost: f64,
     spans: usize,
+    stable: bool,
 ) -> String {
+    // In --stable mode every wall-clock-derived cell renders as "·": the
+    // committed report must be byte-identical run to run, and only the
+    // structure (launches, groups, chunks, barriers, partition proofs) is
+    // deterministic. Counts that depend on scheduling (steals, span totals)
+    // are volatile too.
+    let t = |v: String| if stable { "·".to_string() } else { v };
     let mut md = String::new();
     md.push_str("# Trace report (`cl-trace`)\n\n");
     let _ = writeln!(
         md,
         "Native-CPU device, {workers} workers, armed launch watchdog (the host \
          monitors rather than executes, so chunk spans carry worker/core \
-         attribution). {spans} spans total; the full log is exported to \
+         attribution). {} spans total; the full log is exported to \
          [`trace.json`](trace.json) — load it in `chrome://tracing` or \
-         <https://ui.perfetto.dev>.\n"
+         <https://ui.perfetto.dev>.\n",
+        t(spans.to_string())
     );
+    if stable {
+        md.push_str(
+            "*Stable mode (`--stable`): wall-clock cells and scheduling-dependent \
+             counts render as `·` so this report can be committed and \
+             drift-checked; run `cl-trace` without the flag for live numbers.*\n\n",
+        );
+    }
 
     md.push_str("## Per-launch profiling breakdown\n\n");
     md.push_str(
@@ -341,19 +378,19 @@ fn render_md(
     for r in rows {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.0}% |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.kernel,
             r.config,
             r.groups,
             r.chunks,
-            r.steals,
+            t(r.steals.to_string()),
             r.barriers,
-            us(r.wall_ns),
-            us(r.submit_ns),
-            us(r.dispatch_ns),
-            us(r.compute_ns),
-            us(r.idle_ns),
-            r.util * 100.0,
+            t(format!("{:.1}", us(r.wall_ns))),
+            t(format!("{:.1}", us(r.submit_ns))),
+            t(format!("{:.1}", us(r.dispatch_ns))),
+            t(format!("{:.1}", us(r.compute_ns))),
+            t(format!("{:.1}", us(r.idle_ns))),
+            t(format!("{:.0}%", r.util * 100.0)),
         );
     }
 
@@ -372,29 +409,37 @@ fn render_md(
     for p in phases {
         let _ = writeln!(
             md,
-            "| {} | {} | {:.1} | {:.1} | {:.1} | {} | {:.1} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
             p.name,
             p.launches,
-            us(p.wall_ns),
-            us(p.compute_ns),
-            us(p.schedule_ns),
+            t(format!("{:.1}", us(p.wall_ns))),
+            t(format!("{:.1}", us(p.compute_ns))),
+            t(format!("{:.1}", us(p.schedule_ns))),
             p.barrier_events,
-            us(p.transfer_ns),
+            t(format!("{:.1}", us(p.transfer_ns))),
             p.transfer_bytes,
         );
     }
 
     md.push_str("\n## Disabled-path overhead\n\n");
-    let _ = writeln!(
-        md,
-        "A 12-launch square coalescing sweep, run twice with tracing \
-         disabled and once enabled: run-to-run noise {:.2}%, traced run \
-         {:+.2}% vs the faster disabled run. With tracing off the queue \
-         holds no `TraceLog` and every record site is a skipped `Option` \
-         check, so the disabled spread is pure noise.",
-        noise * 100.0,
-        traced_cost * 100.0,
-    );
+    if stable {
+        md.push_str(
+            "Skipped in stable mode (pure wall-clock comparison). The \
+             continuous measurement lives in `cl-bench` as \
+             `overhead/trace-off`, gated against `BENCH_BASELINE.json`.\n",
+        );
+    } else {
+        let _ = writeln!(
+            md,
+            "A 12-launch square coalescing sweep, run twice with tracing \
+             disabled and once enabled: run-to-run noise {:.2}%, traced run \
+             {:+.2}% vs the faster disabled run. With tracing off the queue \
+             holds no `TraceLog` and every record site is a skipped `Option` \
+             check, so the disabled spread is pure noise.",
+            noise * 100.0,
+            traced_cost * 100.0,
+        );
+    }
     md
 }
 

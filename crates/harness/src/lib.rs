@@ -17,6 +17,7 @@
 //! The `repro` binary runs everything and writes `results/` +
 //! `EXPERIMENTS.md`.
 
+pub mod bench;
 pub mod figures;
 pub mod measure;
 pub mod profiles;

@@ -1,0 +1,183 @@
+//! End-to-end tests for the `cl-bench` performance gate binary.
+//!
+//! The synthetic tests drive `--gate-only` with hand-built reports, so the
+//! pass/fail contract is pinned without measurement noise. The real-run
+//! test measures the fast suite once, records it as a baseline, then
+//! replays the same run through the gate — clean (must pass) and with a
+//! seeded 50x regression (must exit nonzero).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use cl_harness::bench::{BenchRecord, BenchStats, Report};
+
+fn bench_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cl-bench")
+}
+
+/// A scratch directory unique to this test, wiped on entry.
+fn scratch(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("bench_gate_{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bench_bin())
+        .args(args)
+        .output()
+        .expect("spawn cl-bench")
+}
+
+fn report_with(median: f64, mad: f64) -> Report {
+    Report::new(
+        1,
+        vec![BenchRecord {
+            name: "synthetic/one".into(),
+            unit: "ns/op".into(),
+            stats: BenchStats {
+                median,
+                mad,
+                min: median * 0.9,
+                samples: 20,
+            },
+        }],
+    )
+}
+
+fn write_report(dir: &std::path::Path, name: &str, r: &Report) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, r.to_json()).expect("write report");
+    path
+}
+
+#[test]
+fn gate_fails_on_clear_regression() {
+    let dir = scratch("regression");
+    // Median 100µs with tight MAD; current run is 3x slower — far beyond
+    // max(abs floor 25µs, 50% rel floor, 6*MAD).
+    let base = write_report(&dir, "base.json", &report_with(100_000.0, 500.0));
+    let cur = write_report(&dir, "cur.json", &report_with(300_000.0, 500.0));
+    let out = run(&[
+        "--gate-only",
+        cur.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "verdict table: {stdout}");
+}
+
+#[test]
+fn gate_passes_improvement_and_noise() {
+    let dir = scratch("pass");
+    let base = write_report(&dir, "base.json", &report_with(100_000.0, 4_000.0));
+    // Faster is never a regression.
+    let faster = write_report(&dir, "faster.json", &report_with(60_000.0, 4_000.0));
+    // 20µs slower, but within 6 * 4µs MAD (and within the 50% rel floor).
+    let noisy = write_report(&dir, "noisy.json", &report_with(120_000.0, 4_000.0));
+    for cur in [&faster, &noisy] {
+        let out = run(&[
+            "--gate-only",
+            cur.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}: {}",
+            cur.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn missing_baseline_is_not_an_error() {
+    let dir = scratch("nobase");
+    let cur = write_report(&dir, "cur.json", &report_with(100_000.0, 500.0));
+    let out = run(&[
+        "--gate-only",
+        cur.to_str().unwrap(),
+        "--baseline",
+        dir.join("absent.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no baseline"));
+}
+
+#[test]
+fn real_run_roundtrip_and_seeded_regression() {
+    let dir = scratch("real");
+    let baseline = dir.join("baseline.json");
+    let run_file = dir.join("run.json");
+
+    // One real (fast-profile) measurement, recorded as the baseline.
+    let out = run(&[
+        "--fast",
+        "--workers",
+        "1",
+        "--out",
+        run_file.to_str().unwrap(),
+        "--record-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "suite run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // BENCH.json round-trips through the reader and covers the suite.
+    let text = std::fs::read_to_string(&run_file).expect("read run file");
+    let report = Report::from_json(&text).expect("parse run file");
+    assert_eq!(report.workers, 1);
+    for name in [
+        "enqueue/empty-1g",
+        "dispatch/wg64",
+        "pool/steal",
+        "transfer/copy-4MiB",
+        "overhead/trace-off",
+        "overhead/flow-off",
+    ] {
+        let b = report
+            .find(name)
+            .unwrap_or_else(|| panic!("missing {name}"));
+        assert!(b.stats.median > 0.0, "{name}: non-positive median");
+        assert!(b.stats.samples > 0, "{name}: no samples");
+    }
+
+    // The identical run gates clean against its own baseline...
+    let clean = run(&[
+        "--gate-only",
+        run_file.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "self-gate failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // ...and a seeded 50x regression on the same data must be caught.
+    let seeded = run(&[
+        "--gate-only",
+        run_file.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--inject-regression",
+        "50",
+    ]);
+    assert_eq!(
+        seeded.status.code(),
+        Some(1),
+        "seeded regression not caught"
+    );
+    assert!(String::from_utf8_lossy(&seeded.stdout).contains("REGRESSED"));
+}

@@ -49,6 +49,16 @@ impl<T> Injector<T> {
         self.queue.lock().push_back(task);
     }
 
+    /// Push a batch of tasks under one lock acquisition (FIFO order).
+    /// Returns the number pushed. A launch fanning out N claim tasks pays
+    /// one lock here instead of N `push` round-trips.
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) -> usize {
+        let mut q = self.queue.lock();
+        let before = q.len();
+        q.extend(tasks);
+        q.len() - before
+    }
+
     /// Steal a single task.
     pub fn steal(&self) -> Steal<T> {
         match self.queue.lock().pop_front() {

@@ -325,6 +325,36 @@ impl ThreadPool {
         self.inner.notify_one();
     }
 
+    /// Submit a batch of detached tasks: one injector lock acquisition and
+    /// one wake sweep for the whole batch, where a `spawn` loop would pay a
+    /// lock and a wakeup per task. The fan-out path of a kernel launch.
+    pub fn spawn_batch<F>(&self, jobs: impl IntoIterator<Item = F>)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let enqueued = self.inner.sample_latency.then(Instant::now);
+        let pushed = self
+            .inner
+            .injector
+            .push_batch(jobs.into_iter().map(|f| Task {
+                job: Box::new(f),
+                enqueued,
+            }));
+        match pushed {
+            0 => {}
+            1 => self.inner.notify_one(),
+            _ => {
+                // Wake every parked worker at once: the batch has work for
+                // all of them.
+                let sleepers = self.inner.sleep_lock.lock();
+                if *sleepers > 0 {
+                    self.inner.metrics.record_unpark();
+                    self.inner.wakeup.notify_all();
+                }
+            }
+        }
+    }
+
     /// Structured parallelism: tasks spawned on the scope may borrow from the
     /// enclosing stack frame and are all joined before `scope` returns.
     ///

@@ -10,7 +10,10 @@
 //!   the `parking_lot` calling convention (no poison propagation: a
 //!   panicked critical section does not turn every later `lock()` into an
 //!   `Err`).
+//! * [`json`] — a small JSON reader for the machine-readable artifacts
+//!   the tools exchange (`BENCH.json`, trace exports).
 
+pub mod json;
 pub mod rng;
 pub mod sync;
 
