@@ -18,12 +18,13 @@
 #   trace         cl-trace --stable --workers 2 (regenerates results/trace.md)
 #   traced-chaos  CL_TRACE=1 soak; asserts target/chaos-traced/chaos-trace.json
 #   flow          cl-flow --stable --workers 2 (regenerates results/flow.md)
+#   race          cl-race --stable --workers 2 (regenerates results/race.md)
 #   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
 #   drift         git diff --exit-code results/ (regenerated reports committed?)
 #
-# The drift stage is why lint/trace/flow pin --workers 2 and --stable: the
-# committed reports must be byte-identical on any machine. Regenerate them
-# the same way before committing a change that shifts their contents.
+# The drift stage is why lint/trace/flow/race pin --workers 2 and --stable:
+# the committed reports must be byte-identical on any machine. Regenerate
+# them the same way before committing a change that shifts their contents.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -115,6 +116,15 @@ stage_flow() {
     cargo run --release --quiet --bin cl-flow -- --stable --workers 2
 }
 
+# Multi-queue happens-before analysis: clean scenarios must classify with
+# zero racy pairs, every seeded race must be caught by both the static and
+# vector-clock layers, and the Figure 9 reorder-opportunity set must be
+# nonempty. The report is deterministic (no wall-clock cells), so it is
+# drift-tracked like flow.md.
+stage_race() {
+    cargo run --release --quiet --bin cl-race -- --stable --workers 2
+}
+
 # The performance gate: run the microbenchmark suite and compare against
 # the committed baseline; a median regression beyond max(abs floor, k*MAD)
 # exits nonzero. BENCH.json is the machine-readable run artifact.
@@ -139,6 +149,7 @@ run_stage chaos soak
 run_stage trace
 run_stage traced-chaos soak
 run_stage flow
+run_stage race
 run_stage bench-gate
 run_stage drift
 

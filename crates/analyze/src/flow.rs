@@ -352,68 +352,101 @@ fn range_str(s: &IntervalSet) -> String {
     format!("{s}")
 }
 
+/// One hazard between an ordered command pair on one shared buffer —
+/// the pair-local core of [`DepEdge`], reused by the multi-queue
+/// happens-before analysis ([`crate::hb`]).
+#[derive(Debug, Clone)]
+pub struct PairHazard {
+    pub kind: HazardKind,
+    pub buffer: u64,
+    pub buffer_name: String,
+    /// The must sets overlap: the hazard certainly exists on every
+    /// execution (`false`: only the may sets overlap).
+    pub must: bool,
+    pub detail: String,
+}
+
+/// Classify every RAW/WAR/WAW hazard between an `earlier` and a `later`
+/// command. Also returns whether the two commands touch any common buffer
+/// at all (shared buffer but provably disjoint footprints ⇒ `(vec![],
+/// true)` — the "independent pair" case).
+pub fn classify_pair(earlier: &FlowCommand, later: &FlowCommand) -> (Vec<PairHazard>, bool) {
+    let mut hazards = Vec::new();
+    let mut touches = false;
+    for ue in &earlier.uses {
+        for ul in later.uses.iter().filter(|u| u.buffer == ue.buffer) {
+            touches = true;
+            for (kind, e_may, e_must, l_may, l_must) in [
+                (
+                    HazardKind::Raw,
+                    &ue.may_write,
+                    &ue.must_write,
+                    &ul.may_read,
+                    &ul.must_read,
+                ),
+                (
+                    HazardKind::War,
+                    &ue.may_read,
+                    &ue.must_read,
+                    &ul.may_write,
+                    &ul.must_write,
+                ),
+                (
+                    HazardKind::Waw,
+                    &ue.may_write,
+                    &ue.must_write,
+                    &ul.may_write,
+                    &ul.must_write,
+                ),
+            ] {
+                let (must, detail) = if e_must.overlaps(l_must) {
+                    (
+                        true,
+                        format!("must-overlap {}", range_str(&e_must.intersect(l_must))),
+                    )
+                } else if e_may.overlaps(l_may) {
+                    (
+                        false,
+                        format!("may-overlap {}", range_str(&e_may.intersect(l_may))),
+                    )
+                } else {
+                    continue;
+                };
+                hazards.push(PairHazard {
+                    kind,
+                    buffer: ue.buffer,
+                    buffer_name: ue.name.clone(),
+                    must,
+                    detail,
+                });
+            }
+        }
+    }
+    (hazards, touches)
+}
+
 fn build_edges(commands: &[FlowCommand]) -> (Vec<DepEdge>, usize) {
     let mut edges = Vec::new();
     let mut independent = 0usize;
     for (j, later) in commands.iter().enumerate() {
         for (i, earlier) in commands.iter().enumerate().take(j) {
-            let mut touches = false;
-            let mut connected = false;
-            for ue in &earlier.uses {
-                for ul in later.uses.iter().filter(|u| u.buffer == ue.buffer) {
-                    touches = true;
-                    for (kind, e_may, e_must, l_may, l_must) in [
-                        (
-                            HazardKind::Raw,
-                            &ue.may_write,
-                            &ue.must_write,
-                            &ul.may_read,
-                            &ul.must_read,
-                        ),
-                        (
-                            HazardKind::War,
-                            &ue.may_read,
-                            &ue.must_read,
-                            &ul.may_write,
-                            &ul.must_write,
-                        ),
-                        (
-                            HazardKind::Waw,
-                            &ue.may_write,
-                            &ue.must_write,
-                            &ul.may_write,
-                            &ul.must_write,
-                        ),
-                    ] {
-                        let (verdict, detail) = if e_must.overlaps(l_must) {
-                            (
-                                Verdict::Proven,
-                                format!("must-overlap {}", range_str(&e_must.intersect(l_must))),
-                            )
-                        } else if e_may.overlaps(l_may) {
-                            (
-                                Verdict::Unknown,
-                                format!("may-overlap {}", range_str(&e_may.intersect(l_may))),
-                            )
-                        } else {
-                            continue;
-                        };
-                        connected = true;
-                        edges.push(DepEdge {
-                            from: i,
-                            to: j,
-                            buffer: ue.buffer,
-                            buffer_name: ue.name.clone(),
-                            kind,
-                            verdict,
-                            detail,
-                        });
-                    }
-                }
-            }
-            if touches && !connected {
+            let (hazards, touches) = classify_pair(earlier, later);
+            if touches && hazards.is_empty() {
                 independent += 1;
             }
+            edges.extend(hazards.into_iter().map(|h| DepEdge {
+                from: i,
+                to: j,
+                buffer: h.buffer,
+                buffer_name: h.buffer_name,
+                kind: h.kind,
+                verdict: if h.must {
+                    Verdict::Proven
+                } else {
+                    Verdict::Unknown
+                },
+                detail: h.detail,
+            }));
         }
     }
     (edges, independent)

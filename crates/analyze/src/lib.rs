@@ -32,20 +32,33 @@
 //! (RAW/WAR/WAW/independent, three-valued) plus five inter-command lints
 //! (flag-contract, use-while-mapped, read-before-write, redundant
 //! transfer, unsynchronized host access) — the static core of `cl-flow`.
+//!
+//! [`hb`] grows the flow layer from one stream to many: a happens-before
+//! graph over every queue of a context (program order + sync edges from
+//! finish/blocking transfers/markers), cross-queue race classification,
+//! an over-synchronization certifier (the reorder-opportunity set with
+//! critical-path parallelism bounds), and a dynamic vector-clock layer
+//! that must agree with the static verdicts — the static core of
+//! `cl-race`.
 
 pub mod flow;
 pub mod footprint;
 pub mod from_ir;
+pub mod hb;
 pub mod ir;
 pub mod lints;
 pub mod prove;
 
 pub use flow::{
-    analyze_flow, BufUse, DepEdge, FlagClass, FlowAnalysis, FlowCommand, FlowFinding, FlowLintKind,
-    FlowOp, HazardKind,
+    analyze_flow, classify_pair, BufUse, DepEdge, FlagClass, FlowAnalysis, FlowCommand,
+    FlowFinding, FlowLintKind, FlowOp, HazardKind, PairHazard,
 };
 pub use footprint::{launch_footprint, BufferFootprint, IntervalSet, LaunchFootprint};
 pub use from_ir::lift_loop;
+pub use hb::{
+    analyze_hb, incremental_race_check, vector_clock_check, HbAnalysis, HbCmd, HbFinding,
+    HbLintKind, HbOp, HbPair, HbRecord, OrderVerdict, QueueSummary, SyncPoint, VcReport,
+};
 pub use ir::{
     Access, AccessKind, Affine, BufferSpec, Guard, Index, KernelAccessSpec, LintGeometry, Phase,
     SpecBuilder, Target, Var,

@@ -9,13 +9,48 @@ use crate::buffer::{Buffer, Pod};
 use crate::device::Device;
 use crate::error::ClError;
 use crate::queue::CommandQueue;
+use crate::race::RaceLog;
 
 static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Context construction options.
+#[derive(Debug, Clone, Default)]
+pub struct ContextConfig {
+    /// Aggregate every queue's commands and sync points into a
+    /// context-level [`RaceLog`] for cross-queue happens-before analysis
+    /// (`cl-race`). Off by default — disabled contexts allocate no log and
+    /// every record site is one branch; [`ContextConfig::from_env`] reads
+    /// `CL_RACE`.
+    pub race_recording: bool,
+}
+
+impl ContextConfig {
+    /// Defaults, overridden by the environment: `CL_RACE=1` (or `true`)
+    /// enables multi-queue race recording.
+    pub fn from_env() -> Self {
+        let on = std::env::var("CL_RACE")
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false);
+        ContextConfig { race_recording: on }
+    }
+
+    /// Enable or disable multi-queue race recording.
+    pub fn race_recording(mut self, on: bool) -> Self {
+        self.race_recording = on;
+        self
+    }
+}
 
 pub(crate) struct ContextInner {
     pub(crate) device: Device,
     pub(crate) transfer: TransferEngine,
     pub(crate) id: u64,
+    /// The context's multi-queue recording; allocated once iff
+    /// `race_recording`, shared by every queue of the context.
+    pub(crate) race: Option<Arc<RaceLog>>,
 }
 
 /// A `cl_context` analog: owns buffers and queues for one device.
@@ -25,13 +60,21 @@ pub struct Context {
 }
 
 impl Context {
-    /// Create a context for `device`.
+    /// Create a context for `device` with environment-derived options
+    /// ([`ContextConfig::from_env`]).
     pub fn new(device: Device) -> Self {
+        Context::new_with(device, ContextConfig::from_env())
+    }
+
+    /// Create a context with explicit [`ContextConfig`] options, ignoring
+    /// the environment.
+    pub fn new_with(device: Device, cfg: ContextConfig) -> Self {
         Context {
             inner: Arc::new(ContextInner {
                 device,
                 transfer: TransferEngine::new(),
                 id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+                race: cfg.race_recording.then(|| Arc::new(RaceLog::new())),
             }),
         }
     }
@@ -39,6 +82,12 @@ impl Context {
     /// The context's device.
     pub fn device(&self) -> &Device {
         &self.inner.device
+    }
+
+    /// The context's multi-queue race recording, when enabled
+    /// ([`ContextConfig::race_recording`] / `CL_RACE=1`).
+    pub fn race(&self) -> Option<&Arc<RaceLog>> {
+        self.inner.race.as_ref()
     }
 
     /// The transfer engine (byte-level statistics for experiments).

@@ -102,6 +102,11 @@ pub struct Event {
     /// The `clGetEventProfilingInfo` timestamps, populated on every
     /// enqueue (tracing enabled or not).
     pub(crate) profiling: ProfilingInfo,
+    /// Stable id of the queue that ran the command (`0` = unattributed:
+    /// events constructed outside a queue).
+    pub(crate) queue_id: u64,
+    /// The command's sequence number within its queue.
+    pub(crate) seq: u64,
 }
 
 impl Event {
@@ -118,7 +123,23 @@ impl Event {
             workers_respawned: 0,
             modeled,
             profiling: ProfilingInfo::default(),
+            queue_id: 0,
+            seq: 0,
         }
+    }
+
+    /// Stable id of the queue that ran this command — the same id that
+    /// tags the command in the context's [`crate::RaceLog`] stream, so
+    /// trace spans and happens-before edges attribute to the same queue.
+    /// `0` means unattributed (the event was built outside a queue).
+    pub fn queue_id(&self) -> u64 {
+        self.queue_id
+    }
+
+    /// The command's sequence number within its queue (in-order queues:
+    /// enqueue order).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Command class.

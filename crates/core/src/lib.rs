@@ -83,6 +83,7 @@ mod kernel;
 mod ndrange;
 mod program;
 mod queue;
+mod race;
 mod trace;
 mod validate;
 
@@ -92,7 +93,7 @@ pub use cl_analyze;
 
 pub use affinity_exec::AffinityExecutor;
 pub use buffer::{BufView, BufViewMut, Buffer, Pod};
-pub use context::Context;
+pub use context::{Context, ContextConfig};
 pub use device::{Device, DeviceKind, Platform};
 pub use error::ClError;
 pub use event::{CommandKind, Event, ProfilingInfo};
@@ -101,6 +102,7 @@ pub use kernel::{ArgBinding, GroupCtx, Kernel, LocalBuf, WorkItem};
 pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
 pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};
+pub use race::RaceLog;
 pub use trace::{now_ns, Span, SpanKind, TraceLog};
 pub use validate::{validate_disjoint_writes, WriteConflict};
 

@@ -6,11 +6,13 @@
 //! [`Event`] carrying the command's duration.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use cl_mem::{MapGuard, MapMode};
 
 use cl_analyze::flow::{BufUse, FlowCommand, FlowOp};
+use cl_analyze::hb::HbRecord;
 use cl_util::sync::Mutex;
 
 use crate::buffer::{Buffer, Pod};
@@ -22,7 +24,13 @@ use crate::exec::execute_kernel;
 use crate::flow::{self, FlowLog};
 use crate::kernel::Kernel;
 use crate::ndrange::{NDRange, ResolvedRange};
+use crate::race::{self, RaceLog};
 use crate::trace::{self, Span, TraceLog};
+
+/// Queue ids are process-global and never reused, so happens-before
+/// records, events, and trace spans from different contexts can never
+/// alias. Id 0 is reserved for "unattributed".
+static NEXT_QUEUE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Queue construction options (`clCreateCommandQueue` properties analog).
 #[derive(Debug, Clone, Default)]
@@ -128,6 +136,16 @@ pub struct CommandQueue {
     /// The queue's command-stream recording; allocated once iff
     /// `cfg.recording`, shared by clones like the trace log.
     flow: Option<Arc<FlowLog>>,
+    /// The owning context's multi-queue race recording, cached here so the
+    /// disabled path stays one `Option` branch per record site. `None`
+    /// unless the context was created with
+    /// [`crate::ContextConfig::race_recording`] / `CL_RACE=1`.
+    race: Option<Arc<RaceLog>>,
+    /// Stable process-global queue id (see [`NEXT_QUEUE_ID`]); clones share
+    /// it, as they share the underlying queue.
+    id: u64,
+    /// Next command sequence number, shared by clones.
+    seq: Arc<AtomicU64>,
     /// Memoized enqueue plans, shared by clones. See [`EnqueuePlan`].
     plans: Arc<Mutex<Vec<EnqueuePlan>>>,
 }
@@ -140,13 +158,27 @@ impl CommandQueue {
     pub(crate) fn with_config(ctx: Context, cfg: QueueConfig) -> Self {
         let trace = cfg.tracing.then(|| Arc::new(TraceLog::new()));
         let flow = cfg.recording.then(|| Arc::new(FlowLog::new()));
+        let race = ctx.inner.race.clone();
         CommandQueue {
             ctx,
             cfg,
             trace,
             flow,
+            race,
+            id: NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed),
+            seq: Arc::new(AtomicU64::new(0)),
             plans: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// The queue's stable process-global id — the id that tags its commands
+    /// in events, trace output, and the context's race log.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Look up a memoized plan for (`kernel`, `range`). Dead entries
@@ -240,7 +272,7 @@ impl CommandQueue {
         // passed — when the plan was built. Failing launches are never
         // cached, so a rejected kernel is re-checked (and re-rejected)
         // every time.
-        let need_lowered = self.flow.is_some() || cfg!(debug_assertions);
+        let need_lowered = self.flow.is_some() || self.race.is_some() || cfg!(debug_assertions);
         let (resolved, lowered) = match self
             .cached_plan(kernel, range)
             .filter(|(_, lowered)| !need_lowered || lowered.is_some())
@@ -270,10 +302,19 @@ impl CommandQueue {
                 (resolved, lowered)
             }
         };
+        // Debug-build enqueue gate #3, cross-queue: would this launch race
+        // with another queue's recorded commands? Unlike the per-kernel
+        // gates above it depends on *stream state*, so it runs even on
+        // plan-cache hits. Same `CL_SKIP_STATIC_CHECK` opt-out.
+        #[cfg(debug_assertions)]
+        if let (Some(rl), Some((uses, has_spec))) = (&self.race, &lowered) {
+            check_cross_queue(rl, self.id, kernel.name(), uses, *has_spec)?;
+        }
+        let seq = self.next_seq();
         if let Some(log) = &self.flow {
             // Recorded before execution so faulted launches still appear in
             // the stream the lints see.
-            let (uses, has_spec) = lowered.unwrap_or_default();
+            let (uses, has_spec) = lowered.clone().unwrap_or_default();
             log.push(FlowCommand::new(
                 FlowOp::Launch {
                     kernel: kernel.name().to_string(),
@@ -283,15 +324,45 @@ impl CommandQueue {
                 uses,
             ));
         }
-        let mut ev = execute_kernel(
+        let res = execute_kernel(
             device,
             kernel,
             &resolved,
             self.cfg.launch_timeout,
             self.trace.as_ref(),
             queued_ns,
-        )?;
+        );
+        if let Some(rl) = &self.race {
+            // Launches record as *asynchronous* commands — OpenCL
+            // semantics, which the hb analysis certifies against — with the
+            // observed execution window for the dynamic layer. Faulted
+            // launches record unobserved (0, 0).
+            let (uses, has_spec) = lowered.unwrap_or_default();
+            let (start_ns, end_ns) = match &res {
+                Ok(ev) => (ev.profiling.started_ns, ev.profiling.completed_ns),
+                Err(_) => (0, 0),
+            };
+            rl.push(
+                HbRecord::command(
+                    self.id,
+                    seq,
+                    FlowCommand::new(
+                        FlowOp::Launch {
+                            kernel: kernel.name().to_string(),
+                            has_spec,
+                        },
+                        kernel.name(),
+                        uses,
+                    ),
+                    false,
+                )
+                .observed(start_ns, end_ns),
+            );
+        }
+        let mut ev = res?;
         ev.workers_respawned = respawned;
+        ev.queue_id = self.id;
+        ev.seq = seq;
         Ok(ev)
     }
 
@@ -299,6 +370,24 @@ impl CommandQueue {
     pub fn run<K: Kernel + 'static>(&self, kernel: K, range: NDRange) -> Result<Event, ClError> {
         let k: Arc<dyn Kernel> = Arc::new(kernel);
         self.enqueue_kernel(&k, range)
+    }
+
+    /// Record a completed blocking transfer into the context's race log:
+    /// the command plus its host-sync effect (the enqueuing thread observed
+    /// completion, ordering it before everything enqueued later). The
+    /// command is built lazily, so the disabled path is one branch.
+    fn record_race_transfer(
+        &self,
+        ev: &Event,
+        build: impl FnOnce() -> (FlowOp, String, Vec<BufUse>),
+    ) {
+        if let Some(rl) = &self.race {
+            let (op, label, uses) = build();
+            rl.push(
+                HbRecord::command(self.id, ev.seq, FlowCommand::new(op, label, uses), true)
+                    .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
+            );
+        }
     }
 
     /// `clEnqueueWriteBuffer` (blocking): host → buffer through the staging
@@ -319,15 +408,23 @@ impl CommandQueue {
             .inner
             .transfer
             .write_buffer(&buf.inner.region, byte_off, raw)?;
+        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
         if let Some(log) = &self.flow {
-            let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
             log.push(FlowCommand::new(
                 FlowOp::WriteBuffer,
                 format!("write {bytes}B"),
                 vec![flow::transfer_use(buf).writes(lo, end)],
             ));
         }
-        Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
+        let ev = self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true);
+        self.record_race_transfer(&ev, || {
+            (
+                FlowOp::WriteBuffer,
+                format!("write {bytes}B"),
+                vec![flow::transfer_use(buf).writes(lo, end)],
+            )
+        });
+        Ok(ev)
     }
 
     /// `clEnqueueReadBuffer` (blocking): buffer → host through the staging
@@ -348,15 +445,23 @@ impl CommandQueue {
             .inner
             .transfer
             .read_buffer(&buf.inner.region, byte_off, raw)?;
+        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
         if let Some(log) = &self.flow {
-            let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
             log.push(FlowCommand::new(
                 FlowOp::ReadBuffer,
                 format!("read {bytes}B"),
                 vec![flow::transfer_use(buf).reads(lo, end)],
             ));
         }
-        Ok(self.transfer_event(CommandKind::ReadBuffer, queued_ns, started_ns, bytes, true))
+        let ev = self.transfer_event(CommandKind::ReadBuffer, queued_ns, started_ns, bytes, true);
+        self.record_race_transfer(&ev, || {
+            (
+                FlowOp::ReadBuffer,
+                format!("read {bytes}B"),
+                vec![flow::transfer_use(buf).reads(lo, end)],
+            )
+        });
+        Ok(ev)
     }
 
     /// `clEnqueueMapBuffer` with `CL_MAP_READ` (blocking): zero-copy host
@@ -397,10 +502,33 @@ impl CommandQueue {
             ));
             flow::FlowUnmap::new(Arc::clone(log), id, u, false)
         });
+        let race = self.race.as_ref().map(|rl| {
+            let id = rl.next_map_id();
+            let u = flow::transfer_use(buf);
+            let (lo, end) = (u.span.0 as i128, u.span.1 as i128);
+            rl.push(
+                HbRecord::command(
+                    self.id,
+                    ev.seq,
+                    FlowCommand::new(
+                        FlowOp::Map {
+                            id,
+                            writable: false,
+                        },
+                        format!("map#{id} (ro)"),
+                        vec![u.clone().reads(lo, end)],
+                    ),
+                    true,
+                )
+                .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
+            );
+            race::RaceUnmap::new(Arc::clone(rl), self.id, Arc::clone(&self.seq), id, u, false)
+        });
         Ok((
             TypedMap {
                 guard,
                 flow,
+                race,
                 _t: PhantomData,
             },
             ev,
@@ -440,10 +568,29 @@ impl CommandQueue {
             ));
             flow::FlowUnmap::new(Arc::clone(log), id, u, true)
         });
+        let race = self.race.as_ref().map(|rl| {
+            let id = rl.next_map_id();
+            let u = flow::transfer_use(buf);
+            rl.push(
+                HbRecord::command(
+                    self.id,
+                    ev.seq,
+                    FlowCommand::new(
+                        FlowOp::Map { id, writable: true },
+                        format!("map#{id} (rw)"),
+                        vec![u.clone()],
+                    ),
+                    true,
+                )
+                .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
+            );
+            race::RaceUnmap::new(Arc::clone(rl), self.id, Arc::clone(&self.seq), id, u, true)
+        });
         Ok((
             TypedMapMut {
                 guard,
                 flow,
+                race,
                 _t: PhantomData,
             },
             ev,
@@ -485,7 +632,18 @@ impl CommandQueue {
                 ],
             ));
         }
-        Ok(self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true))
+        let ev = self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true);
+        self.record_race_transfer(&ev, || {
+            (
+                FlowOp::CopyBuffer,
+                format!("copy {bytes}B"),
+                vec![
+                    flow::transfer_use(src).reads(src_off as i128, (src_off + bytes) as i128),
+                    flow::transfer_use(dst).writes(dst_off as i128, (dst_off + bytes) as i128),
+                ],
+            )
+        });
+        Ok(ev)
     }
 
     /// `clEnqueueFillBuffer` (blocking): fill the buffer's window with a
@@ -503,21 +661,29 @@ impl CommandQueue {
             chunk.copy_from_slice(raw);
         }
         buf.inner.region.write_from(buf.byte_offset(), &staged)?;
+        let lo = buf.byte_offset() as i128;
         if let Some(log) = &self.flow {
-            let lo = buf.byte_offset() as i128;
             log.push(FlowCommand::new(
                 FlowOp::FillBuffer,
                 format!("fill {}B", staged.len()),
                 vec![flow::transfer_use(buf).writes(lo, lo + staged.len() as i128)],
             ));
         }
-        Ok(self.transfer_event(
+        let ev = self.transfer_event(
             CommandKind::WriteBuffer,
             queued_ns,
             started_ns,
             staged.len(),
             true,
-        ))
+        );
+        self.record_race_transfer(&ev, || {
+            (
+                FlowOp::FillBuffer,
+                format!("fill {}B", staged.len()),
+                vec![flow::transfer_use(buf).writes(lo, lo + staged.len() as i128)],
+            )
+        });
+        Ok(ev)
     }
 
     /// `clEnqueueUnmapMemObject` by buffer window: force-release the one
@@ -547,9 +713,24 @@ impl CommandQueue {
         ))
     }
 
-    /// `clFinish`: all commands block already, so this is a no-op provided
-    /// for API fidelity.
-    pub fn finish(&self) {}
+    /// `clFinish`: all commands block already, so execution-wise this is a
+    /// no-op — but it is a *semantic* sync point, and with race recording
+    /// on it lands in the context's stream: everything this queue ran so
+    /// far happens-before everything any queue enqueues afterwards.
+    pub fn finish(&self) {
+        if let Some(rl) = &self.race {
+            rl.push(HbRecord::finish(self.id));
+        }
+    }
+
+    /// `clEnqueueMarker`: an in-queue synchronization point. On an in-order
+    /// queue it orders nothing beyond program order — the hb analysis
+    /// records it and reports it in the removable-sync (over-sync) set.
+    pub fn marker(&self) {
+        if let Some(rl) = &self.race {
+            rl.push(HbRecord::marker(self.id));
+        }
+    }
 
     /// Build a completed transfer's event: duration (wall for native,
     /// modeled for modeled devices), bytes, the four profiling timestamps,
@@ -583,6 +764,8 @@ impl CommandQueue {
         };
         let mut ev = Event::new(kind, duration_s, modeled);
         ev.bytes = bytes as u64;
+        ev.queue_id = self.id;
+        ev.seq = self.next_seq();
         ev.profiling = ProfilingInfo {
             queued_ns,
             submitted_ns: started_ns,
@@ -700,12 +883,53 @@ fn check_flag_contract(
     Ok(())
 }
 
+/// Debug-build enqueue gate #3, the cross-queue race check: with the
+/// context recording its multi-queue stream, a launch whose footprint
+/// *provably* races (must-overlap, no happens-before path) with another
+/// queue's recorded command is rejected with a typed
+/// [`ClError::ContractViolation`] before it executes. Only races involving
+/// the new command reject — pre-existing stream races are `cl-race`'s
+/// business, not this launch's. Same `CL_SKIP_STATIC_CHECK` opt-out as the
+/// other gates.
+#[cfg(debug_assertions)]
+fn check_cross_queue(
+    race: &RaceLog,
+    queue_id: u64,
+    kernel_name: &str,
+    uses: &[BufUse],
+    has_spec: bool,
+) -> Result<(), ClError> {
+    if uses.is_empty() || std::env::var_os("CL_SKIP_STATIC_CHECK").is_some() {
+        return Ok(());
+    }
+    let cmd = FlowCommand::new(
+        FlowOp::Launch {
+            kernel: kernel_name.to_string(),
+            has_spec,
+        },
+        kernel_name,
+        uses.to_vec(),
+    );
+    let findings =
+        cl_analyze::hb::incremental_race_check(&race.records(), queue_id, u64::MAX, &cmd);
+    if !findings.is_empty() {
+        return Err(ClError::ContractViolation {
+            kernel: kernel_name.to_string(),
+            findings,
+        });
+    }
+    Ok(())
+}
+
 /// A read mapping viewed as a `[T]` slice. Unmaps on drop.
 pub struct TypedMap<'a, T: Pod> {
     guard: MapGuard<'a>,
     /// Deferred `Unmap` recording for flow analysis; `None` when the
     /// queue is not recording.
     flow: Option<flow::FlowUnmap>,
+    /// Deferred `Unmap` recording for the context's race log; `None` when
+    /// the context is not recording.
+    race: Option<race::RaceUnmap>,
     _t: PhantomData<T>,
 }
 
@@ -722,6 +946,9 @@ impl<T: Pod> Drop for TypedMap<'_, T> {
     fn drop(&mut self) {
         if let Some(f) = self.flow.take() {
             f.record();
+        }
+        if let Some(r) = self.race.take() {
+            r.record();
         }
     }
 }
@@ -747,6 +974,8 @@ pub struct TypedMapMut<'a, T: Pod> {
     /// Deferred `Unmap` recording (carrying the host's writes, which
     /// become visible at unmap); `None` when the queue is not recording.
     flow: Option<flow::FlowUnmap>,
+    /// Deferred `Unmap` recording for the context's race log.
+    race: Option<race::RaceUnmap>,
     _t: PhantomData<T>,
 }
 
@@ -762,6 +991,9 @@ impl<T: Pod> Drop for TypedMapMut<'_, T> {
     fn drop(&mut self) {
         if let Some(f) = self.flow.take() {
             f.record();
+        }
+        if let Some(r) = self.race.take() {
+            r.record();
         }
     }
 }
@@ -1128,5 +1360,101 @@ mod tests {
         let q = ctx.queue();
         let buf = ctx.buffer::<f32>(MemFlags::WRITE_ONLY, 32).unwrap();
         q.run(FillOnes { out: buf }, NDRange::d1(32)).unwrap();
+    }
+
+    fn race_ctx() -> Context {
+        Context::new_with(
+            Device::native_cpu(2).unwrap(),
+            crate::context::ContextConfig::default().race_recording(true),
+        )
+    }
+
+    /// With race recording on, every queue's commands and sync points land
+    /// in the context-level stream with queue ids, and a finish-ordered
+    /// producer/consumer pair proves clean on both layers.
+    #[test]
+    fn race_log_aggregates_queues_and_proves_synced_stream() {
+        use cl_analyze::hb::HbOp;
+        let ctx = race_ctx();
+        let (qa, qb) = (ctx.queue(), ctx.queue());
+        assert_ne!(qa.id(), qb.id());
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 16).unwrap();
+        qa.write_buffer(&buf, 0, &[2.0f32; 16]).unwrap();
+        qa.run(AddOne { data: buf.clone() }, NDRange::d1(16))
+            .unwrap();
+        qa.finish();
+        let mut out = vec![0.0f32; 16];
+        qb.read_buffer(&buf, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 3.0));
+
+        let log = ctx.race().expect("race-recording context has a log");
+        let records = log.records();
+        assert_eq!(records.len(), 4); // write, launch, finish, read
+        assert!(matches!(records[2].op, HbOp::Finish));
+        assert_eq!(records[0].queue, qa.id());
+        assert_eq!(records[3].queue, qb.id());
+        let (analysis, vc) = log.check();
+        assert!(!analysis.has_races(), "{:?}", analysis.findings);
+        assert!(vc.agrees(), "{:?}", vc.disagreements);
+        assert!(vc.linearization_failures.is_empty());
+    }
+
+    /// Events attribute to their owning queue: stable id + per-queue
+    /// sequence numbers, for transfers and launches alike.
+    #[test]
+    fn events_carry_queue_id_and_seq() {
+        let ctx = ctx_native();
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 8).unwrap();
+        let e0 = q.write_buffer(&buf, 0, &[1.0f32; 8]).unwrap();
+        let e1 = q.run(AddOne { data: buf.clone() }, NDRange::d1(8)).unwrap();
+        let mut out = vec![0.0f32; 8];
+        let e2 = q.read_buffer(&buf, 0, &mut out).unwrap();
+        assert_eq!(e0.queue_id(), q.id());
+        assert_eq!(e1.queue_id(), q.id());
+        assert_eq!((e0.seq(), e1.seq(), e2.seq()), (0, 1, 2));
+        // Another queue starts its own sequence.
+        let q2 = ctx.queue();
+        let e3 = q2.write_buffer(&buf, 0, &[1.0f32; 8]).unwrap();
+        assert_eq!(e3.queue_id(), q2.id());
+        assert_eq!(e3.seq(), 0);
+    }
+
+    /// The disabled path: contexts without race recording hold no log.
+    #[test]
+    fn disabled_race_recording_has_no_log() {
+        let ctx = ctx_native();
+        assert!(ctx.race().is_none());
+        let q = ctx.queue();
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 4).unwrap();
+        q.write_buffer(&buf, 0, &[0.0f32; 4]).unwrap();
+        assert!(ctx.race().is_none());
+    }
+
+    /// Debug builds reject a launch that provably races with another
+    /// queue's recorded command, before it executes.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_queue_race_rejected_at_enqueue() {
+        let ctx = race_ctx();
+        let (qa, qb) = (ctx.queue(), ctx.queue());
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        // Async launch on qa writes the buffer...
+        qa.run(FillOnes { out: buf.clone() }, NDRange::d1(32))
+            .unwrap();
+        // ...and an unsynchronized launch on qb that also writes it must
+        // be rejected (WAW, no happens-before path).
+        let k: Arc<dyn Kernel> = Arc::new(FillOnes { out: buf.clone() });
+        let err = qb.enqueue_kernel(&k, NDRange::d1(32)).unwrap_err();
+        match err {
+            ClError::ContractViolation { kernel, findings } => {
+                assert_eq!(kernel, "fill_ones");
+                assert!(findings[0].contains("cross-queue-race"), "{findings:?}");
+            }
+            other => panic!("expected ContractViolation, got {other:?}"),
+        }
+        // A finish on qa repairs the ordering; the same launch now passes.
+        qa.finish();
+        qb.enqueue_kernel(&k, NDRange::d1(32)).unwrap();
     }
 }

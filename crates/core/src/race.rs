@@ -1,0 +1,173 @@
+//! Context-level multi-queue recording — the runtime side of `cl-race`.
+//!
+//! Where [`crate::flow::FlowLog`] records ONE queue's stream for dataflow
+//! analysis, a `RaceLog` aggregates the streams of *every* queue of a
+//! context, tagged with queue ids and interleaved with the sync points
+//! (`finish`, markers, blocking transfers) that order them. The log feeds
+//! [`cl_analyze::hb`]: happens-before classification of every cross-queue
+//! conflicting pair, the over-synchronization certifier, and the dynamic
+//! vector-clock layer.
+//!
+//! Recording is opt-in per context ([`crate::context::ContextConfig`] /
+//! `CL_RACE=1`); with it off the context holds no log and every record
+//! site in the queue is a single `Option` branch (`cl-bench`'s
+//! `overhead/race-off` entry gates that path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cl_analyze::flow::{BufUse, FlowCommand, FlowOp};
+use cl_analyze::hb::{analyze_hb, vector_clock_check, HbAnalysis, HbRecord, VcReport};
+use cl_util::sync::Mutex;
+
+use crate::buffer::{Buffer, Pod};
+use crate::flow::transfer_use;
+
+/// An in-memory recording of a context's multi-queue command stream.
+#[derive(Default)]
+pub struct RaceLog {
+    records: Mutex<Vec<HbRecord>>,
+    next_map_id: AtomicU64,
+}
+
+impl RaceLog {
+    pub fn new() -> Self {
+        RaceLog::default()
+    }
+
+    pub(crate) fn push(&self, r: HbRecord) {
+        self.records.lock().push(r);
+    }
+
+    pub(crate) fn next_map_id(&self) -> u64 {
+        self.next_map_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded stream.
+    pub fn records(&self) -> Vec<HbRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of recorded entries (commands and sync points).
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Drop all recorded entries.
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Static layer: happens-before graph + cross-queue classification.
+    pub fn analyze(&self) -> HbAnalysis {
+        analyze_hb(&self.records.lock())
+    }
+
+    /// Both layers: the static analysis plus the vector-clock replay of the
+    /// observed schedule, which must agree with it.
+    pub fn check(&self) -> (HbAnalysis, VcReport) {
+        let records = self.records();
+        let analysis = analyze_hb(&records);
+        let vc = vector_clock_check(&records, &analysis);
+        (analysis, vc)
+    }
+
+    /// Record a raw host access to `elems` (element range within the
+    /// buffer's window) performed outside any queue — attributed to the
+    /// pseudo-queue `queue` it raced with. See
+    /// [`crate::flow::FlowLog::record_host_access`] for the single-stream
+    /// analog.
+    pub fn record_host_access<T: Pod>(
+        &self,
+        queue: u64,
+        buf: &Buffer<T>,
+        elems: std::ops::Range<usize>,
+        write: bool,
+        via_map: Option<u64>,
+    ) {
+        let esz = std::mem::size_of::<T>();
+        let lo = (buf.byte_offset() + elems.start * esz) as i128;
+        let end = (buf.byte_offset() + elems.end * esz) as i128;
+        let mut u = transfer_use(buf);
+        if write {
+            u = u.writes(lo, end);
+        } else {
+            u = u.may_reads(lo, end);
+        }
+        let op = FlowOp::HostAccess { write, via_map };
+        let label = op.describe();
+        self.push(HbRecord::command(
+            queue,
+            0,
+            FlowCommand::new(op, label, vec![u]),
+            false,
+        ));
+    }
+}
+
+impl std::fmt::Debug for RaceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RaceLog({} records)", self.len())
+    }
+}
+
+/// Deferred unmap recording for the race log, carried by
+/// `TypedMap`/`TypedMapMut` beside the flow-log counterpart: the `Unmap`
+/// command (a blocking sync point — the host's writes publish here) lands
+/// when the host view drops.
+pub(crate) struct RaceUnmap {
+    log: Arc<RaceLog>,
+    queue: u64,
+    seq: Arc<AtomicU64>,
+    map_id: u64,
+    template: BufUse,
+    writes: bool,
+}
+
+impl RaceUnmap {
+    pub(crate) fn new(
+        log: Arc<RaceLog>,
+        queue: u64,
+        seq: Arc<AtomicU64>,
+        map_id: u64,
+        template: BufUse,
+        writes: bool,
+    ) -> Self {
+        RaceUnmap {
+            log,
+            queue,
+            seq,
+            map_id,
+            template,
+            writes,
+        }
+    }
+
+    pub(crate) fn record(self) {
+        let (lo, end) = (self.template.span.0 as i128, self.template.span.1 as i128);
+        let mut u = self.template;
+        if self.writes {
+            u = u.writes(lo, end);
+        }
+        let now = crate::trace::now_ns();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.log.push(
+            HbRecord::command(
+                self.queue,
+                seq,
+                FlowCommand::new(
+                    FlowOp::Unmap { id: self.map_id },
+                    format!("unmap#{}", self.map_id),
+                    vec![u],
+                ),
+                true,
+            )
+            .observed(now, now),
+        );
+    }
+}

@@ -325,6 +325,29 @@ fn run_suite(opts: &Opts) -> Report {
     built.verify(&q).expect("flow-off results");
     push("overhead/flow-off", "ns/enqueue", stats);
 
+    // race-off: two queues of one recording-DISABLED context alternating
+    // enqueues of the same built kernel — the multi-queue path the PR 6
+    // race recorder hooks. With recording off the context holds no
+    // `RaceLog` and each record site is one skipped Option branch; a
+    // regression that starts building HbRecords eagerly would surface here.
+    let race_ctx = Context::new_with(
+        ocl_rt::Device::native_cpu(opts.workers).expect("race-off device"),
+        ocl_rt::ContextConfig::default().race_recording(false),
+    );
+    let qa = race_ctx.queue_with(QueueConfig::default().launch_timeout(Duration::from_secs(60)));
+    let qb = race_ctx.queue_with(QueueConfig::default().launch_timeout(Duration::from_secs(60)));
+    let built = cl_kernels::apps::square::build(&race_ctx, 4096, 1, Some(64), 7);
+    let stats = sample(warm, samples, BATCH, || {
+        for i in 0..BATCH {
+            let q = if i % 2 == 0 { &qa } else { &qb };
+            q.enqueue_kernel(&built.kernel, built.range)
+                .expect("race-off enqueue");
+        }
+        BATCH
+    });
+    built.verify(&qa).expect("race-off results");
+    push("overhead/race-off", "ns/enqueue", stats);
+
     Report::new(opts.workers, benches)
 }
 

@@ -2,9 +2,10 @@
 //! runtime.
 //!
 //! ```text
-//! cl-chaos [--rounds N] [--seed S] [--workers W] [--timeout-ms T] [--out DIR]
+//! cl-chaos [--rounds N] [--xq-rounds N] [--seed S] [--workers W] [--timeout-ms T] [--out DIR]
 //!
 //!   --rounds N      fault rounds to run (default: 25)
+//!   --xq-rounds N   two-queue contention rounds to run (default: 5)
 //!   --seed S        PRNG seed for the round mix (default: 7)
 //!   --workers W     pool workers of the device under test (default: min(4, cores))
 //!   --timeout-ms T  launch watchdog deadline per enqueue (default: 250)
@@ -20,6 +21,12 @@
 //! its output bit-exactly against the serial reference. Any wrong error,
 //! failed probe, or mismatched output is an unrecovered fault and fails
 //! the run (nonzero exit).
+//!
+//! The contention rounds then stress fault *isolation across queues*: a
+//! second thread runs clean bit-exact probes on queue B (its own buffer)
+//! while queue A takes a seeded fault on the shared pool. Queue B must
+//! come through with zero mismatches — a fault on one queue may slow its
+//! neighbours (shared workers) but must never corrupt or stall them.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -45,9 +52,23 @@ struct Round {
     respawned: u64,
 }
 
+/// One two-queue contention round: queue A's seeded fault vs queue B's
+/// concurrent clean probes.
+struct XqRound {
+    mode: &'static str,
+    injected: String,
+    error: String,
+    /// Queue A reported the expected `ClError` and healed.
+    a_ok: bool,
+    /// Every concurrent probe on queue B was bit-exact.
+    b_ok: bool,
+    b_probes: usize,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut rounds = 25usize;
+    let mut xq_rounds = 5usize;
     let mut seed = 7u64;
     let mut workers = usize::min(4, cl_pool::available_cores().max(1));
     let mut timeout_ms = 250u64;
@@ -58,6 +79,10 @@ fn main() {
             "--rounds" => {
                 i += 1;
                 rounds = parse(&args, i, "--rounds");
+            }
+            "--xq-rounds" => {
+                i += 1;
+                xq_rounds = parse(&args, i, "--xq-rounds");
             }
             "--seed" => {
                 i += 1;
@@ -77,8 +102,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: cl-chaos [--rounds N] [--seed S] [--workers W] \
-                     [--timeout-ms T] [--out DIR]"
+                    "usage: cl-chaos [--rounds N] [--xq-rounds N] [--seed S] \
+                     [--workers W] [--timeout-ms T] [--out DIR]"
                 );
                 return;
             }
@@ -191,13 +216,120 @@ fn main() {
             respawned,
         });
     }
+    // ------ Two-queue contention rounds ------
+    // Queue B's probes run on a second thread against B's own buffer while
+    // queue A takes a seeded fault on the shared worker pool. Isolation
+    // contract: B may be *slowed* (shared workers) but never corrupted or
+    // stalled — every probe must complete bit-exactly.
+    let mut xq_results = Vec::with_capacity(xq_rounds);
+    for _ in 0..xq_rounds {
+        let local = 32usize;
+        let mut groups = 2 + (rng.next_u64() % 7) as usize;
+        let kind = rng.next_u64() % 5;
+        if kind == 4 {
+            groups = groups.min(workers.max(1));
+        }
+        let n = groups * local;
+        let mode = match kind {
+            0 => ChaosMode::PanicAt {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            1 => ChaosMode::FatalAt {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            2 => ChaosMode::PayloadBomb {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            3 => ChaosMode::StallUntilAbort {
+                group: (rng.next_u64() as usize) % groups,
+            },
+            _ => ChaosMode::BarrierDesync {
+                panic_group: (rng.next_u64() as usize) % groups,
+            },
+        };
+
+        let qa = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout));
+        let qb = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout));
+        let b_groups = 4usize;
+        let b_n = b_groups * local;
+        let b_buf = ctx
+            .buffer::<u32>(MemFlags::default(), b_n)
+            .expect("xq buffer B");
+        let b_ref = reference(b_n);
+        const B_PROBES: usize = 4;
+
+        let mut a_judge = (false, String::new());
+        let mut b_clean = 0usize;
+        std::thread::scope(|s| {
+            let b = s.spawn(|| {
+                let mut clean = 0usize;
+                for _ in 0..B_PROBES {
+                    let probe: Arc<dyn Kernel> =
+                        Arc::new(ChaosKernel::new(b_buf.clone(), ChaosMode::Clean, b_groups));
+                    let ok = match qb.enqueue_kernel(&probe, NDRange::d1(b_n).local1(local)) {
+                        Ok(_) => {
+                            let mut host = vec![0u32; b_n];
+                            qb.read_buffer(&b_buf, 0, &mut host).is_ok() && host == b_ref
+                        }
+                        Err(e) => {
+                            eprintln!("cl-chaos: contention probe on queue B failed: {e}");
+                            false
+                        }
+                    };
+                    if ok {
+                        clean += 1;
+                    }
+                }
+                clean
+            });
+
+            let a_buf = ctx
+                .buffer::<u32>(MemFlags::default(), n)
+                .expect("xq buffer A");
+            let kernel: Arc<dyn Kernel> = Arc::new(ChaosKernel::new(a_buf.clone(), mode, groups));
+            let res = qa.enqueue_kernel(&kernel, NDRange::d1(n).local1(local));
+            a_judge = judge(&mode, &res);
+            b_clean = b.join().expect("queue B thread");
+        });
+
+        // Heal queue A (either thread's enqueue may have respawned a
+        // retired worker already, so no respawn-count obligation here —
+        // the single-queue soak above asserts that bookkeeping).
+        let a_probe: Arc<dyn Kernel> = Arc::new(ChaosKernel::new(
+            ctx.buffer::<u32>(MemFlags::default(), n).expect("heal"),
+            ChaosMode::Clean,
+            groups,
+        ));
+        let a_healed = qa
+            .enqueue_kernel(&a_probe, NDRange::d1(n).local1(local))
+            .is_ok();
+
+        xq_results.push(XqRound {
+            mode: mode.label(),
+            injected: format!("{mode:?}"),
+            error: a_judge.1.clone(),
+            a_ok: a_judge.0 && a_healed,
+            b_ok: b_clean == B_PROBES,
+            b_probes: B_PROBES,
+        });
+    }
     let elapsed = t0.elapsed();
 
     let recovered = results.iter().filter(|r| r.error_ok && r.probe_ok).count();
+    let xq_recovered = xq_results.iter().filter(|r| r.a_ok && r.b_ok).count();
     fs::create_dir_all(&out_dir).expect("create output directory");
     fs::write(
         out_dir.join("chaos.md"),
-        render_md(&results, seed, workers, timeout, recovered, elapsed),
+        render_md(
+            &results,
+            &xq_results,
+            seed,
+            workers,
+            timeout,
+            recovered,
+            xq_recovered,
+            elapsed,
+        ),
     )
     .expect("write chaos.md");
     // Under CL_TRACE=1 the soak also exports its span log, so CI can assert
@@ -221,13 +353,22 @@ fn main() {
             );
         }
     }
+    for (i, r) in xq_results.iter().enumerate() {
+        if !(r.a_ok && r.b_ok) {
+            eprintln!(
+                "cl-chaos: contention round {i} FAILED: {} ({}), queue A ok={}, queue B ok={}",
+                r.mode, r.injected, r.a_ok, r.b_ok
+            );
+        }
+    }
     println!(
-        "cl-chaos: {recovered}/{} rounds recovered (seed {seed}, {workers} workers, \
-         timeout {timeout:?}, {:.2}s)",
+        "cl-chaos: {recovered}/{} rounds recovered, {xq_recovered}/{} contention \
+         rounds isolated (seed {seed}, {workers} workers, timeout {timeout:?}, {:.2}s)",
         results.len(),
+        xq_results.len(),
         elapsed.as_secs_f64()
     );
-    if recovered != results.len() {
+    if recovered != results.len() || xq_recovered != xq_results.len() {
         std::process::exit(1);
     }
 }
@@ -267,12 +408,15 @@ fn judge(mode: &ChaosMode, res: &Result<ocl_rt::Event, ClError>) -> (bool, Strin
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_md(
     rounds: &[Round],
+    xq_rounds: &[XqRound],
     seed: u64,
     workers: usize,
     timeout: Duration,
     recovered: usize,
+    xq_recovered: usize,
     elapsed: Duration,
 ) -> String {
     let mut md = String::new();
@@ -321,5 +465,32 @@ fn render_md(
          respawns observed by probe enqueues. A `fatal` round counts as recovered \
          only if its probe respawned at least one worker."
     );
+
+    md.push_str("\n## Two-queue contention\n\n");
+    let _ = writeln!(
+        md,
+        "A second thread runs clean bit-exact probes on queue B (its own \
+         buffer) while queue A takes the seeded fault on the shared worker \
+         pool. Isolation contract: B may be slowed but never corrupted or \
+         stalled. **Isolated: {xq_recovered}/{}.**\n",
+        xq_rounds.len()
+    );
+    md.push_str("| Round | Fault on A | Reported error | A ok | B probes clean |\n");
+    md.push_str("|---:|---|---|---|---|\n");
+    for (i, r) in xq_rounds.iter().enumerate() {
+        let _ = writeln!(
+            md,
+            "| {} | `{}` | {} | {} | {} |",
+            i,
+            r.injected,
+            r.error,
+            if r.a_ok { "yes" } else { "**NO**" },
+            if r.b_ok {
+                format!("{}/{}", r.b_probes, r.b_probes)
+            } else {
+                "**corrupted/stalled**".to_string()
+            },
+        );
+    }
     md
 }

@@ -569,32 +569,35 @@ fn render_csv(clean: &[Scenario], seeded: &[Seeded]) -> String {
         "section,name,commands,edges,proven_edges,independent_pairs,errors,warnings,caught\n",
     );
     for s in clean {
-        let _ = writeln!(
-            csv,
-            "clean,{},{},{},{},{},{},{},",
-            s.name.replace(',', ";"),
-            s.commands.len(),
-            s.analysis.edges.len(),
-            s.proven_edges(),
-            s.analysis.independent_pairs,
-            s.errors(),
-            s.warnings(),
-        );
+        csv.push_str(&cl_util::csv::row([
+            "clean".to_string(),
+            s.name.to_string(),
+            s.commands.len().to_string(),
+            s.analysis.edges.len().to_string(),
+            s.proven_edges().to_string(),
+            s.analysis.independent_pairs.to_string(),
+            s.errors().to_string(),
+            s.warnings().to_string(),
+            String::new(),
+        ]));
     }
     for s in seeded {
-        let _ = writeln!(
-            csv,
-            "seeded,{},{},{},,,{},,{}",
-            s.kind.as_str(),
-            s.analysis.commands,
-            s.analysis.edges.len(),
+        csv.push_str(&cl_util::csv::row([
+            "seeded".to_string(),
+            s.kind.as_str().to_string(),
+            s.analysis.commands.to_string(),
+            s.analysis.edges.len().to_string(),
+            String::new(),
+            String::new(),
             s.analysis
                 .findings
                 .iter()
                 .filter(|f| f.severity == Severity::Error)
-                .count(),
-            s.caught,
-        );
+                .count()
+                .to_string(),
+            String::new(),
+            s.caught.to_string(),
+        ]));
     }
     csv
 }

@@ -296,24 +296,20 @@ fn render_csv(rows: &[Row]) -> String {
                 verdict_str(v)
             }
         };
-        let _ = writeln!(
-            csv,
-            "{},{},{},{}x{}x{},{},{},{},{},{},{},{},{}",
-            r.benchmark,
-            r.kernel,
-            r.global.replace(' ', ""),
-            r.local[0],
-            r.local[1],
-            r.local[2],
-            r.coverage(),
-            cell(r.disjoint),
-            cell(r.local_races),
-            cell(r.barriers),
-            cell(r.bounds),
-            r.checked_writes,
-            r.checked_accesses,
-            r.findings.len(),
-        );
+        csv.push_str(&cl_util::csv::row([
+            r.benchmark.to_string(),
+            r.kernel.to_string(),
+            r.global.clone(),
+            format!("{}x{}x{}", r.local[0], r.local[1], r.local[2]),
+            r.coverage().to_string(),
+            cell(r.disjoint).to_string(),
+            cell(r.local_races).to_string(),
+            cell(r.barriers).to_string(),
+            cell(r.bounds).to_string(),
+            r.checked_writes.to_string(),
+            r.checked_accesses.to_string(),
+            r.findings.len().to_string(),
+        ]));
     }
     csv
 }

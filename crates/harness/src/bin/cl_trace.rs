@@ -41,6 +41,9 @@ use ocl_rt::{Context, Device, MemFlags, QueueConfig, Span, SpanKind, TraceLog};
 struct LaunchRow {
     kernel: String,
     config: String,
+    /// `q{id}#{seq}` from the event's queue attribution — the same ids
+    /// that tag the command in `cl-race`'s happens-before stream.
+    queue_cmd: String,
     groups: usize,
     chunks: usize,
     steals: usize,
@@ -65,7 +68,13 @@ fn us(ns: u64) -> f64 {
 
 /// Build the row for the launch recorded last in `log`, attributing the
 /// `Steal` spans recorded since `mark` to it.
-fn row_for_last_launch(log: &TraceLog, mark: usize, workers: usize, config: &str) -> LaunchRow {
+fn row_for_last_launch(
+    log: &TraceLog,
+    ev: &ocl_rt::Event,
+    mark: usize,
+    workers: usize,
+    config: &str,
+) -> LaunchRow {
     let spans = log.spans();
     let launch = log.last_launch().expect("a launch span");
     let chunks = log.chunks_of(launch.launch);
@@ -80,6 +89,7 @@ fn row_for_last_launch(log: &TraceLog, mark: usize, workers: usize, config: &str
     LaunchRow {
         kernel: launch.label.clone(),
         config: config.to_string(),
+        queue_cmd: format!("q{}#{}", ev.queue_id(), ev.seq()),
         groups: launch.group_end,
         chunks: chunks.len(),
         steals,
@@ -209,11 +219,13 @@ fn main() {
     for factor in [1usize, 10, 100, 1000] {
         let mark = log.len();
         let built = cl_kernels::apps::square::build(&ctx, TABLE2_N, factor, None, seed);
-        q.enqueue_kernel(&built.kernel, built.range)
+        let ev = q
+            .enqueue_kernel(&built.kernel, built.range)
             .expect("square enqueue");
         verify_launch(&log);
         rows.push(row_for_last_launch(
             &log,
+            &ev,
             mark,
             workers,
             &format!("coalesce x{factor}"),
@@ -229,11 +241,13 @@ fn main() {
     for ilp in 1..=4usize {
         let mark = log.len();
         let built = cl_kernels::ilp::build(&ctx, ILP_N, ilp, ILP_ITERS, 256, seed);
-        q.enqueue_kernel(&built.kernel, built.range)
+        let ev = q
+            .enqueue_kernel(&built.kernel, built.range)
             .expect("ilp enqueue");
         verify_launch(&log);
         rows.push(row_for_last_launch(
             &log,
+            &ev,
             mark,
             workers,
             &format!("ilp={ilp}"),
@@ -371,16 +385,17 @@ fn render_md(
          workers).\n\n",
     );
     md.push_str(
-        "| Kernel | Config | Groups | Chunks | Steals | Barriers | Wall µs | \
+        "| Kernel | Config | Cmd | Groups | Chunks | Steals | Barriers | Wall µs | \
          Submit µs | Dispatch µs | Compute µs | Idle µs | Util |\n",
     );
-    md.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    md.push_str("|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
     for r in rows {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.kernel,
             r.config,
+            r.queue_cmd,
             r.groups,
             r.chunks,
             t(r.steals.to_string()),

@@ -26,6 +26,11 @@
 //! [`chaos`] holds the fault-injection kernels driven by the `cl-chaos`
 //! soak harness: deliberately panicking, stalling, and barrier-deserting
 //! kernels that exercise the runtime's fault containment.
+//!
+//! [`race`] holds tile-granular kernels for the `cl-race` multi-queue
+//! scenarios: their access specs pin each launch to an exact
+//! `[base, base+len)` window of a shared buffer, so the happens-before
+//! analysis can prove disjoint tiles independent.
 
 pub mod access;
 pub mod apps;
@@ -33,6 +38,7 @@ pub mod chaos;
 pub mod ilp;
 pub mod mbench;
 pub mod parboil;
+pub mod race;
 pub mod registry;
 pub mod util;
 

@@ -1,0 +1,62 @@
+//! Minimal RFC-4180-style CSV writing.
+//!
+//! The report tools (`cl-lint`, `cl-flow`, `cl-race`) emit CSV beside
+//! their markdown; kernel labels and finding messages can contain commas
+//! and quotes (e.g. `square[n=4096, ipw=4]`), so every cell goes through
+//! one shared escaper instead of per-tool `replace(',', ";")` hacks.
+
+/// Escape one CSV field: wrapped in double quotes (with inner quotes
+/// doubled) iff it contains a comma, quote, or line break; returned
+/// unchanged otherwise.
+pub fn escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// One CSV row: fields escaped, comma-joined, newline-terminated.
+pub fn row<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::new();
+    for (i, f) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(f.as_ref()));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(escape("square"), "square");
+        assert_eq!(row(["a", "b", "3"]), "a,b,3\n");
+    }
+
+    #[test]
+    fn commas_quotes_and_newlines_are_quoted() {
+        assert_eq!(escape("square[n=4096, ipw=4]"), "\"square[n=4096, ipw=4]\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("a\nb"), "\"a\nb\"");
+        assert_eq!(row(["x,y", "z"]), "\"x,y\",z\n");
+    }
+}

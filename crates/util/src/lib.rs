@@ -12,7 +12,11 @@
 //!   `Err`).
 //! * [`json`] — a small JSON reader for the machine-readable artifacts
 //!   the tools exchange (`BENCH.json`, trace exports).
+//! * [`csv`] — RFC-4180-style field escaping shared by the report tools,
+//!   so kernel labels with commas survive `cl-lint`/`cl-flow`/`cl-race`
+//!   CSV exports.
 
+pub mod csv;
 pub mod json;
 pub mod rng;
 pub mod sync;
