@@ -19,10 +19,11 @@
 #   traced-chaos  CL_TRACE=1 soak; asserts target/chaos-traced/chaos-trace.json
 #   flow          cl-flow --stable --workers 2 (regenerates results/flow.md)
 #   race          cl-race --stable --workers 2 (regenerates results/race.md)
+#   serve         cl-load 64-tenant serving soak (regenerates results/serve.md)
 #   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
 #   drift         git diff --exit-code results/ (regenerated reports committed?)
 #
-# The drift stage is why lint/trace/flow/race pin --workers 2 and --stable:
+# The drift stage is why lint/trace/flow/race/serve pin --workers 2 and --stable:
 # the committed reports must be byte-identical on any machine. Regenerate
 # them the same way before committing a change that shifts their contents.
 set -euo pipefail
@@ -125,6 +126,16 @@ stage_race() {
     cargo run --release --quiet --bin cl-race -- --stable --workers 2
 }
 
+# Multi-tenant serving soak: 64 concurrent tenants (8 seeded-faulty) over
+# the shared pool. Nonzero exit on any isolation violation (clean tenant
+# not bit-exact, wrong contained error, over-budget stall) or any failed
+# overload scenario (quota refusal, deterministic shedding, eviction,
+# retry). --stable --workers 2 keeps results/serve.md drift-tracked.
+stage_serve() {
+    cargo run --release --quiet --bin cl-load -- \
+        --tenants 64 --faulty 8 --stable --workers 2
+}
+
 # The performance gate: run the microbenchmark suite and compare against
 # the committed baseline; a median regression beyond max(abs floor, k*MAD)
 # exits nonzero. BENCH.json is the machine-readable run artifact.
@@ -150,6 +161,7 @@ run_stage trace
 run_stage traced-chaos soak
 run_stage flow
 run_stage race
+run_stage serve
 run_stage bench-gate
 run_stage drift
 

@@ -62,6 +62,24 @@ pub enum ClError {
     /// `CL_INVALID_BUILD_OPTIONS`: `clBuildProgram` options string did not
     /// parse.
     InvalidBuildOptions(String),
+    /// The serving layer refused to admit the command: the tenant is at its
+    /// in-flight or pending-byte quota, or its queued work was shed under
+    /// overload. Transient — retry after `retry_after` (the serving layer's
+    /// bounded-backoff wrappers do this automatically).
+    Backpressure {
+        /// Serving-layer tenant id.
+        tenant: u64,
+        /// Suggested wait before retrying, derived from the tenant's
+        /// configured backoff base and current load.
+        retry_after: std::time::Duration,
+    },
+    /// The tenant was evicted from the serving layer (explicitly, or after
+    /// exhausting its fault budget); every subsequent command on its handle
+    /// fails with this error. Not transient — the client must reconnect.
+    TenantEvicted {
+        /// Serving-layer tenant id.
+        tenant: u64,
+    },
 }
 
 impl std::fmt::Display for ClError {
@@ -100,6 +118,16 @@ impl std::fmt::Display for ClError {
                 available.join(", ")
             ),
             ClError::InvalidBuildOptions(s) => write!(f, "invalid build options: {s}"),
+            ClError::Backpressure {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "tenant {tenant} over quota, command not admitted (retry after {retry_after:?})"
+            ),
+            ClError::TenantEvicted { tenant } => {
+                write!(f, "tenant {tenant} was evicted from the serving layer")
+            }
         }
     }
 }
@@ -138,5 +166,89 @@ mod tests {
         assert!(matches!(e, ClError::Mem(MemError::ZeroSize)));
         let e: ClError = FlagError::ConflictingAccess.into();
         assert!(matches!(e, ClError::InvalidFlags(_)));
+    }
+
+    #[test]
+    fn serve_errors_render_their_ids() {
+        let e = ClError::Backpressure {
+            tenant: 42,
+            retry_after: std::time::Duration::from_millis(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("5ms"), "{s}");
+        let e = ClError::TenantEvicted { tenant: 7 };
+        assert!(e.to_string().contains("tenant 7"));
+    }
+
+    /// Exhaustive-match coverage: every variant renders a nonempty,
+    /// variant-specific `Display`. The `match` has no wildcard arm on
+    /// purpose — adding a `ClError` variant without extending this list (and
+    /// its Display text) is a compile error here.
+    #[test]
+    fn every_variant_displays() {
+        use std::time::Duration;
+        let all = vec![
+            ClError::InvalidWorkGroupSize {
+                global: [8, 1, 1],
+                local: [3, 1, 1],
+            },
+            ClError::InvalidGlobalWorkSize,
+            ClError::InvalidFlags(FlagError::ConflictingAccess),
+            ClError::Mem(MemError::ZeroSize),
+            ClError::BufferTooLarge,
+            ClError::DeviceUnavailable("pool".into()),
+            ClError::WrongContext,
+            ClError::ContractViolation {
+                kernel: "k".into(),
+                findings: vec!["f".into()],
+            },
+            ClError::KernelPanicked {
+                kernel: "k".into(),
+                gid: [1, 0, 0],
+                message: "boom".into(),
+            },
+            ClError::LaunchTimedOut {
+                kernel: "k".into(),
+                timeout: Duration::from_millis(1),
+            },
+            ClError::InvalidKernelName {
+                name: "n".into(),
+                available: vec!["a".into()],
+            },
+            ClError::InvalidBuildOptions("-bad".into()),
+            ClError::Backpressure {
+                tenant: 1,
+                retry_after: Duration::from_micros(50),
+            },
+            ClError::TenantEvicted { tenant: 1 },
+        ];
+        for e in &all {
+            // The no-wildcard match is the coverage check.
+            let tag = match e {
+                ClError::InvalidWorkGroupSize { .. } => "wgs",
+                ClError::InvalidGlobalWorkSize => "gws",
+                ClError::InvalidFlags(_) => "flags",
+                ClError::Mem(_) => "mem",
+                ClError::BufferTooLarge => "size",
+                ClError::DeviceUnavailable(_) => "device",
+                ClError::WrongContext => "ctx",
+                ClError::ContractViolation { .. } => "contract",
+                ClError::KernelPanicked { .. } => "panic",
+                ClError::LaunchTimedOut { .. } => "timeout",
+                ClError::InvalidKernelName { .. } => "name",
+                ClError::InvalidBuildOptions(_) => "build",
+                ClError::Backpressure { .. } => "backpressure",
+                ClError::TenantEvicted { .. } => "evicted",
+            };
+            assert!(!tag.is_empty());
+            assert!(!e.to_string().is_empty(), "{tag} renders");
+        }
+        // All Display texts are pairwise distinct — no copy-paste variant.
+        let texts: Vec<String> = all.iter().map(|e| e.to_string()).collect();
+        for (i, a) in texts.iter().enumerate() {
+            for b in &texts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

@@ -39,6 +39,7 @@ use cl_harness::bench::{
     compare, sample, BenchRecord, BenchStats, GateConfig, HistoryEntry, Report,
 };
 use cl_pool::deque::{Steal, Worker};
+use cl_serve::{ServeConfig, Server, TenantConfig};
 use ocl_rt::{Context, GroupCtx, Kernel, MemFlags, NDRange, QueueConfig};
 
 /// A kernel with an empty body: enqueueing it measures pure runtime
@@ -347,6 +348,73 @@ fn run_suite(opts: &Opts) -> Report {
     });
     built.verify(&qa).expect("race-off results");
     push("overhead/race-off", "ns/enqueue", stats);
+
+    // --- Serving layer: tenant-path enqueue overhead ---------------------
+    // One uncontended tenant launching the empty kernel through the full
+    // PR 7 admission path (quota CAS + fairness-gate fast path + enqueue).
+    // Gated against enqueue/empty-1g's sibling baseline: the serving layer
+    // must stay a thin veneer, not a second dispatcher.
+    let srv =
+        Server::new(opts.workers, ServeConfig::default().max_waiting(256)).expect("serve server");
+    let tenant = srv.tenant(TenantConfig::default());
+    let range = NDRange::d1(64).local1(64);
+    let stats = sample(warm, samples, BATCH, || {
+        for _ in 0..BATCH {
+            tenant.launch(&empty, range).expect("serve enqueue");
+        }
+        BATCH
+    });
+    drop(tenant);
+    push("serve/enqueue-overhead", "ns/enqueue", stats);
+
+    // --- Serving layer: p99 launch latency under a 64-tenant burst -------
+    // Each sample is one burst: 64 tenants launch concurrently through the
+    // shared gate and the burst's p99 enqueue→completion latency is the
+    // sample value. Catches fairness-gate regressions (a broken WRR or a
+    // lost notify shows up as a tail blow-up long before it deadlocks).
+    const BURST_TENANTS: usize = 64;
+    const BURST_LAUNCHES: usize = 4;
+    let mut p99s = Vec::with_capacity(samples);
+    for round in 0..(warm + samples) {
+        let tenants: Vec<_> = (0..BURST_TENANTS)
+            .map(|_| srv.tenant(TenantConfig::default()))
+            .collect();
+        let mut lat: Vec<u64> = std::thread::scope(|s| {
+            let empty = &empty;
+            let handles: Vec<_> = tenants
+                .iter()
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut v = Vec::with_capacity(BURST_LAUNCHES);
+                        for _ in 0..BURST_LAUNCHES {
+                            let ev = t.launch(empty, range).expect("burst launch");
+                            let p = ev.profiling();
+                            v.push(if p.completed_ns > p.queued_ns && p.queued_ns > 0 {
+                                p.completed_ns - p.queued_ns
+                            } else {
+                                (ev.duration_s() * 1e9) as u64
+                            });
+                        }
+                        v
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("burst tenant thread"))
+                .collect()
+        });
+        lat.sort_unstable();
+        let p99 = lat[((lat.len() - 1) as f64 * 0.99).round() as usize] as f64;
+        if round >= warm {
+            p99s.push(p99);
+        }
+    }
+    push(
+        "serve/p99-64t",
+        "ns/launch",
+        BenchStats::from_samples(&p99s),
+    );
 
     Report::new(opts.workers, benches)
 }

@@ -138,6 +138,12 @@ pub(crate) struct Inner {
     /// one relaxed load when no sink is installed (the common case).
     pub(crate) sink_active: AtomicBool,
     pub(crate) sink: Mutex<Option<Arc<dyn PoolEventSink>>>,
+    /// Completed heal batches: bumped once per [`ThreadPool::recover`] call
+    /// that respawned at least one worker. Lets concurrent callers (the
+    /// multi-tenant serving layer heals on every tenant's enqueue) observe
+    /// "the pool healed since I last looked" without racing on the respawn
+    /// counters themselves.
+    pub(crate) heal_generation: std::sync::atomic::AtomicU64,
 }
 
 impl Inner {
@@ -262,6 +268,7 @@ impl ThreadPool {
             worker_died: AtomicBool::new(false),
             sink_active: AtomicBool::new(false),
             sink: Mutex::new(None),
+            heal_generation: std::sync::atomic::AtomicU64::new(0),
         });
         let n_cores = available_cores();
         let cores: Vec<Option<usize>> = (0..cfg.workers)
@@ -430,15 +437,31 @@ impl ThreadPool {
     /// were queued there when the fault hit are still executed. When no
     /// worker has died this costs a single atomic load, cheap enough to call
     /// before every kernel enqueue (self-healing queues do exactly that).
+    ///
+    /// Concurrent callers are safe *and* each caller's postcondition is
+    /// meaningful: the dirty bit is consumed under the handles lock, so two
+    /// tenants triggering recovery at once serialize and each rescans the
+    /// full dead set. (The old swap-before-lock entry let the second caller
+    /// return `0` — "healthy" — while the first was still mid-respawn; a
+    /// tenant could then launch a kernel whose cross-group barrier needs
+    /// every worker live and stall until another enqueue healed the pool.)
+    /// When `recover` returns, every retirement flagged before the call has
+    /// been respawned, unless the pool is shutting down or thread spawn
+    /// failed (the flags stay set and a later call retries).
     pub fn recover(&self) -> usize {
-        if !self.inner.worker_died.swap(false, Ordering::AcqRel) {
+        // Fast path: one atomic load in the no-fault case.
+        if !self.inner.worker_died.load(Ordering::Acquire) {
             return 0;
         }
+        let mut handles = self.handles.lock();
+        // Consume the dirty bit under the lock: a retirement landing after
+        // this store re-dirties it and is picked up by the next call, while
+        // every retirement flagged before it is visible to this scan.
+        self.inner.worker_died.store(false, Ordering::Release);
         if self.inner.shutdown.load(Ordering::SeqCst) {
             // Shutdown joins every handle, dead or alive; nothing to do.
             return 0;
         }
-        let mut handles = self.handles.lock();
         let mut respawned = 0;
         for (id, slot) in handles.iter_mut().enumerate() {
             if !self.inner.dead[id].swap(false, Ordering::AcqRel) {
@@ -469,7 +492,18 @@ impl ThreadPool {
                 }
             }
         }
+        if respawned > 0 {
+            self.inner.heal_generation.fetch_add(1, Ordering::AcqRel);
+        }
         respawned
+    }
+
+    /// Number of completed heal batches (recover() calls that respawned at
+    /// least one worker) since the pool was built. Monotone; observers can
+    /// diff it across calls to learn "the pool healed in between" without
+    /// racing on per-call respawn counts.
+    pub fn heal_generation(&self) -> u64 {
+        self.inner.heal_generation.load(Ordering::Acquire)
     }
 
     /// Shut the pool down and join every worker, including workers already
@@ -724,6 +758,67 @@ mod tests {
             assert!(t0.elapsed() < Duration::from_secs(10));
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    /// Regression (multi-tenant serving): two tenants triggering recovery
+    /// concurrently must neither double-respawn a worker nor let either
+    /// caller return while flagged deaths are unhealed. Over many rounds of
+    /// (kill, racing recovers) the respawn accounting must stay exact —
+    /// every death respawned exactly once — and each racing caller must
+    /// observe a fully staffed pool the moment its own call returns.
+    #[test]
+    fn concurrent_recover_is_idempotent_and_race_free() {
+        const ROUNDS: u64 = 20;
+        let pool = Arc::new(ThreadPool::new(PoolConfig::default().workers(2)).unwrap());
+        let total_respawned = Arc::new(AtomicUsize::new(0));
+        for round in 1..=ROUNDS {
+            // kill_one_worker waits on the cumulative workers_lost metric;
+            // per-round we wait for the *flag* (cleared by each recovery).
+            pool.spawn(|| crate::FatalFault::raise("injected device-lost"));
+            let t0 = Instant::now();
+            while pool.lost_workers() == 0 {
+                assert!(t0.elapsed() < Duration::from_secs(10), "worker never died");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let pool = Arc::clone(&pool);
+                    let barrier = Arc::clone(&barrier);
+                    let total = Arc::clone(&total_respawned);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let n = pool.recover();
+                        total.fetch_add(n, Ordering::SeqCst);
+                        // Post-condition per caller: when recover() returns,
+                        // deaths flagged before the call are healed — there
+                        // is no window where a second tenant is told
+                        // "healthy" while the first is still respawning.
+                        assert_eq!(pool.lost_workers(), 0);
+                    });
+                }
+            });
+            let snap = pool.metrics().snapshot();
+            assert_eq!(snap.workers_lost, round, "one death per round");
+            assert_eq!(snap.workers_respawned, round, "each healed exactly once");
+            assert_eq!(
+                total_respawned.load(Ordering::SeqCst) as u64,
+                round,
+                "racing callers never double-respawn or lose a respawn"
+            );
+            assert_eq!(pool.heal_generation(), round, "one heal batch per round");
+        }
+        // The pool is fully staffed: work that needs both workers alive
+        // (two tasks that rendezvous) completes.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        pool.scope(|s| {
+            for _ in 0..2 {
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    gate.wait();
+                });
+            }
+        });
     }
 
     #[test]

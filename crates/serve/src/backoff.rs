@@ -1,0 +1,136 @@
+//! Bounded retry with jittered exponential backoff.
+//!
+//! The jitter scheme is *monotone by construction*: attempt `k`'s raw delay
+//! is `base · 2^k` (uncapped), and the jittered delay is drawn from
+//! `[raw/2, raw)`. Consecutive intervals touch — attempt `k`'s maximum is
+//! attempt `k+1`'s minimum — so the delay sequence is non-decreasing in the
+//! attempt number for *any* RNG stream, while still decorrelating tenants
+//! that back off together. The cap is applied after jitter, so the sequence
+//! plateaus at `cap` instead of oscillating below it.
+
+use std::time::Duration;
+
+use cl_util::XorShift;
+
+/// Retry budget and backoff shape for one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Delay scale for attempt 0; attempt `k` is centered on `base · 2^k`.
+    pub base: Duration,
+    /// Hard ceiling on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (backoff delays still computable).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The jittered delay for `attempt` (0-based), drawn from `rng`.
+    ///
+    /// `min(cap, base · 2^attempt · (0.5 + 0.5·u))` with `u ∈ [0, 1)` —
+    /// monotone non-decreasing in `attempt`, capped at `cap`, and
+    /// deterministic for a given RNG stream (see module docs).
+    pub fn delay(&self, attempt: u32, rng: &mut XorShift) -> Duration {
+        let base = self.base.as_nanos().min(u64::MAX as u128) as u64;
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let raw = base.saturating_mul(factor);
+        let jittered = (raw as f64) * (0.5 + 0.5 * rng.next_f64());
+        let cap = self.cap.as_nanos().min(u64::MAX as u128) as u64;
+        // f64→u64 saturates on overflow, so huge attempts land on `cap`.
+        Duration::from_nanos((jittered as u64).min(cap))
+    }
+}
+
+/// Stateful helper walking a [`RetryPolicy`]'s delay sequence.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: XorShift,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Start a backoff sequence; `seed` fixes the jitter stream.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Backoff {
+            policy,
+            rng: XorShift::seed_from_u64(seed),
+            attempt: 0,
+        }
+    }
+
+    /// The next delay, or `None` once the retry budget is spent.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        let d = self.policy.delay(self.attempt, &mut self.rng);
+        self.attempt += 1;
+        Some(d)
+    }
+
+    /// Retries consumed so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_monotone_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 16,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+        };
+        for seed in 0..32 {
+            let mut rng = XorShift::seed_from_u64(seed);
+            let mut prev = Duration::ZERO;
+            for attempt in 0..40 {
+                let d = p.delay(attempt, &mut rng);
+                assert!(d >= prev, "seed {seed} attempt {attempt}: {d:?} < {prev:?}");
+                assert!(d <= p.cap);
+                prev = d;
+            }
+            assert_eq!(prev, p.cap, "sequence plateaus at the cap");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let a: Vec<_> = std::iter::from_fn({
+            let mut b = Backoff::new(p.clone(), 7);
+            move || b.next_delay()
+        })
+        .collect();
+        let b: Vec<_> = std::iter::from_fn({
+            let mut b = Backoff::new(p.clone(), 7);
+            move || b.next_delay()
+        })
+        .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.max_retries as usize);
+        assert_eq!(Backoff::new(RetryPolicy::none(), 7).next_delay(), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Serving-layer configuration: per-tenant and per-server knobs, each with a
+//! `CL_SERVE_*` environment override (documented in the README table).
+
+use std::time::Duration;
+
+use crate::backoff::RetryPolicy;
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Per-tenant quotas, weight, and retry policy.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Label used in reports; defaults to `tenant-<id>`.
+    pub name: Option<String>,
+    /// Fairness weight (≥ 1): slots granted per WRR round.
+    pub weight: u32,
+    /// Admission quota: concurrent commands in flight on this handle.
+    pub max_inflight: usize,
+    /// Admission quota: bytes of transfer/map payload in flight.
+    pub max_pending_bytes: usize,
+    /// Bounded-retry policy for [`crate::Tenant::launch_with_retry`].
+    pub retry: RetryPolicy,
+    /// Auto-evict after this many *consecutive* kernel faults
+    /// (panic/timeout). `None` disables auto-eviction.
+    pub fault_budget: Option<u32>,
+    /// Launch watchdog for the tenant's queue; `None` falls back to
+    /// [`ServeConfig::launch_timeout`].
+    pub launch_timeout: Option<Duration>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            name: None,
+            weight: 1,
+            max_inflight: 32,
+            max_pending_bytes: 64 << 20,
+            retry: RetryPolicy::default(),
+            fault_budget: None,
+            launch_timeout: None,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// Defaults, overridden by the environment:
+    /// `CL_SERVE_WEIGHT`, `CL_SERVE_MAX_INFLIGHT`,
+    /// `CL_SERVE_MAX_PENDING_BYTES`, `CL_SERVE_RETRIES`,
+    /// `CL_SERVE_BACKOFF_BASE_US`, `CL_SERVE_BACKOFF_CAP_MS`,
+    /// `CL_SERVE_FAULT_BUDGET` (0 disables).
+    pub fn from_env() -> Self {
+        let mut c = TenantConfig::default();
+        if let Some(w) = env_parse::<u32>("CL_SERVE_WEIGHT") {
+            c.weight = w.max(1);
+        }
+        if let Some(n) = env_parse::<usize>("CL_SERVE_MAX_INFLIGHT") {
+            c.max_inflight = n.max(1);
+        }
+        if let Some(b) = env_parse::<usize>("CL_SERVE_MAX_PENDING_BYTES") {
+            c.max_pending_bytes = b;
+        }
+        if let Some(r) = env_parse::<u32>("CL_SERVE_RETRIES") {
+            c.retry.max_retries = r;
+        }
+        if let Some(us) = env_parse::<u64>("CL_SERVE_BACKOFF_BASE_US") {
+            c.retry.base = Duration::from_micros(us);
+        }
+        if let Some(ms) = env_parse::<u64>("CL_SERVE_BACKOFF_CAP_MS") {
+            c.retry.cap = Duration::from_millis(ms);
+        }
+        if let Some(n) = env_parse::<u32>("CL_SERVE_FAULT_BUDGET") {
+            c.fault_budget = (n > 0).then_some(n);
+        }
+        c
+    }
+
+    /// Set the report label.
+    pub fn name(mut self, n: impl Into<String>) -> Self {
+        self.name = Some(n.into());
+        self
+    }
+
+    /// Set the fairness weight (clamped to ≥ 1).
+    pub fn weight(mut self, w: u32) -> Self {
+        self.weight = w.max(1);
+        self
+    }
+
+    /// Set the in-flight command quota.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Set the pending-byte quota.
+    pub fn max_pending_bytes(mut self, b: usize) -> Self {
+        self.max_pending_bytes = b;
+        self
+    }
+
+    /// Set the retry policy.
+    pub fn retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
+        self
+    }
+
+    /// Set the consecutive-fault auto-evict budget.
+    pub fn fault_budget(mut self, n: u32) -> Self {
+        self.fault_budget = (n > 0).then_some(n);
+        self
+    }
+
+    /// Set the tenant's launch watchdog.
+    pub fn launch_timeout(mut self, t: Duration) -> Self {
+        self.launch_timeout = Some(t);
+        self
+    }
+}
+
+/// Server-wide knobs: gate capacity and shed thresholds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Execution slots the gate hands out; `None` → one per pool worker.
+    pub slots: Option<usize>,
+    /// Gate waiting-room capacity; arrivals beyond it shed load.
+    pub max_waiting: usize,
+    /// Bound on time parked waiting for a slot; timing out sheds the
+    /// waiter with `Backpressure`. `None` waits indefinitely.
+    pub admit_timeout: Option<Duration>,
+    /// Default launch watchdog for tenant queues (per-tenant
+    /// [`TenantConfig::launch_timeout`] overrides). The serving layer arms
+    /// one by default so a stalled kernel can never pin a gate slot
+    /// forever.
+    pub launch_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slots: None,
+            max_waiting: 64,
+            admit_timeout: None,
+            launch_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults, overridden by the environment: `CL_SERVE_SLOTS` (0 → one
+    /// per worker), `CL_SERVE_MAX_WAITING`, `CL_SERVE_ADMIT_TIMEOUT_MS`
+    /// (0 → wait indefinitely), `CL_SERVE_TIMEOUT_MS` (0 → no watchdog).
+    pub fn from_env() -> Self {
+        let mut c = ServeConfig::default();
+        if let Some(s) = env_parse::<usize>("CL_SERVE_SLOTS") {
+            c.slots = (s > 0).then_some(s);
+        }
+        if let Some(w) = env_parse::<usize>("CL_SERVE_MAX_WAITING") {
+            c.max_waiting = w;
+        }
+        if let Some(ms) = env_parse::<u64>("CL_SERVE_ADMIT_TIMEOUT_MS") {
+            c.admit_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(ms) = env_parse::<u64>("CL_SERVE_TIMEOUT_MS") {
+            c.launch_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        c
+    }
+
+    /// Set the gate slot count.
+    pub fn slots(mut self, n: usize) -> Self {
+        self.slots = Some(n.max(1));
+        self
+    }
+
+    /// Set the waiting-room capacity.
+    pub fn max_waiting(mut self, n: usize) -> Self {
+        self.max_waiting = n;
+        self
+    }
+
+    /// Set the admission wait bound.
+    pub fn admit_timeout(mut self, t: Duration) -> Self {
+        self.admit_timeout = Some(t);
+        self
+    }
+
+    /// Set the default launch watchdog for tenant queues.
+    pub fn launch_timeout(mut self, t: Duration) -> Self {
+        self.launch_timeout = Some(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let t = TenantConfig::default();
+        assert_eq!(t.weight, 1);
+        assert!(t.max_inflight > 0);
+        assert!(t.max_pending_bytes > 0);
+        let s = ServeConfig::default();
+        assert!(s.slots.is_none());
+        assert!(s.max_waiting > 0);
+        assert!(s.launch_timeout.is_some());
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let t = TenantConfig::default().weight(0).max_inflight(0);
+        assert_eq!(t.weight, 1);
+        assert_eq!(t.max_inflight, 1);
+        assert_eq!(TenantConfig::default().fault_budget(0).fault_budget, None);
+    }
+}

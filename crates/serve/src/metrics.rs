@@ -1,0 +1,115 @@
+//! Per-tenant serving statistics: admission/fault counters plus a bounded
+//! latency reservoir feeding the p50/p99 columns of `results/serve.md`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cl_util::sync::Mutex;
+
+/// Latency samples kept per tenant. Load runs are far smaller than this;
+/// the cap only bounds memory on pathological soaks.
+const MAX_SAMPLES: usize = 1 << 16;
+
+/// Live counters for one tenant. All increments are relaxed: the fields are
+/// statistics, not synchronization.
+#[derive(Default)]
+pub struct TenantStats {
+    pub(crate) launches: AtomicU64,
+    pub(crate) transfers: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+    pub(crate) faults: AtomicU64,
+    pub(crate) backpressure: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) rejected_evicted: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl TenantStats {
+    pub(crate) fn record_latency(&self, ns: u64) {
+        let mut l = self.latencies_ns.lock();
+        if l.len() < MAX_SAMPLES {
+            l.push(ns);
+        }
+    }
+
+    /// A point-in-time copy with percentiles computed.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let lat = self.latencies_ns.lock();
+        let mut sorted = lat.clone();
+        drop(lat);
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+        };
+        StatsSnapshot {
+            launches: self.launches.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rejected_evicted: self.rejected_evicted.load(Ordering::Relaxed),
+            samples: sorted.len(),
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            max_ns: sorted.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's [`TenantStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Successful kernel launches.
+    pub launches: u64,
+    /// Successful transfer/map commands.
+    pub transfers: u64,
+    /// Payload bytes moved by successful transfers/maps.
+    pub bytes: u64,
+    /// Kernel faults (panic or watchdog timeout) on this handle.
+    pub faults: u64,
+    /// Commands refused at admission (quota exceeded).
+    pub backpressure: u64,
+    /// Launches shed by the gate under overload (also counted as refused).
+    pub shed: u64,
+    /// Retries performed by `launch_with_retry`.
+    pub retries: u64,
+    /// Commands refused because the tenant was evicted.
+    pub rejected_evicted: u64,
+    /// Latency samples recorded.
+    pub samples: usize,
+    /// Median launch latency (event queued→completed), nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile launch latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst launch latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_reservoir() {
+        let s = TenantStats::default();
+        for ns in 1..=100u64 {
+            s.record_latency(ns);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.samples, 100);
+        assert_eq!(snap.p50_ns, 51); // nearest-rank on 0-based index
+        assert_eq!(snap.p99_ns, 99);
+        assert_eq!(snap.max_ns, 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = TenantStats::default().snapshot();
+        assert_eq!(snap, StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,395 @@
+//! The per-client handle: quota-gated, fairness-gated, fault-isolated
+//! access to the shared device.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cl_util::sync::Mutex;
+use cl_util::XorShift;
+use ocl_rt::{
+    Buffer, ClError, CommandQueue, Context, Event, Kernel, MemFlags, NDRange, Pod, TypedMap,
+    TypedMapMut,
+};
+
+use crate::config::TenantConfig;
+use crate::fair::{AcquireError, WeightedGate};
+use crate::metrics::{StatsSnapshot, TenantStats};
+
+/// True for errors worth retrying with backoff: the serving layer refused
+/// the command (quota/overload) or the device was transiently unavailable.
+/// Kernel faults (panic, timeout) and validation errors are not transient —
+/// retrying them repeats the failure.
+pub fn is_transient(e: &ClError) -> bool {
+    matches!(
+        e,
+        ClError::Backpressure { .. } | ClError::DeviceUnavailable(_)
+    )
+}
+
+pub(crate) struct TenantShared {
+    pub(crate) id: u64,
+    pub(crate) name: String,
+    pub(crate) cfg: TenantConfig,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) pending_bytes: AtomicUsize,
+    pub(crate) evicted: AtomicBool,
+    pub(crate) consecutive_faults: AtomicU32,
+    pub(crate) stats: TenantStats,
+}
+
+/// One client's handle on the server: its own context and queue over the
+/// shared pool, guarded by admission quotas and the fairness gate.
+///
+/// `Tenant` is `Sync` — a client may issue commands from several threads —
+/// but a well-behaved client owns exactly one.
+pub struct Tenant {
+    shared: Arc<TenantShared>,
+    gate: Arc<WeightedGate>,
+    ctx: Context,
+    queue: CommandQueue,
+    rng: Mutex<XorShift>,
+}
+
+/// Releases the admission counters when the command finishes (or is
+/// refused downstream of admission).
+struct AdmitGuard<'t> {
+    shared: &'t TenantShared,
+    bytes: usize,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        if self.bytes > 0 {
+            self.shared
+                .pending_bytes
+                .fetch_sub(self.bytes, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Tenant {
+    pub(crate) fn new(
+        shared: Arc<TenantShared>,
+        gate: Arc<WeightedGate>,
+        ctx: Context,
+        queue: CommandQueue,
+    ) -> Self {
+        // Jitter stream seeded from the tenant id: deterministic per tenant,
+        // decorrelated across tenants.
+        let rng = Mutex::new(XorShift::seed_from_u64(0x5E55_10F0 ^ shared.id));
+        Tenant {
+            shared,
+            gate,
+            ctx,
+            queue,
+            rng,
+        }
+    }
+
+    /// Serving-layer tenant id (appears in `ClError::Backpressure`).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Report label.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The tenant's private context (buffers created here belong to it).
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The tenant's raw queue — the unmetered escape hatch. Commands issued
+    /// here bypass admission control and the fairness gate; prefer the
+    /// `Tenant` methods.
+    pub fn queue(&self) -> &CommandQueue {
+        &self.queue
+    }
+
+    /// Live statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Commands currently admitted and not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// Whether this tenant has been evicted.
+    pub fn is_evicted(&self) -> bool {
+        self.shared.evicted.load(Ordering::Acquire)
+    }
+
+    /// `clCreateBuffer` in the tenant's context.
+    pub fn buffer<T: Pod>(&self, flags: MemFlags, len: usize) -> Result<Buffer<T>, ClError> {
+        self.ctx.buffer(flags, len)
+    }
+
+    /// `clCreateBuffer` + `COPY_HOST_PTR` in the tenant's context.
+    pub fn buffer_from<T: Pod>(&self, flags: MemFlags, data: &[T]) -> Result<Buffer<T>, ClError> {
+        self.ctx.buffer_from(flags, data)
+    }
+
+    /// Enqueue a kernel launch: admission (in-flight quota) → fairness gate
+    /// (execution slot) → the tenant's queue. Kernel faults are contained to
+    /// this handle and counted against the fault budget.
+    pub fn launch(&self, kernel: &Arc<dyn Kernel>, range: NDRange) -> Result<Event, ClError> {
+        let admit = self.admit(0)?;
+        let slot = match self.gate.acquire(self.shared.id) {
+            Ok(g) => g,
+            Err(AcquireError::Shed) => {
+                drop(admit);
+                self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(self.backpressure_error());
+            }
+            Err(AcquireError::Evicted) => {
+                drop(admit);
+                return Err(self.evicted_error());
+            }
+        };
+        let res = self.queue.enqueue_kernel(kernel, range);
+        drop(slot);
+        drop(admit);
+        match &res {
+            Ok(ev) => {
+                self.shared.stats.launches.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.record_latency(launch_latency_ns(ev));
+                self.shared.consecutive_faults.store(0, Ordering::Relaxed);
+            }
+            Err(e) => self.note_fault(e),
+        }
+        res
+    }
+
+    /// [`Tenant::launch`] with bounded retries on transient errors, sleeping
+    /// the policy's jittered exponential backoff between attempts.
+    pub fn launch_with_retry(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+    ) -> Result<Event, ClError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.launch(kernel, range) {
+                Err(ref e) if attempt < self.shared.cfg.retry.max_retries && is_transient(e) => {
+                    let delay = {
+                        let mut rng = self.rng.lock();
+                        self.shared.cfg.retry.delay(attempt, &mut rng)
+                    };
+                    // Honor a larger server-provided hint.
+                    let delay = match e {
+                        ClError::Backpressure { retry_after, .. } => delay.max(*retry_after),
+                        _ => delay,
+                    };
+                    self.shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// `clEnqueueWriteBuffer`, metered against the byte quota. Transfers run
+    /// on the calling thread (they never occupy pool workers), so they pass
+    /// admission control but not the fairness gate.
+    pub fn write<T: Pod>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        src: &[T],
+    ) -> Result<Event, ClError> {
+        let bytes = std::mem::size_of_val(src);
+        let _admit = self.admit(bytes)?;
+        let res = self.queue.write_buffer(buf, offset, src);
+        self.note_transfer(&res, bytes);
+        res
+    }
+
+    /// `clEnqueueReadBuffer`, metered against the byte quota.
+    pub fn read<T: Pod>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        dst: &mut [T],
+    ) -> Result<Event, ClError> {
+        let bytes = std::mem::size_of_val(dst);
+        let _admit = self.admit(bytes)?;
+        let res = self.queue.read_buffer(buf, offset, dst);
+        self.note_transfer(&res, bytes);
+        res
+    }
+
+    /// `clEnqueueMapBuffer` (read view). The buffer's full size is metered
+    /// for the duration of the blocking map call; the mapped lifetime
+    /// afterwards is not.
+    pub fn map<'t, T: Pod>(
+        &'t self,
+        buf: &'t Buffer<T>,
+    ) -> Result<(TypedMap<'t, T>, Event), ClError> {
+        let bytes = buf.len() * std::mem::size_of::<T>();
+        let _admit = self.admit(bytes)?;
+        let res = self.queue.map_buffer(buf);
+        if res.is_ok() {
+            self.shared.stats.transfers.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// `clEnqueueMapBuffer` (write view), metered like [`Tenant::map`].
+    pub fn map_mut<'t, T: Pod>(
+        &'t self,
+        buf: &'t Buffer<T>,
+    ) -> Result<(TypedMapMut<'t, T>, Event), ClError> {
+        let bytes = buf.len() * std::mem::size_of::<T>();
+        let _admit = self.admit(bytes)?;
+        let res = self.queue.map_buffer_mut(buf);
+        if res.is_ok() {
+            self.shared.stats.transfers.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Admission control: reserve an in-flight slot and `bytes` of the byte
+    /// quota, or refuse with [`ClError::Backpressure`].
+    fn admit(&self, bytes: usize) -> Result<AdmitGuard<'_>, ClError> {
+        let s = &*self.shared;
+        if s.evicted.load(Ordering::Acquire) {
+            return Err(self.evicted_error());
+        }
+        let mut cur = s.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= s.cfg.max_inflight {
+                self.shared
+                    .stats
+                    .backpressure
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(self.backpressure_error());
+            }
+            match s.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        if bytes > 0 {
+            let mut b = s.pending_bytes.load(Ordering::Relaxed);
+            loop {
+                if b.saturating_add(bytes) > s.cfg.max_pending_bytes {
+                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    self.shared
+                        .stats
+                        .backpressure
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(self.backpressure_error());
+                }
+                match s.pending_bytes.compare_exchange_weak(
+                    b,
+                    b + bytes,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => b = now,
+                }
+            }
+        }
+        Ok(AdmitGuard { shared: s, bytes })
+    }
+
+    /// Backpressure with a `retry_after` hint scaled by current load: the
+    /// fuller the tenant's pipeline, the longer the suggested wait.
+    fn backpressure_error(&self) -> ClError {
+        let s = &self.shared;
+        let load = s.inflight.load(Ordering::Relaxed).max(1) as u32;
+        let hint = s
+            .cfg
+            .retry
+            .base
+            .saturating_mul(load)
+            .min(s.cfg.retry.cap)
+            .max(s.cfg.retry.base);
+        ClError::Backpressure {
+            tenant: s.id,
+            retry_after: hint,
+        }
+    }
+
+    fn evicted_error(&self) -> ClError {
+        self.shared
+            .stats
+            .rejected_evicted
+            .fetch_add(1, Ordering::Relaxed);
+        ClError::TenantEvicted {
+            tenant: self.shared.id,
+        }
+    }
+
+    fn note_transfer(&self, res: &Result<Event, ClError>, bytes: usize) {
+        if res.is_ok() {
+            self.shared.stats.transfers.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Count kernel faults (panic/timeout) toward the consecutive-fault
+    /// budget; exhausting it evicts the tenant. Refusals and validation
+    /// errors do not count.
+    fn note_fault(&self, e: &ClError) {
+        if !matches!(
+            e,
+            ClError::KernelPanicked { .. } | ClError::LaunchTimedOut { .. }
+        ) {
+            return;
+        }
+        let s = &self.shared;
+        s.stats.faults.fetch_add(1, Ordering::Relaxed);
+        let seen = s.consecutive_faults.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(budget) = s.cfg.fault_budget {
+            if seen >= budget && !s.evicted.swap(true, Ordering::AcqRel) {
+                self.gate.evict(s.id);
+            }
+        }
+    }
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        // Free the WRR lane; any stragglers parked on it fail cleanly.
+        self.gate.deregister(self.shared.id);
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_traits() {
+    fn sync<T: Sync + Send>() {}
+    sync::<Tenant>();
+}
+
+fn launch_latency_ns(ev: &Event) -> u64 {
+    let p = ev.profiling();
+    if p.completed_ns > p.queued_ns && p.queued_ns > 0 {
+        p.completed_ns - p.queued_ns
+    } else {
+        (ev.duration_s() * 1e9) as u64
+    }
+}
