@@ -19,6 +19,7 @@
 #   traced-chaos  CL_TRACE=1 soak; asserts target/chaos-traced/chaos-trace.json
 #   flow          cl-flow --stable --workers 2 (regenerates results/flow.md)
 #   race          cl-race --stable --workers 2 (regenerates results/race.md)
+#   sched         cl-sched OOO DAG fuzz + seeded-bug catch (regenerates results/sched.md)
 #   serve         cl-load 64-tenant serving soak (regenerates results/serve.md)
 #   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
 #   drift         git diff --exit-code results/ (regenerated reports committed?)
@@ -126,6 +127,15 @@ stage_race() {
     cargo run --release --quiet --bin cl-race -- --stable --workers 2
 }
 
+# Out-of-order scheduler certification: randomized command DAGs replayed on
+# the native and both modeled devices must be bit-exact against the
+# in-order reference with completion order linearizing the event graph, and
+# every seeded scheduler bug (CL_SCHED_BUG) must be caught. Nonzero exit on
+# any miss. --stable keeps results/sched.md drift-tracked.
+stage_sched() {
+    cargo run --release --quiet --bin cl-sched -- --stable --out results
+}
+
 # Multi-tenant serving soak: 64 concurrent tenants (8 seeded-faulty) over
 # the shared pool. Nonzero exit on any isolation violation (clean tenant
 # not bit-exact, wrong contained error, over-budget stall) or any failed
@@ -161,6 +171,7 @@ run_stage trace
 run_stage traced-chaos soak
 run_stage flow
 run_stage race
+run_stage sched
 run_stage serve
 run_stage bench-gate
 run_stage drift

@@ -33,7 +33,7 @@
 //! layers must agree on every stream; disagreement is an implementation bug,
 //! not a user error.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::flow::{classify_pair, FlowCommand, FlowOp, HazardKind, PairHazard};
 use crate::lints::Severity;
@@ -52,6 +52,12 @@ pub struct HbRecord {
     pub start_ns: u64,
     /// Observed wall-clock completion (`0` = unobserved).
     pub end_ns: u64,
+    /// The record came from an out-of-order queue: program order contributes
+    /// nothing, `waits` carries the ordering instead.
+    pub ooo: bool,
+    /// Explicit wait-list edges as `(queue, seq)` of the commands this one
+    /// waited on (explicit events, auto-inferred hazards, drained commands).
+    pub waits: Vec<(u64, u64)>,
 }
 
 /// What an [`HbRecord`] records.
@@ -76,6 +82,8 @@ impl HbRecord {
             op: HbOp::Command { cmd, blocking },
             start_ns: 0,
             end_ns: 0,
+            ooo: false,
+            waits: Vec::new(),
         }
     }
 
@@ -86,6 +94,14 @@ impl HbRecord {
         self
     }
 
+    /// Mark the record as coming from an out-of-order queue, carrying its
+    /// wait-list edges (which replace program order entirely).
+    pub fn ooo_waits(mut self, waits: Vec<(u64, u64)>) -> Self {
+        self.ooo = true;
+        self.waits = waits;
+        self
+    }
+
     pub fn finish(queue: u64) -> Self {
         HbRecord {
             queue,
@@ -93,6 +109,8 @@ impl HbRecord {
             op: HbOp::Finish,
             start_ns: 0,
             end_ns: 0,
+            ooo: false,
+            waits: Vec::new(),
         }
     }
 
@@ -103,6 +121,8 @@ impl HbRecord {
             op: HbOp::Marker,
             start_ns: 0,
             end_ns: 0,
+            ooo: false,
+            waits: Vec::new(),
         }
     }
 }
@@ -349,25 +369,59 @@ pub fn analyze_hb(records: &[HbRecord]) -> HbAnalysis {
         _ => unreachable!("commands index only Command records"),
     };
 
-    // Program-order edges: consecutive commands of each in-order queue.
+    // Queues that ever produced an out-of-order record: their commands get
+    // no program-order edges — wait lists carry the ordering instead.
+    let ooo_queues: HashSet<u64> = records.iter().filter(|r| r.ooo).map(|r| r.queue).collect();
+
+    // Structural edges: program order for consecutive commands of each
+    // in-order queue; explicit wait-list edges for out-of-order commands.
+    // Both are facts about the stream, not removable synchronization.
     let mut prog_edges: Vec<(usize, usize)> = Vec::new();
     let mut last_on_queue: HashMap<u64, usize> = HashMap::new();
+    let mut cmd_by_qs: HashMap<(u64, u64), usize> = HashMap::new();
     for (ci, c) in commands.iter().enumerate() {
-        if let Some(&prev) = last_on_queue.get(&c.queue) {
-            prog_edges.push((prev, ci));
+        cmd_by_qs.insert((c.queue, c.seq), ci);
+    }
+    for (ci, c) in commands.iter().enumerate() {
+        let rec = &records[c.record];
+        if rec.ooo {
+            for w in &rec.waits {
+                // Forward-only: the closure assumes topological index order.
+                // A backward "wait" can only come from a defective scheduler
+                // stream; dropping it keeps the analysis conservative.
+                if let Some(&dep) = cmd_by_qs.get(w) {
+                    if dep < ci {
+                        prog_edges.push((dep, ci));
+                    }
+                }
+            }
+        } else {
+            if let Some(&prev) = last_on_queue.get(&c.queue) {
+                prog_edges.push((prev, ci));
+            }
+            last_on_queue.insert(c.queue, ci);
         }
-        last_on_queue.insert(c.queue, ci);
     }
 
     // Host-sync edges, grouped by the sync point that created them. A sync
     // source needs one edge to the *first* later command of each other
-    // queue — program order carries it the rest of the way.
+    // in-order queue — program order carries it the rest of the way. An
+    // out-of-order queue has no program order to lean on, so it gets an
+    // edge to *every* later command (including the source's own queue).
     let first_after = |record: usize, from: usize| -> Vec<usize> {
         let source_queue = commands[from].queue;
         let mut seen: Vec<u64> = Vec::new();
         let mut targets = Vec::new();
         for (ci, c) in commands.iter().enumerate() {
-            if c.record > record && c.queue != source_queue && !seen.contains(&c.queue) {
+            if c.record <= record {
+                continue;
+            }
+            if c.queue == source_queue && !ooo_queues.contains(&source_queue) {
+                continue;
+            }
+            if ooo_queues.contains(&c.queue) {
+                targets.push(ci);
+            } else if !seen.contains(&c.queue) {
                 seen.push(c.queue);
                 targets.push(ci);
             }
@@ -380,6 +434,7 @@ pub fn analyze_hb(records: &[HbRecord]) -> HbAnalysis {
         cmd_at_record.insert(c.record, ci);
     }
     let mut last_before: HashMap<u64, usize> = HashMap::new(); // queue -> last command idx
+    let mut all_before: HashMap<u64, Vec<usize>> = HashMap::new(); // queue -> all command idxs
     for (ri, r) in records.iter().enumerate() {
         match &r.op {
             HbOp::Command { blocking, .. } => {
@@ -398,13 +453,22 @@ pub fn analyze_hb(records: &[HbRecord]) -> HbAnalysis {
                     });
                 }
                 last_before.insert(r.queue, ci);
+                all_before.entry(r.queue).or_default().push(ci);
             }
             HbOp::Finish => {
-                let edges = match last_before.get(&r.queue) {
-                    Some(&src) => first_after(ri, src).into_iter().map(|t| (src, t)).collect(),
+                // In-order queues: the last command suffices (program order
+                // reaches it from every earlier one). Out-of-order queues
+                // have no such spine — every command is a source.
+                let sources: Vec<usize> = if ooo_queues.contains(&r.queue) {
+                    all_before.get(&r.queue).cloned().unwrap_or_default()
+                } else {
                     // Finishing an idle queue orders nothing.
-                    None => Vec::new(),
+                    last_before.get(&r.queue).copied().into_iter().collect()
                 };
+                let mut edges: Vec<(usize, usize)> = Vec::new();
+                for src in sources {
+                    edges.extend(first_after(ri, src).into_iter().map(|t| (src, t)));
+                }
                 syncs.push(SyncEdges {
                     record: ri,
                     queue: r.queue,
@@ -448,7 +512,11 @@ pub fn analyze_hb(records: &[HbRecord]) -> HbAnalysis {
     let mut pairs: Vec<HbPair> = Vec::new();
     for (a, b, hazards) in &conflicts {
         let (a, b) = (*a, *b);
-        if commands[a].queue == commands[b].queue {
+        // Same-queue pairs are ordered by construction on an in-order
+        // queue. On an out-of-order queue they are real schedule questions
+        // — classifying them is how the analysis certifies the scheduler's
+        // auto-inferred reordering.
+        if commands[a].queue == commands[b].queue && !ooo_queues.contains(&commands[a].queue) {
             continue;
         }
         for h in hazards {
@@ -525,7 +593,9 @@ pub fn analyze_hb(records: &[HbRecord]) -> HbAnalysis {
     // weights). Racy pairs impose no order, so they contribute no edge.
     let mut dep_succ: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (a, b, _) in &conflicts {
-        if commands[*a].queue == commands[*b].queue || ordered(*a, *b) {
+        let same_in_order =
+            commands[*a].queue == commands[*b].queue && !ooo_queues.contains(&commands[*a].queue);
+        if same_in_order || ordered(*a, *b) {
             dep_succ[*a].push(*b);
         }
     }
@@ -662,14 +732,24 @@ impl VcReport {
 /// with the static closure, so agreement between the layers is a real
 /// consistency oracle, not a tautology.
 pub fn vector_clock_check(records: &[HbRecord], analysis: &HbAnalysis) -> VcReport {
-    // Queue -> clock component, in first-appearance order.
+    // Queue -> clock component, in first-appearance order. In-order queues
+    // get one component (their commands chain through the queue clock);
+    // every out-of-order command gets its *own* component — two unordered
+    // commands of the same OOO queue must compare concurrent, which a
+    // shared per-queue counter cannot express.
+    let ooo_queues: HashSet<u64> = records.iter().filter(|r| r.ooo).map(|r| r.queue).collect();
     let mut procs: Vec<u64> = Vec::new();
     for r in records {
-        if !procs.contains(&r.queue) {
+        if !ooo_queues.contains(&r.queue) && !procs.contains(&r.queue) {
             procs.push(r.queue);
         }
     }
-    let np = procs.len();
+    let n_inorder = procs.len();
+    let n_ooo = records
+        .iter()
+        .filter(|r| r.ooo && matches!(r.op, HbOp::Command { .. }))
+        .count();
+    let np = n_inorder + n_ooo;
     let pidx = |q: u64| procs.iter().position(|&p| p == q).unwrap();
     let join = |a: &mut Vec<u64>, b: &[u64]| {
         for (x, y) in a.iter_mut().zip(b) {
@@ -681,8 +761,35 @@ pub fn vector_clock_check(records: &[HbRecord], analysis: &HbAnalysis) -> VcRepo
     let mut counter: HashMap<u64, u64> = HashMap::new();
     let mut host: Vec<u64> = vec![0; np];
     let mut vcs: Vec<Vec<u64>> = Vec::with_capacity(analysis.commands.len());
+    // (queue, seq) -> vcs index, so wait edges can join their dependency's
+    // clock; queue -> all vcs indices, for finish() on an OOO queue.
+    let mut vc_by_qs: HashMap<(u64, u64), usize> = HashMap::new();
+    let mut queue_cmds: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut next_ooo_comp = n_inorder;
     for r in records {
         match &r.op {
+            HbOp::Command { blocking, .. } if r.ooo => {
+                // An OOO command's knowledge: the enqueuing host thread plus
+                // every dependency in its wait list — and nothing else. No
+                // queue clock: program order does not exist here.
+                let mut vc = vec![0; np];
+                join(&mut vc, &host);
+                for w in &r.waits {
+                    if let Some(&di) = vc_by_qs.get(w) {
+                        let dep = vcs[di].clone();
+                        join(&mut vc, &dep);
+                    }
+                }
+                vc[next_ooo_comp] = 1;
+                next_ooo_comp += 1;
+                if *blocking {
+                    // Completion synchronizes the host before the call returns.
+                    join(&mut host, &vc);
+                }
+                vc_by_qs.insert((r.queue, r.seq), vcs.len());
+                queue_cmds.entry(r.queue).or_default().push(vcs.len());
+                vcs.push(vc);
+            }
             HbOp::Command { blocking, .. } => {
                 let pi = pidx(r.queue);
                 let mut vc = qclock.get(&r.queue).cloned().unwrap_or_else(|| vec![0; np]);
@@ -697,10 +804,19 @@ pub fn vector_clock_check(records: &[HbRecord], analysis: &HbAnalysis) -> VcRepo
                     join(&mut host, &vc);
                 }
                 qclock.insert(r.queue, vc.clone());
+                vc_by_qs.insert((r.queue, r.seq), vcs.len());
+                queue_cmds.entry(r.queue).or_default().push(vcs.len());
                 vcs.push(vc);
             }
             HbOp::Finish => {
-                if let Some(qc) = qclock.get(&r.queue) {
+                if ooo_queues.contains(&r.queue) {
+                    // Every command of the queue synchronizes the host — the
+                    // OOO queue has no single "last" command to stand in.
+                    for i in queue_cmds.get(&r.queue).cloned().unwrap_or_default() {
+                        let vc = vcs[i].clone();
+                        join(&mut host, &vc);
+                    }
+                } else if let Some(qc) = qclock.get(&r.queue) {
                     join(&mut host, qc);
                 }
             }

@@ -80,6 +80,43 @@ pub enum ClError {
         /// Serving-layer tenant id.
         tenant: u64,
     },
+    /// The event wait list passed at enqueue would create a cycle in the
+    /// event graph (e.g. a user event auto-signalled after an event that
+    /// transitively waits on it). Rejected at enqueue — the command never
+    /// enters the pending DAG, so the queue cannot deadlock on it.
+    CircularWait {
+        /// Label of the command or event whose wait list closed the cycle.
+        label: String,
+    },
+    /// A command in this command's wait list (explicit or auto-inferred)
+    /// completed unsuccessfully, so the command was skipped rather than run
+    /// on inputs in an undefined state — the OpenCL analog of an event
+    /// landing in a negative execution status. Only the dependent subgraph
+    /// fails; independent commands in the same queue still complete.
+    DependencyFailed {
+        /// Label of the skipped command.
+        label: String,
+        /// The error that failed the dependency.
+        source: Box<ClError>,
+    },
+    /// A user event was dropped without ever being signalled, so no signaler
+    /// is reachable any more. Commands waiting on it fail with
+    /// [`ClError::DependencyFailed`] instead of hanging forever.
+    UserEventAbandoned {
+        /// The abandoned event's id.
+        event: u64,
+    },
+    /// `finish()` on an out-of-order queue exceeded
+    /// `QueueConfig::launch_timeout` with commands still pending — typically
+    /// a wait list gated on a user event nobody signals. The watchdog fails
+    /// every never-dispatched command (with [`ClError::FinishTimedOut`] as
+    /// the dependency error) so the queue drains instead of hanging;
+    /// dispatched-but-stuck launches are covered by the per-launch watchdog.
+    FinishTimedOut {
+        /// Commands still pending when the watchdog tripped.
+        pending: usize,
+        timeout: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for ClError {
@@ -128,6 +165,22 @@ impl std::fmt::Display for ClError {
             ClError::TenantEvicted { tenant } => {
                 write!(f, "tenant {tenant} was evicted from the serving layer")
             }
+            ClError::CircularWait { label } => {
+                write!(f, "event wait list for `{label}` would form a cycle")
+            }
+            ClError::DependencyFailed { label, source } => {
+                write!(
+                    f,
+                    "command `{label}` skipped: a wait-list dependency failed: {source}"
+                )
+            }
+            ClError::UserEventAbandoned { event } => {
+                write!(f, "user event #{event} was dropped without being signalled")
+            }
+            ClError::FinishTimedOut { pending, timeout } => write!(
+                f,
+                "finish() timed out after {timeout:?} with {pending} command(s) still pending"
+            ),
         }
     }
 }
@@ -221,6 +274,16 @@ mod tests {
                 retry_after: Duration::from_micros(50),
             },
             ClError::TenantEvicted { tenant: 1 },
+            ClError::CircularWait { label: "k".into() },
+            ClError::DependencyFailed {
+                label: "k".into(),
+                source: Box::new(ClError::BufferTooLarge),
+            },
+            ClError::UserEventAbandoned { event: 3 },
+            ClError::FinishTimedOut {
+                pending: 2,
+                timeout: Duration::from_millis(1),
+            },
         ];
         for e in &all {
             // The no-wildcard match is the coverage check.
@@ -239,6 +302,10 @@ mod tests {
                 ClError::InvalidBuildOptions(_) => "build",
                 ClError::Backpressure { .. } => "backpressure",
                 ClError::TenantEvicted { .. } => "evicted",
+                ClError::CircularWait { .. } => "cycle",
+                ClError::DependencyFailed { .. } => "dep",
+                ClError::UserEventAbandoned { .. } => "abandoned",
+                ClError::FinishTimedOut { .. } => "finish",
             };
             assert!(!tag.is_empty());
             assert!(!e.to_string().is_empty(), "{tag} renders");

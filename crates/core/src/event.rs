@@ -9,6 +9,10 @@ pub enum CommandKind {
     WriteBuffer,
     MapBuffer,
     UnmapBuffer,
+    /// A marker or barrier submitted into an out-of-order queue's DAG.
+    Marker,
+    /// A host-controlled user event (`clCreateUserEvent` analog).
+    UserEvent,
 }
 
 impl CommandKind {
@@ -20,6 +24,8 @@ impl CommandKind {
             CommandKind::WriteBuffer => "write-buffer",
             CommandKind::MapBuffer => "map-buffer",
             CommandKind::UnmapBuffer => "unmap-buffer",
+            CommandKind::Marker => "marker",
+            CommandKind::UserEvent => "user-event",
         }
     }
 }

@@ -84,6 +84,7 @@ mod ndrange;
 mod program;
 mod queue;
 mod race;
+mod sched;
 mod trace;
 mod validate;
 
@@ -103,6 +104,7 @@ pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
 pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};
 pub use race::RaceLog;
+pub use sched::{check_linearization, user_event, EventRef, EventStatus, SchedBug, UserEvent};
 pub use trace::{now_ns, Span, SpanKind, TraceLog};
 pub use validate::{validate_disjoint_writes, WriteConflict};
 

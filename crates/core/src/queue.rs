@@ -25,6 +25,7 @@ use crate::flow::{self, FlowLog};
 use crate::kernel::Kernel;
 use crate::ndrange::{NDRange, ResolvedRange};
 use crate::race::{self, RaceLog};
+use crate::sched::{Dispatch, EventRef, Scheduler};
 use crate::trace::{self, Span, TraceLog};
 
 /// Queue ids are process-global and never reused, so happens-before
@@ -52,6 +53,17 @@ pub struct QueueConfig {
     /// queues allocate no log and every record site is one branch;
     /// [`QueueConfig::from_env`] reads `CL_FLOW`.
     pub recording: bool,
+    /// `CL_QUEUE_OUT_OF_ORDER_EXEC_MODE` analog: commands land in a pending
+    /// event DAG and a scheduler dispatches every ready command concurrently
+    /// onto the device pool, completing events in dependency order. Legacy
+    /// blocking enqueues keep their semantics — dependencies are
+    /// auto-inferred from flow footprints, so proven-independent commands
+    /// overlap for free. Off by default; [`QueueConfig::from_env`] reads
+    /// `CL_OOO`.
+    pub out_of_order: bool,
+    /// Seeded scheduler defect for oracle validation (`CL_SCHED_BUG`). Test
+    /// infrastructure — leave `None` outside the `cl-sched` harness.
+    pub sched_bug: Option<crate::sched::SchedBug>,
 }
 
 impl QueueConfig {
@@ -76,6 +88,8 @@ impl QueueConfig {
             launch_timeout,
             tracing: env_on("CL_TRACE"),
             recording: env_on("CL_FLOW"),
+            out_of_order: env_on("CL_OOO"),
+            sched_bug: crate::sched::SchedBug::from_env(),
         }
     }
 
@@ -94,6 +108,19 @@ impl QueueConfig {
     /// Enable or disable command-stream recording.
     pub fn recording(mut self, on: bool) -> Self {
         self.recording = on;
+        self
+    }
+
+    /// Enable or disable out-of-order execution mode.
+    pub fn out_of_order(mut self, on: bool) -> Self {
+        self.out_of_order = on;
+        self
+    }
+
+    /// Seed a scheduler defect (oracle validation; see
+    /// [`SchedBug`](crate::sched::SchedBug)).
+    pub fn sched_bug(mut self, bug: crate::sched::SchedBug) -> Self {
+        self.sched_bug = Some(bug);
         self
     }
 }
@@ -148,6 +175,9 @@ pub struct CommandQueue {
     seq: Arc<AtomicU64>,
     /// Memoized enqueue plans, shared by clones. See [`EnqueuePlan`].
     plans: Arc<Mutex<Vec<EnqueuePlan>>>,
+    /// The pending-DAG scheduler; allocated iff `cfg.out_of_order`, shared
+    /// by clones like the logs.
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl CommandQueue {
@@ -159,6 +189,13 @@ impl CommandQueue {
         let trace = cfg.tracing.then(|| Arc::new(TraceLog::new()));
         let flow = cfg.recording.then(|| Arc::new(FlowLog::new()));
         let race = ctx.inner.race.clone();
+        let sched = cfg.out_of_order.then(|| {
+            Arc::new(Scheduler::new(
+                Arc::clone(ctx.device().pool()),
+                cfg.sched_bug,
+                race.is_some(),
+            ))
+        });
         CommandQueue {
             ctx,
             cfg,
@@ -168,6 +205,7 @@ impl CommandQueue {
             id: NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed),
             seq: Arc::new(AtomicU64::new(0)),
             plans: Arc::new(Mutex::new(Vec::new())),
+            sched,
         }
     }
 
@@ -240,6 +278,48 @@ impl CommandQueue {
         Ok(())
     }
 
+    /// Resolve (and memoize) the enqueue plan for a (kernel, range) pair:
+    /// range resolution, the debug contract gates, and — when `need_lowered`
+    /// — the lowering of arg bindings into flow uses. Shared by the blocking
+    /// and DAG-submit enqueue paths.
+    fn plan_for(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+        need_lowered: bool,
+    ) -> Result<(ResolvedRange, Option<LoweredUses>), ClError> {
+        let device = self.ctx.device();
+        match self
+            .cached_plan(kernel, range)
+            .filter(|(_, lowered)| !need_lowered || lowered.is_some())
+        {
+            Some(plan) => Ok(plan),
+            None => {
+                let resolved =
+                    range.resolve_with(device.default_wg(), device.null_target_groups())?;
+                #[cfg(debug_assertions)]
+                check_contract(kernel, &resolved)?;
+                // Lower the launch for recording and/or the debug
+                // flag-contract gate. Bindings and the footprint are
+                // captured at most once per (kernel, range) — workgroup
+                // chunks never re-resolve argument metadata. With recording
+                // off (release), this is one branch.
+                let lowered = need_lowered.then(|| flow::launch_uses(kernel.as_ref(), &resolved));
+                #[cfg(debug_assertions)]
+                if let Some((uses, _)) = &lowered {
+                    check_flag_contract(kernel.name(), uses)?;
+                }
+                self.remember_plan(EnqueuePlan {
+                    kernel: Arc::downgrade(kernel),
+                    range,
+                    resolved,
+                    lowered: lowered.clone(),
+                });
+                Ok((resolved, lowered))
+            }
+        }
+    }
+
     /// `clEnqueueNDRangeKernel` (blocking). The workgroup size comes from
     /// `range`; passing a range without `local*` reproduces the NULL
     /// `local_work_size` behaviour.
@@ -248,6 +328,12 @@ impl CommandQueue {
         kernel: &Arc<dyn Kernel>,
         range: NDRange,
     ) -> Result<Event, ClError> {
+        // Out-of-order queue: the blocking call is submit + wait on this
+        // command's own event. Independent commands already in the DAG keep
+        // running underneath the wait.
+        if self.sched.is_some() {
+            return self.submit_kernel(kernel, range, &[])?.wait(None);
+        }
         let queued_ns = trace::now_ns();
         let device = self.ctx.device();
         // Scoped sink install: the pool reports steals and worker lifecycle
@@ -273,35 +359,7 @@ impl CommandQueue {
         // cached, so a rejected kernel is re-checked (and re-rejected)
         // every time.
         let need_lowered = self.flow.is_some() || self.race.is_some() || cfg!(debug_assertions);
-        let (resolved, lowered) = match self
-            .cached_plan(kernel, range)
-            .filter(|(_, lowered)| !need_lowered || lowered.is_some())
-        {
-            Some(plan) => plan,
-            None => {
-                let resolved =
-                    range.resolve_with(device.default_wg(), device.null_target_groups())?;
-                #[cfg(debug_assertions)]
-                check_contract(kernel, &resolved)?;
-                // Lower the launch for recording and/or the debug
-                // flag-contract gate. Bindings and the footprint are
-                // captured at most once per (kernel, range) — workgroup
-                // chunks never re-resolve argument metadata. With recording
-                // off (release), this is one branch.
-                let lowered = need_lowered.then(|| flow::launch_uses(kernel.as_ref(), &resolved));
-                #[cfg(debug_assertions)]
-                if let Some((uses, _)) = &lowered {
-                    check_flag_contract(kernel.name(), uses)?;
-                }
-                self.remember_plan(EnqueuePlan {
-                    kernel: Arc::downgrade(kernel),
-                    range,
-                    resolved,
-                    lowered: lowered.clone(),
-                });
-                (resolved, lowered)
-            }
-        };
+        let (resolved, lowered) = self.plan_for(kernel, range, need_lowered)?;
         // Debug-build enqueue gate #3, cross-queue: would this launch race
         // with another queue's recorded commands? Unlike the per-kernel
         // gates above it depends on *stream state*, so it runs even on
@@ -372,6 +430,227 @@ impl CommandQueue {
         self.enqueue_kernel(&k, range)
     }
 
+    /// `clEnqueueNDRangeKernel` with an event wait list (non-blocking on an
+    /// out-of-order queue). The command runs after every event in `wait`
+    /// completes — plus, on an out-of-order queue, after every pending
+    /// command whose flow footprint the analyzer cannot prove independent
+    /// of this one. Returns the command's event; pass it in later wait
+    /// lists or `wait()` it.
+    ///
+    /// On an in-order queue this degenerates to: wait the list, then run
+    /// blocking (program order already serializes the stream).
+    pub fn submit_kernel(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+        wait: &[EventRef],
+    ) -> Result<EventRef, ClError> {
+        let Some(sched) = &self.sched else {
+            for w in wait {
+                if let Err(e) = w.wait(self.cfg.launch_timeout) {
+                    return Err(ClError::DependencyFailed {
+                        label: kernel.name().to_string(),
+                        source: Box::new(e),
+                    });
+                }
+            }
+            return self.enqueue_kernel(kernel, range).map(EventRef::completed);
+        };
+        let queued_ns = trace::now_ns();
+        // The DAG needs footprints for dependency inference, so lowering is
+        // unconditional here. All per-kernel debug gates run at submit time;
+        // the cross-queue gate is skipped — it assumes in-order program
+        // order, and OOO streams are certified offline by `cl-race` instead.
+        let (resolved, lowered) = self.plan_for(kernel, range, true)?;
+        let seq = self.next_seq();
+        let (uses, has_spec) = lowered.unwrap_or_default();
+        let flow_cmd = FlowCommand::new(
+            FlowOp::Launch {
+                kernel: kernel.name().to_string(),
+                has_spec,
+            },
+            kernel.name(),
+            uses.clone(),
+        );
+        if let Some(log) = &self.flow {
+            // Recorded at submit so faulted launches still appear in the
+            // stream the lints see (submit order = program order).
+            log.push(flow_cmd.clone());
+        }
+        let conservative = uses.is_empty();
+        let device = self.ctx.device().clone();
+        let trace = self.trace.clone();
+        let race = self.race.clone();
+        let timeout = self.cfg.launch_timeout;
+        let k = Arc::clone(kernel);
+        let qid = self.id;
+        let record_cmd = flow_cmd.clone();
+        // Deadline-armed launches hard-block their calling thread in the
+        // watchdog wait, so they get a dedicated thread; without a deadline
+        // the launch claims chunks and helps — safe on a pool worker.
+        let dispatch = if timeout.is_some() {
+            Dispatch::Thread
+        } else {
+            Dispatch::Pool
+        };
+        let waits_cell: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let waits_in_work = Arc::clone(&waits_cell);
+        let work = Box::new(move || {
+            let _sink = trace.as_ref().map(|log| {
+                device
+                    .pool()
+                    .set_event_sink(Arc::clone(log) as Arc<dyn cl_pool::PoolEventSink>);
+                SinkGuard {
+                    pool: device.pool(),
+                }
+            });
+            let respawned = device.pool().recover() as u64;
+            let res = execute_kernel(&device, &k, &resolved, timeout, trace.as_ref(), queued_ns);
+            if let Some(rl) = &race {
+                // Recorded at completion: a dependency's record is always
+                // pushed before its dependents' (completion order), so
+                // wait edges always point forward in the stream.
+                let (start_ns, end_ns) = match &res {
+                    Ok(ev) => (ev.profiling.started_ns, ev.profiling.completed_ns),
+                    Err(_) => (0, 0),
+                };
+                rl.push(
+                    HbRecord::command(qid, seq, record_cmd, false)
+                        .observed(start_ns, end_ns)
+                        .ooo_waits(waits_in_work.lock().clone()),
+                );
+            }
+            res.map(|mut ev| {
+                ev.workers_respawned = respawned;
+                ev.queue_id = qid;
+                ev.seq = seq;
+                ev
+            })
+        });
+        let ev = sched.submit(
+            kernel.name(),
+            self.id,
+            seq,
+            Some(flow_cmd),
+            conservative,
+            wait,
+            false,
+            false,
+            dispatch,
+            work,
+            &waits_cell,
+        )?;
+        Ok(ev)
+    }
+
+    /// `clEnqueueMarkerWithWaitList`: completes once every event in `wait`
+    /// completes — or, with an empty list, once everything currently
+    /// pending on the queue completes. Orders nothing by itself.
+    pub fn submit_marker(&self, wait: &[EventRef]) -> Result<EventRef, ClError> {
+        self.submit_sync_point(wait, false)
+    }
+
+    /// `clEnqueueBarrierWithWaitList`: like a marker, but every command
+    /// submitted later also waits on it — a full pipeline fence inside an
+    /// out-of-order queue.
+    pub fn submit_barrier(&self, wait: &[EventRef]) -> Result<EventRef, ClError> {
+        self.submit_sync_point(wait, true)
+    }
+
+    fn submit_sync_point(&self, wait: &[EventRef], barrier: bool) -> Result<EventRef, ClError> {
+        let label = if barrier { "barrier" } else { "marker" };
+        let Some(sched) = &self.sched else {
+            // In-order queue: the stream is already serialized; wait the
+            // list and record the semantic marker.
+            for w in wait {
+                let _ = w.wait(self.cfg.launch_timeout);
+            }
+            self.marker();
+            return Ok(EventRef::completed(Event::new(
+                CommandKind::Marker,
+                0.0,
+                false,
+            )));
+        };
+        let seq = self.next_seq();
+        let race = self.race.clone();
+        let qid = self.id;
+        let waits_cell: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let waits_in_work = Arc::clone(&waits_cell);
+        let label_owned = label.to_string();
+        let work = Box::new(move || {
+            if let Some(rl) = &race {
+                // Markers carry no uses — inert in pair classification, but
+                // their wait edges order transitively through them.
+                rl.push(
+                    HbRecord::command(
+                        qid,
+                        seq,
+                        FlowCommand::new(
+                            FlowOp::Launch {
+                                kernel: label_owned.clone(),
+                                has_spec: true,
+                            },
+                            label_owned.clone(),
+                            Vec::new(),
+                        ),
+                        false,
+                    )
+                    .ooo_waits(waits_in_work.lock().clone()),
+                );
+            }
+            Ok(Event::new(CommandKind::Marker, 0.0, false))
+        });
+        let ev = sched.submit(
+            label,
+            self.id,
+            seq,
+            None,
+            false,
+            wait,
+            wait.is_empty(),
+            barrier,
+            Dispatch::Pool,
+            work,
+            &waits_cell,
+        )?;
+        Ok(ev)
+    }
+
+    /// Out-of-order queues: block until every pending command whose
+    /// footprint conflicts with `uses` has completed, so a blocking
+    /// (in-order) host operation can safely touch the buffers. Independent
+    /// pending commands keep running. Returns the drained commands'
+    /// `(queue, seq)` pairs for happens-before recording.
+    fn drain_conflicting(
+        &self,
+        op: FlowOp,
+        label: &str,
+        uses: Vec<BufUse>,
+    ) -> Result<Vec<(u64, u64)>, ClError> {
+        let Some(sched) = &self.sched else {
+            return Ok(Vec::new());
+        };
+        let cmd = FlowCommand::new(op, label, uses);
+        let mut waits = Vec::new();
+        for e in sched.conflicting_events(&cmd) {
+            if let Err(err) = e.wait(self.cfg.launch_timeout) {
+                if e.completion_tick().is_none() {
+                    // Still pending at the deadline: the wait itself timed
+                    // out — unsafe to touch the buffers.
+                    return Err(err);
+                }
+                // The dependency completed unsuccessfully: contents are
+                // undefined (as after any failed enqueue) but ordering is
+                // established, so the host operation proceeds.
+            }
+            if e.queue_id() != 0 {
+                waits.push((e.queue_id(), e.seq()));
+            }
+        }
+        Ok(waits)
+    }
+
     /// Record a completed blocking transfer into the context's race log:
     /// the command plus its host-sync effect (the enqueuing thread observed
     /// completion, ordering it before everything enqueued later). The
@@ -379,14 +658,21 @@ impl CommandQueue {
     fn record_race_transfer(
         &self,
         ev: &Event,
+        waits: Vec<(u64, u64)>,
         build: impl FnOnce() -> (FlowOp, String, Vec<BufUse>),
     ) {
         if let Some(rl) = &self.race {
             let (op, label, uses) = build();
-            rl.push(
+            let mut rec =
                 HbRecord::command(self.id, ev.seq, FlowCommand::new(op, label, uses), true)
-                    .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
-            );
+                    .observed(ev.profiling.started_ns, ev.profiling.completed_ns);
+            if self.sched.is_some() {
+                // On an out-of-order queue program order means nothing; the
+                // record carries the drained commands as explicit wait edges
+                // instead (plus its host-sync effect, from `blocking`).
+                rec = rec.ooo_waits(waits);
+            }
+            rl.push(rec);
         }
     }
 
@@ -402,13 +688,18 @@ impl CommandQueue {
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(src);
         let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
+        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
+        let waits = self.drain_conflicting(
+            FlowOp::WriteBuffer,
+            "write",
+            vec![flow::transfer_use(buf).writes(lo, end)],
+        )?;
         let started_ns = trace::now_ns();
         let raw = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, bytes) };
         self.ctx
             .inner
             .transfer
             .write_buffer(&buf.inner.region, byte_off, raw)?;
-        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
         if let Some(log) = &self.flow {
             log.push(FlowCommand::new(
                 FlowOp::WriteBuffer,
@@ -417,7 +708,7 @@ impl CommandQueue {
             ));
         }
         let ev = self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true);
-        self.record_race_transfer(&ev, || {
+        self.record_race_transfer(&ev, waits, || {
             (
                 FlowOp::WriteBuffer,
                 format!("write {bytes}B"),
@@ -439,13 +730,18 @@ impl CommandQueue {
         self.check_ctx(buf)?;
         let bytes = std::mem::size_of_val(dst);
         let byte_off = elem_offset_bytes::<T>(buf.byte_offset(), offset)?;
+        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
+        let waits = self.drain_conflicting(
+            FlowOp::ReadBuffer,
+            "read",
+            vec![flow::transfer_use(buf).reads(lo, end)],
+        )?;
         let started_ns = trace::now_ns();
         let raw = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, bytes) };
         self.ctx
             .inner
             .transfer
             .read_buffer(&buf.inner.region, byte_off, raw)?;
-        let (lo, end) = (byte_off as i128, (byte_off + bytes) as i128);
         if let Some(log) = &self.flow {
             log.push(FlowCommand::new(
                 FlowOp::ReadBuffer,
@@ -454,7 +750,7 @@ impl CommandQueue {
             ));
         }
         let ev = self.transfer_event(CommandKind::ReadBuffer, queued_ns, started_ns, bytes, true);
-        self.record_race_transfer(&ev, || {
+        self.record_race_transfer(&ev, waits, || {
             (
                 FlowOp::ReadBuffer,
                 format!("read {bytes}B"),
@@ -472,6 +768,16 @@ impl CommandQueue {
     ) -> Result<(TypedMap<'q, T>, Event), ClError> {
         let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
+        let map_use = flow::transfer_use(buf);
+        let (map_lo, map_end) = (map_use.span.0 as i128, map_use.span.1 as i128);
+        let waits = self.drain_conflicting(
+            FlowOp::Map {
+                id: 0,
+                writable: false,
+            },
+            "map",
+            vec![map_use.reads(map_lo, map_end)],
+        )?;
         let started_ns = trace::now_ns();
         let guard = self.ctx.inner.transfer.map(
             &buf.inner.region,
@@ -506,23 +812,26 @@ impl CommandQueue {
             let id = rl.next_map_id();
             let u = flow::transfer_use(buf);
             let (lo, end) = (u.span.0 as i128, u.span.1 as i128);
-            rl.push(
-                HbRecord::command(
-                    self.id,
-                    ev.seq,
-                    FlowCommand::new(
-                        FlowOp::Map {
-                            id,
-                            writable: false,
-                        },
-                        format!("map#{id} (ro)"),
-                        vec![u.clone().reads(lo, end)],
-                    ),
-                    true,
-                )
-                .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
-            );
+            let mut rec = HbRecord::command(
+                self.id,
+                ev.seq,
+                FlowCommand::new(
+                    FlowOp::Map {
+                        id,
+                        writable: false,
+                    },
+                    format!("map#{id} (ro)"),
+                    vec![u.clone().reads(lo, end)],
+                ),
+                true,
+            )
+            .observed(ev.profiling.started_ns, ev.profiling.completed_ns);
+            if self.sched.is_some() {
+                rec = rec.ooo_waits(waits.clone());
+            }
+            rl.push(rec);
             race::RaceUnmap::new(Arc::clone(rl), self.id, Arc::clone(&self.seq), id, u, false)
+                .ooo_after(self.sched.is_some().then_some((self.id, ev.seq)))
         });
         Ok((
             TypedMap {
@@ -542,6 +851,14 @@ impl CommandQueue {
     ) -> Result<(TypedMapMut<'q, T>, Event), ClError> {
         let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
+        let waits = self.drain_conflicting(
+            FlowOp::Map {
+                id: 0,
+                writable: true,
+            },
+            "map",
+            vec![flow::transfer_use(buf)],
+        )?;
         let started_ns = trace::now_ns();
         let guard = self.ctx.inner.transfer.map(
             &buf.inner.region,
@@ -571,20 +888,23 @@ impl CommandQueue {
         let race = self.race.as_ref().map(|rl| {
             let id = rl.next_map_id();
             let u = flow::transfer_use(buf);
-            rl.push(
-                HbRecord::command(
-                    self.id,
-                    ev.seq,
-                    FlowCommand::new(
-                        FlowOp::Map { id, writable: true },
-                        format!("map#{id} (rw)"),
-                        vec![u.clone()],
-                    ),
-                    true,
-                )
-                .observed(ev.profiling.started_ns, ev.profiling.completed_ns),
-            );
+            let mut rec = HbRecord::command(
+                self.id,
+                ev.seq,
+                FlowCommand::new(
+                    FlowOp::Map { id, writable: true },
+                    format!("map#{id} (rw)"),
+                    vec![u.clone()],
+                ),
+                true,
+            )
+            .observed(ev.profiling.started_ns, ev.profiling.completed_ns);
+            if self.sched.is_some() {
+                rec = rec.ooo_waits(waits.clone());
+            }
+            rl.push(rec);
             race::RaceUnmap::new(Arc::clone(rl), self.id, Arc::clone(&self.seq), id, u, true)
+                .ooo_after(self.sched.is_some().then_some((self.id, ev.seq)))
         });
         Ok((
             TypedMapMut {
@@ -616,6 +936,14 @@ impl CommandQueue {
         let bytes = count.checked_mul(elem).ok_or(ClError::BufferTooLarge)?;
         let src_off = elem_offset_bytes::<T>(src.byte_offset(), src_offset)?;
         let dst_off = elem_offset_bytes::<T>(dst.byte_offset(), dst_offset)?;
+        let waits = self.drain_conflicting(
+            FlowOp::CopyBuffer,
+            "copy",
+            vec![
+                flow::transfer_use(src).reads(src_off as i128, (src_off + bytes) as i128),
+                flow::transfer_use(dst).writes(dst_off as i128, (dst_off + bytes) as i128),
+            ],
+        )?;
         let started_ns = trace::now_ns();
         // Bounds are enforced by the region; stage through a scratch Vec so
         // overlapping src/dst windows behave like memmove.
@@ -633,7 +961,7 @@ impl CommandQueue {
             ));
         }
         let ev = self.transfer_event(CommandKind::WriteBuffer, queued_ns, started_ns, bytes, true);
-        self.record_race_transfer(&ev, || {
+        self.record_race_transfer(&ev, waits, || {
             (
                 FlowOp::CopyBuffer,
                 format!("copy {bytes}B"),
@@ -651,6 +979,12 @@ impl CommandQueue {
     pub fn fill_buffer<T: Pod>(&self, buf: &Buffer<T>, value: T) -> Result<Event, ClError> {
         let queued_ns = trace::now_ns();
         self.check_ctx(buf)?;
+        let fill_lo = buf.byte_offset() as i128;
+        let waits = self.drain_conflicting(
+            FlowOp::FillBuffer,
+            "fill",
+            vec![flow::transfer_use(buf).writes(fill_lo, fill_lo + buf.byte_len() as i128)],
+        )?;
         let started_ns = trace::now_ns();
         let elem = std::mem::size_of::<T>();
         let raw = unsafe { std::slice::from_raw_parts(&value as *const T as *const u8, elem) };
@@ -676,7 +1010,7 @@ impl CommandQueue {
             staged.len(),
             true,
         );
-        self.record_race_transfer(&ev, || {
+        self.record_race_transfer(&ev, waits, || {
             (
                 FlowOp::FillBuffer,
                 format!("fill {}B", staged.len()),
@@ -713,14 +1047,27 @@ impl CommandQueue {
         ))
     }
 
-    /// `clFinish`: all commands block already, so execution-wise this is a
-    /// no-op — but it is a *semantic* sync point, and with race recording
-    /// on it lands in the context's stream: everything this queue ran so
-    /// far happens-before everything any queue enqueues afterwards.
-    pub fn finish(&self) {
+    /// `clFinish`: drain the queue. On an in-order queue all commands block
+    /// already, so execution-wise this is a no-op — but it is a *semantic*
+    /// sync point, and with race recording on it lands in the context's
+    /// stream: everything this queue ran so far happens-before everything
+    /// any queue enqueues afterwards.
+    ///
+    /// On an out-of-order queue this blocks until the pending DAG drains.
+    /// With `launch_timeout` set, a DAG that cannot drain (e.g. a command
+    /// gated on a user event nobody signals) trips the watchdog instead of
+    /// hanging: never-dispatched commands fail with
+    /// [`ClError::DependencyFailed`] and this returns
+    /// [`ClError::FinishTimedOut`].
+    pub fn finish(&self) -> Result<(), ClError> {
+        let drained = match &self.sched {
+            Some(sched) => sched.finish(self.cfg.launch_timeout),
+            None => Ok(()),
+        };
         if let Some(rl) = &self.race {
             rl.push(HbRecord::finish(self.id));
         }
+        drained
     }
 
     /// `clEnqueueMarker`: an in-queue synchronization point. On an in-order
@@ -1382,7 +1729,7 @@ mod tests {
         qa.write_buffer(&buf, 0, &[2.0f32; 16]).unwrap();
         qa.run(AddOne { data: buf.clone() }, NDRange::d1(16))
             .unwrap();
-        qa.finish();
+        qa.finish().unwrap();
         let mut out = vec![0.0f32; 16];
         qb.read_buffer(&buf, 0, &mut out).unwrap();
         assert!(out.iter().all(|&x| x == 3.0));
@@ -1454,7 +1801,167 @@ mod tests {
             other => panic!("expected ContractViolation, got {other:?}"),
         }
         // A finish on qa repairs the ordering; the same launch now passes.
-        qa.finish();
+        qa.finish().unwrap();
         qb.enqueue_kernel(&k, NDRange::d1(32)).unwrap();
+    }
+
+    fn ooo_queue(ctx: &Context) -> CommandQueue {
+        ctx.queue_with(QueueConfig::default().out_of_order(true))
+    }
+
+    #[test]
+    fn ooo_auto_inferred_chain_is_bit_exact_and_linearized() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        q.write_buffer(&buf, 0, &vec![0.0f32; 64]).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(AddOne { data: buf.clone() });
+        // Three submits on the same buffer: the scheduler must auto-infer
+        // the RAW/WAW chain and run them in submit order.
+        let evs: Vec<EventRef> = (0..3)
+            .map(|_| q.submit_kernel(&k, NDRange::d1(64), &[]).unwrap())
+            .collect();
+        q.finish().unwrap();
+        let mut out = vec![0.0f32; 64];
+        q.read_buffer(&buf, 0, &mut out).unwrap();
+        assert!(
+            out.iter().all(|&x| x == 3.0),
+            "chain reordered: {:?}",
+            &out[..4]
+        );
+        let edges = vec![(0, 1), (1, 2)];
+        let v = crate::check_linearization(&evs, &edges);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ooo_blocking_read_drains_conflicting_commands() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 64).unwrap();
+        q.write_buffer(&buf, 0, &vec![0.0f32; 64]).unwrap();
+        let k: Arc<dyn Kernel> = Arc::new(AddOne { data: buf.clone() });
+        q.submit_kernel(&k, NDRange::d1(64), &[]).unwrap();
+        // No finish: the blocking read itself must wait the pending writer.
+        let mut out = vec![0.0f32; 64];
+        q.read_buffer(&buf, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 1.0));
+        q.finish().unwrap();
+    }
+
+    #[test]
+    fn ooo_explicit_wait_list_orders_independent_buffers() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let b1 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        let b2 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        q.write_buffer(&b1, 0, &[0.0f32; 32]).unwrap();
+        q.write_buffer(&b2, 0, &[0.0f32; 32]).unwrap();
+        let ka: Arc<dyn Kernel> = Arc::new(AddOne { data: b1 });
+        let kb: Arc<dyn Kernel> = Arc::new(AddOne { data: b2 });
+        let ea = q.submit_kernel(&ka, NDRange::d1(32), &[]).unwrap();
+        // Disjoint footprints: only the explicit wait list orders these.
+        let eb = q
+            .submit_kernel(&kb, NDRange::d1(32), std::slice::from_ref(&ea))
+            .unwrap();
+        q.finish().unwrap();
+        assert!(ea.completion_tick().unwrap() < eb.completion_tick().unwrap());
+    }
+
+    #[test]
+    fn ooo_barrier_fences_later_submits() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let b1 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        let b2 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        q.write_buffer(&b1, 0, &[0.0f32; 32]).unwrap();
+        q.write_buffer(&b2, 0, &[0.0f32; 32]).unwrap();
+        let ka: Arc<dyn Kernel> = Arc::new(AddOne { data: b1 });
+        let kb: Arc<dyn Kernel> = Arc::new(AddOne { data: b2 });
+        let ea = q.submit_kernel(&ka, NDRange::d1(32), &[]).unwrap();
+        let bar = q.submit_barrier(&[]).unwrap();
+        // Disjoint from `ka`, but the barrier still orders it after.
+        let eb = q.submit_kernel(&kb, NDRange::d1(32), &[]).unwrap();
+        q.finish().unwrap();
+        let (ta, tbar, tb) = (
+            ea.completion_tick().unwrap(),
+            bar.completion_tick().unwrap(),
+            eb.completion_tick().unwrap(),
+        );
+        assert!(ta < tbar && tbar < tb, "{ta} {tbar} {tb}");
+    }
+
+    #[test]
+    fn ooo_user_event_gates_dependents() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        q.write_buffer(&buf, 0, &[0.0f32; 32]).unwrap();
+        let gate = crate::user_event();
+        let k: Arc<dyn Kernel> = Arc::new(AddOne { data: buf.clone() });
+        let ev = q
+            .submit_kernel(&k, NDRange::d1(32), &[gate.event()])
+            .unwrap();
+        assert_eq!(ev.status(), crate::EventStatus::Pending);
+        gate.signal();
+        assert!(ev.wait(Some(std::time::Duration::from_secs(10))).is_ok());
+        q.finish().unwrap();
+    }
+
+    #[test]
+    fn ooo_failed_user_event_fails_only_dependents() {
+        let ctx = ctx_native();
+        let q = ooo_queue(&ctx);
+        let b1 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        let b2 = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        q.write_buffer(&b1, 0, &[0.0f32; 32]).unwrap();
+        q.write_buffer(&b2, 0, &[0.0f32; 32]).unwrap();
+        let gate = crate::user_event();
+        let ka: Arc<dyn Kernel> = Arc::new(AddOne { data: b1 });
+        let kb: Arc<dyn Kernel> = Arc::new(AddOne { data: b2.clone() });
+        let gated = q
+            .submit_kernel(&ka, NDRange::d1(32), &[gate.event()])
+            .unwrap();
+        let free = q.submit_kernel(&kb, NDRange::d1(32), &[]).unwrap();
+        gate.fail(ClError::DeviceUnavailable("host aborted".into()));
+        assert!(matches!(
+            gated.wait(Some(std::time::Duration::from_secs(10))),
+            Err(ClError::DependencyFailed { .. })
+        ));
+        // The independent command is untouched by the failure.
+        assert!(free.wait(Some(std::time::Duration::from_secs(10))).is_ok());
+        let _ = q.finish();
+        let mut out = vec![0.0f32; 32];
+        q.read_buffer(&b2, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn ooo_finish_watchdog_fails_stuck_commands() {
+        let ctx = ctx_native();
+        let q = ctx.queue_with(
+            QueueConfig::default()
+                .out_of_order(true)
+                .launch_timeout(std::time::Duration::from_millis(100)),
+        );
+        let buf = ctx.buffer::<f32>(MemFlags::default(), 32).unwrap();
+        q.write_buffer(&buf, 0, &[0.0f32; 32]).unwrap();
+        let gate = crate::user_event();
+        let k: Arc<dyn Kernel> = Arc::new(AddOne { data: buf });
+        let ev = q
+            .submit_kernel(&k, NDRange::d1(32), &[gate.event()])
+            .unwrap();
+        // Never signalled: finish must trip the watchdog, fail the stuck
+        // command, and drain the queue rather than hang.
+        let err = q.finish().unwrap_err();
+        assert!(
+            matches!(err, ClError::FinishTimedOut { pending: 1, .. }),
+            "{err:?}"
+        );
+        assert!(matches!(
+            ev.wait(Some(std::time::Duration::from_secs(10))),
+            Err(ClError::DependencyFailed { .. })
+        ));
+        gate.signal(); // release the handle without tripping the drop guard
     }
 }

@@ -127,6 +127,9 @@ pub(crate) struct RaceUnmap {
     map_id: u64,
     template: BufUse,
     writes: bool,
+    /// On an out-of-order queue, program order is meaningless — the unmap
+    /// record orders after its map via an explicit wait edge instead.
+    ooo_after: Option<(u64, u64)>,
 }
 
 impl RaceUnmap {
@@ -145,7 +148,15 @@ impl RaceUnmap {
             map_id,
             template,
             writes,
+            ooo_after: None,
         }
+    }
+
+    /// Mark the deferred record as belonging to an out-of-order queue,
+    /// ordered after its map command (`Some((queue, map_seq))`).
+    pub(crate) fn ooo_after(mut self, after: Option<(u64, u64)>) -> Self {
+        self.ooo_after = after;
+        self
     }
 
     pub(crate) fn record(self) {
@@ -156,18 +167,20 @@ impl RaceUnmap {
         }
         let now = crate::trace::now_ns();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.log.push(
-            HbRecord::command(
-                self.queue,
-                seq,
-                FlowCommand::new(
-                    FlowOp::Unmap { id: self.map_id },
-                    format!("unmap#{}", self.map_id),
-                    vec![u],
-                ),
-                true,
-            )
-            .observed(now, now),
-        );
+        let mut rec = HbRecord::command(
+            self.queue,
+            seq,
+            FlowCommand::new(
+                FlowOp::Unmap { id: self.map_id },
+                format!("unmap#{}", self.map_id),
+                vec![u],
+            ),
+            true,
+        )
+        .observed(now, now);
+        if let Some(after) = self.ooo_after {
+            rec = rec.ooo_waits(vec![after]);
+        }
+        self.log.push(rec);
     }
 }

@@ -416,6 +416,74 @@ fn run_suite(opts: &Opts) -> Report {
         BenchStats::from_samples(&p99s),
     );
 
+    // --- OOO scheduler: ready-dispatch overhead per command -------------
+    // 64 tiny MulAdd launches round-robined over 8 disjoint buffers on an
+    // out-of-order queue: mostly-ready commands whose cost is the pending-
+    // DAG bookkeeping (hazard scan + node + dispatch + completion), not
+    // compute. Catches regressions in the submit hot path — an accidental
+    // O(history) scan or a lost-wakeup stall shows up directly.
+    let qo = ctx.queue_with(QueueConfig::default().out_of_order(true));
+    const SCHED_BUFS: usize = 8;
+    const SCHED_CMDS: u64 = 64;
+    let sched_kernels: Vec<Arc<dyn Kernel>> = (0..SCHED_BUFS)
+        .map(|_| {
+            let buf = ctx
+                .buffer::<u32>(MemFlags::default(), 64)
+                .expect("sched bench buffer");
+            Arc::new(cl_kernels::sched::MulAdd {
+                data: buf,
+                mul: 3,
+                add: 7,
+                iters: 1,
+                label: "mul_add".into(),
+            }) as Arc<dyn Kernel>
+        })
+        .collect();
+    let sched_range = NDRange::d1(64).local1(64);
+    let stats = sample(warm, samples, SCHED_CMDS, || {
+        for i in 0..SCHED_CMDS as usize {
+            qo.submit_kernel(&sched_kernels[i % SCHED_BUFS], sched_range, &[])
+                .expect("sched submit");
+        }
+        qo.finish().expect("sched drain");
+        SCHED_CMDS
+    });
+    push("sched/ready-dispatch-ns", "ns/cmd", stats);
+
+    // --- OOO scheduler: independent-DAG throughput -----------------------
+    // A fan of 8 independent fixed-latency (5 ms) commands on disjoint
+    // buffers, drained through a 4-worker device: the out-of-order
+    // scheduler must overlap them (two waves ≈ 10 ms), where an in-order
+    // stream would serialize all 40 ms. Latency-bound on purpose so the
+    // overlap survives single-core CI hosts; a scheduler that stops
+    // overlapping quadruples this number and trips the gate.
+    const FAN: usize = 8;
+    const FAN_WORKERS: usize = 4;
+    const NAP_MS: u64 = 5;
+    let fan_ctx = Context::new(ocl_rt::Device::native_cpu(FAN_WORKERS).expect("fan device"));
+    let qf = fan_ctx.queue_with(QueueConfig::default().out_of_order(true));
+    let fan_kernels: Vec<Arc<dyn Kernel>> = (0..FAN)
+        .map(|i| {
+            let buf = fan_ctx
+                .buffer::<u32>(MemFlags::default(), 16)
+                .expect("fan buffer");
+            Arc::new(cl_kernels::sched::Nap {
+                data: buf,
+                millis: NAP_MS,
+                label: format!("nap{i}"),
+            }) as Arc<dyn Kernel>
+        })
+        .collect();
+    let fan_range = NDRange::d1(16).local1(16);
+    let stats = sample(warm, samples, FAN as u64, || {
+        for k in &fan_kernels {
+            qf.submit_kernel(k, fan_range, &[]).expect("fan submit");
+        }
+        qf.finish().expect("fan drain");
+        FAN as u64
+    });
+    push("sched/dag-throughput", "ns/cmd", stats);
+
     Report::new(opts.workers, benches)
 }
 

@@ -2,10 +2,11 @@
 //! runtime.
 //!
 //! ```text
-//! cl-chaos [--rounds N] [--xq-rounds N] [--seed S] [--workers W] [--timeout-ms T] [--out DIR]
+//! cl-chaos [--rounds N] [--xq-rounds N] [--ooo-rounds N] [--seed S] [--workers W] [--timeout-ms T] [--out DIR]
 //!
 //!   --rounds N      fault rounds to run (default: 25)
 //!   --xq-rounds N   two-queue contention rounds to run (default: 5)
+//!   --ooo-rounds N  out-of-order subgraph-isolation rounds (default: 5)
 //!   --seed S        PRNG seed for the round mix (default: 7)
 //!   --workers W     pool workers of the device under test (default: min(4, cores))
 //!   --timeout-ms T  launch watchdog deadline per enqueue (default: 250)
@@ -27,6 +28,15 @@
 //! while queue A takes a seeded fault on the shared pool. Queue B must
 //! come through with zero mismatches — a fault on one queue may slow its
 //! neighbours (shared workers) but must never corrupt or stall them.
+//!
+//! The out-of-order rounds stress fault isolation *within* one
+//! `CL_QUEUE_OUT_OF_ORDER_EXEC_MODE` queue: a seeded fault at the head of
+//! one dependency chain must fail exactly its dependent subgraph
+//! (`ClError::DependencyFailed`, work never run) while an independent
+//! chain on a disjoint buffer — same queue, same scheduler — completes
+//! bit-exactly. Worker-depleting faults are left to the single-queue soak:
+//! on a small pool they starve concurrent independent commands for
+//! capacity reasons unrelated to the scheduler.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -65,10 +75,33 @@ struct XqRound {
     b_probes: usize,
 }
 
+/// One out-of-order subgraph-isolation round: a faulted chain head on an
+/// OOO queue vs an independent clean chain on the same queue.
+struct OooRound {
+    mode: &'static str,
+    injected: String,
+    /// What the faulted chain head reported.
+    error: String,
+    /// The chain head reported the injected fault (exact gid where pinned).
+    fault_ok: bool,
+    /// Dependents that failed with `DependencyFailed` (must be all).
+    dependents_failed: usize,
+    dependents: usize,
+    /// The independent chain completed bit-exactly on the same queue.
+    independent_ok: bool,
+}
+
+impl OooRound {
+    fn ok(&self) -> bool {
+        self.fault_ok && self.dependents_failed == self.dependents && self.independent_ok
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut rounds = 25usize;
     let mut xq_rounds = 5usize;
+    let mut ooo_rounds = 5usize;
     let mut seed = 7u64;
     let mut workers = usize::min(4, cl_pool::available_cores().max(1));
     let mut timeout_ms = 250u64;
@@ -83,6 +116,10 @@ fn main() {
             "--xq-rounds" => {
                 i += 1;
                 xq_rounds = parse(&args, i, "--xq-rounds");
+            }
+            "--ooo-rounds" => {
+                i += 1;
+                ooo_rounds = parse(&args, i, "--ooo-rounds");
             }
             "--seed" => {
                 i += 1;
@@ -102,8 +139,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: cl-chaos [--rounds N] [--xq-rounds N] [--seed S] \
-                     [--workers W] [--timeout-ms T] [--out DIR]"
+                    "usage: cl-chaos [--rounds N] [--xq-rounds N] [--ooo-rounds N] \
+                     [--seed S] [--workers W] [--timeout-ms T] [--out DIR]"
                 );
                 return;
             }
@@ -249,7 +286,12 @@ fn main() {
         };
 
         let qa = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout));
-        let qb = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout));
+        // Queue B may legitimately wait out a full stall on queue A when
+        // the shared pool is small (a 1-worker pool serializes them), so
+        // its watchdog gets generous headroom: "slowed but never corrupted
+        // or stalled" means it must *complete bit-exactly*, not that it
+        // races A's deadline for the same worker.
+        let qb = ctx.queue_with(QueueConfig::from_env().launch_timeout(timeout * 10));
         let b_groups = 4usize;
         let b_n = b_groups * local;
         let b_buf = ctx
@@ -313,21 +355,134 @@ fn main() {
             b_probes: B_PROBES,
         });
     }
+
+    // ------ Out-of-order subgraph-isolation rounds ------
+    // One OOO queue, two chains. Chain A: a seeded fault at the head, two
+    // clean dependents chained by explicit wait lists (explicit edges
+    // propagate failure even if the head fails before the dependents are
+    // submitted — no race on the live window). Chain B: three clean
+    // launches on a disjoint buffer, ordered among themselves by
+    // auto-inferred hazards, independent of chain A. The fault must fail
+    // exactly chain A's dependents; chain B must come through bit-exact.
+    let mut ooo_results = Vec::with_capacity(ooo_rounds);
+    for round in 0..ooo_rounds {
+        let local = 32usize;
+        let mut groups = 2 + (rng.next_u64() % 7) as usize;
+        // No worker-depleting faults here (`StallUntilAbort`, `FatalAt`):
+        // on a small pool they starve *concurrent independent* commands —
+        // already dispatched, so never re-running the launch-entry
+        // `recover` — until those commands' own watchdogs fire. That is a
+        // pool-capacity artifact the single-queue soak already covers, not
+        // a scheduler-isolation property. The fail-fast panics are what
+        // exercise dependency-failure propagation.
+        let kind = rng.next_u64() % 3;
+        if kind == 2 {
+            groups = groups.min(workers.max(1));
+        }
+        let n = groups * local;
+        let mode = match kind {
+            0 => ChaosMode::PanicAt {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            1 => ChaosMode::PayloadBomb {
+                gid: (rng.next_u64() as usize) % n,
+            },
+            _ => ChaosMode::BarrierDesync {
+                panic_group: (rng.next_u64() as usize) % groups,
+            },
+        };
+
+        let q = ctx.queue_with(
+            QueueConfig::from_env()
+                .out_of_order(true)
+                .launch_timeout(timeout),
+        );
+        let a_buf = ctx
+            .buffer::<u32>(MemFlags::default(), n)
+            .expect("ooo buffer A");
+        let b_groups = 4usize;
+        let b_n = b_groups * local;
+        let b_buf = ctx
+            .buffer::<u32>(MemFlags::default(), b_n)
+            .expect("ooo buffer B");
+
+        let fault: Arc<dyn Kernel> = Arc::new(ChaosKernel::new(a_buf.clone(), mode, groups));
+        let head = q
+            .submit_kernel(&fault, NDRange::d1(n).local1(local), &[])
+            .expect("submit chain A head");
+        let dep1_k: Arc<dyn Kernel> =
+            Arc::new(ChaosKernel::new(a_buf.clone(), ChaosMode::Clean, groups));
+        let dep1 = q
+            .submit_kernel(
+                &dep1_k,
+                NDRange::d1(n).local1(local),
+                std::slice::from_ref(&head),
+            )
+            .expect("submit chain A dep 1");
+        let dep2_k: Arc<dyn Kernel> =
+            Arc::new(ChaosKernel::new(a_buf.clone(), ChaosMode::Clean, groups));
+        let dep2 = q
+            .submit_kernel(
+                &dep2_k,
+                NDRange::d1(n).local1(local),
+                std::slice::from_ref(&dep1),
+            )
+            .expect("submit chain A dep 2");
+        let b_events: Vec<_> = (0..3)
+            .map(|j| {
+                let k: Arc<dyn Kernel> =
+                    Arc::new(ChaosKernel::new(b_buf.clone(), ChaosMode::Clean, b_groups));
+                q.submit_kernel(&k, NDRange::d1(b_n).local1(local), &[])
+                    .unwrap_or_else(|e| panic!("submit chain B #{j}: {e}"))
+            })
+            .collect();
+        // No `finish` here: with a watchdog armed, `finish` reuses the
+        // per-launch deadline as its drain deadline, which a serialized
+        // small pool can exceed legitimately. Each event wait below blocks
+        // until that command settles, which drains the queue just as well.
+        let (fault_ok, error) = judge(&mode, &head.wait(None));
+        let dependents_failed = [&dep1, &dep2]
+            .iter()
+            .filter(|e| matches!(e.wait(None), Err(ClError::DependencyFailed { .. })))
+            .count();
+        let b_completed = b_events.iter().all(|e| e.wait(None).is_ok());
+        let mut host = vec![0u32; b_n];
+        let independent_ok =
+            b_completed && q.read_buffer(&b_buf, 0, &mut host).is_ok() && host == reference(b_n);
+        if !fault_ok || dependents_failed != 2 || !independent_ok {
+            eprintln!(
+                "cl-chaos: ooo round {round}: fault_ok={fault_ok} \
+                 dependents_failed={dependents_failed}/2 independent_ok={independent_ok}"
+            );
+        }
+        ooo_results.push(OooRound {
+            mode: mode.label(),
+            injected: format!("{mode:?}"),
+            error,
+            fault_ok,
+            dependents_failed,
+            dependents: 2,
+            independent_ok,
+        });
+    }
     let elapsed = t0.elapsed();
 
     let recovered = results.iter().filter(|r| r.error_ok && r.probe_ok).count();
     let xq_recovered = xq_results.iter().filter(|r| r.a_ok && r.b_ok).count();
+    let ooo_isolated = ooo_results.iter().filter(|r| r.ok()).count();
     fs::create_dir_all(&out_dir).expect("create output directory");
     fs::write(
         out_dir.join("chaos.md"),
         render_md(
             &results,
             &xq_results,
+            &ooo_results,
             seed,
             workers,
             timeout,
             recovered,
             xq_recovered,
+            ooo_isolated,
             elapsed,
         ),
     )
@@ -361,14 +516,28 @@ fn main() {
             );
         }
     }
+    for (i, r) in ooo_results.iter().enumerate() {
+        if !r.ok() {
+            eprintln!(
+                "cl-chaos: ooo round {i} FAILED: {} ({}), fault ok={}, dependents \
+                 failed={}/{}, independent chain ok={}",
+                r.mode, r.injected, r.fault_ok, r.dependents_failed, r.dependents, r.independent_ok
+            );
+        }
+    }
     println!(
         "cl-chaos: {recovered}/{} rounds recovered, {xq_recovered}/{} contention \
-         rounds isolated (seed {seed}, {workers} workers, timeout {timeout:?}, {:.2}s)",
+         rounds isolated, {ooo_isolated}/{} ooo subgraphs isolated \
+         (seed {seed}, {workers} workers, timeout {timeout:?}, {:.2}s)",
         results.len(),
         xq_results.len(),
+        ooo_results.len(),
         elapsed.as_secs_f64()
     );
-    if recovered != results.len() || xq_recovered != xq_results.len() {
+    if recovered != results.len()
+        || xq_recovered != xq_results.len()
+        || ooo_isolated != ooo_results.len()
+    {
         std::process::exit(1);
     }
 }
@@ -412,11 +581,13 @@ fn judge(mode: &ChaosMode, res: &Result<ocl_rt::Event, ClError>) -> (bool, Strin
 fn render_md(
     rounds: &[Round],
     xq_rounds: &[XqRound],
+    ooo_rounds: &[OooRound],
     seed: u64,
     workers: usize,
     timeout: Duration,
     recovered: usize,
     xq_recovered: usize,
+    ooo_isolated: usize,
     elapsed: Duration,
 ) -> String {
     let mut md = String::new();
@@ -489,6 +660,36 @@ fn render_md(
                 format!("{}/{}", r.b_probes, r.b_probes)
             } else {
                 "**corrupted/stalled**".to_string()
+            },
+        );
+    }
+
+    md.push_str("\n## Out-of-order subgraph isolation\n\n");
+    let _ = writeln!(
+        md,
+        "One `CL_QUEUE_OUT_OF_ORDER_EXEC_MODE` queue, two chains. Chain A \
+         takes the seeded fault at its head; its two explicitly chained \
+         dependents must be skipped with `DependencyFailed`. Chain B (three \
+         clean launches on a disjoint buffer, same queue) must complete \
+         bit-exactly. **Isolated: {ooo_isolated}/{}.**\n",
+        ooo_rounds.len()
+    );
+    md.push_str("| Round | Fault at head | Reported error | Fault ok | Dependents skipped | Independent chain |\n");
+    md.push_str("|---:|---|---|---|---|---|\n");
+    for (i, r) in ooo_rounds.iter().enumerate() {
+        let _ = writeln!(
+            md,
+            "| {} | `{}` | {} | {} | {}/{} | {} |",
+            i,
+            r.injected,
+            r.error,
+            if r.fault_ok { "yes" } else { "**NO**" },
+            r.dependents_failed,
+            r.dependents,
+            if r.independent_ok {
+                "bit-exact"
+            } else {
+                "**corrupted/stalled**"
             },
         );
     }

@@ -150,7 +150,7 @@ fn producer_consumer(workers: usize, seed: u64) -> Scenario {
             qa.write_buffer(&producer_in, 0, href).expect("write");
             qa.run(square(&producer_in, &producer_mid), NDRange::d1(N))
                 .expect("produce");
-            qa.finish();
+            qa.finish().expect("queue drains");
             tx.send(()).expect("handoff");
         });
         let (consumer_mid, consumer_out) = (mid.clone(), out.clone());
@@ -198,7 +198,7 @@ fn four_queue_tiles(workers: usize) -> Scenario {
                     NDRange::d1(len),
                 )
                 .expect("fill");
-                q.finish();
+                q.finish().expect("queue drains");
             });
         }
     });
@@ -241,7 +241,7 @@ fn tiled_pipeline(workers: usize, seed: u64) -> Scenario {
         )
         .expect("square tile");
     }
-    qa.finish(); // redundant: every write already published (blocking)
+    qa.finish().expect("queue drains"); // redundant: every write already published (blocking)
     let mut back = vec![0.0f32; N];
     qb.read_buffer(&out, 0, &mut back).expect("read");
     assert!(
@@ -292,7 +292,7 @@ fn fig9_chain(workers: usize, seed: u64) -> Scenario {
         NDRange::d1(N),
     )
     .expect("vectoradd");
-    qa.finish();
+    qa.finish().expect("queue drains");
     qb.run(square(&c, &d), NDRange::d1(N)).expect("square");
     let mut back = vec![0.0f32; N];
     qb.read_buffer(&d, 0, &mut back).expect("read");
@@ -439,7 +439,7 @@ fn seed_wrong_queue_finish(workers: usize) -> Seeded {
     let buf = ctx.buffer::<f32>(MemFlags::default(), N).expect("buf");
     let out = ctx.buffer::<f32>(MemFlags::default(), N).expect("out");
     qa.run(fill(&buf, 0, N, 5.0), NDRange::d1(N)).expect("fill");
-    qb.finish(); // wrong queue: orders nothing already enqueued on qa
+    qb.finish().expect("queue drains"); // wrong queue: orders nothing already enqueued on qa
     qb.run(tsq(&buf, &out, 0, N), NDRange::d1(N)).expect("sq");
     judge("finish on wrong queue", &ctx, HbLintKind::CrossQueueRace)
 }

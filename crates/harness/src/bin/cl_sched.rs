@@ -1,0 +1,609 @@
+//! `cl-sched` — randomized out-of-order scheduler fuzz + oracle validation.
+//!
+//! ```text
+//! cl-sched [--dags N] [--bug-reps N] [--seed S] [--out DIR] [--stable]
+//!
+//!   --dags N      random DAG replays per device config (default: 60)
+//!   --bug-reps N  repetitions of each seeded-bug scenario (default: 3)
+//!   --seed S      base PRNG seed for DAG generation (default: 11)
+//!   --out DIR     output directory for sched.md (default: results)
+//!   --stable      accepted for CI symmetry; the report is deterministic
+//! ```
+//!
+//! Three experiments, any failure exits nonzero:
+//!
+//! 1. **Randomized DAG replays.** Each round generates a random command DAG
+//!    — [`cl_kernels::sched::MulAdd`] nodes over 1–3 buffers, explicit wait
+//!    lists, user events, markers and barriers — and submits it into an
+//!    out-of-order queue on each device config (native CPU at two worker
+//!    counts, both modeled devices). Oracles: the buffers are **bit-exact**
+//!    against the in-order serial reference (MulAdd is non-commutative, so
+//!    any illegal same-buffer reorder corrupts the bytes), the completion
+//!    ticks **linearize** the event graph ([`ocl_rt::check_linearization`]),
+//!    every event completed exactly once, and the queue's `TraceLog` shows
+//!    exactly one clean launch span per kernel node with dependency windows
+//!    that never overlap (span timestamps certify the schedule the pool
+//!    actually ran).
+//!
+//! 2. **Seeded-bug sweep.** Every [`ocl_rt::SchedBug`] is armed in a
+//!    targeted scenario whose oracle must catch it deterministically,
+//!    `--bug-reps` times out of `--bug-reps`: a dropped or premature edge
+//!    completes a gated command before its user event signals (tick
+//!    inversion), a lost wakeup strands a dependent until the finish
+//!    watchdog trips, a double dispatch completes an event twice, a skipped
+//!    command breaks bit-exactness and records no launch span.
+//!
+//! 3. **Wide-DAG overlap.** A fan of independent single-buffer commands runs
+//!    through an in-order queue and an out-of-order queue; the speedup is
+//!    printed (and measured nightly by `cl-bench sched/dag-throughput`, the
+//!    gated copy — wall-clock numbers stay out of the drift-tracked report).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cl_kernels::sched::{muladd_ref, MulAdd, Nap};
+use cl_util::XorShift;
+use ocl_rt::{
+    check_linearization, user_event, ClError, Context, Device, EventRef, EventStatus, Kernel,
+    MemFlags, NDRange, QueueConfig, SchedBug, SpanKind,
+};
+use perf_model::{CpuSpec, GpuSpec};
+
+const BUF_LEN: usize = 256;
+
+/// One node of a generated DAG.
+enum NodeKind {
+    /// MulAdd on buffer `buf` with coefficients `(mul, add)`.
+    Kernel { buf: usize, mul: u32, add: u32 },
+    /// Marker with an empty wait list (waits everything pending).
+    Marker,
+    /// Barrier with an empty wait list (fences the pipeline).
+    Barrier,
+}
+
+struct DagSpec {
+    n_bufs: usize,
+    nodes: Vec<NodeKind>,
+    /// Explicit wait-list edges `(from_node, to_node)`.
+    explicit: Vec<(usize, usize)>,
+    /// Nodes gated on a user event.
+    gated: Vec<usize>,
+}
+
+fn gen_dag(rng: &mut XorShift) -> DagSpec {
+    let n_bufs = rng.range_usize(1, 4);
+    let n_nodes = rng.range_usize(6, 13);
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut explicit = Vec::new();
+    let mut gated = Vec::new();
+    for i in 0..n_nodes {
+        let roll = rng.next_f64();
+        if i > 0 && roll < 0.08 {
+            nodes.push(NodeKind::Barrier);
+            continue;
+        }
+        if i > 0 && roll < 0.2 {
+            nodes.push(NodeKind::Marker);
+            continue;
+        }
+        nodes.push(NodeKind::Kernel {
+            buf: rng.range_usize(0, n_bufs),
+            // Odd multiplier ≥ 3 and nonzero addend: never the identity,
+            // and distinct coefficients keep applications non-commuting.
+            mul: 3 + 2 * rng.range_u32(1000),
+            add: 1 + rng.range_u32(1000),
+        });
+        if i > 0 && rng.chance(0.3) {
+            explicit.push((rng.range_usize(0, i), i));
+        }
+        if rng.chance(0.1) {
+            gated.push(i);
+        }
+    }
+    DagSpec {
+        n_bufs,
+        nodes,
+        explicit,
+        gated,
+    }
+}
+
+/// Replay one DAG on an out-of-order queue and run every oracle. Returns
+/// the violations found (empty = clean round).
+fn replay_dag(ctx: &Context, spec: &DagSpec, native: bool) -> Vec<String> {
+    let mut violations = Vec::new();
+    let q = ctx.queue_with(QueueConfig::default().out_of_order(true).tracing(true));
+    let bufs: Vec<_> = (0..spec.n_bufs)
+        .map(|_| ctx.buffer::<u32>(MemFlags::default(), BUF_LEN).unwrap())
+        .collect();
+    let init: Vec<u32> = (0..BUF_LEN as u32)
+        .map(|x| x.wrapping_mul(2654435761))
+        .collect();
+    let mut reference: Vec<Vec<u32>> = Vec::new();
+    for b in &bufs {
+        q.write_buffer(b, 0, &init).unwrap();
+        reference.push(init.clone());
+    }
+
+    // Submit the DAG, tracking every ordering edge the scheduler must honor.
+    let mut events: Vec<EventRef> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut user_events = Vec::new();
+    let mut last_on_buf: Vec<Option<usize>> = vec![None; spec.n_bufs];
+    for (i, node) in spec.nodes.iter().enumerate() {
+        let mut wait: Vec<EventRef> = spec
+            .explicit
+            .iter()
+            .filter(|&&(_, to)| to == i)
+            .map(|&(from, _)| events[from].clone())
+            .collect();
+        for &(from, to) in &spec.explicit {
+            if to == i {
+                edges.push((from, i));
+            }
+        }
+        if spec.gated.contains(&i) {
+            let ue = user_event();
+            wait.push(ue.event());
+            user_events.push((ue, i));
+        }
+        let ev = match node {
+            NodeKind::Kernel { buf, mul, add } => {
+                if let Some(prev) = last_on_buf[*buf] {
+                    // Same-buffer hazard: the scheduler must auto-infer it.
+                    edges.push((prev, i));
+                }
+                last_on_buf[*buf] = Some(i);
+                muladd_ref(&mut reference[*buf], *mul, *add);
+                let k: Arc<dyn Kernel> = Arc::new(MulAdd {
+                    data: bufs[*buf].clone(),
+                    mul: *mul,
+                    add: *add,
+                    iters: 1,
+                    label: format!("n{i:02}"),
+                });
+                q.submit_kernel(&k, NDRange::d1(BUF_LEN), &wait).unwrap()
+            }
+            NodeKind::Marker => {
+                // Empty wait list: orders after everything pending.
+                edges.extend((0..i).map(|p| (p, i)));
+                q.submit_marker(&[]).unwrap()
+            }
+            NodeKind::Barrier => {
+                edges.extend((0..i).map(|p| (p, i)));
+                edges.extend((i + 1..spec.nodes.len()).map(|l| (i, l)));
+                q.submit_barrier(&[]).unwrap()
+            }
+        };
+        events.push(ev);
+    }
+
+    // Release the gates; gated commands (and their subgraphs) may only
+    // complete after these ticks.
+    for (ue, gated_node) in user_events {
+        let ev = ue.event();
+        edges.push((events.len(), gated_node));
+        events.push(ev);
+        ue.signal();
+    }
+
+    if let Err(e) = q.finish() {
+        violations.push(format!("finish failed: {e}"));
+    }
+
+    // Oracle 1: bit-exact against the in-order serial reference.
+    for (bi, b) in bufs.iter().enumerate() {
+        let mut got = vec![0u32; BUF_LEN];
+        q.read_buffer(b, 0, &mut got).unwrap();
+        if got != reference[bi] {
+            let first = got
+                .iter()
+                .zip(&reference[bi])
+                .position(|(g, w)| g != w)
+                .unwrap();
+            violations.push(format!(
+                "buffer {bi} diverged from in-order reference at elem {first}: {} != {}",
+                got[first], reference[bi][first]
+            ));
+        }
+    }
+
+    // Oracle 2: completion ticks linearize the event graph, each event
+    // completed exactly once.
+    violations.extend(check_linearization(&events, &edges));
+
+    // Oracle 3: the TraceLog agrees — one clean launch span per kernel
+    // node, and a dependency's execution window never overlaps its
+    // dependent's (submit timestamps are host wall-clock on every device;
+    // completion wall-clock only on native).
+    let trace = q.trace().expect("tracing queue");
+    let launches: Vec<_> = trace
+        .spans()
+        .into_iter()
+        .filter(|s| s.kind == SpanKind::Launch)
+        .collect();
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if !matches!(node, NodeKind::Kernel { .. }) {
+            continue;
+        }
+        let label = format!("n{i:02}");
+        let spans: Vec<_> = launches.iter().filter(|s| s.label == label).collect();
+        match spans.as_slice() {
+            [s] if s.ok => {}
+            [s] => violations.push(format!("launch span for {label} not ok: {s:?}")),
+            other => violations.push(format!(
+                "expected exactly one launch span for {label}, got {}",
+                other.len()
+            )),
+        }
+    }
+    let span_of = |i: usize| {
+        let label = format!("n{i:02}");
+        launches.iter().find(|s| s.label == label)
+    };
+    for &(a, b) in &edges {
+        if a >= spec.nodes.len() || b >= spec.nodes.len() {
+            continue; // user-event side: no launch span
+        }
+        if let (Some(sa), Some(sb)) = (span_of(a), span_of(b)) {
+            if sa.profiling.started_ns > sb.profiling.submitted_ns {
+                violations.push(format!(
+                    "trace overlap on edge n{a:02} -> n{b:02}: dep started at {} but dependent was submitted at {}",
+                    sa.profiling.started_ns, sb.profiling.submitted_ns
+                ));
+            }
+            if native && sa.profiling.completed_ns > sb.profiling.submitted_ns {
+                violations.push(format!(
+                    "trace overlap on edge n{a:02} -> n{b:02}: dep completed at {} after dependent submit at {}",
+                    sa.profiling.completed_ns, sb.profiling.submitted_ns
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn muladd(buf: &ocl_rt::Buffer<u32>, mul: u32, add: u32, label: &str) -> Arc<dyn Kernel> {
+    Arc::new(MulAdd {
+        data: buf.clone(),
+        mul,
+        add,
+        iters: 1,
+        label: label.to_string(),
+    })
+}
+
+/// Run one seeded-bug scenario; returns the oracle violations (the bug is
+/// caught iff they are nonempty).
+fn bug_scenario(bug: SchedBug) -> Vec<String> {
+    let ctx = Context::new(Device::native_cpu(2).expect("native device"));
+    let mut violations = Vec::new();
+    match bug {
+        SchedBug::DropEdge | SchedBug::PrematureReady => {
+            // A command gated on an unsignalled user event must stay
+            // pending; both bugs dispatch it early, inverting the
+            // user-event -> command tick order.
+            let q = ctx.queue_with(QueueConfig::default().out_of_order(true).sched_bug(bug));
+            let buf = ctx.buffer::<u32>(MemFlags::default(), BUF_LEN).unwrap();
+            q.write_buffer(&buf, 0, &vec![1u32; BUF_LEN]).unwrap();
+            let gate = user_event();
+            let ev = q
+                .submit_kernel(
+                    &muladd(&buf, 3, 7, "gated"),
+                    NDRange::d1(BUF_LEN),
+                    &[gate.event()],
+                )
+                .unwrap();
+            // Give a buggy scheduler time to (wrongly) run the command.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while ev.status() == EventStatus::Pending && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let gate_ev = gate.event();
+            gate.signal();
+            if q.finish().is_err() {
+                violations.push("finish failed".into());
+            }
+            violations.extend(check_linearization(&[gate_ev, ev], &[(0, 1)]));
+        }
+        SchedBug::LostWakeup => {
+            // The dependent of the first completion never wakes; the finish
+            // watchdog must trip and fail it rather than hang.
+            let q = ctx.queue_with(
+                QueueConfig::default()
+                    .out_of_order(true)
+                    .sched_bug(bug)
+                    .launch_timeout(Duration::from_millis(500)),
+            );
+            let buf = ctx.buffer::<u32>(MemFlags::default(), BUF_LEN).unwrap();
+            q.write_buffer(&buf, 0, &vec![1u32; BUF_LEN]).unwrap();
+            let a = q
+                .submit_kernel(&muladd(&buf, 3, 7, "a"), NDRange::d1(BUF_LEN), &[])
+                .unwrap();
+            let b = q
+                .submit_kernel(
+                    &muladd(&buf, 5, 11, "b"),
+                    NDRange::d1(BUF_LEN),
+                    std::slice::from_ref(&a),
+                )
+                .unwrap();
+            match q.finish() {
+                Err(ClError::FinishTimedOut { .. }) => {
+                    violations.push("finish watchdog tripped on stranded dependent".into());
+                }
+                Err(e) => violations.push(format!("finish failed: {e}")),
+                Ok(()) => {}
+            }
+            if b.status() == EventStatus::Failed {
+                violations.push("dependent stranded by lost wakeup".into());
+            }
+        }
+        SchedBug::DoubleDispatch => {
+            let q = ctx.queue_with(QueueConfig::default().out_of_order(true).sched_bug(bug));
+            let buf = ctx.buffer::<u32>(MemFlags::default(), BUF_LEN).unwrap();
+            q.write_buffer(&buf, 0, &vec![1u32; BUF_LEN]).unwrap();
+            let ev = q
+                .submit_kernel(&muladd(&buf, 3, 7, "a"), NDRange::d1(BUF_LEN), &[])
+                .unwrap();
+            if q.finish().is_err() {
+                violations.push("finish failed".into());
+            }
+            violations.extend(check_linearization(&[ev], &[]));
+        }
+        SchedBug::SkipCommand => {
+            let q = ctx.queue_with(
+                QueueConfig::default()
+                    .out_of_order(true)
+                    .sched_bug(bug)
+                    .tracing(true),
+            );
+            let buf = ctx.buffer::<u32>(MemFlags::default(), BUF_LEN).unwrap();
+            q.write_buffer(&buf, 0, &vec![1u32; BUF_LEN]).unwrap();
+            let _ev = q
+                .submit_kernel(&muladd(&buf, 3, 7, "a"), NDRange::d1(BUF_LEN), &[])
+                .unwrap();
+            if q.finish().is_err() {
+                violations.push("finish failed".into());
+            }
+            let mut got = vec![0u32; BUF_LEN];
+            q.read_buffer(&buf, 0, &mut got).unwrap();
+            if got != vec![3u32 + 7; BUF_LEN] {
+                violations.push("skipped command left the buffer untouched".into());
+            }
+            let trace = q.trace().expect("tracing queue");
+            if !trace.spans().iter().any(|s| s.kind == SpanKind::Launch) {
+                violations.push("no launch span recorded for the skipped command".into());
+            }
+        }
+    }
+    violations
+}
+
+/// Wall-clock a fan of `n` independent narrow commands, in-order vs
+/// out-of-order. Each command is one workgroup napping `millis` on its own
+/// buffer — a fixed-latency, device-underutilizing command. The in-order
+/// queue serializes the naps; the out-of-order queue overlaps them across
+/// the pool (a sleeping command costs no CPU, so the overlap is visible
+/// even on a single-core CI host): exactly the workload
+/// `CL_QUEUE_OUT_OF_ORDER_EXEC_MODE` exists for.
+fn wide_dag_seconds(ctx: &Context, n: usize, millis: u64, ooo: bool) -> f64 {
+    let cfg = QueueConfig::default().out_of_order(ooo);
+    let q = ctx.queue_with(cfg);
+    let bufs: Vec<_> = (0..n)
+        .map(|_| ctx.buffer::<u32>(MemFlags::default(), 16).unwrap())
+        .collect();
+    for b in &bufs {
+        q.write_buffer(b, 0, &[1u32; 16]).unwrap();
+    }
+    let kernels: Vec<Arc<dyn Kernel>> = bufs
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            Arc::new(Nap {
+                data: b.clone(),
+                millis,
+                label: format!("w{i:02}"),
+            }) as Arc<dyn Kernel>
+        })
+        .collect();
+    let range = NDRange::d1(16).local1(16);
+    let t0 = Instant::now();
+    for k in &kernels {
+        q.submit_kernel(k, range, &[]).unwrap();
+    }
+    q.finish().unwrap();
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dags = 60usize;
+    let mut bug_reps = 3usize;
+    let mut seed = 11u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dags" => {
+                i += 1;
+                dags = args[i].parse().expect("--dags needs a number");
+            }
+            "--bug-reps" => {
+                i += 1;
+                bug_reps = args[i].parse().expect("--bug-reps needs a number");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed needs a number");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--stable" => {}
+            "--help" | "-h" => {
+                println!(
+                    "usage: cl-sched [--dags N] [--bug-reps N] [--seed S] [--out DIR] [--stable]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+    let mut md = String::new();
+    let _ = writeln!(md, "# Out-of-order scheduler fuzz (`cl-sched`)\n");
+    let _ = writeln!(
+        md,
+        "Random command DAGs (non-commutative `MulAdd` nodes, explicit wait \
+         lists, user events, markers, barriers) replayed through an \
+         out-of-order queue on every device config. Oracles per round: \
+         bit-exact result vs the in-order serial reference, completion ticks \
+         linearize the event graph, every event completes exactly once, and \
+         the trace shows one clean launch span per kernel node with \
+         non-overlapping dependency windows.\n"
+    );
+
+    // ---- Experiment 1: randomized DAG replays --------------------------
+    let configs: Vec<(&str, Device, bool)> = vec![
+        (
+            "native-cpu w=2",
+            Device::native_cpu(2).expect("native"),
+            true,
+        ),
+        (
+            "native-cpu w=4",
+            Device::native_cpu(4).expect("native"),
+            true,
+        ),
+        (
+            "modeled-cpu (Xeon E5645)",
+            Device::modeled_cpu(CpuSpec::xeon_e5645()),
+            false,
+        ),
+        (
+            "modeled-gpu (GTX 580)",
+            Device::modeled_gpu(GpuSpec::gtx580()),
+            false,
+        ),
+    ];
+    let _ = writeln!(md, "## Randomized DAG replays\n");
+    let _ = writeln!(
+        md,
+        "| Device config | Rounds | Commands | Edges | Violations |"
+    );
+    let _ = writeln!(md, "|---|---:|---:|---:|---:|");
+    let mut total_rounds = 0usize;
+    for (name, device, native) in &configs {
+        let ctx = Context::new(device.clone());
+        let mut rng = XorShift::seed_from_u64(seed);
+        let (mut n_cmds, mut n_edges, mut n_viol) = (0usize, 0usize, 0usize);
+        for round in 0..dags {
+            let spec = gen_dag(&mut rng);
+            n_cmds += spec.nodes.len();
+            n_edges += spec.explicit.len() + spec.gated.len();
+            let violations = replay_dag(&ctx, &spec, *native);
+            if !violations.is_empty() {
+                n_viol += violations.len();
+                failed = true;
+                eprintln!("FAIL [{name}] round {round}:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+            }
+            total_rounds += 1;
+        }
+        println!(
+            "replay [{name}]: {dags} rounds, {n_cmds} commands, {} violations",
+            n_viol
+        );
+        let _ = writeln!(md, "| {name} | {dags} | {n_cmds} | {n_edges} | {n_viol} |");
+    }
+    let _ = writeln!(md);
+    println!("total replays: {total_rounds}");
+
+    // ---- Experiment 2: seeded-bug sweep --------------------------------
+    let _ = writeln!(md, "## Seeded-bug sweep\n");
+    let _ = writeln!(
+        md,
+        "Each defect is armed via `QueueConfig::sched_bug` in a targeted \
+         scenario; the oracle must catch it every repetition.\n"
+    );
+    let _ = writeln!(md, "| Seeded bug | Scenario | Caught |");
+    let _ = writeln!(md, "|---|---|---:|");
+    for bug in SchedBug::ALL {
+        let scenario = match bug {
+            SchedBug::DropEdge | SchedBug::PrematureReady => {
+                "command gated on an unsignalled user event"
+            }
+            SchedBug::LostWakeup => "two-command chain, finish watchdog armed",
+            SchedBug::DoubleDispatch => "single command, completion count oracle",
+            SchedBug::SkipCommand => "single command, bit-exactness + trace oracle",
+        };
+        let mut caught = 0usize;
+        for _ in 0..bug_reps {
+            if !bug_scenario(bug).is_empty() {
+                caught += 1;
+            }
+        }
+        println!("bug [{}]: caught {caught}/{bug_reps}", bug.name());
+        let _ = writeln!(
+            md,
+            "| `{}` | {scenario} | {caught}/{bug_reps} |",
+            bug.name()
+        );
+        if caught != bug_reps {
+            failed = true;
+            eprintln!("FAIL: seeded bug {} escaped the oracle", bug.name());
+        }
+    }
+    let _ = writeln!(md);
+
+    // ---- Experiment 3: wide-DAG overlap --------------------------------
+    let ctx = Context::new(Device::native_cpu(4).expect("native"));
+    let (n, millis) = (24usize, 10u64);
+    let t_in = wide_dag_seconds(&ctx, n, millis, false);
+    let t_ooo = wide_dag_seconds(&ctx, n, millis, true);
+    let speedup = t_in / t_ooo.max(1e-12);
+    println!(
+        "wide DAG ({n} independent single-group {millis}ms commands): \
+         in-order {:.3} ms, out-of-order {:.3} ms, speedup {speedup:.2}x",
+        t_in * 1e3,
+        t_ooo * 1e3
+    );
+    let _ = writeln!(md, "## Wide-DAG overlap\n");
+    let _ = writeln!(
+        md,
+        "A fan of {n} provably independent single-group fixed-latency commands ({millis} ms each) is \
+         replayed through an in-order and an out-of-order queue on the native \
+         device. Wall-clock numbers are intentionally not recorded here (this \
+         report is drift-tracked); the gated measurement is \
+         `sched/dag-throughput` in `cl-bench`, which must show the \
+         out-of-order queue ahead of the in-order baseline.\n"
+    );
+
+    let _ = writeln!(
+        md,
+        "Verdict: **{}** — {} replay rounds across {} device configs.",
+        if failed { "FAIL" } else { "PASS" },
+        total_rounds,
+        configs.len()
+    );
+
+    fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = out_dir.join("sched.md");
+    fs::write(&path, &md).expect("write sched.md");
+    println!("wrote {}", path.display());
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -197,6 +197,14 @@ impl Kernel for ChaosKernel {
             }
         }
     }
+
+    fn buffer_bindings(&self) -> Vec<ocl_rt::ArgBinding> {
+        // No access spec, so the flow lowering falls back to a
+        // whole-window footprint on `out` — precise enough for an
+        // out-of-order scheduler to keep chaos launches on *disjoint*
+        // buffers independent, which the `--ooo-rounds` soak relies on.
+        vec![ocl_rt::ArgBinding::of("out", &self.out)]
+    }
 }
 
 #[cfg(test)]

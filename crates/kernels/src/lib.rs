@@ -31,6 +31,11 @@
 //! scenarios: their access specs pin each launch to an exact
 //! `[base, base+len)` window of a shared buffer, so the happens-before
 //! analysis can prove disjoint tiles independent.
+//!
+//! [`sched`] holds the non-commutative `MulAdd` fixture behind the
+//! `cl-sched` out-of-order scheduler harness: reordering two applications
+//! on the same buffer changes the bytes, so the bit-exactness oracle
+//! detects any dropped dependency edge.
 
 pub mod access;
 pub mod apps;
@@ -40,6 +45,7 @@ pub mod mbench;
 pub mod parboil;
 pub mod race;
 pub mod registry;
+pub mod sched;
 pub mod util;
 
 pub use registry::{parboil_kernels, simple_apps, AppEntry};

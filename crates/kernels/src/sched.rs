@@ -1,0 +1,154 @@
+//! Fixture kernels for the `cl-sched` out-of-order scheduler harness.
+//!
+//! The harness builds random command DAGs and checks that every legal
+//! schedule produces the in-order result bit-exactly. That needs a kernel
+//! whose per-command effect is **non-commutative** — reordering two of them
+//! on the same buffer must change the bytes, or a dropped dependency edge
+//! would go unnoticed. [`MulAdd`] applies `x ↦ x·mul + add` (wrapping u32
+//! arithmetic, exact on every device), and
+//! `(a·m₁+c₁)·m₂+c₂ ≠ (a·m₂+c₂)·m₁+c₁` for almost every coefficient pair,
+//! so a swapped pair of same-buffer commands corrupts the result
+//! deterministically. [`muladd_ref`] is the serial oracle.
+
+use cl_analyze::{Affine, Guard, SpecBuilder, Var};
+use ocl_rt::{ArgBinding, Buffer, GroupCtx, Kernel, KernelProfile, ResolvedRange};
+
+/// `data[i] = data[i] * mul + add` (wrapping) for every item of the launch.
+/// Launch with `NDRange::d1(data.len())`.
+pub struct MulAdd {
+    pub data: Buffer<u32>,
+    pub mul: u32,
+    pub add: u32,
+    /// Applications of `x ↦ x·mul + add` per item (≥ 1). DAG fuzz rounds
+    /// use 1; the throughput experiments crank it up so one narrow command
+    /// carries real work.
+    pub iters: u32,
+    /// Kernel name. The harness names each DAG node uniquely (`n03`, …) so
+    /// trace launch spans map back to nodes; plain uses pick `"mul_add"`.
+    pub label: String,
+}
+
+impl Kernel for MulAdd {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let d = self.data.view_mut();
+        let (mul, add, iters) = (self.mul, self.add, self.iters.max(1));
+        g.for_each(|wi| {
+            let i = wi.global_id(0);
+            let mut x = d.get(i);
+            for _ in 0..iters {
+                x = x.wrapping_mul(mul).wrapping_add(add);
+            }
+            d.set(i, x);
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(2.0, 8.0)
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+        let data = b.buffer("data", self.data.len());
+        let idx = Affine::of(Var::GlobalLinear);
+        b.read(data, idx.clone(), Guard::Always);
+        b.write(data, idx, Guard::Always);
+        Some(b.finish())
+    }
+
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        vec![ArgBinding::of("data", &self.data)]
+    }
+}
+
+/// A fixed-latency command: each workgroup sleeps `millis` while holding a
+/// whole-window footprint on `data` (no access spec, so the flow lowering
+/// is conservative per buffer — naps on disjoint buffers are still proven
+/// independent). Stands in for a narrow, device-underutilizing command in
+/// the scheduler throughput experiments: overlap across sleeping commands
+/// is visible even on a single-core host, so the measurement survives
+/// constrained CI containers.
+pub struct Nap {
+    pub data: Buffer<u32>,
+    pub millis: u64,
+    pub label: String,
+}
+
+impl Kernel for Nap {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run_group(&self, _g: &mut GroupCtx) {
+        std::thread::sleep(std::time::Duration::from_millis(self.millis));
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(1.0, 8.0)
+    }
+
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        vec![ArgBinding::of("data", &self.data)]
+    }
+}
+
+/// Serial oracle for one [`MulAdd`] application (`iters = 1`) over a host
+/// vector.
+pub fn muladd_ref(data: &mut [u32], mul: u32, add: u32) {
+    for x in data {
+        *x = x.wrapping_mul(mul).wrapping_add(add);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocl_rt::{Context, Device, MemFlags, NDRange};
+
+    #[test]
+    fn muladd_matches_reference_and_is_order_sensitive() {
+        let ctx = Context::new(Device::native_cpu(2).unwrap());
+        let q = ctx.queue();
+        let n = 128;
+        let init: Vec<u32> = (0..n as u32).collect();
+        let buf = ctx.buffer::<u32>(MemFlags::default(), n).unwrap();
+        q.write_buffer(&buf, 0, &init).unwrap();
+        q.run(
+            MulAdd {
+                data: buf.clone(),
+                mul: 3,
+                add: 7,
+                iters: 1,
+                label: "mul_add".into(),
+            },
+            NDRange::d1(n),
+        )
+        .unwrap();
+        q.run(
+            MulAdd {
+                data: buf.clone(),
+                mul: 5,
+                add: 11,
+                iters: 1,
+                label: "mul_add".into(),
+            },
+            NDRange::d1(n),
+        )
+        .unwrap();
+        let mut want = init.clone();
+        muladd_ref(&mut want, 3, 7);
+        muladd_ref(&mut want, 5, 11);
+        let mut got = vec![0u32; n];
+        q.read_buffer(&buf, 0, &mut got).unwrap();
+        assert_eq!(got, want);
+        // The swapped order is a different function — the property the
+        // harness's bit-exactness oracle rests on.
+        let mut swapped = init;
+        muladd_ref(&mut swapped, 5, 11);
+        muladd_ref(&mut swapped, 3, 7);
+        assert_ne!(got, swapped);
+    }
+}

@@ -28,6 +28,11 @@ pub struct TenantConfig {
     /// Launch watchdog for the tenant's queue; `None` falls back to
     /// [`ServeConfig::launch_timeout`].
     pub launch_timeout: Option<Duration>,
+    /// Opt the tenant's queue into `CL_QUEUE_OUT_OF_ORDER_EXEC_MODE`:
+    /// commands land in the per-queue pending DAG and run as soon as their
+    /// auto-inferred or explicit dependencies complete. Per tenant, so one
+    /// tenant's reordering never changes a neighbour's stream semantics.
+    pub out_of_order: bool,
 }
 
 impl Default for TenantConfig {
@@ -40,6 +45,7 @@ impl Default for TenantConfig {
             retry: RetryPolicy::default(),
             fault_budget: None,
             launch_timeout: None,
+            out_of_order: false,
         }
     }
 }
@@ -49,7 +55,8 @@ impl TenantConfig {
     /// `CL_SERVE_WEIGHT`, `CL_SERVE_MAX_INFLIGHT`,
     /// `CL_SERVE_MAX_PENDING_BYTES`, `CL_SERVE_RETRIES`,
     /// `CL_SERVE_BACKOFF_BASE_US`, `CL_SERVE_BACKOFF_CAP_MS`,
-    /// `CL_SERVE_FAULT_BUDGET` (0 disables).
+    /// `CL_SERVE_FAULT_BUDGET` (0 disables), `CL_SERVE_OOO` (1 opts the
+    /// tenant queue into out-of-order execution).
     pub fn from_env() -> Self {
         let mut c = TenantConfig::default();
         if let Some(w) = env_parse::<u32>("CL_SERVE_WEIGHT") {
@@ -72,6 +79,9 @@ impl TenantConfig {
         }
         if let Some(n) = env_parse::<u32>("CL_SERVE_FAULT_BUDGET") {
             c.fault_budget = (n > 0).then_some(n);
+        }
+        if let Some(v) = env_parse::<u8>("CL_SERVE_OOO") {
+            c.out_of_order = v != 0;
         }
         c
     }
@@ -115,6 +125,12 @@ impl TenantConfig {
     /// Set the tenant's launch watchdog.
     pub fn launch_timeout(mut self, t: Duration) -> Self {
         self.launch_timeout = Some(t);
+        self
+    }
+
+    /// Opt the tenant's queue into out-of-order execution.
+    pub fn out_of_order(mut self, on: bool) -> Self {
+        self.out_of_order = on;
         self
     }
 }
@@ -215,5 +231,19 @@ mod tests {
         assert_eq!(t.weight, 1);
         assert_eq!(t.max_inflight, 1);
         assert_eq!(TenantConfig::default().fault_budget(0).fault_budget, None);
+    }
+
+    #[test]
+    fn ooo_defaults_off_and_env_opts_in() {
+        assert!(!TenantConfig::default().out_of_order);
+        assert!(TenantConfig::default().out_of_order(true).out_of_order);
+        // Serialized against nothing: this is the only test in the crate
+        // touching CL_SERVE_OOO.
+        std::env::set_var("CL_SERVE_OOO", "1");
+        assert!(TenantConfig::from_env().out_of_order);
+        std::env::set_var("CL_SERVE_OOO", "0");
+        assert!(!TenantConfig::from_env().out_of_order);
+        std::env::remove_var("CL_SERVE_OOO");
+        assert!(!TenantConfig::from_env().out_of_order);
     }
 }

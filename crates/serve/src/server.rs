@@ -50,6 +50,7 @@ impl Server {
         let ctx = Context::new_with(self.device.clone(), ContextConfig::default());
         let qcfg = QueueConfig {
             launch_timeout: cfg.launch_timeout.or(self.cfg.launch_timeout),
+            out_of_order: cfg.out_of_order,
             ..QueueConfig::default()
         };
         let queue = ctx.queue_with(qcfg);

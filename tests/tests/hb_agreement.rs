@@ -86,8 +86,8 @@ fn synced_round(device: &str, ctx: &Context, rng: &mut XorShift) {
         };
         q.run(fill(&buf, t), NDRange::d1(LEN)).expect("fill");
     }
-    qa.finish();
-    qb.finish();
+    qa.finish().unwrap();
+    qb.finish().unwrap();
     for &t in &shuffled(rng) {
         let q = if rng.next_u64().is_multiple_of(2) {
             &qa
@@ -97,8 +97,8 @@ fn synced_round(device: &str, ctx: &Context, rng: &mut XorShift) {
         q.run(tile_square(&buf, &out, t), NDRange::d1(LEN))
             .expect("square");
     }
-    qa.finish();
-    qb.finish();
+    qa.finish().unwrap();
+    qb.finish().unwrap();
     let mut back = vec![0.0f32; N];
     qa.read_buffer(&out, 0, &mut back).expect("read");
     for (i, &x) in back.iter().enumerate() {
@@ -212,7 +212,7 @@ fn mixed_schedule_keeps_proven_edges_while_catching_the_race() {
         let out = ctx.buffer::<f32>(MemFlags::default(), N).expect("out");
         // Tile 0: properly handed off (fill, finish, square).
         qa.run(fill(&buf, 0), NDRange::d1(LEN)).expect("fill 0");
-        qa.finish();
+        qa.finish().unwrap();
         qb.run(tile_square(&buf, &out, 0), NDRange::d1(LEN))
             .expect("square 0");
         // Tile 1: unsynced cross-queue handoff — the seeded race.
@@ -238,4 +238,67 @@ fn mixed_schedule_keeps_proven_edges_while_catching_the_race() {
         );
     }
     std::env::remove_var("CL_SKIP_STATIC_CHECK");
+}
+
+/// Regression: a legacy in-order stream auto-reordered by an out-of-order
+/// queue must stay race-free under `cl-race`'s offline layers. The OOO
+/// scheduler replaces program order with auto-inferred footprint edges;
+/// those edges flow into the happens-before log via `ooo_waits`, so every
+/// same-buffer conflict must still come out proven-ordered — zero Racy
+/// pairs — and the vector clocks must agree, shuffle after shuffle, on
+/// every device kind.
+#[test]
+fn ooo_auto_reordered_legacy_stream_stays_race_free() {
+    use ocl_rt::QueueConfig;
+    for (device, ctx) in race_ctxs() {
+        let mut rng = XorShift::seed_from_u64(0x5EED0_u64 ^ device.len() as u64);
+        for round in 0..4 {
+            let log = ctx.race().expect("recording on");
+            log.clear();
+            let q = ctx.queue_with(QueueConfig::default().out_of_order(true));
+            let buf = ctx.buffer::<f32>(MemFlags::default(), N).expect("buf");
+            let out = ctx.buffer::<f32>(MemFlags::default(), N).expect("out");
+            // The legacy stream: fill every tile, then square every tile,
+            // in shuffled tile order with no explicit wait lists. The OOO
+            // queue is free to run disjoint tiles concurrently but must
+            // chain each tile's fill before its square.
+            for &t in &shuffled(&mut rng) {
+                q.run(fill(&buf, t), NDRange::d1(LEN)).expect("fill");
+            }
+            for &t in &shuffled(&mut rng) {
+                q.run(tile_square(&buf, &out, t), NDRange::d1(LEN))
+                    .expect("square");
+            }
+            q.finish().unwrap();
+            let mut back = vec![0.0f32; N];
+            q.read_buffer(&out, 0, &mut back).expect("read");
+            for (i, &x) in back.iter().enumerate() {
+                let v = (i / LEN + 1) as f32;
+                assert_eq!(x, v * v, "{device} round {round}: element {i}");
+            }
+
+            let (analysis, vc) = log.check();
+            assert!(
+                !analysis.has_races(),
+                "{device} round {round}: cl-race flagged the auto-reordered \
+                 legacy stream: {:?}",
+                analysis.races().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                analysis.errors().count(),
+                0,
+                "{device} round {round}: error findings on the OOO stream"
+            );
+            assert!(
+                vc.agrees(),
+                "{device} round {round}: static/dynamic disagreement: {:?}",
+                vc.disagreements
+            );
+            assert!(
+                vc.races.is_empty(),
+                "{device} round {round}: dynamic races on the OOO stream: {:?}",
+                vc.races
+            );
+        }
+    }
 }

@@ -294,3 +294,89 @@ fn launch_with_retry_rides_out_transient_backpressure() {
     assert!(s.retries >= 1, "retries must be accounted: {s:?}");
     assert_eq!(s.launches, 1, "only the successful launch counts: {s:?}");
 }
+
+// --- Out-of-order tenant queues ------------------------------------------
+
+/// A tenant opted into `TenantConfig::out_of_order` routes its launches
+/// through the pending-DAG scheduler: an order-sensitive same-buffer chain
+/// must still come out bit-exact (auto-inferred dependencies), while a
+/// default in-order neighbor on the same server stays untouched — the
+/// opt-in is per tenant, not per server.
+#[test]
+fn ooo_tenant_chains_stay_exact_and_neighbors_stay_in_order() {
+    use cl_kernels::sched::{muladd_ref, MulAdd};
+    const N: usize = 256;
+    let srv = Server::new(2, ServeConfig::default()).unwrap();
+    let ooo_t = srv.tenant(TenantConfig::default().name("ooo").out_of_order(true));
+    let inorder_t = srv.tenant(TenantConfig::default().name("in-order"));
+    let range = NDRange::d1(N).local1(64);
+    let coeffs: [(u32, u32); 4] = [(3, 7), (5, 11), (9, 2), (7, 13)];
+
+    let run_chain = |t: &Tenant| {
+        let init: Vec<u32> = (0..N as u32).collect();
+        let buf = t.buffer_from(MemFlags::default(), &init).unwrap();
+        for &(mul, add) in &coeffs {
+            let k: Arc<dyn Kernel> = Arc::new(MulAdd {
+                data: buf.clone(),
+                mul,
+                add,
+                iters: 1,
+                label: "mul_add".into(),
+            });
+            t.launch(&k, range).unwrap();
+        }
+        let mut want = init;
+        for &(mul, add) in &coeffs {
+            muladd_ref(&mut want, mul, add);
+        }
+        assert_eq!(read_all(t, &buf, N), want);
+    };
+
+    std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            for _ in 0..3 {
+                run_chain(&ooo_t);
+            }
+        });
+        let b = s.spawn(|| {
+            for _ in 0..3 {
+                run_chain(&inorder_t);
+            }
+        });
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+    assert_eq!(ooo_t.stats().faults, 0);
+    assert_eq!(inorder_t.stats().faults, 0);
+}
+
+/// A fault on an out-of-order tenant queue is contained to that tenant:
+/// the panic is reported on the faulting handle, the OOO tenant heals, and
+/// the books record the fault against it alone.
+#[test]
+fn ooo_tenant_faults_are_contained_and_heal() {
+    const N: usize = 256;
+    let srv = Server::new(2, ServeConfig::default()).unwrap();
+    let t = srv.tenant(
+        TenantConfig::default()
+            .name("ooo-faulty")
+            .out_of_order(true),
+    );
+    let neighbor = srv.tenant(TenantConfig::default().name("bystander"));
+    let range = NDRange::d1(N).local1(64);
+
+    let (_out, bad) = chaos(&t, N, ChaosMode::PanicAt { gid: 42 }, N / 64);
+    match t.launch(&bad, range) {
+        Err(ClError::KernelPanicked { gid, .. }) => assert_eq!(gid, [42, 0, 0]),
+        other => panic!("expected KernelPanicked, got {other:?}"),
+    }
+    // The OOO queue drains and the handle heals.
+    let (out, good) = chaos(&t, N, ChaosMode::Clean, N / 64);
+    t.launch(&good, range).unwrap();
+    assert_eq!(read_all(&t, &out, N), reference(N));
+    let (nout, nk) = chaos(&neighbor, N, ChaosMode::Clean, N / 64);
+    neighbor.launch(&nk, range).unwrap();
+    assert_eq!(read_all(&neighbor, &nout, N), reference(N));
+    assert_eq!(t.stats().faults, 1);
+    assert_eq!(neighbor.stats().faults, 0);
+}
