@@ -21,6 +21,7 @@
 #   race          cl-race --stable --workers 2 (regenerates results/race.md)
 #   sched         cl-sched OOO DAG fuzz + seeded-bug catch (regenerates results/sched.md)
 #   serve         cl-load 64-tenant serving soak (regenerates results/serve.md)
+#   coarsen       cl-coarsen --stable --workers 2 (regenerates results/coarsen.md)
 #   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
 #   drift         git diff --exit-code results/ (regenerated reports committed?)
 #
@@ -40,7 +41,7 @@ while [[ $# -gt 0 ]]; do
             ONLY="${1:?--stage needs a name}"
             ;;
         --help | -h)
-            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -146,6 +147,16 @@ stage_serve() {
         --tenants 64 --faulty 8 --stable --workers 2
 }
 
+# Thread-coarsening certification: every registry launch gets a legality
+# verdict and static cost-model decision; the seeded illegal/unknown
+# fixtures must be classified exactly and refused under a forced factor.
+# Nonzero exit on any miss. --stable masks measured-timing cells so
+# results/coarsen.md stays drift-tracked; run without --stable to also
+# check the predicted-vs-measured agreement band.
+stage_coarsen() {
+    cargo run --release --quiet --bin cl-coarsen -- --stable --workers 2 --out results
+}
+
 # The performance gate: run the microbenchmark suite and compare against
 # the committed baseline; a median regression beyond max(abs floor, k*MAD)
 # exits nonzero. BENCH.json is the machine-readable run artifact.
@@ -173,6 +184,7 @@ run_stage flow
 run_stage race
 run_stage sched
 run_stage serve
+run_stage coarsen
 run_stage bench-gate
 run_stage drift
 

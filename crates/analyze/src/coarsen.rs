@@ -1,0 +1,651 @@
+//! Thread-coarsening legality prover and static cost model.
+//!
+//! The native backend coarsens a kernel by fusing `K` consecutive
+//! workgroups into one dispatch chunk: one worker runs the `K` groups
+//! back-to-back (each with its own fresh local memory and barrier scope),
+//! amortizing per-chunk dispatch overhead the way classic thread-coarsening
+//! amortizes per-thread scheduling cost. Fusion changes *when* groups run
+//! relative to each other, so it is observable exactly when the kernel has
+//! a cross-group dependence — a read or write in one group touching an
+//! element another group writes. This pass proves the absence of such
+//! dependences from the kernel's [`KernelAccessSpec`] and emits one of:
+//!
+//! * [`CoarsenVerdict::Proven`] — no cross-group dependence exists; fusing
+//!   any `K ≤ k_max` is bit-exact. Legality is independent of `K` (fusion
+//!   only reorders whole groups), so `k_max` is simply the group count.
+//! * [`CoarsenVerdict::Illegal`] — a cross-group dependence *definitely*
+//!   exists (e.g. a neighbor-shift access or an all-groups-write-the-same-
+//!   element pattern). The runtime refuses a forced coarsening request.
+//! * [`CoarsenVerdict::Unknown`] — neither provable nor refutable with the
+//!   available affine reasoning (opaque indices, mixed guards). The
+//!   runtime falls back to uncoarsened dispatch.
+//!
+//! Soundness note on the *definite* checks: [`definite_cross_group_shift`]
+//! and the group-blind write check compare canonical domains, which encode
+//! `Always`/`LocalLeader` guards exactly but over-approximate
+//! `GlobalLt`/`LocalLt`. Both checks therefore only fire when every
+//! involved guard is exact; otherwise the pair degrades to `Unknown`.
+
+use crate::features::KernelFeatures;
+use crate::from_ir::lift_loop;
+use crate::ir::{AccessKind, Guard, Index, KernelAccessSpec, LintGeometry, Target};
+use crate::lints::barrier_divergences;
+use crate::prove::{
+    canonicalize, cross_group_disjoint, definite_cross_group_shift, pair_cross_group_disjoint,
+    Canon, PairOutcome,
+};
+
+/// Legality verdict for fusing workgroups of one kernel at one geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoarsenVerdict {
+    /// Coarsening by any factor up to `k_max` is proven bit-exact.
+    Proven { k_max: usize },
+    /// A cross-group dependence definitely exists; coarsening changes
+    /// observable behaviour (or the kernel is racy to begin with).
+    Illegal { reason: String },
+    /// Legality could not be decided; the runtime must not coarsen.
+    Unknown { reason: String },
+}
+
+impl CoarsenVerdict {
+    pub fn is_proven(&self) -> bool {
+        matches!(self, CoarsenVerdict::Proven { .. })
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            CoarsenVerdict::Proven { k_max } => format!("Proven(K≤{k_max})"),
+            CoarsenVerdict::Illegal { .. } => "Illegal".into(),
+            CoarsenVerdict::Unknown { .. } => "Unknown".into(),
+        }
+    }
+
+    pub fn reason(&self) -> &str {
+        match self {
+            CoarsenVerdict::Proven { .. } => "",
+            CoarsenVerdict::Illegal { reason } | CoarsenVerdict::Unknown { reason } => reason,
+        }
+    }
+}
+
+/// How an entire kernel's guards behave under fusion, for the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardClass {
+    /// Every access and barrier runs unconditionally.
+    Uniform,
+    /// Only `GlobalLt` tails beyond unconditional accesses — the classic
+    /// `if (i < n)` boundary guard, benign under whole-group fusion.
+    Tail,
+    /// Lane-masking guards (`LocalLt`/`LocalLeader`) are present; fused
+    /// groups still diverge exactly as unfused ones do.
+    Divergent,
+}
+
+impl GuardClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GuardClass::Uniform => "uniform",
+            GuardClass::Tail => "tail",
+            GuardClass::Divergent => "divergent",
+        }
+    }
+}
+
+/// Full result of the coarsening analysis of one kernel.
+#[derive(Debug, Clone)]
+pub struct CoarsenAnalysis {
+    pub kernel: String,
+    pub verdict: CoarsenVerdict,
+    pub guards: GuardClass,
+    /// Global writes individually proven cross-group disjoint.
+    pub checked_writes: usize,
+    /// Cross-group access pairs examined for RAW/WAR/WAW dependences.
+    pub checked_pairs: usize,
+    pub notes: Vec<String>,
+}
+
+/// A guard whose canonical domain is exact (see module docs): the definite
+/// (Illegal-producing) provers are only sound over such guards.
+fn guard_exact(g: Guard) -> bool {
+    matches!(g, Guard::Always | Guard::LocalLeader)
+}
+
+fn classify_guards(spec: &KernelAccessSpec) -> GuardClass {
+    let mut class = GuardClass::Uniform;
+    let guards = spec
+        .phases
+        .iter()
+        .flat_map(|p| p.accesses.iter().map(|a| a.guard))
+        .chain(spec.barriers.iter().copied());
+    for g in guards {
+        match g {
+            Guard::Always => {}
+            Guard::GlobalLt(_) => {
+                if class == GuardClass::Uniform {
+                    class = GuardClass::Tail;
+                }
+            }
+            Guard::LocalLt(_) | Guard::LocalLeader => return GuardClass::Divergent,
+        }
+    }
+    class
+}
+
+/// A write whose canonical group part is blind to the group id: every group
+/// writes the *same* nonempty element set, a definite cross-group WAW.
+fn group_blind_write(c: &Canon) -> bool {
+    if c.has_opaque() {
+        return false;
+    }
+    let group_dims: Vec<usize> = (3..6).filter(|&i| c.bounds[i] > 1).collect();
+    !group_dims.is_empty() && group_dims.iter().all(|&i| c.coefs[i] == 0)
+}
+
+/// Prove (or refute) coarsening legality of `spec` at its geometry.
+pub fn analyze_coarsen(spec: &KernelAccessSpec) -> CoarsenAnalysis {
+    let geom = &spec.geometry;
+    let n_groups = geom.n_groups();
+    let guards = classify_guards(spec);
+    let mut notes = Vec::new();
+    let mut checked_writes = 0usize;
+    let mut checked_pairs = 0usize;
+    let mut unknown: Option<String> = None;
+    let record_unknown = |u: &mut Option<String>, reason: String| {
+        if u.is_none() {
+            *u = Some(reason);
+        }
+    };
+
+    // Divergent barriers deadlock (or desynchronize) a workgroup with or
+    // without fusion; fused dispatch must refuse them outright.
+    let divergences = barrier_divergences(spec);
+    if let Some(d) = divergences.first() {
+        return CoarsenAnalysis {
+            kernel: spec.name.clone(),
+            verdict: CoarsenVerdict::Illegal {
+                reason: format!("barrier not workgroup-uniform: {d}"),
+            },
+            guards,
+            checked_writes,
+            checked_pairs,
+            notes,
+        };
+    }
+
+    // Gather every global access with its canonical form (when one exists).
+    struct Acc<'a> {
+        buf: usize,
+        kind: AccessKind,
+        index: &'a Index,
+        guard: Guard,
+        canon: Option<Canon>,
+    }
+    let mut accs: Vec<Acc<'_>> = Vec::new();
+    for phase in &spec.phases {
+        for a in &phase.accesses {
+            let Target::Global(buf) = a.target else {
+                // Local memory is per-group and re-allocated per fused
+                // group; it cannot carry a cross-group dependence.
+                continue;
+            };
+            let canon = match &a.index {
+                Index::Opaque { .. } => None,
+                Index::Affine(af) => canonicalize(af, a.guard, geom),
+            };
+            accs.push(Acc {
+                buf,
+                kind: a.kind,
+                index: &a.index,
+                guard: a.guard,
+                canon,
+            });
+        }
+    }
+
+    // Per-write proof: each non-atomic global write must be cross-group
+    // disjoint (atomics serialize collisions and tolerate group reorder).
+    for a in accs.iter().filter(|a| a.kind == AccessKind::Write) {
+        checked_writes += 1;
+        let buf = &spec.global_buffers[a.buf].name;
+        match &a.canon {
+            None => record_unknown(
+                &mut unknown,
+                format!("write to `{buf}` has a data-dependent index"),
+            ),
+            Some(c) => {
+                if n_groups > 1 && guard_exact(a.guard) && group_blind_write(c) {
+                    return CoarsenAnalysis {
+                        kernel: spec.name.clone(),
+                        verdict: CoarsenVerdict::Illegal {
+                            reason: format!(
+                                "every group writes the same `{buf}` elements (group-blind write)"
+                            ),
+                        },
+                        guards,
+                        checked_writes,
+                        checked_pairs,
+                        notes,
+                    };
+                }
+                if let Err(e) = cross_group_disjoint(c) {
+                    record_unknown(&mut unknown, format!("write to `{buf}`: {e}"));
+                }
+            }
+        }
+    }
+
+    // Pairwise cross-group dependences: any (write, access) pair on the
+    // same buffer can order-couple two groups. Identical (index, guard)
+    // pairs are covered by the per-write proof above (group g's element set
+    // is the same on both sides), and atomic-atomic pairs are
+    // order-tolerant by construction.
+    for (i, a) in accs.iter().enumerate() {
+        for b in accs.iter().skip(i + 1) {
+            if a.buf != b.buf {
+                continue;
+            }
+            let a_writes = a.kind != AccessKind::Read;
+            let b_writes = b.kind != AccessKind::Read;
+            if !a_writes && !b_writes {
+                continue;
+            }
+            if a.kind == AccessKind::AtomicUpdate && b.kind == AccessKind::AtomicUpdate {
+                continue;
+            }
+            if a.index == b.index && a.guard == b.guard {
+                continue;
+            }
+            checked_pairs += 1;
+            let buf = &spec.global_buffers[a.buf].name;
+            let (Some(ca), Some(cb)) = (&a.canon, &b.canon) else {
+                record_unknown(
+                    &mut unknown,
+                    format!("dependence on `{buf}` involves a data-dependent index"),
+                );
+                continue;
+            };
+            match pair_cross_group_disjoint(ca, cb) {
+                PairOutcome::Disjoint => {}
+                PairOutcome::Collide(r) => {
+                    return CoarsenAnalysis {
+                        kernel: spec.name.clone(),
+                        verdict: CoarsenVerdict::Illegal {
+                            reason: format!("cross-group dependence on `{buf}`: {r}"),
+                        },
+                        guards,
+                        checked_writes,
+                        checked_pairs,
+                        notes,
+                    };
+                }
+                PairOutcome::Unknown(r) => {
+                    if guard_exact(a.guard) && guard_exact(b.guard) {
+                        if let Some(m) = definite_cross_group_shift(ca, cb) {
+                            return CoarsenAnalysis {
+                                kernel: spec.name.clone(),
+                                verdict: CoarsenVerdict::Illegal {
+                                    reason: format!(
+                                        "access pair on `{buf}` reaches {m} group(s) over: \
+                                         a definite cross-group dependence"
+                                    ),
+                                },
+                                guards,
+                                checked_writes,
+                                checked_pairs,
+                                notes,
+                            };
+                        }
+                    }
+                    record_unknown(&mut unknown, format!("dependence on `{buf}`: {r}"));
+                }
+            }
+        }
+    }
+
+    let verdict = match unknown {
+        Some(reason) => CoarsenVerdict::Unknown { reason },
+        None => CoarsenVerdict::Proven {
+            k_max: n_groups.max(1),
+        },
+    };
+    if n_groups <= 1 {
+        notes.push("single-group launch: coarsening is vacuous".into());
+    }
+    CoarsenAnalysis {
+        kernel: spec.name.clone(),
+        verdict,
+        guards,
+        checked_writes,
+        checked_pairs,
+        notes,
+    }
+}
+
+/// Lift a `cl_vec` loop IR (the par-for twins) into an access spec and run
+/// the coarsening analysis on it. Lifting caveats are appended to
+/// [`CoarsenAnalysis::notes`].
+pub fn analyze_coarsen_loop(
+    name: &str,
+    l: &cl_vec::Loop,
+    arrays: &[(String, usize)],
+    geometry: LintGeometry,
+) -> CoarsenAnalysis {
+    let (spec, lift_notes) = lift_loop(name, l, arrays, geometry);
+    let mut analysis = analyze_coarsen(&spec);
+    analysis.notes.extend(lift_notes);
+    analysis
+}
+
+/// The coarsening decision the runtime attaches to an enqueue plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarsenPlan {
+    /// Groups fused per dispatch chunk (1 = no coarsening).
+    pub factor: usize,
+    /// Static prediction of dispatch-path speedup from fusing `factor`
+    /// groups, from the architecture-independent cost model.
+    pub predicted_speedup: f64,
+}
+
+impl CoarsenPlan {
+    pub const NONE: CoarsenPlan = CoarsenPlan {
+        factor: 1,
+        predicted_speedup: 1.0,
+    };
+}
+
+/// Per-chunk dispatch overhead in workitem-units: the cost model's single
+/// constant, calibrated against the PR 3 profiling timestamps by the
+/// `cl-coarsen` harness (queue submit + worker wakeup ≈ this many simple
+/// workitem executions).
+pub const DISPATCH_OVERHEAD_ITEMS: f64 = 64.0;
+
+/// Hard cap on the coarsening factor: beyond this, chunks get coarse
+/// enough to hurt load balance with no measurable dispatch savings left.
+pub const MAX_FACTOR: usize = 64;
+
+/// Relative per-item cost weight of a kernel from its static features:
+/// heavier items shrink the dispatch-overhead fraction and with it the
+/// gain from fusing.
+fn item_weight(f: &KernelFeatures) -> f64 {
+    let lane = f
+        .lanes
+        .iter()
+        .map(|l| match l.class {
+            crate::features::LaneClass::UnitStride | crate::features::LaneClass::Broadcast => 1.0,
+            crate::features::LaneClass::Strided(_) => 1.5,
+            crate::features::LaneClass::Divergent => 2.0,
+            crate::features::LaneClass::Gather => 3.0,
+        })
+        .fold(1.0f64, f64::max);
+    lane * (1.0 + f.arith_mem_ratio).max(1.0)
+}
+
+/// Pick a coarsening factor for a `Proven` kernel and predict its speedup.
+///
+/// Factor: enough groups per chunk to amortize dispatch, but never fewer
+/// than `4 · workers` chunks total (load balance), never above
+/// [`MAX_FACTOR`] or the proven `k_max`. Predicted speedup is the ratio of
+/// per-group cost with and without amortized overhead:
+/// `(wg·w + D) / (wg·w + D/K)` with `D` = [`DISPATCH_OVERHEAD_ITEMS`].
+pub fn choose_factor(
+    analysis: &CoarsenAnalysis,
+    features: &KernelFeatures,
+    workers: usize,
+) -> CoarsenPlan {
+    let CoarsenVerdict::Proven { k_max } = analysis.verdict else {
+        return CoarsenPlan::NONE;
+    };
+    let n_groups = features.n_groups.max(1);
+    let balance = (n_groups / (4 * workers.max(1))).max(1);
+    let factor = k_max.min(MAX_FACTOR).min(balance).max(1);
+    if factor <= 1 {
+        return CoarsenPlan::NONE;
+    }
+    let w = item_weight(features);
+    let group_cost = features.wg_size.max(1) as f64 * w;
+    let d = DISPATCH_OVERHEAD_ITEMS;
+    let predicted_speedup = (group_cost + d) / (group_cost + d / factor as f64);
+    CoarsenPlan {
+        factor,
+        predicted_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::features;
+    use crate::ir::{Affine, SpecBuilder, Var};
+
+    fn geom() -> LintGeometry {
+        LintGeometry::d1(16 * 1024, 64)
+    }
+
+    fn streaming_spec() -> KernelAccessSpec {
+        let mut b = SpecBuilder::new("square", geom());
+        let inp = b.buffer("in", 16 * 1024);
+        let out = b.buffer("out", 16 * 1024);
+        b.read(inp, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_kernel_is_proven_to_full_depth() {
+        let a = analyze_coarsen(&streaming_spec());
+        assert_eq!(a.verdict, CoarsenVerdict::Proven { k_max: 256 });
+        assert_eq!(a.guards, GuardClass::Uniform);
+        assert_eq!(a.checked_writes, 1);
+    }
+
+    #[test]
+    fn reduction_shape_is_proven_with_divergent_guards() {
+        // Tree reduction: strided local phases, leader writes out[group].
+        let g = LintGeometry::d1(4096, 256);
+        let mut b = SpecBuilder::new("reduction", g);
+        let inp = b.buffer("in", 4096);
+        let out = b.buffer("out", 16);
+        let scratch = b.local("scratch", 256);
+        b.read(inp, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.local_write(scratch, Affine::of(Var::LocalLinear), Guard::Always);
+        b.barrier(Guard::Always);
+        b.local_read(scratch, Affine::of(Var::LocalLinear), Guard::LocalLt(128));
+        b.local_write(scratch, Affine::of(Var::LocalLinear), Guard::LocalLt(128));
+        b.write(out, Affine::of(Var::GroupLinear), Guard::LocalLeader);
+        let a = analyze_coarsen(&b.finish());
+        assert_eq!(a.verdict, CoarsenVerdict::Proven { k_max: 16 });
+        assert_eq!(a.guards, GuardClass::Divergent);
+    }
+
+    #[test]
+    fn neighbor_shift_read_is_definitely_illegal() {
+        // out[gid] = f(out[gid + wg]): group g reads group g+1's writes.
+        let mut b = SpecBuilder::new("neighbor-shift", geom());
+        let out = b.buffer("out", 16 * 1024 + 64);
+        b.read(out, Affine::of(Var::GlobalLinear).plus(64), Guard::Always);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        let a = analyze_coarsen(&b.finish());
+        assert!(
+            matches!(&a.verdict, CoarsenVerdict::Illegal { reason } if reason.contains("group")),
+            "verdict: {:?}",
+            a.verdict
+        );
+    }
+
+    #[test]
+    fn group_blind_write_is_definitely_illegal() {
+        // out[lx]: every group writes elements 0..64.
+        let mut b = SpecBuilder::new("all-write", geom());
+        let out = b.buffer("out", 64);
+        b.write(out, Affine::of(Var::LocalLinear), Guard::Always);
+        let a = analyze_coarsen(&b.finish());
+        assert!(
+            matches!(&a.verdict, CoarsenVerdict::Illegal { reason } if reason.contains("group-blind")),
+            "verdict: {:?}",
+            a.verdict
+        );
+    }
+
+    #[test]
+    fn opaque_scatter_is_unknown_not_illegal() {
+        let mut b = SpecBuilder::new("scatter", geom());
+        let out = b.buffer("out", 16 * 1024);
+        b.write(
+            out,
+            Index::Opaque {
+                min: 0,
+                max: 16 * 1024 - 1,
+            },
+            Guard::Always,
+        );
+        let a = analyze_coarsen(&b.finish());
+        assert!(matches!(a.verdict, CoarsenVerdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn atomic_histogram_is_proven() {
+        // Atomic bin updates collide across groups by design; collisions
+        // serialize, so group order is unobservable.
+        let mut b = SpecBuilder::new("histogram", geom());
+        let inp = b.buffer("in", 16 * 1024);
+        let bins = b.buffer("bins", 256);
+        b.read(inp, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.atomic(bins, Index::Opaque { min: 0, max: 255 }, Guard::Always);
+        let a = analyze_coarsen(&b.finish());
+        assert!(a.verdict.is_proven(), "verdict: {:?}", a.verdict);
+    }
+
+    #[test]
+    fn tail_guard_defeats_the_definite_shift_prover() {
+        // Same shifted pair but under a GlobalLt tail guard: the canonical
+        // domain over-approximates, so the verdict must degrade to Unknown
+        // rather than claim a definite dependence.
+        let mut b = SpecBuilder::new("tail-shift", geom());
+        let out = b.buffer("out", 16 * 1024 + 64);
+        b.read(
+            out,
+            Affine::of(Var::GlobalLinear).plus(64),
+            Guard::GlobalLt(16 * 1024 - 100),
+        );
+        b.write(
+            out,
+            Affine::of(Var::GlobalLinear),
+            Guard::GlobalLt(16 * 1024 - 100),
+        );
+        let a = analyze_coarsen(&b.finish());
+        assert!(
+            matches!(a.verdict, CoarsenVerdict::Unknown { .. }),
+            "verdict: {:?}",
+            a.verdict
+        );
+    }
+
+    #[test]
+    fn single_group_launch_is_vacuously_proven() {
+        let g = LintGeometry::d1(64, 64);
+        let mut b = SpecBuilder::new("one-group", g);
+        let out = b.buffer("out", 64);
+        b.write(out, Affine::of(Var::LocalLinear), Guard::Always);
+        let a = analyze_coarsen(&b.finish());
+        assert_eq!(a.verdict, CoarsenVerdict::Proven { k_max: 1 });
+        assert!(a.notes.iter().any(|n| n.contains("vacuous")));
+    }
+
+    #[test]
+    fn choose_factor_amortizes_without_starving_workers() {
+        let spec = streaming_spec();
+        let a = analyze_coarsen(&spec);
+        let f = features(&spec, 1.0);
+        let plan = choose_factor(&a, &f, 2);
+        // 256 groups / (4·2) = 32 chunks → factor 32.
+        assert_eq!(plan.factor, 32);
+        assert!(plan.predicted_speedup > 1.0);
+        // More workers → smaller factor to keep chunks per worker.
+        let wide = choose_factor(&a, &f, 64);
+        assert_eq!(wide.factor, 1);
+        assert_eq!(wide.predicted_speedup, 1.0);
+    }
+
+    #[test]
+    fn choose_factor_refuses_non_proven_kernels() {
+        let mut b = SpecBuilder::new("scatter", geom());
+        let out = b.buffer("out", 16 * 1024);
+        b.write(
+            out,
+            Index::Opaque {
+                min: 0,
+                max: 16 * 1024 - 1,
+            },
+            Guard::Always,
+        );
+        let spec = b.finish();
+        let a = analyze_coarsen(&spec);
+        let f = features(&spec, 1.0);
+        assert_eq!(choose_factor(&a, &f, 2), CoarsenPlan::NONE);
+    }
+
+    #[test]
+    fn loop_ir_twin_gets_a_verdict() {
+        use cl_vec::{ArrayId, IndexExpr, Loop, Op, Operand, Stmt, Temp, TripCount};
+        // c[i] = a[i] * b[i] — the elementwise par-for twin.
+        let l = Loop::new(
+            TripCount::Constant(1024),
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: ArrayId(0),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::Load {
+                    dst: Temp(1),
+                    array: ArrayId(1),
+                    index: IndexExpr::linear(),
+                },
+                Stmt::BinOp {
+                    dst: Temp(2),
+                    op: Op::Mul,
+                    lhs: Operand::Temp(Temp(0)),
+                    rhs: Operand::Temp(Temp(1)),
+                },
+                Stmt::Store {
+                    array: ArrayId(2),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(2)),
+                },
+            ],
+        );
+        let arrays = vec![
+            ("a".to_string(), 1024),
+            ("b".to_string(), 1024),
+            ("c".to_string(), 1024),
+        ];
+        let a = analyze_coarsen_loop("twin", &l, &arrays, LintGeometry::d1(1024, 64));
+        assert_eq!(a.kernel, "twin");
+        assert_eq!(a.verdict, CoarsenVerdict::Proven { k_max: 16 });
+
+        // The same twin with a cross-iteration shifted store is refused.
+        let bad = Loop::new(
+            TripCount::Constant(1024),
+            vec![
+                Stmt::Load {
+                    dst: Temp(0),
+                    array: ArrayId(0),
+                    index: IndexExpr::shifted(64),
+                },
+                Stmt::Store {
+                    array: ArrayId(0),
+                    index: IndexExpr::linear(),
+                    src: Operand::Temp(Temp(0)),
+                },
+            ],
+        );
+        let arrays = vec![("a".to_string(), 1024 + 64)];
+        let b = analyze_coarsen_loop("twin-shift", &bad, &arrays, LintGeometry::d1(1024, 64));
+        assert!(
+            matches!(b.verdict, CoarsenVerdict::Illegal { .. }),
+            "verdict: {:?}",
+            b.verdict
+        );
+    }
+}

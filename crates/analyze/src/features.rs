@@ -1,0 +1,329 @@
+//! Architecture-independent static kernel features.
+//!
+//! The static half of the ROADMAP-4 autotuner, following the template of
+//! "Characterizing Optimizations to Memory Access Patterns using
+//! Architecture-Independent Program Features": everything here is derived
+//! from the [`KernelAccessSpec`] alone — no hardware counters, no
+//! execution, no per-machine constants. The record is serializable (plain
+//! JSON) so downstream cost models can train or validate against it.
+//!
+//! The per-argument **lane class** describes how consecutive lanes
+//! (workitems adjacent in `lx`, the runtime's SIMD dimension) of one access
+//! walk memory — the property that decides whether the implicit vectorizer
+//! emits a vector load, a strided load, or a gather:
+//!
+//! * `UnitStride` — adjacent lanes touch adjacent elements (`|∂idx/∂lx| = 1`);
+//! * `Broadcast` — all lanes of a group touch the same element;
+//! * `Strided(s)` — adjacent lanes are `s` elements apart;
+//! * `Gather` — the address is data-dependent (opaque) per lane;
+//! * `Divergent` — a lane-masking guard (`LocalLt`/`LocalLeader`) disables
+//!   part of the vector, forcing predication or scalarization.
+
+use crate::footprint::{contiguous, launch_footprint};
+use crate::ir::{Guard, Index, KernelAccessSpec, Target};
+use crate::prove::canonicalize;
+
+/// Assumed element width for byte-granular features. The study's kernels
+/// are uniformly `float`/`int` (4-byte) workloads.
+pub const ELEM_BYTES: u128 = 4;
+
+/// How consecutive lanes of one access walk memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneClass {
+    UnitStride,
+    Broadcast,
+    Strided(i64),
+    Gather,
+    Divergent,
+}
+
+impl LaneClass {
+    /// Rank for worst-of aggregation (higher = costlier for the lane unit).
+    fn rank(self) -> u8 {
+        match self {
+            LaneClass::UnitStride => 0,
+            LaneClass::Broadcast => 1,
+            LaneClass::Strided(_) => 2,
+            LaneClass::Gather => 3,
+            LaneClass::Divergent => 4,
+        }
+    }
+
+    /// Histogram bucket for the entropy computation (stride magnitudes
+    /// collapse into one symbol).
+    fn bucket(self) -> usize {
+        self.rank() as usize
+    }
+
+    pub fn as_str(&self) -> String {
+        match self {
+            LaneClass::UnitStride => "unit-stride".into(),
+            LaneClass::Broadcast => "broadcast".into(),
+            LaneClass::Strided(s) => format!("strided({s})"),
+            LaneClass::Gather => "gather".into(),
+            LaneClass::Divergent => "divergent".into(),
+        }
+    }
+}
+
+/// One global buffer's worst-case lane behaviour across all its accesses.
+#[derive(Debug, Clone)]
+pub struct ArgLane {
+    pub buffer: String,
+    pub class: LaneClass,
+    /// Accesses to this buffer (reads + writes + atomics).
+    pub accesses: usize,
+}
+
+/// The serializable architecture-independent feature record of one kernel
+/// at one launch geometry.
+#[derive(Debug, Clone)]
+pub struct KernelFeatures {
+    pub kernel: String,
+    pub items: usize,
+    pub wg_size: usize,
+    pub n_groups: usize,
+    /// Distinct elements the launch may touch, across all global buffers.
+    pub footprint_elems: u128,
+    /// `footprint_elems · ELEM_BYTES`.
+    pub footprint_bytes: u128,
+    /// Per-buffer worst-case lane classification.
+    pub lanes: Vec<ArgLane>,
+    /// Shannon entropy (bits) of the lane-class distribution over all
+    /// global accesses: 0 for a kernel whose accesses all walk memory the
+    /// same way, higher the more mixed the pattern.
+    pub access_entropy_bits: f64,
+    pub barrier_count: usize,
+    /// Fraction of accesses (global and local) executed unconditionally.
+    pub branch_uniformity: f64,
+    /// Arithmetic-to-memory-operation ratio, supplied by the caller from
+    /// the kernel's execution profile (the one fact the spec cannot carry).
+    pub arith_mem_ratio: f64,
+}
+
+impl KernelFeatures {
+    /// Serialize as a single JSON object (hand-rolled: the analysis crate
+    /// stays dependency-free).
+    pub fn to_json(&self) -> String {
+        let lanes: Vec<String> = self
+            .lanes
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"buffer\":\"{}\",\"class\":\"{}\",\"accesses\":{}}}",
+                    l.buffer,
+                    l.class.as_str(),
+                    l.accesses
+                )
+            })
+            .collect();
+        format!(
+            "{{\"kernel\":\"{}\",\"items\":{},\"wg_size\":{},\"n_groups\":{},\
+             \"footprint_elems\":{},\"footprint_bytes\":{},\"lanes\":[{}],\
+             \"access_entropy_bits\":{:.4},\"barrier_count\":{},\
+             \"branch_uniformity\":{:.4},\"arith_mem_ratio\":{:.4}}}",
+            self.kernel,
+            self.items,
+            self.wg_size,
+            self.n_groups,
+            self.footprint_elems,
+            self.footprint_bytes,
+            lanes.join(","),
+            self.access_entropy_bits,
+            self.barrier_count,
+            self.branch_uniformity,
+            self.arith_mem_ratio
+        )
+    }
+}
+
+/// Classify how consecutive lanes of one access walk memory.
+pub fn lane_class(index: &Index, guard: Guard, spec: &KernelAccessSpec) -> LaneClass {
+    match guard {
+        Guard::LocalLt(b) if b < spec.geometry.wg_size() => return LaneClass::Divergent,
+        Guard::LocalLeader if spec.geometry.wg_size() > 1 => return LaneClass::Divergent,
+        _ => {}
+    }
+    let a = match index {
+        Index::Opaque { .. } => return LaneClass::Gather,
+        Index::Affine(a) if a.has_opaque() => return LaneClass::Gather,
+        Index::Affine(a) => a,
+    };
+    // Lane stride is the canonical lx coefficient; classify it against the
+    // same contiguity machinery the footprint must-sets use, so a
+    // unit-stride verdict here is exactly the certified-contiguous case.
+    let Some(c) = canonicalize(a, Guard::Always, &spec.geometry) else {
+        return LaneClass::Gather;
+    };
+    match c.coefs[0] {
+        0 => LaneClass::Broadcast,
+        s if s.abs() == 1 && contiguous(&c) => LaneClass::UnitStride,
+        s if s.abs() == 1 => LaneClass::Strided(1),
+        s => LaneClass::Strided(s.clamp(i64::MIN as i128, i64::MAX as i128) as i64),
+    }
+}
+
+/// Extract the feature record of `spec`. `arith_mem_ratio` comes from the
+/// kernel's execution profile (`perf_model::KernelProfile`); pass 1.0 when
+/// unknown.
+pub fn features(spec: &KernelAccessSpec, arith_mem_ratio: f64) -> KernelFeatures {
+    let geom = &spec.geometry;
+    let fp = launch_footprint(spec);
+    let footprint_elems: u128 = fp
+        .buffers
+        .iter()
+        .map(|b| b.may_read.union(&b.may_write).covered())
+        .sum();
+
+    let mut lanes: Vec<ArgLane> = spec
+        .global_buffers
+        .iter()
+        .map(|b| ArgLane {
+            buffer: b.name.clone(),
+            class: LaneClass::UnitStride,
+            accesses: 0,
+        })
+        .collect();
+    let mut histogram = [0usize; 5];
+    let mut total_accesses = 0usize;
+    let mut uniform_accesses = 0usize;
+    for phase in &spec.phases {
+        for acc in &phase.accesses {
+            total_accesses += 1;
+            if acc.guard == Guard::Always {
+                uniform_accesses += 1;
+            }
+            let Target::Global(b) = acc.target else {
+                continue;
+            };
+            let class = lane_class(&acc.index, acc.guard, spec);
+            histogram[class.bucket()] += 1;
+            let lane = &mut lanes[b];
+            lane.accesses += 1;
+            if class.rank() > lane.class.rank() {
+                lane.class = class;
+            }
+        }
+    }
+    // Buffers the kernel never touches get no lane row.
+    lanes.retain(|l| l.accesses > 0);
+
+    let global_accesses: usize = histogram.iter().sum();
+    let access_entropy_bits = if global_accesses == 0 {
+        0.0
+    } else {
+        histogram
+            .iter()
+            .filter(|&&n| n > 0)
+            .map(|&n| {
+                let p = n as f64 / global_accesses as f64;
+                -p * p.log2()
+            })
+            .sum::<f64>()
+            // A single occupied bucket sums to -0.0; normalize the sign.
+            .max(0.0)
+    };
+
+    KernelFeatures {
+        kernel: spec.name.clone(),
+        items: geom.items(),
+        wg_size: geom.wg_size(),
+        n_groups: geom.n_groups(),
+        footprint_elems,
+        footprint_bytes: footprint_elems * ELEM_BYTES,
+        lanes,
+        access_entropy_bits,
+        barrier_count: spec.barriers.len(),
+        branch_uniformity: if total_accesses == 0 {
+            1.0
+        } else {
+            uniform_accesses as f64 / total_accesses as f64
+        },
+        arith_mem_ratio: if arith_mem_ratio.is_finite() && arith_mem_ratio >= 0.0 {
+            arith_mem_ratio
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Affine, Guard, Index, LintGeometry, SpecBuilder, Var};
+
+    fn geom() -> LintGeometry {
+        LintGeometry::d1(1024, 64)
+    }
+
+    #[test]
+    fn streaming_kernel_is_unit_stride_zero_entropy() {
+        let mut b = SpecBuilder::new("square", geom());
+        let inp = b.buffer("in", 1024);
+        let out = b.buffer("out", 1024);
+        b.read(inp, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        let f = features(&b.finish(), 2.0);
+        assert_eq!(f.lanes.len(), 2);
+        assert!(f.lanes.iter().all(|l| l.class == LaneClass::UnitStride));
+        assert_eq!(f.access_entropy_bits, 0.0);
+        assert_eq!(f.footprint_elems, 2048);
+        assert_eq!(f.footprint_bytes, 8192);
+        assert_eq!(f.branch_uniformity, 1.0);
+        assert_eq!(f.arith_mem_ratio, 2.0);
+    }
+
+    #[test]
+    fn lane_classes_cover_the_spectrum() {
+        let mut b = SpecBuilder::new("mixed", geom());
+        let s = b.buffer("strided", 8192);
+        let br = b.buffer("bcast", 64);
+        let ga = b.buffer("table", 256);
+        b.read(s, Affine::var(Var::GlobalLinear, 4), Guard::Always);
+        b.read(br, Affine::of(Var::GroupLinear), Guard::Always);
+        b.read(ga, Index::Opaque { min: 0, max: 255 }, Guard::Always);
+        let spec = b.finish();
+        let f = features(&spec, 1.0);
+        let class = |name: &str| f.lanes.iter().find(|l| l.buffer == name).unwrap().class;
+        assert_eq!(class("strided"), LaneClass::Strided(4));
+        assert_eq!(class("bcast"), LaneClass::Broadcast);
+        assert_eq!(class("table"), LaneClass::Gather);
+        // Three distinct classes, uniformly distributed: log2(3) bits.
+        assert!((f.access_entropy_bits - 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_lanes_classify_divergent_and_lower_uniformity() {
+        let mut b = SpecBuilder::new("reduce-tail", geom());
+        let out = b.buffer("out", 16);
+        b.write(out, Affine::of(Var::GroupLinear), Guard::LocalLeader);
+        let f = features(&b.finish(), 1.0);
+        assert_eq!(f.lanes[0].class, LaneClass::Divergent);
+        assert_eq!(f.branch_uniformity, 0.0);
+    }
+
+    #[test]
+    fn indirect_affine_reads_are_gathers() {
+        let mut b = SpecBuilder::new("indirect", geom());
+        let t = b.buffer("table", 2048);
+        b.read(
+            t,
+            Affine::constant(0).plus_opaque(0, 1023, 1),
+            Guard::Always,
+        );
+        let f = features(&b.finish(), 1.0);
+        assert_eq!(f.lanes[0].class, LaneClass::Gather);
+    }
+
+    #[test]
+    fn json_roundtrips_structurally() {
+        let mut b = SpecBuilder::new("j", geom());
+        let out = b.buffer("out", 1024);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        let j = features(&b.finish(), 1.5).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"kernel\":\"j\""));
+        assert!(j.contains("\"arith_mem_ratio\":1.5000"));
+        assert!(j.contains("unit-stride"));
+    }
+}

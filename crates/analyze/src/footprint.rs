@@ -334,8 +334,15 @@ fn single_var_must(coef: i64, off: i64, m: i128) -> Option<(i128, i128)> {
 /// the non-degenerate variables, each stride must be bridgeable by the
 /// value span of the smaller terms (`|c| ≤ 1 + Σ |c_j|·(b_j−1)`). Then the
 /// value set is exactly the integer interval between min and max — the
-/// inverse of the superincreasing injectivity condition.
-fn contiguous(c: &Canon) -> bool {
+/// inverse of the superincreasing injectivity condition. A data-dependent
+/// term can leave holes anywhere, so it forfeits the certificate.
+///
+/// Also the unit-stride certificate of the lane classifier
+/// ([`crate::features`]), hence `pub(crate)`.
+pub(crate) fn contiguous(c: &Canon) -> bool {
+    if c.has_opaque() {
+        return false;
+    }
     let mut pairs: Vec<(i128, u64)> = (0..6)
         .filter(|&i| c.bounds[i] > 1 && c.coefs[i] != 0)
         .map(|i| (c.coefs[i].abs(), c.bounds[i]))
@@ -440,6 +447,25 @@ mod tests {
         assert_eq!(bins.may_write.runs(), &[(0, 256)]);
         assert!(bins.must_write.is_empty());
         assert!(bins.must_read.is_empty());
+    }
+
+    #[test]
+    fn indirect_affine_index_gets_a_conservative_may_footprint() {
+        // out[base + perm[i]] with perm values in [0, 99]: the may set is
+        // the whole reachable window, the must set empty (no exempt()
+        // needed for indirect kernels any more).
+        let geom = LintGeometry::d1(128, 64);
+        let mut b = SpecBuilder::new("indirect", geom);
+        let out = b.buffer("out", 200);
+        b.write(
+            out,
+            Affine::constant(100).plus_opaque(0, 99, 1),
+            Guard::Always,
+        );
+        let fp = launch_footprint(&b.finish());
+        let o = fp.buffer("out").unwrap();
+        assert_eq!(o.may_write.runs(), &[(100, 200)]);
+        assert!(o.must_write.is_empty(), "opaque writes are may-only");
     }
 
     #[test]

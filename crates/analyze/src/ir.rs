@@ -32,6 +32,14 @@ pub enum Var {
     LocalLinear,
     /// Flattened workgroup id.
     GroupLinear,
+    /// A data-dependent value known only to lie in `[min, max]` (inclusive)
+    /// — e.g. an index loaded from another buffer (`out[perm[i]]`). Each
+    /// `Opaque` term stands for an *independent* unknown: two workitems (or
+    /// two terms of one expression) may see arbitrary, unrelated values in
+    /// the range. Interval reasoning stays sound by adding the scaled span;
+    /// every proof that needs injectivity, residues, or exact coverage
+    /// conservatively bails.
+    Opaque { min: i64, max: i64 },
 }
 
 /// A multi-term affine index expression: `Σ coef·var + offset`.
@@ -78,6 +86,25 @@ impl Affine {
         }
         self.terms.retain(|(_, c)| *c != 0);
         self
+    }
+
+    /// Add `coef · t` where `t` is a fresh data-dependent value in
+    /// `[min, max]`. Unlike [`Affine::plus_var`], repeated opaque terms are
+    /// *not* merged: each stands for an independent unknown, so folding
+    /// `t₁ − t₂` into `0·t` would understate the range.
+    pub fn plus_opaque(mut self, min: i64, max: i64, coef: i64) -> Self {
+        debug_assert!(min <= max, "opaque range [{min}, {max}] is inverted");
+        if coef != 0 {
+            self.terms.push((Var::Opaque { min, max }, coef));
+        }
+        self
+    }
+
+    /// Whether any term is data-dependent ([`Var::Opaque`]).
+    pub fn has_opaque(&self) -> bool {
+        self.terms
+            .iter()
+            .any(|(v, _)| matches!(v, Var::Opaque { .. }))
     }
 
     /// Lift a `cl_vec` single-induction index to this IR, with the loop
@@ -422,6 +449,19 @@ mod tests {
         let a = Affine::var(Var::Local(0), 2).plus_var(Var::Local(0), -2);
         assert!(a.terms.is_empty());
         assert_eq!(a.as_single(Var::Group(0)), Some((0, 0)));
+    }
+
+    #[test]
+    fn opaque_terms_stay_separate_and_defeat_as_single() {
+        let a = Affine::of(Var::GlobalLinear)
+            .plus_opaque(0, 9, 1)
+            .plus_opaque(0, 9, 1);
+        assert!(a.has_opaque());
+        assert_eq!(a.terms.len(), 3, "independent unknowns never merge");
+        assert_eq!(a.as_single(Var::GlobalLinear), None);
+        // Zero-coefficient opaque terms vanish at construction.
+        let b = Affine::of(Var::GlobalLinear).plus_opaque(0, 9, 0);
+        assert!(!b.has_opaque());
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! that must agree with the static verdicts — the static core of
 //! `cl-race`.
 
+pub mod coarsen;
+pub mod features;
 pub mod flow;
 pub mod footprint;
 pub mod from_ir;
@@ -49,6 +51,11 @@ pub mod ir;
 pub mod lints;
 pub mod prove;
 
+pub use coarsen::{
+    analyze_coarsen, analyze_coarsen_loop, choose_factor, CoarsenAnalysis, CoarsenPlan,
+    CoarsenVerdict, GuardClass,
+};
+pub use features::{features, ArgLane, KernelFeatures, LaneClass};
 pub use flow::{
     analyze_flow, classify_pair, BufUse, DepEdge, FlagClass, FlowAnalysis, FlowCommand,
     FlowFinding, FlowLintKind, FlowOp, HazardKind, PairHazard,

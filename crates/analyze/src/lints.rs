@@ -358,11 +358,16 @@ fn lint_local_races(spec: &KernelAccessSpec, findings: &mut Vec<Finding>) {
 
 // ---------------------------------------------------------------- lint 3 --
 
-fn lint_barrier_divergence(spec: &KernelAccessSpec, findings: &mut Vec<Finding>) {
+/// The proven-divergent barriers of a spec, as messages. Shared between the
+/// divergence lint and the coarsening legality pass (a divergent barrier is
+/// undefined behavior outright, so fusing across it is illegal a fortiori).
+pub(crate) fn barrier_divergences(spec: &KernelAccessSpec) -> Vec<String> {
     let wg = spec.geometry.wg_size();
     let items = spec.geometry.items();
-    for (i, &guard) in spec.barriers.iter().enumerate() {
-        let divergent: Option<String> = match guard {
+    spec.barriers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &guard)| match guard {
             Guard::Always => None,
             Guard::LocalLeader if wg > 1 => Some(format!(
                 "barrier {i} runs only on the workgroup leader; the other {} items never reach it",
@@ -378,14 +383,17 @@ fn lint_barrier_divergence(spec: &KernelAccessSpec, findings: &mut Vec<Finding>)
                 n % wg,
                 wg
             )),
-        };
-        if let Some(message) = divergent {
-            findings.push(Finding {
-                kind: LintKind::BarrierDivergence,
-                severity: Severity::Error,
-                message,
-            });
-        }
+        })
+        .collect()
+}
+
+fn lint_barrier_divergence(spec: &KernelAccessSpec, findings: &mut Vec<Finding>) {
+    for message in barrier_divergences(spec) {
+        findings.push(Finding {
+            kind: LintKind::BarrierDivergence,
+            severity: Severity::Error,
+            message,
+        });
     }
 }
 
@@ -397,6 +405,8 @@ fn interval_is_exact(access: &Access, spec: &KernelAccessSpec) -> bool {
     let geom = &spec.geometry;
     match &access.index {
         Index::Opaque { .. } => false,
+        // A data-dependent term's extremes may never be attained.
+        Index::Affine(a) if a.has_opaque() => false,
         Index::Affine(a) => match access.guard {
             Guard::Always | Guard::LocalLeader => true,
             Guard::GlobalLt(n) => n >= geom.items() || a.as_single(Var::GlobalLinear).is_some(),

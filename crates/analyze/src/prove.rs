@@ -29,6 +29,19 @@ pub struct Canon {
     /// Domain size of each variable under the access's guard (a bound of 1
     /// pins the variable to 0).
     pub bounds: [u64; 6],
+    /// Accumulated `(lo, hi)` contribution of [`Var::Opaque`] terms: the
+    /// data-dependent part of the expression lies somewhere in this range,
+    /// independently per workitem. `(0, 0)` when the expression has no
+    /// varying opaque part (degenerate `min == max` terms fold into the
+    /// offset).
+    pub opaque: (i128, i128),
+}
+
+impl Canon {
+    /// Whether the expression carries a varying data-dependent term.
+    pub fn has_opaque(&self) -> bool {
+        self.opaque.0 != self.opaque.1
+    }
 }
 
 /// Variable domain sizes under `guard`, or `None` if the guard admits no
@@ -71,9 +84,20 @@ pub fn canonicalize(a: &Affine, guard: Guard, g: &LintGeometry) -> Option<Canon>
         g.groups(1) as i128,
         g.groups(2) as i128,
     ];
+    let mut offset = a.offset as i128;
+    let mut opaque = (0i128, 0i128);
     for &(var, c) in &a.terms {
         let c = c as i128;
         match var {
+            Var::Opaque { min, max } => {
+                if min == max {
+                    offset += c * min as i128;
+                } else {
+                    let (p, q) = (c * min as i128, c * max as i128);
+                    opaque.0 += p.min(q);
+                    opaque.1 += p.max(q);
+                }
+            }
             Var::Local(d) => coefs[d as usize] += c,
             Var::Group(d) => coefs[3 + d as usize] += c,
             Var::Global(d) => {
@@ -102,16 +126,18 @@ pub fn canonicalize(a: &Affine, guard: Guard, g: &LintGeometry) -> Option<Canon>
     }
     Some(Canon {
         coefs,
-        offset: a.offset as i128,
+        offset,
         bounds,
+        opaque,
     })
 }
 
 impl Canon {
-    /// `(min, max)` of the expression over its domain.
+    /// `(min, max)` of the expression over its domain (including the range
+    /// any data-dependent terms may contribute).
     pub fn interval(&self) -> (i128, i128) {
-        let mut lo = self.offset;
-        let mut hi = self.offset;
+        let mut lo = self.offset + self.opaque.0;
+        let mut hi = self.offset + self.opaque.1;
         for i in 0..6 {
             let span = self.coefs[i] * (self.bounds[i] as i128 - 1);
             if span >= 0 {
@@ -140,8 +166,13 @@ impl Canon {
     }
 
     /// GCD of all coefficients over non-degenerate variables; 0 when the
-    /// expression is constant over its domain.
+    /// expression is constant over its domain. A varying opaque term can
+    /// shift values into any residue class, so it degrades the GCD to 1
+    /// (no residue argument applies, and the expression is not constant).
     pub fn coef_gcd(&self) -> i128 {
+        if self.has_opaque() {
+            return 1;
+        }
         let mut g = 0i128;
         for i in 0..6 {
             if self.bounds[i] > 1 {
@@ -187,13 +218,20 @@ fn injective_pairs(mut pairs: Vec<(i128, u64)>) -> Result<(), String> {
 /// Prove the access index is injective over all active workitems: no two
 /// distinct items (in any groups) ever produce the same index.
 pub fn injective(c: &Canon) -> Result<(), String> {
+    if c.has_opaque() {
+        return Err("index carries a data-dependent (opaque) term".into());
+    }
     injective_pairs(c.part(0..6))
 }
 
 /// A definite (not merely unproven) collision: some varying coordinate has
 /// coefficient zero, so two workitems differing only there share an index.
+/// A data-dependent term makes the collision merely possible, not certain.
 pub fn definite_self_collision(c: &Canon) -> Option<String> {
     const NAMES: [&str; 6] = ["lx", "ly", "lz", "gx", "gy", "gz"];
+    if c.has_opaque() {
+        return None;
+    }
     (0..6)
         .find(|&i| c.bounds[i] > 1 && c.coefs[i] == 0)
         .map(|i| {
@@ -228,6 +266,9 @@ pub fn cross_group_disjoint(c: &Canon) -> Result<(), String> {
     if c.part(3..6).is_empty() {
         // Only one group is active: trivially disjoint across groups.
         return Ok(());
+    }
+    if c.has_opaque() {
+        return Err("a data-dependent term may reach into any group's range".into());
     }
     if injective(c).is_ok() {
         return Ok(());
@@ -313,10 +354,11 @@ pub fn pair_cross_group_disjoint(a: &Canon, b: &Canon) -> PairOutcome {
     PairOutcome::Unknown("no cross-group separation argument applies".into())
 }
 
-/// `(min, max)` of the local part plus offset.
+/// `(min, max)` of the local part plus offset (and any data-dependent
+/// contribution, which is likewise group-independent in range).
 fn local_extent(c: &Canon) -> (i128, i128) {
-    let mut lo = c.offset;
-    let mut hi = c.offset;
+    let mut lo = c.offset + c.opaque.0;
+    let mut hi = c.offset + c.opaque.1;
     for i in 0..3 {
         let span = c.coefs[i] * (c.bounds[i] as i128 - 1);
         if span >= 0 {
@@ -326,6 +368,38 @@ fn local_extent(c: &Canon) -> (i128, i128) {
         }
     }
     (lo, hi)
+}
+
+/// A *definite* overlap between two accesses' element sets from workitems
+/// in different workgroups: both have the same coefficient structure over
+/// the same domain, with a single varying group term of stride `cg`, and
+/// their offsets differ by an in-range multiple `m·cg` — so group `g`'s set
+/// for one access is exactly group `g + m`'s set for the other. Returns `m`
+/// (nonzero) when proven.
+///
+/// Sound only when both canonical domains are *exact* (guards fully encoded
+/// in the bounds, i.e. `Always` / `LocalLeader`): callers must check the
+/// guards before treating the result as a proven violation.
+pub fn definite_cross_group_shift(a: &Canon, b: &Canon) -> Option<i128> {
+    if a.has_opaque() || b.has_opaque() {
+        return None;
+    }
+    if a.coefs != b.coefs || a.bounds != b.bounds {
+        return None;
+    }
+    let group = a.part(3..6);
+    let [(cg, ng)] = group.as_slice() else {
+        return None;
+    };
+    if *cg == 0 {
+        return None;
+    }
+    let d = b.offset - a.offset;
+    if d == 0 || d % cg != 0 {
+        return None;
+    }
+    let m = d / cg;
+    (m.unsigned_abs() < *ng as u128).then_some(m)
 }
 
 /// `(min, max)` element index an access can touch, or `None` when the
@@ -540,6 +614,82 @@ mod tests {
         );
         assert_eq!(pair_cross_group_disjoint(&a, &b), PairOutcome::Disjoint);
         assert!(matches!(pair_disjoint(&a, &b), PairOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn opaque_terms_widen_intervals_and_break_proofs() {
+        let g = LintGeometry::d1(1024, 64);
+        // out[i + t] with t ∈ [0, 7] data-dependent.
+        let a = Affine::of(Var::GlobalLinear).plus_opaque(0, 7, 1);
+        let c = canon(&a, Guard::Always, &g);
+        assert!(c.has_opaque());
+        assert_eq!(c.interval(), (0, 1023 + 7));
+        assert!(injective(&c).is_err());
+        assert!(cross_group_disjoint(&c).is_err());
+        assert!(definite_self_collision(&c).is_none());
+        assert_eq!(c.coef_gcd(), 1);
+        // A degenerate range folds into the offset.
+        let fixed = canon(
+            &Affine::of(Var::GlobalLinear).plus_opaque(5, 5, 2),
+            Guard::Always,
+            &g,
+        );
+        assert!(!fixed.has_opaque());
+        assert_eq!(fixed.offset, 10);
+        assert!(injective(&fixed).is_ok());
+    }
+
+    #[test]
+    fn independent_opaque_terms_do_not_cancel() {
+        // t1 − t2 with t1, t2 ∈ [0, 9]: range [−9, 9], not 0.
+        let g = LintGeometry::d1(64, 64);
+        let a = Affine::constant(100)
+            .plus_opaque(0, 9, 1)
+            .plus_opaque(0, 9, -1);
+        let c = canon(&a, Guard::Always, &g);
+        assert_eq!(c.opaque, (-9, 9));
+        assert_eq!(c.interval(), (91, 109));
+    }
+
+    #[test]
+    fn opaque_interval_separation_still_proves_disjoint() {
+        let g = LintGeometry::d1(256, 64);
+        // Scatter into [0, 299] vs a plain write at [512, 767]: separated.
+        let scatter = canon(
+            &Affine::constant(0).plus_opaque(0, 299, 1),
+            Guard::Always,
+            &g,
+        );
+        let block = canon(&Affine::of(Var::GlobalLinear).plus(512), Guard::Always, &g);
+        assert_eq!(pair_disjoint(&scatter, &block), PairOutcome::Disjoint);
+        // Overlapping ranges stay unknown, never a definite collision.
+        let near = canon(&Affine::of(Var::GlobalLinear), Guard::Always, &g);
+        assert!(matches!(
+            pair_disjoint(&scatter, &near),
+            PairOutcome::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn shifted_neighbor_access_is_a_definite_cross_group_overlap() {
+        let g = LintGeometry::d1(256, 64);
+        // write out[gid], read out[gid + 64]: group g+1 reads group g's set.
+        let w = canon(&Affine::of(Var::GlobalLinear), Guard::Always, &g);
+        let r = canon(&Affine::of(Var::GlobalLinear).plus(64), Guard::Always, &g);
+        assert_eq!(definite_cross_group_shift(&w, &r), Some(1));
+        assert_eq!(definite_cross_group_shift(&r, &w), Some(-1));
+        // A shift beyond the grid never collides.
+        let far = canon(
+            &Affine::of(Var::GlobalLinear).plus(64 * 4),
+            Guard::Always,
+            &g,
+        );
+        assert_eq!(definite_cross_group_shift(&w, &far), None);
+        // A shift that is not a group-stride multiple is outside this
+        // argument's reach (it may still overlap — just not provably-so
+        // here; pair reasoning reports Unknown for it).
+        let sub = canon(&Affine::of(Var::GlobalLinear).plus(3), Guard::Always, &g);
+        assert_eq!(definite_cross_group_shift(&w, &sub), None);
     }
 
     #[test]

@@ -206,16 +206,19 @@ pub(crate) fn execute_kernel(
     launch_timeout: Option<Duration>,
     trace_log: Option<&Arc<TraceLog>>,
     queued_ns: u64,
+    coarsen: usize,
 ) -> Result<Event, ClError> {
     let n_groups = range.n_groups();
     let pool = device.pool();
     let launch_id = trace_log.map_or(0, |t| t.begin_launch());
 
     // Native devices: one chunk per workgroup (the paper's per-workgroup
-    // scheduling overhead stays real). Modeled devices: coarse chunks for
-    // speed, as before.
+    // scheduling overhead stays real), unless the queue attached a proven
+    // coarsening factor — then each chunk fuses `coarsen` consecutive
+    // groups, run back-to-back with their own local memory and barrier
+    // scope. Modeled devices: coarse chunks for speed, as before.
     let groups_per_chunk = match device.kind() {
-        DeviceKind::NativeCpu => 1,
+        DeviceKind::NativeCpu => coarsen.clamp(1, n_groups.max(1)),
         DeviceKind::ModeledCpu(_) | DeviceKind::ModeledGpu(_) => {
             n_groups.div_ceil(usize::max(1, pool.workers() * 8))
         }

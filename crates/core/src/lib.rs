@@ -102,7 +102,7 @@ pub use flow::FlowLog;
 pub use kernel::{ArgBinding, GroupCtx, Kernel, LocalBuf, WorkItem};
 pub use ndrange::{NDRange, ResolvedRange};
 pub use program::{BuildOptions, Program};
-pub use queue::{CommandQueue, QueueConfig, TypedMap, TypedMapMut};
+pub use queue::{CoarsenMode, CommandQueue, QueueConfig, TypedMap, TypedMapMut};
 pub use race::RaceLog;
 pub use sched::{check_linearization, user_event, EventRef, EventStatus, SchedBug, UserEvent};
 pub use trace::{now_ns, Span, SpanKind, TraceLog};

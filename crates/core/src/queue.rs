@@ -64,6 +64,31 @@ pub struct QueueConfig {
     /// Seeded scheduler defect for oracle validation (`CL_SCHED_BUG`). Test
     /// infrastructure — leave `None` outside the `cl-sched` harness.
     pub sched_bug: Option<crate::sched::SchedBug>,
+    /// Workgroup-fusion (thread-coarsening) policy for native dispatch; see
+    /// [`CoarsenMode`]. [`QueueConfig::from_env`] reads `CL_NO_COARSEN` and
+    /// `CL_COARSEN`.
+    pub coarsen: CoarsenMode,
+}
+
+/// Workgroup-fusion policy of a queue (see `cl_analyze::coarsen`).
+///
+/// Native dispatch normally runs one chunk per workgroup. Under coarsening
+/// it fuses `K` consecutive groups into each chunk, amortizing per-chunk
+/// dispatch overhead — but only when the static prover certifies that no
+/// cross-group dependence makes the fusion observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoarsenMode {
+    /// Coarsen kernels with a `Proven` legality verdict by the cost model's
+    /// chosen factor; run everything else uncoarsened. The default.
+    #[default]
+    Auto,
+    /// Never coarsen (`CL_NO_COARSEN=1`).
+    Off,
+    /// Coarsen by exactly this factor (`CL_COARSEN=<K>`, clamped to the
+    /// proven `k_max`). Refused at enqueue time — with
+    /// [`ClError::ContractViolation`] — for any kernel the prover cannot
+    /// certify, including kernels without an access spec.
+    Force(usize),
 }
 
 impl QueueConfig {
@@ -84,12 +109,24 @@ impl QueueConfig {
                 })
                 .unwrap_or(false)
         };
+        // CL_NO_COARSEN wins over CL_COARSEN: the kill switch must be able
+        // to neutralize a forced factor left in the environment.
+        let coarsen = if env_on("CL_NO_COARSEN") {
+            CoarsenMode::Off
+        } else {
+            std::env::var("CL_COARSEN")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&k| k >= 1)
+                .map_or(CoarsenMode::Auto, CoarsenMode::Force)
+        };
         QueueConfig {
             launch_timeout,
             tracing: env_on("CL_TRACE"),
             recording: env_on("CL_FLOW"),
             out_of_order: env_on("CL_OOO"),
             sched_bug: crate::sched::SchedBug::from_env(),
+            coarsen,
         }
     }
 
@@ -123,6 +160,12 @@ impl QueueConfig {
         self.sched_bug = Some(bug);
         self
     }
+
+    /// Set the workgroup-fusion policy.
+    pub fn coarsen(mut self, mode: CoarsenMode) -> Self {
+        self.coarsen = mode;
+        self
+    }
 }
 
 /// A memoized enqueue plan: everything `enqueue_kernel` derives from the
@@ -141,6 +184,10 @@ struct EnqueuePlan {
     /// Lowered flow uses + has_spec; present iff lowering was needed when
     /// the plan was built (recording queue, or any debug build).
     lowered: Option<LoweredUses>,
+    /// Proven workgroup-fusion factor applied by native dispatch (1 = no
+    /// coarsening). Computed once per plan — the legality proof and cost
+    /// model run on cache misses only.
+    coarsen: usize,
 }
 
 /// A kernel's arg bindings lowered to flow uses, plus whether the kernel
@@ -225,14 +272,14 @@ impl CommandQueue {
         &self,
         kernel: &Arc<dyn Kernel>,
         range: NDRange,
-    ) -> Option<(ResolvedRange, Option<LoweredUses>)> {
+    ) -> Option<(ResolvedRange, Option<LoweredUses>, usize)> {
         let mut plans = self.plans.lock();
         let mut hit = None;
         plans.retain(|p| match p.kernel.upgrade() {
             None => false,
             Some(k) => {
                 if hit.is_none() && p.range == range && Arc::ptr_eq(&k, kernel) {
-                    hit = Some((p.resolved, p.lowered.clone()));
+                    hit = Some((p.resolved, p.lowered.clone(), p.coarsen));
                 }
                 true
             }
@@ -287,11 +334,11 @@ impl CommandQueue {
         kernel: &Arc<dyn Kernel>,
         range: NDRange,
         need_lowered: bool,
-    ) -> Result<(ResolvedRange, Option<LoweredUses>), ClError> {
+    ) -> Result<(ResolvedRange, Option<LoweredUses>, usize), ClError> {
         let device = self.ctx.device();
         match self
             .cached_plan(kernel, range)
-            .filter(|(_, lowered)| !need_lowered || lowered.is_some())
+            .filter(|(_, lowered, _)| !need_lowered || lowered.is_some())
         {
             Some(plan) => Ok(plan),
             None => {
@@ -309,13 +356,16 @@ impl CommandQueue {
                 if let Some((uses, _)) = &lowered {
                     check_flag_contract(kernel.name(), uses)?;
                 }
+                let coarsen =
+                    coarsen_factor(kernel, &resolved, self.cfg.coarsen, device.pool().workers())?;
                 self.remember_plan(EnqueuePlan {
                     kernel: Arc::downgrade(kernel),
                     range,
                     resolved,
                     lowered: lowered.clone(),
+                    coarsen,
                 });
-                Ok((resolved, lowered))
+                Ok((resolved, lowered, coarsen))
             }
         }
     }
@@ -359,7 +409,7 @@ impl CommandQueue {
         // cached, so a rejected kernel is re-checked (and re-rejected)
         // every time.
         let need_lowered = self.flow.is_some() || self.race.is_some() || cfg!(debug_assertions);
-        let (resolved, lowered) = self.plan_for(kernel, range, need_lowered)?;
+        let (resolved, lowered, coarsen) = self.plan_for(kernel, range, need_lowered)?;
         // Debug-build enqueue gate #3, cross-queue: would this launch race
         // with another queue's recorded commands? Unlike the per-kernel
         // gates above it depends on *stream state*, so it runs even on
@@ -389,6 +439,7 @@ impl CommandQueue {
             self.cfg.launch_timeout,
             self.trace.as_ref(),
             queued_ns,
+            coarsen,
         );
         if let Some(rl) = &self.race {
             // Launches record as *asynchronous* commands — OpenCL
@@ -461,7 +512,7 @@ impl CommandQueue {
         // unconditional here. All per-kernel debug gates run at submit time;
         // the cross-queue gate is skipped — it assumes in-order program
         // order, and OOO streams are certified offline by `cl-race` instead.
-        let (resolved, lowered) = self.plan_for(kernel, range, true)?;
+        let (resolved, lowered, coarsen) = self.plan_for(kernel, range, true)?;
         let seq = self.next_seq();
         let (uses, has_spec) = lowered.unwrap_or_default();
         let flow_cmd = FlowCommand::new(
@@ -505,7 +556,15 @@ impl CommandQueue {
                 }
             });
             let respawned = device.pool().recover() as u64;
-            let res = execute_kernel(&device, &k, &resolved, timeout, trace.as_ref(), queued_ns);
+            let res = execute_kernel(
+                &device,
+                &k,
+                &resolved,
+                timeout,
+                trace.as_ref(),
+                queued_ns,
+                coarsen,
+            );
             if let Some(rl) = &race {
                 // Recorded at completion: a dependency's record is always
                 // pushed before its dependents' (completion order), so
@@ -1159,6 +1218,62 @@ fn elem_offset_bytes<T: Pod>(base: usize, offset: usize) -> Result<usize, ClErro
 /// before it executes. Unproven properties pass — they are what the dynamic
 /// `validate_disjoint_writes` exists for. Set `CL_SKIP_STATIC_CHECK=1` to
 /// opt out (e.g. when deliberately launching a racy fixture).
+/// Decide the workgroup-fusion factor for one (kernel, resolved range)
+/// plan under the queue's [`CoarsenMode`]. Runs once per plan-cache miss.
+///
+/// `Auto` coarsens only kernels whose access spec the prover certifies
+/// (`Proven`), by the cost model's chosen factor; spec-less, `Unknown`,
+/// and `Illegal` kernels silently run uncoarsened. `Force(k)` is an
+/// assertion of legality the prover must back: any kernel it cannot
+/// certify is rejected at enqueue time with
+/// [`ClError::ContractViolation`] — in release builds too, unlike the
+/// debug-only contract gates.
+fn coarsen_factor(
+    kernel: &Arc<dyn Kernel>,
+    resolved: &crate::ndrange::ResolvedRange,
+    mode: CoarsenMode,
+    workers: usize,
+) -> Result<usize, ClError> {
+    let analyzed = |k: &Arc<dyn Kernel>| {
+        k.access_spec(resolved)
+            .map(|spec| (cl_analyze::analyze_coarsen(&spec), spec))
+    };
+    match mode {
+        CoarsenMode::Off => Ok(1),
+        CoarsenMode::Auto => Ok(match analyzed(kernel) {
+            None => 1,
+            Some((analysis, spec)) => {
+                let profile = kernel.profile();
+                // Arithmetic ops per 4-byte element moved — the one feature
+                // the access spec cannot carry.
+                let ratio = profile.flops / (profile.mem_bytes / 4.0).max(1.0);
+                let feats = cl_analyze::features(&spec, ratio);
+                cl_analyze::choose_factor(&analysis, &feats, workers).factor
+            }
+        }),
+        CoarsenMode::Force(k) => {
+            let k = k.max(1);
+            let refuse = |why: String| {
+                Err(ClError::ContractViolation {
+                    kernel: kernel.name().to_string(),
+                    findings: vec![format!("forced coarsening x{k} refused: {why}")],
+                })
+            };
+            match analyzed(kernel) {
+                None => refuse("kernel publishes no access spec to prove fusion legality".into()),
+                Some((analysis, _)) => match analysis.verdict {
+                    cl_analyze::CoarsenVerdict::Proven { k_max } => Ok(k.min(k_max)),
+                    v => refuse(format!(
+                        "coarsening verdict is {}: {}",
+                        v.label(),
+                        v.reason()
+                    )),
+                },
+            }
+        }
+    }
+}
+
 #[cfg(debug_assertions)]
 fn check_contract(
     kernel: &Arc<dyn Kernel>,

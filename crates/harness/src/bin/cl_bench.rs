@@ -248,6 +248,35 @@ fn run_suite(opts: &Opts) -> Report {
         push(&format!("dispatch/wg{wg}"), "ns/group", stats);
     }
 
+    // --- Thread coarsening: fused vs serial dispatch ---------------------
+    // The same Proven kernel and geometry on two queues. The default
+    // (Auto) queue fuses K workgroups per chunk under the `cl_analyze`
+    // coarsening certificate; the Off queue runs the historical one chunk
+    // per group. Both gated — the committed baseline ratio between them IS
+    // the documented fused-dispatch speedup.
+    let built = cl_kernels::apps::square::build(&ctx, SWEEP_N, 1, Some(64), 7);
+    let groups = (SWEEP_N / 64) as u64;
+    let q_off = ctx.queue_with(
+        QueueConfig::default()
+            .launch_timeout(Duration::from_secs(60))
+            .coarsen(ocl_rt::CoarsenMode::Off),
+    );
+    let stats = sample(warm, samples, groups, || {
+        q.enqueue_kernel(&built.kernel, built.range)
+            .expect("fused enqueue");
+        groups
+    });
+    built.verify(&q).expect("fused results");
+    push("coarsen/fused-vs-serial", "ns/group", stats);
+    let stats = sample(warm, samples, groups, || {
+        q_off
+            .enqueue_kernel(&built.kernel, built.range)
+            .expect("serial enqueue");
+        groups
+    });
+    built.verify(&q_off).expect("serial results");
+    push("overhead/coarsen-off", "ns/group", stats);
+
     // --- Deque steal throughput ------------------------------------------
     // Push N unit tasks into a worker deque, drain them through a stealer's
     // steal_batch_and_pop into a second local queue — the pool's sibling

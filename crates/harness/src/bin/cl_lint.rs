@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use cl_analyze::{analyze, Severity, Verdict};
+use cl_analyze::{analyze, analyze_coarsen, CoarsenVerdict, Severity, Verdict};
 use cl_kernels::access::SpecCoverage;
 use cl_kernels::registry::{parboil_kernels, simple_apps};
 
@@ -39,7 +39,21 @@ struct Row {
     bounds: Verdict,
     checked_writes: usize,
     checked_accesses: usize,
+    /// Coarsening-legality verdict (`cl_analyze::coarsen`); `None` for
+    /// exempt launches.
+    coarsen: Option<CoarsenVerdict>,
     findings: Vec<(Severity, String)>,
+}
+
+/// Spec'd kernels allowed to be non-`Proven` for coarsening. A spec'd
+/// kernel outside this list that regresses from `Proven` fails the run —
+/// the registry's whole point is that its kernels stay certifiable.
+const ALLOW_UNPROVEN_COARSEN: &[(&str, &str)] = &[];
+
+fn coarsen_allowed(benchmark: &str, kernel: &str) -> bool {
+    ALLOW_UNPROVEN_COARSEN
+        .iter()
+        .any(|&(b, k)| b == benchmark && k == kernel)
 }
 
 impl Row {
@@ -142,6 +156,7 @@ fn main() {
                         bounds: Verdict::Unknown,
                         checked_writes: 0,
                         checked_accesses: 0,
+                        coarsen: None,
                         findings: Vec::new(),
                     });
                     continue;
@@ -149,6 +164,7 @@ fn main() {
                 Some(SpecCoverage::Spec(spec)) => *spec,
             };
             let a = analyze(&spec);
+            let coarsen = analyze_coarsen(&spec).verdict;
             rows.push(Row {
                 benchmark: entry.benchmark,
                 kernel: entry.kernel,
@@ -161,6 +177,7 @@ fn main() {
                 bounds: a.bounds,
                 checked_writes: a.checked_writes,
                 checked_accesses: a.checked_accesses,
+                coarsen: Some(coarsen),
                 findings: a
                     .findings
                     .iter()
@@ -203,6 +220,24 @@ fn main() {
     for m in &missing {
         eprintln!("cl-lint: error: {m}: kernel publishes no access spec");
     }
+    // Coarsening regressions: a spec'd registry kernel the prover can no
+    // longer certify (outside the documented allowlist) fails the run.
+    let mut coarsen_regressions = 0usize;
+    for row in &rows {
+        if let Some(v) = &row.coarsen {
+            if !v.is_proven() && !coarsen_allowed(row.benchmark, row.kernel) {
+                coarsen_regressions += 1;
+                eprintln!(
+                    "cl-lint: error: {}/{} at {}: coarsening verdict regressed to {}: {}",
+                    row.benchmark,
+                    row.kernel,
+                    row.global,
+                    v.label(),
+                    v.reason()
+                );
+            }
+        }
+    }
     let exempt = rows.iter().filter(|r| r.exempt.is_some()).count();
     println!(
         "cl-lint: {} launches checked, {errors} errors, {warnings} warnings, \
@@ -211,7 +246,11 @@ fn main() {
         missing.len()
     );
 
-    if errors > 0 || !missing.is_empty() || (deny_warnings && warnings > 0) {
+    if errors > 0
+        || !missing.is_empty()
+        || coarsen_regressions > 0
+        || (deny_warnings && warnings > 0)
+    {
         std::process::exit(1);
     }
 }
@@ -227,13 +266,13 @@ fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
          launch; `unknown` would fall back to the dynamic validator.\n"
     );
     md.push_str(
-        "| Benchmark | Kernel | Global | Local | Coverage | Disjoint writes | Local races | Barriers | Bounds | Writes | Accesses |\n",
+        "| Benchmark | Kernel | Global | Local | Coverage | Disjoint writes | Local races | Barriers | Bounds | Coarsen | Writes | Accesses |\n",
     );
-    md.push_str("|---|---|---|---|---|---|---|---|---|---:|---:|\n");
+    md.push_str("|---|---|---|---|---|---|---|---|---|---|---:|---:|\n");
     for r in rows {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {}x{}x{} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {}x{}x{} | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.benchmark,
             r.kernel,
             r.global,
@@ -245,6 +284,7 @@ fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
             r.verdict_cell(r.local_races),
             r.verdict_cell(r.barriers),
             r.verdict_cell(r.bounds),
+            r.coarsen.as_ref().map_or("—".into(), |v| v.label()),
             r.checked_writes,
             r.checked_accesses,
         );
@@ -286,7 +326,7 @@ fn render_md(rows: &[Row], missing: &[String], default_wg: usize) -> String {
 
 fn render_csv(rows: &[Row]) -> String {
     let mut csv = String::from(
-        "benchmark,kernel,global,local,coverage,disjoint_writes,local_races,barrier_divergence,bounds,checked_writes,checked_accesses,findings\n",
+        "benchmark,kernel,global,local,coverage,disjoint_writes,local_races,barrier_divergence,bounds,coarsen,checked_writes,checked_accesses,findings\n",
     );
     for r in rows {
         let cell = |v: Verdict| {
@@ -306,6 +346,7 @@ fn render_csv(rows: &[Row]) -> String {
             cell(r.local_races).to_string(),
             cell(r.barriers).to_string(),
             cell(r.bounds).to_string(),
+            r.coarsen.as_ref().map_or("-".to_string(), |v| v.label()),
             r.checked_writes.to_string(),
             r.checked_accesses.to_string(),
             r.findings.len().to_string(),

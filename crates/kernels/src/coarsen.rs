@@ -1,0 +1,183 @@
+//! Seeded coarsening-legality defects for the `cl-coarsen` harness.
+//!
+//! Each fixture is a runnable kernel whose access spec encodes a specific
+//! cross-group pattern the coarsening prover (`cl_analyze::coarsen`) must
+//! classify correctly:
+//!
+//! * [`NeighborShift`] — group `g` reads elements group `g+1` writes: a
+//!   definite cross-group RAW, verdict **Illegal** (and genuinely
+//!   order-dependent at runtime — fusing groups changes its output).
+//! * [`AllWriteZero`] — every group writes the *same* `wg_size` elements
+//!   (`out[lx] = group`): a definite group-blind WAW, verdict **Illegal**.
+//! * [`IndirectScatter`] — writes through a data-dependent index buffer:
+//!   the prover cannot decide legality, verdict **Unknown** (never
+//!   `Illegal` — the indices may well be a permutation).
+//!
+//! The certification harness checks that the prover refuses the two
+//! illegal fixtures, stays conservative on the scatter, and that a queue
+//! with a forced factor (`CL_COARSEN=K` / `CoarsenMode::Force`) rejects
+//! all three at enqueue time.
+
+use std::sync::Arc;
+
+use cl_analyze::{Affine, Guard, Index, SpecBuilder, Var};
+use ocl_rt::{
+    ArgBinding, Buffer, Context, GroupCtx, Kernel, KernelProfile, MemFlags, NDRange, ResolvedRange,
+};
+
+/// `out[gid] = out[gid + wg_size] * 0.5` — reads the neighbor group's
+/// slots while writing its own: a definite cross-group RAW dependence.
+/// Allocate `out` with `items + wg_size` elements.
+pub struct NeighborShift {
+    pub out: Buffer<f32>,
+}
+
+impl Kernel for NeighborShift {
+    fn name(&self) -> &str {
+        "neighbor_shift"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let out = self.out.view_mut();
+        let wg = g.local_size(0);
+        g.for_each(|wi| {
+            let i = wi.global_linear();
+            let neighbor = out.get(i + wg);
+            out.set(i, neighbor * 0.5);
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(1.0, 8.0)
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        let geom = range.lint_geometry();
+        let wg = geom.wg_size() as i64;
+        let mut b = SpecBuilder::new(self.name(), geom);
+        let out = b.buffer("out", self.out.len());
+        b.read(out, Affine::of(Var::GlobalLinear).plus(wg), Guard::Always);
+        b.write(out, Affine::of(Var::GlobalLinear), Guard::Always);
+        Some(b.finish())
+    }
+
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        vec![ArgBinding::of("out", &self.out)]
+    }
+}
+
+/// Build a [`NeighborShift`] launch over `n` items at workgroup size `wg`.
+pub fn neighbor_shift(ctx: &Context, n: usize, wg: usize) -> (Arc<dyn Kernel>, NDRange) {
+    let out = ctx
+        .buffer_from(MemFlags::READ_WRITE, &vec![1.0f32; n + wg])
+        .unwrap();
+    (Arc::new(NeighborShift { out }), NDRange::d1(n).local1(wg))
+}
+
+/// `out[lx] = group` — every group writes the same `wg_size` slots, a
+/// definite group-blind cross-group WAW (the final contents depend on
+/// which group ran last).
+pub struct AllWriteZero {
+    pub out: Buffer<f32>,
+}
+
+impl Kernel for AllWriteZero {
+    fn name(&self) -> &str {
+        "all_write_zero"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let out = self.out.view_mut();
+        let group = g.group_id(0);
+        g.for_each(|wi| out.set(wi.local_id(0), group as f32));
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(0.0, 4.0)
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+        let out = b.buffer("out", self.out.len());
+        b.write(out, Affine::of(Var::LocalLinear), Guard::Always);
+        Some(b.finish())
+    }
+
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        vec![ArgBinding::of("out", &self.out)]
+    }
+}
+
+/// Build an [`AllWriteZero`] launch over `n` items at workgroup size `wg`.
+pub fn all_write_zero(ctx: &Context, n: usize, wg: usize) -> (Arc<dyn Kernel>, NDRange) {
+    let out = ctx
+        .buffer_from(MemFlags::READ_WRITE, &vec![0.0f32; wg])
+        .unwrap();
+    (Arc::new(AllWriteZero { out }), NDRange::d1(n).local1(wg))
+}
+
+/// `out[idx[gid]] = 1.0` — a scatter through a data-dependent index
+/// buffer. Statically undecidable: the spec publishes an opaque write
+/// covering the whole output, so the verdict must be `Unknown`.
+pub struct IndirectScatter {
+    pub idx: Buffer<u32>,
+    pub out: Buffer<f32>,
+}
+
+impl Kernel for IndirectScatter {
+    fn name(&self) -> &str {
+        "indirect_scatter"
+    }
+
+    fn run_group(&self, g: &mut GroupCtx) {
+        let idx = self.idx.view();
+        let out = self.out.view_mut();
+        g.for_each(|wi| {
+            let target = idx.get(wi.global_linear()) as usize;
+            out.set(target, 1.0);
+        });
+    }
+
+    fn profile(&self) -> KernelProfile {
+        KernelProfile::streaming(0.0, 8.0).uncoalesced()
+    }
+
+    fn access_spec(&self, range: &ResolvedRange) -> Option<cl_analyze::KernelAccessSpec> {
+        let mut b = SpecBuilder::new(self.name(), range.lint_geometry());
+        let idx = b.buffer("idx", self.idx.len());
+        let out = b.buffer("out", self.out.len());
+        b.read(idx, Affine::of(Var::GlobalLinear), Guard::Always);
+        b.write(
+            out,
+            Index::Opaque {
+                min: 0,
+                max: self.out.len().saturating_sub(1) as i64,
+            },
+            Guard::Always,
+        );
+        Some(b.finish())
+    }
+
+    fn buffer_bindings(&self) -> Vec<ArgBinding> {
+        vec![
+            ArgBinding::of("idx", &self.idx),
+            ArgBinding::of("out", &self.out),
+        ]
+    }
+}
+
+/// Build an [`IndirectScatter`] launch over `n` items at workgroup size
+/// `wg`, with a seeded permutation-free index pattern (`idx[i] = i/2` —
+/// colliding pairs, so group order genuinely cannot be proven immaterial
+/// from the values either).
+pub fn indirect_scatter(ctx: &Context, n: usize, wg: usize) -> (Arc<dyn Kernel>, NDRange) {
+    let idx: Vec<u32> = (0..n).map(|i| (i / 2) as u32).collect();
+    let idx = ctx.buffer_from(MemFlags::READ_ONLY, &idx).unwrap();
+    let out = ctx
+        .buffer_from(MemFlags::READ_WRITE, &vec![0.0f32; n])
+        .unwrap();
+    (
+        Arc::new(IndirectScatter { idx, out }),
+        NDRange::d1(n).local1(wg),
+    )
+}

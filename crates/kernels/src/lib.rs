@@ -40,6 +40,7 @@
 pub mod access;
 pub mod apps;
 pub mod chaos;
+pub mod coarsen;
 pub mod ilp;
 pub mod mbench;
 pub mod parboil;

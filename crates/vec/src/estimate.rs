@@ -39,9 +39,13 @@ impl LoopShape {
         self
     }
 
+    /// Set the vectorizable fraction. Out-of-range values are clamped into
+    /// `0..=1` and NaN is rejected (falls back to fully-scalar `0.0`)
+    /// rather than poisoning every downstream cost ratio: shapes come from
+    /// measured profiles, where a degenerate denominator can produce
+    /// `-0.01`, `1.0000002`, or `0/0` without the caller noticing.
     pub fn with_vector_fraction(mut self, f: f64) -> Self {
-        assert!((0.0..=1.0).contains(&f));
-        self.vector_fraction = f;
+        self.vector_fraction = if f.is_nan() { 0.0 } else { f.clamp(0.0, 1.0) };
         self
     }
 }
@@ -169,6 +173,24 @@ mod tests {
         );
         // 50% scalar body: speedup = 1 / (0.5/4 + 0.5) = 1.6.
         assert!((e.speedup - 1.6).abs() < 0.01, "{e:?}");
+    }
+
+    #[test]
+    fn degenerate_vector_fractions_are_sanitized() {
+        // Overshoot from float noise clamps to the boundary.
+        let hi = LoopShape::new(64).with_vector_fraction(1.0 + 1e-7);
+        assert_eq!(hi.vector_fraction, 1.0);
+        let lo = LoopShape::new(64).with_vector_fraction(-0.01);
+        assert_eq!(lo.vector_fraction, 0.0);
+        // NaN (e.g. a 0/0 profile ratio) degrades to fully scalar.
+        let nan = LoopShape::new(64).with_vector_fraction(f64::NAN);
+        assert_eq!(nan.vector_fraction, 0.0);
+        // And the sanitized shapes keep the estimate finite and sane.
+        let e = estimate(&vec_report(4, false), nan);
+        assert!(e.speedup.is_finite());
+        assert!((e.speedup - 1.0).abs() < 1e-9, "{e:?}");
+        let e = estimate(&vec_report(4, false), hi);
+        assert!(e.speedup.is_finite() && e.speedup > 1.0);
     }
 
     #[test]
