@@ -22,6 +22,7 @@
 #   sched         cl-sched OOO DAG fuzz + seeded-bug catch (regenerates results/sched.md)
 #   serve         cl-load 64-tenant serving soak (regenerates results/serve.md)
 #   coarsen       cl-coarsen --stable --workers 2 (regenerates results/coarsen.md)
+#   tune          cl-tune --stable --workers 2 (regenerates results/tune.md)
 #   bench-gate    cl-bench --fast vs BENCH_BASELINE.json -> BENCH.json
 #   drift         git diff --exit-code results/ (regenerated reports committed?)
 #
@@ -157,11 +158,29 @@ stage_coarsen() {
     cargo run --release --quiet --bin cl-coarsen -- --stable --workers 2 --out results
 }
 
+# Autotuner convergence gate: the Table II sweep plus skewed geometries
+# must converge within the pinned trial budget to within 5% of the
+# exhaustively-measured best config, and a cold-cache second process must
+# reuse the persisted decisions with zero additional trials. Nonzero exit
+# on any miss. --stable masks measured cells so results/tune.md stays
+# drift-tracked (the prior and trial schedule are deterministic).
+stage_tune() {
+    cargo run --release --quiet --bin cl-tune -- --stable --workers 2 --out results
+}
+
 # The performance gate: run the microbenchmark suite and compare against
 # the committed baseline; a median regression beyond max(abs floor, k*MAD)
-# exits nonzero. BENCH.json is the machine-readable run artifact.
+# exits nonzero. BENCH.json is the machine-readable run artifact. On
+# failure, echo the baseline's provenance header so the log names the
+# machine/revision the thresholds came from (refresh with
+# `cl-bench --refresh-baseline`).
 stage_bench_gate() {
-    cargo run --release --quiet --bin cl-bench -- --fast
+    if ! cargo run --release --quiet --bin cl-bench -- --fast; then
+        echo "bench-gate: baseline provenance:" >&2
+        grep -o '"provenance": {[^}]*}' BENCH_BASELINE.json >&2 ||
+            echo "bench-gate: (no provenance header in BENCH_BASELINE.json)" >&2
+        return 1
+    fi
 }
 
 stage_drift() {
@@ -185,6 +204,7 @@ run_stage race
 run_stage sched
 run_stage serve
 run_stage coarsen
+run_stage tune
 run_stage bench-gate
 run_stage drift
 

@@ -91,6 +91,7 @@ mod validate;
 /// Re-export so consumers can implement [`Kernel::access_spec`] (whose
 /// signature names `cl_analyze` types) without adding the crate themselves.
 pub use cl_analyze;
+pub use cl_tune;
 
 pub use affinity_exec::AffinityExecutor;
 pub use buffer::{BufView, BufViewMut, Buffer, Pod};

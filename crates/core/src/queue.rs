@@ -68,6 +68,17 @@ pub struct QueueConfig {
     /// [`CoarsenMode`]. [`QueueConfig::from_env`] reads `CL_NO_COARSEN` and
     /// `CL_COARSEN`.
     pub coarsen: CoarsenMode,
+    /// Online autotuning of NULL-local launches: consult the shared
+    /// per-process [`cl_tune::Tuner`] for (workgroup size, chunk factor)
+    /// instead of the fixed heuristic. Explicit local sizes and
+    /// [`CoarsenMode::Force`] bypass the tuner; converged decisions ride
+    /// the enqueue-plan cache, so the steady-state hot path is unchanged.
+    /// Off by default; [`QueueConfig::from_env`] reads `CL_TUNE`.
+    pub tune: bool,
+    /// Use this tuner instance instead of the process-global one (tests and
+    /// harnesses inject isolated tuners with private cache files). Implies
+    /// tuning regardless of [`QueueConfig::tune`].
+    pub tuner: Option<Arc<cl_tune::Tuner>>,
 }
 
 /// Workgroup-fusion policy of a queue (see `cl_analyze::coarsen`).
@@ -127,6 +138,8 @@ impl QueueConfig {
             out_of_order: env_on("CL_OOO"),
             sched_bug: crate::sched::SchedBug::from_env(),
             coarsen,
+            tune: cl_tune::Tuner::enabled_from_env(),
+            tuner: None,
         }
     }
 
@@ -164,6 +177,19 @@ impl QueueConfig {
     /// Set the workgroup-fusion policy.
     pub fn coarsen(mut self, mode: CoarsenMode) -> Self {
         self.coarsen = mode;
+        self
+    }
+
+    /// Enable or disable online autotuning of NULL-local launches.
+    pub fn tune(mut self, on: bool) -> Self {
+        self.tune = on;
+        self
+    }
+
+    /// Tune against this specific [`cl_tune::Tuner`] instead of the
+    /// process-global one.
+    pub fn tuner(mut self, tuner: Arc<cl_tune::Tuner>) -> Self {
+        self.tuner = Some(tuner);
         self
     }
 }
@@ -225,6 +251,10 @@ pub struct CommandQueue {
     /// The pending-DAG scheduler; allocated iff `cfg.out_of_order`, shared
     /// by clones like the logs.
     sched: Option<Arc<Scheduler>>,
+    /// The tuner consulted for NULL-local launches: the injected instance,
+    /// or the process-global one when `cfg.tune` is set. `None` (the
+    /// default) leaves every enqueue on the fixed heuristic.
+    tuner: Option<Arc<cl_tune::Tuner>>,
 }
 
 impl CommandQueue {
@@ -243,6 +273,10 @@ impl CommandQueue {
                 race.is_some(),
             ))
         });
+        let tuner = cfg
+            .tuner
+            .clone()
+            .or_else(|| cfg.tune.then(|| Arc::clone(cl_tune::Tuner::process())));
         CommandQueue {
             ctx,
             cfg,
@@ -253,6 +287,7 @@ impl CommandQueue {
             seq: Arc::new(AtomicU64::new(0)),
             plans: Arc::new(Mutex::new(Vec::new())),
             sched,
+            tuner,
         }
     }
 
@@ -318,6 +353,13 @@ impl CommandQueue {
         self.flow.as_ref()
     }
 
+    /// The tuner this queue consults for NULL-local launches, when tuning
+    /// is enabled ([`QueueConfig::tune`] / `CL_TUNE=1`, or an injected
+    /// [`QueueConfig::tuner`]).
+    pub fn tuner(&self) -> Option<&Arc<cl_tune::Tuner>> {
+        self.tuner.as_ref()
+    }
+
     fn check_ctx<T: Pod>(&self, buf: &Buffer<T>) -> Result<(), ClError> {
         if buf.inner.ctx_id != self.ctx.inner.id {
             return Err(ClError::WrongContext);
@@ -370,6 +412,116 @@ impl CommandQueue {
         }
     }
 
+    /// [`plan_for`](Self::plan_for) with the tuner in the loop. Tuned
+    /// queues route NULL-local launches through [`cl_tune::Tuner::decide`]:
+    /// converged decisions build a plan that is remembered in the enqueue-
+    /// plan cache (so the steady state is a cache hit — one branch, no
+    /// tuner involvement), trial decisions build a throwaway plan and
+    /// return the `(key, config)` pair whose launch time the caller must
+    /// report back. Explicit local sizes and [`CoarsenMode::Force`] bypass
+    /// the tuner entirely, as does an untuned queue.
+    #[allow(clippy::type_complexity)]
+    fn plan_with_tuner(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+        need_lowered: bool,
+    ) -> Result<
+        (
+            ResolvedRange,
+            Option<LoweredUses>,
+            usize,
+            Option<(cl_tune::TuneKey, cl_tune::TunedConfig)>,
+        ),
+        ClError,
+    > {
+        let bypass = self.tuner.is_none()
+            || range.local().is_some()
+            || matches!(self.cfg.coarsen, CoarsenMode::Force(_));
+        if bypass {
+            return self
+                .plan_for(kernel, range, need_lowered)
+                .map(|(r, l, c)| (r, l, c, None));
+        }
+        // Converged decisions ride the plan cache: a hit here IS the tuned
+        // steady-state path, same cost as an untuned cache hit.
+        if let Some((resolved, lowered, coarsen)) = self
+            .cached_plan(kernel, range)
+            .filter(|(_, lowered, _)| !need_lowered || lowered.is_some())
+        {
+            return Ok((resolved, lowered, coarsen, None));
+        }
+        let tuner = self.tuner.as_ref().expect("checked above");
+        let device = self.ctx.device();
+        let key = cl_tune::TuneKey {
+            kernel: kernel.name().to_string(),
+            global: range.global(),
+            dims: range.dims(),
+            device: device.name().to_string(),
+            workers: device.pool().workers(),
+        };
+        match tuner.decide(&key, || tune_candidates(kernel, range, device)) {
+            cl_tune::Decision::Fallback => self
+                .plan_for(kernel, range, need_lowered)
+                .map(|(r, l, c)| (r, l, c, None)),
+            cl_tune::Decision::Converged(cfg) => self
+                .build_tuned_plan(kernel, range, cfg, need_lowered, true)
+                .map(|(r, l, c)| (r, l, c, None)),
+            cl_tune::Decision::Trial(cfg) => self
+                .build_tuned_plan(kernel, range, cfg, need_lowered, false)
+                .map(|(r, l, c)| (r, l, c, Some((key, cfg)))),
+        }
+    }
+
+    /// Build (and optionally memoize) the enqueue plan for a tuner-chosen
+    /// configuration: resolve the NULL-local range with the tuned explicit
+    /// workgroup size, run the same debug contract gates as the untuned
+    /// path, and clamp the tuned chunk request to what the coarsening
+    /// prover certifies (`Proven{k_max}`; anything weaker runs uncoarsened
+    /// — the tuner proposes, the prover disposes). Trial plans are not
+    /// remembered: only converged decisions enter the plan cache, keyed
+    /// under the *original* NULL-local range so future enqueues hit.
+    fn build_tuned_plan(
+        &self,
+        kernel: &Arc<dyn Kernel>,
+        range: NDRange,
+        cfg: cl_tune::TunedConfig,
+        need_lowered: bool,
+        remember: bool,
+    ) -> Result<(ResolvedRange, Option<LoweredUses>, usize), ClError> {
+        let device = self.ctx.device();
+        let resolved = range
+            .local1(cfg.wg)
+            .resolve_with(device.default_wg(), device.null_target_groups())?;
+        #[cfg(debug_assertions)]
+        check_contract(kernel, &resolved)?;
+        let lowered = need_lowered.then(|| flow::launch_uses(kernel.as_ref(), &resolved));
+        #[cfg(debug_assertions)]
+        if let Some((uses, _)) = &lowered {
+            check_flag_contract(kernel.name(), uses)?;
+        }
+        let coarsen = match self.cfg.coarsen {
+            CoarsenMode::Off => 1,
+            _ => kernel
+                .access_spec(&resolved)
+                .map(|spec| cl_analyze::analyze_coarsen(&spec))
+                .map_or(1, |analysis| match analysis.verdict {
+                    cl_analyze::CoarsenVerdict::Proven { k_max } => cfg.chunk.min(k_max).max(1),
+                    _ => 1,
+                }),
+        };
+        if remember {
+            self.remember_plan(EnqueuePlan {
+                kernel: Arc::downgrade(kernel),
+                range,
+                resolved,
+                lowered: lowered.clone(),
+                coarsen,
+            });
+        }
+        Ok((resolved, lowered, coarsen))
+    }
+
     /// `clEnqueueNDRangeKernel` (blocking). The workgroup size comes from
     /// `range`; passing a range without `local*` reproduces the NULL
     /// `local_work_size` behaviour.
@@ -409,7 +561,8 @@ impl CommandQueue {
         // cached, so a rejected kernel is re-checked (and re-rejected)
         // every time.
         let need_lowered = self.flow.is_some() || self.race.is_some() || cfg!(debug_assertions);
-        let (resolved, lowered, coarsen) = self.plan_for(kernel, range, need_lowered)?;
+        let (resolved, lowered, coarsen, trial) =
+            self.plan_with_tuner(kernel, range, need_lowered)?;
         // Debug-build enqueue gate #3, cross-queue: would this launch race
         // with another queue's recorded commands? Unlike the per-kernel
         // gates above it depends on *stream state*, so it runs even on
@@ -472,6 +625,19 @@ impl CommandQueue {
         ev.workers_respawned = respawned;
         ev.queue_id = self.id;
         ev.seq = seq;
+        // Close the tuning loop: report the trial's execution window (the
+        // PR 3 profiling timestamps; modeled time on modeled devices) back
+        // to the bandit. Failed launches return above and are never
+        // observed, so a faulting config cannot win on a short bogus time.
+        if let Some((key, tcfg)) = trial {
+            if let Some(tuner) = &self.tuner {
+                let ns = ev
+                    .profiling
+                    .completed_ns
+                    .saturating_sub(ev.profiling.started_ns);
+                tuner.observe(&key, tcfg, ns as f64);
+            }
+        }
         Ok(ev)
     }
 
@@ -1272,6 +1438,37 @@ fn coarsen_factor(
             }
         }
     }
+}
+
+/// Build the tuner's candidate shortlist for one NULL-local launch: the
+/// untuned heuristic resolution (always a candidate — the tuner can only
+/// match or beat it on measured configs), the kernel's static features
+/// when it publishes an access spec, and the [`cl_tune::shortlist`] prior
+/// over both. Runs once per [`cl_tune::TuneKey`] per process.
+fn tune_candidates(
+    kernel: &Arc<dyn Kernel>,
+    range: NDRange,
+    device: &crate::device::Device,
+) -> Vec<cl_tune::TunedConfig> {
+    let Ok(default) = range.resolve_with(device.default_wg(), device.null_target_groups()) else {
+        return Vec::new();
+    };
+    let features = kernel.access_spec(&default).map(|spec| {
+        let profile = kernel.profile();
+        let ratio = profile.flops / (profile.mem_bytes / 4.0).max(1.0);
+        cl_analyze::features(&spec, ratio)
+    });
+    let geom = cl_tune::TuneGeometry {
+        global: range.global(),
+        dims: range.dims(),
+    };
+    cl_tune::shortlist(
+        &geom,
+        features.as_ref(),
+        device.default_wg(),
+        device.pool().workers(),
+        default.local[0],
+    )
 }
 
 #[cfg(debug_assertions)]

@@ -109,11 +109,35 @@ pub struct HistoryEntry {
     pub benches: Vec<BenchRecord>,
 }
 
+/// Where a baseline was recorded: attached by `cl-bench
+/// --refresh-baseline` and echoed by the gate on failure, so a regression
+/// report always names the machine and revision it was measured against.
+/// Optional in the wire format — reports without it still parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    pub host: String,
+    pub workers: usize,
+    pub git_rev: String,
+    /// UTC date the baseline was recorded, `YYYY-MM-DD`.
+    pub date: String,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "host={} workers={} git={} date={}",
+            self.host, self.workers, self.git_rev, self.date
+        )
+    }
+}
+
 /// The full `BENCH.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     pub schema: u32,
     pub workers: usize,
+    pub provenance: Option<Provenance>,
     pub benches: Vec<BenchRecord>,
     pub history: Vec<HistoryEntry>,
 }
@@ -125,6 +149,7 @@ impl Report {
         Report {
             schema: SCHEMA_VERSION,
             workers,
+            provenance: None,
             benches,
             history: Vec::new(),
         }
@@ -140,6 +165,16 @@ impl Report {
         s.push_str("{\n");
         s.push_str(&format!("  \"schema\": {},\n", self.schema));
         s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        if let Some(p) = &self.provenance {
+            s.push_str(&format!(
+                "  \"provenance\": {{ \"host\": \"{}\", \"workers\": {}, \
+                 \"git_rev\": \"{}\", \"date\": \"{}\" }},\n",
+                json::escape(&p.host),
+                p.workers,
+                json::escape(&p.git_rev),
+                json::escape(&p.date),
+            ));
+        }
         s.push_str("  \"benches\": [\n");
         s.push_str(&records_json(&self.benches, "    "));
         s.push_str("  ],\n");
@@ -172,6 +207,16 @@ impl Report {
             ));
         }
         let workers = field_f64(&v, "workers")? as usize;
+        // Provenance is optional and tolerated-malformed: a hand-edited or
+        // pre-provenance baseline must still gate.
+        let provenance = v.get("provenance").and_then(|p| {
+            Some(Provenance {
+                host: p.get("host").and_then(Json::as_str)?.to_string(),
+                workers: p.get("workers").and_then(Json::as_f64)? as usize,
+                git_rev: p.get("git_rev").and_then(Json::as_str)?.to_string(),
+                date: p.get("date").and_then(Json::as_str)?.to_string(),
+            })
+        });
         let benches = parse_records(v.get("benches").ok_or("missing 'benches'")?)?;
         let history = match v.get("history") {
             None => Vec::new(),
@@ -196,6 +241,7 @@ impl Report {
         Ok(Report {
             schema,
             workers,
+            provenance,
             benches,
             history,
         })
@@ -435,11 +481,18 @@ mod tests {
             label: "pre-optimization".to_string(),
             benches: vec![rec("enqueue/empty-1g", 20_000.0, 400.0)],
         });
+        r.provenance = Some(Provenance {
+            host: "ci-box".to_string(),
+            workers: 2,
+            git_rev: "abc1234".to_string(),
+            date: "2026-08-09".to_string(),
+        });
         let text = r.to_json();
         let back = Report::from_json(&text).expect("round trip");
         // f64 values survive the fixed-point format: compare to 0.1 ns.
         assert_eq!(back.schema, r.schema);
         assert_eq!(back.workers, r.workers);
+        assert_eq!(back.provenance, r.provenance);
         assert_eq!(back.benches.len(), 2);
         assert_eq!(back.history.len(), 1);
         assert_eq!(back.history[0].label, "pre-optimization");
@@ -460,5 +513,18 @@ mod tests {
             Report::from_json(r#"{"schema": 99, "workers": 1, "benches": []}"#).is_err(),
             "future schema must be refused, not misread"
         );
+    }
+
+    #[test]
+    fn provenance_is_optional_and_tolerated_malformed() {
+        // Pre-provenance baselines (no key at all) parse with None.
+        let r = Report::from_json(r#"{"schema": 1, "workers": 1, "benches": []}"#).expect("no key");
+        assert_eq!(r.provenance, None);
+        // A malformed provenance object degrades to None, never an error.
+        let r = Report::from_json(
+            r#"{"schema": 1, "workers": 1, "provenance": {"host": 7}, "benches": []}"#,
+        )
+        .expect("bad provenance tolerated");
+        assert_eq!(r.provenance, None);
     }
 }

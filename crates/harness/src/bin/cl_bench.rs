@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cl-bench [--workers W] [--fast] [--out FILE] [--baseline FILE]
-//!          [--record-baseline FILE] [--make-baseline FILE=LABEL ...]
+//!          [--refresh-baseline] [--record-baseline FILE]
+//!          [--make-baseline FILE=LABEL ...]
 //!          [--gate-only RUN.json] [--check-json FILE]
 //!          [--inject-regression FACTOR]
 //!          [--abs-floor-ns N] [--rel-floor F] [--mad-k K]
@@ -18,6 +19,10 @@
 //!
 //! Maintenance flags:
 //!
+//! * `--refresh-baseline` — measure the suite and write it to the
+//!   baseline path with a provenance header (host, workers, git rev,
+//!   date), so a later gate failure names the machine and revision the
+//!   thresholds came from. No gating.
 //! * `--record-baseline FILE` — also write this run as a fresh baseline
 //!   (no gating).
 //! * `--make-baseline a.json=label-a b.json=label-b` — assemble a baseline
@@ -36,7 +41,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cl_harness::bench::{
-    compare, sample, BenchRecord, BenchStats, GateConfig, HistoryEntry, Report,
+    compare, sample, BenchRecord, BenchStats, GateConfig, HistoryEntry, Provenance, Report,
 };
 use cl_pool::deque::{Steal, Worker};
 use cl_serve::{ServeConfig, Server, TenantConfig};
@@ -59,6 +64,7 @@ struct Opts {
     fast: bool,
     out: PathBuf,
     baseline: PathBuf,
+    refresh_baseline: bool,
     record_baseline: Option<PathBuf>,
     make_baseline: Vec<(PathBuf, String)>,
     gate_only: Option<PathBuf>,
@@ -110,6 +116,20 @@ fn main() {
             opts.out.display(),
             base.benches.len(),
             base.history.len()
+        );
+        return;
+    }
+
+    // --refresh-baseline: measure and write the baseline with provenance.
+    if opts.refresh_baseline {
+        let mut run = run_suite(&opts);
+        run.provenance = Some(collect_provenance(opts.workers));
+        std::fs::write(&opts.baseline, run.to_json()).expect("write baseline");
+        println!(
+            "cl-bench: baseline refreshed at {} ({} benches; {})",
+            opts.baseline.display(),
+            run.benches.len(),
+            run.provenance.as_ref().expect("provenance just set"),
         );
         return;
     }
@@ -186,6 +206,17 @@ fn main() {
     }
     if regressions > 0 {
         eprintln!("\ncl-bench: {regressions}/{gated} benchmarks REGRESSED beyond tolerance");
+        // Name the machine the thresholds came from: a "regression" against
+        // a baseline recorded on different hardware is a provenance bug,
+        // not a performance bug.
+        match &base.provenance {
+            Some(p) => eprintln!("cl-bench: baseline provenance: {p}"),
+            None => eprintln!(
+                "cl-bench: baseline {} has no provenance header (refresh with \
+                 --refresh-baseline)",
+                opts.baseline.display()
+            ),
+        }
         std::process::exit(1);
     }
     println!("\ncl-bench: gate passed ({gated} benchmarks within tolerance)");
@@ -378,6 +409,64 @@ fn run_suite(opts: &Opts) -> Report {
     built.verify(&qa).expect("race-off results");
     push("overhead/race-off", "ns/enqueue", stats);
 
+    // --- Autotuner: disabled-path and converged-path enqueue cost --------
+    // tune-off: a NULL-local square enqueue on a tuner-less queue — the
+    // resolve heuristic plus the enqueue-plan cache, with no tuner branch
+    // taken. converged-enqueue: the same launch through a queue whose
+    // injected tuner has already converged — steady state must ride the
+    // plan cache, so a regression here means the tuner leaked into the
+    // hot path (ISSUE 10's "one branch when converged" contract).
+    let built = cl_kernels::apps::square::build(&ctx, SWEEP_N, 1, None, 7);
+    let stats = sample(warm, samples, BATCH, || {
+        for _ in 0..BATCH {
+            q.enqueue_kernel(&built.kernel, built.range)
+                .expect("tune-off enqueue");
+        }
+        BATCH
+    });
+    built.verify(&q).expect("tune-off results");
+    push("overhead/tune-off", "ns/enqueue", stats);
+
+    let tuner = Arc::new(ocl_rt::cl_tune::Tuner::new(Some(
+        std::env::temp_dir().join(format!("cl-bench-tune-{}.json", std::process::id())),
+    )));
+    let qt = ctx.queue_with(
+        QueueConfig::default()
+            .launch_timeout(Duration::from_secs(60))
+            .tuner(Arc::clone(&tuner)),
+    );
+    let key = ocl_rt::cl_tune::TuneKey {
+        kernel: built.kernel.name().to_string(),
+        global: built.range.global(),
+        dims: built.range.dims(),
+        device: ctx.device().name().to_string(),
+        workers: ctx.device().pool().workers(),
+    };
+    let mut spins = 0usize;
+    while tuner.converged(&key).is_none() {
+        qt.enqueue_kernel(&built.kernel, built.range)
+            .expect("tune warmup enqueue");
+        spins += 1;
+        assert!(spins < 512, "tuner failed to converge during bench warmup");
+    }
+    let stats = sample(warm, samples, BATCH, || {
+        for _ in 0..BATCH {
+            qt.enqueue_kernel(&built.kernel, built.range)
+                .expect("converged enqueue");
+        }
+        BATCH
+    });
+    built.verify(&qt).expect("converged results");
+    push("tune/converged-enqueue", "ns/enqueue", stats);
+    // The pinned successive-halving schedule makes the trial count a
+    // deterministic property of the shortlist — record it so a prior or
+    // schedule change shows up as a baseline diff.
+    push(
+        "tune/convergence-trials",
+        "trials",
+        BenchStats::from_samples(&[tuner.trials(&key) as f64]),
+    );
+
     // --- Serving layer: tenant-path enqueue overhead ---------------------
     // One uncontended tenant launching the empty kernel through the full
     // PR 7 admission path (quota CAS + fairness-gate fast path + enqueue).
@@ -516,6 +605,58 @@ fn run_suite(opts: &Opts) -> Report {
     Report::new(opts.workers, benches)
 }
 
+/// Best-effort provenance for a refreshed baseline: every field degrades
+/// to "unknown" rather than failing, so the refresh works in containers
+/// without a hostname or outside a git checkout.
+fn collect_provenance(workers: usize) -> Provenance {
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let date = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| {
+            let (y, m, day) = civil_from_days((d.as_secs() / 86_400) as i64);
+            format!("{y:04}-{m:02}-{day:02}")
+        })
+        .unwrap_or_else(|_| "unknown".to_string());
+    Provenance {
+        host,
+        workers,
+        git_rev,
+        date,
+    }
+}
+
+/// Days-since-epoch to proleptic-Gregorian (year, month, day).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
 fn load_report(path: &PathBuf) -> Report {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("{}: unreadable: {e}", path.display())));
@@ -534,6 +675,7 @@ fn parse_args() -> Opts {
         fast: false,
         out: PathBuf::from("BENCH.json"),
         baseline: PathBuf::from("BENCH_BASELINE.json"),
+        refresh_baseline: false,
         record_baseline: None,
         make_baseline: Vec::new(),
         gate_only: None,
@@ -557,6 +699,7 @@ fn parse_args() -> Opts {
                 i += 1;
                 o.baseline = path(&args, i, "--baseline");
             }
+            "--refresh-baseline" => o.refresh_baseline = true,
             "--record-baseline" => {
                 i += 1;
                 o.record_baseline = Some(path(&args, i, "--record-baseline"));
@@ -602,7 +745,8 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: cl-bench [--workers W] [--fast] [--out FILE] [--baseline FILE]\n\
-                     \x20               [--record-baseline FILE] [--make-baseline FILE=LABEL ...]\n\
+                     \x20               [--refresh-baseline] [--record-baseline FILE]\n\
+                     \x20               [--make-baseline FILE=LABEL ...]\n\
                      \x20               [--gate-only RUN.json] [--check-json FILE]\n\
                      \x20               [--inject-regression F] [--abs-floor-ns N] \
                      [--rel-floor F] [--mad-k K]"

@@ -1,0 +1,523 @@
+//! `cl-tune` — prove the online autotuner converges: replay the Table II
+//! square sweep plus skewed geometries through a tuned queue, then measure
+//! every shortlist candidate exhaustively and gate the tuner's choice.
+//!
+//! ```text
+//! cl-tune [--workers W] [--out DIR] [--cache PATH] [--stable]
+//!         [--verify-reuse]
+//!
+//!   --workers W      pool workers of the timing device (default: 2)
+//!   --out DIR        output directory for tune.md / tune.csv
+//!                    (default: results)
+//!   --cache PATH     tuner cache file (default: target/tune-cache.json);
+//!                    deleted at startup so every run starts cold
+//!   --stable         deterministic report: measured cells (chosen config,
+//!                    % of best, medians) render as "·" so the committed
+//!                    report is byte-identical across machines. Candidate
+//!                    counts, trial counts, and budgets are pinned by the
+//!                    deterministic prior + halving schedule and render in
+//!                    full. All gates still run.
+//!   --verify-reuse   internal: run as the cold-cache second process —
+//!                    load the cache written by the parent, replay every
+//!                    workload, and exit nonzero unless every decision is
+//!                    reused with zero additional trials.
+//! ```
+//!
+//! Gates (any failure exits nonzero):
+//!
+//! 1. **Convergence** — every workload converges within the pinned trial
+//!    budget (`cl_tune::schedule_trials` over its shortlist).
+//! 2. **Quality** — the converged config's exhaustively-measured median is
+//!    within 5% of the best measured candidate (plus the bench gate's MAD
+//!    noise floor). A first-pass miss is re-judged on a back-to-back
+//!    paired re-measure of the two configs, so a load spike during the
+//!    sweep's minutes-long window cannot fake a regression.
+//! 3. **Correctness** — tuned-queue results verify against the serial
+//!    reference for every workload.
+//! 4. **Reuse** — a second process (`--verify-reuse`, spawned from this
+//!    binary) reads the persisted cache and replays every workload with
+//!    zero additional trials.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cl_harness::bench::{mad, median};
+use cl_kernels::apps::{square, vectoradd, Built};
+use cl_tune::{schedule_trials, TuneGeometry, TuneKey, TunedConfig, Tuner};
+use ocl_rt::{CoarsenMode, Context, Device, NDRange, QueueConfig};
+
+/// Quality gate: converged config within 5% of the exhaustive best.
+const QUALITY_REL: f64 = 0.05;
+/// MAD multiplier of the quality gate's noise floor (the PR 5 constant).
+const MAD_K: f64 = 6.0;
+/// Absolute noise floor of the quality gate, matching the bench gate's
+/// `GateConfig::abs_floor_ns`: deltas under one dispatch quantum are
+/// scheduling noise regardless of the relative gap, so µs-scale launches
+/// are gated by this and ms-scale launches by the 5% relative bound.
+const ABS_FLOOR_NS: f64 = 25_000.0;
+/// Exhaustive measurement: samples per candidate after warmup.
+const EXH_WARMUP: usize = 2;
+const EXH_SAMPLES: usize = 7;
+
+struct Workload {
+    section: &'static str,
+    name: &'static str,
+    n: usize,
+    build: fn(&Context, usize) -> Built,
+}
+
+fn build_square(ctx: &Context, n: usize) -> Built {
+    square::build(ctx, n, 1, None, 7)
+}
+
+fn build_vectoradd(ctx: &Context, n: usize) -> Built {
+    vectoradd::build(ctx, n, 1, None, 7)
+}
+
+/// The replayed sweep: Table II square sizes, the two smallest Table II
+/// vectoradd sizes, and two skewed geometries (divisor-poor sizes the
+/// fixed NULL-local heuristic handles worst).
+fn workloads() -> Vec<Workload> {
+    let mut w = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000, 10_000_000] {
+        w.push(Workload {
+            section: "table-ii",
+            name: "square",
+            n,
+            build: build_square,
+        });
+    }
+    for n in [110_000usize, 1_100_000] {
+        w.push(Workload {
+            section: "table-ii",
+            name: "vectoradd",
+            n,
+            build: build_vectoradd,
+        });
+    }
+    // 31 250 = 2·5⁶: divisors under the cap are sparse (…125, 250), so the
+    // heuristic's "largest divisor ≤ cap" pick is far from the ladder.
+    w.push(Workload {
+        section: "skewed",
+        name: "square",
+        n: 31_250,
+        build: build_square,
+    });
+    // 999 900 = 2²·3²·5²·11·101: a dense but irregular divisor lattice.
+    w.push(Workload {
+        section: "skewed",
+        name: "vectoradd",
+        n: 999_900,
+        build: build_vectoradd,
+    });
+    w
+}
+
+/// The tuner's key for a workload, matching the queue's construction.
+fn key_for(built: &Built, device: &Device) -> TuneKey {
+    TuneKey {
+        kernel: built.kernel.name().to_string(),
+        global: built.range.global(),
+        dims: built.range.dims(),
+        device: device.name().to_string(),
+        workers: device.pool().workers(),
+    }
+}
+
+/// Recompute the shortlist exactly as the queue does (deterministic), for
+/// the budget and the exhaustive sweep.
+fn shortlist_for(built: &Built, device: &Device) -> Vec<TunedConfig> {
+    let default = built
+        .range
+        .resolve_with(device.default_wg(), device.null_target_groups())
+        .expect("workload geometry resolves");
+    let features = built.kernel.access_spec(&default).map(|spec| {
+        let profile = built.kernel.profile();
+        let ratio = profile.flops / (profile.mem_bytes / 4.0).max(1.0);
+        cl_analyze::features(&spec, ratio)
+    });
+    let geom = TuneGeometry {
+        global: built.range.global(),
+        dims: built.range.dims(),
+    };
+    cl_tune::shortlist(
+        &geom,
+        features.as_ref(),
+        device.default_wg(),
+        device.pool().workers(),
+        default.local[0],
+    )
+}
+
+/// Median/MAD of a config's execution window (ns), measured on a plain
+/// queue with the tuned explicit local size and a forced (prover-clamped)
+/// chunk factor — the exact plan a converged tuner decision produces.
+fn measure_config(ctx: &Context, built: &Built, cfg: TunedConfig) -> (f64, f64) {
+    let mode = if cfg.chunk > 1 {
+        CoarsenMode::Force(cfg.chunk)
+    } else {
+        CoarsenMode::Off
+    };
+    let q = ctx.queue_with(QueueConfig::default().coarsen(mode));
+    let range = explicit_range(built.range, cfg.wg);
+    let mut samples = Vec::with_capacity(EXH_SAMPLES);
+    for it in 0..EXH_WARMUP + EXH_SAMPLES {
+        let ev = q
+            .enqueue_kernel(&built.kernel, range)
+            .expect("exhaustive-sweep enqueue");
+        if it >= EXH_WARMUP {
+            let p = ev.profiling();
+            samples.push(p.completed_ns.saturating_sub(p.started_ns) as f64);
+        }
+    }
+    (median(&samples), mad(&samples))
+}
+
+fn explicit_range(range: NDRange, wg: usize) -> NDRange {
+    range.local1(wg)
+}
+
+struct Row {
+    section: &'static str,
+    name: &'static str,
+    n: usize,
+    candidates: usize,
+    budget: usize,
+    trials: usize,
+    chosen: TunedConfig,
+    chosen_ns: f64,
+    best: TunedConfig,
+    best_ns: f64,
+    pct_of_best: f64,
+    reused: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers = 2usize;
+    let mut out_dir = PathBuf::from("results");
+    let mut cache = PathBuf::from("target/tune-cache.json");
+    let mut stable = false;
+    let mut verify_reuse = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("--workers needs an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--cache" => {
+                i += 1;
+                cache = PathBuf::from(args.get(i).expect("--cache needs a path"));
+            }
+            "--stable" => stable = true,
+            "--verify-reuse" => verify_reuse = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: cl-tune [--workers W] [--out DIR] [--cache PATH] [--stable] \
+                     [--verify-reuse]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if verify_reuse {
+        std::process::exit(run_reuse_check(workers, cache));
+    }
+
+    // Cold start: the convergence trajectory below must be earned, not
+    // read from a previous run's cache.
+    let _ = fs::remove_file(&cache);
+    let tuner = Arc::new(Tuner::new(Some(cache.clone())));
+    let device = Device::native_cpu(workers).expect("native device");
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for w in workloads() {
+        let ctx = Context::new(device.clone());
+        let built = (w.build)(&ctx, w.n);
+        let key = key_for(&built, &device);
+        let shortlist = shortlist_for(&built, &device);
+        let budget = schedule_trials(shortlist.len());
+        let q = ctx.queue_with(QueueConfig::default().tuner(Arc::clone(&tuner)));
+
+        // Drive the bandit to convergence through real NULL-local enqueues.
+        let mut launches = 0usize;
+        while tuner.converged(&key).is_none() {
+            if launches > budget + shortlist.len() + 4 {
+                failures.push(format!(
+                    "{}/{}: no convergence after {launches} launches (budget {budget})",
+                    w.name, w.n
+                ));
+                break;
+            }
+            q.enqueue_kernel(&built.kernel, built.range)
+                .expect("tuned enqueue");
+            launches += 1;
+        }
+        let Some(chosen) = tuner.converged(&key) else {
+            continue;
+        };
+        let trials = tuner.trials(&key);
+        if trials > budget {
+            failures.push(format!(
+                "{}/{}: {trials} trials exceed the pinned budget {budget}",
+                w.name, w.n
+            ));
+        }
+        if let Err(e) = built.verify(&q) {
+            failures.push(format!(
+                "{}/{}: tuned results diverge from reference: {e}",
+                w.name, w.n
+            ));
+        }
+
+        // Exhaustive ground truth: measure every candidate the tuner could
+        // have chosen, identically configured.
+        let measured: Vec<(TunedConfig, f64, f64)> = shortlist
+            .iter()
+            .map(|&cfg| {
+                let (med, m) = measure_config(&ctx, &built, cfg);
+                (cfg, med, m)
+            })
+            .collect();
+        let &(best, best_ns, best_mad) = measured
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty shortlist");
+        let &(_, chosen_ns, chosen_mad) = measured
+            .iter()
+            .find(|(cfg, _, _)| *cfg == chosen)
+            .expect("chosen config is in the shortlist");
+        // Same verdict shape as the PR 5 bench gate: the delta must beat
+        // every floor (absolute, relative, MAD) to count as a real miss.
+        // The exhaustive sweep measures candidates minutes apart, so a
+        // load spike during one candidate's window can fake a miss; a
+        // first-pass failure is retried with a back-to-back paired
+        // re-measure of just the chosen and best configs before it counts.
+        let verdict = |chosen_ns: f64, chosen_mad: f64, best_ns: f64, best_mad: f64| {
+            let allowed = ABS_FLOOR_NS
+                .max(QUALITY_REL * best_ns)
+                .max(MAD_K * chosen_mad.max(best_mad));
+            (chosen_ns - best_ns > allowed, allowed)
+        };
+        let (mut miss, mut allowed) = verdict(chosen_ns, chosen_mad, best_ns, best_mad);
+        let (mut chosen_ns, mut best_ns) = (chosen_ns, best_ns);
+        if miss && chosen != best {
+            eprintln!(
+                "cl-tune: {}/{}: quality gate miss on the first pass; paired re-measure",
+                w.name, w.n
+            );
+            let (c_ns, c_mad) = measure_config(&ctx, &built, chosen);
+            let (b_ns, b_mad) = measure_config(&ctx, &built, best);
+            (miss, allowed) = verdict(c_ns, c_mad, b_ns, b_mad);
+            (chosen_ns, best_ns) = (c_ns, b_ns);
+        }
+        if miss {
+            failures.push(format!(
+                "{}/{}: converged to {} at {chosen_ns:.0} ns, worse than 5% off the best {} \
+                 at {best_ns:.0} ns (allowed delta {allowed:.0} ns)",
+                w.name,
+                w.n,
+                chosen.label(),
+                best.label(),
+            ));
+        }
+        rows.push(Row {
+            section: w.section,
+            name: w.name,
+            n: w.n,
+            candidates: shortlist.len(),
+            budget,
+            trials,
+            chosen,
+            chosen_ns,
+            best,
+            best_ns,
+            pct_of_best: if chosen_ns > 0.0 {
+                best_ns / chosen_ns * 100.0
+            } else {
+                100.0
+            },
+            reused: false,
+        });
+    }
+
+    // Cold-cache second process: a fresh process must reuse every persisted
+    // decision with zero additional trials.
+    let exe = std::env::current_exe().expect("own executable path");
+    let status = std::process::Command::new(exe)
+        .args([
+            "--verify-reuse",
+            "--workers",
+            &workers.to_string(),
+            "--cache",
+        ])
+        .arg(&cache)
+        .status();
+    let reuse_ok = matches!(&status, Ok(s) if s.success());
+    if !reuse_ok {
+        failures.push(format!(
+            "cold-cache reuse check failed ({})",
+            match &status {
+                Ok(s) => format!("exit {s}"),
+                Err(e) => format!("spawn error: {e}"),
+            }
+        ));
+    }
+    for r in &mut rows {
+        r.reused = reuse_ok;
+    }
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    fs::write(out_dir.join("tune.md"), render_md(&rows, workers, stable)).expect("write tune.md");
+    fs::write(out_dir.join("tune.csv"), render_csv(&rows, stable)).expect("write tune.csv");
+
+    println!(
+        "cl-tune: {} workloads converged, {} trials total, cold-cache reuse {}{}",
+        rows.len(),
+        rows.iter().map(|r| r.trials).sum::<usize>(),
+        if reuse_ok { "OK" } else { "FAILED" },
+        if stable { " (stable mode)" } else { "" },
+    );
+    for f in &failures {
+        eprintln!("cl-tune: FAIL: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The `--verify-reuse` child: load the parent's cache cold and replay
+/// every workload. Exit 0 iff every decision is already converged and no
+/// launch spends a trial.
+fn run_reuse_check(workers: usize, cache: PathBuf) -> i32 {
+    let tuner = Arc::new(Tuner::new(Some(cache)));
+    let device = Device::native_cpu(workers).expect("native device");
+    let mut bad = 0;
+    for w in workloads() {
+        let ctx = Context::new(device.clone());
+        let built = (w.build)(&ctx, w.n);
+        let key = key_for(&built, &device);
+        if tuner.converged(&key).is_none() {
+            eprintln!(
+                "cl-tune --verify-reuse: {}/{} has no persisted decision",
+                w.name, w.n
+            );
+            bad += 1;
+            continue;
+        }
+        let q = ctx.queue_with(QueueConfig::default().tuner(Arc::clone(&tuner)));
+        q.enqueue_kernel(&built.kernel, built.range)
+            .expect("reuse enqueue");
+        if let Err(e) = built.verify(&q) {
+            eprintln!("cl-tune --verify-reuse: {}/{}: {e}", w.name, w.n);
+            bad += 1;
+        }
+        let extra = tuner.session_trials(&key);
+        if extra != 0 {
+            eprintln!(
+                "cl-tune --verify-reuse: {}/{} spent {extra} trials despite the cache",
+                w.name, w.n
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn render_md(rows: &[Row], workers: usize, stable: bool) -> String {
+    let cell = |v: String| if stable { "·".to_string() } else { v };
+    let mut md = String::new();
+    md.push_str("# Online autotuning convergence\n\n");
+    let _ = writeln!(
+        md,
+        "Per-workload convergence trajectory of the `cl_tune` bandit on a \
+         native queue with {workers} workers: candidate shortlist from the \
+         static prior, successive-halving trials (pinned schedule — the \
+         trial count is deterministic), converged configuration, and its \
+         exhaustively-measured quality vs the best candidate. The reuse \
+         column is a second process replaying the sweep from the persisted \
+         cache with zero additional trials.\n"
+    );
+    md.push_str(
+        "| Section | Kernel | n | Candidates | Trials | Budget | Chosen | % of best | Reuse |\n",
+    );
+    md.push_str("|---|---|---:|---:|---:|---:|---|---:|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.section,
+            r.name,
+            r.n,
+            r.candidates,
+            r.trials,
+            r.budget,
+            cell(r.chosen.label()),
+            cell(format!("{:.1}", r.pct_of_best)),
+            if r.reused { "ok" } else { "FAILED" },
+        );
+    }
+    md.push_str(
+        "\n*Gates: convergence within the trial budget; chosen config within \
+         5% of the exhaustively-measured best (bench-gate noise floors: 25 µs \
+         absolute, 6·MAD); bit-correct results on the tuned queue; zero-trial \
+         cold-cache reuse. Any failure exits nonzero.*\n",
+    );
+    if stable {
+        md.push_str(
+            "\n*Stable mode (`--stable`): measured cells render as \"·\" so \
+             the committed report is machine-independent; candidate counts, \
+             trial counts, and budgets are deterministic and render in \
+             full.*\n",
+        );
+    }
+    md
+}
+
+fn render_csv(rows: &[Row], stable: bool) -> String {
+    let cell = |v: String| if stable { "-".to_string() } else { v };
+    let mut csv = String::from(
+        "section,kernel,n,candidates,trials,budget,chosen_wg,chosen_chunk,chosen_ns,best_wg,best_chunk,best_ns,pct_of_best,reused\n",
+    );
+    for r in rows {
+        csv.push_str(&cl_util::csv::row([
+            r.section.to_string(),
+            r.name.to_string(),
+            r.n.to_string(),
+            r.candidates.to_string(),
+            r.trials.to_string(),
+            r.budget.to_string(),
+            cell(r.chosen.wg.to_string()),
+            cell(r.chosen.chunk.to_string()),
+            cell(format!("{:.0}", r.chosen_ns)),
+            cell(r.best.wg.to_string()),
+            cell(r.best.chunk.to_string()),
+            cell(format!("{:.0}", r.best_ns)),
+            cell(format!("{:.2}", r.pct_of_best)),
+            r.reused.to_string(),
+        ]));
+    }
+    csv
+}

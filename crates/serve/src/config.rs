@@ -150,6 +150,15 @@ pub struct ServeConfig {
     /// one by default so a stalled kernel can never pin a gate slot
     /// forever.
     pub launch_timeout: Option<Duration>,
+    /// Opt every tenant queue into online autotuning of NULL-local
+    /// launches. Tenants share the per-process `cl_tune::Tuner`, so
+    /// repeated traffic from many clients compounds into one learning
+    /// curve and converged decisions are reused across tenants.
+    pub tune: bool,
+    /// Tune against this specific tuner instead of the process-global one
+    /// (tests inject isolated tuners with private cache files). Implies
+    /// tuning for every tenant regardless of [`ServeConfig::tune`].
+    pub tuner: Option<std::sync::Arc<ocl_rt::cl_tune::Tuner>>,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +168,8 @@ impl Default for ServeConfig {
             max_waiting: 64,
             admit_timeout: None,
             launch_timeout: Some(Duration::from_secs(30)),
+            tune: false,
+            tuner: None,
         }
     }
 }
@@ -166,7 +177,8 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults, overridden by the environment: `CL_SERVE_SLOTS` (0 → one
     /// per worker), `CL_SERVE_MAX_WAITING`, `CL_SERVE_ADMIT_TIMEOUT_MS`
-    /// (0 → wait indefinitely), `CL_SERVE_TIMEOUT_MS` (0 → no watchdog).
+    /// (0 → wait indefinitely), `CL_SERVE_TIMEOUT_MS` (0 → no watchdog),
+    /// and `CL_TUNE` (1 opts tenant queues into the process tuner).
     pub fn from_env() -> Self {
         let mut c = ServeConfig::default();
         if let Some(s) = env_parse::<usize>("CL_SERVE_SLOTS") {
@@ -181,6 +193,7 @@ impl ServeConfig {
         if let Some(ms) = env_parse::<u64>("CL_SERVE_TIMEOUT_MS") {
             c.launch_timeout = (ms > 0).then(|| Duration::from_millis(ms));
         }
+        c.tune = ocl_rt::cl_tune::Tuner::enabled_from_env();
         c
     }
 
@@ -205,6 +218,18 @@ impl ServeConfig {
     /// Set the default launch watchdog for tenant queues.
     pub fn launch_timeout(mut self, t: Duration) -> Self {
         self.launch_timeout = Some(t);
+        self
+    }
+
+    /// Opt tenant queues into online autotuning of NULL-local launches.
+    pub fn tune(mut self, on: bool) -> Self {
+        self.tune = on;
+        self
+    }
+
+    /// Tune tenant queues against this specific tuner instance.
+    pub fn tuner(mut self, tuner: std::sync::Arc<ocl_rt::cl_tune::Tuner>) -> Self {
+        self.tuner = Some(tuner);
         self
     }
 }

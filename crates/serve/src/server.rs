@@ -48,9 +48,14 @@ impl Server {
         // Per-tenant context: buffers and race logs never alias across
         // tenants (the runtime's WrongContext check enforces it).
         let ctx = Context::new_with(self.device.clone(), ContextConfig::default());
+        // Tenants share one tuner (the injected instance or the process
+        // global): every client's NULL-local traffic feeds the same bandit,
+        // and one tenant's converged decision is every tenant's hot path.
         let qcfg = QueueConfig {
             launch_timeout: cfg.launch_timeout.or(self.cfg.launch_timeout),
             out_of_order: cfg.out_of_order,
+            tune: self.cfg.tune,
+            tuner: self.cfg.tuner.clone(),
             ..QueueConfig::default()
         };
         let queue = ctx.queue_with(qcfg);
